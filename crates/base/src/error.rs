@@ -1,0 +1,169 @@
+//! Error types shared by all analyses.
+
+use core::fmt;
+
+/// Convenient alias used by every analysis entry point.
+pub type AnalysisResult<T> = Result<T, AnalysisError>;
+
+/// Errors surfaced by schedulability analyses.
+///
+/// Analyses never panic on user input: divergent fixpoints, unschedulable
+/// intermediate states that prevent a bound from existing, and arithmetic
+/// overflow are all reported through this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A response-time / busy-period fixpoint exceeded its divergence bound
+    /// (for a schedulable task the iteration converges at or below the bound;
+    /// exceeding it proves unschedulability for bounded tests, and is an
+    /// abort condition for unbounded ones).
+    DivergentIteration {
+        /// Which fixpoint diverged (e.g. `"rta"` or `"busy-period"`).
+        what: &'static str,
+        /// The bound that was exceeded, in ticks.
+        bound: i64,
+    },
+    /// The iteration performed more steps than the configured hard cap.
+    IterationLimit {
+        /// Which fixpoint hit the cap.
+        what: &'static str,
+        /// The cap.
+        limit: u64,
+    },
+    /// Integer overflow in an exact computation.
+    Overflow {
+        /// Description of the computation site.
+        context: &'static str,
+    },
+    /// The model itself is invalid (delegates to [`ModelError`]).
+    Model(ModelError),
+    /// Total utilisation is at least 1, so length-based bounds (synchronous
+    /// busy period, `tmax`) do not exist.
+    UtilizationAtLeastOne,
+    /// The analysed index is out of range for the task/stream set.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Set size.
+        len: usize,
+    },
+    /// The operation requires a non-empty task/stream set.
+    EmptySet,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::DivergentIteration { what, bound } => {
+                write!(f, "{what} fixpoint exceeded its bound of {bound} ticks")
+            }
+            AnalysisError::IterationLimit { what, limit } => {
+                write!(f, "{what} fixpoint exceeded the iteration cap of {limit}")
+            }
+            AnalysisError::Overflow { context } => {
+                write!(f, "integer overflow during {context}")
+            }
+            AnalysisError::Model(e) => write!(f, "invalid model: {e}"),
+            AnalysisError::UtilizationAtLeastOne => {
+                write!(f, "total utilisation is >= 1; busy-period bounds do not exist")
+            }
+            AnalysisError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for set of size {len}")
+            }
+            AnalysisError::EmptySet => write!(f, "operation requires a non-empty set"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<ModelError> for AnalysisError {
+    fn from(e: ModelError) -> Self {
+        AnalysisError::Model(e)
+    }
+}
+
+/// Validation errors for task and message-stream models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Execution / transmission time must be strictly positive.
+    NonPositiveCost {
+        /// Offending value in ticks.
+        value: i64,
+    },
+    /// Period / minimum inter-arrival time must be strictly positive.
+    NonPositivePeriod {
+        /// Offending value in ticks.
+        value: i64,
+    },
+    /// Relative deadline must be strictly positive.
+    NonPositiveDeadline {
+        /// Offending value in ticks.
+        value: i64,
+    },
+    /// Release jitter must be non-negative.
+    NegativeJitter {
+        /// Offending value in ticks.
+        value: i64,
+    },
+    /// Cost exceeds deadline: the task can never meet it even alone.
+    CostExceedsDeadline {
+        /// Cost in ticks.
+        cost: i64,
+        /// Deadline in ticks.
+        deadline: i64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositiveCost { value } => {
+                write!(f, "cost must be > 0 (got {value})")
+            }
+            ModelError::NonPositivePeriod { value } => {
+                write!(f, "period must be > 0 (got {value})")
+            }
+            ModelError::NonPositiveDeadline { value } => {
+                write!(f, "deadline must be > 0 (got {value})")
+            }
+            ModelError::NegativeJitter { value } => {
+                write!(f, "jitter must be >= 0 (got {value})")
+            }
+            ModelError::CostExceedsDeadline { cost, deadline } => {
+                write!(f, "cost {cost} exceeds deadline {deadline}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = AnalysisError::DivergentIteration {
+            what: "rta",
+            bound: 100,
+        };
+        assert!(e.to_string().contains("rta"));
+        assert!(e.to_string().contains("100"));
+
+        let m = ModelError::CostExceedsDeadline {
+            cost: 10,
+            deadline: 5,
+        };
+        assert!(m.to_string().contains("10"));
+        let wrapped: AnalysisError = m.into();
+        assert!(wrapped.to_string().contains("invalid model"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&AnalysisError::EmptySet);
+        takes_err(&ModelError::NegativeJitter { value: -1 });
+    }
+}

@@ -1,0 +1,44 @@
+//! # profirt-base
+//!
+//! Foundational types shared by every `profirt` crate:
+//!
+//! * [`Time`] — an exact, signed, integer *tick* count. All schedulability
+//!   analyses in this workspace are integer fixpoints; floating point is
+//!   banned from every feasibility decision. A tick is an abstract unit; the
+//!   PROFIBUS crates conventionally map one tick to one *bit time*
+//!   (`1 / baud_rate` seconds), which keeps every DIN 19245 timing parameter
+//!   exactly representable.
+//! * [`Frac`] — an exact rational built on `i128`, used for utilisation
+//!   comparisons (`Σ Ci/Ti` vs. a bound) without rounding.
+//! * [`Task`] / [`TaskSet`] — the single-processor task model of the paper's
+//!   §2 (`Ci`, `Di`, `Ti`, plus release jitter `Ji` for the §4.1 extension).
+//! * [`MessageStream`] / [`StreamSet`] — the PROFIBUS message-stream model of
+//!   §3.2 (`Chi`, `Dhi`, `Thi`, `Ji`).
+//! * Error types for every analysis (divergent fixpoints, invalid models,
+//!   arithmetic overflow) — analyses return `Result`, they never panic on
+//!   user input.
+//!
+//! The crate is `#![forbid(unsafe_code)]` and dependency-light by design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bignat;
+pub mod error;
+pub mod ids;
+pub mod num;
+pub mod priority;
+pub mod rng;
+pub mod stream;
+pub mod task;
+pub mod time;
+
+pub use bignat::BigNat;
+pub use error::{AnalysisError, AnalysisResult, ModelError};
+pub use ids::{MasterAddr, StreamId, TaskId};
+pub use num::{ceil_div, floor_div, gcd, lcm, Frac};
+pub use priority::Priority;
+pub use rng::Prng;
+pub use stream::{MessageStream, StreamSet};
+pub use task::{Task, TaskSet};
+pub use time::Time;

@@ -1,0 +1,292 @@
+//! Integer math utilities: exact ceiling/floor division, gcd/lcm, and the
+//! exact rational type [`Frac`] used for utilisation tests.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnalysisError;
+
+/// `⌈n / d⌉` for signed `n` and strictly positive `d`.
+///
+/// # Panics
+/// Panics if `d <= 0`.
+#[inline]
+pub fn ceil_div(n: i64, d: i64) -> i64 {
+    assert!(d > 0, "ceil_div requires a strictly positive divisor");
+    n.div_euclid(d) + i64::from(n.rem_euclid(d) != 0)
+}
+
+/// `⌊n / d⌋` for signed `n` and strictly positive `d`.
+///
+/// # Panics
+/// Panics if `d <= 0`.
+#[inline]
+pub fn floor_div(n: i64, d: i64) -> i64 {
+    assert!(d > 0, "floor_div requires a strictly positive divisor");
+    n.div_euclid(d)
+}
+
+/// Greatest common divisor (non-negative result; `gcd(0, 0) == 0`).
+pub fn gcd(mut a: i64, mut b: i64) -> i64 {
+    a = a.saturating_abs();
+    b = b.saturating_abs();
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple, or an [`AnalysisError::Overflow`] if it exceeds
+/// `i64` (hyperperiods of random period sets overflow routinely; callers must
+/// handle this).
+pub fn lcm(a: i64, b: i64) -> Result<i64, AnalysisError> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).map(i64::abs).ok_or(AnalysisError::Overflow {
+        context: "lcm",
+    })
+}
+
+/// An exact rational number over `i128`, always stored normalised
+/// (`den > 0`, `gcd(|num|, den) == 1`).
+///
+/// Used for utilisation arithmetic: `Σ Ci/Ti < n(2^{1/n}−1)` style bounds are
+/// evaluated without floating point wherever algebraically possible, and the
+/// comparison `Σ Ci/Ti < 1` (EDF, eq. (3) precondition) is always exact.
+///
+/// **Range note.** Sums keep the denominator at the lcm of the operands'
+/// denominators. With the workspace's conventional inputs (periods on a
+/// common granularity — the workload generators round to 100-tick
+/// multiples) the lcm stays far below `i128` range; summing dozens of
+/// fractions with large *pairwise-coprime* denominators can overflow,
+/// which panics in debug builds. Keep set sizes or the period granularity
+/// sensible (as the generators do) when using `Frac` directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frac {
+    num: i128,
+    den: i128,
+}
+
+impl Frac {
+    /// Exact zero.
+    pub const ZERO: Frac = Frac { num: 0, den: 1 };
+    /// Exact one.
+    pub const ONE: Frac = Frac { num: 1, den: 1 };
+
+    /// Creates `num/den`, normalising sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Frac {
+        assert!(den != 0, "Frac denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd128(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        Frac {
+            num: sign * num / g,
+            den: den.abs() / g,
+        }
+    }
+
+    /// Creates the integer fraction `n/1`.
+    pub const fn from_int(n: i128) -> Frac {
+        Frac { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub const fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub const fn den(self) -> i128 {
+        self.den
+    }
+
+    /// Exact comparison against another fraction.
+    pub fn cmp_frac(self, other: Frac) -> Ordering {
+        // num/den vs num'/den'  <=>  num*den' vs num'*den   (dens positive)
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+
+    /// `true` iff `self < 1` exactly.
+    pub fn lt_one(self) -> bool {
+        self.num < self.den
+    }
+
+    /// `true` iff `self <= 1` exactly.
+    pub fn le_one(self) -> bool {
+        self.num <= self.den
+    }
+
+    /// Lossy conversion for reporting only (never used in decisions).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+fn gcd128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 && b == 0 {
+        return 1;
+    }
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+impl Add for Frac {
+    type Output = Frac;
+    fn add(self, rhs: Frac) -> Frac {
+        Frac::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Frac {
+    type Output = Frac;
+    fn sub(self, rhs: Frac) -> Frac {
+        Frac::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Frac {
+    type Output = Frac;
+    fn mul(self, rhs: Frac) -> Frac {
+        Frac::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Sum for Frac {
+    fn sum<I: Iterator<Item = Frac>>(iter: I) -> Frac {
+        iter.fold(Frac::ZERO, Add::add)
+    }
+}
+
+impl PartialOrd for Frac {
+    fn partial_cmp(&self, other: &Frac) -> Option<Ordering> {
+        Some(self.cmp_frac(*other))
+    }
+}
+
+impl Ord for Frac {
+    fn cmp(&self, other: &Frac) -> Ordering {
+        self.cmp_frac(*other)
+    }
+}
+
+impl fmt::Debug for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_matches_mathematical_ceiling() {
+        assert_eq!(ceil_div(0, 3), 0);
+        assert_eq!(ceil_div(1, 3), 1);
+        assert_eq!(ceil_div(3, 3), 1);
+        assert_eq!(ceil_div(4, 3), 2);
+        assert_eq!(ceil_div(-1, 3), 0);
+        assert_eq!(ceil_div(-3, 3), -1);
+        assert_eq!(ceil_div(-4, 3), -1);
+    }
+
+    #[test]
+    fn floor_div_matches_mathematical_floor() {
+        assert_eq!(floor_div(0, 3), 0);
+        assert_eq!(floor_div(2, 3), 0);
+        assert_eq!(floor_div(3, 3), 1);
+        assert_eq!(floor_div(-1, 3), -1);
+        assert_eq!(floor_div(-3, 3), -1);
+        assert_eq!(floor_div(-4, 3), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive divisor")]
+    fn ceil_div_rejects_zero_divisor() {
+        let _ = ceil_div(1, 0);
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(lcm(4, 6).unwrap(), 12);
+        assert_eq!(lcm(0, 6).unwrap(), 0);
+        assert_eq!(lcm(7, 13).unwrap(), 91);
+    }
+
+    #[test]
+    fn lcm_overflow_is_reported() {
+        assert!(lcm(i64::MAX, i64::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn frac_normalisation() {
+        let f = Frac::new(4, 8);
+        assert_eq!(f.num(), 1);
+        assert_eq!(f.den(), 2);
+        let g = Frac::new(3, -6);
+        assert_eq!(g.num(), -1);
+        assert_eq!(g.den(), 2);
+        assert_eq!(Frac::new(0, 7), Frac::ZERO);
+    }
+
+    #[test]
+    fn frac_arithmetic_and_order() {
+        let a = Frac::new(1, 3);
+        let b = Frac::new(1, 6);
+        assert_eq!(a + b, Frac::new(1, 2));
+        assert_eq!(a - b, Frac::new(1, 6));
+        assert_eq!(a * b, Frac::new(1, 18));
+        assert!(b < a);
+        assert!(a < Frac::ONE);
+        assert!(a.lt_one());
+        assert!(Frac::ONE.le_one());
+        assert!(!Frac::ONE.lt_one());
+        assert!(!Frac::new(7, 6).le_one());
+    }
+
+    #[test]
+    fn frac_sum_is_exact() {
+        // 1/3 + 1/3 + 1/3 == 1 exactly (would not hold in f64 chains).
+        let u: Frac = (0..3).map(|_| Frac::new(1, 3)).sum();
+        assert_eq!(u, Frac::ONE);
+    }
+
+    #[test]
+    fn frac_display() {
+        assert_eq!(format!("{}", Frac::new(1, 2)), "1/2");
+        assert_eq!(format!("{}", Frac::from_int(3)), "3");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the foundational types.
+
+use proptest::prelude::*;
+
+use profirt_base::bignat::BigNat;
+use profirt_base::{ceil_div, floor_div, gcd, lcm, Frac, Time};
+
+proptest! {
+    #[test]
+    fn ceil_div_is_mathematical_ceiling(n in -1_000_000i64..1_000_000, d in 1i64..10_000) {
+        let q = ceil_div(n, d);
+        // q is the least integer with q*d >= n.
+        prop_assert!(q * d >= n);
+        prop_assert!((q - 1) * d < n);
+    }
+
+    #[test]
+    fn floor_div_is_mathematical_floor(n in -1_000_000i64..1_000_000, d in 1i64..10_000) {
+        let q = floor_div(n, d);
+        prop_assert!(q * d <= n);
+        prop_assert!((q + 1) * d > n);
+    }
+
+    #[test]
+    fn ceil_minus_floor_at_most_one(n in -1_000_000i64..1_000_000, d in 1i64..10_000) {
+        let diff = ceil_div(n, d) - floor_div(n, d);
+        prop_assert!(diff == 0 || diff == 1);
+        prop_assert_eq!(diff == 0, n % d == 0);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 0i64..1_000_000, b in 0i64..1_000_000) {
+        let g = gcd(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+
+    #[test]
+    fn lcm_gcd_product_identity(a in 1i64..100_000, b in 1i64..100_000) {
+        let g = gcd(a, b);
+        let l = lcm(a, b).unwrap();
+        prop_assert_eq!(g * l, a * b);
+    }
+
+    #[test]
+    fn frac_addition_matches_integers(
+        p1 in -1_000i128..1_000, q1 in 1i128..1_000,
+        p2 in -1_000i128..1_000, q2 in 1i128..1_000,
+    ) {
+        let sum = Frac::new(p1, q1) + Frac::new(p2, q2);
+        // p1/q1 + p2/q2 == (p1 q2 + p2 q1) / (q1 q2), exactly.
+        prop_assert_eq!(sum, Frac::new(p1 * q2 + p2 * q1, q1 * q2));
+    }
+
+    #[test]
+    fn frac_ordering_matches_cross_multiplication(
+        p1 in -1_000i128..1_000, q1 in 1i128..1_000,
+        p2 in -1_000i128..1_000, q2 in 1i128..1_000,
+    ) {
+        let a = Frac::new(p1, q1);
+        let b = Frac::new(p2, q2);
+        prop_assert_eq!(a < b, p1 * q2 < p2 * q1);
+    }
+
+    #[test]
+    fn time_saturating_ops_never_wrap(a in any::<i64>(), b in any::<i64>()) {
+        let x = Time::new(a);
+        let y = Time::new(b);
+        let s = x.saturating_add(y);
+        prop_assert!(s >= Time::MIN && s <= Time::MAX);
+        let d = x.saturating_sub(y);
+        prop_assert!(d >= Time::MIN && d <= Time::MAX);
+    }
+
+    #[test]
+    fn time_positive_part_ops(n in -100_000i64..100_000, d in 1i64..1_000) {
+        let t = Time::new(n);
+        let dt = Time::new(d);
+        prop_assert!(t.ceil_div_pos(dt) >= 0);
+        prop_assert!(t.floor_div_plus_one_pos(dt) >= 0);
+        // The standard DBF count is >= the paper's ceiling count.
+        prop_assert!(t.floor_div_plus_one_pos(dt) >= t.ceil_div_pos(dt));
+        // And exceeds it by at most one job.
+        prop_assert!(t.floor_div_plus_one_pos(dt) - t.ceil_div_pos(dt) <= 1);
+    }
+
+    #[test]
+    fn bignat_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = BigNat::from_u128(a as u128).mul(&BigNat::from_u128(b as u128));
+        prop_assert_eq!(prod, BigNat::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn bignat_mul_commutative_and_ordered(a in any::<u128>(), b in any::<u128>()) {
+        let x = BigNat::from_u128(a);
+        let y = BigNat::from_u128(b);
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        prop_assert_eq!(x < y, a < b);
+    }
+
+    #[test]
+    fn bignat_pow_adds_exponents(base in 1u128..1_000, e1 in 0u32..6, e2 in 0u32..6) {
+        let b = BigNat::from_u128(base);
+        prop_assert_eq!(b.pow(e1).mul(&b.pow(e2)), b.pow(e1 + e2));
+    }
+}

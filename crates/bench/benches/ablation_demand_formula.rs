@@ -1,0 +1,35 @@
+//! Ablation B-A3: `Standard` vs `PaperCeiling` demand formula — timing cost
+//! (identical asymptotics expected; the difference is correctness, see T2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::constrained_task_set;
+use profirt_sched::edf::{edf_feasible_preemptive, DemandConfig, DemandFormula};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_demand_formula");
+    group.sample_size(40);
+    let set = constrained_task_set(12, 0.85);
+    for (label, formula) in [
+        ("standard", DemandFormula::Standard),
+        ("paper_ceiling", DemandFormula::PaperCeiling),
+    ] {
+        group.bench_with_input(BenchmarkId::new("formula", label), &formula, |b, &f| {
+            b.iter(|| {
+                edf_feasible_preemptive(
+                    black_box(&set),
+                    &DemandConfig {
+                        formula: f,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

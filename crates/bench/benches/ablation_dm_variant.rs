@@ -1,0 +1,26 @@
+//! Ablation B-A4: eq. (16) `Paper` vs `Conservative` DM variant — cost and
+//! (via the printed summary of T8) the soundness/pessimism trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::network;
+use profirt_core::DmAnalysis;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dm_variant");
+    group.sample_size(40);
+    for nh in [4usize, 8, 16] {
+        let net = network(3, nh, 0.7);
+        group.bench_with_input(BenchmarkId::new("paper", nh), &nh, |b, _| {
+            b.iter(|| DmAnalysis::paper().analyze(black_box(&net)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("conservative", nh), &nh, |b, _| {
+            b.iter(|| DmAnalysis::conservative().analyze(black_box(&net)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

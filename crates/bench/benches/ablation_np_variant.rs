@@ -1,0 +1,42 @@
+//! Ablation B-A5: eq. (1) `Audsley` (ceiling) vs `George` (floor+1)
+//! non-preemptive fixed-priority variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::constrained_task_set;
+use profirt_sched::fixed::{
+    np_response_times, BlockingRule, NpFixedConfig, NpFixedVariant, PriorityMap,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_np_variant");
+    group.sample_size(40);
+    for n in [8usize, 16, 32] {
+        let set = constrained_task_set(n, 0.7);
+        let pm = PriorityMap::deadline_monotonic(&set);
+        for (label, variant) in [
+            ("audsley", NpFixedVariant::Audsley),
+            ("george", NpFixedVariant::George),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    np_response_times(
+                        black_box(&set),
+                        &pm,
+                        &NpFixedConfig {
+                            variant,
+                            blocking: BlockingRule::MaxLowerCost,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

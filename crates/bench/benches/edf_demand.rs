@@ -1,0 +1,36 @@
+//! T2 bench: the processor-demand feasibility test (eq. (3)) — checkpoint
+//! enumeration cost as utilisation approaches 1 (the `tmax` blow-up the
+//! paper warns about).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::constrained_task_set;
+use profirt_sched::edf::{edf_feasible_preemptive, DemandConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_edf_demand");
+    group.sample_size(30);
+    for &(label, u) in &[("u60", 0.6f64), ("u80", 0.8), ("u95", 0.95)] {
+        let set = constrained_task_set(8, u);
+        group.bench_with_input(BenchmarkId::new("demand_test", label), &u, |b, _| {
+            b.iter(|| {
+                edf_feasible_preemptive(black_box(&set), &DemandConfig::default())
+                    .unwrap()
+            })
+        });
+    }
+    for n in [4usize, 8, 16, 32] {
+        let set = constrained_task_set(n, 0.8);
+        group.bench_with_input(BenchmarkId::new("scaling_n", n), &n, |b, _| {
+            b.iter(|| {
+                edf_feasible_preemptive(black_box(&set), &DemandConfig::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! T3 bench: non-preemptive EDF feasibility, eq. (4) vs eq. (5) (the
+//! refined blocking term costs a per-checkpoint max).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::constrained_task_set;
+use profirt_sched::edf::{
+    edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_np_edf_feasibility");
+    group.sample_size(30);
+    for n in [4usize, 8, 16] {
+        let set = constrained_task_set(n, 0.7);
+        for (label, blocking) in [
+            ("eq4_zheng_shin", NpBlockingModel::ZhengShin),
+            ("eq5_george", NpBlockingModel::George),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        edf_feasible_nonpreemptive(
+                            black_box(&set),
+                            &NpFeasibilityConfig {
+                                blocking,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

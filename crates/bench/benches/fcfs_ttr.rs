@@ -1,0 +1,25 @@
+//! T6 bench: the FCFS bound (eq. (11)) and the eq. (15) TTR derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::network;
+use profirt_core::{max_feasible_ttr, FcfsAnalysis, TcycleModel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_fcfs_ttr");
+    group.sample_size(50);
+    for nh in [2usize, 4, 8, 16] {
+        let net = network(3, nh, 0.9);
+        group.bench_with_input(BenchmarkId::new("eq11_fcfs", nh), &nh, |b, _| {
+            b.iter(|| FcfsAnalysis::paper().run(black_box(&net)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eq15_ttr", nh), &nh, |b, _| {
+            b.iter(|| max_feasible_ttr(black_box(&net), TcycleModel::Paper))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

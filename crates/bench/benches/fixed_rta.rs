@@ -1,0 +1,41 @@
+//! T1 bench: fixed-priority response-time analysis cost, scaling with task
+//! count, for the preemptive (Joseph & Pandya) and non-preemptive
+//! (eqs. (1)–(2), both variants) recurrences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::task_set;
+use profirt_sched::fixed::{
+    np_response_times, response_times, NpFixedConfig, PriorityMap, RtaConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_fixed_rta");
+    group.sample_size(30);
+    for n in [4usize, 8, 16, 32, 64] {
+        let set = task_set(n, 0.8);
+        let pm = PriorityMap::rate_monotonic(&set);
+        group.bench_with_input(BenchmarkId::new("preemptive", n), &n, |b, _| {
+            b.iter(|| {
+                response_times(black_box(&set), &pm, &RtaConfig::default()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("np_george", n), &n, |b, _| {
+            b.iter(|| {
+                np_response_times(black_box(&set), &pm, &NpFixedConfig::george())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("np_paper", n), &n, |b, _| {
+            b.iter(|| {
+                np_response_times(black_box(&set), &pm, &NpFixedConfig::paper())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! F5 bench: jitter-aware DM/EDF message analysis and the end-to-end
+//! pipeline (host RTA + inheritance + message analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_base::{StreamSet, TaskSet, Time};
+use profirt_core::{
+    DmAnalysis, EdfAnalysis, EndToEndAnalysis, JitterModel, MasterConfig,
+    NetworkConfig, TaskSegments,
+};
+use profirt_sched::fixed::PriorityMap;
+
+fn jittered_net(j: i64) -> NetworkConfig {
+    NetworkConfig::new(
+        vec![MasterConfig::new(
+            StreamSet::from_cdtj(&[
+                (600, 25_000, 30_000, j),
+                (600, 90_000, 200_000, 0),
+                (600, 350_000, 400_000, 0),
+            ])
+            .unwrap(),
+            Time::new(800),
+        )],
+        Time::new(4_000),
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_jitter");
+    group.sample_size(40);
+    for j in [0i64, 15_000, 30_000] {
+        let net = jittered_net(j);
+        group.bench_with_input(BenchmarkId::new("dm", j), &j, |b, _| {
+            b.iter(|| DmAnalysis::conservative().analyze(black_box(&net)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("edf", j), &j, |b, _| {
+            b.iter(|| EdfAnalysis::paper().analyze(black_box(&net)).unwrap())
+        });
+    }
+
+    let host = TaskSet::from_cdt(&[
+        (200, 8_000, 30_000),
+        (1_500, 25_000, 60_000),
+        (4_000, 100_000, 200_000),
+    ])
+    .unwrap();
+    let pm = PriorityMap::deadline_monotonic(&host);
+    let net = jittered_net(0);
+    let segments = [
+        TaskSegments {
+            generator: JitterModel::SeparateSender { task: 0 },
+            delivery_task: 0,
+        },
+        TaskSegments {
+            generator: JitterModel::SeparateSender { task: 1 },
+            delivery_task: 1,
+        },
+        TaskSegments {
+            generator: JitterModel::SeparateSender { task: 2 },
+            delivery_task: 2,
+        },
+    ];
+    group.bench_function("end_to_end_pipeline", |b| {
+        b.iter(|| {
+            EndToEndAnalysis::edf()
+                .analyze(black_box(&net), 0, &host, &pm, &segments)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

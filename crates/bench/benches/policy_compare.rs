@@ -1,0 +1,36 @@
+//! T7 bench: the full three-policy comparison (FCFS eq. (11), DM eq. (16),
+//! EDF eqs. (17)–(18)) on one network — the end-user-facing analysis path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::network;
+use profirt_core::{compare_policies, DmAnalysis, EdfAnalysis};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_policy_compare");
+    group.sample_size(20);
+    for nh in [2usize, 4, 8] {
+        let net = network(3, nh, 0.6);
+        group.bench_with_input(BenchmarkId::new("all_policies", nh), &nh, |b, _| {
+            b.iter(|| {
+                compare_policies(
+                    black_box(&net),
+                    &DmAnalysis::conservative(),
+                    &EdfAnalysis::paper(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dm_only", nh), &nh, |b, _| {
+            b.iter(|| DmAnalysis::conservative().analyze(black_box(&net)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("edf_only", nh), &nh, |b, _| {
+            b.iter(|| EdfAnalysis::paper().analyze(black_box(&net)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! F1 bench: the acceptance-ratio sweep point (the unit of work behind the
+//! schedulability-ratio curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use profirt_experiments::exps::f1;
+use profirt_experiments::ExpConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_sched_ratio");
+    group.sample_size(10);
+    let cfg = ExpConfig {
+        replications: 8,
+        workers: 2,
+        ..ExpConfig::quick()
+    };
+    for tightness in [0.8f64, 0.4, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_point", format!("{tightness:.1}")),
+            &tightness,
+            |b, &t| b.iter(|| f1::point(&cfg, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

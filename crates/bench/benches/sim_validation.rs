@@ -1,0 +1,63 @@
+//! T8 bench: one full validation round — analysis + simulation + ratio
+//! extraction — per AP-queue policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_base::Time;
+use profirt_bench::network;
+use profirt_core::{DmAnalysis, EdfAnalysis, FcfsAnalysis};
+use profirt_profibus::QueuePolicy;
+use profirt_sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
+
+fn sim_for(net: &profirt_core::NetworkConfig, policy: QueuePolicy) -> SimNetwork {
+    SimNetwork {
+        masters: net
+            .masters
+            .iter()
+            .map(|m| match policy {
+                QueuePolicy::Fcfs => SimMaster::stock(m.streams.clone()),
+                p => SimMaster::priority_queued(m.streams.clone(), p),
+            })
+            .collect(),
+        ttr: net.ttr,
+        token_pass: Time::new(166),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t8_sim_validation");
+    group.sample_size(10);
+    let net = network(3, 3, 0.8);
+    let cfg = NetworkSimConfig {
+        horizon: Time::new(1_000_000),
+        ..Default::default()
+    };
+    for (label, policy) in [
+        ("fcfs", QueuePolicy::Fcfs),
+        ("dm", QueuePolicy::DeadlineMonotonic),
+        ("edf", QueuePolicy::Edf),
+    ] {
+        let sim_net = sim_for(&net, policy);
+        group.bench_with_input(
+            BenchmarkId::new("validation_round", label),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let _bounds = match p {
+                        QueuePolicy::Fcfs => FcfsAnalysis::paper().run(&net).ok(),
+                        QueuePolicy::DeadlineMonotonic => {
+                            DmAnalysis::conservative().analyze(&net).ok()
+                        }
+                        QueuePolicy::Edf => EdfAnalysis::paper().analyze(&net).ok(),
+                    };
+                    simulate_network(black_box(&sim_net), &cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

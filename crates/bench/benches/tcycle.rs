@@ -1,0 +1,54 @@
+//! T5 bench: token-cycle bound evaluation (eqs. (13)–(14)) and the network
+//! simulator's throughput (simulated bus-seconds per wall-second is the
+//! harness cost that gates all validation experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_base::Time;
+use profirt_bench::network;
+use profirt_core::tcycle::{tcycle, TcycleModel};
+use profirt_sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_tcycle");
+    group.sample_size(30);
+    for masters in [2usize, 8, 16] {
+        let net = network(masters, 3, 0.9);
+        group.bench_with_input(BenchmarkId::new("eq13_paper", masters), &masters, |b, _| {
+            b.iter(|| tcycle(black_box(&net), TcycleModel::Paper))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("eq13_refined", masters),
+            &masters,
+            |b, _| b.iter(|| tcycle(black_box(&net), TcycleModel::Refined)),
+        );
+    }
+    // Simulator throughput at a fixed horizon.
+    let net = network(4, 3, 0.9);
+    let sim_net = SimNetwork {
+        masters: net
+            .masters
+            .iter()
+            .map(|m| SimMaster::stock(m.streams.clone()))
+            .collect(),
+        ttr: net.ttr,
+        token_pass: Time::new(166),
+    };
+    group.sample_size(10);
+    group.bench_function("simulate_1M_ticks", |b| {
+        b.iter(|| {
+            simulate_network(
+                black_box(&sim_net),
+                &NetworkSimConfig {
+                    horizon: Time::new(1_000_000),
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! F3 bench: token-lateness evaluation across ring sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::network;
+use profirt_core::tcycle::{token_lateness, TcycleModel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_tdel_sweep");
+    group.sample_size(60);
+    for masters in [2usize, 8, 16, 32] {
+        let net = network(masters, 3, 0.9);
+        group.bench_with_input(BenchmarkId::new("paper", masters), &masters, |b, _| {
+            b.iter(|| token_lateness(black_box(&net), TcycleModel::Paper))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("refined", masters),
+            &masters,
+            |b, _| b.iter(|| token_lateness(black_box(&net), TcycleModel::Refined)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! F6 bench: the bound-tightness measurement loop (simulation + ratio
+//! extraction against each policy's bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use profirt_base::Time;
+use profirt_bench::network;
+use profirt_core::DmAnalysis;
+use profirt_profibus::QueuePolicy;
+use profirt_sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_tightness");
+    group.sample_size(10);
+    let net = network(3, 3, 0.8);
+    let bounds = DmAnalysis::conservative().analyze(&net).unwrap();
+    let sim_net = SimNetwork {
+        masters: net
+            .masters
+            .iter()
+            .map(|m| {
+                SimMaster::priority_queued(
+                    m.streams.clone(),
+                    QueuePolicy::DeadlineMonotonic,
+                )
+            })
+            .collect(),
+        ttr: net.ttr,
+        token_pass: Time::new(166),
+    };
+    group.bench_function("tightness_round", |b| {
+        b.iter(|| {
+            let obs = simulate_network(
+                black_box(&sim_net),
+                &NetworkSimConfig {
+                    horizon: Time::new(1_000_000),
+                    ..Default::default()
+                },
+            );
+            let mut worst = 0.0f64;
+            for (k, rows) in bounds.masters.iter().enumerate() {
+                for (i, row) in rows.iter().enumerate() {
+                    let o = obs.streams[k][i].max_response;
+                    if row.schedulable && o.is_positive() {
+                        worst = worst.max(
+                            row.response_time.ticks() as f64 / o.ticks() as f64,
+                        );
+                    }
+                }
+            }
+            worst
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! F4 bench: the eq. (15) feasibility-region probe (max TTR per network).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use profirt_bench::network;
+use profirt_core::{max_feasible_ttr, TcycleModel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_ttr_region");
+    group.sample_size(60);
+    for tightness in [0.9f64, 0.5, 0.2] {
+        let net = network(3, 4, tightness);
+        group.bench_with_input(
+            BenchmarkId::new("max_ttr", format!("{tightness:.1}")),
+            &tightness,
+            |b, _| b.iter(|| max_feasible_ttr(black_box(&net), TcycleModel::Paper)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

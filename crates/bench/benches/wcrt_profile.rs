@@ -1,0 +1,27 @@
+//! F2 bench: the representative-master WCRT profile computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use profirt_core::{compare_policies, DmAnalysis, EdfAnalysis};
+use profirt_experiments::exps::f2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_wcrt_profile");
+    group.sample_size(30);
+    let net = f2::representative();
+    group.bench_function("profile_all_policies", |b| {
+        b.iter(|| {
+            compare_policies(
+                black_box(&net),
+                &DmAnalysis::conservative(),
+                &EdfAnalysis::paper(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! # profirt-bench — benchmark fixtures
+//!
+//! Shared inputs for the Criterion benchmarks in `benches/` (one benchmark
+//! per reproduced table/figure, plus the ablations of DESIGN.md §3). The
+//! fixtures pin seeds so timing comparisons across commits measure code,
+//! not workload drift.
+
+#![forbid(unsafe_code)]
+
+use profirt_base::{Prng, TaskSet, Time};
+use profirt_core::NetworkConfig;
+use profirt_profibus::BusParams;
+use profirt_workload::{
+    generate_network, generate_task_set, DeadlinePolicy, NetGenParams, PeriodRange,
+    StreamGenParams, TaskGenParams,
+};
+
+/// A pinned-seed task set with `n` tasks at utilisation `u`.
+pub fn task_set(n: usize, u: f64) -> TaskSet {
+    let mut rng = Prng::seed_from_u64(0xBE4C_0000 + n as u64);
+    generate_task_set(
+        &mut rng,
+        &TaskGenParams {
+            n,
+            total_utilization: u,
+            periods: PeriodRange::new(Time::new(100), Time::new(5_000), Time::new(10)),
+            deadline: DeadlinePolicy::Implicit,
+        },
+    )
+    .expect("task generation")
+}
+
+/// A pinned-seed constrained-deadline task set.
+pub fn constrained_task_set(n: usize, u: f64) -> TaskSet {
+    let mut rng = Prng::seed_from_u64(0xBE4C_1000 + n as u64);
+    generate_task_set(
+        &mut rng,
+        &TaskGenParams {
+            n,
+            total_utilization: u,
+            periods: PeriodRange::new(Time::new(100), Time::new(5_000), Time::new(10)),
+            deadline: DeadlinePolicy::ConstrainedFraction {
+                min_frac: 0.5,
+                max_frac: 1.0,
+            },
+        },
+    )
+    .expect("task generation")
+}
+
+/// A pinned-seed network with `n_masters` masters × `nh` streams.
+pub fn network(n_masters: usize, nh: usize, tightness: f64) -> NetworkConfig {
+    let mut rng = Prng::seed_from_u64(0xBE4C_2000 + (n_masters * 37 + nh) as u64);
+    generate_network(
+        &mut rng,
+        &BusParams::profile_500k(),
+        &NetGenParams {
+            n_masters,
+            streams: StreamGenParams {
+                nh,
+                req_payload: (2, 16),
+                resp_payload: (2, 32),
+                periods: PeriodRange::new(
+                    Time::new(80_000),
+                    Time::new(800_000),
+                    Time::new(100),
+                ),
+                deadline_frac: (tightness, tightness),
+            },
+            low_priority_prob: 0.4,
+            low_payload: (8, 32),
+            low_period: Time::new(500_000),
+            ttr: Time::new(4_000),
+        },
+    )
+    .expect("network generation")
+    .config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(task_set(6, 0.7), task_set(6, 0.7));
+        assert_eq!(network(3, 4, 0.8), network(3, 4, 0.8));
+        assert_eq!(constrained_task_set(5, 0.8), constrained_task_set(5, 0.8));
+    }
+
+    #[test]
+    fn fixture_shapes() {
+        assert_eq!(task_set(6, 0.7).len(), 6);
+        let net = network(3, 4, 0.8);
+        assert_eq!(net.n_masters(), 3);
+        assert_eq!(net.total_streams(), 12);
+    }
+}

@@ -1,0 +1,202 @@
+//! The analysed network configuration.
+//!
+//! A [`NetworkConfig`] is the exact input of the paper's analysis: for each
+//! master `k` in the logical ring, its high-priority message streams
+//! `Shi^k` and its longest low-priority message cycle `Cl^k`; plus the
+//! ring-wide target token rotation time `TTR`. All times in ticks (bit
+//! times when derived from [`profirt_profibus::BusParams`]).
+
+use profirt_base::{AnalysisError, AnalysisResult, StreamSet, Time};
+use profirt_profibus::{BusParams, MasterStation};
+use serde::{Deserialize, Serialize};
+
+/// Analysis-relevant view of one master.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MasterConfig {
+    /// High-priority streams of this master.
+    pub streams: StreamSet,
+    /// Longest low-priority message cycle `Cl^k` (zero if the master sends
+    /// no low-priority traffic).
+    pub cl: Time,
+}
+
+impl MasterConfig {
+    /// Creates a master configuration.
+    pub fn new(streams: StreamSet, cl: Time) -> MasterConfig {
+        MasterConfig { streams, cl }
+    }
+
+    /// Derives the configuration from a full station model.
+    pub fn from_station(station: &MasterStation) -> MasterConfig {
+        MasterConfig {
+            streams: station.streams.clone(),
+            cl: station.max_low_cycle().unwrap_or(Time::ZERO),
+        }
+    }
+
+    /// Number of high-priority streams, the paper's `nh^k`.
+    pub fn nh(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The longest high-priority cycle `max_i Chi^k` (zero if none).
+    pub fn max_high_cycle(&self) -> Time {
+        self.streams.max_cycle_time().unwrap_or(Time::ZERO)
+    }
+
+    /// The paper's `CM^k = max{max_i Chi^k, Cl^k}` (eq. (13) term).
+    pub fn longest_cycle(&self) -> Time {
+        self.max_high_cycle().max(self.cl)
+    }
+}
+
+/// The whole-network analysis input.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Masters in logical-ring order.
+    pub masters: Vec<MasterConfig>,
+    /// Target token rotation time `TTR`.
+    pub ttr: Time,
+    /// Per-hop token-pass overhead added to the `Tcycle` bound as
+    /// `n_masters · token_pass`.
+    ///
+    /// **Fidelity note.** The paper's eq. (14) (`Tcycle = TTR + Tdel`)
+    /// carries no explicit overhead term (its footnote 7 folds "ring
+    /// latency and other protocol overheads" into the illustration only).
+    /// Simulation shows the literal bound can be exceeded by up to one
+    /// token pass per master in a worst-case rotation (see EXPERIMENTS.md,
+    /// T5), so validation experiments set this to the real SD4+TID2 pass
+    /// time. The default `0` reproduces the paper verbatim.
+    #[serde(default)]
+    pub token_pass: Time,
+}
+
+impl NetworkConfig {
+    /// Creates and validates a network configuration: at least one master,
+    /// positive `TTR`, and non-negative `Cl` everywhere. The token-pass
+    /// overhead defaults to zero (paper-literal bound).
+    pub fn new(masters: Vec<MasterConfig>, ttr: Time) -> AnalysisResult<NetworkConfig> {
+        if masters.is_empty() {
+            return Err(AnalysisError::EmptySet);
+        }
+        if !ttr.is_positive() {
+            return Err(AnalysisError::Model(
+                profirt_base::ModelError::NonPositivePeriod { value: ttr.ticks() },
+            ));
+        }
+        for m in &masters {
+            if m.cl.is_negative() {
+                return Err(AnalysisError::Model(
+                    profirt_base::ModelError::NonPositiveCost {
+                        value: m.cl.ticks(),
+                    },
+                ));
+            }
+        }
+        Ok(NetworkConfig {
+            masters,
+            ttr,
+            token_pass: Time::ZERO,
+        })
+    }
+
+    /// Returns a copy carrying a per-hop token-pass overhead (included in
+    /// every `Tcycle`-derived bound).
+    pub fn with_token_pass(mut self, token_pass: Time) -> NetworkConfig {
+        self.token_pass = token_pass;
+        self
+    }
+
+    /// The whole-ring overhead `n_masters · token_pass`.
+    pub fn ring_overhead(&self) -> Time {
+        self.token_pass * self.masters.len() as i64
+    }
+
+    /// Builds the configuration from full station models and bus
+    /// parameters (taking `TTR` from the bus profile).
+    pub fn from_stations(
+        params: &BusParams,
+        stations: &[MasterStation],
+    ) -> AnalysisResult<NetworkConfig> {
+        NetworkConfig::new(
+            stations.iter().map(MasterConfig::from_station).collect(),
+            params.ttr,
+        )
+    }
+
+    /// Returns a copy with a different `TTR` (used by the eq. (15) sweep);
+    /// the token-pass overhead is preserved.
+    pub fn with_ttr(&self, ttr: Time) -> AnalysisResult<NetworkConfig> {
+        Ok(NetworkConfig::new(self.masters.clone(), ttr)?
+            .with_token_pass(self.token_pass))
+    }
+
+    /// Number of masters `n`.
+    pub fn n_masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Total number of high-priority streams across all masters.
+    pub fn total_streams(&self) -> usize {
+        self.masters.iter().map(MasterConfig::nh).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+    use profirt_base::StreamSet;
+    use profirt_profibus::QueuePolicy;
+
+    fn streams() -> StreamSet {
+        StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 60_000, 60_000)]).unwrap()
+    }
+
+    #[test]
+    fn master_config_statistics() {
+        let m = MasterConfig::new(streams(), t(360));
+        assert_eq!(m.nh(), 2);
+        assert_eq!(m.max_high_cycle(), t(300));
+        assert_eq!(m.longest_cycle(), t(360)); // Cl dominates
+        let m2 = MasterConfig::new(streams(), t(0));
+        assert_eq!(m2.longest_cycle(), t(300));
+    }
+
+    #[test]
+    fn network_validation() {
+        assert!(matches!(
+            NetworkConfig::new(vec![], t(1000)),
+            Err(AnalysisError::EmptySet)
+        ));
+        assert!(NetworkConfig::new(vec![MasterConfig::new(streams(), t(0))], t(0))
+            .is_err());
+        let net =
+            NetworkConfig::new(vec![MasterConfig::new(streams(), t(10))], t(1000))
+                .unwrap();
+        assert_eq!(net.n_masters(), 1);
+        assert_eq!(net.total_streams(), 2);
+    }
+
+    #[test]
+    fn from_stations_uses_bus_ttr() {
+        let params = BusParams::profile_500k();
+        let st = MasterStation::priority_queued(
+            profirt_base::MasterAddr(3),
+            streams(),
+            QueuePolicy::DeadlineMonotonic,
+        );
+        let net = NetworkConfig::from_stations(&params, &[st]).unwrap();
+        assert_eq!(net.ttr, params.ttr);
+        assert_eq!(net.masters[0].cl, t(0));
+    }
+
+    #[test]
+    fn with_ttr_replaces() {
+        let net = NetworkConfig::new(vec![MasterConfig::new(streams(), t(5))], t(100))
+            .unwrap();
+        let net2 = net.with_ttr(t(999)).unwrap();
+        assert_eq!(net2.ttr, t(999));
+        assert_eq!(net2.masters, net.masters);
+    }
+}

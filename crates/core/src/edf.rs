@@ -1,0 +1,388 @@
+//! EDF message response times — the paper's §4.3, eqs. (17)–(18).
+//!
+//! With the AP queue ordered by absolute deadline, message scheduling is
+//! non-preemptive EDF with every service slot costing one token cycle. The
+//! paper transposes the George et al. analysis (eqs. (9)–(10)) with
+//! `C → Tcycle` and the §4.1 release jitter:
+//!
+//! `Ri^k(a) = max{Tcycle, Li(a) + Tcycle − a}`                  (eq. (17))
+//!
+//! `Li^{m+1}(a) = T*cycle·[∃j: Dj > a+Di] + Wi(a, Li^m(a)) + ⌊a/Ti⌋·Tcycle`
+//!
+//! `Wi(a, t) = Σ_{j≠i, Dj ≤ a+Di}
+//!     min{1 + ⌊(t+Jj)/Tj⌋, 1 + ⌊(a+Di−Dj+Jj)/Tj⌋} · Tcycle`   (eq. (18))
+//!
+//! Arrival candidates follow eq. (10)'s pattern; because jitter advances
+//! releases, we enumerate both the plain offsets `k·Tj + Dj − Di` and the
+//! jitter-shifted `k·Tj + Dj − Jj − Di` (a sound superset of the paper's
+//! set), bounded by the blocking-extended message busy period.
+//!
+//! The analysis requires `Σ_j Tcycle/Tj < 1` per master (each pending
+//! message consumes a full token cycle of service capacity); violations are
+//! reported as [`profirt_base::AnalysisError::UtilizationAtLeastOne`].
+
+use profirt_base::{AnalysisError, AnalysisResult, Frac, Time};
+use profirt_sched::{fixpoint, CheckpointIter, FixOutcome, FixpointConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MasterConfig, NetworkConfig};
+use crate::tcycle::{tcycle, TcycleModel};
+use crate::{NetworkAnalysis, StreamResponse};
+
+/// The EDF message analysis of eqs. (17)–(18).
+#[derive(Clone, Copy, Debug)]
+pub struct EdfAnalysis {
+    /// Token-cycle model.
+    pub model: TcycleModel,
+    /// Fixpoint iteration limits.
+    pub fixpoint: FixpointConfig,
+    /// Hard cap on arrival candidates per stream.
+    pub max_candidates: u64,
+}
+
+impl Default for EdfAnalysis {
+    fn default() -> Self {
+        EdfAnalysis {
+            model: TcycleModel::Paper,
+            fixpoint: FixpointConfig::default(),
+            max_candidates: 2_000_000,
+        }
+    }
+}
+
+/// Detailed per-stream outcome (the critical arrival offset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EdfStreamDetail {
+    /// The arrival offset at which the worst case is attained.
+    pub critical_a: Time,
+    /// Number of candidates examined.
+    pub candidates: usize,
+}
+
+impl EdfAnalysis {
+    /// The paper-literal configuration.
+    pub fn paper() -> EdfAnalysis {
+        EdfAnalysis::default()
+    }
+
+    /// Runs the analysis for every master and stream.
+    pub fn analyze(&self, net: &NetworkConfig) -> AnalysisResult<NetworkAnalysis> {
+        Ok(self.analyze_detailed(net)?.0)
+    }
+
+    /// Runs the analysis, also returning per-stream critical offsets.
+    pub fn analyze_detailed(
+        &self,
+        net: &NetworkConfig,
+    ) -> AnalysisResult<(NetworkAnalysis, Vec<Vec<EdfStreamDetail>>)> {
+        let bound = tcycle(net, self.model);
+        let tc = bound.tcycle;
+        let mut masters = Vec::with_capacity(net.n_masters());
+        let mut details = Vec::with_capacity(net.n_masters());
+        for (k, master) in net.masters.iter().enumerate() {
+            let (rows, det) = self.analyze_master(k, master, tc)?;
+            masters.push(rows);
+            details.push(det);
+        }
+        Ok((
+            NetworkAnalysis {
+                tcycle: bound.tcycle,
+                tdel: bound.tdel,
+                masters,
+            },
+            details,
+        ))
+    }
+
+    fn analyze_master(
+        &self,
+        k: usize,
+        master: &MasterConfig,
+        tc: Time,
+    ) -> AnalysisResult<(Vec<StreamResponse>, Vec<EdfStreamDetail>)> {
+        let streams = master.streams.streams();
+        if streams.is_empty() {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        // Service-capacity check: Σ Tcycle/Tj < 1 (exact).
+        let u: Frac = streams
+            .iter()
+            .map(|s| Frac::new(tc.ticks() as i128, s.t.ticks() as i128))
+            .sum();
+        if !u.lt_one() {
+            return Err(AnalysisError::UtilizationAtLeastOne);
+        }
+        // Blocking-extended message busy period: fixpoint of
+        // Tcycle + Σ ⌈(t+Jj)/Tj⌉·Tcycle.
+        let seed: Time = tc.try_mul(streams.len() as i64 + 1)?;
+        let l_outcome = fixpoint(
+            "edf-message busy period",
+            seed,
+            Time::MAX,
+            self.fixpoint,
+            |t| {
+                let mut next = tc;
+                for s in streams {
+                    let n = (t + s.j).ceil_div(s.t).max(1);
+                    next = next.try_add(tc.try_mul(n)?)?;
+                }
+                Ok(next)
+            },
+        )?;
+        let l = match l_outcome {
+            FixOutcome::Converged(v) => v,
+            FixOutcome::ExceededBound(_) => {
+                return Err(AnalysisError::Overflow {
+                    context: "edf message busy period",
+                })
+            }
+        };
+
+        let mut rows = Vec::with_capacity(streams.len());
+        let mut details = Vec::with_capacity(streams.len());
+        for (i, s) in master.streams.iter() {
+            // Candidate arrivals: plain and jitter-shifted progressions.
+            let mut progs: Vec<(Time, Time)> = Vec::with_capacity(2 * streams.len());
+            for sj in streams {
+                progs.push((sj.d - s.d, sj.t));
+                if sj.j.is_positive() {
+                    progs.push((sj.d - sj.j - s.d, sj.t));
+                }
+            }
+            let mut best_r = tc;
+            let mut best_a = Time::ZERO;
+            let mut examined: u64 = 0;
+            for a in CheckpointIter::new(&progs, l) {
+                examined += 1;
+                if examined > self.max_candidates {
+                    return Err(AnalysisError::IterationLimit {
+                        what: "edf-message candidates",
+                        limit: self.max_candidates,
+                    });
+                }
+                let li = self.start_busy_period(master, i, a, tc, l)?;
+                let r = tc.max(li + tc - a);
+                if r > best_r {
+                    best_r = r;
+                    best_a = a;
+                }
+            }
+            rows.push(StreamResponse {
+                master: k,
+                stream: i,
+                response_time: best_r,
+                deadline: s.d,
+                schedulable: best_r <= s.d,
+                queuing_delay: (best_r - s.ch).max_zero(),
+            });
+            details.push(EdfStreamDetail {
+                critical_a: best_a,
+                candidates: examined as usize,
+            });
+        }
+        Ok((rows, details))
+    }
+
+    /// Solves eq. (18) for one arrival offset.
+    fn start_busy_period(
+        &self,
+        master: &MasterConfig,
+        i: usize,
+        a: Time,
+        tc: Time,
+        bound: Time,
+    ) -> AnalysisResult<Time> {
+        let streams = master.streams.streams();
+        let s_i = streams[i];
+        let deadline_i = a + s_i.d;
+        // Blocking: one token cycle if any stream's relative deadline
+        // exceeds a + Di (a later-deadline request may hold the stack slot).
+        let blocked = streams
+            .iter()
+            .enumerate()
+            .any(|(j, sj)| j != i && sj.d > deadline_i);
+        let blocking = if blocked { tc } else { Time::ZERO };
+        let own_prior = tc.try_mul(a.floor_div(s_i.t))?;
+
+        let outcome = fixpoint(
+            "edf-message start busy period",
+            Time::ZERO,
+            bound,
+            self.fixpoint,
+            |t| {
+                let mut next = blocking.try_add(own_prior)?;
+                for (j, sj) in streams.iter().enumerate() {
+                    if j == i || sj.d > deadline_i {
+                        continue;
+                    }
+                    let by_time = 1 + (t + sj.j).floor_div(sj.t);
+                    let by_deadline = 1 + (deadline_i - sj.d + sj.j).floor_div(sj.t);
+                    next = next.try_add(tc.try_mul(by_time.min(by_deadline).max(0))?)?;
+                }
+                Ok(next)
+            },
+        )?;
+        match outcome {
+            FixOutcome::Converged(v) => Ok(v),
+            FixOutcome::ExceededBound(v) => Err(AnalysisError::DivergentIteration {
+                what: "edf-message start busy period",
+                bound: v.ticks(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MasterConfig;
+    use crate::fcfs::FcfsAnalysis;
+    use profirt_base::time::t;
+    use profirt_base::StreamSet;
+
+    /// Tcycle = 1000 (TTR = 900, Tdel = 100 via Cl).
+    fn net(streams: &[(i64, i64, i64)]) -> NetworkConfig {
+        NetworkConfig::new(
+            vec![MasterConfig::new(
+                StreamSet::from_cdt(streams).unwrap(),
+                t(100),
+            )],
+            t(900),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_stream_r_is_tcycle() {
+        let an = EdfAnalysis::paper()
+            .analyze(&net(&[(100, 5_000, 10_000)]))
+            .unwrap();
+        assert_eq!(an.masters[0][0].response_time, t(1_000));
+        assert!(an.masters[0][0].schedulable);
+    }
+
+    #[test]
+    fn two_streams_tight_one_blocked_once() {
+        // Streams: tight D=3000, lax D=40000, both T=10000.
+        let an = EdfAnalysis::paper()
+            .analyze(&net(&[(100, 3_000, 10_000), (100, 40_000, 10_000)]))
+            .unwrap();
+        // Tight stream at a=0: later-deadline stream can block (Tcycle),
+        // no same-or-earlier-deadline interference: L = 1000,
+        // R = max(1000, 1000+1000-0) = 2000.
+        assert_eq!(an.masters[0][0].response_time, t(2_000));
+        assert!(an.masters[0][0].schedulable);
+        // Lax stream: interference from tight one bounded by its deadline
+        // window; R stays within D.
+        assert!(an.masters[0][1].schedulable);
+    }
+
+    #[test]
+    fn edf_beats_fcfs_for_tight_deadlines() {
+        let cfg = net(&[
+            (100, 3_000, 10_000),
+            (100, 6_000, 10_000),
+            (100, 40_000, 10_000),
+        ]);
+        let edf = EdfAnalysis::paper().analyze(&cfg).unwrap();
+        let fcfs = FcfsAnalysis::paper().run(&cfg).unwrap();
+        // FCFS: flat 3 * 1000 = 3000 — the tight stream is at its deadline.
+        assert_eq!(fcfs.masters[0][0].response_time, t(3_000));
+        // EDF: the tight stream sees one blocking + bounded interference.
+        assert!(edf.masters[0][0].response_time < t(3_000));
+    }
+
+    #[test]
+    fn utilization_guard() {
+        // Tcycle = 1000 but periods of 1500 each: 2 * 1000/1500 > 1.
+        let cfg = net(&[(100, 1_500, 1_500), (100, 1_500, 1_500)]);
+        assert!(matches!(
+            EdfAnalysis::paper().analyze(&cfg),
+            Err(AnalysisError::UtilizationAtLeastOne)
+        ));
+    }
+
+    #[test]
+    fn jitter_increases_response() {
+        let plain = NetworkConfig::new(
+            vec![MasterConfig::new(
+                StreamSet::from_cdtj(&[
+                    (100, 9_000, 10_000, 0),
+                    (100, 9_500, 10_000, 0),
+                ])
+                .unwrap(),
+                t(100),
+            )],
+            t(900),
+        )
+        .unwrap();
+        let jittered = NetworkConfig::new(
+            vec![MasterConfig::new(
+                StreamSet::from_cdtj(&[
+                    (100, 9_000, 10_000, 0),
+                    (100, 9_500, 10_000, 4_000),
+                ])
+                .unwrap(),
+                t(100),
+            )],
+            t(900),
+        )
+        .unwrap();
+        let r0 = EdfAnalysis::paper().analyze(&plain).unwrap();
+        let r1 = EdfAnalysis::paper().analyze(&jittered).unwrap();
+        assert!(
+            r1.masters[0][0].response_time >= r0.masters[0][0].response_time,
+            "jitter on a peer must not reduce the bound"
+        );
+    }
+
+    #[test]
+    fn detailed_reports_candidates() {
+        let cfg = net(&[(100, 3_000, 10_000), (100, 40_000, 10_000)]);
+        let (_, det) = EdfAnalysis::paper().analyze_detailed(&cfg).unwrap();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].len(), 2);
+        assert!(det[0][0].candidates > 0);
+    }
+
+    #[test]
+    fn candidate_cap_enforced() {
+        let cfg = net(&[(100, 3_000, 10_000), (100, 40_000, 10_000)]);
+        let an = EdfAnalysis {
+            max_candidates: 1,
+            ..EdfAnalysis::paper()
+        };
+        assert!(matches!(
+            an.analyze(&cfg),
+            Err(AnalysisError::IterationLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_miss_detected() {
+        // Deadline below Tcycle can never be met (R >= Tcycle).
+        let an = EdfAnalysis::paper()
+            .analyze(&net(&[(100, 800, 10_000)]))
+            .unwrap();
+        assert!(!an.masters[0][0].schedulable);
+        assert_eq!(an.masters[0][0].response_time, t(1_000));
+    }
+
+    #[test]
+    fn empty_master_allowed() {
+        let cfg = NetworkConfig::new(
+            vec![
+                MasterConfig::new(StreamSet::new(vec![]).unwrap(), t(100)),
+                MasterConfig::new(
+                    StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap(),
+                    t(0),
+                ),
+            ],
+            t(900),
+        )
+        .unwrap();
+        let an = EdfAnalysis::paper().analyze(&cfg).unwrap();
+        assert!(an.masters[0].is_empty());
+        assert_eq!(an.masters[1].len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Low-priority traffic outlook — an extension beyond the paper.
+//!
+//! The paper analyses only high-priority streams; low-priority traffic
+//! (parameterisation data, file transfers, GAP maintenance) runs on
+//! *residual* token-holding time and is starved whenever the token arrives
+//! late (§3.1: low-priority cycles require `TTH > 0` and an empty
+//! high-priority queue). This module answers the operational questions the
+//! paper leaves open:
+//!
+//! * **Guaranteed residual budget.** Over any window of `n_rot` rotations,
+//!   high-priority traffic and token passes consume at most
+//!   `demand = Σ_streams ⌈window/T⌉·Ch + n_rot · ring_overhead`; the
+//!   *target* gives the budget `n_rot · TTR`. If `budget > demand` the
+//!   surplus is available to low-priority cycles in the long run.
+//! * **Starvation risk.** If a single synchronous batch of high-priority
+//!   requests plus overheads already exceeds `TTR`, every subsequent token
+//!   arrival can be late and low-priority traffic may starve indefinitely
+//!   (the `low_priority_starved_on_late_token` behaviour demonstrated by
+//!   the simulator).
+//!
+//! These are *throughput* statements, not per-message response-time
+//! bounds: a low-priority message has no worst-case latency guarantee
+//! under PROFIBUS, which is exactly why the paper routes deadline traffic
+//! through the high-priority queue.
+
+use profirt_base::{Frac, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::config::NetworkConfig;
+
+/// Long-run outlook for low-priority traffic on one network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LowPriorityOutlook {
+    /// Long-run fraction of bus time consumed by high-priority streams
+    /// (exact rational).
+    pub high_utilization: Frac,
+    /// Worst-case duration of one synchronous high-priority batch across
+    /// the whole ring (every stream fires once) plus one round of token
+    /// passes.
+    pub burst: Time,
+    /// `true` if such a batch exceeds `TTR`: rotations can then stay late
+    /// back-to-back and low-priority traffic has no guaranteed service.
+    pub starvation_risk: bool,
+    /// Mean residual bus time per target rotation available to
+    /// low-priority traffic in the long run (zero when saturated),
+    /// in ticks, rounded down.
+    pub residual_per_rotation: Time,
+}
+
+/// Computes the low-priority outlook.
+pub fn low_priority_outlook(net: &NetworkConfig) -> LowPriorityOutlook {
+    // Long-run high-priority utilisation Σ Ch/T (exact).
+    let high_utilization: Frac = net
+        .masters
+        .iter()
+        .flat_map(|m| m.streams.streams())
+        .map(|s| Frac::new(s.ch.ticks() as i128, s.t.ticks() as i128))
+        .sum();
+    // One synchronous batch: every stream's cycle once + one full round of
+    // token passes.
+    let burst: Time = net
+        .masters
+        .iter()
+        .flat_map(|m| m.streams.streams())
+        .map(|s| s.ch)
+        .sum::<Time>()
+        + net.ring_overhead();
+    let starvation_risk = burst >= net.ttr;
+    // Mean residual per target rotation: TTR·(1 − U_high) − overhead,
+    // computed exactly then floored; clamped at zero.
+    let ttr = net.ttr.ticks() as i128;
+    let used = Frac::new(ttr, 1) * high_utilization;
+    let residual_num = ttr * used.den() - used.num() * 1
+        - (net.ring_overhead().ticks() as i128) * used.den();
+    let residual = if residual_num <= 0 {
+        Time::ZERO
+    } else {
+        Time::new((residual_num / used.den()) as i64)
+    };
+    LowPriorityOutlook {
+        high_utilization,
+        burst,
+        starvation_risk,
+        residual_per_rotation: residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MasterConfig;
+    use profirt_base::time::t;
+    use profirt_base::StreamSet;
+
+    fn net(streams: &[(i64, i64, i64)], ttr: i64) -> NetworkConfig {
+        NetworkConfig::new(
+            vec![MasterConfig::new(
+                StreamSet::from_cdt(streams).unwrap(),
+                t(0),
+            )],
+            t(ttr),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn light_load_leaves_residual() {
+        let n = net(&[(100, 10_000, 10_000)], 2_000);
+        let o = low_priority_outlook(&n);
+        assert_eq!(o.high_utilization, Frac::new(1, 100));
+        assert_eq!(o.burst, t(100));
+        assert!(!o.starvation_risk);
+        // TTR·(1−0.01) = 1980.
+        assert_eq!(o.residual_per_rotation, t(1_980));
+    }
+
+    #[test]
+    fn heavy_burst_flags_starvation() {
+        // One synchronous batch (900+900=1800) >= TTR (1500).
+        let n = net(&[(900, 50_000, 5_000), (900, 50_000, 5_000)], 1_500);
+        let o = low_priority_outlook(&n);
+        assert!(o.starvation_risk);
+        assert_eq!(o.burst, t(1_800));
+    }
+
+    #[test]
+    fn saturation_zeroes_residual() {
+        // U_high = 0.9, TTR = 1000, residual = 1000*0.1 = 100; with
+        // overhead pushing past it, clamps to zero.
+        let n = net(&[(900, 10_000, 1_000)], 1_000);
+        let o = low_priority_outlook(&n);
+        assert_eq!(o.high_utilization, Frac::new(9, 10));
+        assert_eq!(o.residual_per_rotation, t(100));
+        let with_ovh = n.with_token_pass(t(150));
+        let o2 = low_priority_outlook(&with_ovh);
+        assert_eq!(o2.residual_per_rotation, Time::ZERO);
+    }
+
+    #[test]
+    fn outlook_matches_simulator_behaviour() {
+        // The starvation example from the simulator tests: heavy high
+        // stream with TTR = 500 -> risk; generous TTR -> no risk.
+        let starved = net(&[(900, 50_000, 1_000)], 500);
+        assert!(low_priority_outlook(&starved).starvation_risk);
+        let healthy = net(&[(200, 8_000, 10_000)], 2_000);
+        assert!(!low_priority_outlook(&healthy).starvation_risk);
+    }
+
+    #[test]
+    fn multi_master_burst_sums_all_streams() {
+        let n = NetworkConfig::new(
+            vec![
+                MasterConfig::new(
+                    StreamSet::from_cdt(&[(300, 50_000, 50_000)]).unwrap(),
+                    t(0),
+                ),
+                MasterConfig::new(
+                    StreamSet::from_cdt(&[(400, 50_000, 50_000)]).unwrap(),
+                    t(0),
+                ),
+            ],
+            t(5_000),
+        )
+        .unwrap()
+        .with_token_pass(t(100));
+        let o = low_priority_outlook(&n);
+        assert_eq!(o.burst, t(300 + 400 + 200));
+    }
+}

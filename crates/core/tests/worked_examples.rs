@@ -1,0 +1,156 @@
+//! Worked numerical examples of the paper's equations, with every value
+//! hand-computed in the comments — the executable version of a referee's
+//! margin calculations.
+
+use profirt_base::{StreamSet, Time};
+use profirt_core::tcycle::{tcycle, token_lateness, TcycleModel};
+use profirt_core::{
+    max_feasible_ttr, DmAnalysis, EdfAnalysis, FcfsAnalysis, MasterConfig,
+    NetworkConfig,
+};
+
+fn t(v: i64) -> Time {
+    Time::new(v)
+}
+
+/// The running network of this file, all numbers chosen for mental
+/// arithmetic. Three masters at TTR = 5000:
+///   M0: Sh = {(400, 9000, 20000), (600, 24000, 30000)}, Cl = 700
+///   M1: Sh = {(500, 30000, 40000)},                     Cl = 0
+///   M2: Sh = {(300, 50000, 60000)},                     Cl = 900
+fn example() -> NetworkConfig {
+    NetworkConfig::new(
+        vec![
+            MasterConfig::new(
+                StreamSet::from_cdt(&[(400, 9_000, 20_000), (600, 24_000, 30_000)])
+                    .unwrap(),
+                t(700),
+            ),
+            MasterConfig::new(
+                StreamSet::from_cdt(&[(500, 30_000, 40_000)]).unwrap(),
+                t(0),
+            ),
+            MasterConfig::new(
+                StreamSet::from_cdt(&[(300, 50_000, 60_000)]).unwrap(),
+                t(900),
+            ),
+        ],
+        t(5_000),
+    )
+    .unwrap()
+}
+
+/// Eq. (13): Tdel = Σ CM^k.
+///   CM^0 = max{max(400,600), 700} = 700
+///   CM^1 = max{500, 0}           = 500
+///   CM^2 = max{300, 900}         = 900
+///   Tdel = 700 + 500 + 900       = 2100
+/// Eq. (14): Tcycle = TTR + Tdel = 5000 + 2100 = 7100.
+#[test]
+fn eq13_eq14_token_cycle() {
+    let net = example();
+    assert_eq!(token_lateness(&net, TcycleModel::Paper), t(2_100));
+    let b = tcycle(&net, TcycleModel::Paper);
+    assert_eq!(b.tcycle, t(7_100));
+
+    // Refined: overrunner charged CM, others only their longest high cycle.
+    //   maxHigh = (600, 500, 300), Σ = 1400
+    //   j=0: 700 + (1400-600) = 1500
+    //   j=1: 500 + (1400-500) = 1400
+    //   j=2: 900 + (1400-300) = 2000  <- max
+    assert_eq!(token_lateness(&net, TcycleModel::Refined), t(2_000));
+}
+
+/// Eq. (11): Ri^k = nh^k · Tcycle.
+///   M0 (nh=2): R = 2·7100 = 14200; M1, M2 (nh=1): R = 7100.
+/// Eq. (12): schedulable iff Dh >= R.
+///   M0/S0: D =  9000 < 14200  -> MISS
+///   M0/S1: D = 24000 >= 14200 -> ok
+///   M1/S0: D = 30000 >= 7100  -> ok
+///   M2/S0: D = 50000 >= 7100  -> ok
+#[test]
+fn eq11_eq12_fcfs() {
+    let an = FcfsAnalysis::paper().run(&example()).unwrap();
+    assert_eq!(an.masters[0][0].response_time, t(14_200));
+    assert_eq!(an.masters[0][1].response_time, t(14_200));
+    assert_eq!(an.masters[1][0].response_time, t(7_100));
+    assert_eq!(an.masters[2][0].response_time, t(7_100));
+    assert!(!an.masters[0][0].schedulable);
+    assert!(an.masters[0][1].schedulable);
+    assert_eq!(an.schedulable_count(), 3);
+    // Q = R - Ch decomposition (eq. 11): Q(M0/S0) = 14200 - 400.
+    assert_eq!(an.masters[0][0].queuing_delay, t(13_800));
+}
+
+/// Eq. (15): TTR <= min over streams { Dh/nh - Tdel }.
+///   M0/S0:  9000/2 - 2100 = 2400   <- binding
+///   M0/S1: 24000/2 - 2100 = 9900
+///   M1/S0: 30000/1 - 2100 = 27900
+///   M2/S0: 50000/1 - 2100 = 47900
+#[test]
+fn eq15_ttr_setting() {
+    let setting = max_feasible_ttr(&example(), TcycleModel::Paper);
+    assert_eq!(setting.max_ttr, Some(t(2_400)));
+    assert_eq!(setting.binding, (0, 0));
+    // Verification loop: schedulable at 2400, not at 2401.
+    let at = example().with_ttr(t(2_400)).unwrap();
+    assert!(FcfsAnalysis::paper().run(&at).unwrap().all_schedulable());
+    let over = example().with_ttr(t(2_401)).unwrap();
+    assert!(!FcfsAnalysis::paper().run(&over).unwrap().all_schedulable());
+}
+
+/// Eq. (16) on master 0 under the paper-literal variant (Tcycle = 7100):
+/// DM order: S0 (D=9000) above S1 (D=24000).
+///   S0 (has lower-priority S1): R = T* = 7100          (no hp)
+///   S1 (lowest, T* = 0):        R = ⌈R/20000⌉·7100, seeded 7100 -> 7100
+/// Conservative variant:
+///   S0: blocking + own = 2·7100 = 14200; still <= 24000? D(S0)=9000 —
+///       14200 > 9000 -> S0 unschedulable under the conservative bound.
+///   S1: own 7100 + ⌈R/20000⌉·7100 -> seeded 14200 -> 14200 <= 24000 ok.
+#[test]
+fn eq16_dm_both_variants() {
+    let net = example();
+    let paper = DmAnalysis::paper().analyze(&net).unwrap();
+    assert_eq!(paper.masters[0][0].response_time, t(7_100));
+    assert_eq!(paper.masters[0][1].response_time, t(7_100));
+    assert!(paper.masters[0][0].schedulable); // 7100 <= 9000
+
+    let cons = DmAnalysis::conservative().analyze(&net).unwrap();
+    assert_eq!(cons.masters[0][1].response_time, t(14_200));
+    assert!(!cons.masters[0][0].schedulable, "blocking+own = 14200 > 9000");
+    // The T8 finding in miniature: the two variants disagree about S0, and
+    // simulation (EXPERIMENTS.md) shows the conservative verdict is the
+    // trustworthy one.
+}
+
+/// Eqs. (17)-(18) on master 1 (single stream): R = Tcycle exactly.
+/// On master 0: S0's bound includes one blocking cycle from the
+/// later-deadline S1 (Dj = 24000 > a + 9000 for small a):
+///   a = 0: L = T* (blocking 7100) + 0 own prior; W = 0 (S1 deadline
+///   excluded) -> L = 7100; R = max(7100, 7100 + 7100 - 0) = 14200.
+#[test]
+fn eq17_eq18_edf() {
+    let net = example();
+    let an = EdfAnalysis::paper().analyze(&net).unwrap();
+    assert_eq!(an.masters[1][0].response_time, t(7_100));
+    assert_eq!(an.masters[0][0].response_time, t(14_200));
+    // S1 (latest deadline on the master): no blocking possible, its worst
+    // case is interference from S0 within its deadline window.
+    assert!(an.masters[0][1].response_time >= t(7_100));
+    assert!(an.masters[0][1].schedulable);
+}
+
+/// §3.3 worked scenario on this network: idle rotation, then master 0
+/// overruns with CM^0 = 700; masters 1 and 2 each send one high-priority
+/// cycle on the late token. Chain = TTR + 700 + 500 + 300 = 6500 <= 7100.
+#[test]
+fn section_3_3_worked_chain() {
+    let net = example();
+    let bound = tcycle(&net, TcycleModel::Paper).tcycle;
+    let chain = net.ttr
+        + net.masters[0].longest_cycle()   // 700 (overrunner, any priority)
+        + net.masters[1].max_high_cycle()  // 500 (late token: high only)
+        + net.masters[2].max_high_cycle(); // 300
+    assert_eq!(chain, t(6_500));
+    assert!(chain <= bound);
+}

@@ -1,0 +1,36 @@
+//! Regenerates every table and figure in one run (writes `results/*.csv`).
+//! Pass `--quick` for a reduced run.
+
+use profirt_experiments::{exps, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runs: Vec<(&str, fn(&ExpConfig) -> profirt_experiments::ExpReport)> = vec![
+        ("T1", exps::t1::run),
+        ("T2", exps::t2::run),
+        ("T3", exps::t3::run),
+        ("T4", exps::t4::run),
+        ("T5", exps::t5::run),
+        ("T6", exps::t6::run),
+        ("T7", exps::t7::run),
+        ("T8", exps::t8::run),
+        ("F1", exps::f1::run),
+        ("F2", exps::f2::run),
+        ("F3", exps::f3::run),
+        ("F4", exps::f4::run),
+        ("F5", exps::f5::run),
+        ("F6", exps::f6::run),
+    ];
+    let mut failures = 0;
+    for (id, run) in runs {
+        println!("\n########## {id} ##########\n");
+        let report = run(&cfg);
+        failures += report.emit();
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} experiment(s) had failing shape checks");
+    } else {
+        println!("\nall shape checks passed");
+    }
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}

@@ -1,0 +1,10 @@
+//! Regenerates experiment F6 (see DESIGN.md §4 and EXPERIMENTS.md).
+//! Pass `--quick` for a reduced run.
+
+use profirt_experiments::{exps::f6, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let report = f6::run(&cfg);
+    std::process::exit(report.emit());
+}

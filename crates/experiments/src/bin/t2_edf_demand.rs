@@ -1,0 +1,10 @@
+//! Regenerates experiment T2 (see DESIGN.md §4 and EXPERIMENTS.md).
+//! Pass `--quick` for a reduced run.
+
+use profirt_experiments::{exps::t2, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let report = t2::run(&cfg);
+    std::process::exit(report.emit());
+}

@@ -1,0 +1,177 @@
+//! Shared scenario builders for the experiments.
+
+use profirt_base::{Prng, Time};
+use profirt_core::NetworkAnalysis;
+use profirt_profibus::{BusParams, QueuePolicy};
+use profirt_sim::{
+    simulate_network, JitterInjection, NetworkSimConfig, OffsetMode, SimMaster,
+    SimNetwork,
+};
+use profirt_workload::{
+    generate_network, GeneratedNetwork, NetGenParams, PeriodRange, StreamGenParams,
+    TaskGenParams,
+};
+
+/// The default bus profile used across experiments (500 kbit/s).
+pub fn bus() -> BusParams {
+    BusParams::profile_500k()
+}
+
+/// Standard network-generation parameters.
+///
+/// `tightness` is the deadline/period fraction (both bounds), `nh` streams
+/// per master, `n_masters` masters.
+pub fn netgen(tightness: f64, nh: usize, n_masters: usize) -> NetGenParams {
+    NetGenParams {
+        n_masters,
+        streams: StreamGenParams {
+            nh,
+            req_payload: (2, 16),
+            resp_payload: (2, 32),
+            periods: PeriodRange::new(
+                Time::new(80_000),
+                Time::new(800_000),
+                Time::new(100),
+            ),
+            deadline_frac: (tightness, tightness),
+        },
+        low_priority_prob: 0.4,
+        low_payload: (8, 32),
+        low_period: Time::new(500_000),
+        ttr: Time::new(4_000),
+    }
+}
+
+/// Standard task-generation parameters for the §2 experiments.
+pub fn taskgen(n: usize, u: f64) -> TaskGenParams {
+    TaskGenParams {
+        n,
+        total_utilization: u,
+        periods: PeriodRange::new(Time::new(100), Time::new(5_000), Time::new(10)),
+        deadline: profirt_workload::DeadlinePolicy::Implicit,
+    }
+}
+
+/// The token-pass duration used by the simulator and the overhead-aware
+/// bounds (SD4 + TSYN + TID2 at 500 kbit/s).
+pub const TOKEN_PASS: i64 = 166;
+
+/// Generates the `seed`-th network for the given parameters.
+///
+/// The analysis view carries the simulator's token-pass overhead so that
+/// every `Tcycle`-derived bound is sound against simulation (see the
+/// fidelity note on [`profirt_core::NetworkConfig::token_pass`]). The
+/// paper-literal (zero-overhead) view is `g.config.clone()` re-created via
+/// `NetworkConfig::new` or by resetting `token_pass`.
+pub fn gen_network(seed: u64, params: &NetGenParams) -> GeneratedNetwork {
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut g = generate_network(&mut rng, &bus(), params).expect("network generation");
+    g.config = g.config.with_token_pass(Time::new(TOKEN_PASS));
+    g
+}
+
+/// Assembles the simulator view of a generated network under one policy.
+pub fn to_sim(g: &GeneratedNetwork, policy: QueuePolicy) -> SimNetwork {
+    SimNetwork {
+        masters: g
+            .streams
+            .iter()
+            .zip(&g.low_priority)
+            .map(|(s, lp)| {
+                let mut m = match policy {
+                    QueuePolicy::Fcfs => SimMaster::stock(s.clone()),
+                    p => SimMaster::priority_queued(s.clone(), p),
+                };
+                m.low_priority = lp.clone();
+                m
+            })
+            .collect(),
+        ttr: g.config.ttr,
+        token_pass: Time::new(TOKEN_PASS),
+    }
+}
+
+/// Simulates and returns per-master/per-stream maximum observed responses.
+pub fn sim_max_responses(
+    g: &GeneratedNetwork,
+    policy: QueuePolicy,
+    horizon: i64,
+    seed: u64,
+) -> (Vec<Vec<Time>>, Time) {
+    let obs = simulate_network(
+        &to_sim(g, policy),
+        &NetworkSimConfig {
+            horizon: Time::new(horizon),
+            seed,
+            offsets: OffsetMode::Synchronous,
+            jitter: JitterInjection::None,
+            ..Default::default()
+        },
+    );
+    (
+        obs.streams
+            .iter()
+            .map(|m| m.iter().map(|o| o.max_response).collect())
+            .collect(),
+        obs.max_trr_overall(),
+    )
+}
+
+/// Largest observed/bound ratio over the schedulable streams of an
+/// analysis (`None` when nothing was comparable).
+pub fn worst_ratio(an: &NetworkAnalysis, observed: &[Vec<Time>]) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for (k, rows) in an.masters.iter().enumerate() {
+        for (i, row) in rows.iter().enumerate() {
+            if row.schedulable && row.response_time.is_positive() {
+                let r =
+                    observed[k][i].ticks() as f64 / row.response_time.ticks() as f64;
+                worst = Some(worst.map_or(r, |w: f64| w.max(r)));
+            }
+        }
+    }
+    worst
+}
+
+/// Mean of a non-empty f64 slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// p-th percentile (0..=100) of a slice (nearest-rank).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn network_roundtrip() {
+        let g = gen_network(1, &netgen(0.8, 2, 2));
+        assert_eq!(g.config.n_masters(), 2);
+        let (obs, trr) = sim_max_responses(&g, QueuePolicy::Fcfs, 500_000, 1);
+        assert_eq!(obs.len(), 2);
+        assert!(trr.is_positive());
+    }
+}

@@ -1,0 +1,101 @@
+//! F1 — schedulability-ratio curves: fraction of fully-schedulable networks
+//! vs deadline tightness for FCFS / DM / EDF AP queues. The reproduction's
+//! stand-in for the paper's headline "tighter deadlines become supportable"
+//! claim, as an acceptance-ratio figure.
+
+use profirt_core::{compare_policies, DmAnalysis, EdfAnalysis};
+
+use crate::exps::common::{gen_network, netgen};
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+/// The tightness sweep (deadline as a fraction of the period).
+pub const TIGHTNESS: [f64; 8] = [1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15];
+
+/// Acceptance ratios at one tightness point: `(fcfs, dm, edf)`.
+pub fn point(cfg: &ExpConfig, tightness: f64) -> (f64, f64, f64) {
+    let rows = par_map_seeds(cfg.replications, cfg.workers, |seed| {
+        let g = gen_network(
+            cfg.seed ^ (seed * 461 + (tightness * 1000.0) as u64),
+            &netgen(tightness, 4, 3),
+        );
+        let cmp = compare_policies(
+            &g.config,
+            &DmAnalysis::conservative(),
+            &EdfAnalysis::paper(),
+        )
+        .expect("analysis");
+        (
+            cmp.fcfs.all_schedulable(),
+            cmp.dm.all_schedulable(),
+            cmp.edf.map(|e| e.all_schedulable()).unwrap_or(false),
+        )
+    });
+    let total = rows.len() as f64;
+    (
+        rows.iter().filter(|r| r.0).count() as f64 / total,
+        rows.iter().filter(|r| r.1).count() as f64 / total,
+        rows.iter().filter(|r| r.2).count() as f64 / total,
+    )
+}
+
+/// Runs F1.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("F1");
+    let mut t = Table::new(
+        "acceptance ratio vs deadline tightness",
+        &["D/T", "FCFS", "DM", "EDF"],
+    );
+    let mut series = Vec::new();
+    for &tight in &TIGHTNESS {
+        let (f, d, e) = point(cfg, tight);
+        series.push((tight, f, d, e));
+        t.row(vec![
+            format!("{tight:.2}"),
+            fmt_ratio(f),
+            fmt_ratio(d),
+            fmt_ratio(e),
+        ]);
+    }
+    report.table(t);
+
+    let fcfs_dominated = series.iter().all(|&(_, f, d, e)| d >= f && e >= f);
+    let collapse = series
+        .iter()
+        .any(|&(_, f, d, _)| d - f >= 0.25);
+    let loose_all_ok = series
+        .first()
+        .map(|&(_, f, d, e)| f > 0.9 && d > 0.9 && e > 0.9)
+        .unwrap_or(false);
+    report.check(
+        "DM and EDF acceptance >= FCFS at every tightness",
+        fcfs_dominated,
+        "pointwise dominance".into(),
+    );
+    report.check(
+        "FCFS collapses markedly earlier (gap >= 0.25 somewhere)",
+        collapse,
+        "the crossover region exists".into(),
+    );
+    report.check(
+        "all policies accept nearly everything at loose deadlines",
+        loose_all_ok,
+        "D/T = 1.0 sanity".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 16,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

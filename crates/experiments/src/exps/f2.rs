@@ -1,0 +1,94 @@
+//! F2 — per-stream WCRT profile on one representative 8-stream master,
+//! streams sorted by deadline: FCFS is flat at `nh·Tcycle`, DM/EDF are
+//! graded — the priority-inversion-removal picture.
+
+use profirt_base::{StreamSet, Time};
+use profirt_core::{compare_policies, DmAnalysis, EdfAnalysis, MasterConfig, NetworkConfig};
+
+use crate::table::{fmt_opt_ticks, Table};
+use crate::{ExpConfig, ExpReport};
+
+/// Builds the representative configuration: 8 streams with geometrically
+/// spread deadlines on one master (plus a background master).
+pub fn representative() -> NetworkConfig {
+    let mut streams = Vec::new();
+    let mut d = 12_000i64;
+    for _ in 0..8 {
+        streams.push((600i64, d, 400_000i64));
+        d = (d as f64 * 1.6) as i64;
+    }
+    NetworkConfig::new(
+        vec![
+            MasterConfig::new(StreamSet::from_cdt(&streams).unwrap(), Time::new(800)),
+            MasterConfig::new(
+                StreamSet::from_cdt(&[(700, 200_000, 400_000)]).unwrap(),
+                Time::new(0),
+            ),
+        ],
+        Time::new(4_000),
+    )
+    .unwrap()
+}
+
+/// Runs F2.
+pub fn run(_cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("F2");
+    let net = representative();
+    let cmp = compare_policies(
+        &net,
+        &DmAnalysis::conservative(),
+        &EdfAnalysis::paper(),
+    )
+    .expect("analysis");
+
+    let mut t = Table::new(
+        "wcrt profile by deadline rank",
+        &["rank", "D", "FCFS", "DM", "EDF", "FCFS/DM"],
+    );
+    // Master 0, streams already in ascending deadline order by construction.
+    let rows = &cmp.rows()[..8];
+    for (rank, row) in rows.iter().enumerate() {
+        let ratio = row.fcfs.ticks() as f64 / row.dm.ticks().max(1) as f64;
+        t.row(vec![
+            rank.to_string(),
+            row.deadline.ticks().to_string(),
+            row.fcfs.ticks().to_string(),
+            row.dm.ticks().to_string(),
+            fmt_opt_ticks(row.edf.map(|t| t.ticks())),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    report.table(t);
+
+    let fcfs_flat = rows.windows(2).all(|w| w[0].fcfs == w[1].fcfs);
+    let dm_graded = rows[0].dm < rows[7].dm;
+    let dm_monotone = rows.windows(2).all(|w| w[0].dm <= w[1].dm);
+    let tight_gain = rows[0].fcfs.ticks() as f64 / rows[0].dm.ticks().max(1) as f64;
+    report.check(
+        "FCFS profile is flat across streams of a master",
+        fcfs_flat,
+        format!("all at {}", rows[0].fcfs),
+    );
+    report.check(
+        "DM profile is graded and monotone in deadline rank",
+        dm_graded && dm_monotone,
+        format!("{} .. {}", rows[0].dm, rows[7].dm),
+    );
+    report.check(
+        "tightest stream gains at least 2x under DM",
+        tight_gain >= 2.0,
+        format!("gain {tight_gain:.2}x"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_passes() {
+        let report = run(&ExpConfig::quick());
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

@@ -1,0 +1,108 @@
+//! F3 — token-lateness growth (eq. (13)): `Tdel` and `Tcycle` vs the number
+//! of masters and vs the longest low-priority cycle `Cl`, for both lateness
+//! models.
+
+use profirt_base::{StreamSet, Time};
+use profirt_core::tcycle::{token_lateness, TcycleModel};
+use profirt_core::{MasterConfig, NetworkConfig};
+
+use crate::table::Table;
+use crate::{ExpConfig, ExpReport};
+
+fn uniform_net(n_masters: usize, cl: i64) -> NetworkConfig {
+    let masters = (0..n_masters)
+        .map(|_| {
+            MasterConfig::new(
+                StreamSet::from_cdt(&[(600, 200_000, 200_000), (450, 300_000, 300_000)])
+                    .unwrap(),
+                Time::new(cl),
+            )
+        })
+        .collect();
+    NetworkConfig::new(masters, Time::new(4_000)).unwrap()
+}
+
+/// Runs F3.
+pub fn run(_cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("F3");
+
+    let mut t1 = Table::new(
+        "Tdel vs number of masters (Cl = 900)",
+        &["masters", "Tdel(paper)", "Tdel(refined)", "per-master slope"],
+    );
+    let mut paper_series = Vec::new();
+    let mut refined_series = Vec::new();
+    for &n in &[2usize, 4, 6, 8, 12, 16] {
+        let net = uniform_net(n, 900);
+        let p = token_lateness(&net, TcycleModel::Paper);
+        let r = token_lateness(&net, TcycleModel::Refined);
+        paper_series.push((n, p));
+        refined_series.push((n, r));
+        t1.row(vec![
+            n.to_string(),
+            p.to_string(),
+            r.to_string(),
+            format!("{:.0}", p.ticks() as f64 / n as f64),
+        ]);
+    }
+    report.table(t1);
+
+    let mut t2 = Table::new(
+        "Tdel vs longest low-priority cycle (4 masters)",
+        &["Cl", "Tdel(paper)", "Tdel(refined)", "refined gap"],
+    );
+    let mut cl_gap_grows = Vec::new();
+    for &cl in &[0i64, 300, 600, 900, 1_800, 3_600] {
+        let net = uniform_net(4, cl);
+        let p = token_lateness(&net, TcycleModel::Paper);
+        let r = token_lateness(&net, TcycleModel::Refined);
+        cl_gap_grows.push(p - r);
+        t2.row(vec![
+            cl.to_string(),
+            p.to_string(),
+            r.to_string(),
+            (p - r).to_string(),
+        ]);
+    }
+    report.table(t2);
+
+    // Shape checks.
+    let linear = paper_series.windows(2).all(|w| {
+        let (n0, p0) = w[0];
+        let (n1, p1) = w[1];
+        // Exactly linear for uniform masters: Tdel = n * CM.
+        p0.ticks() * n1 as i64 == p1.ticks() * n0 as i64
+    });
+    let refined_sublinear = refined_series
+        .iter()
+        .zip(&paper_series)
+        .all(|(&(_, r), &(_, p))| r <= p);
+    let gap_monotone = cl_gap_grows.windows(2).all(|w| w[1] >= w[0]);
+    report.check(
+        "paper Tdel grows exactly linearly in the master count (uniform masters)",
+        linear,
+        "Tdel = n · CM".into(),
+    );
+    report.check(
+        "refined Tdel never exceeds paper Tdel",
+        refined_sublinear,
+        "per-overrunner refinement".into(),
+    );
+    report.check(
+        "the refinement gap grows with Cl (late masters send only high traffic)",
+        gap_monotone,
+        format!("gaps {:?}", cl_gap_grows.iter().map(|t| t.ticks()).collect::<Vec<_>>()),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f3_passes() {
+        let report = run(&ExpConfig::quick());
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

@@ -1,0 +1,104 @@
+//! F4 — the eq. (15) feasibility region: the largest feasible `TTR` as a
+//! function of deadline tightness, with the infeasible region flagged.
+
+use profirt_base::Prng;
+use profirt_core::{max_feasible_ttr, TcycleModel};
+use profirt_workload::generate_network;
+
+use crate::exps::common::{bus, netgen};
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+/// Runs F4.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("F4");
+    let mut t = Table::new(
+        "max feasible TTR vs deadline tightness",
+        &["D/T", "feasible frac", "mean TTR*", "mean TTR*(refined)"],
+    );
+    let mut series: Vec<(f64, f64, f64)> = Vec::new();
+    let mut refined_ge = true;
+    for &tight in &[1.0f64, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1] {
+        let rows = par_map_seeds(cfg.replications, cfg.workers, |seed| {
+            let mut rng =
+                Prng::seed_from_u64(cfg.seed ^ (seed * 1013 + (tight * 100.0) as u64));
+            let g = generate_network(&mut rng, &bus(), &netgen(tight, 4, 3))
+                .expect("generation");
+            let p = max_feasible_ttr(&g.config, TcycleModel::Paper);
+            let r = max_feasible_ttr(&g.config, TcycleModel::Refined);
+            (
+                p.max_ttr.map(|t| t.ticks()),
+                r.max_ttr.map(|t| t.ticks()),
+            )
+        });
+        refined_ge &= rows.iter().all(|(p, r)| match (p, r) {
+            (Some(p), Some(r)) => r >= p,
+            (Some(_), None) => false,
+            _ => true,
+        });
+        let feas: Vec<i64> = rows.iter().filter_map(|r| r.0).collect();
+        let feas_frac = feas.len() as f64 / rows.len() as f64;
+        let mean_ttr = if feas.is_empty() {
+            0.0
+        } else {
+            feas.iter().map(|&x| x as f64).sum::<f64>() / feas.len() as f64
+        };
+        let feas_r: Vec<i64> = rows.iter().filter_map(|r| r.1).collect();
+        let mean_r = if feas_r.is_empty() {
+            0.0
+        } else {
+            feas_r.iter().map(|&x| x as f64).sum::<f64>() / feas_r.len() as f64
+        };
+        series.push((tight, feas_frac, mean_ttr));
+        t.row(vec![
+            format!("{tight:.2}"),
+            fmt_ratio(feas_frac),
+            format!("{mean_ttr:.0}"),
+            format!("{mean_r:.0}"),
+        ]);
+    }
+    report.table(t);
+
+    let frac_monotone = series.windows(2).all(|w| w[0].1 >= w[1].1);
+    let ttr_monotone = series
+        .windows(2)
+        .filter(|w| w[0].1 > 0.0 && w[1].1 > 0.0)
+        .all(|w| w[0].2 >= w[1].2);
+    let infeasible_tail = series.last().map(|&(_, f, _)| f < 0.5).unwrap_or(false);
+    report.check(
+        "feasible fraction shrinks monotonically as deadlines tighten",
+        frac_monotone,
+        "eq. (15) region boundary".into(),
+    );
+    report.check(
+        "mean TTR* shrinks as deadlines tighten",
+        ttr_monotone,
+        "TTR headroom = D/nh − Tdel".into(),
+    );
+    report.check(
+        "a hard-infeasible region exists at very tight deadlines",
+        infeasible_tail,
+        "even TTR → 0 cannot satisfy D/nh <= Tdel".into(),
+    );
+    report.check(
+        "refined model never shrinks the feasible TTR",
+        refined_ge,
+        "Tdel(refined) <= Tdel(paper)".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f4_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 16,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

@@ -1,0 +1,93 @@
+//! F6 — bound tightness: distributions of bound/observed ratios per policy
+//! (how much pessimism each analysis carries, the inverse view of T8).
+
+use profirt_core::{DmAnalysis, EdfAnalysis, FcfsAnalysis, NetworkAnalysis};
+use profirt_profibus::QueuePolicy;
+
+use crate::exps::common::{gen_network, mean, netgen, percentile, sim_max_responses};
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+fn tightness_ratios(an: &NetworkAnalysis, obs: &[Vec<profirt_base::Time>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (k, rows) in an.masters.iter().enumerate() {
+        for (i, row) in rows.iter().enumerate() {
+            if row.schedulable && obs[k][i].is_positive() {
+                out.push(row.response_time.ticks() as f64 / obs[k][i].ticks() as f64);
+            }
+        }
+    }
+    out
+}
+
+/// Runs F6.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("F6");
+    let mut t = Table::new(
+        "bound over observed (pessimism)",
+        &["policy", "streams", "mean", "median", "p5", "min"],
+    );
+    let mut all_ge_one = true;
+    let mut fcfs_mean = 0.0;
+    let mut dm_mean = 0.0;
+    for policy in ["fcfs", "dm-cons", "edf"] {
+        let per_seed = par_map_seeds(cfg.replications.min(60), cfg.workers, |seed| {
+            let g = gen_network(cfg.seed ^ (seed * 293 + 29), &netgen(0.8, 3, 3));
+            let (qp, an) = match policy {
+                "fcfs" => (QueuePolicy::Fcfs, FcfsAnalysis::paper().run(&g.config).ok()),
+                "dm-cons" => (
+                    QueuePolicy::DeadlineMonotonic,
+                    DmAnalysis::conservative().analyze(&g.config).ok(),
+                ),
+                _ => (QueuePolicy::Edf, EdfAnalysis::paper().analyze(&g.config).ok()),
+            };
+            let an = an?;
+            let (obs, _) = sim_max_responses(&g, qp, cfg.sim_horizon, seed);
+            Some(tightness_ratios(&an, &obs))
+        });
+        let ratios: Vec<f64> = per_seed.into_iter().flatten().flatten().collect();
+        all_ge_one &= ratios.iter().all(|&r| r >= 1.0);
+        let m = mean(&ratios);
+        if policy == "fcfs" {
+            fcfs_mean = m;
+        }
+        if policy == "dm-cons" {
+            dm_mean = m;
+        }
+        t.row(vec![
+            policy.into(),
+            ratios.len().to_string(),
+            fmt_ratio(m),
+            fmt_ratio(percentile(&ratios, 50.0)),
+            fmt_ratio(percentile(&ratios, 5.0)),
+            fmt_ratio(ratios.iter().copied().fold(f64::INFINITY, f64::min)),
+        ]);
+    }
+    report.table(t);
+    report.check(
+        "every bound/observed ratio is >= 1 (bounds are upper bounds)",
+        all_ge_one,
+        "soundness across policies".into(),
+    );
+    report.check(
+        "bounds carry visible pessimism (mean ratio > 1.1 for FCFS)",
+        fcfs_mean > 1.1,
+        format!("FCFS mean {fcfs_mean:.2}, DM mean {dm_mean:.2}"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f6_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 8,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment implementations, one module per table/figure (DESIGN.md §4).
+
+pub mod common;
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod f6;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;
+pub mod t6;
+pub mod t7;
+pub mod t8;

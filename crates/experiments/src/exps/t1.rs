@@ -1,0 +1,193 @@
+//! T1 — fixed-priority analyses (§2.1): literature exemplars, acceptance
+//! ratios of the utilisation tests vs response-time analysis, and
+//! bound-vs-simulation validation for the non-preemptive case (eqs. (1)–(2)).
+
+use profirt_base::{Prng, TaskSet, Time};
+use profirt_sched::fixed::{
+    hyperbolic_schedulable, liu_layland_bound, np_response_times, response_times,
+    rm_utilization_schedulable, NpFixedConfig, PriorityMap, RtaConfig,
+};
+use profirt_sim::{simulate_cpu, CpuPolicy, CpuSimConfig};
+use profirt_workload::generate_task_set;
+
+use crate::exps::common::{mean, taskgen};
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+/// Runs T1.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("T1");
+    exemplars(&mut report);
+    acceptance_sweep(cfg, &mut report);
+    np_validation(cfg, &mut report);
+    report
+}
+
+fn exemplars(report: &mut ExpReport) {
+    let mut t = Table::new(
+        "literature exemplars",
+        &["set", "task", "C", "D", "T", "wcrt", "note"],
+    );
+    // Joseph & Pandya / Burns & Wellings classic.
+    let jp = TaskSet::from_ct(&[(3, 7), (3, 12), (5, 20)]).unwrap();
+    let pm = PriorityMap::rate_monotonic(&jp);
+    let an = response_times(&jp, &pm, &RtaConfig::default()).unwrap();
+    let expected = [3i64, 6, 20];
+    let mut jp_ok = true;
+    for (i, task) in jp.iter() {
+        let w = an.verdicts[i].wcrt().unwrap();
+        jp_ok &= w.ticks() == expected[i];
+        t.row(vec![
+            "J&P".into(),
+            format!("τ{i}"),
+            task.c.to_string(),
+            task.d.to_string(),
+            task.t.to_string(),
+            w.to_string(),
+            format!("expected {}", expected[i]),
+        ]);
+    }
+    // Liu & Layland example exceeding the bound but RTA-schedulable.
+    let ll = TaskSet::from_ct(&[(1, 3), (1, 4), (1, 5)]).unwrap();
+    let pm2 = PriorityMap::rate_monotonic(&ll);
+    let an2 = response_times(&ll, &pm2, &RtaConfig::default()).unwrap();
+    let ll_inconclusive = !rm_utilization_schedulable(&ll).is_schedulable();
+    let ll_rta_ok = an2.all_schedulable();
+    for (i, task) in ll.iter() {
+        t.row(vec![
+            "L&L".into(),
+            format!("τ{i}"),
+            task.c.to_string(),
+            task.d.to_string(),
+            task.t.to_string(),
+            an2.verdicts[i].wcrt().unwrap().to_string(),
+            format!("U=0.783 > bound {:.3}", liu_layland_bound(3)),
+        ]);
+    }
+    report.table(t);
+    report.check(
+        "Joseph&Pandya recursion reproduces the textbook WCRTs (3, 6, 20)",
+        jp_ok,
+        format!("{:?}", an.wcrts()),
+    );
+    report.check(
+        "L&L example: utilisation test inconclusive yet RTA proves schedulability",
+        ll_inconclusive && ll_rta_ok,
+        format!("inconclusive={ll_inconclusive}, rta_ok={ll_rta_ok}"),
+    );
+}
+
+fn acceptance_sweep(cfg: &ExpConfig, report: &mut ExpReport) {
+    let mut t = Table::new(
+        "acceptance ratios preemptive RM",
+        &["n", "U", "LL", "hyperbolic", "RTA"],
+    );
+    let mut ordering_ok = true;
+    for &n in &[4usize, 8, 16] {
+        for &u in &[0.5f64, 0.7, 0.8, 0.9] {
+            let counts = par_map_seeds(cfg.replications, cfg.workers, |seed| {
+                let mut rng = Prng::seed_from_u64(cfg.seed ^ (seed * 7919));
+                let set = generate_task_set(&mut rng, &taskgen(n, u)).unwrap();
+                let pm = PriorityMap::rate_monotonic(&set);
+                let ll = rm_utilization_schedulable(&set).is_schedulable();
+                let hb = hyperbolic_schedulable(&set).is_schedulable();
+                let rta = response_times(&set, &pm, &RtaConfig::default())
+                    .unwrap()
+                    .all_schedulable();
+                (ll, hb, rta)
+            });
+            let total = counts.len() as f64;
+            let ll = counts.iter().filter(|c| c.0).count() as f64 / total;
+            let hb = counts.iter().filter(|c| c.1).count() as f64 / total;
+            let rta = counts.iter().filter(|c| c.2).count() as f64 / total;
+            ordering_ok &= counts
+                .iter()
+                .all(|&(l, h, r)| (!l || h) && (!h || r));
+            t.row(vec![
+                n.to_string(),
+                format!("{u:.1}"),
+                fmt_ratio(ll),
+                fmt_ratio(hb),
+                fmt_ratio(rta),
+            ]);
+        }
+    }
+    report.table(t);
+    report.check(
+        "acceptance ordering LL ⊆ hyperbolic ⊆ RTA holds on every set",
+        ordering_ok,
+        format!("{} sets per point", cfg.replications),
+    );
+}
+
+fn np_validation(cfg: &ExpConfig, report: &mut ExpReport) {
+    let mut t = Table::new(
+        "non-preemptive bounds vs simulation",
+        &["n", "U", "accepted", "mean obs/bound", "max obs/bound"],
+    );
+    let mut sound = true;
+    for &(n, u) in &[(4usize, 0.5f64), (6, 0.6), (8, 0.7)] {
+        let ratios: Vec<Option<f64>> =
+            par_map_seeds(cfg.replications, cfg.workers, |seed| {
+                let mut rng = Prng::seed_from_u64(cfg.seed ^ (0xA11CE + seed));
+                let set = generate_task_set(&mut rng, &taskgen(n, u)).unwrap();
+                let pm = PriorityMap::deadline_monotonic(&set);
+                let an = np_response_times(&set, &pm, &NpFixedConfig::george()).unwrap();
+                if !an.all_schedulable() {
+                    return None;
+                }
+                let sim = simulate_cpu(
+                    &set,
+                    Some(&pm),
+                    &CpuSimConfig {
+                        policy: CpuPolicy::FixedNonPreemptive,
+                        horizon: Time::new(80_000),
+                        offsets: vec![],
+                    },
+                );
+                let mut worst = 0.0f64;
+                for (i, v) in an.verdicts.iter().enumerate() {
+                    let bound = v.wcrt().unwrap();
+                    if sim.max_response[i] > bound {
+                        return Some(f64::INFINITY); // violation marker
+                    }
+                    worst =
+                        worst.max(sim.max_response[i].ticks() as f64
+                            / bound.ticks() as f64);
+                }
+                Some(worst)
+            });
+        let ok: Vec<f64> = ratios.iter().flatten().copied().collect();
+        sound &= ok.iter().all(|r| r.is_finite());
+        let max = ok.iter().copied().fold(0.0f64, f64::max);
+        t.row(vec![
+            n.to_string(),
+            format!("{u:.1}"),
+            format!("{}/{}", ok.len(), cfg.replications),
+            fmt_ratio(mean(&ok)),
+            fmt_ratio(max),
+        ]);
+    }
+    report.table(t);
+    report.check(
+        "eq. (1)-(2) bounds dominate non-preemptive simulation everywhere",
+        sound,
+        "no observed response exceeded its bound".into(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 8,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+        assert_eq!(report.tables.len(), 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! T2 — preemptive EDF feasibility (§2.2, eq. (3)): utilisation vs demand
+//! tests, checkpoint pruning statistics, and the Standard-vs-PaperCeiling
+//! demand formula ablation (fidelity note B-A3).
+
+use profirt_base::{Prng, Time};
+use profirt_sched::edf::{
+    edf_feasible_preemptive, edf_utilization_test, DemandConfig, DemandFormula,
+};
+use profirt_sim::{simulate_cpu, CpuPolicy, CpuSimConfig};
+use profirt_workload::{generate_task_set, DeadlinePolicy, PeriodRange, TaskGenParams};
+
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+fn constrained(n: usize, u: f64, frac: f64) -> TaskGenParams {
+    TaskGenParams {
+        n,
+        total_utilization: u,
+        periods: PeriodRange::new(Time::new(100), Time::new(5_000), Time::new(10)),
+        deadline: DeadlinePolicy::ConstrainedFraction {
+            min_frac: frac,
+            max_frac: 1.0,
+        },
+    }
+}
+
+/// Runs T2.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("T2");
+    let mut t = Table::new(
+        "EDF demand test acceptance",
+        &[
+            "U",
+            "D-frac",
+            "util-test",
+            "demand(std)",
+            "demand(paper)",
+            "mean checkpoints",
+        ],
+    );
+    let mut paper_optimistic_somewhere = false;
+    let mut paper_superset = true;
+    let mut sim_sound = true;
+    for &u in &[0.6f64, 0.75, 0.9] {
+        for &frac in &[1.0f64, 0.6, 0.3] {
+            let rows = par_map_seeds(cfg.replications, cfg.workers, |seed| {
+                let mut rng = Prng::seed_from_u64(cfg.seed ^ (seed * 31 + 1));
+                let set = generate_task_set(&mut rng, &constrained(6, u, frac)).unwrap();
+                let util_ok = edf_utilization_test(&set).at_most_one
+                    && set.all_implicit_deadlines();
+                let std = edf_feasible_preemptive(
+                    &set,
+                    &DemandConfig {
+                        formula: DemandFormula::Standard,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let paper = edf_feasible_preemptive(
+                    &set,
+                    &DemandConfig {
+                        formula: DemandFormula::PaperCeiling,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                // Sim check on demand-accepted sets (standard formula).
+                let sim_ok = if std.feasible {
+                    simulate_cpu(
+                        &set,
+                        None,
+                        &CpuSimConfig {
+                            policy: CpuPolicy::EdfPreemptive,
+                            horizon: Time::new(60_000),
+                            offsets: vec![],
+                        },
+                    )
+                    .no_misses()
+                } else {
+                    true
+                };
+                (util_ok, std.feasible, paper.feasible, std.checked_points, sim_ok)
+            });
+            let total = rows.len() as f64;
+            let util = rows.iter().filter(|r| r.0).count() as f64 / total;
+            let std = rows.iter().filter(|r| r.1).count() as f64 / total;
+            let paper = rows.iter().filter(|r| r.2).count() as f64 / total;
+            let cps =
+                rows.iter().map(|r| r.3 as f64).sum::<f64>() / total;
+            paper_superset &= rows.iter().all(|r| !r.1 || r.2);
+            paper_optimistic_somewhere |= rows.iter().any(|r| r.2 && !r.1);
+            sim_sound &= rows.iter().all(|r| r.4);
+            t.row(vec![
+                format!("{u:.2}"),
+                format!("{frac:.1}"),
+                fmt_ratio(util),
+                fmt_ratio(std),
+                fmt_ratio(paper),
+                format!("{cps:.1}"),
+            ]);
+        }
+    }
+    report.table(t);
+    report.check(
+        "paper's ceiling formula accepts a superset of the standard test (optimistic)",
+        paper_superset,
+        "⌈(t−D)/T⌉⁺ under-counts boundary jobs".into(),
+    );
+    report.check(
+        "the optimism is real: some constrained set is paper-accepted but standard-rejected",
+        paper_optimistic_somewhere,
+        "fidelity note B-A3".into(),
+    );
+    report.check(
+        "standard-demand-accepted sets never miss in EDF simulation",
+        sim_sound,
+        "synchronous release".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 16,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

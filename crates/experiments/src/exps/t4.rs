@@ -1,0 +1,153 @@
+//! T4 — EDF worst-case response times (§2.2, eqs. (6)–(10)): the preemptive
+//! (Spuri) and non-preemptive (George et al.) bounds versus simulated
+//! response times under synchronous and randomised (asap-probing) release
+//! patterns.
+
+use profirt_base::{Prng, Time};
+use profirt_sched::edf::{edf_response_times, np_edf_response_times, EdfRtaConfig, NpEdfRtaConfig};
+use profirt_sim::{simulate_cpu, CpuPolicy, CpuSimConfig};
+use profirt_workload::generate_task_set;
+
+use crate::exps::common::{mean, taskgen};
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+/// Runs T4.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("T4");
+    let mut t = Table::new(
+        "EDF WCRT bounds vs simulation",
+        &[
+            "mode",
+            "U",
+            "analysed",
+            "mean obs/bound",
+            "max obs/bound",
+            "np>=p",
+        ],
+    );
+    let mut sound = true;
+    let mut np_tightest_dominates = 0usize;
+    let mut np_tightest_total = 0usize;
+    for &u in &[0.55f64, 0.7, 0.85] {
+        let rows = par_map_seeds(cfg.replications.min(64), cfg.workers, |seed| {
+            let mut rng = Prng::seed_from_u64(cfg.seed ^ (seed * 977 + 5));
+            let set = generate_task_set(&mut rng, &taskgen(4, u)).unwrap();
+            let Ok((p_an, p_det)) = edf_response_times(&set, &EdfRtaConfig::default())
+            else {
+                return None;
+            };
+            let Ok((np_an, np_det)) =
+                np_edf_response_times(&set, &NpEdfRtaConfig::default())
+            else {
+                return None;
+            };
+            // Does blocking raise the bound for the tightest-deadline task?
+            // (Not a theorem per-task: non-preemption also *removes*
+            // preemption after start, which can shorten long tasks' WCRT.)
+            let tightest = set.indices_by_deadline()[0];
+            let dom = np_det[tightest].wcrt >= p_det[tightest].wcrt;
+
+            // Simulate: synchronous + random offsets.
+            let mut worst_p = 0.0f64;
+            let mut worst_np = 0.0f64;
+            let mut violated = false;
+            for trial in 0..4u64 {
+                let offsets: Vec<Time> = if trial == 0 {
+                    vec![]
+                } else {
+                    let mut orng = Prng::seed_from_u64(seed * 17 + trial);
+                    set.tasks().iter().map(|t| orng.time_in(t.t)).collect()
+                };
+                let sp = simulate_cpu(
+                    &set,
+                    None,
+                    &CpuSimConfig {
+                        policy: CpuPolicy::EdfPreemptive,
+                        horizon: Time::new(60_000),
+                        offsets: offsets.clone(),
+                    },
+                );
+                let snp = simulate_cpu(
+                    &set,
+                    None,
+                    &CpuSimConfig {
+                        policy: CpuPolicy::EdfNonPreemptive,
+                        horizon: Time::new(60_000),
+                        offsets,
+                    },
+                );
+                for i in 0..set.len() {
+                    let bp = p_det[i].wcrt.ticks() as f64;
+                    let bnp = np_det[i].wcrt.ticks() as f64;
+                    violated |= sp.max_response[i] > p_det[i].wcrt;
+                    violated |= snp.max_response[i] > np_det[i].wcrt;
+                    worst_p = worst_p.max(sp.max_response[i].ticks() as f64 / bp);
+                    worst_np = worst_np.max(snp.max_response[i].ticks() as f64 / bnp);
+                }
+            }
+            let _ = (p_an, np_an);
+            Some((worst_p, worst_np, dom, violated))
+        });
+        let ok: Vec<_> = rows.iter().flatten().collect();
+        sound &= ok.iter().all(|r| !r.3);
+        np_tightest_dominates += ok.iter().filter(|r| r.2).count();
+        np_tightest_total += ok.len();
+        let ps: Vec<f64> = ok.iter().map(|r| r.0).collect();
+        let nps: Vec<f64> = ok.iter().map(|r| r.1).collect();
+        t.row(vec![
+            "preemptive".into(),
+            format!("{u:.2}"),
+            format!("{}/{}", ok.len(), rows.len()),
+            fmt_ratio(mean(&ps)),
+            fmt_ratio(ps.iter().copied().fold(0.0, f64::max)),
+            "-".into(),
+        ]);
+        t.row(vec![
+            "non-preempt".into(),
+            format!("{u:.2}"),
+            format!("{}/{}", ok.len(), rows.len()),
+            fmt_ratio(mean(&nps)),
+            fmt_ratio(nps.iter().copied().fold(0.0, f64::max)),
+            if ok.iter().all(|r| r.2) { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    report.table(t);
+    report.check(
+        "Spuri/George WCRT bounds dominate all simulated responses",
+        sound,
+        "synchronous + randomised offsets".into(),
+    );
+    // Deterministic exemplar: a tight task blocked by a long later-deadline
+    // one gains nothing and loses the blocking under non-preemption.
+    let exemplar =
+        profirt_base::TaskSet::from_cdt(&[(1, 6, 12), (4, 24, 24)]).unwrap();
+    let (_, p_ex) = edf_response_times(&exemplar, &EdfRtaConfig::default()).unwrap();
+    let (_, np_ex) =
+        np_edf_response_times(&exemplar, &NpEdfRtaConfig::default()).unwrap();
+    report.check(
+        "blocking raises the tightest task's bound (exemplar; majority on random sets)",
+        np_ex[0].wcrt > p_ex[0].wcrt
+            && np_tightest_dominates * 2 >= np_tightest_total,
+        format!(
+            "exemplar {} > {}; random sets: {np_tightest_dominates}/{np_tightest_total}",
+            np_ex[0].wcrt, p_ex[0].wcrt
+        ),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t4_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 10,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

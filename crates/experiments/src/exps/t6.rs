@@ -1,0 +1,95 @@
+//! T6 — FCFS schedulability and TTR setting (§3.2–§3.4, eqs. (11), (12),
+//! (15)): the derived TTR* makes every stream schedulable, TTR*+1 breaks
+//! the binding stream, and simulation at TTR* stays miss-free.
+
+use profirt_base::Time;
+use profirt_core::{max_feasible_ttr, FcfsAnalysis, TcycleModel};
+use profirt_profibus::QueuePolicy;
+use profirt_sim::{simulate_network, NetworkSimConfig};
+
+use crate::exps::common::{gen_network, netgen, to_sim};
+use crate::runner::par_map_seeds;
+use crate::table::Table;
+use crate::{ExpConfig, ExpReport};
+
+/// Runs T6.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("T6");
+    let mut t = Table::new(
+        "eq15 TTR derivation",
+        &["nh", "feasible", "mean TTR*", "boundary exact", "sim miss-free"],
+    );
+    let mut boundary_all = true;
+    let mut sim_all = true;
+    let mut some_feasible = false;
+    for &nh in &[2usize, 4, 8] {
+        let rows = par_map_seeds(cfg.replications.min(60), cfg.workers, |seed| {
+            let g = gen_network(cfg.seed ^ (seed * 211 + nh as u64), &netgen(0.9, nh, 3));
+            let setting = max_feasible_ttr(&g.config, TcycleModel::Paper);
+            let Some(ttr) = setting.max_ttr else {
+                return (false, 0i64, true, true);
+            };
+            let tuned = g.config.with_ttr(ttr).unwrap();
+            let at = FcfsAnalysis::paper().run(&tuned).unwrap().all_schedulable();
+            let over = FcfsAnalysis::paper()
+                .run(&g.config.with_ttr(ttr + Time::ONE).unwrap())
+                .unwrap()
+                .all_schedulable();
+            let boundary = at && !over;
+            // Simulate the tuned network (stock FCFS masters).
+            let mut g_tuned = g.clone();
+            g_tuned.config = tuned;
+            let obs = simulate_network(
+                &to_sim(&g_tuned, QueuePolicy::Fcfs),
+                &NetworkSimConfig {
+                    horizon: Time::new(cfg.sim_horizon),
+                    seed,
+                    ..Default::default()
+                },
+            );
+            (true, ttr.ticks(), boundary, obs.no_misses())
+        });
+        let feas: Vec<_> = rows.iter().filter(|r| r.0).collect();
+        some_feasible |= !feas.is_empty();
+        boundary_all &= feas.iter().all(|r| r.2);
+        sim_all &= feas.iter().all(|r| r.3);
+        let mean_ttr = if feas.is_empty() {
+            0.0
+        } else {
+            feas.iter().map(|r| r.1 as f64).sum::<f64>() / feas.len() as f64
+        };
+        t.row(vec![
+            nh.to_string(),
+            format!("{}/{}", feas.len(), rows.len()),
+            format!("{mean_ttr:.0}"),
+            if feas.iter().all(|r| r.2) { "yes" } else { "NO" }.into(),
+            if feas.iter().all(|r| r.3) { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    report.table(t);
+    report.check(
+        "eq. (15) boundary is exact: schedulable at TTR*, not at TTR*+1",
+        boundary_all && some_feasible,
+        "integer-exact floor division".into(),
+    );
+    report.check(
+        "simulation at the tuned TTR* is deadline-miss free",
+        sim_all,
+        "stock FCFS masters".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t6_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 8,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

@@ -1,0 +1,122 @@
+//! T7 — the headline comparison (§4.3): per-stream worst-case response
+//! times under FCFS (eq. (11)), DM (eq. (16), both variants) and EDF
+//! (eqs. (17)–(18)) on one representative network, plus aggregate wins.
+
+use profirt_core::{compare_policies, DmAnalysis, EdfAnalysis};
+
+use crate::exps::common::{gen_network, netgen};
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_opt_ticks, fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+/// Runs T7.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("T7");
+
+    // Representative network, per-stream table.
+    let g = gen_network(cfg.seed, &netgen(0.5, 4, 2));
+    let cmp = compare_policies(
+        &g.config,
+        &DmAnalysis::conservative(),
+        &EdfAnalysis::paper(),
+    )
+    .expect("analysis");
+    let dm_paper = DmAnalysis::paper().analyze(&g.config).expect("dm paper");
+    let mut t = Table::new(
+        "per-stream response times",
+        &["stream", "D", "FCFS", "DM(paper)", "DM(cons)", "EDF"],
+    );
+    for row in cmp.rows() {
+        t.row(vec![
+            format!("M{}/S{}", row.master, row.stream),
+            row.deadline.ticks().to_string(),
+            row.fcfs.ticks().to_string(),
+            dm_paper.masters[row.master][row.stream]
+                .response_time
+                .ticks()
+                .to_string(),
+            row.dm.ticks().to_string(),
+            fmt_opt_ticks(row.edf.map(|t| t.ticks())),
+        ]);
+    }
+    report.table(t);
+
+    // Aggregate over seeds: fraction of masters where the tightest stream
+    // strictly improves under DM, and schedulable-count deltas.
+    let rows = par_map_seeds(cfg.replications, cfg.workers, |seed| {
+        let g = gen_network(cfg.seed ^ (seed * 613 + 11), &netgen(0.45, 4, 2));
+        let cmp = compare_policies(
+            &g.config,
+            &DmAnalysis::conservative(),
+            &EdfAnalysis::paper(),
+        )
+        .expect("analysis");
+        let tight_ok = cmp
+            .priority_dominates_fcfs_on_tightest()
+            .into_iter()
+            .all(|b| b);
+        let strict = cmp
+            .fcfs
+            .masters
+            .iter()
+            .zip(cmp.dm.masters.iter())
+            .any(|(f, d)| {
+                f.iter()
+                    .zip(d.iter())
+                    .min_by_key(|(fr, _)| fr.deadline)
+                    .map(|(fr, dr)| dr.response_time < fr.response_time)
+                    .unwrap_or(false)
+            });
+        let (f, d, e) = cmp.schedulable_counts();
+        (tight_ok, strict, f, d, e.unwrap_or(0))
+    });
+    let total = rows.len() as f64;
+    let tight_all = rows.iter().all(|r| r.0);
+    let strict_frac = rows.iter().filter(|r| r.1).count() as f64 / total;
+    let mean_f = rows.iter().map(|r| r.2 as f64).sum::<f64>() / total;
+    let mean_d = rows.iter().map(|r| r.3 as f64).sum::<f64>() / total;
+    let mean_e = rows.iter().map(|r| r.4 as f64).sum::<f64>() / total;
+    let mut t2 = Table::new(
+        "aggregate wins",
+        &["metric", "value"],
+    );
+    t2.row(vec!["mean schedulable (FCFS)".into(), fmt_ratio(mean_f)]);
+    t2.row(vec!["mean schedulable (DM)".into(), fmt_ratio(mean_d)]);
+    t2.row(vec!["mean schedulable (EDF)".into(), fmt_ratio(mean_e)]);
+    t2.row(vec![
+        "fraction with strict tightest-stream improvement".into(),
+        fmt_ratio(strict_frac),
+    ]);
+    report.table(t2);
+
+    report.check(
+        "tightest stream never worse under DM than FCFS",
+        tight_all,
+        format!("{} networks", rows.len()),
+    );
+    report.check(
+        "strict improvement for the tightest stream in a majority of networks",
+        strict_frac > 0.5,
+        format!("strict in {:.0}%", strict_frac * 100.0),
+    );
+    report.check(
+        "priority queues schedule at least as many streams as FCFS on average",
+        mean_d >= mean_f && mean_e >= mean_f,
+        format!("F={mean_f:.2} D={mean_d:.2} E={mean_e:.2}"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t7_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 16,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

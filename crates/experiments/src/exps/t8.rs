@@ -1,0 +1,102 @@
+//! T8 — analysis-vs-simulation validation of the §4 architecture: for each
+//! policy, the distribution of observed/bound ratios, and the verdict on
+//! the eq. (16) `T*cycle` fidelity question (does the literal paper bound
+//! ever get overrun where the conservative one holds?).
+
+use profirt_core::{DmAnalysis, EdfAnalysis, FcfsAnalysis};
+use profirt_profibus::QueuePolicy;
+
+use crate::exps::common::{
+    gen_network, mean, netgen, percentile, sim_max_responses, worst_ratio,
+};
+use crate::runner::par_map_seeds;
+use crate::table::{fmt_ratio, Table};
+use crate::{ExpConfig, ExpReport};
+
+/// Runs T8.
+pub fn run(cfg: &ExpConfig) -> ExpReport {
+    let mut report = ExpReport::new("T8");
+    let mut t = Table::new(
+        "observed over bound ratios",
+        &["policy", "networks", "mean", "p95", "max", "violations"],
+    );
+
+    let mut all_sound = true;
+    let mut paper_dm_violations = 0u64;
+    let mut paper_dm_covered = true;
+
+    for policy in ["fcfs", "dm-cons", "dm-paper", "edf"] {
+        let rows = par_map_seeds(cfg.replications.min(80), cfg.workers, |seed| {
+            let g = gen_network(cfg.seed ^ (seed * 389 + 17), &netgen(0.8, 3, 3));
+            let (qp, analysis) = match policy {
+                "fcfs" => (
+                    QueuePolicy::Fcfs,
+                    FcfsAnalysis::paper().run(&g.config).ok(),
+                ),
+                "dm-cons" => (
+                    QueuePolicy::DeadlineMonotonic,
+                    DmAnalysis::conservative().analyze(&g.config).ok(),
+                ),
+                "dm-paper" => (
+                    QueuePolicy::DeadlineMonotonic,
+                    DmAnalysis::paper().analyze(&g.config).ok(),
+                ),
+                _ => (QueuePolicy::Edf, EdfAnalysis::paper().analyze(&g.config).ok()),
+            };
+            let an = analysis?;
+            let (obs, _) = sim_max_responses(&g, qp, cfg.sim_horizon, seed);
+            let ratio = worst_ratio(&an, &obs)?;
+            // For the dm-paper fidelity question, also evaluate coverage by
+            // the conservative variant on the same run.
+            let covered = if policy == "dm-paper" && ratio > 1.0 {
+                let cons = DmAnalysis::conservative().analyze(&g.config).ok()?;
+                worst_ratio(&cons, &obs).map(|r| r <= 1.0).unwrap_or(false)
+            } else {
+                true
+            };
+            Some((ratio, covered))
+        });
+        let ratios: Vec<f64> = rows.iter().flatten().map(|r| r.0).collect();
+        let violations = ratios.iter().filter(|&&r| r > 1.0).count();
+        if policy == "dm-paper" {
+            paper_dm_violations = violations as u64;
+            paper_dm_covered = rows.iter().flatten().all(|r| r.1);
+        } else {
+            all_sound &= violations == 0;
+        }
+        t.row(vec![
+            policy.into(),
+            ratios.len().to_string(),
+            fmt_ratio(mean(&ratios)),
+            fmt_ratio(percentile(&ratios, 95.0)),
+            fmt_ratio(ratios.iter().copied().fold(0.0, f64::max)),
+            violations.to_string(),
+        ]);
+    }
+    report.table(t);
+    report.check(
+        "FCFS, conservative-DM and EDF bounds dominate simulation everywhere",
+        all_sound,
+        "zero violations".into(),
+    );
+    report.check(
+        "whenever the literal eq. (16) bound is exceeded, the conservative variant covers it",
+        paper_dm_covered,
+        format!("paper-DM violations observed: {paper_dm_violations}"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t8_quick_passes() {
+        let report = run(&ExpConfig {
+            replications: 10,
+            ..ExpConfig::quick()
+        });
+        assert!(report.all_pass(), "{:?}", report.checks);
+    }
+}

@@ -1,0 +1,86 @@
+//! # profirt-experiments — the reproduction harness
+//!
+//! One module per table/figure of DESIGN.md §4 (`T1`–`T8`, `F1`–`F6`), each
+//! with a `run(&ExpConfig) -> ExpReport` entry point; the `src/bin/*`
+//! binaries are thin wrappers that print the report and write CSV files
+//! under `results/`.
+//!
+//! Infrastructure:
+//! * [`table`] — aligned text tables for terminal output.
+//! * [`csvout`] — minimal CSV writing (no external dependency).
+//! * [`runner`] — seed-parallel experiment execution (std scoped threads +
+//!   a crossbeam work channel).
+//! * [`shape`] — recorded shape checks: every report carries explicit
+//!   PASS/FAIL verdicts for the qualitative predictions EXPERIMENTS.md
+//!   documents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csvout;
+pub mod exps;
+pub mod runner;
+pub mod shape;
+pub mod table;
+
+pub use shape::{ExpReport, ShapeCheck};
+pub use table::Table;
+
+/// Global experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Replications per sweep point (cut for `--quick` / benches).
+    pub replications: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Simulation horizon in ticks where simulation is involved.
+    pub sim_horizon: i64,
+    /// Worker threads for seed-parallel sweeps.
+    pub workers: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            replications: 200,
+            seed: 0x5EED,
+            sim_horizon: 6_000_000,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A reduced configuration for quick runs and benches.
+    pub fn quick() -> ExpConfig {
+        ExpConfig {
+            replications: 24,
+            sim_horizon: 1_500_000,
+            ..ExpConfig::default()
+        }
+    }
+
+    /// Parses `--quick` from argv (binaries' only flag).
+    pub fn from_args() -> ExpConfig {
+        if std::env::args().any(|a| a == "--quick") {
+            ExpConfig::quick()
+        } else {
+            ExpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = ExpConfig::quick();
+        let d = ExpConfig::default();
+        assert!(q.replications < d.replications);
+        assert!(q.sim_horizon < d.sim_horizon);
+    }
+}

@@ -1,0 +1,110 @@
+//! Recorded shape checks.
+//!
+//! Every experiment states its qualitative predictions (who wins, what
+//! dominates, where curves collapse) as [`ShapeCheck`]s so EXPERIMENTS.md
+//! can cite machine-verified verdicts instead of prose.
+
+use crate::table::Table;
+
+/// One qualitative prediction and its verdict.
+#[derive(Clone, Debug)]
+pub struct ShapeCheck {
+    /// What the paper (or our fidelity note) predicts.
+    pub claim: String,
+    /// Whether the run confirmed it.
+    pub pass: bool,
+    /// Supporting detail (numbers behind the verdict).
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    /// Creates a check.
+    pub fn new(claim: &str, pass: bool, detail: String) -> ShapeCheck {
+        ShapeCheck {
+            claim: claim.to_string(),
+            pass,
+            detail,
+        }
+    }
+}
+
+/// A complete experiment report: tables plus shape verdicts.
+#[derive(Clone, Debug, Default)]
+pub struct ExpReport {
+    /// Experiment identifier (`T1` … `F6`).
+    pub id: String,
+    /// Output tables, in print order.
+    pub tables: Vec<Table>,
+    /// Shape checks.
+    pub checks: Vec<ShapeCheck>,
+}
+
+impl ExpReport {
+    /// Creates an empty report.
+    pub fn new(id: &str) -> ExpReport {
+        ExpReport {
+            id: id.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, t: Table) -> &mut Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Adds a shape check.
+    pub fn check(&mut self, claim: &str, pass: bool, detail: String) -> &mut Self {
+        self.checks.push(ShapeCheck::new(claim, pass, detail));
+        self
+    }
+
+    /// `true` iff every shape check passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Prints the report and writes its tables as CSVs; returns process
+    /// exit code (0 iff all checks pass).
+    pub fn emit(&self) -> i32 {
+        for t in &self.tables {
+            println!("{t}");
+            let name = format!(
+                "{}_{}",
+                self.id.to_lowercase(),
+                t.title().to_lowercase().replace([' ', '/', ':'], "_")
+            );
+            match crate::csvout::write_table(&crate::csvout::results_dir(), &name, t) {
+                Ok(path) => println!("[csv] {}", path.display()),
+                Err(e) => eprintln!("[csv] write failed: {e}"),
+            }
+            println!();
+        }
+        for c in &self.checks {
+            println!(
+                "SHAPE [{}] {} — {} ({})",
+                if c.pass { "PASS" } else { "FAIL" },
+                self.id,
+                c.claim,
+                c.detail
+            );
+        }
+        i32::from(!self.all_pass())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_aggregation() {
+        let mut r = ExpReport::new("T0");
+        r.check("a", true, "x".into());
+        assert!(r.all_pass());
+        r.check("b", false, "y".into());
+        assert!(!r.all_pass());
+        assert_eq!(r.checks.len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Aligned text tables.
+
+use std::fmt;
+
+/// A simple right-aligned text table (first column left-aligned).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Header access (for CSV export).
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Row access (for CSV export).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let mut line = String::new();
+        for (i, (h, w)) in self.headers.iter().zip(&widths).enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{h:<w$}"));
+            } else {
+                line.push_str(&format!("  {h:>w$}"));
+            }
+        }
+        writeln!(f, "{line}")?;
+        writeln!(f, "{}", "-".repeat(line.len()))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio with three decimals.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an optional tick value (`-` when absent).
+pub fn fmt_opt_ticks(x: Option<i64>) -> String {
+    x.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "123456".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        // Right alignment of numeric column.
+        assert!(s.contains("     1\n") || s.contains("      1\n"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(0.5), "0.500");
+        assert_eq!(fmt_opt_ticks(Some(7)), "7");
+        assert_eq!(fmt_opt_ticks(None), "-");
+    }
+}

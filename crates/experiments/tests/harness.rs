@@ -1,0 +1,68 @@
+//! Integration tests for the experiment harness itself: reports emit
+//! correctly, CSVs round-trip, and the parallel runner composes with real
+//! experiment workloads.
+
+use profirt_experiments::csvout::write_table;
+use profirt_experiments::runner::par_map_seeds;
+use profirt_experiments::{ExpConfig, ExpReport, Table};
+
+#[test]
+fn report_exit_semantics() {
+    let mut ok = ExpReport::new("X1");
+    ok.check("always true", true, "detail".into());
+    assert!(ok.all_pass());
+
+    let mut bad = ExpReport::new("X2");
+    bad.check("true", true, String::new());
+    bad.check("false", false, String::new());
+    assert!(!bad.all_pass());
+}
+
+#[test]
+fn table_csv_round_trip_preserves_cells() {
+    let dir = std::env::temp_dir().join("profirt-harness-test");
+    let mut t = Table::new("round trip", &["k", "v"]);
+    for i in 0..10 {
+        t.row(vec![format!("key{i}"), format!("value,{i}")]);
+    }
+    let path = write_table(&dir, "rt", &t).unwrap();
+    let content = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    assert_eq!(lines.len(), 11); // header + 10 rows
+    assert_eq!(lines[0], "k,v");
+    assert!(lines[1].contains("\"value,0\"")); // comma escaped
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn runner_scales_with_worker_counts() {
+    for workers in [1usize, 2, 8, 64] {
+        let out = par_map_seeds(32, workers, |seed| seed * seed);
+        assert_eq!(out, (0..32).map(|s| s * s).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn quick_config_runs_a_real_experiment_end_to_end() {
+    // The cheapest experiment (F3 is pure analysis) as an end-to-end smoke
+    // test of the harness plumbing.
+    let report = profirt_experiments::exps::f3::run(&ExpConfig::quick());
+    assert!(report.all_pass());
+    assert_eq!(report.tables.len(), 2);
+    assert!(report.tables.iter().all(|t| !t.is_empty()));
+}
+
+#[test]
+fn experiment_reports_are_deterministic() {
+    let cfg = ExpConfig {
+        replications: 6,
+        ..ExpConfig::quick()
+    };
+    let a = profirt_experiments::exps::f2::run(&cfg);
+    let b = profirt_experiments::exps::f2::run(&cfg);
+    // Same tables cell-for-cell.
+    assert_eq!(a.tables.len(), b.tables.len());
+    for (ta, tb) in a.tables.iter().zip(b.tables.iter()) {
+        assert_eq!(ta.rows(), tb.rows());
+    }
+}

@@ -1,0 +1,369 @@
+//! Exact binary encoding/decoding of FDL frames.
+//!
+//! The encoder writes the on-wire octet sequence (excluding UART framing
+//! bits, which [`crate::chartime`] accounts for in time); the decoder
+//! validates delimiters, SD2 length consistency, and the FCS, returning
+//! typed [`FrameError`]s.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::fcs::fcs;
+use crate::frame::{delim, Frame, FrameError, FunctionCode, MAX_SD2_DATA};
+
+/// Encodes a frame into `out`, returning the number of octets written.
+///
+/// # Errors
+/// [`FrameError::PayloadTooLarge`] for SD2 payloads over [`MAX_SD2_DATA`].
+pub fn encode(frame: &Frame, out: &mut BytesMut) -> Result<usize, FrameError> {
+    let start = out.len();
+    match frame {
+        Frame::Token { da, sa } => {
+            out.put_u8(delim::SD4);
+            out.put_u8(*da);
+            out.put_u8(*sa);
+        }
+        Frame::ShortAck => {
+            out.put_u8(delim::SC);
+        }
+        Frame::Fixed { da, sa, fc } => {
+            out.put_u8(delim::SD1);
+            out.put_u8(*da);
+            out.put_u8(*sa);
+            out.put_u8(fc.0);
+            out.put_u8(fcs(&[*da, *sa, fc.0]));
+            out.put_u8(delim::ED);
+        }
+        Frame::FixedData { da, sa, fc, data } => {
+            out.put_u8(delim::SD3);
+            out.put_u8(*da);
+            out.put_u8(*sa);
+            out.put_u8(fc.0);
+            out.put_slice(data);
+            let mut covered = vec![*da, *sa, fc.0];
+            covered.extend_from_slice(data);
+            out.put_u8(fcs(&covered));
+            out.put_u8(delim::ED);
+        }
+        Frame::Variable { da, sa, fc, data } => {
+            if data.len() > MAX_SD2_DATA {
+                return Err(FrameError::PayloadTooLarge { size: data.len() });
+            }
+            let le = (data.len() + 3) as u8; // DA + SA + FC + DU
+            out.put_u8(delim::SD2);
+            out.put_u8(le);
+            out.put_u8(le);
+            out.put_u8(delim::SD2);
+            out.put_u8(*da);
+            out.put_u8(*sa);
+            out.put_u8(fc.0);
+            out.put_slice(data);
+            let mut covered = vec![*da, *sa, fc.0];
+            covered.extend_from_slice(data);
+            out.put_u8(fcs(&covered));
+            out.put_u8(delim::ED);
+        }
+    }
+    Ok(out.len() - start)
+}
+
+/// Decodes one frame from the start of `input`, returning the frame and the
+/// number of octets consumed.
+pub fn decode(input: &[u8]) -> Result<(Frame, usize), FrameError> {
+    let first = *input.first().ok_or(FrameError::Truncated { needed: 1, got: 0 })?;
+    match first {
+        delim::SC => Ok((Frame::ShortAck, 1)),
+        delim::SD4 => {
+            need(input, 3)?;
+            Ok((
+                Frame::Token {
+                    da: input[1],
+                    sa: input[2],
+                },
+                3,
+            ))
+        }
+        delim::SD1 => {
+            need(input, 6)?;
+            let (da, sa, fc) = (input[1], input[2], input[3]);
+            let expected = fcs(&[da, sa, fc]);
+            if expected != input[4] {
+                return Err(FrameError::BadChecksum {
+                    expected,
+                    got: input[4],
+                });
+            }
+            if input[5] != delim::ED {
+                return Err(FrameError::BadEndDelimiter(input[5]));
+            }
+            Ok((
+                Frame::Fixed {
+                    da,
+                    sa,
+                    fc: FunctionCode(fc),
+                },
+                6,
+            ))
+        }
+        delim::SD3 => {
+            need(input, 14)?;
+            let (da, sa, fc) = (input[1], input[2], input[3]);
+            let mut data = [0u8; 8];
+            data.copy_from_slice(&input[4..12]);
+            let mut covered = vec![da, sa, fc];
+            covered.extend_from_slice(&data);
+            let expected = fcs(&covered);
+            if expected != input[12] {
+                return Err(FrameError::BadChecksum {
+                    expected,
+                    got: input[12],
+                });
+            }
+            if input[13] != delim::ED {
+                return Err(FrameError::BadEndDelimiter(input[13]));
+            }
+            Ok((
+                Frame::FixedData {
+                    da,
+                    sa,
+                    fc: FunctionCode(fc),
+                    data,
+                },
+                14,
+            ))
+        }
+        delim::SD2 => {
+            need(input, 4)?;
+            let (le, ler) = (input[1], input[2]);
+            if le != ler || (le as usize) < 3 {
+                return Err(FrameError::BadLength { le, ler });
+            }
+            if input[3] != delim::SD2 {
+                return Err(FrameError::BadSd2Repeat(input[3]));
+            }
+            let total = 4 + le as usize + 2; // header + LE octets + FCS + ED
+            need(input, total)?;
+            let da = input[4];
+            let sa = input[5];
+            let fc = input[6];
+            let data = input[7..4 + le as usize].to_vec();
+            let mut covered = vec![da, sa, fc];
+            covered.extend_from_slice(&data);
+            let expected = fcs(&covered);
+            let fcs_pos = 4 + le as usize;
+            if expected != input[fcs_pos] {
+                return Err(FrameError::BadChecksum {
+                    expected,
+                    got: input[fcs_pos],
+                });
+            }
+            if input[fcs_pos + 1] != delim::ED {
+                return Err(FrameError::BadEndDelimiter(input[fcs_pos + 1]));
+            }
+            Ok((
+                Frame::Variable {
+                    da,
+                    sa,
+                    fc: FunctionCode(fc),
+                    data,
+                },
+                total,
+            ))
+        }
+        other => Err(FrameError::BadStartDelimiter(other)),
+    }
+}
+
+fn need(input: &[u8], n: usize) -> Result<(), FrameError> {
+    if input.len() < n {
+        Err(FrameError::Truncated {
+            needed: n,
+            got: input.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut buf = BytesMut::new();
+        let written = encode(&frame, &mut buf).unwrap();
+        assert_eq!(written, buf.len());
+        assert_eq!(written, frame.char_len(), "char_len must match encoding");
+        let (decoded, consumed) = decode(&buf).unwrap();
+        assert_eq!(consumed, written);
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn round_trips_all_formats() {
+        round_trip(Frame::Token { da: 5, sa: 3 });
+        round_trip(Frame::ShortAck);
+        round_trip(Frame::Fixed {
+            da: 2,
+            sa: 1,
+            fc: FunctionCode::REQUEST_FDL_STATUS,
+        });
+        round_trip(Frame::FixedData {
+            da: 9,
+            sa: 1,
+            fc: FunctionCode::SRD_HIGH,
+            data: [1, 2, 3, 4, 5, 6, 7, 8],
+        });
+        round_trip(Frame::Variable {
+            da: 17,
+            sa: 2,
+            fc: FunctionCode::SRD_LOW,
+            data: vec![],
+        });
+        round_trip(Frame::Variable {
+            da: 17,
+            sa: 2,
+            fc: FunctionCode::SDA_HIGH,
+            data: (0..100).collect(),
+        });
+    }
+
+    #[test]
+    fn known_encoding_sd1() {
+        // SD1 to DA=2 from SA=1 with FC=0x49: FCS = 2+1+0x49 = 0x4C.
+        let mut buf = BytesMut::new();
+        encode(
+            &Frame::Fixed {
+                da: 2,
+                sa: 1,
+                fc: FunctionCode(0x49),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(&buf[..], &[0x10, 0x02, 0x01, 0x49, 0x4C, 0x16]);
+    }
+
+    #[test]
+    fn known_encoding_token() {
+        let mut buf = BytesMut::new();
+        encode(&Frame::Token { da: 3, sa: 1 }, &mut buf).unwrap();
+        assert_eq!(&buf[..], &[0xDC, 0x03, 0x01]);
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let mut buf = BytesMut::new();
+        encode(
+            &Frame::Fixed {
+                da: 2,
+                sa: 1,
+                fc: FunctionCode(0x49),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let mut bytes = buf.to_vec();
+        bytes[4] ^= 0xFF;
+        assert!(matches!(
+            decode(&bytes),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_end_delimiter_rejected() {
+        let mut buf = BytesMut::new();
+        encode(
+            &Frame::Fixed {
+                da: 2,
+                sa: 1,
+                fc: FunctionCode(0x49),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let mut bytes = buf.to_vec();
+        *bytes.last_mut().unwrap() = 0x00;
+        assert!(matches!(
+            decode(&bytes),
+            Err(FrameError::BadEndDelimiter(0x00))
+        ));
+    }
+
+    #[test]
+    fn sd2_length_mismatch_rejected() {
+        let mut buf = BytesMut::new();
+        encode(
+            &Frame::Variable {
+                da: 1,
+                sa: 2,
+                fc: FunctionCode::SRD_LOW,
+                data: vec![9, 9],
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let mut bytes = buf.to_vec();
+        bytes[2] = bytes[2].wrapping_add(1); // LEr != LE
+        assert!(matches!(decode(&bytes), Err(FrameError::BadLength { .. })));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode(
+            &Frame::FixedData {
+                da: 1,
+                sa: 2,
+                fc: FunctionCode::SRD_HIGH,
+                data: [0; 8],
+            },
+            &mut buf,
+        )
+        .unwrap();
+        for cut in 0..buf.len() {
+            let r = decode(&buf[..cut]);
+            if cut == 0 {
+                assert!(matches!(r, Err(FrameError::Truncated { .. })));
+            } else {
+                assert!(r.is_err(), "decode of {cut}-byte prefix must fail");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_delimiter_rejected() {
+        assert!(matches!(
+            decode(&[0x99, 0, 0]),
+            Err(FrameError::BadStartDelimiter(0x99))
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected_at_encode() {
+        let mut buf = BytesMut::new();
+        let err = encode(
+            &Frame::Variable {
+                da: 1,
+                sa: 2,
+                fc: FunctionCode::SRD_LOW,
+                data: vec![0; 247],
+            },
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrameError::PayloadTooLarge { size: 247 }));
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_frame() {
+        let mut buf = BytesMut::new();
+        encode(&Frame::ShortAck, &mut buf).unwrap();
+        encode(&Frame::Token { da: 1, sa: 2 }, &mut buf).unwrap();
+        let (f1, n1) = decode(&buf).unwrap();
+        assert_eq!(f1, Frame::ShortAck);
+        let (f2, n2) = decode(&buf[n1..]).unwrap();
+        assert_eq!(f2, Frame::Token { da: 1, sa: 2 });
+        assert_eq!(n1 + n2, buf.len());
+    }
+}

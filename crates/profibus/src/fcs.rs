@@ -1,0 +1,44 @@
+//! The PROFIBUS frame check sequence.
+//!
+//! DIN 19245 uses an arithmetic checksum: the FCS octet is the sum of the
+//! covered octets (DA, SA, FC and all data units) modulo 256, transmitted
+//! without carry.
+
+/// Computes the FCS over the covered octets.
+pub fn fcs(covered: &[u8]) -> u8 {
+    covered
+        .iter()
+        .fold(0u8, |acc, &b| acc.wrapping_add(b))
+}
+
+/// Verifies a received FCS.
+pub fn check(covered: &[u8], received: u8) -> bool {
+    fcs(covered) == received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sums() {
+        assert_eq!(fcs(&[]), 0);
+        assert_eq!(fcs(&[1, 2, 3]), 6);
+        assert_eq!(fcs(&[0x10, 0x20]), 0x30);
+    }
+
+    #[test]
+    fn wraps_modulo_256() {
+        assert_eq!(fcs(&[0xFF, 0x01]), 0x00);
+        assert_eq!(fcs(&[0xFF, 0xFF]), 0xFE);
+        assert_eq!(fcs(&[0x80, 0x80, 0x01]), 0x01);
+    }
+
+    #[test]
+    fn check_accepts_and_rejects() {
+        let data = [0x02, 0x01, 0x49];
+        let sum = fcs(&data);
+        assert!(check(&data, sum));
+        assert!(!check(&data, sum.wrapping_add(1)));
+    }
+}

@@ -1,0 +1,291 @@
+//! FDL frame formats (DIN 19245 part 1).
+//!
+//! PROFIBUS defines four telegram formats plus a single-character
+//! acknowledge:
+//!
+//! | Format | SD byte | Layout |
+//! |--------|---------|--------|
+//! | SD1 (fixed, no data)   | `0x10` | `SD DA SA FC FCS ED` |
+//! | SD2 (variable data)    | `0x68` | `SD LE LEr SD DA SA FC DU… FCS ED` |
+//! | SD3 (fixed, 8 data)    | `0xA2` | `SD DA SA FC DU×8 FCS ED` |
+//! | SD4 (token)            | `0xDC` | `SD DA SA` |
+//! | SC  (short ack)        | `0xE5` | `SC` |
+//!
+//! `ED` is always `0x16`; `FCS` covers `DA SA FC DU…` (see [`crate::fcs`]).
+//! The frame-control octet `FC` carries the request/response discriminator,
+//! the frame-count bit (FCB/FCV) used for duplicate suppression, and the
+//! function code.
+
+use profirt_base::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::chartime::{char_time, frame_chars};
+
+/// Start-delimiter constants.
+pub mod delim {
+    /// SD1 — fixed length, no data units.
+    pub const SD1: u8 = 0x10;
+    /// SD2 — variable length.
+    pub const SD2: u8 = 0x68;
+    /// SD3 — fixed length, eight data units.
+    pub const SD3: u8 = 0xA2;
+    /// SD4 — token.
+    pub const SD4: u8 = 0xDC;
+    /// Single-character acknowledge.
+    pub const SC: u8 = 0xE5;
+    /// End delimiter.
+    pub const ED: u8 = 0x16;
+}
+
+/// The frame-control octet.
+///
+/// Bit 6 distinguishes request (`1`) from response (`0`) telegrams; in
+/// request telegrams bits 5/4 are FCB/FCV (frame count bit / valid); bits
+/// 3–0 are the function code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FunctionCode(pub u8);
+
+impl FunctionCode {
+    /// Send Data with Acknowledge (SDA), low priority.
+    pub const SDA_LOW: FunctionCode = FunctionCode(0x43); // req + FCV + fn 3
+    /// Send Data with Acknowledge (SDA), high priority.
+    pub const SDA_HIGH: FunctionCode = FunctionCode(0x45);
+    /// Send and Request Data (SRD), low priority.
+    pub const SRD_LOW: FunctionCode = FunctionCode(0x4C);
+    /// Send and Request Data (SRD), high priority.
+    pub const SRD_HIGH: FunctionCode = FunctionCode(0x4D);
+    /// FDL status request (used by the GAP update mechanism).
+    pub const REQUEST_FDL_STATUS: FunctionCode = FunctionCode(0x49);
+    /// Response: FDL status — master ready to enter ring.
+    pub const STATUS_READY: FunctionCode = FunctionCode(0x20);
+    /// Response: data low (DL).
+    pub const RESPONSE_DATA_LOW: FunctionCode = FunctionCode(0x08);
+    /// Response: data high (DH).
+    pub const RESPONSE_DATA_HIGH: FunctionCode = FunctionCode(0x0A);
+
+    /// `true` if this is a request telegram (bit 6 set).
+    pub fn is_request(self) -> bool {
+        self.0 & 0x40 != 0
+    }
+
+    /// The 4-bit function number.
+    pub fn function(self) -> u8 {
+        self.0 & 0x0F
+    }
+
+    /// Returns a copy with the frame-count bit set/cleared (requests only).
+    pub fn with_fcb(self, fcb: bool) -> FunctionCode {
+        if fcb {
+            FunctionCode(self.0 | 0x20)
+        } else {
+            FunctionCode(self.0 & !0x20)
+        }
+    }
+
+    /// The frame-count bit.
+    pub fn fcb(self) -> bool {
+        self.0 & 0x20 != 0
+    }
+}
+
+/// A decoded FDL frame.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Frame {
+    /// SD4 token pass from `sa` to `da`.
+    Token {
+        /// Destination (next master in the logical ring).
+        da: u8,
+        /// Source.
+        sa: u8,
+    },
+    /// Single-character acknowledge.
+    ShortAck,
+    /// SD1 fixed-length frame without data units.
+    Fixed {
+        /// Destination address.
+        da: u8,
+        /// Source address.
+        sa: u8,
+        /// Frame control.
+        fc: FunctionCode,
+    },
+    /// SD3 fixed-length frame with exactly eight data units.
+    FixedData {
+        /// Destination address.
+        da: u8,
+        /// Source address.
+        sa: u8,
+        /// Frame control.
+        fc: FunctionCode,
+        /// The eight data units.
+        data: [u8; 8],
+    },
+    /// SD2 variable-length frame.
+    Variable {
+        /// Destination address.
+        da: u8,
+        /// Source address.
+        sa: u8,
+        /// Frame control.
+        fc: FunctionCode,
+        /// Data units (0..=246 - 3 octets per DIN 19245; we enforce the
+        /// 243-octet limit at encode time).
+        data: Vec<u8>,
+    },
+}
+
+/// Maximum SD2 data-unit payload (`LE ≤ 249`, minus DA/SA/FC).
+pub const MAX_SD2_DATA: usize = 246;
+
+impl Frame {
+    /// Number of transmitted characters.
+    pub fn char_len(&self) -> usize {
+        match self {
+            Frame::Token { .. } => frame_chars::TOKEN,
+            Frame::ShortAck => frame_chars::SHORT_ACK,
+            Frame::Fixed { .. } => frame_chars::SD1,
+            Frame::FixedData { .. } => frame_chars::SD3,
+            Frame::Variable { data, .. } => frame_chars::sd2(data.len()),
+        }
+    }
+
+    /// On-wire transmission time in bit times.
+    pub fn transmission_time(&self) -> Time {
+        char_time(self.char_len())
+    }
+}
+
+/// Decode errors (see [`crate::codec`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// Input shorter than the minimum for its start delimiter.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The first byte is not a known start delimiter.
+    BadStartDelimiter(u8),
+    /// SD2 length bytes disagree (`LE != LEr`) or are out of range.
+    BadLength {
+        /// First length byte.
+        le: u8,
+        /// Repeated length byte.
+        ler: u8,
+    },
+    /// The second SD byte of an SD2 frame does not repeat `0x68`.
+    BadSd2Repeat(u8),
+    /// Checksum mismatch.
+    BadChecksum {
+        /// Expected (computed) FCS.
+        expected: u8,
+        /// Received FCS.
+        got: u8,
+    },
+    /// End delimiter is not `0x16`.
+    BadEndDelimiter(u8),
+    /// Payload too large to encode in SD2.
+    PayloadTooLarge {
+        /// Attempted size.
+        size: usize,
+    },
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, got {got}")
+            }
+            FrameError::BadStartDelimiter(b) => {
+                write!(f, "unknown start delimiter 0x{b:02X}")
+            }
+            FrameError::BadLength { le, ler } => {
+                write!(f, "SD2 length mismatch: LE=0x{le:02X} LEr=0x{ler:02X}")
+            }
+            FrameError::BadSd2Repeat(b) => {
+                write!(f, "SD2 repeat delimiter is 0x{b:02X}, expected 0x68")
+            }
+            FrameError::BadChecksum { expected, got } => {
+                write!(f, "FCS mismatch: expected 0x{expected:02X}, got 0x{got:02X}")
+            }
+            FrameError::BadEndDelimiter(b) => {
+                write!(f, "end delimiter is 0x{b:02X}, expected 0x16")
+            }
+            FrameError::PayloadTooLarge { size } => {
+                write!(f, "SD2 payload of {size} bytes exceeds {MAX_SD2_DATA}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    #[test]
+    fn function_code_fields() {
+        assert!(FunctionCode::SRD_HIGH.is_request());
+        assert!(!FunctionCode::RESPONSE_DATA_LOW.is_request());
+        assert_eq!(FunctionCode::SRD_HIGH.function(), 0x0D);
+        let with = FunctionCode::SDA_LOW.with_fcb(true);
+        assert!(with.fcb());
+        assert!(!with.with_fcb(false).fcb());
+    }
+
+    #[test]
+    fn char_lengths() {
+        assert_eq!(Frame::Token { da: 1, sa: 2 }.char_len(), 3);
+        assert_eq!(Frame::ShortAck.char_len(), 1);
+        assert_eq!(
+            Frame::Fixed {
+                da: 1,
+                sa: 2,
+                fc: FunctionCode::SDA_HIGH
+            }
+            .char_len(),
+            6
+        );
+        assert_eq!(
+            Frame::FixedData {
+                da: 1,
+                sa: 2,
+                fc: FunctionCode::SRD_HIGH,
+                data: [0; 8]
+            }
+            .char_len(),
+            14
+        );
+        assert_eq!(
+            Frame::Variable {
+                da: 1,
+                sa: 2,
+                fc: FunctionCode::SRD_HIGH,
+                data: vec![0; 10]
+            }
+            .char_len(),
+            19
+        );
+    }
+
+    #[test]
+    fn transmission_times() {
+        assert_eq!(Frame::Token { da: 1, sa: 2 }.transmission_time(), t(33));
+        assert_eq!(Frame::ShortAck.transmission_time(), t(11));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FrameError::BadChecksum {
+            expected: 0xAB,
+            got: 0xCD,
+        };
+        assert!(e.to_string().contains("0xAB"));
+        assert!(e.to_string().contains("0xCD"));
+    }
+}

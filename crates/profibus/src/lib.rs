@@ -1,0 +1,51 @@
+//! # profirt-profibus — PROFIBUS FDL substrate
+//!
+//! A faithful model of the PROFIBUS (DIN 19245 / EN 50170 volume 2) fieldbus
+//! data-link layer, at the level of detail the timing analyses and the
+//! discrete-event simulator need:
+//!
+//! * [`params`] — bus timing parameters (baud rate, slot time `TSL`, station
+//!   delays `TSDR`, idle times `TID1/TID2`, retry limit, target rotation time
+//!   `TTR`) with standard profiles. One tick = one **bit time**.
+//! * [`chartime`] — UART character timing (11 bits/char) and frame lengths.
+//! * [`fcs`] — the PROFIBUS frame check sequence (mod-256 running sum).
+//! * [`frame`] / [`codec`] — the four FDL frame formats (SD1 fixed, SD2
+//!   variable, SD3 fixed-with-data, SD4 token) plus the single-character
+//!   acknowledge, with exact binary encode/decode.
+//! * [`cycle`] — message-cycle timing: action frame + responder turnaround +
+//!   response + idle time, with worst-case retry expansion. This produces
+//!   the `Chi` / `Cl` inputs of the paper's analysis from payload sizes.
+//! * [`token`] — the timed-token state machine of the paper's §3.1: `TRR`
+//!   measurement, `TTH = TTR − TRR`, the late-token rule (at most one
+//!   high-priority message cycle), and the `TTH`-overrun semantics (timer
+//!   tested only at cycle start).
+//! * [`queue`] — outgoing queues: the stock FCFS queue, the paper's §4
+//!   priority-ordered application-process queue (DM or EDF keyed), and the
+//!   depth-limited communication-stack queue.
+//! * [`station`] / [`ring`] / [`gap`] — master/slave station models, the
+//!   logical token ring (LAS, next-station), and the GAP update mechanism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chartime;
+pub mod codec;
+pub mod cycle;
+pub mod fcs;
+pub mod fdl;
+pub mod frame;
+pub mod gap;
+pub mod params;
+pub mod queue;
+pub mod ring;
+pub mod station;
+pub mod token;
+
+pub use cycle::{MessageCycleSpec, TokenPassTime};
+pub use fdl::{token_recovery_timeout, FdlEvent, FdlState, FdlStation};
+pub use frame::{Frame, FrameError, FunctionCode};
+pub use params::BusParams;
+pub use queue::{ApQueue, QueuePolicy, Request, StackQueue};
+pub use ring::LogicalRing;
+pub use station::{LowPriorityTraffic, MasterStation, SlaveStation};
+pub use token::{TokenHold, TokenTimer};

@@ -1,0 +1,163 @@
+//! Property-based tests for the frame codec and queues.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+use profirt_base::{Priority, StreamId, Time};
+use profirt_profibus::codec::{decode, encode};
+use profirt_profibus::frame::{Frame, FunctionCode};
+use profirt_profibus::{ApQueue, QueuePolicy, Request, StackQueue};
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(da, sa)| Frame::Token { da, sa }),
+        Just(Frame::ShortAck),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(da, sa, fc)| Frame::Fixed {
+            da,
+            sa,
+            fc: FunctionCode(fc)
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<[u8; 8]>()).prop_map(
+            |(da, sa, fc, data)| Frame::FixedData {
+                da,
+                sa,
+                fc: FunctionCode(fc),
+                data
+            }
+        ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..=246)
+        )
+            .prop_map(|(da, sa, fc, data)| Frame::Variable {
+                da,
+                sa,
+                fc: FunctionCode(fc),
+                data
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips(frame in arb_frame()) {
+        let mut buf = BytesMut::new();
+        let written = encode(&frame, &mut buf).unwrap();
+        prop_assert_eq!(written, frame.char_len());
+        let (decoded, consumed) = decode(&buf).unwrap();
+        prop_assert_eq!(consumed, written);
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let _ = decode(&bytes); // must return Ok or Err, never panic
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_wrong_frame(
+        frame in arb_frame(),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        // Fault injection: flip bits somewhere; decoding must either fail
+        // or (if the corruption hit a "don't care" position such as the
+        // address fields whose change keeps the FCS consistent — impossible
+        // for single-byte XOR except on SD4/SC which have no FCS) produce a
+        // *different* frame only for the unprotected token/ack formats.
+        let mut buf = BytesMut::new();
+        encode(&frame, &mut buf).unwrap();
+        let mut bytes = buf.to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        match decode(&bytes) {
+            Err(_) => {} // detected — good
+            Ok((decoded, _)) => {
+                let unprotected = matches!(
+                    frame,
+                    Frame::Token { .. } | Frame::ShortAck
+                );
+                if !unprotected {
+                    // FCS-protected formats may only decode successfully if
+                    // the corrupted byte produced a still-consistent frame;
+                    // with a single-byte XOR the FCS check makes equality
+                    // with the original impossible and consistency requires
+                    // the mutation to cancel out, which XOR != 0 forbids —
+                    // except start-delimiter mutations that turn the prefix
+                    // into a shorter valid frame (e.g. SD2 -> SC prefix).
+                    prop_assert_ne!(decoded, frame);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ap_queue_pops_in_key_order(
+        entries in proptest::collection::vec(
+            (0usize..16, 0i64..10_000, 0u32..16, 1i64..1_000), 1..64
+        ),
+        policy_pick in 0u8..3,
+    ) {
+        let policy = match policy_pick {
+            0 => QueuePolicy::Fcfs,
+            1 => QueuePolicy::DeadlineMonotonic,
+            _ => QueuePolicy::Edf,
+        };
+        let mut q = ApQueue::new(policy);
+        for (i, &(stream, dl, prio, ch)) in entries.iter().enumerate() {
+            q.push(Request {
+                stream: StreamId(stream),
+                release: Time::new(i as i64),
+                abs_deadline: Time::new(dl),
+                priority: Priority(prio),
+                cycle_time: Time::new(ch),
+            });
+        }
+        let drained = q.drain_ordered();
+        prop_assert_eq!(drained.len(), entries.len());
+        for w in drained.windows(2) {
+            match policy {
+                QueuePolicy::Fcfs => prop_assert!(w[0].release <= w[1].release),
+                QueuePolicy::DeadlineMonotonic => {
+                    prop_assert!(w[0].priority.0 <= w[1].priority.0)
+                }
+                QueuePolicy::Edf => {
+                    prop_assert!(w[0].abs_deadline <= w[1].abs_deadline)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stack_queue_never_exceeds_capacity(
+        cap in 1usize..8,
+        pushes in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let mut s = StackQueue::new(cap);
+        let mut accepted = 0usize;
+        let mut popped = 0usize;
+        for (i, push) in pushes.iter().enumerate() {
+            if *push {
+                let pre_len = s.len();
+                let ok = s.try_push(Request {
+                    stream: StreamId(i),
+                    release: Time::new(i as i64),
+                    abs_deadline: Time::new(i as i64 + 100),
+                    priority: Priority(0),
+                    cycle_time: Time::new(1),
+                });
+                if ok { accepted += 1; }
+                prop_assert!(s.len() <= cap);
+                prop_assert_eq!(ok, pre_len < cap, "push accepted iff a slot was free");
+                prop_assert_eq!(accepted - popped, s.len());
+            } else if s.pop().is_some() {
+                popped += 1;
+            }
+        }
+        prop_assert_eq!(accepted - popped, s.len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Enumeration of demand-test checkpoints.
+//!
+//! The EDF feasibility tests (paper eqs. (3)–(5)) need the set
+//! `S = ⋃_i {k·Ti + Di : k ∈ ℕ} ∩ [0, bound)` in ascending order — the points
+//! where the processor demand function steps. The EDF response-time analyses
+//! (eqs. (8) and (10)) need the analogous arrival candidates
+//! `⋃_j {k·Tj + Dj − Di ≥ 0} ∩ [0, bound]`. Both are merges of `n` arithmetic
+//! progressions; [`CheckpointIter`] performs the merge lazily with a binary
+//! heap, deduplicating equal values.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use profirt_base::Time;
+
+/// Lazily merged, deduplicated union of arithmetic progressions
+/// `{offset_i + k·step_i : k ∈ ℕ}` restricted to `[0, bound]`.
+///
+/// Progressions with a negative offset are advanced to their first
+/// non-negative element. The iterator yields values in strictly ascending
+/// order.
+#[derive(Debug, Clone)]
+pub struct CheckpointIter {
+    heap: BinaryHeap<Reverse<(Time, usize)>>,
+    steps: Vec<Time>,
+    bound: Time,
+    last: Option<Time>,
+}
+
+impl CheckpointIter {
+    /// Creates a merge over `(offset, step)` progressions within
+    /// `[0, bound]` (inclusive). Steps must be strictly positive.
+    ///
+    /// # Panics
+    /// Panics if any step is not strictly positive.
+    pub fn new(progressions: &[(Time, Time)], bound: Time) -> CheckpointIter {
+        let mut heap = BinaryHeap::with_capacity(progressions.len());
+        let mut steps = Vec::with_capacity(progressions.len());
+        for (idx, &(offset, step)) in progressions.iter().enumerate() {
+            assert!(
+                step.is_positive(),
+                "checkpoint progression step must be positive"
+            );
+            steps.push(step);
+            // Advance negative offsets to the first k with offset + k*step >= 0.
+            let first = if offset.is_negative() {
+                let k = (-offset).ceil_div(step);
+                offset + step * k
+            } else {
+                offset
+            };
+            if first <= bound {
+                heap.push(Reverse((first, idx)));
+            }
+        }
+        CheckpointIter {
+            heap,
+            steps,
+            bound,
+            last: None,
+        }
+    }
+
+    /// Convenience constructor for the absolute-deadline checkpoints
+    /// `{k·Ti + Di}` of a `(D, T)` list.
+    pub fn deadlines(dt: &[(Time, Time)], bound: Time) -> CheckpointIter {
+        let progs: Vec<(Time, Time)> = dt.iter().map(|&(d, t)| (d, t)).collect();
+        CheckpointIter::new(&progs, bound)
+    }
+}
+
+impl Iterator for CheckpointIter {
+    type Item = Time;
+
+    fn next(&mut self) -> Option<Time> {
+        while let Some(Reverse((v, idx))) = self.heap.pop() {
+            let step = self.steps[idx];
+            let succ = v.checked_add(step);
+            if let Some(s) = succ {
+                if s <= self.bound {
+                    self.heap.push(Reverse((s, idx)));
+                }
+            }
+            if self.last != Some(v) {
+                self.last = Some(v);
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    fn collect(progs: &[(i64, i64)], bound: i64) -> Vec<i64> {
+        let p: Vec<(Time, Time)> = progs.iter().map(|&(o, s)| (t(o), t(s))).collect();
+        CheckpointIter::new(&p, t(bound)).map(Time::ticks).collect()
+    }
+
+    #[test]
+    fn single_progression() {
+        assert_eq!(collect(&[(3, 5)], 20), vec![3, 8, 13, 18]);
+    }
+
+    #[test]
+    fn merged_and_deduplicated() {
+        // {2,6,10,...} ∪ {3,6,9,...}: 6 appears once.
+        assert_eq!(collect(&[(2, 4), (3, 3)], 12), vec![2, 3, 6, 9, 10, 12]);
+    }
+
+    #[test]
+    fn bound_is_inclusive() {
+        assert_eq!(collect(&[(0, 5)], 10), vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn negative_offsets_advance_to_first_nonnegative() {
+        // offset -7 step 5 -> first element is -7 + 2*5 = 3.
+        assert_eq!(collect(&[(-7, 5)], 20), vec![3, 8, 13, 18]);
+        // offset exactly divisible: -10 step 5 -> first element 0.
+        assert_eq!(collect(&[(-10, 5)], 6), vec![0, 5]);
+    }
+
+    #[test]
+    fn empty_when_all_offsets_exceed_bound() {
+        assert_eq!(collect(&[(50, 5)], 20), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn strictly_ascending() {
+        let pts = collect(&[(1, 3), (2, 5), (0, 7), (1, 3)], 100);
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1], "not ascending: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn deadlines_constructor() {
+        let dt = [(t(4), t(10)), (t(6), t(14))];
+        let pts: Vec<i64> = CheckpointIter::deadlines(&dt, t(30))
+            .map(Time::ticks)
+            .collect();
+        assert_eq!(pts, vec![4, 6, 14, 20, 24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = CheckpointIter::new(&[(t(0), t(0))], t(10));
+    }
+}

@@ -1,0 +1,182 @@
+//! The synchronous busy period.
+//!
+//! The length `L` of the *synchronous busy period* — the interval of
+//! continuous processor demand when all tasks are released together at their
+//! maximum rate — is the least positive fixpoint of
+//!
+//! `L = W(L)`,  `W(t) = Σ_i ⌈t/Ti⌉ · Ci`
+//!
+//! iterated from `L⁰ = Σ Ci` (the recurrence printed after the paper's
+//! eq. (10)). It exists iff total utilisation is `< 1` and bounds both the
+//! EDF demand-test checkpoints (eq. (3)) and the arrival candidates of the
+//! EDF response-time analyses (eqs. (8), (10)).
+
+use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
+
+use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+
+/// Computes the synchronous busy period `L`.
+///
+/// # Errors
+/// * [`AnalysisError::UtilizationAtLeastOne`] if `Σ Ci/Ti ≥ 1` (the fixpoint
+///   does not exist).
+/// * [`AnalysisError::EmptySet`] for an empty set (no busy period).
+/// * Iteration-cap / overflow errors from pathological inputs.
+pub fn synchronous_busy_period(
+    set: &TaskSet,
+    config: FixpointConfig,
+) -> AnalysisResult<Time> {
+    if set.is_empty() {
+        return Err(AnalysisError::EmptySet);
+    }
+    if !set.total_utilization().lt_one() {
+        return Err(AnalysisError::UtilizationAtLeastOne);
+    }
+    let seed: Time = set.total_cost();
+    let outcome = fixpoint("busy-period", seed, Time::MAX, config, |l| {
+        let mut next = Time::ZERO;
+        for (_, task) in set.iter() {
+            let n_jobs = l.ceil_div(task.t).max(1);
+            next = next.try_add(task.c.try_mul(n_jobs)?)?;
+        }
+        Ok(next)
+    })?;
+    match outcome {
+        FixOutcome::Converged(l) => Ok(l),
+        // Unreachable with bound = Time::MAX short of overflow, which the
+        // closure reports itself.
+        FixOutcome::ExceededBound(_) => Err(AnalysisError::Overflow {
+            context: "busy period bound",
+        }),
+    }
+}
+
+/// Computes the blocking-extended busy period: the least fixpoint of
+/// `t = B + Σ ⌈t/Ti⌉·Ci`.
+///
+/// Under non-preemptive dispatching a busy interval can open with a blocker
+/// of length up to `B = max Ci`; the extended fixpoint safely bounds the
+/// first deadline miss and the arrival candidates of the non-preemptive EDF
+/// response-time analysis. It dominates the plain synchronous busy period,
+/// so using it where the paper uses `L` only adds (sound) checkpoints.
+pub fn nonpreemptive_busy_period(
+    set: &TaskSet,
+    blocking: Time,
+    config: FixpointConfig,
+) -> AnalysisResult<Time> {
+    if set.is_empty() {
+        return Err(AnalysisError::EmptySet);
+    }
+    if !set.total_utilization().lt_one() {
+        return Err(AnalysisError::UtilizationAtLeastOne);
+    }
+    let seed: Time = set.total_cost().try_add(blocking)?;
+    let outcome = fixpoint("np-busy-period", seed, Time::MAX, config, |l| {
+        let mut next = blocking;
+        for (_, task) in set.iter() {
+            let n_jobs = l.ceil_div(task.t).max(1);
+            next = next.try_add(task.c.try_mul(n_jobs)?)?;
+        }
+        Ok(next)
+    })?;
+    match outcome {
+        FixOutcome::Converged(l) => Ok(l),
+        FixOutcome::ExceededBound(_) => Err(AnalysisError::Overflow {
+            context: "np busy period bound",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    fn l(set: &TaskSet) -> Time {
+        synchronous_busy_period(set, FixpointConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn single_task() {
+        let set = TaskSet::from_ct(&[(3, 10)]).unwrap();
+        assert_eq!(l(&set), t(3));
+    }
+
+    #[test]
+    fn textbook_busy_period() {
+        // C=(26,62), T=(70,200): L0=88, W(88)=2*26+62=114,
+        // W(114)=2*26+62=114 ✓.
+        let set = TaskSet::from_ct(&[(26, 70), (62, 200)]).unwrap();
+        assert_eq!(l(&set), t(114));
+    }
+
+    #[test]
+    fn busy_period_at_least_total_cost() {
+        let set = TaskSet::from_ct(&[(1, 4), (1, 6), (2, 13)]).unwrap();
+        assert!(l(&set) >= set.total_cost());
+    }
+
+    #[test]
+    fn utilization_one_is_rejected() {
+        let set = TaskSet::from_ct(&[(1, 2), (1, 2)]).unwrap();
+        assert_eq!(
+            synchronous_busy_period(&set, FixpointConfig::default()).unwrap_err(),
+            AnalysisError::UtilizationAtLeastOne
+        );
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let set = TaskSet::new(vec![]).unwrap();
+        assert_eq!(
+            synchronous_busy_period(&set, FixpointConfig::default()).unwrap_err(),
+            AnalysisError::EmptySet
+        );
+    }
+
+    #[test]
+    fn busy_period_grows_with_utilization() {
+        let lo = TaskSet::from_ct(&[(1, 10), (1, 15)]).unwrap();
+        let hi = TaskSet::from_ct(&[(4, 10), (5, 15)]).unwrap();
+        assert!(l(&hi) > l(&lo));
+    }
+
+    #[test]
+    fn np_busy_period_dominates_plain() {
+        let set = TaskSet::from_ct(&[(26, 70), (62, 200)]).unwrap();
+        let plain = l(&set);
+        let blocked =
+            nonpreemptive_busy_period(&set, t(62), FixpointConfig::default()).unwrap();
+        assert!(blocked >= plain);
+        // With zero blocking they coincide.
+        let zero =
+            nonpreemptive_busy_period(&set, Time::ZERO, FixpointConfig::default())
+                .unwrap();
+        assert_eq!(zero, plain);
+    }
+
+    #[test]
+    fn np_busy_period_fixpoint_property() {
+        let set = TaskSet::from_ct(&[(2, 5), (3, 11)]).unwrap();
+        let b = t(7);
+        let val = nonpreemptive_busy_period(&set, b, FixpointConfig::default()).unwrap();
+        let w = |x: Time| {
+            b + t(x.ceil_div(t(5)).max(1) * 2) + t(x.ceil_div(t(11)).max(1) * 3)
+        };
+        assert_eq!(w(val), val);
+    }
+
+    #[test]
+    fn high_utilization_long_busy_period() {
+        // U = 9/10 + small: busy period spans many periods.
+        let set = TaskSet::from_ct(&[(9, 10), (9, 100)]).unwrap();
+        // W(t) = ⌈t/10⌉9 + ⌈t/100⌉9; iterates 18, 27, ..., 90; W(90) = 90.
+        let val = l(&set);
+        assert_eq!(val, t(90));
+        // Verify it is a genuine fixpoint.
+        let w = |x: Time| {
+            t(x.ceil_div(t(10)) * 9) + t(x.ceil_div(t(100)) * 9)
+        };
+        assert_eq!(w(val), val);
+    }
+}

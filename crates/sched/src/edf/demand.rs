@@ -1,0 +1,267 @@
+//! The processor-demand feasibility test for preemptive EDF — the paper's
+//! eq. (3).
+//!
+//! For sporadic tasks with `Di ≤ Ti` (and more generally arbitrary
+//! deadlines), preemptive EDF meets all deadlines iff the cumulative demand
+//! of jobs with absolute deadlines at or before `t` never exceeds `t`:
+//!
+//! `∀t ≥ 0 :  h(t) ≤ t`
+//!
+//! The paper writes the demand as `h(t) = Σ ⌈(t − Di)/Ti⌉⁺ · Ci`
+//! ([`DemandFormula::PaperCeiling`]); the standard form (Baruah et al. \[26\])
+//! is `h(t) = Σ (⌊(t − Di)/Ti⌋ + 1)⁺ · Ci` ([`DemandFormula::Standard`]).
+//! The two differ exactly at the checkpoints `t = k·Ti + Di`, where the
+//! ceiling form misses the job whose deadline is exactly `t` — at `t = Di`
+//! it counts zero jobs although one deadline elapses. `Standard` is the
+//! correct (and default) test; `PaperCeiling` is kept for fidelity and the
+//! B-A3 ablation (see DESIGN.md §3).
+//!
+//! `h` only steps at absolute deadlines `t ∈ S = ⋃{k·Ti + Di}`, and under
+//! `U < 1` it suffices to check `t` up to the synchronous busy period `L`
+//! (`tmax` in the paper's notation), so the test is finite.
+
+use profirt_base::{AnalysisResult, TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoints::CheckpointIter;
+use crate::edf::busy_period::synchronous_busy_period;
+use crate::fixpoint::FixpointConfig;
+
+/// Which demand-bound job-count formula to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum DemandFormula {
+    /// `(⌊(t − Di)/Ti⌋ + 1)⁺` — counts the job with deadline exactly `t`
+    /// (Baruah et al.; correct).
+    #[default]
+    Standard,
+    /// `⌈(t − Di)/Ti⌉⁺` — the form printed in the paper's eq. (3);
+    /// under-counts by one job per task at checkpoint instants.
+    PaperCeiling,
+}
+
+/// Configuration for the demand test.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DemandConfig {
+    /// Demand formula (default [`DemandFormula::Standard`]).
+    pub formula: DemandFormula,
+    /// Fixpoint limits for the busy-period bound.
+    pub fixpoint: FixpointConfig,
+}
+
+/// Outcome of a feasibility test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Feasibility {
+    /// `true` iff no checkpoint violated the test.
+    pub feasible: bool,
+    /// The first violating checkpoint and the demand measured there.
+    pub violation: Option<(Time, Time)>,
+    /// Number of checkpoints examined.
+    pub checked_points: usize,
+    /// The bound up to which checkpoints were enumerated (`tmax`).
+    pub horizon: Time,
+}
+
+/// The processor demand `h(t)` for the chosen formula.
+pub fn demand(set: &TaskSet, at: Time, formula: DemandFormula) -> Time {
+    let mut total = Time::ZERO;
+    for (_, task) in set.iter() {
+        let x = at - task.d;
+        let jobs = match formula {
+            DemandFormula::Standard => x.floor_div_plus_one_pos(task.t),
+            DemandFormula::PaperCeiling => x.ceil_div_pos(task.t),
+        };
+        total += task.c * jobs;
+    }
+    total
+}
+
+/// The preemptive-EDF feasibility test of eq. (3).
+///
+/// Requires `Σ Ci/Ti < 1` for a finite horizon; `Σ Ci/Ti > 1` is reported
+/// infeasible immediately (with no violating point recorded); `= 1` is
+/// accepted only for implicit-deadline sets (where the utilisation test is
+/// exact) and otherwise falls back to a hyperperiod-bounded check.
+pub fn edf_feasible_preemptive(
+    set: &TaskSet,
+    config: &DemandConfig,
+) -> AnalysisResult<Feasibility> {
+    if set.is_empty() {
+        return Ok(Feasibility {
+            feasible: true,
+            violation: None,
+            checked_points: 0,
+            horizon: Time::ZERO,
+        });
+    }
+    let u = set.total_utilization();
+    if !u.le_one() {
+        return Ok(Feasibility {
+            feasible: false,
+            violation: None,
+            checked_points: 0,
+            horizon: Time::ZERO,
+        });
+    }
+    let horizon = if u.lt_one() {
+        // The busy period bounds every first deadline miss.
+        synchronous_busy_period(set, config.fixpoint)?
+    } else {
+        if set.all_implicit_deadlines() {
+            // U == 1 with implicit deadlines: schedulable by the exact
+            // utilisation test; no demand check needed.
+            return Ok(Feasibility {
+                feasible: true,
+                violation: None,
+                checked_points: 0,
+                horizon: Time::ZERO,
+            });
+        }
+        // U == 1 with constrained deadlines: check one hyperperiod plus the
+        // largest deadline (a valid bound for the first miss at full load).
+        set.hyperperiod()?.try_add(
+            set.max_deadline().unwrap_or(Time::ZERO),
+        )?
+    };
+
+    let dt: Vec<(Time, Time)> = set.iter().map(|(_, task)| (task.d, task.t)).collect();
+    let mut checked = 0usize;
+    for point in CheckpointIter::deadlines(&dt, horizon) {
+        checked += 1;
+        let h = demand(set, point, config.formula);
+        if h > point {
+            return Ok(Feasibility {
+                feasible: false,
+                violation: Some((point, h)),
+                checked_points: checked,
+                horizon,
+            });
+        }
+    }
+    Ok(Feasibility {
+        feasible: true,
+        violation: None,
+        checked_points: checked,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    fn feasible(set: &TaskSet, formula: DemandFormula) -> Feasibility {
+        edf_feasible_preemptive(
+            set,
+            &DemandConfig {
+                formula,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn demand_steps_at_deadlines() {
+        let set = TaskSet::from_cdt(&[(2, 5, 10)]).unwrap();
+        // Standard formula: h(4)=0, h(5)=2, h(14)=2, h(15)=4.
+        assert_eq!(demand(&set, t(4), DemandFormula::Standard), t(0));
+        assert_eq!(demand(&set, t(5), DemandFormula::Standard), t(2));
+        assert_eq!(demand(&set, t(14), DemandFormula::Standard), t(2));
+        assert_eq!(demand(&set, t(15), DemandFormula::Standard), t(4));
+        // Paper ceiling: one job late at each step.
+        assert_eq!(demand(&set, t(5), DemandFormula::PaperCeiling), t(0));
+        assert_eq!(demand(&set, t(6), DemandFormula::PaperCeiling), t(2));
+        assert_eq!(demand(&set, t(15), DemandFormula::PaperCeiling), t(2));
+    }
+
+    #[test]
+    fn paper_ceiling_never_exceeds_standard() {
+        let set = TaskSet::from_cdt(&[(1, 3, 7), (2, 9, 11), (1, 4, 5)]).unwrap();
+        for x in 0..200 {
+            let s = demand(&set, t(x), DemandFormula::Standard);
+            let p = demand(&set, t(x), DemandFormula::PaperCeiling);
+            assert!(p <= s, "at t={x}: paper {p:?} > standard {s:?}");
+        }
+    }
+
+    #[test]
+    fn implicit_deadline_feasibility_matches_utilization() {
+        // U = 11/12 < 1 implicit deadlines: feasible.
+        let set = TaskSet::from_ct(&[(1, 2), (1, 3), (1, 12)]).unwrap();
+        assert!(feasible(&set, DemandFormula::Standard).feasible);
+        // U = 1 exactly, implicit: feasible via the exact utilisation test.
+        let full = TaskSet::from_ct(&[(1, 2), (1, 2)]).unwrap();
+        assert!(feasible(&full, DemandFormula::Standard).feasible);
+        // U > 1: infeasible.
+        let over = TaskSet::from_ct(&[(2, 3), (2, 3)]).unwrap();
+        assert!(!feasible(&over, DemandFormula::Standard).feasible);
+    }
+
+    #[test]
+    fn constrained_deadline_violation_found() {
+        // Two tasks with D < T that jointly overload an early interval:
+        // τ0=(3,3,10), τ1=(3,4,10): at t=4 demand = 3+3 = 6 > 4.
+        let set = TaskSet::from_cdt(&[(3, 3, 10), (3, 4, 10)]).unwrap();
+        let r = feasible(&set, DemandFormula::Standard);
+        assert!(!r.feasible);
+        let (point, h) = r.violation.unwrap();
+        assert_eq!(point, t(4));
+        assert_eq!(h, t(6));
+    }
+
+    #[test]
+    fn paper_ceiling_misses_boundary_violation() {
+        // Same set as above: the ceiling form sees h(3)=0, h(4)=3 <= 4 ...
+        // it only accumulates one period later, so it wrongly accepts some
+        // early-deadline overloads — the B-A3 ablation in action.
+        let set = TaskSet::from_cdt(&[(3, 3, 10), (3, 4, 10)]).unwrap();
+        let std = feasible(&set, DemandFormula::Standard);
+        let paper = feasible(&set, DemandFormula::PaperCeiling);
+        assert!(!std.feasible);
+        assert!(paper.feasible, "ceiling formula is optimistic at boundaries");
+    }
+
+    #[test]
+    fn horizon_is_busy_period_for_u_below_one() {
+        let set = TaskSet::from_cdt(&[(26, 70, 70), (62, 180, 200)]).unwrap();
+        let r = feasible(&set, DemandFormula::Standard);
+        // L for C=(26,62),T=(70,200) is 114.
+        assert_eq!(r.horizon, t(114));
+        assert!(r.checked_points > 0);
+    }
+
+    #[test]
+    fn checkpoints_only_in_horizon() {
+        let set = TaskSet::from_cdt(&[(1, 100, 1000)]).unwrap();
+        let r = feasible(&set, DemandFormula::Standard);
+        // Busy period is 1; only deadlines <= 1 checked: none (D=100 > 1).
+        assert!(r.feasible);
+        assert_eq!(r.checked_points, 0);
+    }
+
+    #[test]
+    fn empty_set_feasible() {
+        let set = TaskSet::new(vec![]).unwrap();
+        let r = feasible(&set, DemandFormula::Standard);
+        assert!(r.feasible);
+    }
+
+    #[test]
+    fn u_equal_one_constrained_uses_hyperperiod_horizon() {
+        // U = 1 with a constrained deadline: must actually check demand.
+        // τ0=(1,1,2), τ1=(1,2,2): at t=1 demand=1 <= 1; at t=2: 1+1+...
+        // h(2) = (⌊1/2⌋+1)*1 + (⌊0/2⌋+1)*1 = 2 <= 2; t=3: h= (⌊2/2⌋+1)+(...)=2+1=3 <= 3; feasible.
+        let set = TaskSet::from_cdt(&[(1, 1, 2), (1, 2, 2)]).unwrap();
+        let r = feasible(&set, DemandFormula::Standard);
+        assert!(r.feasible);
+        assert!(r.checked_points > 0);
+
+        // τ0=(1,1,2), τ1=(2,2,4): U = 1/2+1/2 = 1 with tight joint demand:
+        // t=2: h = 1 + 2 = 3 > 2: infeasible.
+        let bad = TaskSet::from_cdt(&[(1, 1, 2), (2, 2, 4)]).unwrap();
+        let r = feasible(&bad, DemandFormula::Standard);
+        assert!(!r.feasible);
+        assert!(r.violation.is_some());
+    }
+}

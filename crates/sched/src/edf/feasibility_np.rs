@@ -1,0 +1,257 @@
+//! Non-preemptive EDF feasibility — the paper's eqs. (4) and (5).
+//!
+//! Under non-preemptive EDF a job with a *later* absolute deadline may block
+//! the processor because it started first. Zheng & Shin \[25, 30\] account for
+//! this with a constant blocking term (the paper's eq. (4)):
+//!
+//! `∀t ≥ min Di :  Σ ⌈(t − Di)/Ti⌉⁺ · Ci + max_i Ci ≤ t`
+//!
+//! George, Rivierre & Spuri \[31\] observe this is pessimistic on two counts —
+//! the blocker is always taken to be the longest task, and it is charged over
+//! the whole interval — and refine it to (the paper's eq. (5)):
+//!
+//! `∀t ∈ S :  Σ ⌈(t − Di)/Ti⌉⁺ · Ci + max_{i : Di > t} (Ci − 1) ≤ t`
+//!
+//! where the blocking term is 0 if no task has `Di > t` (only a job whose
+//! deadline falls *after* `t` can cause the priority inversion at `t`), and
+//! `Ci − 1` reflects that the blocker must have started strictly earlier
+//! (one tick in our discrete time base).
+//!
+//! Both are implemented over either demand formula of
+//! [`crate::edf::demand::DemandFormula`]; the literal paper forms use
+//! [`DemandFormula::PaperCeiling`], the sound default is `Standard`.
+
+use profirt_base::{AnalysisResult, TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoints::CheckpointIter;
+use crate::edf::busy_period::nonpreemptive_busy_period;
+use crate::edf::demand::{demand, DemandFormula, Feasibility};
+use crate::fixpoint::FixpointConfig;
+
+/// Which blocking model to apply on top of the processor demand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum NpBlockingModel {
+    /// Eq. (4), Zheng & Shin: constant `max_i Ci` blocking at every `t`.
+    ZhengShin,
+    /// Eq. (5), George et al.: `max_{i : Di > t} (Ci − 1)`, zero when no
+    /// deadline exceeds `t`.
+    #[default]
+    George,
+}
+
+/// Configuration for the non-preemptive EDF feasibility test.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NpFeasibilityConfig {
+    /// Blocking model (eq. (4) vs eq. (5)).
+    pub blocking: NpBlockingModel,
+    /// Demand job-count formula.
+    pub formula: DemandFormula,
+    /// Fixpoint limits for the horizon computation.
+    pub fixpoint: FixpointConfig,
+}
+
+impl NpFeasibilityConfig {
+    /// Literal eq. (4) as printed in the paper.
+    pub fn paper_eq4() -> NpFeasibilityConfig {
+        NpFeasibilityConfig {
+            blocking: NpBlockingModel::ZhengShin,
+            formula: DemandFormula::PaperCeiling,
+            ..Default::default()
+        }
+    }
+
+    /// Literal eq. (5) as printed in the paper.
+    pub fn paper_eq5() -> NpFeasibilityConfig {
+        NpFeasibilityConfig {
+            blocking: NpBlockingModel::George,
+            formula: DemandFormula::PaperCeiling,
+            ..Default::default()
+        }
+    }
+}
+
+fn blocking_at(set: &TaskSet, t: Time, model: NpBlockingModel) -> Time {
+    match model {
+        NpBlockingModel::ZhengShin => set.max_cost().unwrap_or(Time::ZERO),
+        NpBlockingModel::George => set
+            .iter()
+            .filter(|(_, task)| task.d > t)
+            .map(|(_, task)| (task.c - Time::ONE).max_zero())
+            .max()
+            .unwrap_or(Time::ZERO),
+    }
+}
+
+/// Non-preemptive EDF feasibility test (eqs. (4)/(5)).
+///
+/// Checkpoints are the absolute deadlines `{k·Ti + Di}` up to the
+/// blocking-augmented busy period (the synchronous busy period computed with
+/// an extra `max Ci` of initial blocking — a safe horizon for the first
+/// miss under non-preemptive dispatching).
+pub fn edf_feasible_nonpreemptive(
+    set: &TaskSet,
+    config: &NpFeasibilityConfig,
+) -> AnalysisResult<Feasibility> {
+    if set.is_empty() {
+        return Ok(Feasibility {
+            feasible: true,
+            violation: None,
+            checked_points: 0,
+            horizon: Time::ZERO,
+        });
+    }
+    let u = set.total_utilization();
+    if !u.le_one() {
+        return Ok(Feasibility {
+            feasible: false,
+            violation: None,
+            checked_points: 0,
+            horizon: Time::ZERO,
+        });
+    }
+    let horizon = if u.lt_one() {
+        // Safe horizon: the blocking-extended busy period (a non-preemptive
+        // busy interval can open with a blocker of up to max Ci).
+        nonpreemptive_busy_period(
+            set,
+            set.max_cost().unwrap_or(Time::ZERO),
+            config.fixpoint,
+        )?
+    } else {
+        set.hyperperiod()?
+            .try_add(set.max_deadline().unwrap_or(Time::ZERO))?
+            .try_add(set.max_cost().unwrap_or(Time::ZERO))?
+    };
+
+    let dt: Vec<(Time, Time)> = set.iter().map(|(_, task)| (task.d, task.t)).collect();
+    let mut checked = 0usize;
+    for point in CheckpointIter::deadlines(&dt, horizon) {
+        checked += 1;
+        let h = demand(set, point, config.formula);
+        let b = blocking_at(set, point, config.blocking);
+        if h + b > point {
+            return Ok(Feasibility {
+                feasible: false,
+                violation: Some((point, h + b)),
+                checked_points: checked,
+                horizon,
+            });
+        }
+    }
+    Ok(Feasibility {
+        feasible: true,
+        violation: None,
+        checked_points: checked,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn run(set: &TaskSet, blocking: NpBlockingModel) -> Feasibility {
+        edf_feasible_nonpreemptive(
+            set,
+            &NpFeasibilityConfig {
+                blocking,
+                formula: DemandFormula::Standard,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_task_always_feasible_if_c_le_d() {
+        let set = TaskSet::from_cdt(&[(3, 5, 10)]).unwrap();
+        // George blocking: no Di > t beyond... at t=5, no task with D > 5:
+        // blocking 0; demand 3 <= 5 ✓.
+        assert!(run(&set, NpBlockingModel::George).feasible);
+        // Zheng-Shin: demand 3 + max C 3 = 6 > 5 at t=5: pessimistically
+        // rejected! This is exactly the pessimism George et al. criticise.
+        assert!(!run(&set, NpBlockingModel::ZhengShin).feasible);
+    }
+
+    #[test]
+    fn george_less_pessimistic_than_zheng_shin() {
+        // A long-but-lazy task plus a tight one: ZS charges the long C
+        // everywhere, George only where a later deadline exists.
+        let set = TaskSet::from_cdt(&[(2, 6, 20), (9, 100, 100)]).unwrap();
+        // t=6: demand=2; George blocking = C1-1 = 8 -> 10 > 6? 2+8=10 > 6:
+        // infeasible under George too? The blocker (9) genuinely blocks the
+        // tight task. Widen the tight deadline: D0=12.
+        let set2 = TaskSet::from_cdt(&[(2, 12, 20), (9, 100, 100)]).unwrap();
+        // George at t=12: 2 + (9-1) = 10 <= 12 ✓; at t=100: demand = 2*⌊(100-12)/20+1⌋... fine.
+        assert!(run(&set2, NpBlockingModel::George).feasible);
+        // ZS at t=12: 2 + 9 = 11 <= 12 ✓ ... also feasible. Tighten: D0=10.
+        let set3 = TaskSet::from_cdt(&[(2, 10, 20), (9, 100, 100)]).unwrap();
+        // George t=10: 2+8 = 10 <= 10 ✓ feasible; ZS: 2+9 = 11 > 10 infeasible.
+        assert!(run(&set3, NpBlockingModel::George).feasible);
+        assert!(!run(&set3, NpBlockingModel::ZhengShin).feasible);
+        let _ = set; // set retained to document the construction above
+    }
+
+    #[test]
+    fn blocking_vanishes_after_longest_deadline() {
+        // After t >= max Di, George blocking is 0, so a fully-utilised tail
+        // remains feasible where ZS would keep charging the blocker.
+        let set = TaskSet::from_cdt(&[(5, 10, 10), (4, 9, 10)]).unwrap();
+        // t=9: demand 4 + blocking (D0=10 > 9: C0-1=4) = 8 <= 9 ✓
+        // t=10: demand 4+5=9 + blocking (none > 10) = 9 <= 10 ✓
+        // ZS: t=9: 4+5 = 9 <= 9 ✓; t=10: 9+5 = 14 > 10 ✗.
+        assert!(run(&set, NpBlockingModel::George).feasible);
+        assert!(!run(&set, NpBlockingModel::ZhengShin).feasible);
+    }
+
+    #[test]
+    fn genuinely_infeasible_blocking_detected_by_both() {
+        // Tight deadline shorter than the blocker: no np schedule works.
+        let set = TaskSet::from_cdt(&[(1, 3, 10), (8, 50, 50)]).unwrap();
+        // George t=3: demand 1 + (8-1) = 8 > 3 ✗.
+        assert!(!run(&set, NpBlockingModel::George).feasible);
+        assert!(!run(&set, NpBlockingModel::ZhengShin).feasible);
+    }
+
+    #[test]
+    fn overutilised_set_rejected() {
+        let set = TaskSet::from_ct(&[(3, 4), (3, 4)]).unwrap();
+        assert!(!run(&set, NpBlockingModel::George).feasible);
+    }
+
+    #[test]
+    fn empty_set_feasible() {
+        let set = TaskSet::new(vec![]).unwrap();
+        assert!(run(&set, NpBlockingModel::George).feasible);
+    }
+
+    #[test]
+    fn paper_literal_configs() {
+        let set = TaskSet::from_cdt(&[(2, 10, 20), (3, 15, 30)]).unwrap();
+        let eq4 = edf_feasible_nonpreemptive(&set, &NpFeasibilityConfig::paper_eq4())
+            .unwrap();
+        let eq5 = edf_feasible_nonpreemptive(&set, &NpFeasibilityConfig::paper_eq5())
+            .unwrap();
+        // eq5 accepts whenever eq4 does (less pessimism).
+        if eq4.feasible {
+            assert!(eq5.feasible);
+        }
+    }
+
+    #[test]
+    fn acceptance_monotone_in_blocking_model() {
+        // For a batch of sets, George accepts a superset of Zheng-Shin.
+        let sets = [
+            TaskSet::from_cdt(&[(1, 5, 10), (2, 8, 12), (3, 30, 30)]).unwrap(),
+            TaskSet::from_cdt(&[(2, 7, 14), (2, 9, 18), (4, 40, 40)]).unwrap(),
+            TaskSet::from_cdt(&[(3, 6, 12), (3, 12, 24)]).unwrap(),
+        ];
+        for set in &sets {
+            let zs = run(set, NpBlockingModel::ZhengShin).feasible;
+            let g = run(set, NpBlockingModel::George).feasible;
+            assert!(!zs || g, "George rejected a set Zheng-Shin accepted");
+        }
+    }
+}

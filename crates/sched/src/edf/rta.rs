@@ -1,0 +1,302 @@
+//! Worst-case response times under preemptive EDF — Spuri's deadline
+//! busy-period analysis, the paper's eqs. (6)–(8).
+//!
+//! Unlike the fixed-priority case, the worst case for EDF is *not* the
+//! synchronous release. Spuri \[32\] showed the worst-case response time of
+//! `τi` is found in a *deadline busy period*: all tasks `j ≠ i` released
+//! synchronously at time 0 at maximum rate, while `τi` has an instance
+//! arriving at some offset `a ≥ 0` (with earlier instances as-soon-as-
+//! possible, i.e. at `a − k·Ti`).
+//!
+//! For a given `a`, the busy-period length solves (eq. (6)'s companion):
+//!
+//! `Li(a) = Wi(a, Li(a)) + (1 + ⌊a/Ti⌋) · Ci`
+//!
+//! `Wi(a, t) = Σ_{j≠i, Dj ≤ a+Di} min{⌈t/Tj⌉, 1 + ⌊(a+Di−Dj)/Tj⌋} · Cj`
+//!
+//! — only jobs of `τj` with absolute deadline no later than `a + Di`
+//! interfere (EDF dispatches by earliest deadline), capped by both the jobs
+//! released within `t` and the jobs whose deadlines qualify. Then
+//!
+//! `ri(a) = max{Ci, Li(a) − a}`                         (eq. (6))
+//! `ri = max_{a ≥ 0} ri(a)`                             (eq. (7))
+//!
+//! and `a` needs checking only where `Wi` steps (eq. (8)):
+//! `a ∈ ⋃_j {k·Tj + Dj − Di ≥ 0} ∩ [0, L)` with `L` the synchronous busy
+//! period.
+
+use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
+
+use crate::checkpoints::CheckpointIter;
+use crate::edf::busy_period::synchronous_busy_period;
+use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::{SetAnalysis, TaskVerdict};
+
+/// Configuration for the preemptive EDF response-time analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct EdfRtaConfig {
+    /// Fixpoint limits for each per-`a` busy-period iteration.
+    pub fixpoint: FixpointConfig,
+    /// Hard cap on the number of arrival candidates per task (guards against
+    /// pathological `L / min Tj` blow-ups; exceeding it is a typed error,
+    /// not an incorrect answer).
+    pub max_candidates: u64,
+}
+
+impl Default for EdfRtaConfig {
+    fn default() -> Self {
+        EdfRtaConfig {
+            fixpoint: FixpointConfig::default(),
+            max_candidates: 2_000_000,
+        }
+    }
+}
+
+/// Per-task worst-case response time and the critical arrival offset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdfWcrt {
+    /// The worst-case response time.
+    pub wcrt: Time,
+    /// The arrival offset `a` at which it is attained.
+    pub critical_a: Time,
+    /// Number of arrival candidates examined.
+    pub candidates: usize,
+}
+
+/// Computes preemptive-EDF worst-case response times for every task
+/// (eqs. (6)–(8)) and deadline verdicts.
+///
+/// # Errors
+/// * [`AnalysisError::UtilizationAtLeastOne`] if `Σ Ci/Ti ≥ 1`.
+/// * [`AnalysisError::EmptySet`] for an empty set.
+/// * Candidate/iteration caps from [`EdfRtaConfig`].
+pub fn edf_response_times(
+    set: &TaskSet,
+    config: &EdfRtaConfig,
+) -> AnalysisResult<(SetAnalysis, Vec<EdfWcrt>)> {
+    if set.is_empty() {
+        return Err(AnalysisError::EmptySet);
+    }
+    let l = synchronous_busy_period(set, config.fixpoint)?;
+    let mut verdicts = Vec::with_capacity(set.len());
+    let mut details = Vec::with_capacity(set.len());
+    for (i, task) in set.iter() {
+        let detail = wcrt_for_task(set, i, l, config)?;
+        let schedulable = detail.wcrt <= task.d;
+        verdicts.push(if schedulable {
+            TaskVerdict::Schedulable { wcrt: detail.wcrt }
+        } else {
+            TaskVerdict::Unschedulable {
+                exceeded_at: detail.wcrt,
+            }
+        });
+        details.push(detail);
+    }
+    Ok((SetAnalysis { verdicts }, details))
+}
+
+fn wcrt_for_task(
+    set: &TaskSet,
+    i: usize,
+    l: Time,
+    config: &EdfRtaConfig,
+) -> AnalysisResult<EdfWcrt> {
+    let task_i = set.tasks()[i];
+    // Arrival candidates: a = k*Tj + Dj - Di >= 0, a < L (eq. (8)); the
+    // merge iterator advances negative offsets automatically. L itself is
+    // excluded: a busy period starting the instance at a >= L cannot extend
+    // it (the synchronous period has ended).
+    let progressions: Vec<(Time, Time)> = set
+        .iter()
+        .map(|(_, tj)| (tj.d - task_i.d, tj.t))
+        .collect();
+    let bound = (l - Time::ONE).max_zero();
+    let mut best = EdfWcrt {
+        wcrt: task_i.c,
+        critical_a: Time::ZERO,
+        candidates: 0,
+    };
+    let mut examined: u64 = 0;
+    for a in CheckpointIter::new(&progressions, bound) {
+        examined += 1;
+        if examined > config.max_candidates {
+            return Err(AnalysisError::IterationLimit {
+                what: "edf-rta candidates",
+                limit: config.max_candidates,
+            });
+        }
+        let li = busy_period_for_arrival(set, i, a, l, config)?;
+        let r = task_i.c.max(li - a);
+        if r > best.wcrt {
+            best.wcrt = r;
+            best.critical_a = a;
+        }
+    }
+    best.candidates = examined as usize;
+    Ok(best)
+}
+
+/// Solves `Li(a)` for one arrival offset.
+fn busy_period_for_arrival(
+    set: &TaskSet,
+    i: usize,
+    a: Time,
+    l: Time,
+    config: &EdfRtaConfig,
+) -> AnalysisResult<Time> {
+    let task_i = set.tasks()[i];
+    let own = task_i.c.try_mul(1 + a.floor_div(task_i.t))?;
+    let deadline_i = a + task_i.d;
+    let outcome = fixpoint("edf-rta busy period", Time::ZERO, l, config.fixpoint, |t| {
+        let mut next = own;
+        for (j, tj) in set.iter() {
+            if j == i || tj.d > deadline_i {
+                continue;
+            }
+            let by_time = t.ceil_div(tj.t);
+            let by_deadline = 1 + (deadline_i - tj.d).floor_div(tj.t);
+            next = next.try_add(tj.c.try_mul(by_time.min(by_deadline).max(0))?)?;
+        }
+        Ok(next)
+    })?;
+    match outcome {
+        FixOutcome::Converged(v) => Ok(v),
+        // Cannot exceed L by the dominance argument (see busy_period docs);
+        // reaching here indicates arithmetic trouble.
+        FixOutcome::ExceededBound(v) => Err(AnalysisError::DivergentIteration {
+            what: "edf-rta busy period",
+            bound: v.ticks(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    fn analyze(set: &TaskSet) -> (SetAnalysis, Vec<EdfWcrt>) {
+        edf_response_times(set, &EdfRtaConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn single_task_wcrt_is_cost() {
+        let set = TaskSet::from_ct(&[(3, 10)]).unwrap();
+        let (an, d) = analyze(&set);
+        assert_eq!(an.verdicts[0].wcrt(), Some(t(3)));
+        assert_eq!(d[0].wcrt, t(3));
+        assert_eq!(d[0].critical_a, t(0));
+    }
+
+    #[test]
+    fn spuri_example_two_tasks() {
+        // C=(2,4), T=D=(5,7): U = 2/5+4/7 = 34/35 < 1.
+        // Busy period: L0=6, W(6)=2*2+4=8, W(8)=2*2+2*4=12, W(12)=3*2+2*4=14,
+        // W(14)=3*2+2*4=14 ✓ L=14.
+        let set = TaskSet::from_ct(&[(2, 5), (4, 7)]).unwrap();
+        let (an, _) = analyze(&set);
+        // Both must be schedulable (EDF, U < 1, implicit deadlines).
+        assert!(an.all_schedulable());
+        // Task 1 (C=4, D=7): at a=0 its deadline is 7; task 0's jobs with
+        // deadline <= 7: those released at 0 (d=5): 1 job (next release at 5
+        // has deadline 10 > 7). L1(0) = min stuff: W = 1*2 = 2, own = 4 ->
+        // L=6, r = max(4, 6) = 6.
+        assert_eq!(an.verdicts[1].wcrt(), Some(t(6)));
+        // Task 0 (C=2, D=5): a=0: jobs of τ1 with deadline <= 5: none
+        // (D1=7) -> r(0)=2. Worst case over a: e.g. a=2 (k=0: D1-D0=2):
+        // deadline_0 = 7; τ1 jobs with deadline <= 7: 1; own = (1+0)*2 = 2;
+        // L = fixpoint: W = min(⌈t/7⌉, 1+⌊0/7⌋)*4 -> first iter t=0: W=0 ->
+        // L=2... iterate: L=2: W=min(1,1)*4=4 -> L=6; L=6: W=min(1,1)*4=4 ->
+        // 6 ✓. r(2) = max(2, 6-2) = 4.
+        assert_eq!(an.verdicts[0].wcrt(), Some(t(4)));
+    }
+
+    #[test]
+    fn edf_wcrt_not_at_synchronous_arrival() {
+        // The defining feature of Spuri's analysis: some task's worst case
+        // occurs at a > 0.
+        let set = TaskSet::from_ct(&[(2, 5), (4, 7)]).unwrap();
+        let (_, d) = analyze(&set);
+        assert!(
+            d.iter().any(|w| w.critical_a > t(0)),
+            "expected a non-synchronous critical arrival, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn utilization_one_rejected() {
+        let set = TaskSet::from_ct(&[(1, 2), (1, 2)]).unwrap();
+        assert_eq!(
+            edf_response_times(&set, &EdfRtaConfig::default()).unwrap_err(),
+            AnalysisError::UtilizationAtLeastOne
+        );
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        let set = TaskSet::new(vec![]).unwrap();
+        assert_eq!(
+            edf_response_times(&set, &EdfRtaConfig::default()).unwrap_err(),
+            AnalysisError::EmptySet
+        );
+    }
+
+    #[test]
+    fn constrained_deadline_miss_detected() {
+        // High-utilisation pair with one tight deadline: the demand test
+        // and the RTA must agree on the verdict.
+        let set = TaskSet::from_cdt(&[(3, 3, 10), (3, 4, 10)]).unwrap();
+        let (an, _) = analyze(&set);
+        assert!(!an.all_schedulable());
+        let dem = crate::edf::demand::edf_feasible_preemptive(
+            &set,
+            &crate::edf::demand::DemandConfig::default(),
+        )
+        .unwrap();
+        assert!(!dem.feasible);
+    }
+
+    #[test]
+    fn rta_and_demand_agree_on_feasible_sets() {
+        let sets = [
+            TaskSet::from_cdt(&[(1, 4, 5), (2, 6, 10), (3, 15, 20)]).unwrap(),
+            TaskSet::from_cdt(&[(2, 5, 5), (1, 9, 9), (1, 18, 18)]).unwrap(),
+            TaskSet::from_cdt(&[(1, 3, 6), (2, 8, 9), (2, 14, 14)]).unwrap(),
+        ];
+        for set in &sets {
+            let (an, _) = analyze(set);
+            let dem = crate::edf::demand::edf_feasible_preemptive(
+                set,
+                &crate::edf::demand::DemandConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                an.all_schedulable(),
+                dem.feasible,
+                "RTA and demand disagree on {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wcrt_at_least_cost_and_within_busy_period() {
+        let set = TaskSet::from_ct(&[(1, 4), (2, 7), (3, 19)]).unwrap();
+        let l = synchronous_busy_period(&set, FixpointConfig::default()).unwrap();
+        let (_, details) = analyze(&set);
+        for (i, d) in details.iter().enumerate() {
+            assert!(d.wcrt >= set.tasks()[i].c);
+            assert!(d.wcrt <= l);
+        }
+    }
+
+    #[test]
+    fn candidate_cap_is_enforced() {
+        let set = TaskSet::from_ct(&[(1, 2), (99, 200)]).unwrap();
+        let cfg = EdfRtaConfig {
+            max_candidates: 3,
+            ..Default::default()
+        };
+        let err = edf_response_times(&set, &cfg).unwrap_err();
+        assert!(matches!(err, AnalysisError::IterationLimit { .. }));
+    }
+}

@@ -1,0 +1,312 @@
+//! Worst-case response times under **non-preemptive** EDF — George,
+//! Rivierre & Spuri's analysis, the paper's eqs. (9)–(10).
+//!
+//! Two changes versus the preemptive case:
+//!
+//! 1. A job with a *later* absolute deadline can block (priority inversion
+//!    through non-preemptability): the busy period gains the term
+//!    `max_{Dj > a+Di} (Cj − 1)`.
+//! 2. We analyse the busy period preceding the **execution start** of the
+//!    instance, not its completion: the instance's own `Ci` is excluded from
+//!    the fixpoint (only `⌊a/Ti⌋` *earlier* instances count) and added back
+//!    afterwards:
+//!
+//! `ri(a) = max{Ci, Li(a) + Ci − a}`                        (eq. (9))
+//!
+//! `Li(a) = max_{Dj > a+Di}{Cj − 1}
+//!        + Σ_{j≠i, Dj ≤ a+Di} min{1 + ⌊Li(a)/Tj⌋, 1 + ⌊(a+Di−Dj)/Tj⌋}·Cj
+//!        + ⌊a/Ti⌋·Ci`
+//!
+//! with arrival candidates (eq. (10)):
+//! `a ∈ ⋃_j {k·Tj + Dj − Di ≥ 0} ∩ [0, L]`, `L` the synchronous busy period.
+//!
+//! Deviation note: we bound the per-`a` fixpoints (and optionally the
+//! candidate range, see [`NpEdfRtaConfig::extend_candidates_with_blocking`])
+//! by the *blocking-extended* busy period, which dominates the paper's `L` —
+//! strictly more candidates, never fewer (sound; see DESIGN.md §3).
+
+use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
+
+use crate::checkpoints::CheckpointIter;
+use crate::edf::busy_period::{nonpreemptive_busy_period, synchronous_busy_period};
+use crate::edf::rta::EdfWcrt;
+use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::{SetAnalysis, TaskVerdict};
+
+/// Configuration for the non-preemptive EDF response-time analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct NpEdfRtaConfig {
+    /// Fixpoint limits per arrival candidate.
+    pub fixpoint: FixpointConfig,
+    /// Hard cap on arrival candidates per task.
+    pub max_candidates: u64,
+    /// If `true`, enumerate candidates up to the blocking-extended busy
+    /// period instead of the paper's plain `L` (sound superset; default
+    /// `true`).
+    pub extend_candidates_with_blocking: bool,
+}
+
+impl Default for NpEdfRtaConfig {
+    fn default() -> Self {
+        NpEdfRtaConfig {
+            fixpoint: FixpointConfig::default(),
+            max_candidates: 2_000_000,
+            extend_candidates_with_blocking: true,
+        }
+    }
+}
+
+impl NpEdfRtaConfig {
+    /// The literal candidate range of the paper (plain synchronous `L`).
+    pub fn paper() -> NpEdfRtaConfig {
+        NpEdfRtaConfig {
+            extend_candidates_with_blocking: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Computes non-preemptive-EDF worst-case response times (eqs. (9)–(10)).
+///
+/// # Errors
+/// Same conditions as [`crate::edf::rta::edf_response_times`].
+pub fn np_edf_response_times(
+    set: &TaskSet,
+    config: &NpEdfRtaConfig,
+) -> AnalysisResult<(SetAnalysis, Vec<EdfWcrt>)> {
+    if set.is_empty() {
+        return Err(AnalysisError::EmptySet);
+    }
+    let l_sync = synchronous_busy_period(set, config.fixpoint)?;
+    let max_block = set
+        .iter()
+        .map(|(_, task)| (task.c - Time::ONE).max_zero())
+        .max()
+        .unwrap_or(Time::ZERO);
+    let l_blocked = nonpreemptive_busy_period(set, max_block, config.fixpoint)?;
+    let candidate_bound = if config.extend_candidates_with_blocking {
+        l_blocked
+    } else {
+        l_sync
+    };
+
+    let mut verdicts = Vec::with_capacity(set.len());
+    let mut details = Vec::with_capacity(set.len());
+    for (i, task) in set.iter() {
+        let detail = wcrt_for_task(set, i, candidate_bound, l_blocked, config)?;
+        let schedulable = detail.wcrt <= task.d;
+        verdicts.push(if schedulable {
+            TaskVerdict::Schedulable { wcrt: detail.wcrt }
+        } else {
+            TaskVerdict::Unschedulable {
+                exceeded_at: detail.wcrt,
+            }
+        });
+        details.push(detail);
+    }
+    Ok((SetAnalysis { verdicts }, details))
+}
+
+fn wcrt_for_task(
+    set: &TaskSet,
+    i: usize,
+    candidate_bound: Time,
+    fix_bound: Time,
+    config: &NpEdfRtaConfig,
+) -> AnalysisResult<EdfWcrt> {
+    let task_i = set.tasks()[i];
+    let progressions: Vec<(Time, Time)> = set
+        .iter()
+        .map(|(_, tj)| (tj.d - task_i.d, tj.t))
+        .collect();
+    let mut best = EdfWcrt {
+        wcrt: task_i.c,
+        critical_a: Time::ZERO,
+        candidates: 0,
+    };
+    let mut examined: u64 = 0;
+    // Eq. (10) is inclusive of the bound.
+    for a in CheckpointIter::new(&progressions, candidate_bound) {
+        examined += 1;
+        if examined > config.max_candidates {
+            return Err(AnalysisError::IterationLimit {
+                what: "np-edf-rta candidates",
+                limit: config.max_candidates,
+            });
+        }
+        let li = start_busy_period(set, i, a, fix_bound, config)?;
+        let r = task_i.c.max(li + task_i.c - a);
+        if r > best.wcrt {
+            best.wcrt = r;
+            best.critical_a = a;
+        }
+    }
+    best.candidates = examined as usize;
+    Ok(best)
+}
+
+/// Solves the start-preceding busy period `Li(a)` of eq. (9)'s companion
+/// recurrence.
+fn start_busy_period(
+    set: &TaskSet,
+    i: usize,
+    a: Time,
+    bound: Time,
+    config: &NpEdfRtaConfig,
+) -> AnalysisResult<Time> {
+    let task_i = set.tasks()[i];
+    let deadline_i = a + task_i.d;
+    // Blocking by a later-deadline job, started one tick earlier (Cj - 1).
+    let blocking = set
+        .iter()
+        .filter(|&(j, tj)| j != i && tj.d > deadline_i)
+        .map(|(_, tj)| (tj.c - Time::ONE).max_zero())
+        .max()
+        .unwrap_or(Time::ZERO);
+    // Earlier instances of τi itself (asap pattern): ⌊a/Ti⌋ of them.
+    let own_prior = task_i.c.try_mul(a.floor_div(task_i.t))?;
+
+    let outcome = fixpoint(
+        "np-edf-rta busy period",
+        Time::ZERO,
+        bound,
+        config.fixpoint,
+        |t| {
+            let mut next = blocking.try_add(own_prior)?;
+            for (j, tj) in set.iter() {
+                if j == i || tj.d > deadline_i {
+                    continue;
+                }
+                let by_time = 1 + t.floor_div(tj.t);
+                let by_deadline = 1 + (deadline_i - tj.d).floor_div(tj.t);
+                next = next.try_add(tj.c.try_mul(by_time.min(by_deadline).max(0))?)?;
+            }
+            Ok(next)
+        },
+    )?;
+    match outcome {
+        FixOutcome::Converged(v) => Ok(v),
+        FixOutcome::ExceededBound(v) => Err(AnalysisError::DivergentIteration {
+            what: "np-edf-rta busy period",
+            bound: v.ticks(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    fn analyze(set: &TaskSet) -> (SetAnalysis, Vec<EdfWcrt>) {
+        np_edf_response_times(set, &NpEdfRtaConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn single_task() {
+        let set = TaskSet::from_ct(&[(3, 10)]).unwrap();
+        let (an, d) = analyze(&set);
+        assert_eq!(an.verdicts[0].wcrt(), Some(t(3)));
+        assert_eq!(d[0].critical_a, t(0));
+    }
+
+    #[test]
+    fn blocking_from_later_deadline_job() {
+        // τ0 tight (C=1, D=4, T=10); τ1 long (C=5, D=50, T=50).
+        // a=0 for τ0: deadline 4; τ1 has D=50 > 4 -> blocking = 5-1 = 4;
+        // no interference (τ1's deadline excludes it); own_prior = 0:
+        // L0(0) = 4; r = max(1, 4 + 1 - 0) = 5 > D=4: unschedulable.
+        let set = TaskSet::from_cdt(&[(1, 4, 10), (5, 50, 50)]).unwrap();
+        let (an, d) = analyze(&set);
+        assert_eq!(d[0].wcrt, t(5));
+        assert!(!an.verdicts[0].is_schedulable());
+        assert!(an.verdicts[1].is_schedulable());
+    }
+
+    #[test]
+    fn no_blocking_when_all_deadlines_earlier() {
+        // The latest-deadline task suffers no non-preemptive blocking.
+        let set = TaskSet::from_cdt(&[(2, 5, 10), (3, 20, 20)]).unwrap();
+        let (_, d) = analyze(&set);
+        // τ1 at a=0: deadline 20; τ0's jobs with D <= 20 interfere:
+        // min(1+⌊t/10⌋, 1+⌊15/10⌋)=min(.., 2): L = 2 (t=0: 1*2=2),
+        // t=2: 1+0=1 -> 2 ✓; r = max(3, 2+3-0) = 5.
+        assert_eq!(d[1].wcrt, t(5));
+    }
+
+    #[test]
+    fn np_wcrt_dominates_preemptive_wcrt_with_blocking_present() {
+        // Non-preemptive response times are >= preemptive ones for the
+        // highest-urgency work when blocking exists.
+        let set = TaskSet::from_cdt(&[(1, 6, 12), (4, 24, 24)]).unwrap();
+        let (_, np) = analyze(&set);
+        let (_, p) =
+            crate::edf::rta::edf_response_times(&set, &Default::default()).unwrap();
+        assert!(np[0].wcrt >= p[0].wcrt);
+    }
+
+    #[test]
+    fn matches_np_feasibility_verdict() {
+        let sets = [
+            TaskSet::from_cdt(&[(1, 4, 10), (5, 50, 50)]).unwrap(), // infeasible
+            TaskSet::from_cdt(&[(2, 12, 20), (9, 100, 100)]).unwrap(), // feasible
+            TaskSet::from_cdt(&[(2, 10, 20), (9, 100, 100)]).unwrap(), // feasible
+        ];
+        for set in &sets {
+            let (an, _) = analyze(set);
+            let feas = crate::edf::feasibility_np::edf_feasible_nonpreemptive(
+                set,
+                &crate::edf::feasibility_np::NpFeasibilityConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                an.all_schedulable(),
+                feas.feasible,
+                "RTA vs feasibility disagree on {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_preemptive_anomaly_tightest_task_hurt_most() {
+        // The shorter the deadline, the larger the relative penalty from
+        // blocking — the phenomenon motivating the paper's §4 queue design.
+        let set =
+            TaskSet::from_cdt(&[(1, 8, 20), (1, 14, 20), (6, 60, 60)]).unwrap();
+        let (_, np) = analyze(&set);
+        let (_, p) =
+            crate::edf::rta::edf_response_times(&set, &Default::default()).unwrap();
+        let penalty0 = np[0].wcrt - p[0].wcrt;
+        let penalty2 = np[2].wcrt - p[2].wcrt;
+        assert!(penalty0 > penalty2);
+    }
+
+    #[test]
+    fn paper_candidate_range_subset_of_extended() {
+        let set = TaskSet::from_cdt(&[(2, 9, 15), (3, 20, 25), (4, 50, 60)]).unwrap();
+        let (_, lit) = np_edf_response_times(&set, &NpEdfRtaConfig::paper()).unwrap();
+        let (_, ext) = analyze(&set);
+        for (a, b) in lit.iter().zip(ext.iter()) {
+            assert!(b.wcrt >= a.wcrt); // extended range can only find worse cases
+            assert!(b.candidates >= a.candidates);
+        }
+    }
+
+    #[test]
+    fn utilization_one_rejected() {
+        let set = TaskSet::from_ct(&[(1, 2), (1, 2)]).unwrap();
+        assert!(matches!(
+            np_edf_response_times(&set, &NpEdfRtaConfig::default()),
+            Err(AnalysisError::UtilizationAtLeastOne)
+        ));
+    }
+
+    #[test]
+    fn wcrt_at_least_cost() {
+        let set = TaskSet::from_cdt(&[(2, 30, 30), (3, 40, 40), (4, 50, 50)]).unwrap();
+        let (_, d) = analyze(&set);
+        for (i, w) in d.iter().enumerate() {
+            assert!(w.wcrt >= set.tasks()[i].c);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The Liu & Layland EDF utilisation test.
+//!
+//! For periodic, independent, implicit-deadline (`Di = Ti`) tasks under
+//! preemptive EDF: the set is schedulable **iff** `Σ Ci/Ti ≤ 1` \[21\].
+//! The paper states the strict form `< 1` as the precondition for the
+//! busy-period machinery; we expose both comparisons exactly.
+
+use profirt_base::{Frac, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Result of the exact EDF utilisation test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EdfUtilization {
+    /// `Σ Ci/Ti ≤ 1` (exact) — necessary and sufficient for implicit
+    /// deadlines.
+    pub at_most_one: bool,
+    /// `Σ Ci/Ti < 1` (exact) — the precondition for finite busy periods and
+    /// `tmax` bounds.
+    pub below_one: bool,
+}
+
+/// Runs the exact utilisation test.
+pub fn edf_utilization_test(set: &TaskSet) -> EdfUtilization {
+    let u: Frac = set.total_utilization();
+    EdfUtilization {
+        at_most_one: u.le_one(),
+        below_one: u.lt_one(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_is_schedulable_but_not_below() {
+        let set = TaskSet::from_ct(&[(1, 2), (1, 4), (1, 4)]).unwrap();
+        let r = edf_utilization_test(&set);
+        assert!(r.at_most_one);
+        assert!(!r.below_one);
+    }
+
+    #[test]
+    fn below_one() {
+        let set = TaskSet::from_ct(&[(1, 3), (1, 4)]).unwrap();
+        let r = edf_utilization_test(&set);
+        assert!(r.at_most_one);
+        assert!(r.below_one);
+    }
+
+    #[test]
+    fn above_one_fails() {
+        let set = TaskSet::from_ct(&[(3, 4), (2, 4)]).unwrap();
+        let r = edf_utilization_test(&set);
+        assert!(!r.at_most_one);
+        assert!(!r.below_one);
+    }
+
+    #[test]
+    fn empty_set_is_schedulable() {
+        let set = TaskSet::new(vec![]).unwrap();
+        let r = edf_utilization_test(&set);
+        assert!(r.at_most_one);
+        assert!(r.below_one);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixed-priority schedulability analyses (paper §2.1).
+
+pub mod assignment;
+pub mod nonpreemptive;
+pub mod opa;
+pub mod rta;
+pub mod utilization;
+
+pub use assignment::PriorityMap;
+pub use nonpreemptive::{np_response_times, BlockingRule, NpFixedConfig, NpFixedVariant};
+pub use opa::{audsley_opa, OpaResult};
+pub use rta::{response_times, response_times_with_jitter, RtaConfig};
+pub use utilization::{
+    hyperbolic_schedulable, liu_layland_bound, rm_utilization_schedulable, UtilizationVerdict,
+};

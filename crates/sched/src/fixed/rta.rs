@@ -1,0 +1,251 @@
+//! Worst-case response-time analysis for preemptive fixed-priority
+//! scheduling.
+//!
+//! Joseph & Pandya \[23\]: the worst case occurs at the *critical instant*
+//! (all tasks released synchronously at their maximum rate), and the
+//! response time of task `τi` is the least fixpoint of
+//!
+//! `ri = Ci + Σ_{j ∈ hp(i)} ⌈ri / Tj⌉ · Cj`
+//!
+//! solved by iterating from `ri⁰ = Ci`; the series is non-decreasing, so it
+//! either converges or exceeds the deadline (proving unschedulability for
+//! constrained deadlines `Di ≤ Ti`).
+//!
+//! The jitter extension (Tindell & Clark \[33\], needed for the paper's §4.1
+//! message-release-jitter model) perturbs releases by up to `Jj`:
+//!
+//! `wi = Ci + Σ_{j ∈ hp(i)} ⌈(wi + Jj) / Tj⌉ · Cj`,   `ri = Ji + wi`.
+
+use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
+
+use crate::fixed::assignment::PriorityMap;
+use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::{SetAnalysis, TaskVerdict};
+
+/// Configuration for fixed-priority RTA.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtaConfig {
+    /// Fixpoint iteration limits.
+    pub fixpoint: FixpointConfig,
+}
+
+/// Classic Joseph & Pandya response-time analysis (no jitter).
+///
+/// Valid for preemptive dispatching and constrained deadlines (`Di ≤ Ti`);
+/// the iteration is declared unschedulable as soon as it exceeds `Di`
+/// (exactly the convergence argument in the paper's §2.1).
+///
+/// # Errors
+/// Propagates iteration-cap and overflow errors; returns
+/// [`AnalysisError::Model`] via task validation having been done at set
+/// construction (no extra validation here).
+pub fn response_times(
+    set: &TaskSet,
+    prio: &PriorityMap,
+    config: &RtaConfig,
+) -> AnalysisResult<SetAnalysis> {
+    response_times_impl(set, prio, config, false)
+}
+
+/// Jitter-aware response-time analysis: `ri = Ji + wi` with the jittered
+/// interference term `⌈(wi + Jj)/Tj⌉`.
+///
+/// With all jitters zero this reduces exactly to [`response_times`].
+pub fn response_times_with_jitter(
+    set: &TaskSet,
+    prio: &PriorityMap,
+    config: &RtaConfig,
+) -> AnalysisResult<SetAnalysis> {
+    response_times_impl(set, prio, config, true)
+}
+
+fn response_times_impl(
+    set: &TaskSet,
+    prio: &PriorityMap,
+    config: &RtaConfig,
+    with_jitter: bool,
+) -> AnalysisResult<SetAnalysis> {
+    assert_eq!(
+        prio.len(),
+        set.len(),
+        "priority map must cover the task set"
+    );
+    let mut verdicts = Vec::with_capacity(set.len());
+    for (i, task) in set.iter() {
+        let hp: Vec<usize> = prio.hp(i).collect();
+        // Deadline bound on the *busy window* w: for the jitter formulation
+        // the task is schedulable iff Ji + wi <= Di, i.e. wi <= Di - Ji.
+        let j_i = if with_jitter { task.j } else { Time::ZERO };
+        let bound = task.d - j_i;
+        if bound < task.c {
+            verdicts.push(TaskVerdict::Unschedulable {
+                exceeded_at: j_i + task.c,
+            });
+            continue;
+        }
+        let outcome = fixpoint("fp-rta", task.c, bound, config.fixpoint, |w| {
+            let mut next = task.c;
+            for &j in &hp {
+                let tj = set.tasks()[j];
+                let jit = if with_jitter { tj.j } else { Time::ZERO };
+                let n_jobs = (w + jit).ceil_div(tj.t);
+                next = next.try_add(tj.c.try_mul(n_jobs)?)?;
+            }
+            Ok(next)
+        })?;
+        verdicts.push(match outcome {
+            FixOutcome::Converged(w) => TaskVerdict::Schedulable { wcrt: j_i + w },
+            FixOutcome::ExceededBound(w) => TaskVerdict::Unschedulable {
+                exceeded_at: j_i + w,
+            },
+        });
+    }
+    Ok(SetAnalysis { verdicts })
+}
+
+/// Convenience: RM assignment + RTA in one call.
+pub fn rm_response_times(set: &TaskSet, config: &RtaConfig) -> AnalysisResult<SetAnalysis> {
+    response_times(set, &PriorityMap::rate_monotonic(set), config)
+}
+
+/// Convenience: DM assignment + RTA in one call.
+pub fn dm_response_times(set: &TaskSet, config: &RtaConfig) -> AnalysisResult<SetAnalysis> {
+    response_times(set, &PriorityMap::deadline_monotonic(set), config)
+}
+
+#[allow(unused)]
+fn _assert_error_type(_: AnalysisError) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+    use profirt_base::Task;
+
+    fn rta(set: &TaskSet) -> Vec<TaskVerdict> {
+        rm_response_times(set, &RtaConfig::default())
+            .unwrap()
+            .verdicts
+    }
+
+    #[test]
+    fn single_task_response_is_its_cost() {
+        let set = TaskSet::from_ct(&[(3, 10)]).unwrap();
+        assert_eq!(rta(&set)[0], TaskVerdict::Schedulable { wcrt: t(3) });
+    }
+
+    #[test]
+    fn joseph_pandya_textbook_example() {
+        // Classic example (Burns & Wellings): C=(3,3,5), T=D=(7,12,20).
+        // RM order = index order. r1=3, r2=3+⌈6/7⌉*3=6, r3: iterate:
+        // 5 -> 5+3+3=11 -> 5+2*3+3=14 -> 5+2*3+2*3=17 -> 5+3*3+2*3=20 -> 20.
+        let set = TaskSet::from_ct(&[(3, 7), (3, 12), (5, 20)]).unwrap();
+        let v = rta(&set);
+        assert_eq!(v[0].wcrt(), Some(t(3)));
+        assert_eq!(v[1].wcrt(), Some(t(6)));
+        assert_eq!(v[2].wcrt(), Some(t(20)));
+    }
+
+    #[test]
+    fn liu_layland_above_bound_but_rta_schedulable() {
+        // U = 1/3+1/4+1/5 ≈ 0.783 fails the LL bound but RTA proves it
+        // schedulable — the advantage of response-time tests noted in §2.1.
+        let set = TaskSet::from_ct(&[(1, 3), (1, 4), (1, 5)]).unwrap();
+        let v = rta(&set);
+        assert!(v.iter().all(TaskVerdict::is_schedulable));
+        assert_eq!(v[0].wcrt(), Some(t(1)));
+        assert_eq!(v[1].wcrt(), Some(t(2)));
+        assert_eq!(v[2].wcrt(), Some(t(3)));
+    }
+
+    #[test]
+    fn unschedulable_task_detected() {
+        // Full-utilisation pair leaves no room for the third task.
+        let set = TaskSet::from_ct(&[(2, 4), (2, 4), (1, 8)]).unwrap();
+        let v = rta(&set);
+        assert!(v[0].is_schedulable());
+        assert!(v[1].is_schedulable());
+        assert!(matches!(v[2], TaskVerdict::Unschedulable { .. }));
+    }
+
+    #[test]
+    fn exactly_meeting_deadline_is_schedulable() {
+        let set = TaskSet::from_cdt(&[(2, 2, 10), (3, 5, 10)]).unwrap();
+        let v = dm_response_times(&set, &RtaConfig::default())
+            .unwrap()
+            .verdicts;
+        assert_eq!(v[0].wcrt(), Some(t(2)));
+        assert_eq!(v[1].wcrt(), Some(t(5))); // r = 3 + 2 = 5 = D
+    }
+
+    #[test]
+    fn jitter_increases_response_time() {
+        let base = TaskSet::new(vec![
+        Task::with_jitter(2, 10, 10, 0).unwrap(),
+            Task::with_jitter(3, 10, 10, 0).unwrap(),
+        ])
+        .unwrap();
+        let jittered = TaskSet::new(vec![
+            Task::with_jitter(2, 10, 10, 4).unwrap(),
+            Task::with_jitter(3, 10, 10, 0).unwrap(),
+        ])
+        .unwrap();
+        let pm = PriorityMap::identity(2);
+        let cfg = RtaConfig::default();
+        let r0 = response_times_with_jitter(&base, &pm, &cfg).unwrap();
+        let r1 = response_times_with_jitter(&jittered, &pm, &cfg).unwrap();
+        // Task 0's own jitter shifts its response: 2 -> 6.
+        assert_eq!(r0.verdicts[0].wcrt(), Some(t(2)));
+        assert_eq!(r1.verdicts[0].wcrt(), Some(t(6)));
+        // Task 1 sees extra interference if jitter pulls a second job of
+        // task 0 into its window: w = 3 + ⌈(w+4)/10⌉*2 -> w = 5, r = 5.
+        assert_eq!(r0.verdicts[1].wcrt(), Some(t(5)));
+        assert_eq!(r1.verdicts[1].wcrt(), Some(t(5)));
+    }
+
+    #[test]
+    fn zero_jitter_reduces_to_classic() {
+        let set = TaskSet::from_ct(&[(3, 7), (3, 12), (5, 20)]).unwrap();
+        let pm = PriorityMap::rate_monotonic(&set);
+        let cfg = RtaConfig::default();
+        let classic = response_times(&set, &pm, &cfg).unwrap();
+        let jitter = response_times_with_jitter(&set, &pm, &cfg).unwrap();
+        assert_eq!(classic, jitter);
+    }
+
+    #[test]
+    fn jitter_can_make_task_unschedulable() {
+        // r = J + C = 9 + 2 > D = 10 requires J + w > D: J=9, C=2, D=10.
+        let set = TaskSet::new(vec![Task::with_jitter(2, 10, 10, 9).unwrap()]).unwrap();
+        let pm = PriorityMap::identity(1);
+        let v = response_times_with_jitter(&set, &pm, &RtaConfig::default())
+            .unwrap()
+            .verdicts;
+        assert!(matches!(v[0], TaskVerdict::Unschedulable { .. }));
+    }
+
+    #[test]
+    fn response_monotone_in_cost() {
+        // Property spot check: increasing any C must not decrease any WCRT.
+        let lo = TaskSet::from_ct(&[(2, 8), (3, 12), (4, 30)]).unwrap();
+        let hi = TaskSet::from_ct(&[(3, 8), (3, 12), (4, 30)]).unwrap();
+        let rlo = rta(&lo);
+        let rhi = rta(&hi);
+        for (a, b) in rlo.iter().zip(rhi.iter()) {
+            match (a.wcrt(), b.wcrt()) {
+                (Some(x), Some(y)) => assert!(y >= x),
+                (Some(_), None) => {}
+                (None, Some(_)) => panic!("increasing cost made a task schedulable"),
+                (None, None) => {}
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "priority map must cover")]
+    fn mismatched_priority_map_panics() {
+        let set = TaskSet::from_ct(&[(1, 5), (1, 9)]).unwrap();
+        let pm = PriorityMap::identity(1);
+        let _ = response_times(&set, &pm, &RtaConfig::default());
+    }
+}

@@ -1,0 +1,161 @@
+//! Guarded monotone fixpoint iteration.
+//!
+//! Every analysis in this workspace solves recurrences of the form
+//! `x_{m+1} = f(x_m)` where `f` is monotone non-decreasing, so the iterates
+//! form a non-decreasing chain that either converges to the least fixpoint
+//! at or above the seed, or crosses a problem-specific bound (a deadline, a
+//! busy-period cap). This module centralises the iteration discipline:
+//! convergence detection, bound crossing, and a hard iteration cap that turns
+//! pathological inputs into typed errors instead of hangs.
+
+use profirt_base::{AnalysisError, AnalysisResult, Time};
+
+/// Iteration limits for fixpoint solvers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FixpointConfig {
+    /// Hard cap on the number of iterations before giving up with
+    /// [`AnalysisError::IterationLimit`]. Each iteration of a response-time
+    /// recurrence strictly increases the iterate by at least one tick until
+    /// convergence, so `max_iterations` also caps the explored time range.
+    pub max_iterations: u64,
+}
+
+impl Default for FixpointConfig {
+    fn default() -> Self {
+        FixpointConfig {
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+/// Outcome of a bounded fixpoint iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FixOutcome {
+    /// The iteration converged to a fixpoint `x = f(x)` with `x <= bound`.
+    Converged(Time),
+    /// An iterate exceeded `bound`; the value is the first such iterate.
+    ExceededBound(Time),
+}
+
+impl FixOutcome {
+    /// The converged value, if any.
+    pub fn converged(self) -> Option<Time> {
+        match self {
+            FixOutcome::Converged(v) => Some(v),
+            FixOutcome::ExceededBound(_) => None,
+        }
+    }
+}
+
+/// Iterates `x_{m+1} = f(x_m)` from `seed` until convergence or until an
+/// iterate exceeds `bound`.
+///
+/// Requirements (checked only by the iteration discipline): `f` must be
+/// monotone and `f(x) >= x` must *not* be assumed — non-monotone or
+/// decreasing `f` still terminates via the convergence/cap checks, because
+/// we stop as soon as `f(x) == x` or the cap is hit.
+///
+/// # Errors
+/// * [`AnalysisError::IterationLimit`] if `config.max_iterations` is hit.
+/// * Any error produced by `f` itself (e.g. overflow).
+pub fn fixpoint<F>(
+    what: &'static str,
+    seed: Time,
+    bound: Time,
+    config: FixpointConfig,
+    mut f: F,
+) -> AnalysisResult<FixOutcome>
+where
+    F: FnMut(Time) -> AnalysisResult<Time>,
+{
+    let mut x = seed;
+    if x > bound {
+        return Ok(FixOutcome::ExceededBound(x));
+    }
+    for _ in 0..config.max_iterations {
+        let next = f(x)?;
+        if next == x {
+            return Ok(FixOutcome::Converged(x));
+        }
+        if next > bound {
+            return Ok(FixOutcome::ExceededBound(next));
+        }
+        x = next;
+    }
+    Err(AnalysisError::IterationLimit {
+        what,
+        limit: config.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    #[test]
+    fn converges_to_least_fixpoint() {
+        // x = 2 + floor(x/3): f(0)=2, f(2)=2 — least fixpoint at 2.
+        let out = fixpoint("test", t(0), t(100), FixpointConfig::default(), |x| {
+            Ok(t(2) + t(x.floor_div(t(3))))
+        })
+        .unwrap();
+        assert_eq!(out, FixOutcome::Converged(t(2)));
+        assert_eq!(out.converged(), Some(t(2)));
+    }
+
+    #[test]
+    fn detects_bound_crossing() {
+        // x = x + 1 diverges; bound at 10.
+        let out = fixpoint("test", t(0), t(10), FixpointConfig::default(), |x| {
+            Ok(x + t(1))
+        })
+        .unwrap();
+        assert_eq!(out, FixOutcome::ExceededBound(t(11)));
+        assert_eq!(out.converged(), None);
+    }
+
+    #[test]
+    fn seed_above_bound_is_immediate() {
+        let out = fixpoint("test", t(50), t(10), FixpointConfig::default(), |x| Ok(x))
+            .unwrap();
+        assert_eq!(out, FixOutcome::ExceededBound(t(50)));
+    }
+
+    #[test]
+    fn iteration_cap_is_enforced() {
+        let cfg = FixpointConfig { max_iterations: 5 };
+        // Oscillates under the bound forever without converging.
+        let mut flip = false;
+        let err = fixpoint("osc", t(0), t(100), cfg, |_| {
+            flip = !flip;
+            Ok(if flip { t(1) } else { t(2) })
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::IterationLimit {
+                what: "osc",
+                limit: 5
+            }
+        );
+    }
+
+    #[test]
+    fn propagates_inner_errors() {
+        let err = fixpoint("test", t(0), t(10), FixpointConfig::default(), |_| {
+            Err(AnalysisError::Overflow { context: "inner" })
+        })
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::Overflow { context: "inner" });
+    }
+
+    #[test]
+    fn converged_exactly_at_bound_is_converged() {
+        let out = fixpoint("test", t(0), t(5), FixpointConfig::default(), |x| {
+            Ok(if x < t(5) { x + t(1) } else { x })
+        })
+        .unwrap();
+        assert_eq!(out, FixOutcome::Converged(t(5)));
+    }
+}

@@ -1,0 +1,15 @@
+//! Single-processor task-scheduling simulator.
+//!
+//! Simulates periodic task sets under the four dispatching disciplines of
+//! the paper's §2 and records per-task maximum observed response times and
+//! deadline misses. Releases are strictly periodic from per-task offsets
+//! (synchronous by default — the fixed-priority critical instant; EDF worst
+//! cases need offset sweeps, cf. Spuri's asap patterns, which the callers
+//! drive via [`CpuSimConfig::offsets`]).
+//!
+//! Observed maxima are **lower bounds** on analytical worst cases; the
+//! validation contract everywhere is `observed ≤ bound`.
+
+mod sim;
+
+pub use sim::{simulate_cpu, CpuPolicy, CpuSimConfig, CpuSimResult};

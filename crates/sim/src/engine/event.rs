@@ -1,0 +1,119 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Events with equal timestamps pop in insertion order (a monotonically
+//! increasing sequence number breaks ties), which keeps simulations
+//! reproducible across runs and platforms.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use profirt_base::Time;
+
+/// A time-ordered queue of events of type `E`.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Time, u64, Keyed<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper that opts `E` out of the ordering (only `(Time, seq)` order).
+#[derive(Debug, Clone, Copy)]
+struct Keyed<E>(E);
+
+impl<E> PartialEq for Keyed<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for Keyed<E> {}
+impl<E> PartialOrd for Keyed<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Keyed<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        self.heap.push(Reverse((at, self.seq, Keyed(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse((t, _, Keyed(e)))| (t, e))
+    }
+
+    /// The timestamp of the earliest event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "b");
+        q.schedule(t(1), "a");
+        q.schedule(t(9), "c");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        assert_eq!(q.pop(), Some((t(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(3), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.len(), 2);
+    }
+}

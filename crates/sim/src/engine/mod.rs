@@ -1,0 +1,7 @@
+//! Shared discrete-event-simulation toolkit.
+
+pub mod event;
+pub mod rng;
+
+pub use event::EventQueue;
+pub use rng::SimRng;

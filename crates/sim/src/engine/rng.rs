@@ -1,0 +1,7 @@
+//! Re-export of the shared deterministic PRNG.
+//!
+//! The generator lives in `profirt-base` (see its module docs for the
+//! reproducibility rationale) so the workload generators and the simulators
+//! draw from the same stable stream implementation.
+
+pub use profirt_base::rng::Prng as SimRng;

@@ -1,0 +1,35 @@
+//! # profirt-sim — discrete-event simulators
+//!
+//! Empirical counterparts of every analytical bound in the workspace:
+//!
+//! * [`cpu`] — a single-processor task-scheduling simulator supporting the
+//!   four dispatching disciplines of the paper's §2 (fixed-priority and EDF,
+//!   preemptive and non-preemptive). Used to validate the `profirt-sched`
+//!   analyses: observed response times must never exceed the analytical
+//!   worst cases.
+//! * [`network`] — a PROFIBUS network simulator that executes the timed-
+//!   token algorithm printed in the paper's §3.1 **verbatim**: `TRR`
+//!   measurement, `TTH = TTR − TRR`, one guaranteed high-priority message
+//!   cycle on a late token, `TTH`-overrun (timer checked only at cycle
+//!   start), low-priority traffic only on residual `TTH`, token passing in
+//!   ring order. Masters can run stock FCFS queues or the §4 architecture
+//!   (priority AP queue + single-slot stack queue), so the FCFS/DM/EDF
+//!   bounds of `profirt-core` can all be checked against observation.
+//! * [`engine`] — the small shared DES toolkit (event queue, seeded RNG).
+//!
+//! Simulation produces **lower bounds** on true worst cases: the validation
+//! contract is `observed ≤ analytical` everywhere, plus tightness ratios
+//! for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod engine;
+pub mod network;
+
+pub use cpu::{simulate_cpu, CpuPolicy, CpuSimConfig, CpuSimResult};
+pub use network::{
+    simulate_network, simulate_network_traced, JitterInjection, NetworkSimConfig,
+    NetworkSimResult, OffsetMode, SimMaster, SimNetwork, Trace, TraceEvent,
+};

@@ -1,0 +1,152 @@
+//! Simulation inputs.
+
+use profirt_base::{StreamSet, Time};
+use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
+use serde::{Deserialize, Serialize};
+
+/// One simulated master.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimMaster {
+    /// High-priority streams (periods, deadlines, cycle times, jitters).
+    pub streams: StreamSet,
+    /// AP-queue dispatching policy.
+    pub policy: QueuePolicy,
+    /// Communication-stack queue capacity (1 = the §4 architecture;
+    /// `usize::MAX` = stock).
+    pub stack_capacity: usize,
+    /// Low-priority background traffic sources.
+    pub low_priority: Vec<LowPriorityTraffic>,
+}
+
+impl SimMaster {
+    /// Stock FCFS master.
+    pub fn stock(streams: StreamSet) -> SimMaster {
+        SimMaster {
+            streams,
+            policy: QueuePolicy::Fcfs,
+            stack_capacity: usize::MAX,
+            low_priority: Vec::new(),
+        }
+    }
+
+    /// §4-architecture master with the given AP policy.
+    pub fn priority_queued(streams: StreamSet, policy: QueuePolicy) -> SimMaster {
+        SimMaster {
+            streams,
+            policy,
+            stack_capacity: 1,
+            low_priority: Vec::new(),
+        }
+    }
+
+    /// Adds low-priority background traffic (builder style).
+    pub fn with_low_priority(mut self, lp: LowPriorityTraffic) -> SimMaster {
+        self.low_priority.push(lp);
+        self
+    }
+}
+
+/// The simulated network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimNetwork {
+    /// Masters in logical-ring order.
+    pub masters: Vec<SimMaster>,
+    /// Target token rotation time `TTR`.
+    pub ttr: Time,
+    /// Token pass duration (SD4 frame + idle time); must be positive so
+    /// simulated time always advances.
+    pub token_pass: Time,
+}
+
+/// How first releases are placed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum OffsetMode {
+    /// All streams release synchronously at time zero.
+    #[default]
+    Synchronous,
+    /// Uniformly random first offsets in `[0, T)` per stream (seeded).
+    Random,
+}
+
+/// How per-request release jitter is injected (requests become *ready* at
+/// `arrival + jitter`, with `jitter ∈ [0, J]`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum JitterInjection {
+    /// No jitter (all requests ready at arrival).
+    #[default]
+    None,
+    /// Adversarial: the first request of each stream is maximally late
+    /// (`+J`), subsequent ones on time — the pattern that realises the
+    /// back-to-back interference the analyses charge for.
+    FirstLate,
+    /// Uniformly random in `[0, J]` per request (seeded).
+    Random,
+}
+
+/// Simulation run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkSimConfig {
+    /// Simulated horizon (ticks of bus time).
+    pub horizon: Time,
+    /// RNG seed (offsets, jitter, fault injection).
+    pub seed: u64,
+    /// First-release placement.
+    pub offsets: OffsetMode,
+    /// Jitter injection mode.
+    pub jitter: JitterInjection,
+    /// Fault injection: probability that any given token pass is lost
+    /// (the frame corrupted / not accepted). A lost token is recovered via
+    /// the address-staggered claim timeout (`TTO = (6 + 2·addr)·TSL`, see
+    /// [`profirt_profibus::fdl`]); the lowest-address master (ring index 0)
+    /// wins the claim and re-originates the token. `0.0` disables losses.
+    pub token_loss_prob: f64,
+    /// Fault injection: per-execution undershoot of message-cycle
+    /// durations. Each executed cycle takes a uniform duration in
+    /// `[⌈(1 − v)·Ch⌉, Ch]` — the worst case `Ch` is an upper bound, as in
+    /// reality (fewer retries, faster turnaround). `0.0` = always worst
+    /// case.
+    pub cycle_undershoot: f64,
+    /// Slot time `TSL` used for the token-recovery timeout.
+    pub slot_time: Time,
+}
+
+impl Default for NetworkSimConfig {
+    fn default() -> Self {
+        NetworkSimConfig {
+            horizon: Time::new(1_000_000),
+            seed: 0xC0FFEE,
+            offsets: OffsetMode::Synchronous,
+            jitter: JitterInjection::None,
+            token_loss_prob: 0.0,
+            cycle_undershoot: 0.0,
+            slot_time: Time::new(200),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    #[test]
+    fn builders() {
+        let streams = StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap();
+        let stock = SimMaster::stock(streams.clone());
+        assert_eq!(stock.policy, QueuePolicy::Fcfs);
+        assert_eq!(stock.stack_capacity, usize::MAX);
+
+        let pq = SimMaster::priority_queued(streams, QueuePolicy::Edf)
+            .with_low_priority(LowPriorityTraffic::new(t(200), t(50_000)));
+        assert_eq!(pq.stack_capacity, 1);
+        assert_eq!(pq.low_priority.len(), 1);
+    }
+
+    #[test]
+    fn default_config() {
+        let c = NetworkSimConfig::default();
+        assert_eq!(c.offsets, OffsetMode::Synchronous);
+        assert_eq!(c.jitter, JitterInjection::None);
+        assert!(c.horizon.is_positive());
+    }
+}

@@ -1,0 +1,788 @@
+//! The network simulation core.
+//!
+//! ## Execution rules (paper §3.1, implemented literally)
+//!
+//! On token arrival at master `k` at time `t`:
+//!
+//! 1. `TTH ← TTR − TRR`; restart `TRR` ([`profirt_profibus::TokenTimer`]).
+//! 2. If high-priority requests are pending, execute **one** high-priority
+//!    message cycle unconditionally (even on a late token).
+//! 3. While `TTH > 0` *at cycle start* and high-priority requests pend,
+//!    execute further high-priority cycles (each runs to completion —
+//!    TTH overrun).
+//! 4. While `TTH > 0` at cycle start and low-priority requests pend,
+//!    execute low-priority cycles (same overrun rule).
+//! 5. Pass the token to the next master (`token_pass` ticks).
+//!
+//! ## Queue semantics (paper §4)
+//!
+//! Requests are *released* into the AP queue (ordered per the master's
+//! policy) and trickle into the communication-stack FCFS queue **in real
+//! time**: whenever the stack has a free slot, the most urgent AP request
+//! drops in immediately. The stack slot frees when a transmission starts.
+//! This real-time transfer is exactly what creates the one-cycle priority
+//! inversion ("blocking") the analyses charge: an urgent request released
+//! a moment after a lax one finds the stack slot already taken. With
+//! `stack_capacity = usize::MAX` and an FCFS AP queue this degrades to the
+//! stock single-FCFS-queue behaviour of §3.
+
+use profirt_base::{StreamId, Time};
+use profirt_profibus::{ApQueue, Request, StackQueue, TokenTimer};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::SimRng;
+use crate::network::config::{
+    JitterInjection, NetworkSimConfig, OffsetMode, SimNetwork,
+};
+
+/// Observations for one stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct StreamObservation {
+    /// Largest observed response time (ready instant → cycle completion).
+    pub max_response: Time,
+    /// Completed message cycles.
+    pub completed: u64,
+    /// Deadline misses (response > D).
+    pub misses: u64,
+}
+
+/// Whole-run result.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct NetworkSimResult {
+    /// Per-master, per-stream observations.
+    pub streams: Vec<Vec<StreamObservation>>,
+    /// Largest observed real token rotation time per master.
+    pub max_trr: Vec<Time>,
+    /// Token visits per master.
+    pub token_visits: Vec<u64>,
+    /// Completed low-priority cycles per master.
+    pub low_completed: Vec<u64>,
+    /// Number of token losses recovered via the claim timeout (fault
+    /// injection; zero when `token_loss_prob == 0`).
+    pub token_recoveries: u64,
+}
+
+impl NetworkSimResult {
+    /// `true` iff no stream missed a deadline.
+    pub fn no_misses(&self) -> bool {
+        self.streams
+            .iter()
+            .flatten()
+            .all(|o| o.misses == 0)
+    }
+
+    /// The largest observed TRR across all masters.
+    pub fn max_trr_overall(&self) -> Time {
+        self.max_trr.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+}
+
+/// Pending release of a high-priority request.
+#[derive(Clone, Copy, Debug)]
+struct PendingRelease {
+    ready_at: Time,
+    request: Request,
+}
+
+struct MasterState {
+    timer: TokenTimer,
+    ap: ApQueue,
+    stack: StackQueue,
+    /// Future high-priority releases, kept sorted ascending by ready time
+    /// (consumed from the front).
+    releases: Vec<PendingRelease>,
+    next_release_index: usize,
+    /// Low-priority pending queue: ready instants of generated requests.
+    lp_pending: Vec<(Time, Time)>, // (ready, cycle_time)
+    lp_next_index: usize,
+    lp_releases: Vec<(Time, Time)>,
+    observations: Vec<StreamObservation>,
+    deadlines: Vec<Time>,
+    max_trr: Time,
+    visits: u64,
+    lp_completed: u64,
+    first_arrival_seen: bool,
+}
+
+impl MasterState {
+    /// Moves releases that became ready by `now` into the AP queue, doing
+    /// the real-time AP→stack transfer at each release instant.
+    fn sync(&mut self, now: Time) {
+        while self.next_release_index < self.releases.len()
+            && self.releases[self.next_release_index].ready_at <= now
+        {
+            let r = self.releases[self.next_release_index];
+            self.next_release_index += 1;
+            self.ap.push(r.request);
+            self.transfer();
+        }
+        while self.lp_next_index < self.lp_releases.len()
+            && self.lp_releases[self.lp_next_index].0 <= now
+        {
+            self.lp_pending.push(self.lp_releases[self.lp_next_index]);
+            self.lp_next_index += 1;
+        }
+    }
+
+    /// AP → stack transfer: fill free stack slots with the most urgent AP
+    /// requests.
+    fn transfer(&mut self) {
+        while !self.stack.is_full() {
+            match self.ap.pop() {
+                Some(r) => {
+                    let ok = self.stack.try_push(r);
+                    debug_assert!(ok);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn record(&mut self, req: &Request, completion: Time) {
+        let obs = &mut self.observations[req.stream.0];
+        let resp = completion - req.release;
+        obs.max_response = obs.max_response.max(resp);
+        obs.completed += 1;
+        if resp > self.deadlines[req.stream.0] {
+            obs.misses += 1;
+        }
+    }
+}
+
+/// Runs the simulation.
+///
+/// # Panics
+/// Panics if the network has no masters or a non-positive token-pass time
+/// (time could stall).
+pub fn simulate_network(net: &SimNetwork, config: &NetworkSimConfig) -> NetworkSimResult {
+    simulate_inner(net, config, None)
+}
+
+/// Runs the simulation while recording up to `trace_capacity` bus events.
+///
+/// Tracing does not perturb the simulation: the result equals
+/// [`simulate_network`]'s for the same inputs.
+pub fn simulate_network_traced(
+    net: &SimNetwork,
+    config: &NetworkSimConfig,
+    trace_capacity: usize,
+) -> (NetworkSimResult, crate::network::trace::Trace) {
+    let mut trace = crate::network::trace::Trace::new(trace_capacity);
+    let result = simulate_inner(net, config, Some(&mut trace));
+    (result, trace)
+}
+
+fn simulate_inner(
+    net: &SimNetwork,
+    config: &NetworkSimConfig,
+    mut trace: Option<&mut crate::network::trace::Trace>,
+) -> NetworkSimResult {
+    use crate::network::trace::TraceEvent;
+    assert!(!net.masters.is_empty(), "network needs at least one master");
+    assert!(
+        net.token_pass.is_positive(),
+        "token pass time must be positive"
+    );
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut masters: Vec<MasterState> = net
+        .masters
+        .iter()
+        .map(|m| build_master(m, net.ttr, config, &mut rng))
+        .collect();
+    let mut fault_rng = rng.fork();
+    // Uniform duration in [⌈(1-v)·Ch⌉, Ch] under cycle-undershoot
+    // injection; always Ch otherwise.
+    let mut sample_duration = move |ch: Time| -> Time {
+        if config.cycle_undershoot <= 0.0 {
+            return ch;
+        }
+        let v = config.cycle_undershoot.min(1.0);
+        let lo = Time::new(
+            ((ch.ticks() as f64) * (1.0 - v)).ceil().max(1.0) as i64,
+        );
+        lo + fault_rng.time_in(ch - lo)
+    };
+    let mut loss_rng = SimRng::seed_from_u64(config.seed ^ 0x70CE_55E5);
+    let mut recoveries: u64 = 0;
+
+    let mut now = Time::ZERO;
+    let mut holder = 0usize;
+    while now < config.horizon {
+        let m = &mut masters[holder];
+        m.visits += 1;
+        // TRR measurement: the timer records arrival-to-arrival spans.
+        let prev_start = m.timer.trr_started_at();
+        let hold = m.timer.on_token_arrival(now);
+        if m.first_arrival_seen {
+            m.max_trr = m.max_trr.max(now - prev_start);
+        }
+        m.first_arrival_seen = true;
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(
+                now,
+                TraceEvent::TokenArrival {
+                    master: holder,
+                    tth: hold.tth_at_arrival,
+                },
+            );
+        }
+
+        m.sync(now);
+
+        // Step 2: one guaranteed high-priority cycle.
+        if let Some(req) = m.stack.pop() {
+            m.sync(now); // releases strictly before start already synced
+            m.transfer(); // slot freed at transmission start
+            let start = now;
+            now += sample_duration(req.cycle_time);
+            m.sync(now);
+            m.record(&req, now);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.record(
+                    start,
+                    TraceEvent::HighCycle {
+                        master: holder,
+                        stream: req.stream,
+                        start,
+                        end: now,
+                    },
+                );
+            }
+
+            // Step 3: more high-priority cycles while TTH > 0 at start.
+            while hold.may_start_additional_high(now) && !m.stack.is_empty() {
+                let req = m.stack.pop().expect("non-empty");
+                m.transfer();
+                let start = now;
+                now += sample_duration(req.cycle_time);
+                m.sync(now);
+                m.record(&req, now);
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.record(
+                        start,
+                        TraceEvent::HighCycle {
+                            master: holder,
+                            stream: req.stream,
+                            start,
+                            end: now,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Step 4: low-priority cycles while TTH > 0 at start and no
+        // high-priority request pends (checked at each cycle start).
+        while hold.may_start_low(now) && m.stack.is_empty() {
+            // Oldest ready low-priority request.
+            let pos = m
+                .lp_pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(ready, _))| ready)
+                .map(|(i, _)| i);
+            let Some(pos) = pos else { break };
+            let (_, cycle) = m.lp_pending.remove(pos);
+            let start = now;
+            now += sample_duration(cycle);
+            m.lp_completed += 1;
+            m.sync(now);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.record(
+                    start,
+                    TraceEvent::LowCycle {
+                        master: holder,
+                        start,
+                        end: now,
+                    },
+                );
+            }
+        }
+
+        // Step 5: pass the token (possibly losing it).
+        now += net.token_pass;
+        if config.token_loss_prob > 0.0 && loss_rng.unit() < config.token_loss_prob {
+            // Lost token: the bus goes silent until the lowest-address
+            // master's claim timeout fires; it then re-originates the
+            // token (see profirt_profibus::fdl::token_recovery_timeout).
+            now += config.slot_time * 6;
+            recoveries += 1;
+            holder = 0;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.record(now, TraceEvent::Recovery { claimant: 0 });
+            }
+        } else {
+            let next = (holder + 1) % masters.len();
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.record(
+                    now,
+                    TraceEvent::TokenPass {
+                        from: holder,
+                        to: next,
+                    },
+                );
+            }
+            holder = next;
+        }
+    }
+
+    NetworkSimResult {
+        streams: masters.iter().map(|m| m.observations.clone()).collect(),
+        max_trr: masters.iter().map(|m| m.max_trr).collect(),
+        token_visits: masters.iter().map(|m| m.visits).collect(),
+        low_completed: masters.iter().map(|m| m.lp_completed).collect(),
+        token_recoveries: recoveries,
+    }
+}
+
+fn build_master(
+    cfg: &crate::network::config::SimMaster,
+    ttr: Time,
+    run: &NetworkSimConfig,
+    rng: &mut SimRng,
+) -> MasterState {
+    // Deadline-monotonic static priorities for the DM policy (§4
+    // inheritance), assigned by deadline order with index tiebreak.
+    let dm_order = cfg.streams.indices_by_deadline();
+    let mut priority_of = vec![0u32; cfg.streams.len()];
+    for (rank, &idx) in dm_order.iter().enumerate() {
+        priority_of[idx] = rank as u32;
+    }
+
+    let mut releases: Vec<PendingRelease> = Vec::new();
+    for (i, s) in cfg.streams.iter() {
+        let offset = match run.offsets {
+            OffsetMode::Synchronous => Time::ZERO,
+            OffsetMode::Random => rng.time_in(s.t - Time::ONE),
+        };
+        let mut arrival = offset;
+        let mut first = true;
+        while arrival < run.horizon {
+            let jitter = match run.jitter {
+                JitterInjection::None => Time::ZERO,
+                JitterInjection::FirstLate => {
+                    if first {
+                        s.j
+                    } else {
+                        Time::ZERO
+                    }
+                }
+                JitterInjection::Random => rng.time_in(s.j),
+            };
+            let ready = arrival + jitter;
+            releases.push(PendingRelease {
+                ready_at: ready,
+                request: Request {
+                    stream: StreamId(i),
+                    release: ready,
+                    abs_deadline: ready + s.d,
+                    priority: profirt_base::Priority(priority_of[i]),
+                    cycle_time: s.ch,
+                },
+            });
+            arrival += s.t;
+            first = false;
+        }
+    }
+    releases.sort_by_key(|r| r.ready_at);
+
+    let mut lp_releases: Vec<(Time, Time)> = Vec::new();
+    for lp in &cfg.low_priority {
+        let mut t0 = Time::ZERO;
+        while t0 < run.horizon {
+            lp_releases.push((t0, lp.cycle_time));
+            t0 += lp.period;
+        }
+    }
+    lp_releases.sort_by_key(|&(r, _)| r);
+
+    MasterState {
+        timer: TokenTimer::new(ttr),
+        ap: ApQueue::new(cfg.policy),
+        stack: if cfg.stack_capacity == usize::MAX {
+            StackQueue::new(usize::MAX - 1)
+        } else {
+            StackQueue::new(cfg.stack_capacity)
+        },
+        releases,
+        next_release_index: 0,
+        lp_pending: Vec::new(),
+        lp_next_index: 0,
+        lp_releases,
+        deadlines: cfg.streams.streams().iter().map(|s| s.d).collect(),
+        observations: vec![StreamObservation::default(); cfg.streams.len()],
+        max_trr: Time::ZERO,
+        visits: 0,
+        lp_completed: 0,
+        first_arrival_seen: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::config::SimMaster;
+    use profirt_base::time::t;
+    use profirt_base::StreamSet;
+    use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
+
+    fn one_master_net(streams: &[(i64, i64, i64)], policy: QueuePolicy) -> SimNetwork {
+        let s = StreamSet::from_cdt(streams).unwrap();
+        let m = match policy {
+            QueuePolicy::Fcfs => SimMaster::stock(s),
+            p => SimMaster::priority_queued(s, p),
+        };
+        SimNetwork {
+            masters: vec![m],
+            ttr: t(2_000),
+            token_pass: t(100),
+        }
+    }
+
+    fn run(net: &SimNetwork, horizon: i64) -> NetworkSimResult {
+        simulate_network(
+            net,
+            &NetworkSimConfig {
+                horizon: t(horizon),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn single_stream_served_every_rotation() {
+        let net = one_master_net(&[(100, 5_000, 10_000)], QueuePolicy::Fcfs);
+        let r = run(&net, 100_000);
+        let obs = r.streams[0][0];
+        assert!(obs.completed >= 9, "completed {}", obs.completed);
+        assert_eq!(obs.misses, 0);
+        // Single master alone: the request waits at most one rotation
+        // (token_pass) + own cycle.
+        assert!(obs.max_response <= t(100 + 100));
+    }
+
+    #[test]
+    fn token_rotation_measured() {
+        let net = one_master_net(&[(100, 5_000, 10_000)], QueuePolicy::Fcfs);
+        let r = run(&net, 100_000);
+        assert!(r.token_visits[0] > 100);
+        // Rotation of a single idle-ish master: token_pass (+cycle when
+        // serving). Max TRR bounded by pass + cycle.
+        assert!(r.max_trr[0] <= t(200));
+        assert!(r.max_trr_overall() >= t(100));
+    }
+
+    #[test]
+    fn fcfs_priority_inversion_observed_dm_queue_removes_it() {
+        // Three streams, same period; the lax ones flood first. Under FCFS
+        // the tight stream waits behind both; under DM it jumps the AP
+        // queue and pays at most the single stack-slot blocking cycle.
+        let streams = [
+            (400, 100_000, 10_000), // lax: index 0 (queued first on ties)
+            (400, 100_000, 10_000), // lax: index 1
+            (400, 2_500, 10_000),   // tight: index 2
+        ];
+        let fcfs = run(&one_master_net(&streams, QueuePolicy::Fcfs), 1_000_000);
+        let dm = run(
+            &one_master_net(&streams, QueuePolicy::DeadlineMonotonic),
+            1_000_000,
+        );
+        let tight_fcfs = fcfs.streams[0][2].max_response;
+        let tight_dm = dm.streams[0][2].max_response;
+        assert!(
+            tight_dm < tight_fcfs,
+            "DM {tight_dm:?} should beat FCFS {tight_fcfs:?} for the tight stream"
+        );
+    }
+
+    #[test]
+    fn edf_queue_orders_by_absolute_deadline() {
+        let streams = [
+            (400, 50_000, 10_000),
+            (400, 2_000, 10_000),
+        ];
+        let edf = run(&one_master_net(&streams, QueuePolicy::Edf), 1_000_000);
+        let fcfs = run(&one_master_net(&streams, QueuePolicy::Fcfs), 1_000_000);
+        assert!(
+            edf.streams[0][1].max_response <= fcfs.streams[0][1].max_response
+        );
+    }
+
+    #[test]
+    fn late_token_still_serves_one_high_priority_cycle() {
+        // Master 0 has a long low-priority cycle that overruns TTH; master 1
+        // then receives a late token but must still get one high cycle out.
+        let m0 = SimMaster::stock(StreamSet::new(vec![]).unwrap())
+            .with_low_priority(LowPriorityTraffic::new(t(3_000), t(4_000)));
+        let m1 = SimMaster::stock(
+            StreamSet::from_cdt(&[(200, 8_000, 4_000)]).unwrap(),
+        );
+        let net = SimNetwork {
+            masters: vec![m0, m1],
+            ttr: t(1_000),
+            token_pass: t(100),
+        };
+        let r = run(&net, 500_000);
+        let obs = r.streams[1][0];
+        assert!(obs.completed > 50, "high traffic starved: {obs:?}");
+        assert_eq!(obs.misses, 0, "one-per-visit guarantee violated");
+        // Token genuinely runs late: TRR exceeds TTR somewhere.
+        assert!(r.max_trr_overall() > t(1_000));
+    }
+
+    #[test]
+    fn tth_overrun_low_priority_cycle_completes() {
+        // A single master whose low-priority cycle is longer than TTR: the
+        // cycle starts with TTH > 0 and always overruns; it must still
+        // complete (counted), and the rotation stretches accordingly.
+        let m = SimMaster::stock(StreamSet::new(vec![]).unwrap())
+            .with_low_priority(LowPriorityTraffic::new(t(5_000), t(6_000)));
+        let net = SimNetwork {
+            masters: vec![m],
+            ttr: t(1_000),
+            token_pass: t(100),
+        };
+        let r = run(&net, 200_000);
+        assert!(r.low_completed[0] > 10);
+        assert!(r.max_trr[0] >= t(5_000));
+    }
+
+    #[test]
+    fn low_priority_starved_on_late_token() {
+        // Heavy high-priority load keeps TTH at zero: low priority barely
+        // runs (only when TTH > 0 and no high pending).
+        let m = SimMaster::stock(
+            StreamSet::from_cdt(&[(900, 50_000, 1_000)]).unwrap(),
+        )
+        .with_low_priority(LowPriorityTraffic::new(t(500), t(1_000)));
+        let net = SimNetwork {
+            masters: vec![m],
+            ttr: t(500), // rotation always exceeds TTR with the high cycle
+            token_pass: t(100),
+        };
+        let r = run(&net, 300_000);
+        let high = r.streams[0][0];
+        assert!(high.completed > 100);
+        // Low priority: essentially starved.
+        assert!(
+            r.low_completed[0] <= 2,
+            "low-priority cycles ran on a late token: {}",
+            r.low_completed[0]
+        );
+    }
+
+    #[test]
+    fn stack_slot_blocking_matches_architecture() {
+        // §4 architecture: urgent request released just after a lax one has
+        // dropped into the single stack slot suffers exactly one cycle of
+        // blocking. With an unbounded stack + FCFS it waits behind ALL of
+        // them.
+        let streams = [
+            (500, 100_000, 20_000), // lax 0
+            (500, 100_000, 20_000), // lax 1
+            (500, 100_000, 20_000), // lax 2
+            (500, 1_500, 20_000),   // tight (released last on ties)
+        ];
+        let pq = run(
+            &one_master_net(&streams, QueuePolicy::DeadlineMonotonic),
+            1_000_000,
+        );
+        let stock = run(&one_master_net(&streams, QueuePolicy::Fcfs), 1_000_000);
+        let tight_pq = pq.streams[0][3].max_response;
+        let tight_stock = stock.streams[0][3].max_response;
+        // Stock: waits behind 3 lax cycles; PQ: at most 1 blocking cycle.
+        assert!(tight_pq < tight_stock);
+        assert_eq!(pq.streams[0][3].misses, 0);
+        assert!(stock.streams[0][3].misses > 0);
+    }
+
+    #[test]
+    fn random_offsets_and_jitter_reproducible() {
+        let s = StreamSet::from_cdtj(&[(200, 8_000, 10_000, 2_000)]).unwrap();
+        let net = SimNetwork {
+            masters: vec![SimMaster::priority_queued(s, QueuePolicy::Edf)],
+            ttr: t(2_000),
+            token_pass: t(100),
+        };
+        let cfg = NetworkSimConfig {
+            horizon: t(200_000),
+            seed: 99,
+            offsets: OffsetMode::Random,
+            jitter: JitterInjection::Random,
+            ..Default::default()
+        };
+        let a = simulate_network(&net, &cfg);
+        let b = simulate_network(&net, &cfg);
+        assert_eq!(a, b, "same seed must reproduce identical results");
+        let c = simulate_network(
+            &net,
+            &NetworkSimConfig {
+                seed: 100,
+                ..cfg
+            },
+        );
+        // Different seed may (and here does) change observations.
+        assert!(
+            a.streams != c.streams || a.max_trr != c.max_trr || a == c,
+            "sanity"
+        );
+    }
+
+    #[test]
+    fn first_late_jitter_mode() {
+        let s = StreamSet::from_cdtj(&[(200, 8_000, 10_000, 3_000)]).unwrap();
+        let net = SimNetwork {
+            masters: vec![SimMaster::priority_queued(s, QueuePolicy::Edf)],
+            ttr: t(2_000),
+            token_pass: t(100),
+        };
+        let r = simulate_network(
+            &net,
+            &NetworkSimConfig {
+                horizon: t(100_000),
+                jitter: JitterInjection::FirstLate,
+                ..Default::default()
+            },
+        );
+        // Still completes everything on a quiet bus.
+        assert!(r.streams[0][0].completed > 5);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let net = one_master_net(&[(200, 8_000, 10_000)], QueuePolicy::Fcfs);
+        let cfg = NetworkSimConfig {
+            horizon: t(300_000),
+            ..Default::default()
+        };
+        let plain = simulate_network(&net, &cfg);
+        let (traced, trace) = simulate_network_traced(&net, &cfg, 10_000);
+        assert_eq!(plain, traced);
+        assert!(!trace.events().is_empty());
+        // Every rotation extracted from the trace matches the measured
+        // max TRR.
+        let worst_rotation = trace
+            .rotations(0)
+            .iter()
+            .map(|&(a, b)| b - a)
+            .max()
+            .unwrap();
+        assert_eq!(worst_rotation, traced.max_trr[0]);
+        // The render contains cycles and passes.
+        let text = trace.render();
+        assert!(text.contains("token pass"));
+        assert!(text.contains("high S0"));
+    }
+
+    #[test]
+    fn trace_records_recoveries() {
+        let net = one_master_net(&[(200, 20_000, 10_000)], QueuePolicy::Fcfs);
+        let (result, trace) = simulate_network_traced(
+            &net,
+            &NetworkSimConfig {
+                horizon: t(400_000),
+                token_loss_prob: 0.1,
+                ..Default::default()
+            },
+            50_000,
+        );
+        let traced_recoveries = trace
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, crate::network::trace::TraceEvent::Recovery { .. }))
+            .count() as u64;
+        assert_eq!(traced_recoveries, result.token_recoveries);
+        assert!(traced_recoveries > 0);
+    }
+
+    #[test]
+    fn zero_fault_config_matches_baseline() {
+        let net = one_master_net(&[(200, 8_000, 10_000)], QueuePolicy::Fcfs);
+        let base = run(&net, 300_000);
+        let faulty_off = simulate_network(
+            &net,
+            &NetworkSimConfig {
+                horizon: t(300_000),
+                token_loss_prob: 0.0,
+                cycle_undershoot: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(base, faulty_off);
+        assert_eq!(base.token_recoveries, 0);
+    }
+
+    #[test]
+    fn token_loss_recovers_and_traffic_continues() {
+        let net = one_master_net(&[(200, 20_000, 10_000)], QueuePolicy::Fcfs);
+        let obs = simulate_network(
+            &net,
+            &NetworkSimConfig {
+                horizon: t(1_000_000),
+                token_loss_prob: 0.05,
+                ..Default::default()
+            },
+        );
+        assert!(obs.token_recoveries > 10, "losses injected but not observed");
+        // Traffic still flows: the claim timeout recovers every loss.
+        assert!(obs.streams[0][0].completed > 50);
+        // Recovery stretches rotations past the loss-free TRR.
+        let clean = run(&net, 1_000_000);
+        assert!(obs.max_trr_overall() > clean.max_trr_overall());
+    }
+
+    #[test]
+    fn token_loss_is_deterministic_per_seed() {
+        let net = one_master_net(&[(200, 20_000, 10_000)], QueuePolicy::Edf);
+        let cfg = NetworkSimConfig {
+            horizon: t(500_000),
+            token_loss_prob: 0.1,
+            cycle_undershoot: 0.3,
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(simulate_network(&net, &cfg), simulate_network(&net, &cfg));
+    }
+
+    #[test]
+    fn cycle_undershoot_stays_within_worst_case_bound() {
+        // Shorter actual cycles do NOT imply shorter observed responses
+        // (a request can *just miss* a token visit it would have caught
+        // under worst-case durations — a classic timing anomaly), but the
+        // analytical worst-case bound, computed from the full `Ch`, must
+        // still dominate. Single master, single stream: one rotation
+        // (TTR + CM + pass) plus the own cycle is a safe manual bound.
+        let streams = [(400, 20_000, 10_000)];
+        let net = one_master_net(&streams, QueuePolicy::Fcfs);
+        let bound = net.ttr + t(400) + net.token_pass + t(400);
+        for undershoot in [0.0, 0.25, 0.5, 0.9] {
+            let obs = simulate_network(
+                &net,
+                &NetworkSimConfig {
+                    horizon: t(1_000_000),
+                    cycle_undershoot: undershoot,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                obs.streams[0][0].max_response <= bound,
+                "undershoot {undershoot}: {:?} > bound {:?}",
+                obs.streams[0][0].max_response,
+                bound
+            );
+            assert_eq!(obs.token_recoveries, 0);
+            assert!(obs.streams[0][0].completed > 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn empty_network_panics() {
+        let net = SimNetwork {
+            masters: vec![],
+            ttr: t(1_000),
+            token_pass: t(100),
+        };
+        let _ = run(&net, 1_000);
+    }
+}

@@ -1,0 +1,159 @@
+//! Whole-network generation.
+//!
+//! Produces matched **analysis** and **simulation** views of one random
+//! PROFIBUS network: the [`profirt_core::NetworkConfig`] consumed by the
+//! response-time analyses and the per-master stream/low-priority structure
+//! consumed by `profirt-sim` (reconstructed there into a `SimNetwork` with
+//! the chosen queue policies).
+
+use profirt_base::{AnalysisResult, Prng, StreamSet, Time};
+use profirt_core::{MasterConfig, NetworkConfig};
+use profirt_profibus::{BusParams, LowPriorityTraffic, MessageCycleSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::streamgen::{generate_stream_set, StreamGenParams};
+
+/// Network generation parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetGenParams {
+    /// Number of masters in the ring.
+    pub n_masters: usize,
+    /// Per-master stream generation.
+    pub streams: StreamGenParams,
+    /// Probability that a master carries low-priority traffic.
+    pub low_priority_prob: f64,
+    /// Low-priority payload bounds (octets) when present.
+    pub low_payload: (usize, usize),
+    /// Low-priority generation period (ticks).
+    pub low_period: Time,
+    /// Target token rotation time `TTR` (ticks).
+    pub ttr: Time,
+}
+
+/// A generated network: the analysis view plus the raw per-master pieces
+/// needed to assemble simulator inputs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GeneratedNetwork {
+    /// Analysis input for `profirt-core`.
+    pub config: NetworkConfig,
+    /// Per-master stream sets (identical to `config`'s, re-exposed for
+    /// simulator construction).
+    pub streams: Vec<StreamSet>,
+    /// Per-master low-priority traffic (empty vectors where absent).
+    pub low_priority: Vec<Vec<LowPriorityTraffic>>,
+}
+
+/// Generates one network under the given bus profile.
+pub fn generate_network(
+    rng: &mut Prng,
+    bus: &BusParams,
+    params: &NetGenParams,
+) -> AnalysisResult<GeneratedNetwork> {
+    assert!(params.n_masters >= 1, "need at least one master");
+    assert!(
+        (0.0..=1.0).contains(&params.low_priority_prob),
+        "probability out of range"
+    );
+    let mut masters = Vec::with_capacity(params.n_masters);
+    let mut streams_out = Vec::with_capacity(params.n_masters);
+    let mut low_out = Vec::with_capacity(params.n_masters);
+    for _ in 0..params.n_masters {
+        let streams = generate_stream_set(rng, bus, &params.streams)?;
+        let low = if rng.unit() < params.low_priority_prob {
+            let payload = params.low_payload.0
+                + rng.index(params.low_payload.1 - params.low_payload.0 + 1);
+            let cl = MessageCycleSpec::srd_sd2(payload, payload).worst_case_time(bus);
+            vec![LowPriorityTraffic::new(cl, params.low_period)]
+        } else {
+            Vec::new()
+        };
+        let cl_max = low
+            .iter()
+            .map(|l| l.cycle_time)
+            .max()
+            .unwrap_or(Time::ZERO);
+        masters.push(MasterConfig::new(streams.clone(), cl_max));
+        streams_out.push(streams);
+        low_out.push(low);
+    }
+    Ok(GeneratedNetwork {
+        config: NetworkConfig::new(masters, params.ttr)?,
+        streams: streams_out,
+        low_priority: low_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::periods::PeriodRange;
+    use profirt_base::time::t;
+
+    fn params() -> NetGenParams {
+        NetGenParams {
+            n_masters: 4,
+            streams: StreamGenParams {
+                nh: 5,
+                req_payload: (2, 16),
+                resp_payload: (2, 32),
+                periods: PeriodRange::new(t(50_000), t(5_000_000), t(100)),
+                deadline_frac: (0.4, 1.0),
+            },
+            low_priority_prob: 0.5,
+            low_payload: (8, 64),
+            low_period: t(500_000),
+            ttr: t(10_000),
+        }
+    }
+
+    #[test]
+    fn generates_consistent_views() {
+        let bus = BusParams::profile_500k();
+        let mut rng = Prng::seed_from_u64(1);
+        let g = generate_network(&mut rng, &bus, &params()).unwrap();
+        assert_eq!(g.config.n_masters(), 4);
+        assert_eq!(g.streams.len(), 4);
+        assert_eq!(g.low_priority.len(), 4);
+        for (k, m) in g.config.masters.iter().enumerate() {
+            assert_eq!(m.streams, g.streams[k]);
+            let cl_max = g.low_priority[k]
+                .iter()
+                .map(|l| l.cycle_time)
+                .max()
+                .unwrap_or(t(0));
+            assert_eq!(m.cl, cl_max);
+        }
+    }
+
+    #[test]
+    fn low_priority_probability_zero_and_one() {
+        let bus = BusParams::profile_500k();
+        let mut p = params();
+        p.low_priority_prob = 0.0;
+        let g = generate_network(&mut Prng::seed_from_u64(2), &bus, &p).unwrap();
+        assert!(g.low_priority.iter().all(Vec::is_empty));
+        p.low_priority_prob = 1.0;
+        let g = generate_network(&mut Prng::seed_from_u64(2), &bus, &p).unwrap();
+        assert!(g.low_priority.iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let bus = BusParams::profile_1m5();
+        let a = generate_network(&mut Prng::seed_from_u64(77), &bus, &params()).unwrap();
+        let b = generate_network(&mut Prng::seed_from_u64(77), &bus, &params()).unwrap();
+        assert_eq!(a.config, b.config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn zero_masters_panics() {
+        let mut p = params();
+        p.n_masters = 0;
+        let _ = generate_network(
+            &mut Prng::seed_from_u64(1),
+            &BusParams::profile_500k(),
+            &p,
+        );
+    }
+}

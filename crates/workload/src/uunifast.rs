@@ -1,0 +1,102 @@
+//! The UUniFast algorithm (Bini & Buttazzo, 2005).
+//!
+//! Draws `n` task utilisations summing to `u_total`, uniformly over the
+//! valid simplex — the standard unbiased way to generate schedulability-
+//! experiment workloads (biased generators systematically favour or
+//! disfavour particular analyses).
+
+use profirt_base::Prng;
+
+/// Draws `n` utilisations summing to `u_total` (each in `(0, u_total)`).
+///
+/// Returns an empty vector for `n == 0`.
+///
+/// # Panics
+/// Panics if `u_total` is not finite and positive.
+pub fn uunifast(rng: &mut Prng, n: usize, u_total: f64) -> Vec<f64> {
+    assert!(
+        u_total.is_finite() && u_total > 0.0,
+        "u_total must be positive"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut sum = u_total;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next = sum * rng.unit().powf(exponent);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_target() {
+        let mut rng = Prng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20, 100] {
+            for target in [0.3, 0.7, 0.95] {
+                let us = uunifast(&mut rng, n, target);
+                assert_eq!(us.len(), n);
+                let sum: f64 = us.iter().sum();
+                assert!(
+                    (sum - target).abs() < 1e-9,
+                    "n={n} target={target} sum={sum}"
+                );
+                assert!(us.iter().all(|&u| u > 0.0 && u < target + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_for_zero_tasks() {
+        let mut rng = Prng::seed_from_u64(1);
+        assert!(uunifast(&mut rng, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uunifast(&mut Prng::seed_from_u64(7), 10, 0.8);
+        let b = uunifast(&mut Prng::seed_from_u64(7), 10, 0.8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spreads_mass_across_tasks() {
+        // Statistical sanity: with many draws, the first task is not
+        // systematically the largest (the flaw UUniFast fixes over UUniform).
+        let mut rng = Prng::seed_from_u64(42);
+        let mut first_largest = 0usize;
+        let trials = 500;
+        for _ in 0..trials {
+            let us = uunifast(&mut rng, 4, 0.8);
+            let maxi = us
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if maxi == 0 {
+                first_largest += 1;
+            }
+        }
+        // Expect ~ trials/4; allow generous slack.
+        assert!(
+            (50..300).contains(&first_largest),
+            "first task largest in {first_largest}/{trials} trials"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_target_panics() {
+        let mut rng = Prng::seed_from_u64(1);
+        let _ = uunifast(&mut rng, 3, 0.0);
+    }
+}

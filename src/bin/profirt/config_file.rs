@@ -1,0 +1,212 @@
+//! JSON network configuration files.
+//!
+//! The on-disk schema mirrors the analysis inputs one-to-one; all times are
+//! ticks (bit times at the network's baud rate):
+//!
+//! ```json
+//! {
+//!   "ttr": 2000,
+//!   "token_pass": 166,
+//!   "masters": [
+//!     {
+//!       "cl": 1000,
+//!       "policy": "dm",
+//!       "stack_capacity": 1,
+//!       "streams": [ { "ch": 700, "d": 12000, "t": 25000, "j": 0 } ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use profirt::base::{MessageStream, StreamSet, Time};
+use profirt::core::{MasterConfig, NetworkConfig};
+use profirt::profibus::QueuePolicy;
+use profirt::sim::{SimMaster, SimNetwork};
+
+/// One stream entry.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CliStream {
+    /// Worst-case message-cycle time `Ch`.
+    pub ch: i64,
+    /// Relative deadline `Dh`.
+    pub d: i64,
+    /// Period `Th`.
+    pub t: i64,
+    /// Release jitter `J` (defaults to 0).
+    #[serde(default)]
+    pub j: i64,
+}
+
+/// One master entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CliMaster {
+    /// Longest low-priority message cycle `Cl` (defaults to 0).
+    #[serde(default)]
+    pub cl: i64,
+    /// AP-queue policy: `"fcfs"`, `"dm"` or `"edf"` (defaults to `"fcfs"`).
+    #[serde(default = "default_policy")]
+    pub policy: String,
+    /// Stack-queue capacity (defaults to 1 for dm/edf, unbounded for fcfs).
+    #[serde(default)]
+    pub stack_capacity: Option<usize>,
+    /// High-priority streams.
+    pub streams: Vec<CliStream>,
+}
+
+fn default_policy() -> String {
+    "fcfs".into()
+}
+
+/// The whole network file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CliNetwork {
+    /// Target token rotation time `TTR`.
+    pub ttr: i64,
+    /// Per-hop token pass time used by the simulator and the overhead-aware
+    /// bounds (defaults to 166 = SD4 + TSYN + TID2 at 500 kbit/s).
+    #[serde(default = "default_token_pass")]
+    pub token_pass: i64,
+    /// Masters in ring order.
+    pub masters: Vec<CliMaster>,
+}
+
+fn default_token_pass() -> i64 {
+    166
+}
+
+impl CliNetwork {
+    /// Loads and validates a config file.
+    pub fn load(path: &str) -> Result<CliNetwork, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let net: CliNetwork = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Schema-level validation beyond what the analysis types enforce.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.masters.is_empty() {
+            return Err("config needs at least one master".into());
+        }
+        for (k, m) in self.masters.iter().enumerate() {
+            self.policy_of(k)?;
+            if m.streams.is_empty() {
+                return Err(format!("master {k} has no streams"));
+            }
+            let _ = m;
+        }
+        self.to_analysis().map(|_| ())
+    }
+
+    /// The parsed policy of master `k`.
+    pub fn policy_of(&self, k: usize) -> Result<QueuePolicy, String> {
+        match self.masters[k].policy.as_str() {
+            "fcfs" => Ok(QueuePolicy::Fcfs),
+            "dm" => Ok(QueuePolicy::DeadlineMonotonic),
+            "edf" => Ok(QueuePolicy::Edf),
+            other => Err(format!("master {k}: unknown policy {other:?}")),
+        }
+    }
+
+    fn stream_set(&self, k: usize) -> Result<StreamSet, String> {
+        let streams = self.masters[k]
+            .streams
+            .iter()
+            .map(|s| MessageStream::with_jitter(s.ch, s.d, s.t, s.j))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("master {k}: {e}"))?;
+        StreamSet::new(streams).map_err(|e| format!("master {k}: {e}"))
+    }
+
+    /// Builds the analysis view.
+    pub fn to_analysis(&self) -> Result<NetworkConfig, String> {
+        let masters = (0..self.masters.len())
+            .map(|k| {
+                Ok(MasterConfig::new(
+                    self.stream_set(k)?,
+                    Time::new(self.masters[k].cl),
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(NetworkConfig::new(masters, Time::new(self.ttr))
+            .map_err(|e| e.to_string())?
+            .with_token_pass(Time::new(self.token_pass)))
+    }
+
+    /// Builds the simulator view.
+    pub fn to_sim(&self) -> Result<SimNetwork, String> {
+        let masters = (0..self.masters.len())
+            .map(|k| {
+                let streams = self.stream_set(k)?;
+                let policy = self.policy_of(k)?;
+                let mut m = match policy {
+                    QueuePolicy::Fcfs => SimMaster::stock(streams),
+                    p => SimMaster::priority_queued(streams, p),
+                };
+                if let Some(cap) = self.masters[k].stack_capacity {
+                    m.stack_capacity = cap.max(1);
+                }
+                if self.masters[k].cl > 0 {
+                    m.low_priority
+                        .push(profirt::profibus::LowPriorityTraffic::new(
+                            Time::new(self.masters[k].cl),
+                            // Background traffic cadence: one low-priority
+                            // exchange per ~10 target rotations.
+                            Time::new(self.ttr * 10),
+                        ));
+                }
+                Ok(m)
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SimNetwork {
+            masters,
+            ttr: Time::new(self.ttr),
+            token_pass: Time::new(self.token_pass.max(1)),
+        })
+    }
+}
+
+/// A commented example configuration, printed by `profirt example-config`.
+pub fn example_json() -> String {
+    let example = CliNetwork {
+        ttr: 2_000,
+        token_pass: 166,
+        masters: vec![
+            CliMaster {
+                cl: 1_000,
+                policy: "dm".into(),
+                stack_capacity: Some(1),
+                streams: vec![
+                    CliStream {
+                        ch: 700,
+                        d: 12_000,
+                        t: 25_000,
+                        j: 0,
+                    },
+                    CliStream {
+                        ch: 500,
+                        d: 25_000,
+                        t: 50_000,
+                        j: 200,
+                    },
+                ],
+            },
+            CliMaster {
+                cl: 0,
+                policy: "fcfs".into(),
+                stack_capacity: None,
+                streams: vec![CliStream {
+                    ch: 800,
+                    d: 30_000,
+                    t: 40_000,
+                    j: 0,
+                }],
+            },
+        ],
+    };
+    serde_json::to_string_pretty(&example).expect("example serialises")
+}

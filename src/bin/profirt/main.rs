@@ -1,0 +1,108 @@
+//! `profirt` — command-line front end for the PROFIBUS message
+//! schedulability analyses and the network simulator.
+//!
+//! ```text
+//! profirt analyze  <config.json> [--policy fcfs|dm|dm-paper|edf|all]
+//! profirt ttr      <config.json> [--model paper|refined]
+//! profirt simulate <config.json> [--horizon TICKS] [--seed N]
+//! profirt example-config
+//! ```
+//!
+//! Config files are JSON (see `configs/sample_network.json` or
+//! `profirt example-config`); all times are in ticks (bit times).
+
+mod config_file;
+mod output;
+
+use std::process::ExitCode;
+
+use profirt::core::TcycleModel;
+
+use crate::config_file::CliNetwork;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    match cmd.as_str() {
+        "analyze" => {
+            let path = positional(args, 1, "config path")?;
+            let policy = flag_value(args, "--policy").unwrap_or("all");
+            let net = CliNetwork::load(path)?;
+            output::analyze(&net, policy)
+        }
+        "ttr" => {
+            let path = positional(args, 1, "config path")?;
+            let model = match flag_value(args, "--model").unwrap_or("paper") {
+                "paper" => TcycleModel::Paper,
+                "refined" => TcycleModel::Refined,
+                other => return Err(format!("unknown lateness model {other:?}")),
+            };
+            let net = CliNetwork::load(path)?;
+            output::ttr(&net, model)
+        }
+        "simulate" => {
+            let path = positional(args, 1, "config path")?;
+            let horizon: i64 = flag_value(args, "--horizon")
+                .unwrap_or("5000000")
+                .parse()
+                .map_err(|e| format!("bad --horizon: {e}"))?;
+            let seed: u64 = flag_value(args, "--seed")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|e| format!("bad --seed: {e}"))?;
+            let net = CliNetwork::load(path)?;
+            output::simulate(&net, horizon, seed)
+        }
+        "example-config" => {
+            println!("{}", config_file::example_json());
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand {other:?}"))
+        }
+    }
+}
+
+fn positional<'a>(args: &'a [String], idx: usize, what: &str) -> Result<&'a str, String> {
+    args.get(idx)
+        .map(String::as_str)
+        .filter(|s| !s.starts_with("--"))
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn print_usage() {
+    eprintln!(
+        "profirt — PROFIBUS real-time message schedulability (Tovar & Vasques 1999)\n\
+         \n\
+         USAGE:\n\
+           profirt analyze  <config.json> [--policy fcfs|dm|dm-paper|edf|all]\n\
+           profirt ttr      <config.json> [--model paper|refined]\n\
+           profirt simulate <config.json> [--horizon TICKS] [--seed N]\n\
+           profirt example-config\n"
+    );
+}

@@ -1,0 +1,55 @@
+//! # profirt — real-time message scheduling for PROFIBUS fieldbus networks
+//!
+//! A production-quality Rust reproduction of
+//! *Tovar & Vasques, "From Task Scheduling in Single Processor Environments
+//! to Message Scheduling in a PROFIBUS Fieldbus Network"* (IPPS/SPDP
+//! Workshops, 1999).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`base`] — exact tick time, task & message-stream models.
+//! * [`sched`] — single-processor schedulability analyses: fixed-priority
+//!   (RM/DM, Joseph & Pandya, non-preemptive with blocking) and EDF
+//!   (processor demand, non-preemptive feasibility, Spuri/George worst-case
+//!   response times) — the paper's §2 toolbox.
+//! * [`profibus`] — the PROFIBUS FDL substrate: frames, bit-exact timing,
+//!   token rotation timers, stations, logical ring, outgoing queues (§3.1).
+//! * [`core`] — the paper's contribution: token-cycle bound `Tcycle`,
+//!   FCFS/DM/EDF worst-case message response times, `TTR` parameter setting,
+//!   release-jitter inheritance and end-to-end delays (§3.2–§4.3).
+//! * [`sim`] — discrete-event simulators (network + single CPU) used to
+//!   validate every analytical bound.
+//! * [`workload`] — seeded synthetic workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use profirt::base::{StreamSet, Time};
+//! use profirt::core::{NetworkConfig, MasterConfig, FcfsAnalysis, DmAnalysis};
+//!
+//! // Two masters on the bus; times in bit times (1.5 Mbit/s => 1 tick = 2/3 us).
+//! let m0 = MasterConfig::new(
+//!     StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 60_000, 60_000)]).unwrap(),
+//!     Time::new(360), // longest low-priority message cycle
+//! );
+//! let m1 = MasterConfig::new(
+//!     StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(),
+//!     Time::new(300),
+//! );
+//! let net = NetworkConfig::new(vec![m0, m1], Time::new(3_000)).unwrap(); // TTR
+//!
+//! // FCFS bound of eq. (11): R_i = nh_k * Tcycle.
+//! let fcfs = FcfsAnalysis::analyze(&net).unwrap();
+//! // DM priority queue of eq. (16): per-stream response times.
+//! let dm = DmAnalysis::paper().analyze(&net).unwrap();
+//! for (f, d) in fcfs.masters[0].iter().zip(dm.masters[0].iter()) {
+//!     assert!(d.response_time <= f.response_time);
+//! }
+//! ```
+
+pub use profirt_base as base;
+pub use profirt_core as core;
+pub use profirt_profibus as profibus;
+pub use profirt_sched as sched;
+pub use profirt_sim as sim;
+pub use profirt_workload as workload;

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `profirt` command-line binary.
+
+use std::process::Command;
+
+fn profirt(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_profirt"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_config(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("profirt-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn example_config_round_trips_through_analyze() {
+    let (ok, stdout, _) = profirt(&["example-config"]);
+    assert!(ok);
+    let path = write_config("example.json", &stdout);
+    let (ok, stdout, stderr) =
+        profirt(&["analyze", path.to_str().unwrap(), "--policy", "all"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("FCFS (eq. 11)"));
+    assert!(stdout.contains("DM conservative"));
+    assert!(stdout.contains("EDF (eqs. 17-18)"));
+}
+
+#[test]
+fn ttr_subcommand_reports_feasible_setting() {
+    let (_, example, _) = profirt(&["example-config"]);
+    let path = write_config("ttr.json", &example);
+    let (ok, stdout, _) = profirt(&["ttr", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("largest FCFS-feasible TTR"));
+    let (ok, stdout, _) = profirt(&[
+        "ttr",
+        path.to_str().unwrap(),
+        "--model",
+        "refined",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Refined"));
+}
+
+#[test]
+fn simulate_subcommand_validates_bounds() {
+    let (_, example, _) = profirt(&["example-config"]);
+    let path = write_config("sim.json", &example);
+    let (ok, stdout, stderr) = profirt(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--horizon",
+        "1000000",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("all observations within analytical bounds"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, _, stderr) = profirt(&["analyze", "/nonexistent/x.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+
+    let path = write_config("bad.json", "{ not json");
+    let (ok, _, stderr) = profirt(&["analyze", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"));
+
+    let empty = write_config("empty.json", r#"{"ttr": 100, "masters": []}"#);
+    let (ok, _, stderr) = profirt(&["analyze", empty.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("at least one master"));
+
+    let (ok, _, stderr) = profirt(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+
+    let badpol = write_config(
+        "badpol.json",
+        r#"{"ttr": 100, "masters": [{"policy": "magic",
+            "streams": [{"ch": 10, "d": 100, "t": 100}]}]}"#,
+    );
+    let (ok, _, stderr) = profirt(&["analyze", badpol.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"));
+}
+
+#[test]
+fn sample_config_in_repo_is_valid() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/configs/sample_network.json");
+    let (ok, stdout, stderr) = profirt(&["analyze", path, "--policy", "dm"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("streams schedulable"));
+}

@@ -1,0 +1,189 @@
+//! Edge-case integration tests: degenerate configurations every public
+//! entry point must handle gracefully.
+
+use profirt::base::{AnalysisError, MessageStream, StreamSet, Time};
+use profirt::core::{
+    compare_policies, low_priority_outlook, max_feasible_ttr, DmAnalysis,
+    EdfAnalysis, FcfsAnalysis, MasterConfig, NetworkConfig, TcycleModel,
+};
+use profirt::profibus::QueuePolicy;
+use profirt::sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
+
+fn single_stream_net(ch: i64, d: i64, t_: i64, ttr: i64) -> NetworkConfig {
+    NetworkConfig::new(
+        vec![MasterConfig::new(
+            StreamSet::from_cdt(&[(ch, d, t_)]).unwrap(),
+            Time::ZERO,
+        )],
+        Time::new(ttr),
+    )
+    .unwrap()
+}
+
+#[test]
+fn minimal_network_single_master_single_stream() {
+    let net = single_stream_net(100, 5_000, 10_000, 1_000);
+    let fcfs = FcfsAnalysis::analyze(&net).unwrap();
+    assert_eq!(fcfs.masters[0][0].response_time, Time::new(1_100));
+    let edf = EdfAnalysis::paper().analyze(&net).unwrap();
+    assert_eq!(edf.masters[0][0].response_time, Time::new(1_100));
+    // TTR setting: D/1 - Tdel = 5000 - 100 = 4900.
+    let ttr = max_feasible_ttr(&net, TcycleModel::Paper);
+    assert_eq!(ttr.max_ttr, Some(Time::new(4_900)));
+}
+
+#[test]
+fn master_with_no_streams_participates_in_lateness_only() {
+    let net = NetworkConfig::new(
+        vec![
+            MasterConfig::new(StreamSet::new(vec![]).unwrap(), Time::new(777)),
+            MasterConfig::new(
+                StreamSet::from_cdt(&[(100, 9_000, 10_000)]).unwrap(),
+                Time::ZERO,
+            ),
+        ],
+        Time::new(1_000),
+    )
+    .unwrap();
+    let an = FcfsAnalysis::analyze(&net).unwrap();
+    // Tdel = 777 (empty master's Cl) + 100.
+    assert_eq!(an.tdel, Time::new(877));
+    assert!(an.masters[0].is_empty());
+    assert_eq!(an.masters[1].len(), 1);
+    // DM/EDF handle the empty master as well.
+    assert!(DmAnalysis::conservative().analyze(&net).is_ok());
+    assert!(EdfAnalysis::paper().analyze(&net).is_ok());
+    // The outlook sees zero high utilisation from the empty master.
+    let o = low_priority_outlook(&net);
+    assert!(o.high_utilization.to_f64() < 0.02);
+}
+
+#[test]
+fn deadline_longer_than_period_streams_are_analysable() {
+    // D > T is legal for streams (unlike tasks); the analyses still produce
+    // bounds (the queues can momentarily hold two requests of one stream).
+    let net = NetworkConfig::new(
+        vec![MasterConfig::new(
+            StreamSet::new(vec![
+                MessageStream::new(Time::new(100), Time::new(50_000), Time::new(10_000))
+                    .unwrap(),
+                MessageStream::new(Time::new(100), Time::new(8_000), Time::new(10_000))
+                    .unwrap(),
+            ])
+            .unwrap(),
+            Time::ZERO,
+        )],
+        Time::new(900),
+    )
+    .unwrap();
+    let dm = DmAnalysis::conservative().analyze(&net).unwrap();
+    assert_eq!(dm.masters[0].len(), 2);
+    // The tight stream is DM-highest despite its index.
+    assert!(
+        dm.masters[0][1].response_time <= dm.masters[0][0].response_time
+    );
+}
+
+#[test]
+fn ttr_of_one_tick_is_accepted() {
+    let net = single_stream_net(100, 50_000, 100_000, 1);
+    let an = FcfsAnalysis::analyze(&net).unwrap();
+    assert_eq!(an.tcycle, Time::new(101));
+    assert!(an.all_schedulable());
+}
+
+#[test]
+fn zero_and_negative_ttr_rejected() {
+    let s = StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap();
+    for ttr in [0i64, -5] {
+        assert!(matches!(
+            NetworkConfig::new(
+                vec![MasterConfig::new(s.clone(), Time::ZERO)],
+                Time::new(ttr)
+            ),
+            Err(AnalysisError::Model(_))
+        ));
+    }
+}
+
+#[test]
+fn sixteen_master_ring_simulates_and_analyses() {
+    let masters: Vec<MasterConfig> = (0..16)
+        .map(|k| {
+            MasterConfig::new(
+                StreamSet::from_cdt(&[(200 + 10 * k, 400_000, 400_000)]).unwrap(),
+                Time::ZERO,
+            )
+        })
+        .collect();
+    let net = NetworkConfig::new(masters, Time::new(8_000))
+        .unwrap()
+        .with_token_pass(Time::new(166));
+    let cmp = compare_policies(
+        &net,
+        &DmAnalysis::conservative(),
+        &EdfAnalysis::paper(),
+    )
+    .unwrap();
+    assert_eq!(cmp.rows().len(), 16);
+
+    let sim_net = SimNetwork {
+        masters: net
+            .masters
+            .iter()
+            .map(|m| SimMaster::stock(m.streams.clone()))
+            .collect(),
+        ttr: net.ttr,
+        token_pass: Time::new(166),
+    };
+    let obs = simulate_network(
+        &sim_net,
+        &NetworkSimConfig {
+            horizon: Time::new(4_000_000),
+            ..Default::default()
+        },
+    );
+    assert!(obs.max_trr_overall() <= cmp.fcfs.tcycle);
+    assert!(obs.no_misses());
+}
+
+#[test]
+fn stream_deadline_below_tcycle_is_always_unschedulable() {
+    // R >= Tcycle for every policy; a deadline below it can never pass.
+    let net = single_stream_net(100, 900, 100_000, 1_000); // Tcycle = 1100 > D
+    let fcfs = FcfsAnalysis::analyze(&net).unwrap();
+    assert!(!fcfs.all_schedulable());
+    let edf = EdfAnalysis::paper().analyze(&net).unwrap();
+    assert!(!edf.all_schedulable());
+    // eq. (15) reports infeasibility (D - Tdel < 1... D/1 - 100 = 800 >= 1,
+    // so a *smaller* TTR would fix this one — check the boundary instead).
+    let setting = max_feasible_ttr(&net, TcycleModel::Paper);
+    assert_eq!(setting.max_ttr, Some(Time::new(800)));
+    let fixed = FcfsAnalysis::analyze(&net.with_ttr(Time::new(800)).unwrap()).unwrap();
+    assert!(fixed.all_schedulable());
+}
+
+#[test]
+fn mixed_policies_across_masters_simulate() {
+    let s0 = StreamSet::from_cdt(&[(300, 30_000, 40_000), (300, 90_000, 100_000)])
+        .unwrap();
+    let s1 = StreamSet::from_cdt(&[(400, 50_000, 60_000)]).unwrap();
+    let net = SimNetwork {
+        masters: vec![
+            SimMaster::priority_queued(s0, QueuePolicy::Edf),
+            SimMaster::stock(s1),
+        ],
+        ttr: Time::new(3_000),
+        token_pass: Time::new(166),
+    };
+    let obs = simulate_network(
+        &net,
+        &NetworkSimConfig {
+            horizon: Time::new(3_000_000),
+            ..Default::default()
+        },
+    );
+    assert!(obs.no_misses());
+    assert!(obs.streams[0][0].completed > 50);
+    assert!(obs.streams[1][0].completed > 30);
+}
