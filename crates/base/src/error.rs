@@ -64,7 +64,10 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::Model(e) => write!(f, "invalid model: {e}"),
             AnalysisError::UtilizationAtLeastOne => {
-                write!(f, "total utilisation is >= 1; busy-period bounds do not exist")
+                write!(
+                    f,
+                    "total utilisation is >= 1; busy-period bounds do not exist"
+                )
             }
             AnalysisError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for set of size {len}")

@@ -50,9 +50,10 @@ pub fn lcm(a: i64, b: i64) -> Result<i64, AnalysisError> {
         return Ok(0);
     }
     let g = gcd(a, b);
-    (a / g).checked_mul(b).map(i64::abs).ok_or(AnalysisError::Overflow {
-        context: "lcm",
-    })
+    (a / g)
+        .checked_mul(b)
+        .map(i64::abs)
+        .ok_or(AnalysisError::Overflow { context: "lcm" })
 }
 
 /// An exact rational number over `i128`, always stored normalised

@@ -211,8 +211,7 @@ mod tests {
 
     #[test]
     fn set_statistics() {
-        let set =
-            StreamSet::from_cdt(&[(5, 100, 200), (3, 50, 60), (8, 400, 400)]).unwrap();
+        let set = StreamSet::from_cdt(&[(5, 100, 200), (3, 50, 60), (8, 400, 400)]).unwrap();
         assert_eq!(set.len(), 3);
         assert_eq!(set.max_cycle_time(), Some(t(8)));
         assert_eq!(set.min_deadline(), Some(t(50)));

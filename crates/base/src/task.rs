@@ -33,11 +33,7 @@ impl Task {
     }
 
     /// Creates a validated task `(C, D, T)` with no jitter.
-    pub fn new(
-        c: impl Into<Time>,
-        d: impl Into<Time>,
-        t: impl Into<Time>,
-    ) -> AnalysisResult<Task> {
+    pub fn new(c: impl Into<Time>, d: impl Into<Time>, t: impl Into<Time>) -> AnalysisResult<Task> {
         Task::with_jitter(c, d, t, Time::ZERO)
     }
 

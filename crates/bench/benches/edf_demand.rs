@@ -14,19 +14,13 @@ fn bench(c: &mut Criterion) {
     for &(label, u) in &[("u60", 0.6f64), ("u80", 0.8), ("u95", 0.95)] {
         let set = constrained_task_set(8, u);
         group.bench_with_input(BenchmarkId::new("demand_test", label), &u, |b, _| {
-            b.iter(|| {
-                edf_feasible_preemptive(black_box(&set), &DemandConfig::default())
-                    .unwrap()
-            })
+            b.iter(|| edf_feasible_preemptive(black_box(&set), &DemandConfig::default()).unwrap())
         });
     }
     for n in [4usize, 8, 16, 32] {
         let set = constrained_task_set(n, 0.8);
         group.bench_with_input(BenchmarkId::new("scaling_n", n), &n, |b, _| {
-            b.iter(|| {
-                edf_feasible_preemptive(black_box(&set), &DemandConfig::default())
-                    .unwrap()
-            })
+            b.iter(|| edf_feasible_preemptive(black_box(&set), &DemandConfig::default()).unwrap())
         });
     }
     group.finish();

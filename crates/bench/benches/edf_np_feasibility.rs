@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use profirt_bench::constrained_task_set;
-use profirt_sched::edf::{
-    edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig,
-};
+use profirt_sched::edf::{edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t3_np_edf_feasibility");
@@ -18,22 +16,18 @@ fn bench(c: &mut Criterion) {
             ("eq4_zheng_shin", NpBlockingModel::ZhengShin),
             ("eq5_george", NpBlockingModel::George),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        edf_feasible_nonpreemptive(
-                            black_box(&set),
-                            &NpFeasibilityConfig {
-                                blocking,
-                                ..Default::default()
-                            },
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    edf_feasible_nonpreemptive(
+                        black_box(&set),
+                        &NpFeasibilityConfig {
+                            blocking,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            });
         }
     }
     group.finish();

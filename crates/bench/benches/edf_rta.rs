@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use profirt_bench::task_set;
-use profirt_sched::edf::{
-    edf_response_times, np_edf_response_times, EdfRtaConfig, NpEdfRtaConfig,
-};
+use profirt_sched::edf::{edf_response_times, np_edf_response_times, EdfRtaConfig, NpEdfRtaConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t4_edf_rta");
@@ -16,29 +14,17 @@ fn bench(c: &mut Criterion) {
     for n in [3usize, 5, 8] {
         let set = task_set(n, 0.7);
         group.bench_with_input(BenchmarkId::new("preemptive", n), &n, |b, _| {
-            b.iter(|| {
-                edf_response_times(black_box(&set), &EdfRtaConfig::default()).unwrap()
-            })
+            b.iter(|| edf_response_times(black_box(&set), &EdfRtaConfig::default()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("non_preemptive", n), &n, |b, _| {
-            b.iter(|| {
-                np_edf_response_times(black_box(&set), &NpEdfRtaConfig::default())
-                    .unwrap()
-            })
+            b.iter(|| np_edf_response_times(black_box(&set), &NpEdfRtaConfig::default()).unwrap())
         });
     }
     for &(label, u) in &[("u55", 0.55f64), ("u75", 0.75), ("u90", 0.9)] {
         let set = task_set(4, u);
-        group.bench_with_input(
-            BenchmarkId::new("preemptive_vs_u", label),
-            &u,
-            |b, _| {
-                b.iter(|| {
-                    edf_response_times(black_box(&set), &EdfRtaConfig::default())
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("preemptive_vs_u", label), &u, |b, _| {
+            b.iter(|| edf_response_times(black_box(&set), &EdfRtaConfig::default()).unwrap())
+        });
     }
     group.finish();
 }

@@ -17,21 +17,13 @@ fn bench(c: &mut Criterion) {
         let set = task_set(n, 0.8);
         let pm = PriorityMap::rate_monotonic(&set);
         group.bench_with_input(BenchmarkId::new("preemptive", n), &n, |b, _| {
-            b.iter(|| {
-                response_times(black_box(&set), &pm, &RtaConfig::default()).unwrap()
-            })
+            b.iter(|| response_times(black_box(&set), &pm, &RtaConfig::default()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("np_george", n), &n, |b, _| {
-            b.iter(|| {
-                np_response_times(black_box(&set), &pm, &NpFixedConfig::george())
-                    .unwrap()
-            })
+            b.iter(|| np_response_times(black_box(&set), &pm, &NpFixedConfig::george()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("np_paper", n), &n, |b, _| {
-            b.iter(|| {
-                np_response_times(black_box(&set), &pm, &NpFixedConfig::paper())
-                    .unwrap()
-            })
+            b.iter(|| np_response_times(black_box(&set), &pm, &NpFixedConfig::paper()).unwrap())
         });
     }
     group.finish();

@@ -6,8 +6,8 @@ use std::hint::black_box;
 
 use profirt_base::{StreamSet, TaskSet, Time};
 use profirt_core::{
-    DmAnalysis, EdfAnalysis, EndToEndAnalysis, JitterModel, MasterConfig,
-    NetworkConfig, TaskSegments,
+    DmAnalysis, EdfAnalysis, EndToEndAnalysis, JitterModel, MasterConfig, NetworkConfig,
+    TaskSegments,
 };
 use profirt_sched::fixed::PriorityMap;
 

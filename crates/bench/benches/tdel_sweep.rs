@@ -14,11 +14,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("paper", masters), &masters, |b, _| {
             b.iter(|| token_lateness(black_box(&net), TcycleModel::Paper))
         });
-        group.bench_with_input(
-            BenchmarkId::new("refined", masters),
-            &masters,
-            |b, _| b.iter(|| token_lateness(black_box(&net), TcycleModel::Refined)),
-        );
+        group.bench_with_input(BenchmarkId::new("refined", masters), &masters, |b, _| {
+            b.iter(|| token_lateness(black_box(&net), TcycleModel::Refined))
+        });
     }
     group.finish();
 }

@@ -19,12 +19,7 @@ fn bench(c: &mut Criterion) {
         masters: net
             .masters
             .iter()
-            .map(|m| {
-                SimMaster::priority_queued(
-                    m.streams.clone(),
-                    QueuePolicy::DeadlineMonotonic,
-                )
-            })
+            .map(|m| SimMaster::priority_queued(m.streams.clone(), QueuePolicy::DeadlineMonotonic))
             .collect(),
         ttr: net.ttr,
         token_pass: Time::new(166),
@@ -43,9 +38,7 @@ fn bench(c: &mut Criterion) {
                 for (i, row) in rows.iter().enumerate() {
                     let o = obs.streams[k][i].max_response;
                     if row.schedulable && o.is_positive() {
-                        worst = worst.max(
-                            row.response_time.ticks() as f64 / o.ticks() as f64,
-                        );
+                        worst = worst.max(row.response_time.ticks() as f64 / o.ticks() as f64);
                     }
                 }
             }

@@ -60,11 +60,7 @@ pub fn network(n_masters: usize, nh: usize, tightness: f64) -> NetworkConfig {
                 nh,
                 req_payload: (2, 16),
                 resp_payload: (2, 32),
-                periods: PeriodRange::new(
-                    Time::new(80_000),
-                    Time::new(800_000),
-                    Time::new(100),
-                ),
+                periods: PeriodRange::new(Time::new(80_000), Time::new(800_000), Time::new(100)),
                 deadline_frac: (tightness, tightness),
             },
             low_priority_prob: 0.4,

@@ -50,11 +50,7 @@ impl PolicyComparison {
             .zip(self.dm.masters.iter())
             .map(|(f, d)| {
                 // Tightest stream = smallest deadline.
-                match f
-                    .iter()
-                    .zip(d.iter())
-                    .min_by_key(|(fr, _)| fr.deadline)
-                {
+                match f.iter().zip(d.iter()).min_by_key(|(fr, _)| fr.deadline) {
                     Some((fr, dr)) => dr.response_time <= fr.response_time,
                     None => true,
                 }
@@ -74,10 +70,7 @@ impl PolicyComparison {
                     deadline: f.deadline,
                     fcfs: f.response_time,
                     dm: self.dm.masters[k][i].response_time,
-                    edf: self
-                        .edf
-                        .as_ref()
-                        .map(|e| e.masters[k][i].response_time),
+                    edf: self.edf.as_ref().map(|e| e.masters[k][i].response_time),
                 });
             }
         }
@@ -147,9 +140,7 @@ mod tests {
 
     #[test]
     fn comparison_has_all_policies() {
-        let cmp =
-            compare_policies(&net(), &DmAnalysis::paper(), &EdfAnalysis::paper())
-                .unwrap();
+        let cmp = compare_policies(&net(), &DmAnalysis::paper(), &EdfAnalysis::paper()).unwrap();
         assert!(cmp.edf.is_some());
         let rows = cmp.rows();
         assert_eq!(rows.len(), 3);
@@ -162,17 +153,13 @@ mod tests {
 
     #[test]
     fn tightest_stream_dominance() {
-        let cmp =
-            compare_policies(&net(), &DmAnalysis::paper(), &EdfAnalysis::paper())
-                .unwrap();
+        let cmp = compare_policies(&net(), &DmAnalysis::paper(), &EdfAnalysis::paper()).unwrap();
         assert_eq!(cmp.priority_dominates_fcfs_on_tightest(), vec![true]);
     }
 
     #[test]
     fn schedulable_counts() {
-        let cmp =
-            compare_policies(&net(), &DmAnalysis::paper(), &EdfAnalysis::paper())
-                .unwrap();
+        let cmp = compare_policies(&net(), &DmAnalysis::paper(), &EdfAnalysis::paper()).unwrap();
         let (f, d, e) = cmp.schedulable_counts();
         // FCFS: flat 3000 <= D for all three (3000, 6000, 40000): the
         // tightest is exactly at its deadline.
@@ -193,9 +180,7 @@ mod tests {
             t(900),
         )
         .unwrap();
-        let cmp2 =
-            compare_policies(&tight, &DmAnalysis::paper(), &EdfAnalysis::paper())
-                .unwrap();
+        let cmp2 = compare_policies(&tight, &DmAnalysis::paper(), &EdfAnalysis::paper()).unwrap();
         let (f2, d2, e2) = cmp2.schedulable_counts();
         assert_eq!(f2, 2);
         assert_eq!(d2, 3);
@@ -206,22 +191,14 @@ mod tests {
     fn edf_capacity_failure_reported_as_none() {
         let overloaded = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdt(&[
-                    (100, 1_500, 1_500),
-                    (100, 1_500, 1_500),
-                ])
-                .unwrap(),
+                StreamSet::from_cdt(&[(100, 1_500, 1_500), (100, 1_500, 1_500)]).unwrap(),
                 t(100),
             )],
             t(900),
         )
         .unwrap();
-        let cmp = compare_policies(
-            &overloaded,
-            &DmAnalysis::paper(),
-            &EdfAnalysis::paper(),
-        )
-        .unwrap();
+        let cmp =
+            compare_policies(&overloaded, &DmAnalysis::paper(), &EdfAnalysis::paper()).unwrap();
         assert!(cmp.edf.is_none());
         let rows = cmp.rows();
         assert!(rows.iter().all(|r| r.edf.is_none()));

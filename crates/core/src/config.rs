@@ -127,8 +127,7 @@ impl NetworkConfig {
     /// Returns a copy with a different `TTR` (used by the eq. (15) sweep);
     /// the token-pass overhead is preserved.
     pub fn with_ttr(&self, ttr: Time) -> AnalysisResult<NetworkConfig> {
-        Ok(NetworkConfig::new(self.masters.clone(), ttr)?
-            .with_token_pass(self.token_pass))
+        Ok(NetworkConfig::new(self.masters.clone(), ttr)?.with_token_pass(self.token_pass))
     }
 
     /// Number of masters `n`.
@@ -169,11 +168,8 @@ mod tests {
             NetworkConfig::new(vec![], t(1000)),
             Err(AnalysisError::EmptySet)
         ));
-        assert!(NetworkConfig::new(vec![MasterConfig::new(streams(), t(0))], t(0))
-            .is_err());
-        let net =
-            NetworkConfig::new(vec![MasterConfig::new(streams(), t(10))], t(1000))
-                .unwrap();
+        assert!(NetworkConfig::new(vec![MasterConfig::new(streams(), t(0))], t(0)).is_err());
+        let net = NetworkConfig::new(vec![MasterConfig::new(streams(), t(10))], t(1000)).unwrap();
         assert_eq!(net.n_masters(), 1);
         assert_eq!(net.total_streams(), 2);
     }
@@ -193,8 +189,7 @@ mod tests {
 
     #[test]
     fn with_ttr_replaces() {
-        let net = NetworkConfig::new(vec![MasterConfig::new(streams(), t(5))], t(100))
-            .unwrap();
+        let net = NetworkConfig::new(vec![MasterConfig::new(streams(), t(5))], t(100)).unwrap();
         let net2 = net.with_ttr(t(999)).unwrap();
         assert_eq!(net2.ttr, t(999));
         assert_eq!(net2.masters, net.masters);

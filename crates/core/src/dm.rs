@@ -111,16 +111,15 @@ impl DmAnalysis {
                     seed = seed.try_add(tc)?;
                 }
                 let deadline = s.d;
-                let outcome =
-                    fixpoint("dm-message-rta", seed, deadline, self.fixpoint, |r| {
-                        let mut next = constant;
-                        for &j in &hp {
-                            let sj = master.streams.streams()[j];
-                            let n_msgs = (r + sj.j).ceil_div(sj.t);
-                            next = next.try_add(tc.try_mul(n_msgs)?)?;
-                        }
-                        Ok(next)
-                    })?;
+                let outcome = fixpoint("dm-message-rta", seed, deadline, self.fixpoint, |r| {
+                    let mut next = constant;
+                    for &j in &hp {
+                        let sj = master.streams.streams()[j];
+                        let n_msgs = (r + sj.j).ceil_div(sj.t);
+                        next = next.try_add(tc.try_mul(n_msgs)?)?;
+                    }
+                    Ok(next)
+                })?;
                 let (r, schedulable) = match outcome {
                     FixOutcome::Converged(r) => (r, true),
                     FixOutcome::ExceededBound(r) => (r, false),
@@ -215,11 +214,7 @@ mod tests {
     fn jitter_inflates_interference() {
         let base = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdtj(&[
-                    (100, 5_000, 10_000, 0),
-                    (100, 40_000, 10_000, 0),
-                ])
-                .unwrap(),
+                StreamSet::from_cdtj(&[(100, 5_000, 10_000, 0), (100, 40_000, 10_000, 0)]).unwrap(),
                 t(0),
             )],
             t(900),
@@ -227,11 +222,8 @@ mod tests {
         .unwrap();
         let jit = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdtj(&[
-                    (100, 5_000, 10_000, 9_500),
-                    (100, 40_000, 10_000, 0),
-                ])
-                .unwrap(),
+                StreamSet::from_cdtj(&[(100, 5_000, 10_000, 9_500), (100, 40_000, 10_000, 0)])
+                    .unwrap(),
                 t(0),
             )],
             t(900),
@@ -251,11 +243,7 @@ mod tests {
     fn unschedulable_stream_detected() {
         let net = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdt(&[
-                    (100, 1_500, 900),
-                    (100, 1_800, 2_000),
-                ])
-                .unwrap(),
+                StreamSet::from_cdt(&[(100, 1_500, 900), (100, 1_800, 2_000)]).unwrap(),
                 t(0),
             )],
             t(900),
@@ -293,11 +281,7 @@ mod tests {
     fn deadline_ties_break_by_index() {
         let net = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdt(&[
-                    (100, 5_000, 10_000),
-                    (100, 5_000, 10_000),
-                ])
-                .unwrap(),
+                StreamSet::from_cdt(&[(100, 5_000, 10_000), (100, 5_000, 10_000)]).unwrap(),
                 t(100),
             )],
             t(900),

@@ -306,11 +306,7 @@ mod tests {
     fn jitter_increases_response() {
         let plain = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdtj(&[
-                    (100, 9_000, 10_000, 0),
-                    (100, 9_500, 10_000, 0),
-                ])
-                .unwrap(),
+                StreamSet::from_cdtj(&[(100, 9_000, 10_000, 0), (100, 9_500, 10_000, 0)]).unwrap(),
                 t(100),
             )],
             t(900),
@@ -318,11 +314,8 @@ mod tests {
         .unwrap();
         let jittered = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdtj(&[
-                    (100, 9_000, 10_000, 0),
-                    (100, 9_500, 10_000, 4_000),
-                ])
-                .unwrap(),
+                StreamSet::from_cdtj(&[(100, 9_000, 10_000, 0), (100, 9_500, 10_000, 4_000)])
+                    .unwrap(),
                 t(100),
             )],
             t(900),
@@ -373,10 +366,7 @@ mod tests {
         let cfg = NetworkConfig::new(
             vec![
                 MasterConfig::new(StreamSet::new(vec![]).unwrap(), t(100)),
-                MasterConfig::new(
-                    StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap(),
-                    t(0),
-                ),
+                MasterConfig::new(StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap(), t(0)),
             ],
             t(900),
         )

@@ -14,7 +14,7 @@
 //! so `E = g + R + d` with `g` and `d` obtained from host-CPU response-time
 //! analysis.
 
-use profirt_base::{AnalysisResult, AnalysisError, TaskSet, Time};
+use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
 use profirt_sched::fixed::rta::{response_times_with_jitter, RtaConfig};
 use profirt_sched::fixed::PriorityMap;
 use serde::{Deserialize, Serialize};
@@ -134,12 +134,12 @@ impl EndToEndAnalysis {
         for (s, seg) in segments.iter().enumerate() {
             let d_idx = seg.delivery_task;
             let _ = host.get(d_idx)?;
-            let d = host_rta.verdicts[d_idx].wcrt().ok_or(
-                AnalysisError::DivergentIteration {
+            let d = host_rta.verdicts[d_idx]
+                .wcrt()
+                .ok_or(AnalysisError::DivergentIteration {
                     what: "delivery-task rta",
                     bound: host.tasks()[d_idx].d.ticks(),
-                },
-            )?;
+                })?;
             let row = message.masters[master_index][s];
             out.push(EndToEndBreakdown {
                 g: g[s],
@@ -230,11 +230,7 @@ mod tests {
         let pm = PriorityMap::rate_monotonic(&host);
         let net = NetworkConfig::new(
             vec![MasterConfig::new(
-                StreamSet::from_cdt(&[
-                    (100, 9_000, 10_000),
-                    (100, 9_500, 10_000),
-                ])
-                .unwrap(),
+                StreamSet::from_cdt(&[(100, 9_000, 10_000), (100, 9_500, 10_000)]).unwrap(),
                 t(100),
             )],
             t(900),

@@ -85,17 +85,10 @@ mod tests {
         NetworkConfig::new(
             vec![
                 MasterConfig::new(
-                    StreamSet::from_cdt(&[
-                        (300, 30_000, 30_000),
-                        (240, 7_000, 60_000),
-                    ])
-                    .unwrap(),
+                    StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 7_000, 60_000)]).unwrap(),
                     t(360),
                 ),
-                MasterConfig::new(
-                    StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(),
-                    t(0),
-                ),
+                MasterConfig::new(StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(), t(0)),
             ],
             t(3_000),
         )
@@ -174,16 +167,10 @@ mod tests {
         let base = FcfsAnalysis::analyze(&net()).unwrap();
         let mut masters = net().masters.clone();
         let mut streams: Vec<_> = masters[1].streams.clone().into();
-        streams.push(
-            profirt_base::MessageStream::new(t(200), t(50_000), t(50_000)).unwrap(),
-        );
+        streams.push(profirt_base::MessageStream::new(t(200), t(50_000), t(50_000)).unwrap());
         masters[1] = MasterConfig::new(StreamSet::new(streams).unwrap(), t(0));
-        let bigger = FcfsAnalysis::analyze(
-            &NetworkConfig::new(masters, t(3_000)).unwrap(),
-        )
-        .unwrap();
-        assert!(
-            bigger.masters[1][0].response_time > base.masters[1][0].response_time
-        );
+        let bigger =
+            FcfsAnalysis::analyze(&NetworkConfig::new(masters, t(3_000)).unwrap()).unwrap();
+        assert!(bigger.masters[1][0].response_time > base.masters[1][0].response_time);
     }
 }

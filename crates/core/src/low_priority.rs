@@ -70,8 +70,8 @@ pub fn low_priority_outlook(net: &NetworkConfig) -> LowPriorityOutlook {
     // computed exactly then floored; clamped at zero.
     let ttr = net.ttr.ticks() as i128;
     let used = Frac::new(ttr, 1) * high_utilization;
-    let residual_num = ttr * used.den() - used.num() * 1
-        - (net.ring_overhead().ticks() as i128) * used.den();
+    let residual_num =
+        ttr * used.den() - used.num() * 1 - (net.ring_overhead().ticks() as i128) * used.den();
     let residual = if residual_num <= 0 {
         Time::ZERO
     } else {
@@ -150,14 +150,8 @@ mod tests {
     fn multi_master_burst_sums_all_streams() {
         let n = NetworkConfig::new(
             vec![
-                MasterConfig::new(
-                    StreamSet::from_cdt(&[(300, 50_000, 50_000)]).unwrap(),
-                    t(0),
-                ),
-                MasterConfig::new(
-                    StreamSet::from_cdt(&[(400, 50_000, 50_000)]).unwrap(),
-                    t(0),
-                ),
+                MasterConfig::new(StreamSet::from_cdt(&[(300, 50_000, 50_000)]).unwrap(), t(0)),
+                MasterConfig::new(StreamSet::from_cdt(&[(400, 50_000, 50_000)]).unwrap(), t(0)),
             ],
             t(5_000),
         )

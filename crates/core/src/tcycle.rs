@@ -52,11 +52,7 @@ pub struct TcycleBound {
 /// Computes the token lateness `Tdel` under the chosen model.
 pub fn token_lateness(net: &NetworkConfig, model: TcycleModel) -> Time {
     match model {
-        TcycleModel::Paper => net
-            .masters
-            .iter()
-            .map(|m| m.longest_cycle())
-            .sum(),
+        TcycleModel::Paper => net.masters.iter().map(|m| m.longest_cycle()).sum(),
         TcycleModel::Refined => {
             let high_sum: Time = net.masters.iter().map(|m| m.max_high_cycle()).sum();
             net.masters
@@ -94,14 +90,10 @@ mod tests {
         NetworkConfig::new(
             vec![
                 MasterConfig::new(
-                    StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 60_000, 60_000)])
-                        .unwrap(),
+                    StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 60_000, 60_000)]).unwrap(),
                     t(360),
                 ),
-                MasterConfig::new(
-                    StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(),
-                    t(0),
-                ),
+                MasterConfig::new(StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(), t(0)),
                 MasterConfig::new(
                     StreamSet::from_cdt(&[(500, 90_000, 90_000)]).unwrap(),
                     t(450),
@@ -136,8 +128,7 @@ mod tests {
     fn refined_never_exceeds_paper() {
         let net = net3();
         assert!(
-            token_lateness(&net, TcycleModel::Refined)
-                <= token_lateness(&net, TcycleModel::Paper)
+            token_lateness(&net, TcycleModel::Refined) <= token_lateness(&net, TcycleModel::Paper)
         );
         // Strictly smaller when some master's Cl dominates its high cycles
         // at more than one station: make master 1 carry a big Cl.

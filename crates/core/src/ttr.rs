@@ -53,7 +53,11 @@ pub fn max_feasible_ttr(net: &NetworkConfig, model: TcycleModel) -> TtrSetting {
     }
     let (limit, binding) = best.unwrap_or((Time::MAX, (0, 0)));
     TtrSetting {
-        max_ttr: if limit >= Time::ONE { Some(limit) } else { None },
+        max_ttr: if limit >= Time::ONE {
+            Some(limit)
+        } else {
+            None
+        },
         tdel,
         binding,
     }
@@ -71,17 +75,10 @@ mod tests {
         NetworkConfig::new(
             vec![
                 MasterConfig::new(
-                    StreamSet::from_cdt(&[
-                        (300, 30_000, 30_000),
-                        (240, 9_000, 60_000),
-                    ])
-                    .unwrap(),
+                    StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 9_000, 60_000)]).unwrap(),
                     t(360),
                 ),
-                MasterConfig::new(
-                    StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(),
-                    t(0),
-                ),
+                MasterConfig::new(StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(), t(0)),
             ],
             t(3_000),
         )

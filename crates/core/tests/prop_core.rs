@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use profirt_base::{MessageStream, StreamSet, Time};
 use profirt_core::{
-    compare_policies, max_feasible_ttr, tcycle::token_lateness, DmAnalysis,
-    EdfAnalysis, FcfsAnalysis, MasterConfig, NetworkConfig, TcycleModel,
+    compare_policies, max_feasible_ttr, tcycle::token_lateness, DmAnalysis, EdfAnalysis,
+    FcfsAnalysis, MasterConfig, NetworkConfig, TcycleModel,
 };
 
 /// Random small networks with generous periods (keeps EDF capacity < 1).
@@ -26,9 +26,8 @@ fn arb_network() -> impl Strategy<Value = NetworkConfig> {
                 .collect();
             MasterConfig::new(StreamSet::new(streams).unwrap(), Time::new(cl))
         });
-    (proptest::collection::vec(master, 1..=3), 500i64..5_000).prop_map(
-        |(masters, ttr)| NetworkConfig::new(masters, Time::new(ttr)).unwrap(),
-    )
+    (proptest::collection::vec(master, 1..=3), 500i64..5_000)
+        .prop_map(|(masters, ttr)| NetworkConfig::new(masters, Time::new(ttr)).unwrap())
 }
 
 proptest! {

@@ -5,8 +5,7 @@
 use profirt_base::{StreamSet, Time};
 use profirt_core::tcycle::{tcycle, token_lateness, TcycleModel};
 use profirt_core::{
-    max_feasible_ttr, DmAnalysis, EdfAnalysis, FcfsAnalysis, MasterConfig,
-    NetworkConfig,
+    max_feasible_ttr, DmAnalysis, EdfAnalysis, FcfsAnalysis, MasterConfig, NetworkConfig,
 };
 
 fn t(v: i64) -> Time {
@@ -22,14 +21,10 @@ fn example() -> NetworkConfig {
     NetworkConfig::new(
         vec![
             MasterConfig::new(
-                StreamSet::from_cdt(&[(400, 9_000, 20_000), (600, 24_000, 30_000)])
-                    .unwrap(),
+                StreamSet::from_cdt(&[(400, 9_000, 20_000), (600, 24_000, 30_000)]).unwrap(),
                 t(700),
             ),
-            MasterConfig::new(
-                StreamSet::from_cdt(&[(500, 30_000, 40_000)]).unwrap(),
-                t(0),
-            ),
+            MasterConfig::new(StreamSet::from_cdt(&[(500, 30_000, 40_000)]).unwrap(), t(0)),
             MasterConfig::new(
                 StreamSet::from_cdt(&[(300, 50_000, 60_000)]).unwrap(),
                 t(900),
@@ -117,7 +112,10 @@ fn eq16_dm_both_variants() {
 
     let cons = DmAnalysis::conservative().analyze(&net).unwrap();
     assert_eq!(cons.masters[0][1].response_time, t(14_200));
-    assert!(!cons.masters[0][0].schedulable, "blocking+own = 14200 > 9000");
+    assert!(
+        !cons.masters[0][0].schedulable,
+        "blocking+own = 14200 > 9000"
+    );
     // The T8 finding in miniature: the two variants disagree about S0, and
     // simulation (EXPERIMENTS.md) shows the conservative verdict is the
     // trustworthy one.

@@ -4,12 +4,10 @@ use profirt_base::{Prng, Time};
 use profirt_core::NetworkAnalysis;
 use profirt_profibus::{BusParams, QueuePolicy};
 use profirt_sim::{
-    simulate_network, JitterInjection, NetworkSimConfig, OffsetMode, SimMaster,
-    SimNetwork,
+    simulate_network, JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork,
 };
 use profirt_workload::{
-    generate_network, GeneratedNetwork, NetGenParams, PeriodRange, StreamGenParams,
-    TaskGenParams,
+    generate_network, GeneratedNetwork, NetGenParams, PeriodRange, StreamGenParams, TaskGenParams,
 };
 
 /// The default bus profile used across experiments (500 kbit/s).
@@ -28,11 +26,7 @@ pub fn netgen(tightness: f64, nh: usize, n_masters: usize) -> NetGenParams {
             nh,
             req_payload: (2, 16),
             resp_payload: (2, 32),
-            periods: PeriodRange::new(
-                Time::new(80_000),
-                Time::new(800_000),
-                Time::new(100),
-            ),
+            periods: PeriodRange::new(Time::new(80_000), Time::new(800_000), Time::new(100)),
             deadline_frac: (tightness, tightness),
         },
         low_priority_prob: 0.4,
@@ -124,8 +118,7 @@ pub fn worst_ratio(an: &NetworkAnalysis, observed: &[Vec<Time>]) -> Option<f64> 
     for (k, rows) in an.masters.iter().enumerate() {
         for (i, row) in rows.iter().enumerate() {
             if row.schedulable && row.response_time.is_positive() {
-                let r =
-                    observed[k][i].ticks() as f64 / row.response_time.ticks() as f64;
+                let r = observed[k][i].ticks() as f64 / row.response_time.ticks() as f64;
                 worst = Some(worst.map_or(r, |w: f64| w.max(r)));
             }
         }

@@ -61,9 +61,7 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
     report.table(t);
 
     let fcfs_dominated = series.iter().all(|&(_, f, d, e)| d >= f && e >= f);
-    let collapse = series
-        .iter()
-        .any(|&(_, f, d, _)| d - f >= 0.25);
+    let collapse = series.iter().any(|&(_, f, d, _)| d - f >= 0.25);
     let loose_all_ok = series
         .first()
         .map(|&(_, f, d, e)| f > 0.9 && d > 0.9 && e > 0.9)

@@ -34,12 +34,8 @@ pub fn representative() -> NetworkConfig {
 pub fn run(_cfg: &ExpConfig) -> ExpReport {
     let mut report = ExpReport::new("F2");
     let net = representative();
-    let cmp = compare_policies(
-        &net,
-        &DmAnalysis::conservative(),
-        &EdfAnalysis::paper(),
-    )
-    .expect("analysis");
+    let cmp = compare_policies(&net, &DmAnalysis::conservative(), &EdfAnalysis::paper())
+        .expect("analysis");
 
     let mut t = Table::new(
         "wcrt profile by deadline rank",

@@ -13,8 +13,7 @@ fn uniform_net(n_masters: usize, cl: i64) -> NetworkConfig {
     let masters = (0..n_masters)
         .map(|_| {
             MasterConfig::new(
-                StreamSet::from_cdt(&[(600, 200_000, 200_000), (450, 300_000, 300_000)])
-                    .unwrap(),
+                StreamSet::from_cdt(&[(600, 200_000, 200_000), (450, 300_000, 300_000)]).unwrap(),
                 Time::new(cl),
             )
         })
@@ -28,7 +27,12 @@ pub fn run(_cfg: &ExpConfig) -> ExpReport {
 
     let mut t1 = Table::new(
         "Tdel vs number of masters (Cl = 900)",
-        &["masters", "Tdel(paper)", "Tdel(refined)", "per-master slope"],
+        &[
+            "masters",
+            "Tdel(paper)",
+            "Tdel(refined)",
+            "per-master slope",
+        ],
     );
     let mut paper_series = Vec::new();
     let mut refined_series = Vec::new();
@@ -91,7 +95,10 @@ pub fn run(_cfg: &ExpConfig) -> ExpReport {
     report.check(
         "the refinement gap grows with Cl (late masters send only high traffic)",
         gap_monotone,
-        format!("gaps {:?}", cl_gap_grows.iter().map(|t| t.ticks()).collect::<Vec<_>>()),
+        format!(
+            "gaps {:?}",
+            cl_gap_grows.iter().map(|t| t.ticks()).collect::<Vec<_>>()
+        ),
     );
     report
 }

@@ -21,16 +21,11 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
     let mut refined_ge = true;
     for &tight in &[1.0f64, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1] {
         let rows = par_map_seeds(cfg.replications, cfg.workers, |seed| {
-            let mut rng =
-                Prng::seed_from_u64(cfg.seed ^ (seed * 1013 + (tight * 100.0) as u64));
-            let g = generate_network(&mut rng, &bus(), &netgen(tight, 4, 3))
-                .expect("generation");
+            let mut rng = Prng::seed_from_u64(cfg.seed ^ (seed * 1013 + (tight * 100.0) as u64));
+            let g = generate_network(&mut rng, &bus(), &netgen(tight, 4, 3)).expect("generation");
             let p = max_feasible_ttr(&g.config, TcycleModel::Paper);
             let r = max_feasible_ttr(&g.config, TcycleModel::Refined);
-            (
-                p.max_ttr.map(|t| t.ticks()),
-                r.max_ttr.map(|t| t.ticks()),
-            )
+            (p.max_ttr.map(|t| t.ticks()), r.max_ttr.map(|t| t.ticks()))
         });
         refined_ge &= rows.iter().all(|(p, r)| match (p, r) {
             (Some(p), Some(r)) => r >= p,

@@ -4,8 +4,8 @@
 
 use profirt_base::{StreamSet, TaskSet, Time};
 use profirt_core::{
-    DmAnalysis, EdfAnalysis, EndToEndAnalysis, JitterModel, MasterConfig,
-    NetworkConfig, TaskSegments,
+    DmAnalysis, EdfAnalysis, EndToEndAnalysis, JitterModel, MasterConfig, NetworkConfig,
+    TaskSegments,
 };
 use profirt_sched::fixed::PriorityMap;
 

@@ -40,7 +40,10 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                     QueuePolicy::DeadlineMonotonic,
                     DmAnalysis::conservative().analyze(&g.config).ok(),
                 ),
-                _ => (QueuePolicy::Edf, EdfAnalysis::paper().analyze(&g.config).ok()),
+                _ => (
+                    QueuePolicy::Edf,
+                    EdfAnalysis::paper().analyze(&g.config).ok(),
+                ),
             };
             let an = an?;
             let (obs, _) = sim_max_responses(&g, qp, cfg.sim_horizon, seed);

@@ -101,9 +101,7 @@ fn acceptance_sweep(cfg: &ExpConfig, report: &mut ExpReport) {
             let ll = counts.iter().filter(|c| c.0).count() as f64 / total;
             let hb = counts.iter().filter(|c| c.1).count() as f64 / total;
             let rta = counts.iter().filter(|c| c.2).count() as f64 / total;
-            ordering_ok &= counts
-                .iter()
-                .all(|&(l, h, r)| (!l || h) && (!h || r));
+            ordering_ok &= counts.iter().all(|&(l, h, r)| (!l || h) && (!h || r));
             t.row(vec![
                 n.to_string(),
                 format!("{u:.1}"),
@@ -128,36 +126,33 @@ fn np_validation(cfg: &ExpConfig, report: &mut ExpReport) {
     );
     let mut sound = true;
     for &(n, u) in &[(4usize, 0.5f64), (6, 0.6), (8, 0.7)] {
-        let ratios: Vec<Option<f64>> =
-            par_map_seeds(cfg.replications, cfg.workers, |seed| {
-                let mut rng = Prng::seed_from_u64(cfg.seed ^ (0xA11CE + seed));
-                let set = generate_task_set(&mut rng, &taskgen(n, u)).unwrap();
-                let pm = PriorityMap::deadline_monotonic(&set);
-                let an = np_response_times(&set, &pm, &NpFixedConfig::george()).unwrap();
-                if !an.all_schedulable() {
-                    return None;
+        let ratios: Vec<Option<f64>> = par_map_seeds(cfg.replications, cfg.workers, |seed| {
+            let mut rng = Prng::seed_from_u64(cfg.seed ^ (0xA11CE + seed));
+            let set = generate_task_set(&mut rng, &taskgen(n, u)).unwrap();
+            let pm = PriorityMap::deadline_monotonic(&set);
+            let an = np_response_times(&set, &pm, &NpFixedConfig::george()).unwrap();
+            if !an.all_schedulable() {
+                return None;
+            }
+            let sim = simulate_cpu(
+                &set,
+                Some(&pm),
+                &CpuSimConfig {
+                    policy: CpuPolicy::FixedNonPreemptive,
+                    horizon: Time::new(80_000),
+                    offsets: vec![],
+                },
+            );
+            let mut worst = 0.0f64;
+            for (i, v) in an.verdicts.iter().enumerate() {
+                let bound = v.wcrt().unwrap();
+                if sim.max_response[i] > bound {
+                    return Some(f64::INFINITY); // violation marker
                 }
-                let sim = simulate_cpu(
-                    &set,
-                    Some(&pm),
-                    &CpuSimConfig {
-                        policy: CpuPolicy::FixedNonPreemptive,
-                        horizon: Time::new(80_000),
-                        offsets: vec![],
-                    },
-                );
-                let mut worst = 0.0f64;
-                for (i, v) in an.verdicts.iter().enumerate() {
-                    let bound = v.wcrt().unwrap();
-                    if sim.max_response[i] > bound {
-                        return Some(f64::INFINITY); // violation marker
-                    }
-                    worst =
-                        worst.max(sim.max_response[i].ticks() as f64
-                            / bound.ticks() as f64);
-                }
-                Some(worst)
-            });
+                worst = worst.max(sim.max_response[i].ticks() as f64 / bound.ticks() as f64);
+            }
+            Some(worst)
+        });
         let ok: Vec<f64> = ratios.iter().flatten().copied().collect();
         sound &= ok.iter().all(|r| r.is_finite());
         let max = ok.iter().copied().fold(0.0f64, f64::max);

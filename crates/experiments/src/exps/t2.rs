@@ -47,8 +47,8 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
             let rows = par_map_seeds(cfg.replications, cfg.workers, |seed| {
                 let mut rng = Prng::seed_from_u64(cfg.seed ^ (seed * 31 + 1));
                 let set = generate_task_set(&mut rng, &constrained(6, u, frac)).unwrap();
-                let util_ok = edf_utilization_test(&set).at_most_one
-                    && set.all_implicit_deadlines();
+                let util_ok =
+                    edf_utilization_test(&set).at_most_one && set.all_implicit_deadlines();
                 let std = edf_feasible_preemptive(
                     &set,
                     &DemandConfig {
@@ -80,14 +80,19 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                 } else {
                     true
                 };
-                (util_ok, std.feasible, paper.feasible, std.checked_points, sim_ok)
+                (
+                    util_ok,
+                    std.feasible,
+                    paper.feasible,
+                    std.checked_points,
+                    sim_ok,
+                )
             });
             let total = rows.len() as f64;
             let util = rows.iter().filter(|r| r.0).count() as f64 / total;
             let std = rows.iter().filter(|r| r.1).count() as f64 / total;
             let paper = rows.iter().filter(|r| r.2).count() as f64 / total;
-            let cps =
-                rows.iter().map(|r| r.3 as f64).sum::<f64>() / total;
+            let cps = rows.iter().map(|r| r.3 as f64).sum::<f64>() / total;
             paper_superset &= rows.iter().all(|r| !r.1 || r.2);
             paper_optimistic_somewhere |= rows.iter().any(|r| r.2 && !r.1);
             sim_sound &= rows.iter().all(|r| r.4);

@@ -4,10 +4,8 @@
 //! blocking).
 
 use profirt_base::{Prng, Time};
-use profirt_sched::edf::{
-    edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig,
-};
 use profirt_sched::edf::DemandFormula;
+use profirt_sched::edf::{edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig};
 use profirt_sim::{simulate_cpu, CpuPolicy, CpuSimConfig};
 use profirt_workload::{generate_task_set, DeadlinePolicy, PeriodRange, TaskGenParams};
 

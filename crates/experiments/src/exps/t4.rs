@@ -34,12 +34,10 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
         let rows = par_map_seeds(cfg.replications.min(64), cfg.workers, |seed| {
             let mut rng = Prng::seed_from_u64(cfg.seed ^ (seed * 977 + 5));
             let set = generate_task_set(&mut rng, &taskgen(4, u)).unwrap();
-            let Ok((p_an, p_det)) = edf_response_times(&set, &EdfRtaConfig::default())
-            else {
+            let Ok((p_an, p_det)) = edf_response_times(&set, &EdfRtaConfig::default()) else {
                 return None;
             };
-            let Ok((np_an, np_det)) =
-                np_edf_response_times(&set, &NpEdfRtaConfig::default())
+            let Ok((np_an, np_det)) = np_edf_response_times(&set, &NpEdfRtaConfig::default())
             else {
                 return None;
             };
@@ -121,15 +119,12 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
     );
     // Deterministic exemplar: a tight task blocked by a long later-deadline
     // one gains nothing and loses the blocking under non-preemption.
-    let exemplar =
-        profirt_base::TaskSet::from_cdt(&[(1, 6, 12), (4, 24, 24)]).unwrap();
+    let exemplar = profirt_base::TaskSet::from_cdt(&[(1, 6, 12), (4, 24, 24)]).unwrap();
     let (_, p_ex) = edf_response_times(&exemplar, &EdfRtaConfig::default()).unwrap();
-    let (_, np_ex) =
-        np_edf_response_times(&exemplar, &NpEdfRtaConfig::default()).unwrap();
+    let (_, np_ex) = np_edf_response_times(&exemplar, &NpEdfRtaConfig::default()).unwrap();
     report.check(
         "blocking raises the tightest task's bound (exemplar; majority on random sets)",
-        np_ex[0].wcrt > p_ex[0].wcrt
-            && np_tightest_dominates * 2 >= np_tightest_total,
+        np_ex[0].wcrt > p_ex[0].wcrt && np_tightest_dominates * 2 >= np_tightest_total,
         format!(
             "exemplar {} > {}; random sets: {np_tightest_dominates}/{np_tightest_total}",
             np_ex[0].wcrt, p_ex[0].wcrt

@@ -33,7 +33,10 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
     let mut literal_violations_total = 0usize;
     for &masters in &[2usize, 4, 8] {
         let rows = par_map_seeds(cfg.replications.min(40), cfg.workers, |seed| {
-            let g = gen_network(cfg.seed ^ (seed * 57 + masters as u64), &netgen(0.9, 3, masters));
+            let g = gen_network(
+                cfg.seed ^ (seed * 57 + masters as u64),
+                &netgen(0.9, 3, masters),
+            );
             let paper = token_lateness(&g.config, TcycleModel::Paper);
             let refined = token_lateness(&g.config, TcycleModel::Refined);
             // Overhead-aware bound (what we validate) vs the literal
@@ -81,10 +84,7 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
         chain += m.max_high_cycle();
     }
     let bound = tcycle(&g.config, TcycleModel::Paper).tcycle;
-    let mut t2 = Table::new(
-        "worked late-token chain",
-        &["component", "ticks"],
-    );
+    let mut t2 = Table::new("worked late-token chain", &["component", "ticks"]);
     t2.row(vec!["TTR".into(), g.config.ttr.to_string()]);
     t2.row(vec![
         "overrunner CM^0".into(),

@@ -17,7 +17,13 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
     let mut report = ExpReport::new("T6");
     let mut t = Table::new(
         "eq15 TTR derivation",
-        &["nh", "feasible", "mean TTR*", "boundary exact", "sim miss-free"],
+        &[
+            "nh",
+            "feasible",
+            "mean TTR*",
+            "boundary exact",
+            "sim miss-free",
+        ],
     );
     let mut boundary_all = true;
     let mut sim_all = true;
@@ -62,8 +68,18 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
             nh.to_string(),
             format!("{}/{}", feas.len(), rows.len()),
             format!("{mean_ttr:.0}"),
-            if feas.iter().all(|r| r.2) { "yes" } else { "NO" }.into(),
-            if feas.iter().all(|r| r.3) { "yes" } else { "NO" }.into(),
+            if feas.iter().all(|r| r.2) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
+            if feas.iter().all(|r| r.3) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
         ]);
     }
     report.table(t);

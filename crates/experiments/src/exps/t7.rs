@@ -76,10 +76,7 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
     let mean_f = rows.iter().map(|r| r.2 as f64).sum::<f64>() / total;
     let mean_d = rows.iter().map(|r| r.3 as f64).sum::<f64>() / total;
     let mean_e = rows.iter().map(|r| r.4 as f64).sum::<f64>() / total;
-    let mut t2 = Table::new(
-        "aggregate wins",
-        &["metric", "value"],
-    );
+    let mut t2 = Table::new("aggregate wins", &["metric", "value"]);
     t2.row(vec!["mean schedulable (FCFS)".into(), fmt_ratio(mean_f)]);
     t2.row(vec!["mean schedulable (DM)".into(), fmt_ratio(mean_d)]);
     t2.row(vec!["mean schedulable (EDF)".into(), fmt_ratio(mean_e)]);

@@ -6,9 +6,7 @@
 use profirt_core::{DmAnalysis, EdfAnalysis, FcfsAnalysis};
 use profirt_profibus::QueuePolicy;
 
-use crate::exps::common::{
-    gen_network, mean, netgen, percentile, sim_max_responses, worst_ratio,
-};
+use crate::exps::common::{gen_network, mean, netgen, percentile, sim_max_responses, worst_ratio};
 use crate::runner::par_map_seeds;
 use crate::table::{fmt_ratio, Table};
 use crate::{ExpConfig, ExpReport};
@@ -29,10 +27,7 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
         let rows = par_map_seeds(cfg.replications.min(80), cfg.workers, |seed| {
             let g = gen_network(cfg.seed ^ (seed * 389 + 17), &netgen(0.8, 3, 3));
             let (qp, analysis) = match policy {
-                "fcfs" => (
-                    QueuePolicy::Fcfs,
-                    FcfsAnalysis::paper().run(&g.config).ok(),
-                ),
+                "fcfs" => (QueuePolicy::Fcfs, FcfsAnalysis::paper().run(&g.config).ok()),
                 "dm-cons" => (
                     QueuePolicy::DeadlineMonotonic,
                     DmAnalysis::conservative().analyze(&g.config).ok(),
@@ -41,7 +36,10 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                     QueuePolicy::DeadlineMonotonic,
                     DmAnalysis::paper().analyze(&g.config).ok(),
                 ),
-                _ => (QueuePolicy::Edf, EdfAnalysis::paper().analyze(&g.config).ok()),
+                _ => (
+                    QueuePolicy::Edf,
+                    EdfAnalysis::paper().analyze(&g.config).ok(),
+                ),
             };
             let an = analysis?;
             let (obs, _) = sim_max_responses(&g, qp, cfg.sim_horizon, seed);

@@ -3,7 +3,8 @@
 //! Sweeps run the same closure over many seeds; [`par_map_seeds`]
 //! distributes them over a scoped worker pool through a crossbeam channel
 //! and returns results in seed order (deterministic output regardless of
-//! scheduling).
+//! scheduling). Slots are guarded by one `std::sync::Mutex` each so the
+//! scoped workers can write disjoint entries without unsafe code.
 
 use crossbeam::channel;
 
@@ -22,10 +23,7 @@ where
     drop(tx);
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots: Vec<_> = results
-        .iter_mut()
-        .map(|slot| parking_lot::Mutex::new(slot))
-        .collect();
+    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -35,7 +33,7 @@ where
             scope.spawn(move || {
                 while let Ok(seed) = rx.recv() {
                     let r = f(seed);
-                    **slots[seed as usize].lock() = Some(r);
+                    **slots[seed as usize].lock().expect("slot lock poisoned") = Some(r);
                 }
             });
         }

@@ -69,7 +69,9 @@ pub fn encode(frame: &Frame, out: &mut BytesMut) -> Result<usize, FrameError> {
 /// Decodes one frame from the start of `input`, returning the frame and the
 /// number of octets consumed.
 pub fn decode(input: &[u8]) -> Result<(Frame, usize), FrameError> {
-    let first = *input.first().ok_or(FrameError::Truncated { needed: 1, got: 0 })?;
+    let first = *input
+        .first()
+        .ok_or(FrameError::Truncated { needed: 1, got: 0 })?;
     match first {
         delim::SC => Ok((Frame::ShortAck, 1)),
         delim::SD4 => {

@@ -6,9 +6,7 @@
 
 /// Computes the FCS over the covered octets.
 pub fn fcs(covered: &[u8]) -> u8 {
-    covered
-        .iter()
-        .fold(0u8, |acc, &b| acc.wrapping_add(b))
+    covered.iter().fold(0u8, |acc, &b| acc.wrapping_add(b))
 }
 
 /// Verifies a received FCS.

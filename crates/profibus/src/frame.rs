@@ -209,7 +209,10 @@ impl core::fmt::Display for FrameError {
                 write!(f, "SD2 repeat delimiter is 0x{b:02X}, expected 0x68")
             }
             FrameError::BadChecksum { expected, got } => {
-                write!(f, "FCS mismatch: expected 0x{expected:02X}, got 0x{got:02X}")
+                write!(
+                    f,
+                    "FCS mismatch: expected 0x{expected:02X}, got 0x{got:02X}"
+                )
             }
             FrameError::BadEndDelimiter(b) => {
                 write!(f, "end delimiter is 0x{b:02X}, expected 0x16")

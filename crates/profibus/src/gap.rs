@@ -74,16 +74,12 @@ impl GapState {
     /// Folds a poll result into the ring: a ready master joins.
     ///
     /// Returns `true` if the ring changed.
-    pub fn apply_result(
-        ring: &mut LogicalRing,
-        target: MasterAddr,
-        result: GapPollResult,
-    ) -> bool {
+    pub fn apply_result(ring: &mut LogicalRing, target: MasterAddr, result: GapPollResult) -> bool {
         match result {
             GapPollResult::MasterReady => ring.join(target),
-            GapPollResult::NoStation
-            | GapPollResult::Slave
-            | GapPollResult::MasterNotReady => false,
+            GapPollResult::NoStation | GapPollResult::Slave | GapPollResult::MasterNotReady => {
+                false
+            }
         }
     }
 }
@@ -120,8 +116,7 @@ mod tests {
     #[test]
     fn ready_master_joins_ring() {
         let mut r = ring(&[1, 5]);
-        let changed =
-            GapState::apply_result(&mut r, MasterAddr(3), GapPollResult::MasterReady);
+        let changed = GapState::apply_result(&mut r, MasterAddr(3), GapPollResult::MasterReady);
         assert!(changed);
         assert!(r.contains(MasterAddr(3)));
         // Idempotent: joining again changes nothing.

@@ -175,7 +175,9 @@ mod tests {
 
     #[test]
     fn with_builders() {
-        let p = BusParams::profile_500k().with_ttr(t(9_999)).with_max_retry(3);
+        let p = BusParams::profile_500k()
+            .with_ttr(t(9_999))
+            .with_max_retry(3);
         assert_eq!(p.ttr, t(9_999));
         assert_eq!(p.max_retry, 3);
     }

@@ -298,7 +298,10 @@ mod tests {
         assert_eq!(s.capacity(), 1);
         assert!(s.try_push(req(0, 0, 10, 0)));
         assert!(s.is_full());
-        assert!(!s.try_push(req(1, 1, 20, 1)), "second push must be rejected");
+        assert!(
+            !s.try_push(req(1, 1, 20, 1)),
+            "second push must be rejected"
+        );
         assert_eq!(s.len(), 1);
         assert_eq!(s.pop().unwrap().stream.0, 0);
         assert!(s.is_empty());

@@ -93,7 +93,11 @@ impl LogicalRing {
         let mut out = Vec::new();
         let mut a = addr.0;
         loop {
-            a = if a >= MasterAddr::MAX_ADDRESS { 0 } else { a + 1 };
+            a = if a >= MasterAddr::MAX_ADDRESS {
+                0
+            } else {
+                a + 1
+            };
             if a == next.0 {
                 break;
             }
@@ -117,10 +121,7 @@ mod tests {
     #[test]
     fn construction_sorts_and_dedups() {
         let r = ring(&[5, 1, 9, 5]);
-        assert_eq!(
-            r.members(),
-            &[MasterAddr(1), MasterAddr(5), MasterAddr(9)]
-        );
+        assert_eq!(r.members(), &[MasterAddr(1), MasterAddr(5), MasterAddr(9)]);
         assert_eq!(r.len(), 3);
     }
 

@@ -143,11 +143,7 @@ mod tests {
 
     #[test]
     fn priority_master_has_single_slot_stack() {
-        let m = MasterStation::priority_queued(
-            MasterAddr(2),
-            streams(),
-            QueuePolicy::Edf,
-        );
+        let m = MasterStation::priority_queued(MasterAddr(2), streams(), QueuePolicy::Edf);
         assert_eq!(m.stack_capacity, 1);
         assert_eq!(m.ap_policy, QueuePolicy::Edf);
     }

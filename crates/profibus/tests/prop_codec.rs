@@ -17,14 +17,14 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             sa,
             fc: FunctionCode(fc)
         }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<[u8; 8]>()).prop_map(
-            |(da, sa, fc, data)| Frame::FixedData {
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<[u8; 8]>()).prop_map(|(da, sa, fc, data)| {
+            Frame::FixedData {
                 da,
                 sa,
                 fc: FunctionCode(fc),
-                data
+                data,
             }
-        ),
+        }),
         (
             any::<u8>(),
             any::<u8>(),

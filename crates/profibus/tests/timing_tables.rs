@@ -3,8 +3,8 @@
 //! inputs come from).
 
 use profirt_base::time::t;
-use profirt_profibus::{BusParams, MessageCycleSpec, TokenPassTime};
 use profirt_profibus::chartime::{char_time, frame_chars};
+use profirt_profibus::{BusParams, MessageCycleSpec, TokenPassTime};
 
 /// Error-free SRD cycle times at 500 kbit/s, hand-computed:
 /// TSYN(33) + 11·(9+req) + maxTSDR(100) + 11·(9+resp) + TID1(37).
@@ -21,11 +21,7 @@ fn srd_cycle_golden_values_500k() {
     ];
     for (req, resp, expected) in cases {
         let spec = MessageCycleSpec::srd_sd2(req, resp);
-        assert_eq!(
-            spec.error_free_time(&p),
-            t(expected),
-            "srd({req},{resp})"
-        );
+        assert_eq!(spec.error_free_time(&p), t(expected), "srd({req},{resp})");
     }
 }
 
@@ -55,9 +51,18 @@ fn retry_expansion_all_profiles() {
 /// Token pass = TSYN + 3 chars + TID2 for every profile.
 #[test]
 fn token_pass_golden_values() {
-    assert_eq!(TokenPassTime::time(&BusParams::profile_93_75k()), t(33 + 33 + 60));
-    assert_eq!(TokenPassTime::time(&BusParams::profile_500k()), t(33 + 33 + 100));
-    assert_eq!(TokenPassTime::time(&BusParams::profile_1m5()), t(33 + 33 + 150));
+    assert_eq!(
+        TokenPassTime::time(&BusParams::profile_93_75k()),
+        t(33 + 33 + 60)
+    );
+    assert_eq!(
+        TokenPassTime::time(&BusParams::profile_500k()),
+        t(33 + 33 + 100)
+    );
+    assert_eq!(
+        TokenPassTime::time(&BusParams::profile_1m5()),
+        t(33 + 33 + 150)
+    );
 }
 
 /// Wall-clock sanity: cycle durations in microseconds match the bit-time

@@ -22,10 +22,7 @@ use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
 ///   does not exist).
 /// * [`AnalysisError::EmptySet`] for an empty set (no busy period).
 /// * Iteration-cap / overflow errors from pathological inputs.
-pub fn synchronous_busy_period(
-    set: &TaskSet,
-    config: FixpointConfig,
-) -> AnalysisResult<Time> {
+pub fn synchronous_busy_period(set: &TaskSet, config: FixpointConfig) -> AnalysisResult<Time> {
     if set.is_empty() {
         return Err(AnalysisError::EmptySet);
     }
@@ -145,13 +142,10 @@ mod tests {
     fn np_busy_period_dominates_plain() {
         let set = TaskSet::from_ct(&[(26, 70), (62, 200)]).unwrap();
         let plain = l(&set);
-        let blocked =
-            nonpreemptive_busy_period(&set, t(62), FixpointConfig::default()).unwrap();
+        let blocked = nonpreemptive_busy_period(&set, t(62), FixpointConfig::default()).unwrap();
         assert!(blocked >= plain);
         // With zero blocking they coincide.
-        let zero =
-            nonpreemptive_busy_period(&set, Time::ZERO, FixpointConfig::default())
-                .unwrap();
+        let zero = nonpreemptive_busy_period(&set, Time::ZERO, FixpointConfig::default()).unwrap();
         assert_eq!(zero, plain);
     }
 
@@ -160,9 +154,7 @@ mod tests {
         let set = TaskSet::from_ct(&[(2, 5), (3, 11)]).unwrap();
         let b = t(7);
         let val = nonpreemptive_busy_period(&set, b, FixpointConfig::default()).unwrap();
-        let w = |x: Time| {
-            b + t(x.ceil_div(t(5)).max(1) * 2) + t(x.ceil_div(t(11)).max(1) * 3)
-        };
+        let w = |x: Time| b + t(x.ceil_div(t(5)).max(1) * 2) + t(x.ceil_div(t(11)).max(1) * 3);
         assert_eq!(w(val), val);
     }
 
@@ -174,9 +166,7 @@ mod tests {
         let val = l(&set);
         assert_eq!(val, t(90));
         // Verify it is a genuine fixpoint.
-        let w = |x: Time| {
-            t(x.ceil_div(t(10)) * 9) + t(x.ceil_div(t(100)) * 9)
-        };
+        let w = |x: Time| t(x.ceil_div(t(10)) * 9) + t(x.ceil_div(t(100)) * 9);
         assert_eq!(w(val), val);
     }
 }

@@ -118,9 +118,8 @@ pub fn edf_feasible_preemptive(
         }
         // U == 1 with constrained deadlines: check one hyperperiod plus the
         // largest deadline (a valid bound for the first miss at full load).
-        set.hyperperiod()?.try_add(
-            set.max_deadline().unwrap_or(Time::ZERO),
-        )?
+        set.hyperperiod()?
+            .try_add(set.max_deadline().unwrap_or(Time::ZERO))?
     };
 
     let dt: Vec<(Time, Time)> = set.iter().map(|(_, task)| (task.d, task.t)).collect();
@@ -219,7 +218,10 @@ mod tests {
         let std = feasible(&set, DemandFormula::Standard);
         let paper = feasible(&set, DemandFormula::PaperCeiling);
         assert!(!std.feasible);
-        assert!(paper.feasible, "ceiling formula is optimistic at boundaries");
+        assert!(
+            paper.feasible,
+            "ceiling formula is optimistic at boundaries"
+        );
     }
 
     #[test]

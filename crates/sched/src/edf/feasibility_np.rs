@@ -113,11 +113,7 @@ pub fn edf_feasible_nonpreemptive(
     let horizon = if u.lt_one() {
         // Safe horizon: the blocking-extended busy period (a non-preemptive
         // busy interval can open with a blocker of up to max Ci).
-        nonpreemptive_busy_period(
-            set,
-            set.max_cost().unwrap_or(Time::ZERO),
-            config.fixpoint,
-        )?
+        nonpreemptive_busy_period(set, set.max_cost().unwrap_or(Time::ZERO), config.fixpoint)?
     } else {
         set.hyperperiod()?
             .try_add(set.max_deadline().unwrap_or(Time::ZERO))?
@@ -150,7 +146,6 @@ pub fn edf_feasible_nonpreemptive(
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     fn run(set: &TaskSet, blocking: NpBlockingModel) -> Feasibility {
         edf_feasible_nonpreemptive(
@@ -230,10 +225,8 @@ mod tests {
     #[test]
     fn paper_literal_configs() {
         let set = TaskSet::from_cdt(&[(2, 10, 20), (3, 15, 30)]).unwrap();
-        let eq4 = edf_feasible_nonpreemptive(&set, &NpFeasibilityConfig::paper_eq4())
-            .unwrap();
-        let eq5 = edf_feasible_nonpreemptive(&set, &NpFeasibilityConfig::paper_eq5())
-            .unwrap();
+        let eq4 = edf_feasible_nonpreemptive(&set, &NpFeasibilityConfig::paper_eq4()).unwrap();
+        let eq5 = edf_feasible_nonpreemptive(&set, &NpFeasibilityConfig::paper_eq5()).unwrap();
         // eq5 accepts whenever eq4 does (less pessimism).
         if eq4.feasible {
             assert!(eq5.feasible);

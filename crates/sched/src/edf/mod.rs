@@ -9,9 +9,7 @@ pub mod utilization;
 
 pub use busy_period::{nonpreemptive_busy_period, synchronous_busy_period};
 pub use demand::{demand, edf_feasible_preemptive, DemandConfig, DemandFormula, Feasibility};
-pub use feasibility_np::{
-    edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig,
-};
+pub use feasibility_np::{edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig};
 pub use rta::{edf_response_times, EdfRtaConfig};
 pub use rta_np::{np_edf_response_times, NpEdfRtaConfig};
 pub use utilization::edf_utilization_test;

@@ -106,10 +106,8 @@ fn wcrt_for_task(
     // merge iterator advances negative offsets automatically. L itself is
     // excluded: a busy period starting the instance at a >= L cannot extend
     // it (the synchronous period has ended).
-    let progressions: Vec<(Time, Time)> = set
-        .iter()
-        .map(|(_, tj)| (tj.d - task_i.d, tj.t))
-        .collect();
+    let progressions: Vec<(Time, Time)> =
+        set.iter().map(|(_, tj)| (tj.d - task_i.d, tj.t)).collect();
     let bound = (l - Time::ONE).max_zero();
     let mut best = EdfWcrt {
         wcrt: task_i.c,

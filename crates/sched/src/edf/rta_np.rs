@@ -115,10 +115,8 @@ fn wcrt_for_task(
     config: &NpEdfRtaConfig,
 ) -> AnalysisResult<EdfWcrt> {
     let task_i = set.tasks()[i];
-    let progressions: Vec<(Time, Time)> = set
-        .iter()
-        .map(|(_, tj)| (tj.d - task_i.d, tj.t))
-        .collect();
+    let progressions: Vec<(Time, Time)> =
+        set.iter().map(|(_, tj)| (tj.d - task_i.d, tj.t)).collect();
     let mut best = EdfWcrt {
         wcrt: task_i.c,
         critical_a: Time::ZERO,
@@ -240,8 +238,7 @@ mod tests {
         // highest-urgency work when blocking exists.
         let set = TaskSet::from_cdt(&[(1, 6, 12), (4, 24, 24)]).unwrap();
         let (_, np) = analyze(&set);
-        let (_, p) =
-            crate::edf::rta::edf_response_times(&set, &Default::default()).unwrap();
+        let (_, p) = crate::edf::rta::edf_response_times(&set, &Default::default()).unwrap();
         assert!(np[0].wcrt >= p[0].wcrt);
     }
 
@@ -271,11 +268,9 @@ mod tests {
     fn non_preemptive_anomaly_tightest_task_hurt_most() {
         // The shorter the deadline, the larger the relative penalty from
         // blocking — the phenomenon motivating the paper's §4 queue design.
-        let set =
-            TaskSet::from_cdt(&[(1, 8, 20), (1, 14, 20), (6, 60, 60)]).unwrap();
+        let set = TaskSet::from_cdt(&[(1, 8, 20), (1, 14, 20), (6, 60, 60)]).unwrap();
         let (_, np) = analyze(&set);
-        let (_, p) =
-            crate::edf::rta::edf_response_times(&set, &Default::default()).unwrap();
+        let (_, p) = crate::edf::rta::edf_response_times(&set, &Default::default()).unwrap();
         let penalty0 = np[0].wcrt - p[0].wcrt;
         let penalty2 = np[2].wcrt - p[2].wcrt;
         assert!(penalty0 > penalty2);

@@ -262,8 +262,7 @@ mod tests {
         // Spot-check the dominance relation on a few sets (same blocking).
         let sets = [
             TaskSet::from_cdt(&[(1, 4, 4), (2, 9, 9), (3, 20, 20)]).unwrap(),
-            TaskSet::from_cdt(&[(2, 10, 10), (2, 12, 12), (2, 14, 14), (5, 50, 50)])
-                .unwrap(),
+            TaskSet::from_cdt(&[(2, 10, 10), (2, 12, 12), (2, 14, 14), (5, 50, 50)]).unwrap(),
             TaskSet::from_cdt(&[(1, 7, 7), (1, 11, 11), (1, 13, 13)]).unwrap(),
         ];
         for set in &sets {
@@ -296,10 +295,7 @@ mod tests {
     fn blocking_rules_differ_by_one_tick() {
         let set = TaskSet::from_cdt(&[(1, 9, 10), (7, 70, 70)]).unwrap();
         let pm = PriorityMap::deadline_monotonic(&set);
-        assert_eq!(
-            BlockingRule::MaxLowerCost.blocking(&set, &pm, 0),
-            t(7)
-        );
+        assert_eq!(BlockingRule::MaxLowerCost.blocking(&set, &pm, 0), t(7));
         assert_eq!(
             BlockingRule::MaxLowerCostMinusOne.blocking(&set, &pm, 0),
             t(6)

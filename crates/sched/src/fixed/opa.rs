@@ -65,11 +65,7 @@ where
         for (pos, &cand) in unassigned.iter().enumerate() {
             // Candidate order: all other unassigned tasks (any order) above,
             // then `cand`, then the already-fixed suffix below.
-            let mut order: Vec<usize> = unassigned
-                .iter()
-                .copied()
-                .filter(|&x| x != cand)
-                .collect();
+            let mut order: Vec<usize> = unassigned.iter().copied().filter(|&x| x != cand).collect();
             order.push(cand);
             order.extend(suffix.iter().rev().copied());
             let pm = PriorityMap::from_order(order);
@@ -99,11 +95,7 @@ mod tests {
     use crate::fixed::nonpreemptive::{np_response_times, NpFixedConfig};
     use crate::fixed::rta::{response_times, RtaConfig};
 
-    fn np_test(
-        set: &TaskSet,
-        pm: &PriorityMap,
-        i: usize,
-    ) -> AnalysisResult<TaskVerdict> {
+    fn np_test(set: &TaskSet, pm: &PriorityMap, i: usize) -> AnalysisResult<TaskVerdict> {
         Ok(np_response_times(set, pm, &NpFixedConfig::george())?.verdicts[i])
     }
 
@@ -214,13 +206,11 @@ mod tests {
         // order on DM-feasible sets, and (b) declares genuinely infeasible
         // sets infeasible — dominance over DM is exercised via randomized
         // integration tests at the workspace level instead.
-        let set = TaskSet::from_cdt(&[(52, 110, 110), (52, 154, 154), (52, 211, 212)])
-            .unwrap();
+        let set = TaskSet::from_cdt(&[(52, 110, 110), (52, 154, 154), (52, 211, 212)]).unwrap();
         let opa = audsley_opa(&set, np_test).unwrap();
         assert!(matches!(opa, OpaResult::Infeasible { .. }));
 
-        let set2 = TaskSet::from_cdt(&[(52, 110, 110), (52, 156, 156), (52, 211, 212)])
-            .unwrap();
+        let set2 = TaskSet::from_cdt(&[(52, 110, 110), (52, 156, 156), (52, 211, 212)]).unwrap();
         let opa2 = audsley_opa(&set2, np_test).unwrap();
         let pm = opa2.feasible().expect("feasible");
         assert!(np_response_times(&set2, &pm, &NpFixedConfig::george())

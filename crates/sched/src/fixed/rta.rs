@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn jitter_increases_response_time() {
         let base = TaskSet::new(vec![
-        Task::with_jitter(2, 10, 10, 0).unwrap(),
+            Task::with_jitter(2, 10, 10, 0).unwrap(),
             Task::with_jitter(3, 10, 10, 0).unwrap(),
         ])
         .unwrap();

@@ -84,7 +84,9 @@ pub fn hyperbolic_schedulable(set: &TaskSet) -> UtilizationVerdict {
     let mut lhs = BigNat::from_u128(1);
     let mut rhs = BigNat::from_u128(1);
     for (_, task) in set.iter() {
-        lhs = lhs.mul(&BigNat::from_u128((task.c.ticks() + task.t.ticks()) as u128));
+        lhs = lhs.mul(&BigNat::from_u128(
+            (task.c.ticks() + task.t.ticks()) as u128,
+        ));
         rhs = rhs.mul(&BigNat::from_u128(task.t.ticks() as u128));
     }
     rhs = rhs.mul_u32(2);

@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn seed_above_bound_is_immediate() {
-        let out = fixpoint("test", t(50), t(10), FixpointConfig::default(), |x| Ok(x))
-            .unwrap();
+        let out = fixpoint("test", t(50), t(10), FixpointConfig::default(), |x| Ok(x)).unwrap();
         assert_eq!(out, FixOutcome::ExceededBound(t(50)));
     }
 

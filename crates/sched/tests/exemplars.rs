@@ -3,8 +3,8 @@
 
 use profirt_base::TaskSet;
 use profirt_sched::edf::{
-    edf_feasible_preemptive, edf_response_times, np_edf_response_times, DemandConfig,
-    EdfRtaConfig, NpEdfRtaConfig, synchronous_busy_period,
+    edf_feasible_preemptive, edf_response_times, np_edf_response_times, synchronous_busy_period,
+    DemandConfig, EdfRtaConfig, NpEdfRtaConfig,
 };
 use profirt_sched::fixed::{
     liu_layland_bound, np_response_times, response_times, rm_utilization_schedulable,

@@ -4,33 +4,31 @@ use proptest::prelude::*;
 
 use profirt_base::{Task, TaskSet, Time};
 use profirt_sched::edf::{
-    edf_feasible_nonpreemptive, edf_feasible_preemptive, edf_response_times,
-    np_edf_response_times, synchronous_busy_period, DemandConfig, DemandFormula,
-    EdfRtaConfig, NpBlockingModel, NpEdfRtaConfig, NpFeasibilityConfig,
+    edf_feasible_nonpreemptive, edf_feasible_preemptive, edf_response_times, np_edf_response_times,
+    synchronous_busy_period, DemandConfig, DemandFormula, EdfRtaConfig, NpBlockingModel,
+    NpEdfRtaConfig, NpFeasibilityConfig,
 };
 use profirt_sched::fixed::{
-    np_response_times, response_times, rm_utilization_schedulable, BlockingRule,
-    hyperbolic_schedulable, NpFixedConfig, NpFixedVariant, PriorityMap, RtaConfig,
+    hyperbolic_schedulable, np_response_times, response_times, rm_utilization_schedulable,
+    BlockingRule, NpFixedConfig, NpFixedVariant, PriorityMap, RtaConfig,
 };
 use profirt_sched::FixpointConfig;
 
 /// Small random constrained-deadline task sets with bounded utilisation.
 fn arb_task_set(max_n: usize) -> impl Strategy<Value = TaskSet> {
-    proptest::collection::vec((1i64..20, 1i64..100, 0i64..50), 1..=max_n).prop_map(
-        |raw| {
-            let tasks: Vec<Task> = raw
-                .into_iter()
-                .map(|(c, t_extra, d_slack)| {
-                    // T = 5*C + extra ensures per-task utilisation <= 0.2,
-                    // so sets of <= 4 tasks stay under U = 0.8 < 1.
-                    let t = 5 * c + t_extra;
-                    let d = (c + d_slack).min(t);
-                    Task::new(c, d, t).unwrap()
-                })
-                .collect();
-            TaskSet::new(tasks).unwrap()
-        },
-    )
+    proptest::collection::vec((1i64..20, 1i64..100, 0i64..50), 1..=max_n).prop_map(|raw| {
+        let tasks: Vec<Task> = raw
+            .into_iter()
+            .map(|(c, t_extra, d_slack)| {
+                // T = 5*C + extra ensures per-task utilisation <= 0.2,
+                // so sets of <= 4 tasks stay under U = 0.8 < 1.
+                let t = 5 * c + t_extra;
+                let d = (c + d_slack).min(t);
+                Task::new(c, d, t).unwrap()
+            })
+            .collect();
+        TaskSet::new(tasks).unwrap()
+    })
 }
 
 proptest! {

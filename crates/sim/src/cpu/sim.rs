@@ -1,6 +1,6 @@
 //! The CPU simulation core.
 
-use profirt_base::{Time, TaskSet};
+use profirt_base::{TaskSet, Time};
 use profirt_sched::fixed::PriorityMap;
 use serde::{Deserialize, Serialize};
 
@@ -148,13 +148,7 @@ pub fn simulate_cpu(
     }
 
     loop {
-        let next_rel = sync_releases(
-            set,
-            config.horizon,
-            &mut next_release,
-            &mut ready,
-            now,
-        );
+        let next_rel = sync_releases(set, config.horizon, &mut next_release, &mut ready, now);
 
         // Pick/maintain the running job.
         if config.policy.is_preemptive() {
@@ -241,11 +235,7 @@ mod tests {
         // must observe exactly the analytical WCRTs.
         let set = TaskSet::from_ct(&[(3, 7), (3, 12), (5, 20)]).unwrap();
         let pm = PriorityMap::rate_monotonic(&set);
-        let sim = simulate_cpu(
-            &set,
-            Some(&pm),
-            &cfg(CpuPolicy::FixedPreemptive, 420 * 4),
-        );
+        let sim = simulate_cpu(&set, Some(&pm), &cfg(CpuPolicy::FixedPreemptive, 420 * 4));
         let rta = rm_response_times(&set, &RtaConfig::default()).unwrap();
         let wcrts = rta.wcrts().unwrap();
         assert_eq!(sim.max_response, wcrts);
@@ -313,8 +303,7 @@ mod tests {
         let edf = simulate_cpu(&set, None, &cfg(CpuPolicy::EdfPreemptive, 3_500));
         assert!(edf.no_misses(), "EDF misses: {:?}", edf.misses);
         let pm = PriorityMap::rate_monotonic(&set);
-        let rm =
-            simulate_cpu(&set, Some(&pm), &cfg(CpuPolicy::FixedPreemptive, 3_500));
+        let rm = simulate_cpu(&set, Some(&pm), &cfg(CpuPolicy::FixedPreemptive, 3_500));
         assert!(!rm.no_misses(), "RM should miss on this set");
     }
 

@@ -30,6 +30,6 @@ pub mod network;
 
 pub use cpu::{simulate_cpu, CpuPolicy, CpuSimConfig, CpuSimResult};
 pub use network::{
-    simulate_network, simulate_network_traced, JitterInjection, NetworkSimConfig,
-    NetworkSimResult, OffsetMode, SimMaster, SimNetwork, Trace, TraceEvent,
+    simulate_network, simulate_network_traced, JitterInjection, NetworkSimConfig, NetworkSimResult,
+    OffsetMode, SimMaster, SimNetwork, Trace, TraceEvent,
 };

@@ -10,6 +10,6 @@ mod config;
 mod sim;
 pub mod trace;
 
-pub use config::{JitterInjection, OffsetMode, NetworkSimConfig, SimMaster, SimNetwork};
+pub use config::{JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork};
 pub use sim::{simulate_network, simulate_network_traced, NetworkSimResult, StreamObservation};
 pub use trace::{Trace, TraceEvent};

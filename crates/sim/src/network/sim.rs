@@ -31,9 +31,7 @@ use profirt_profibus::{ApQueue, Request, StackQueue, TokenTimer};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::SimRng;
-use crate::network::config::{
-    JitterInjection, NetworkSimConfig, OffsetMode, SimNetwork,
-};
+use crate::network::config::{JitterInjection, NetworkSimConfig, OffsetMode, SimNetwork};
 
 /// Observations for one stream.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -65,10 +63,7 @@ pub struct NetworkSimResult {
 impl NetworkSimResult {
     /// `true` iff no stream missed a deadline.
     pub fn no_misses(&self) -> bool {
-        self.streams
-            .iter()
-            .flatten()
-            .all(|o| o.misses == 0)
+        self.streams.iter().flatten().all(|o| o.misses == 0)
     }
 
     /// The largest observed TRR across all masters.
@@ -197,9 +192,7 @@ fn simulate_inner(
             return ch;
         }
         let v = config.cycle_undershoot.min(1.0);
-        let lo = Time::new(
-            ((ch.ticks() as f64) * (1.0 - v)).ceil().max(1.0) as i64,
-        );
+        let lo = Time::new(((ch.ticks() as f64) * (1.0 - v)).ceil().max(1.0) as i64);
         lo + fault_rng.time_in(ch - lo)
     };
     let mut loss_rng = SimRng::seed_from_u64(config.seed ^ 0x70CE_55E5);
@@ -497,15 +490,10 @@ mod tests {
 
     #[test]
     fn edf_queue_orders_by_absolute_deadline() {
-        let streams = [
-            (400, 50_000, 10_000),
-            (400, 2_000, 10_000),
-        ];
+        let streams = [(400, 50_000, 10_000), (400, 2_000, 10_000)];
         let edf = run(&one_master_net(&streams, QueuePolicy::Edf), 1_000_000);
         let fcfs = run(&one_master_net(&streams, QueuePolicy::Fcfs), 1_000_000);
-        assert!(
-            edf.streams[0][1].max_response <= fcfs.streams[0][1].max_response
-        );
+        assert!(edf.streams[0][1].max_response <= fcfs.streams[0][1].max_response);
     }
 
     #[test]
@@ -514,9 +502,7 @@ mod tests {
         // then receives a late token but must still get one high cycle out.
         let m0 = SimMaster::stock(StreamSet::new(vec![]).unwrap())
             .with_low_priority(LowPriorityTraffic::new(t(3_000), t(4_000)));
-        let m1 = SimMaster::stock(
-            StreamSet::from_cdt(&[(200, 8_000, 4_000)]).unwrap(),
-        );
+        let m1 = SimMaster::stock(StreamSet::from_cdt(&[(200, 8_000, 4_000)]).unwrap());
         let net = SimNetwork {
             masters: vec![m0, m1],
             ttr: t(1_000),
@@ -551,10 +537,8 @@ mod tests {
     fn low_priority_starved_on_late_token() {
         // Heavy high-priority load keeps TTH at zero: low priority barely
         // runs (only when TTH > 0 and no high pending).
-        let m = SimMaster::stock(
-            StreamSet::from_cdt(&[(900, 50_000, 1_000)]).unwrap(),
-        )
-        .with_low_priority(LowPriorityTraffic::new(t(500), t(1_000)));
+        let m = SimMaster::stock(StreamSet::from_cdt(&[(900, 50_000, 1_000)]).unwrap())
+            .with_low_priority(LowPriorityTraffic::new(t(500), t(1_000)));
         let net = SimNetwork {
             masters: vec![m],
             ttr: t(500), // rotation always exceeds TTR with the high cycle
@@ -614,13 +598,7 @@ mod tests {
         let a = simulate_network(&net, &cfg);
         let b = simulate_network(&net, &cfg);
         assert_eq!(a, b, "same seed must reproduce identical results");
-        let c = simulate_network(
-            &net,
-            &NetworkSimConfig {
-                seed: 100,
-                ..cfg
-            },
-        );
+        let c = simulate_network(&net, &NetworkSimConfig { seed: 100, ..cfg });
         // Different seed may (and here does) change observations.
         assert!(
             a.streams != c.streams || a.max_trr != c.max_trr || a == c,
@@ -723,7 +701,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(obs.token_recoveries > 10, "losses injected but not observed");
+        assert!(
+            obs.token_recoveries > 10,
+            "losses injected but not observed"
+        );
         // Traffic still flows: the claim timeout recovers every loss.
         assert!(obs.streams[0][0].completed > 50);
         // Recovery stretches rotations past the loss-free TRR.

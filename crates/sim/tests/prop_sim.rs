@@ -3,14 +3,14 @@
 
 use proptest::prelude::*;
 
+use profirt_base::StreamSet;
 use profirt_base::{Task, TaskSet, Time};
+use profirt_profibus::QueuePolicy;
 use profirt_sched::fixed::{response_times, PriorityMap, RtaConfig};
 use profirt_sim::{
-    simulate_cpu, simulate_network, CpuPolicy, CpuSimConfig, NetworkSimConfig,
-    SimMaster, SimNetwork,
+    simulate_cpu, simulate_network, CpuPolicy, CpuSimConfig, NetworkSimConfig, SimMaster,
+    SimNetwork,
 };
-use profirt_base::StreamSet;
-use profirt_profibus::QueuePolicy;
 
 fn arb_task_set() -> impl Strategy<Value = TaskSet> {
     proptest::collection::vec((1i64..10, 1i64..60), 1..=4).prop_map(|raw| {

@@ -6,18 +6,13 @@
 
 use profirt_base::{StreamSet, Time};
 use profirt_profibus::LowPriorityTraffic;
-use profirt_sim::{
-    simulate_network_traced, NetworkSimConfig, SimMaster, SimNetwork, TraceEvent,
-};
+use profirt_sim::{simulate_network_traced, NetworkSimConfig, SimMaster, SimNetwork, TraceEvent};
 
 fn t(v: i64) -> Time {
     Time::new(v)
 }
 
-fn trace_events(
-    net: &SimNetwork,
-    horizon: i64,
-) -> Vec<(Time, TraceEvent)> {
+fn trace_events(net: &SimNetwork, horizon: i64) -> Vec<(Time, TraceEvent)> {
     let (_, trace) = simulate_network_traced(
         net,
         &NetworkSimConfig {
@@ -141,10 +136,10 @@ fn tth_overrun_low_cycle_completes() {
 #[test]
 fn no_low_cycles_on_late_tokens() {
     let net = SimNetwork {
-        masters: vec![SimMaster::stock(
-            StreamSet::from_cdt(&[(900, 50_000, 1_000)]).unwrap(),
-        )
-        .with_low_priority(LowPriorityTraffic::new(t(500), t(1_000)))],
+        masters: vec![
+            SimMaster::stock(StreamSet::from_cdt(&[(900, 50_000, 1_000)]).unwrap())
+                .with_low_priority(LowPriorityTraffic::new(t(500), t(1_000))),
+        ],
         ttr: t(500), // every rotation exceeds TTR once traffic flows
         token_pass: t(100),
     };

@@ -60,18 +60,14 @@ pub fn generate_network(
     for _ in 0..params.n_masters {
         let streams = generate_stream_set(rng, bus, &params.streams)?;
         let low = if rng.unit() < params.low_priority_prob {
-            let payload = params.low_payload.0
-                + rng.index(params.low_payload.1 - params.low_payload.0 + 1);
+            let payload =
+                params.low_payload.0 + rng.index(params.low_payload.1 - params.low_payload.0 + 1);
             let cl = MessageCycleSpec::srd_sd2(payload, payload).worst_case_time(bus);
             vec![LowPriorityTraffic::new(cl, params.low_period)]
         } else {
             Vec::new()
         };
-        let cl_max = low
-            .iter()
-            .map(|l| l.cycle_time)
-            .max()
-            .unwrap_or(Time::ZERO);
+        let cl_max = low.iter().map(|l| l.cycle_time).max().unwrap_or(Time::ZERO);
         masters.push(MasterConfig::new(streams.clone(), cl_max));
         streams_out.push(streams);
         low_out.push(low);
@@ -150,10 +146,6 @@ mod tests {
     fn zero_masters_panics() {
         let mut p = params();
         p.n_masters = 0;
-        let _ = generate_network(
-            &mut Prng::seed_from_u64(1),
-            &BusParams::profile_500k(),
-            &p,
-        );
+        let _ = generate_network(&mut Prng::seed_from_u64(1), &BusParams::profile_500k(), &p);
     }
 }

@@ -60,8 +60,8 @@ fn sample_range(rng: &mut Prng, (lo, hi): (usize, usize)) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use profirt_base::time::t;
     use crate::periods::PeriodRange;
+    use profirt_base::time::t;
 
     fn params(nh: usize) -> StreamGenParams {
         StreamGenParams {
@@ -92,10 +92,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let bus = BusParams::profile_1m5();
-        let a = generate_stream_set(&mut Prng::seed_from_u64(5), &bus, &params(6))
-            .unwrap();
-        let b = generate_stream_set(&mut Prng::seed_from_u64(5), &bus, &params(6))
-            .unwrap();
+        let a = generate_stream_set(&mut Prng::seed_from_u64(5), &bus, &params(6)).unwrap();
+        let b = generate_stream_set(&mut Prng::seed_from_u64(5), &bus, &params(6)).unwrap();
         assert_eq!(a, b);
     }
 

@@ -40,10 +40,7 @@ pub struct TaskGenParams {
 /// shares on short periods round up to one tick — the realised total
 /// utilisation can deviate slightly from the target (callers needing the
 /// exact value should read it back from [`TaskSet::total_utilization`]).
-pub fn generate_task_set(
-    rng: &mut Prng,
-    params: &TaskGenParams,
-) -> AnalysisResult<TaskSet> {
+pub fn generate_task_set(rng: &mut Prng, params: &TaskGenParams) -> AnalysisResult<TaskSet> {
     assert!(
         params.total_utilization > 0.0 && params.total_utilization <= 1.0,
         "total utilisation must be in (0, 1]"
@@ -58,8 +55,7 @@ pub fn generate_task_set(
             DeadlinePolicy::Implicit => t_i,
             DeadlinePolicy::ConstrainedFraction { min_frac, max_frac } => {
                 assert!(
-                    (0.0..=1.0).contains(&min_frac)
-                        && (min_frac..=1.0).contains(&max_frac),
+                    (0.0..=1.0).contains(&min_frac) && (min_frac..=1.0).contains(&max_frac),
                     "deadline fractions must satisfy 0 <= min <= max <= 1"
                 );
                 let f = min_frac + rng.unit() * (max_frac - min_frac);
@@ -91,9 +87,7 @@ mod tests {
         let rng = Prng::seed_from_u64(1);
         for seed in 0..50u64 {
             let mut r = Prng::seed_from_u64(seed);
-            let set =
-                generate_task_set(&mut r, &params(8, 0.7, DeadlinePolicy::Implicit))
-                    .unwrap();
+            let set = generate_task_set(&mut r, &params(8, 0.7, DeadlinePolicy::Implicit)).unwrap();
             assert_eq!(set.len(), 8);
             assert!(set.all_implicit_deadlines());
         }
@@ -103,8 +97,7 @@ mod tests {
     #[test]
     fn utilization_close_to_target() {
         let mut rng = Prng::seed_from_u64(2);
-        let set = generate_task_set(&mut rng, &params(10, 0.6, DeadlinePolicy::Implicit))
-            .unwrap();
+        let set = generate_task_set(&mut rng, &params(10, 0.6, DeadlinePolicy::Implicit)).unwrap();
         let u = set.total_utilization().to_f64();
         // Rounding of costs distorts the target only slightly with
         // periods >= 1000 ticks.
@@ -152,8 +145,7 @@ mod tests {
     #[test]
     fn tiny_utilization_rounds_up_to_one_tick() {
         let mut rng = Prng::seed_from_u64(4);
-        let set = generate_task_set(&mut rng, &params(5, 0.001, DeadlinePolicy::Implicit))
-            .unwrap();
+        let set = generate_task_set(&mut rng, &params(5, 0.001, DeadlinePolicy::Implicit)).unwrap();
         for (_, task) in set.iter() {
             assert!(task.c >= t(1));
         }

@@ -10,9 +10,7 @@
 //! ```
 
 use profirt::base::{MessageStream, StreamSet, TaskSet, Time};
-use profirt::core::{
-    EndToEndAnalysis, JitterModel, MasterConfig, NetworkConfig, TaskSegments,
-};
+use profirt::core::{EndToEndAnalysis, JitterModel, MasterConfig, NetworkConfig, TaskSegments};
 use profirt::profibus::{BusParams, MessageCycleSpec, TokenPassTime};
 use profirt::sched::fixed::PriorityMap;
 
@@ -24,10 +22,7 @@ fn main() {
         bus.ttr,
         bus.ticks_to_micros(bus.ttr)
     );
-    println!(
-        "token pass costs {} bit times\n",
-        TokenPassTime::time(&bus)
-    );
+    println!("token pass costs {} bit times\n", TokenPassTime::time(&bus));
 
     // --- Message cycles priced from payload sizes ------------------------
     // Drive setpoint: 8 bytes out, 12 bytes status back, every 8 ms.
@@ -36,10 +31,25 @@ fn main() {
     let drive = MessageCycleSpec::srd_sd2(8, 12).worst_case_time(&bus);
     let gripper = MessageCycleSpec::srd_sd2(4, 4).worst_case_time(&bus);
     let scanner = MessageCycleSpec::srd_sd2(2, 32).worst_case_time(&bus);
-    println!("message cycles (worst case incl. {} retries):", bus.max_retry);
-    println!("  drive   : {} bit times ({:.0} us)", drive, bus.ticks_to_micros(drive));
-    println!("  gripper : {} bit times ({:.0} us)", gripper, bus.ticks_to_micros(gripper));
-    println!("  scanner : {} bit times ({:.0} us)", scanner, bus.ticks_to_micros(scanner));
+    println!(
+        "message cycles (worst case incl. {} retries):",
+        bus.max_retry
+    );
+    println!(
+        "  drive   : {} bit times ({:.0} us)",
+        drive,
+        bus.ticks_to_micros(drive)
+    );
+    println!(
+        "  gripper : {} bit times ({:.0} us)",
+        gripper,
+        bus.ticks_to_micros(gripper)
+    );
+    println!(
+        "  scanner : {} bit times ({:.0} us)",
+        scanner,
+        bus.ticks_to_micros(scanner)
+    );
 
     let ms = |us: f64| bus.micros_to_ticks(us * 1_000.0);
     let plc_streams = StreamSet::new(vec![

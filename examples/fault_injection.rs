@@ -10,16 +10,11 @@ use profirt::base::{StreamSet, Time};
 use profirt::core::{low_priority_outlook, DmAnalysis, MasterConfig, NetworkConfig};
 use profirt::profibus::QueuePolicy;
 use profirt::sim::{
-    simulate_network, simulate_network_traced, NetworkSimConfig, SimMaster,
-    SimNetwork,
+    simulate_network, simulate_network_traced, NetworkSimConfig, SimMaster, SimNetwork,
 };
 
 fn main() {
-    let streams = StreamSet::from_cdt(&[
-        (700, 25_000, 30_000),
-        (500, 60_000, 80_000),
-    ])
-    .unwrap();
+    let streams = StreamSet::from_cdt(&[(700, 25_000, 30_000), (500, 60_000, 80_000)]).unwrap();
     let net = SimNetwork {
         masters: vec![
             SimMaster::priority_queued(streams.clone(), QueuePolicy::DeadlineMonotonic),
@@ -83,7 +78,10 @@ fn main() {
 
     // --- 3. Cycle undershoot anomaly --------------------------------------
     println!("\ncycle-undershoot sweep (shorter cycles are NOT always better):");
-    println!("{:<12} {:>14} {:>14}", "undershoot", "max resp S0", "max resp S1");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "undershoot", "max resp S0", "max resp S1"
+    );
     for v in [0.0, 0.2, 0.5, 0.9] {
         let obs = simulate_network(
             &net,

@@ -9,9 +9,7 @@
 use profirt::base::{Prng, Time};
 use profirt::core::{compare_policies, DmAnalysis, EdfAnalysis};
 use profirt::profibus::BusParams;
-use profirt::workload::{
-    generate_network, NetGenParams, PeriodRange, StreamGenParams,
-};
+use profirt::workload::{generate_network, NetGenParams, PeriodRange, StreamGenParams};
 
 fn main() {
     let bus = BusParams::profile_500k();
@@ -46,12 +44,8 @@ fn main() {
             let net = generate_network(&mut rng, &bus, &params)
                 .expect("generation")
                 .config;
-            let cmp = compare_policies(
-                &net,
-                &DmAnalysis::conservative(),
-                &EdfAnalysis::paper(),
-            )
-            .expect("analysis");
+            let cmp = compare_policies(&net, &DmAnalysis::conservative(), &EdfAnalysis::paper())
+                .expect("analysis");
             if cmp.fcfs.all_schedulable() {
                 ok.0 += 1;
             }

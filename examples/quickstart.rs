@@ -7,8 +7,8 @@
 
 use profirt::base::{StreamSet, Time};
 use profirt::core::{
-    compare_policies, max_feasible_ttr, DmAnalysis, EdfAnalysis, MasterConfig,
-    NetworkConfig, TcycleModel,
+    compare_policies, max_feasible_ttr, DmAnalysis, EdfAnalysis, MasterConfig, NetworkConfig,
+    TcycleModel,
 };
 use profirt::profibus::QueuePolicy;
 use profirt::sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
@@ -38,9 +38,15 @@ fn main() {
     // --- 2. Worst-case response times under FCFS / DM / EDF --------------
     let cmp = compare_policies(&net, &DmAnalysis::conservative(), &EdfAnalysis::paper())
         .expect("analysis");
-    println!("Tcycle bound: {} bit times (Tdel = {})", cmp.fcfs.tcycle, cmp.fcfs.tdel);
+    println!(
+        "Tcycle bound: {} bit times (Tdel = {})",
+        cmp.fcfs.tcycle, cmp.fcfs.tdel
+    );
     println!();
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "stream", "deadline", "FCFS", "DM", "EDF");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "stream", "deadline", "FCFS", "DM", "EDF"
+    );
     for row in cmp.rows() {
         println!(
             "M{}/S{:<4} {:>10} {:>10} {:>10} {:>10}",
@@ -49,17 +55,24 @@ fn main() {
             row.deadline.ticks(),
             row.fcfs.ticks(),
             row.dm.ticks(),
-            row.edf.map(|t| t.ticks().to_string()).unwrap_or_else(|| "-".into()),
+            row.edf
+                .map(|t| t.ticks().to_string())
+                .unwrap_or_else(|| "-".into()),
         );
     }
     let (f, d, e) = cmp.schedulable_counts();
-    println!("\nschedulable streams: FCFS {f}/4, DM {d}/4, EDF {:?}/4", e.unwrap_or(0));
+    println!(
+        "\nschedulable streams: FCFS {f}/4, DM {d}/4, EDF {:?}/4",
+        e.unwrap_or(0)
+    );
 
     // --- 3. Set the TTR parameter from deadlines (eq. (15)) --------------
     let setting = max_feasible_ttr(&net, TcycleModel::Paper);
     match setting.max_ttr {
-        Some(ttr) => println!("largest FCFS-feasible TTR: {} (binding stream M{}/S{})",
-            ttr, setting.binding.0, setting.binding.1),
+        Some(ttr) => println!(
+            "largest FCFS-feasible TTR: {} (binding stream M{}/S{})",
+            ttr, setting.binding.0, setting.binding.1
+        ),
         None => println!("no TTR makes the FCFS configuration feasible"),
     }
 
@@ -73,8 +86,11 @@ fn main() {
         token_pass: Time::new(166),
     };
     let obs = simulate_network(&sim_net, &NetworkSimConfig::default());
-    println!("\nsimulated {} token visits; max observed TRR = {}",
-        obs.token_visits.iter().sum::<u64>(), obs.max_trr_overall());
+    println!(
+        "\nsimulated {} token visits; max observed TRR = {}",
+        obs.token_visits.iter().sum::<u64>(),
+        obs.max_trr_overall()
+    );
     let mut all_bounded = true;
     for (k, master_obs) in obs.streams.iter().enumerate() {
         for (i, o) in master_obs.iter().enumerate() {
@@ -89,6 +105,9 @@ fn main() {
             );
         }
     }
-    assert!(all_bounded, "a simulated response exceeded its analytical bound");
+    assert!(
+        all_bounded,
+        "a simulated response exceeded its analytical bound"
+    );
     println!("\nall observations within analytical bounds ✓");
 }

@@ -9,9 +9,7 @@
 //! ```
 
 use profirt::base::{StreamSet, Time};
-use profirt::core::{
-    max_feasible_ttr, FcfsAnalysis, MasterConfig, NetworkConfig, TcycleModel,
-};
+use profirt::core::{max_feasible_ttr, FcfsAnalysis, MasterConfig, NetworkConfig, TcycleModel};
 use profirt::sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
 
 fn main() {
@@ -19,8 +17,7 @@ fn main() {
     // the token lateness.
     let masters = vec![
         MasterConfig::new(
-            StreamSet::from_cdt(&[(700, 20_000, 40_000), (500, 60_000, 60_000)])
-                .unwrap(),
+            StreamSet::from_cdt(&[(700, 20_000, 40_000), (500, 60_000, 60_000)]).unwrap(),
             Time::new(0),
         ),
         MasterConfig::new(
@@ -48,7 +45,10 @@ fn main() {
     let ttr_star = setting.max_ttr.expect("feasible configuration");
 
     // --- Feasibility sweep around the optimum ----------------------------
-    println!("\n{:<12} {:>10} {:>12} {:>14}", "TTR", "Tcycle", "schedulable", "worst R/D");
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>14}",
+        "TTR", "Tcycle", "schedulable", "worst R/D"
+    );
     for factor in [0.25, 0.5, 0.75, 1.0, 1.05, 1.5, 2.0] {
         let ttr = Time::new(((ttr_star.ticks() as f64) * factor) as i64).max(Time::ONE);
         let net = NetworkConfig::new(masters.clone(), ttr).unwrap();
@@ -91,7 +91,11 @@ fn main() {
         ttr_star,
         obs.max_trr_overall(),
         an_star.tcycle,
-        if obs.max_trr_overall() <= an_star.tcycle { "OK" } else { "VIOLATION" }
+        if obs.max_trr_overall() <= an_star.tcycle {
+            "OK"
+        } else {
+            "VIOLATION"
+        }
     );
     assert!(obs.max_trr_overall() <= an_star.tcycle);
     assert!(obs.no_misses(), "analysis promised schedulability");

@@ -18,15 +18,15 @@
 //! }
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use profirt::base::{MessageStream, StreamSet, Time};
 use profirt::core::{MasterConfig, NetworkConfig};
 use profirt::profibus::QueuePolicy;
 use profirt::sim::{SimMaster, SimNetwork};
 
+use crate::json::{self, Value};
+
 /// One stream entry.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CliStream {
     /// Worst-case message-cycle time `Ch`.
     pub ch: i64,
@@ -35,21 +35,17 @@ pub struct CliStream {
     /// Period `Th`.
     pub t: i64,
     /// Release jitter `J` (defaults to 0).
-    #[serde(default)]
     pub j: i64,
 }
 
 /// One master entry.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CliMaster {
     /// Longest low-priority message cycle `Cl` (defaults to 0).
-    #[serde(default)]
     pub cl: i64,
     /// AP-queue policy: `"fcfs"`, `"dm"` or `"edf"` (defaults to `"fcfs"`).
-    #[serde(default = "default_policy")]
     pub policy: String,
     /// Stack-queue capacity (defaults to 1 for dm/edf, unbounded for fcfs).
-    #[serde(default)]
     pub stack_capacity: Option<usize>,
     /// High-priority streams.
     pub streams: Vec<CliStream>,
@@ -60,13 +56,12 @@ fn default_policy() -> String {
 }
 
 /// The whole network file.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CliNetwork {
     /// Target token rotation time `TTR`.
     pub ttr: i64,
     /// Per-hop token pass time used by the simulator and the overhead-aware
     /// bounds (defaults to 166 = SD4 + TSYN + TID2 at 500 kbit/s).
-    #[serde(default = "default_token_pass")]
     pub token_pass: i64,
     /// Masters in ring order.
     pub masters: Vec<CliMaster>,
@@ -76,15 +71,127 @@ fn default_token_pass() -> i64 {
     166
 }
 
+fn field_i64(obj: &Value, key: &str, default: Option<i64>) -> Result<i64, String> {
+    match obj.get(key) {
+        Some(v) => v
+            .as_i64()
+            .ok_or(format!("field {key:?} must be an integer")),
+        None => default.ok_or(format!("missing field {key:?}")),
+    }
+}
+
+impl CliStream {
+    fn from_json(v: &Value) -> Result<CliStream, String> {
+        Ok(CliStream {
+            ch: field_i64(v, "ch", None)?,
+            d: field_i64(v, "d", None)?,
+            t: field_i64(v, "t", None)?,
+            j: field_i64(v, "j", Some(0))?,
+        })
+    }
+
+    fn to_json(self) -> Value {
+        json::object([
+            ("ch", Value::Int(self.ch)),
+            ("d", Value::Int(self.d)),
+            ("t", Value::Int(self.t)),
+            ("j", Value::Int(self.j)),
+        ])
+    }
+}
+
+impl CliMaster {
+    fn from_json(v: &Value) -> Result<CliMaster, String> {
+        let policy = match v.get("policy") {
+            Some(p) => p
+                .as_str()
+                .ok_or("field \"policy\" must be a string")?
+                .to_string(),
+            None => default_policy(),
+        };
+        let stack_capacity = match v.get("stack_capacity") {
+            Some(Value::Null) | None => None,
+            Some(c) => Some(
+                usize::try_from(
+                    c.as_i64()
+                        .ok_or("field \"stack_capacity\" must be an integer")?,
+                )
+                .map_err(|_| "field \"stack_capacity\" must be non-negative")?,
+            ),
+        };
+        let streams = v
+            .get("streams")
+            .ok_or("missing field \"streams\"")?
+            .as_array()
+            .ok_or("field \"streams\" must be an array")?
+            .iter()
+            .map(CliStream::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CliMaster {
+            cl: field_i64(v, "cl", Some(0))?,
+            policy,
+            stack_capacity,
+            streams,
+        })
+    }
+
+    fn to_json(&self) -> Value {
+        json::object([
+            ("cl", Value::Int(self.cl)),
+            ("policy", Value::Str(self.policy.clone())),
+            (
+                "stack_capacity",
+                match self.stack_capacity {
+                    Some(c) => Value::Int(c as i64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "streams",
+                Value::Array(self.streams.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
 impl CliNetwork {
     /// Loads and validates a config file.
     pub fn load(path: &str) -> Result<CliNetwork, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
-        let net: CliNetwork = serde_json::from_str(&text)
-            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let net = Self::from_json_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
         net.validate()?;
         Ok(net)
+    }
+
+    /// Parses the JSON document (no semantic validation).
+    pub fn from_json_str(text: &str) -> Result<CliNetwork, String> {
+        let doc = json::parse(text)?;
+        let masters = doc
+            .get("masters")
+            .ok_or("missing field \"masters\"")?
+            .as_array()
+            .ok_or("field \"masters\" must be an array")?
+            .iter()
+            .map(CliMaster::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CliNetwork {
+            ttr: field_i64(&doc, "ttr", None)?,
+            token_pass: field_i64(&doc, "token_pass", Some(default_token_pass()))?,
+            masters,
+        })
+    }
+
+    /// Serialises back to pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        json::object([
+            ("ttr", Value::Int(self.ttr)),
+            ("token_pass", Value::Int(self.token_pass)),
+            (
+                "masters",
+                Value::Array(self.masters.iter().map(|m| m.to_json()).collect()),
+            ),
+        ])
+        .pretty()
     }
 
     /// Schema-level validation beyond what the analysis types enforce.
@@ -208,5 +315,5 @@ pub fn example_json() -> String {
             },
         ],
     };
-    serde_json::to_string_pretty(&example).expect("example serialises")
+    example.to_json_string()
 }

@@ -12,6 +12,7 @@
 //! `profirt example-config`); all times are in ticks (bit times).
 
 mod config_file;
+mod json;
 mod output;
 
 use std::process::ExitCode;

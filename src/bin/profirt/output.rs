@@ -2,8 +2,7 @@
 
 use profirt::base::Time;
 use profirt::core::{
-    max_feasible_ttr, DmAnalysis, EdfAnalysis, FcfsAnalysis, NetworkAnalysis,
-    TcycleModel,
+    max_feasible_ttr, DmAnalysis, EdfAnalysis, FcfsAnalysis, NetworkAnalysis, TcycleModel,
 };
 use profirt::sim::{simulate_network, NetworkSimConfig};
 
@@ -92,7 +91,9 @@ pub fn ttr(net: &CliNetwork, model: TcycleModel) -> Result<(), String> {
                 ttr, setting.binding.0, setting.binding.1
             );
             let tuned = config.with_ttr(ttr).map_err(|e| e.to_string())?;
-            let an = FcfsAnalysis::paper().run(&tuned).map_err(|e| e.to_string())?;
+            let an = FcfsAnalysis::paper()
+                .run(&tuned)
+                .map_err(|e| e.to_string())?;
             println!(
                 "verification at TTR*: {}/{} streams schedulable",
                 an.schedulable_count(),
@@ -140,15 +141,11 @@ pub fn simulate(net: &CliNetwork, horizon: i64, seed: u64) -> Result<(), String>
         let policy = net.policy_of(k)?;
         for (i, o) in rows.iter().enumerate() {
             let bound = match policy {
-                profirt::profibus::QueuePolicy::Fcfs => {
-                    fcfs.as_ref().map(|a| a.masters[k][i])
-                }
+                profirt::profibus::QueuePolicy::Fcfs => fcfs.as_ref().map(|a| a.masters[k][i]),
                 profirt::profibus::QueuePolicy::DeadlineMonotonic => {
                     dm.as_ref().map(|a| a.masters[k][i])
                 }
-                profirt::profibus::QueuePolicy::Edf => {
-                    edf.as_ref().map(|a| a.masters[k][i])
-                }
+                profirt::profibus::QueuePolicy::Edf => edf.as_ref().map(|a| a.masters[k][i]),
             };
             let (bound_str, ok) = match bound {
                 Some(b) if b.schedulable => {

@@ -6,8 +6,7 @@ use profirt::base::{Prng, Time};
 use profirt::core::{DmAnalysis, EdfAnalysis, FcfsAnalysis, NetworkAnalysis};
 use profirt::profibus::{BusParams, QueuePolicy};
 use profirt::sim::{
-    simulate_network, JitterInjection, NetworkSimConfig, OffsetMode, SimMaster,
-    SimNetwork,
+    simulate_network, JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork,
 };
 use profirt::workload::{
     generate_network, GeneratedNetwork, NetGenParams, PeriodRange, StreamGenParams,
@@ -21,11 +20,7 @@ fn gen(seed: u64) -> GeneratedNetwork {
             nh: 3,
             req_payload: (2, 16),
             resp_payload: (2, 32),
-            periods: PeriodRange::new(
-                Time::new(80_000),
-                Time::new(800_000),
-                Time::new(100),
-            ),
+            periods: PeriodRange::new(Time::new(80_000), Time::new(800_000), Time::new(100)),
             deadline_frac: (0.5, 1.0),
         },
         low_priority_prob: 0.4,

@@ -27,8 +27,7 @@ fn example_config_round_trips_through_analyze() {
     let (ok, stdout, _) = profirt(&["example-config"]);
     assert!(ok);
     let path = write_config("example.json", &stdout);
-    let (ok, stdout, stderr) =
-        profirt(&["analyze", path.to_str().unwrap(), "--policy", "all"]);
+    let (ok, stdout, stderr) = profirt(&["analyze", path.to_str().unwrap(), "--policy", "all"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("FCFS (eq. 11)"));
     assert!(stdout.contains("DM conservative"));
@@ -42,12 +41,7 @@ fn ttr_subcommand_reports_feasible_setting() {
     let (ok, stdout, _) = profirt(&["ttr", path.to_str().unwrap()]);
     assert!(ok);
     assert!(stdout.contains("largest FCFS-feasible TTR"));
-    let (ok, stdout, _) = profirt(&[
-        "ttr",
-        path.to_str().unwrap(),
-        "--model",
-        "refined",
-    ]);
+    let (ok, stdout, _) = profirt(&["ttr", path.to_str().unwrap(), "--model", "refined"]);
     assert!(ok);
     assert!(stdout.contains("Refined"));
 }

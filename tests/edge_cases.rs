@@ -3,8 +3,8 @@
 
 use profirt::base::{AnalysisError, MessageStream, StreamSet, Time};
 use profirt::core::{
-    compare_policies, low_priority_outlook, max_feasible_ttr, DmAnalysis,
-    EdfAnalysis, FcfsAnalysis, MasterConfig, NetworkConfig, TcycleModel,
+    compare_policies, low_priority_outlook, max_feasible_ttr, DmAnalysis, EdfAnalysis,
+    FcfsAnalysis, MasterConfig, NetworkConfig, TcycleModel,
 };
 use profirt::profibus::QueuePolicy;
 use profirt::sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
@@ -65,10 +65,8 @@ fn deadline_longer_than_period_streams_are_analysable() {
     let net = NetworkConfig::new(
         vec![MasterConfig::new(
             StreamSet::new(vec![
-                MessageStream::new(Time::new(100), Time::new(50_000), Time::new(10_000))
-                    .unwrap(),
-                MessageStream::new(Time::new(100), Time::new(8_000), Time::new(10_000))
-                    .unwrap(),
+                MessageStream::new(Time::new(100), Time::new(50_000), Time::new(10_000)).unwrap(),
+                MessageStream::new(Time::new(100), Time::new(8_000), Time::new(10_000)).unwrap(),
             ])
             .unwrap(),
             Time::ZERO,
@@ -79,9 +77,7 @@ fn deadline_longer_than_period_streams_are_analysable() {
     let dm = DmAnalysis::conservative().analyze(&net).unwrap();
     assert_eq!(dm.masters[0].len(), 2);
     // The tight stream is DM-highest despite its index.
-    assert!(
-        dm.masters[0][1].response_time <= dm.masters[0][0].response_time
-    );
+    assert!(dm.masters[0][1].response_time <= dm.masters[0][0].response_time);
 }
 
 #[test]
@@ -119,12 +115,7 @@ fn sixteen_master_ring_simulates_and_analyses() {
     let net = NetworkConfig::new(masters, Time::new(8_000))
         .unwrap()
         .with_token_pass(Time::new(166));
-    let cmp = compare_policies(
-        &net,
-        &DmAnalysis::conservative(),
-        &EdfAnalysis::paper(),
-    )
-    .unwrap();
+    let cmp = compare_policies(&net, &DmAnalysis::conservative(), &EdfAnalysis::paper()).unwrap();
     assert_eq!(cmp.rows().len(), 16);
 
     let sim_net = SimNetwork {
@@ -165,8 +156,7 @@ fn stream_deadline_below_tcycle_is_always_unschedulable() {
 
 #[test]
 fn mixed_policies_across_masters_simulate() {
-    let s0 = StreamSet::from_cdt(&[(300, 30_000, 40_000), (300, 90_000, 100_000)])
-        .unwrap();
+    let s0 = StreamSet::from_cdt(&[(300, 30_000, 40_000), (300, 90_000, 100_000)]).unwrap();
     let s1 = StreamSet::from_cdt(&[(400, 50_000, 60_000)]).unwrap();
     let net = SimNetwork {
         masters: vec![

@@ -3,14 +3,12 @@
 
 use profirt::base::{StreamSet, TaskSet, Time};
 use profirt::core::{
-    inherit_jitter, jitter::with_inherited_jitter, DmAnalysis, EdfAnalysis,
-    EndToEndAnalysis, JitterModel, MasterConfig, NetworkConfig, TaskSegments,
+    inherit_jitter, jitter::with_inherited_jitter, DmAnalysis, EdfAnalysis, EndToEndAnalysis,
+    JitterModel, MasterConfig, NetworkConfig, TaskSegments,
 };
 use profirt::profibus::QueuePolicy;
 use profirt::sched::fixed::PriorityMap;
-use profirt::sim::{
-    simulate_network, JitterInjection, NetworkSimConfig, SimMaster, SimNetwork,
-};
+use profirt::sim::{simulate_network, JitterInjection, NetworkSimConfig, SimMaster, SimNetwork};
 
 fn host() -> TaskSet {
     TaskSet::from_cdt(&[

@@ -2,17 +2,14 @@
 //! cycle undershoot, recovery accounting under token loss, and trace
 //! consistency.
 
+use profirt::base::Prng;
 use profirt::base::Time;
 use profirt::core::{low_priority_outlook, DmAnalysis, FcfsAnalysis};
 use profirt::profibus::{token_recovery_timeout, BusParams, QueuePolicy};
 use profirt::sim::{
-    simulate_network, simulate_network_traced, NetworkSimConfig, SimMaster,
-    SimNetwork, TraceEvent,
+    simulate_network, simulate_network_traced, NetworkSimConfig, SimMaster, SimNetwork, TraceEvent,
 };
-use profirt::workload::{
-    generate_network, NetGenParams, PeriodRange, StreamGenParams,
-};
-use profirt::base::Prng;
+use profirt::workload::{generate_network, NetGenParams, PeriodRange, StreamGenParams};
 
 fn gen(seed: u64) -> (profirt::core::NetworkConfig, SimNetwork) {
     let params = NetGenParams {
@@ -21,11 +18,7 @@ fn gen(seed: u64) -> (profirt::core::NetworkConfig, SimNetwork) {
             nh: 3,
             req_payload: (2, 16),
             resp_payload: (2, 32),
-            periods: PeriodRange::new(
-                Time::new(80_000),
-                Time::new(800_000),
-                Time::new(100),
-            ),
+            periods: PeriodRange::new(Time::new(80_000), Time::new(800_000), Time::new(100)),
             deadline_frac: (0.8, 1.0),
         },
         low_priority_prob: 0.3,
@@ -42,8 +35,7 @@ fn gen(seed: u64) -> (profirt::core::NetworkConfig, SimNetwork) {
             .iter()
             .zip(&g.low_priority)
             .map(|(s, lp)| {
-                let mut m =
-                    SimMaster::priority_queued(s.clone(), QueuePolicy::DeadlineMonotonic);
+                let mut m = SimMaster::priority_queued(s.clone(), QueuePolicy::DeadlineMonotonic);
                 m.low_priority = lp.clone();
                 m
             })

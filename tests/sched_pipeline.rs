@@ -7,8 +7,8 @@ use profirt::sched::edf::{
     edf_feasible_preemptive, edf_response_times, DemandConfig, EdfRtaConfig,
 };
 use profirt::sched::fixed::{
-    np_response_times, response_times, rm_utilization_schedulable, NpFixedConfig,
-    PriorityMap, RtaConfig,
+    np_response_times, response_times, rm_utilization_schedulable, NpFixedConfig, PriorityMap,
+    RtaConfig,
 };
 use profirt::sim::{simulate_cpu, CpuPolicy, CpuSimConfig};
 use profirt::workload::{generate_task_set, DeadlinePolicy, PeriodRange, TaskGenParams};
@@ -98,11 +98,7 @@ fn edf_rta_bounds_dominate_edf_simulation_with_offset_sweep() {
         // EDF worst cases need asynchronous patterns: sweep random offsets.
         for trial in 0..6u64 {
             let mut orng = Prng::seed_from_u64(seed * 100 + trial);
-            let offsets: Vec<Time> = set
-                .tasks()
-                .iter()
-                .map(|t| orng.time_in(t.t))
-                .collect();
+            let offsets: Vec<Time> = set.tasks().iter().map(|t| orng.time_in(t.t)).collect();
             let sim = simulate_cpu(
                 &set,
                 None,
@@ -132,11 +128,7 @@ fn utilization_test_agrees_with_rta_and_simulation() {
     for seed in 0..40u64 {
         let mut rng = Prng::seed_from_u64(3_000 + seed);
         let u = 0.3 + 0.6 * (seed as f64 / 40.0);
-        let set = generate_task_set(
-            &mut rng,
-            &params(4, u),
-        )
-        .unwrap();
+        let set = generate_task_set(&mut rng, &params(4, u)).unwrap();
         let pm = PriorityMap::rate_monotonic(&set);
         if rm_utilization_schedulable(&set).is_schedulable() {
             accepted += 1;
@@ -156,7 +148,10 @@ fn utilization_test_agrees_with_rta_and_simulation() {
             assert!(sim.no_misses());
         }
     }
-    assert!(accepted > 5, "LL test accepted too few sets to be meaningful");
+    assert!(
+        accepted > 5,
+        "LL test accepted too few sets to be meaningful"
+    );
 }
 
 #[test]

@@ -1,0 +1,75 @@
+//! Workspace smoke test: every crate re-exported through the `profirt`
+//! facade must link, and a trivial end-to-end FCFS analysis must succeed.
+//!
+//! This is the canary for manifest regressions — if a facade re-export or
+//! an inter-crate dependency edge breaks, this file stops compiling before
+//! any deeper test runs.
+
+use profirt::base::{Prng, StreamSet, Time};
+use profirt::core::{FcfsAnalysis, MasterConfig, NetworkConfig};
+use profirt::profibus::{BusParams, QueuePolicy};
+use profirt::sched::FixpointConfig;
+use profirt::sim::{simulate_network, NetworkSimConfig, SimMaster, SimNetwork};
+use profirt::workload::{generate_stream_set, PeriodRange, StreamGenParams};
+
+/// One symbol from each re-exported crate, proving all six link.
+#[test]
+fn every_facade_crate_links() {
+    // base
+    let t = Time::new(42);
+    assert_eq!(t.ticks(), 42);
+    // sched
+    let fixpoint = FixpointConfig::default();
+    let _ = format!("{fixpoint:?}");
+    // profibus
+    assert_ne!(QueuePolicy::Fcfs, QueuePolicy::Edf);
+    // workload (seeded, deterministic)
+    let params = StreamGenParams {
+        nh: 4,
+        req_payload: (2, 32),
+        resp_payload: (2, 64),
+        periods: PeriodRange::new(Time::new(20_000), Time::new(2_000_000), Time::new(100)),
+        deadline_frac: (0.5, 1.0),
+    };
+    let bus = BusParams::profile_500k();
+    let streams = generate_stream_set(&mut Prng::seed_from_u64(7), &bus, &params);
+    assert!(streams.is_ok(), "workload generator failed: {streams:?}");
+    // sim: one short horizon on a single-master network
+    let set = StreamSet::from_cdt(&[(300, 30_000, 30_000)]).unwrap();
+    let net = SimNetwork {
+        masters: vec![SimMaster::stock(set)],
+        ttr: Time::new(3_000),
+        token_pass: Time::new(166),
+    };
+    let cfg = NetworkSimConfig {
+        horizon: Time::new(100_000),
+        ..Default::default()
+    };
+    let observed = simulate_network(&net, &cfg);
+    assert!(observed.max_trr_overall() >= Time::ZERO);
+}
+
+/// The paper's eq. (11) FCFS bound on a two-master network returns `Ok`
+/// and marks every stream schedulable.
+#[test]
+fn trivial_fcfs_analysis_returns_ok() {
+    let m0 = MasterConfig::new(
+        StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 60_000, 60_000)]).unwrap(),
+        Time::new(360),
+    );
+    let m1 = MasterConfig::new(
+        StreamSet::from_cdt(&[(300, 45_000, 45_000)]).unwrap(),
+        Time::new(300),
+    );
+    let net = NetworkConfig::new(vec![m0, m1], Time::new(3_000)).unwrap();
+
+    let analysis = FcfsAnalysis::analyze(&net).expect("FCFS analysis succeeds");
+    assert_eq!(analysis.masters.len(), 2);
+    assert!(
+        analysis.all_schedulable(),
+        "quickstart network must be FCFS-schedulable"
+    );
+    for row in analysis.iter() {
+        assert!(row.response_time > Time::ZERO);
+    }
+}

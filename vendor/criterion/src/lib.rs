@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the `profirt_bench` benches use —
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::new`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!` — as a plain wall-clock harness.
+//! Each benchmark is warmed up briefly, then timed over `sample_size`
+//! samples; the mean, min, and max per-iteration times are printed in a
+//! criterion-like one-line format. No statistics, plotting, or baseline
+//! storage.
+//!
+//! `--bench`, `--test`, and name-filter CLI arguments are accepted so
+//! `cargo bench` / `cargo test --benches` invocations behave: in test mode
+//! every benchmark body runs exactly once (a smoke run).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Two-part id, rendered as `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    smoke_only: bool,
+    /// Mean/min/max per-iteration nanoseconds, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            self.result = Some((0.0, 0.0, 0.0));
+            return;
+        }
+
+        // Warm-up: run until ~20ms have elapsed to settle caches/branch
+        // predictors, and estimate a per-iteration cost for batching.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Size each sample at ~2ms of work (at least one iteration).
+        let batch = ((2e6 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut mean_acc = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            mean_acc += ns;
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        self.result = Some((mean_acc / self.samples as f64, min, max));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: Option<usize>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group only (min 10 in
+    /// the real crate; here any positive value is accepted).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Accepted for compatibility; this harness sizes samples internally.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (output is flushed per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo bench` invokes the binary with `--bench`; `cargo test
+        // --benches` and direct invocation pass no mode flag at all, so —
+        // like real criterion — anything without `--bench` is a smoke run
+        // executing each body once. Any free argument is a substring filter.
+        let smoke_only = !args.iter().any(|a| a == "--bench");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Self {
+            sample_size: 30,
+            smoke_only,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        self.run_one(&full, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        full_name: &str,
+        samples: Option<usize>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: samples.unwrap_or(self.sample_size),
+            smoke_only: self.smoke_only,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(_) if self.smoke_only => println!("{full_name}: ok (smoke run)"),
+            Some((mean, min, max)) => println!(
+                "{full_name}: time [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            ),
+            None => println!("{full_name}: no measurement recorded"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a group function that runs each target with a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container cannot reach crates.io, so this crate provides just enough
+//! of serde's public face for the workspace to compile: the two derive
+//! macros (re-exported from the local no-op `serde_derive`) and empty
+//! marker traits so `T: Serialize` style bounds would still name-resolve.
+//!
+//! Actual JSON (de)serialisation for the `profirt` CLI lives in
+//! `src/bin/profirt/json.rs`, which does not go through serde at all.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive does not
+/// implement it; nothing in this workspace takes it as a bound.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Mirror of `serde::de` with the commonly-bound alias.
+pub mod de {
+    /// Marker alias mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched. Throughout this workspace the `Serialize`/`Deserialize` derives
+//! are only ever used as inert annotations (the one real serialisation
+//! consumer, the `profirt` CLI, uses the hand-rolled JSON codec in
+//! `src/bin/profirt/json.rs`). These derives therefore accept the same
+//! syntax as the real macros — including `#[serde(...)]` helper attributes —
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
