@@ -1,10 +1,20 @@
-//! Minimal JSON support for the CLI's config files.
+//! Minimal JSON support shared by the CLI and the campaign engine.
 //!
-//! The build environment cannot fetch serde_json, and the config schema is
-//! four small structs, so the binary carries its own parser and pretty
-//! printer. Supported: objects, arrays, strings (with the standard
-//! escapes), integers, floats, booleans, and null — the full JSON grammar
-//! minus exotic number forms (`1e99` parses via `f64`).
+//! The build environment cannot fetch serde_json, and every on-disk schema
+//! in this workspace is a handful of small structs, so the workspace
+//! carries its own parser and pretty printer. Supported: objects, arrays,
+//! strings (with the standard escapes), integers, floats, booleans, and
+//! null — the full JSON grammar minus exotic number forms (`1e99` parses
+//! via `f64`).
+//!
+//! ```
+//! use profirt_base::json::{parse, Value};
+//!
+//! let doc = parse(r#"{"ttr": 2000, "masters": [1, 2]}"#).unwrap();
+//! assert_eq!(doc.get("ttr").and_then(Value::as_i64), Some(2000));
+//! let again = parse(&doc.pretty()).unwrap();
+//! assert_eq!(doc, again);
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -12,15 +22,19 @@ use std::fmt::Write as _;
 /// A parsed JSON document.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
-    /// Integral numbers (the config schema is all ticks).
+    /// Integral numbers (the config schemas are mostly ticks).
     Int(i64),
     /// Non-integral numbers.
     Float(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Array(Vec<Value>),
-    /// Key order is normalised; the CLI schema never relies on it.
+    /// Key order is normalised; no workspace schema relies on it.
     Object(BTreeMap<String, Value>),
 }
 
@@ -42,6 +56,15 @@ impl Value {
         }
     }
 
+    /// Floating-point view (accepts integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
     /// String view.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -50,10 +73,26 @@ impl Value {
         }
     }
 
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Array view.
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
             _ => None,
         }
     }
@@ -245,7 +284,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             .ok_or("truncated \\u escape")?;
                         let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
                         let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        // Surrogate pairs are not needed by the CLI schema.
+                        // Surrogate pairs are not needed by any schema here.
                         out.push(char::from_u32(code).ok_or("bad \\u code point")?);
                         *pos += 4;
                     }
@@ -345,6 +384,17 @@ mod tests {
         assert!(parse("").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse(r#"{"unclosed": "#).is_err());
+    }
+
+    #[test]
+    fn typed_views() {
+        let v = parse(r#"{"i": 3, "f": 1.5, "s": "x", "b": true, "a": []}"#).unwrap();
+        assert_eq!(v.get("i").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("f").unwrap().as_i64(), None);
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_array(), Some(&[][..]));
+        assert_eq!(v.as_object().unwrap().len(), 5);
     }
 
     #[test]

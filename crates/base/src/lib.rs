@@ -17,6 +17,9 @@
 //! * Error types for every analysis (divergent fixpoints, invalid models,
 //!   arithmetic overflow) — analyses return `Result`, they never panic on
 //!   user input.
+//! * [`json`] — a dependency-free JSON parser / pretty printer shared by
+//!   the CLI config files and the campaign engine (this build environment
+//!   has no crates.io access, so serde_json is not an option).
 //!
 //! The crate is `#![forbid(unsafe_code)]` and dependency-light by design.
 
@@ -26,6 +29,7 @@
 pub mod bignat;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod num;
 pub mod priority;
 pub mod rng;

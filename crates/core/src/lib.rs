@@ -21,6 +21,8 @@
 //! * [`end_to_end`] — the `E = g + Q + C + d` decomposition of §4.2.
 //! * [`compare`] — FCFS vs DM vs EDF side-by-side on one network (the
 //!   paper's headline comparison).
+//! * [`policy`] — [`PolicyKind`], the uniform name → (analysis, simulator
+//!   queue discipline) dispatch used by the CLI and the campaign engine.
 //!
 //! ## Fidelity switches
 //!
@@ -42,6 +44,7 @@ pub mod end_to_end;
 pub mod fcfs;
 pub mod jitter;
 pub mod low_priority;
+pub mod policy;
 pub mod tcycle;
 pub mod ttr;
 
@@ -53,6 +56,7 @@ pub use end_to_end::{EndToEndAnalysis, EndToEndBreakdown, TaskSegments};
 pub use fcfs::FcfsAnalysis;
 pub use jitter::{inherit_jitter, JitterModel};
 pub use low_priority::{low_priority_outlook, LowPriorityOutlook};
+pub use policy::PolicyKind;
 pub use tcycle::{TcycleBound, TcycleModel};
 pub use ttr::{max_feasible_ttr, TtrSetting};
 

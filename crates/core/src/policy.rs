@@ -1,0 +1,154 @@
+//! Uniform dispatch over the paper's queue policies.
+//!
+//! The analyses ([`FcfsAnalysis`], [`DmAnalysis`], [`EdfAnalysis`]) and the
+//! simulator's [`QueuePolicy`] grew up as separate types; every consumer
+//! that sweeps "all policies" (the CLI, the experiments, the campaign
+//! engine) used to hand-roll the same match. [`PolicyKind`] names each
+//! analysable policy once — including the two eq. (16) fidelity variants —
+//! and maps it to both its analysis and its simulator queue discipline.
+
+use profirt_base::AnalysisResult;
+use profirt_profibus::QueuePolicy;
+
+use crate::config::NetworkConfig;
+use crate::dm::DmAnalysis;
+use crate::edf::EdfAnalysis;
+use crate::fcfs::FcfsAnalysis;
+use crate::NetworkAnalysis;
+
+/// One analysable queue policy, with its fidelity variant where relevant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PolicyKind {
+    /// Stock PROFIBUS FCFS (§3, eq. (11)).
+    Fcfs,
+    /// §4 priority-queue architecture, deadline-monotonic dispatching,
+    /// conservative (sound) variant of eq. (16).
+    Dm,
+    /// §4 architecture, DM dispatching, paper-literal eq. (16) (optimistic
+    /// in corner cases; kept for the fidelity experiments).
+    DmPaper,
+    /// §4 architecture, EDF dispatching (eqs. (17)–(18)).
+    Edf,
+}
+
+impl PolicyKind {
+    /// Every policy, in the order the paper discusses them.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Fcfs,
+        PolicyKind::Dm,
+        PolicyKind::DmPaper,
+        PolicyKind::Edf,
+    ];
+
+    /// The canonical name (also the accepted CLI / campaign spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "fcfs",
+            PolicyKind::Dm => "dm",
+            PolicyKind::DmPaper => "dm-paper",
+            PolicyKind::Edf => "edf",
+        }
+    }
+
+    /// Parses a policy name (`"fcfs"`, `"dm"`, `"dm-paper"`, `"edf"`, plus
+    /// the `"dm-cons"` alias the experiments historically used).
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "fcfs" => Some(PolicyKind::Fcfs),
+            "dm" | "dm-cons" => Some(PolicyKind::Dm),
+            "dm-paper" => Some(PolicyKind::DmPaper),
+            "edf" => Some(PolicyKind::Edf),
+            _ => None,
+        }
+    }
+
+    /// A short human label for report headings.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS (eq. 11)",
+            PolicyKind::Dm => "DM conservative (eq. 16 fixed)",
+            PolicyKind::DmPaper => "DM paper-literal (eq. 16)",
+            PolicyKind::Edf => "EDF (eqs. 17-18)",
+        }
+    }
+
+    /// Runs the policy's worst-case response-time analysis.
+    pub fn analyze(self, net: &NetworkConfig) -> AnalysisResult<NetworkAnalysis> {
+        match self {
+            PolicyKind::Fcfs => FcfsAnalysis::paper().run(net),
+            PolicyKind::Dm => DmAnalysis::conservative().analyze(net),
+            PolicyKind::DmPaper => DmAnalysis::paper().analyze(net),
+            PolicyKind::Edf => EdfAnalysis::paper().analyze(net),
+        }
+    }
+
+    /// The matching simulator queue discipline.
+    pub fn queue_policy(self) -> QueuePolicy {
+        match self {
+            PolicyKind::Fcfs => QueuePolicy::Fcfs,
+            PolicyKind::Dm | PolicyKind::DmPaper => QueuePolicy::DeadlineMonotonic,
+            PolicyKind::Edf => QueuePolicy::Edf,
+        }
+    }
+
+    /// `true` for the policies that require the paper's §4 priority-queue
+    /// architecture (outgoing queue reordered at insertion) rather than the
+    /// stock FCFS master.
+    pub fn is_section4(self) -> bool {
+        !matches!(self, PolicyKind::Fcfs)
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MasterConfig;
+    use profirt_base::{StreamSet, Time};
+
+    fn net() -> NetworkConfig {
+        let m = MasterConfig::new(
+            StreamSet::from_cdt(&[(300, 30_000, 30_000), (240, 60_000, 60_000)]).unwrap(),
+            Time::new(360),
+        );
+        NetworkConfig::new(vec![m], Time::new(3_000)).unwrap()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(PolicyKind::parse("dm-cons"), Some(PolicyKind::Dm));
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn dispatch_matches_direct_constructors() {
+        let n = net();
+        let via = PolicyKind::Dm.analyze(&n).unwrap();
+        let direct = DmAnalysis::conservative().analyze(&n).unwrap();
+        assert_eq!(via, direct);
+        let via = PolicyKind::Fcfs.analyze(&n).unwrap();
+        let direct = FcfsAnalysis::paper().run(&n).unwrap();
+        assert_eq!(via, direct);
+    }
+
+    #[test]
+    fn queue_mapping_and_architecture() {
+        assert_eq!(PolicyKind::Fcfs.queue_policy(), QueuePolicy::Fcfs);
+        assert_eq!(
+            PolicyKind::DmPaper.queue_policy(),
+            QueuePolicy::DeadlineMonotonic
+        );
+        assert_eq!(PolicyKind::Edf.queue_policy(), QueuePolicy::Edf);
+        assert!(!PolicyKind::Fcfs.is_section4());
+        assert!(PolicyKind::Dm.is_section4() && PolicyKind::Edf.is_section4());
+    }
+}

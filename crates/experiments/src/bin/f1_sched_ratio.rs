@@ -1,10 +1,11 @@
-//! Regenerates experiment F1 (see DESIGN.md §4 and EXPERIMENTS.md).
-//! Pass `--quick` for a reduced run.
+//! Compat shim: experiment F1 is the `f1` campaign preset
+//! ([`profirt_experiments::campaign::presets::f1`]); this binary runs it
+//! through the campaign engine and writes the `out/f1/` artifact set.
+//! Pass `--quick` for a reduced run. The legacy shape-check narrative
+//! remains available through the `all_experiments` binary.
 
-use profirt_experiments::{exps::f1, ExpConfig};
+use profirt_experiments::{campaign, ExpConfig};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let report = f1::run(&cfg);
-    std::process::exit(report.emit());
+    std::process::exit(campaign::run_preset_main("f1", &ExpConfig::from_args()));
 }

@@ -1,10 +1,11 @@
-//! Regenerates experiment F6 (see DESIGN.md §4 and EXPERIMENTS.md).
-//! Pass `--quick` for a reduced run.
+//! Compat shim: experiment F6 is the `f6` campaign preset
+//! ([`profirt_experiments::campaign::presets::f6`]); this binary runs it
+//! through the campaign engine and writes the `out/f6/` artifact set.
+//! Pass `--quick` for a reduced run. The legacy shape-check narrative
+//! remains available through the `all_experiments` binary.
 
-use profirt_experiments::{exps::f6, ExpConfig};
+use profirt_experiments::{campaign, ExpConfig};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let report = f6::run(&cfg);
-    std::process::exit(report.emit());
+    std::process::exit(campaign::run_preset_main("f6", &ExpConfig::from_args()));
 }

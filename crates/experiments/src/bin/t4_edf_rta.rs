@@ -1,10 +1,11 @@
-//! Regenerates experiment T4 (see DESIGN.md §4 and EXPERIMENTS.md).
-//! Pass `--quick` for a reduced run.
+//! Compat shim: experiment T4 is the `t4` campaign preset
+//! ([`profirt_experiments::campaign::presets::t4`]); this binary runs it
+//! through the campaign engine and writes the `out/t4/` artifact set.
+//! Pass `--quick` for a reduced run. The legacy shape-check narrative
+//! remains available through the `all_experiments` binary.
 
-use profirt_experiments::{exps::t4, ExpConfig};
+use profirt_experiments::{campaign, ExpConfig};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let report = t4::run(&cfg);
-    std::process::exit(report.emit());
+    std::process::exit(campaign::run_preset_main("t4", &ExpConfig::from_args()));
 }

@@ -1,10 +1,11 @@
-//! Regenerates experiment T8 (see DESIGN.md §4 and EXPERIMENTS.md).
-//! Pass `--quick` for a reduced run.
+//! Compat shim: experiment T8 is the `t8` campaign preset
+//! ([`profirt_experiments::campaign::presets::t8`]); this binary runs it
+//! through the campaign engine and writes the `out/t8/` artifact set.
+//! Pass `--quick` for a reduced run. The legacy shape-check narrative
+//! remains available through the `all_experiments` binary.
 
-use profirt_experiments::{exps::t8, ExpConfig};
+use profirt_experiments::{campaign, ExpConfig};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let report = t8::run(&cfg);
-    std::process::exit(report.emit());
+    std::process::exit(campaign::run_preset_main("t8", &ExpConfig::from_args()));
 }

@@ -1,0 +1,336 @@
+//! Work-unit evaluators: one matrix point → one row of metrics.
+//!
+//! Each [`ScenarioKind`] has a fixed metric column set so every unit of a
+//! campaign produces a uniform CSV row. A metric that does not apply (a
+//! simulation column in an analysis-only campaign, a WCRT column for a
+//! pure feasibility test) is `NaN` and rendered as `-`.
+
+use profirt_base::{Prng, Time};
+use profirt_core::{max_feasible_ttr, PolicyKind, TcycleModel};
+use profirt_sched::edf::{
+    edf_feasible_nonpreemptive, edf_feasible_preemptive, edf_response_times, edf_utilization_test,
+    np_edf_response_times, DemandConfig, DemandFormula, EdfRtaConfig, NpBlockingModel,
+    NpEdfRtaConfig, NpFeasibilityConfig,
+};
+use profirt_sched::fixed::{
+    hyperbolic_schedulable, np_response_times, response_times, rm_utilization_schedulable,
+    NpFixedConfig, PriorityMap, RtaConfig,
+};
+use profirt_workload::{generate_task_set, NetGenParams, PeriodRange, TaskGenParams};
+
+use super::plan::WorkUnit;
+use super::spec::{CampaignSpec, ScenarioKind};
+use crate::exps::common::{gen_network, obs_over_bound, sim_max_responses};
+
+/// The metric columns a campaign of the given kind produces, in CSV order.
+pub fn metric_names(kind: ScenarioKind) -> &'static [&'static str] {
+    match kind {
+        ScenarioKind::Network => &[
+            "sched_ratio",
+            "mean_sched_frac",
+            "mean_tdel",
+            "mean_tcycle",
+            "mean_max_response",
+            "ttr_feasible_ratio",
+            "mean_max_ttr",
+            "sim_max_trr",
+            "sim_worst_ratio",
+            "sim_violations",
+        ],
+        ScenarioKind::Cpu => &["accept_ratio", "mean_wcrt_norm"],
+    }
+}
+
+/// Mixes the campaign seed with unit and replication indices
+/// (splitmix64-style odd multipliers) so units draw independent streams.
+fn unit_seed(spec: &CampaignSpec, unit_index: usize, replication: u64) -> u64 {
+    spec.seed
+        ^ (unit_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ replication.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Evaluates one work unit: runs every replication seed and aggregates the
+/// kind's metric row. Matches `metric_names(spec.kind)` in length/order.
+pub fn eval_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
+    match spec.kind {
+        ScenarioKind::Network => eval_network_unit(spec, unit),
+        ScenarioKind::Cpu => eval_cpu_unit(spec, unit),
+    }
+}
+
+fn mean_or_nan(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn max_or_nan(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::max)
+}
+
+fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
+    let masters = unit.get_i64("masters", 3).max(1) as usize;
+    let streams = unit.get_i64("streams", 3).max(1) as usize;
+    let tightness = unit.get_f64("tightness", 0.8);
+    let policy = PolicyKind::parse(unit.get_str("policy", "fcfs")).expect("validated policy");
+    let mut params = NetGenParams::standard(tightness, streams, masters);
+    if let Some(ttr) = unit.get("ttr").and_then(super::spec::AxisValue::as_i64) {
+        params = params.with_ttr(Time::new(ttr));
+    }
+
+    let mut all_sched = 0u64;
+    let mut sched_fracs = Vec::new();
+    let mut tdels = Vec::new();
+    let mut tcycles = Vec::new();
+    let mut max_responses = Vec::new();
+    let mut ttr_feasible = 0u64;
+    let mut max_ttrs = Vec::new();
+    let mut trrs = Vec::new();
+    let mut worst_ratios = Vec::new();
+    let mut violations = 0u64;
+
+    for rep in 0..spec.replications {
+        let seed = unit_seed(spec, unit.index, rep);
+        let g = gen_network(seed, &params);
+
+        let setting = max_feasible_ttr(&g.config, TcycleModel::Paper);
+        if let Some(ttr) = setting.max_ttr {
+            ttr_feasible += 1;
+            max_ttrs.push(ttr.ticks() as f64);
+        }
+
+        let Ok(an) = policy.analyze(&g.config) else {
+            // EDF service saturation etc.: counts as not schedulable.
+            sched_fracs.push(0.0);
+            continue;
+        };
+        if an.all_schedulable() {
+            all_sched += 1;
+        }
+        sched_fracs.push(an.schedulable_count() as f64 / an.stream_count().max(1) as f64);
+        tdels.push(an.tdel.ticks() as f64);
+        tcycles.push(an.tcycle.ticks() as f64);
+        if let Some(r) = an.max_response() {
+            max_responses.push(r.ticks() as f64);
+        }
+
+        if spec.sim_horizon > 0 {
+            let (obs, trr) = sim_max_responses(&g, policy.queue_policy(), spec.sim_horizon, seed);
+            trrs.push(trr.ticks() as f64);
+            let (worst, viols) = obs_over_bound(&an, &obs);
+            violations += viols as u64;
+            if let Some(w) = worst {
+                worst_ratios.push(w);
+            }
+        }
+    }
+
+    let n = spec.replications as f64;
+    let sim = spec.sim_horizon > 0;
+    vec![
+        all_sched as f64 / n,
+        mean_or_nan(&sched_fracs),
+        mean_or_nan(&tdels),
+        mean_or_nan(&tcycles),
+        mean_or_nan(&max_responses),
+        ttr_feasible as f64 / n,
+        mean_or_nan(&max_ttrs),
+        if sim { max_or_nan(&trrs) } else { f64::NAN },
+        if sim {
+            max_or_nan(&worst_ratios)
+        } else {
+            f64::NAN
+        },
+        if sim { violations as f64 } else { f64::NAN },
+    ]
+}
+
+fn eval_cpu_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
+    let tasks = unit.get_i64("tasks", 4).max(1) as usize;
+    let utilization = unit.get_f64("utilization", 0.7);
+    let deadline_frac = unit.get_f64("deadline_frac", 1.0);
+    let policy = unit.get_str("policy", "rm-rta").to_string();
+    let mut params = TaskGenParams::standard(tasks, utilization);
+    if deadline_frac < 1.0 {
+        params = params.with_deadline_frac(deadline_frac, 1.0);
+    }
+    if unit.get_str("period_spread", "standard") == "wide" {
+        // Wide period range -> wide cost range -> strong blocking effects
+        // (the T3 workload envelope).
+        params = params.with_periods(PeriodRange::new(
+            Time::new(50),
+            Time::new(20_000),
+            Time::new(10),
+        ));
+    }
+
+    let mut accepted = 0u64;
+    let mut wcrt_norms = Vec::new();
+    for rep in 0..spec.replications {
+        let seed = unit_seed(spec, unit.index, rep);
+        let mut rng = Prng::seed_from_u64(seed);
+        let set = generate_task_set(&mut rng, &params).expect("task generation");
+        let (ok, norm) = eval_cpu_policy(&policy, &set);
+        if ok {
+            accepted += 1;
+        }
+        if let Some(norm) = norm {
+            wcrt_norms.push(norm);
+        }
+    }
+    vec![
+        accepted as f64 / spec.replications as f64,
+        mean_or_nan(&wcrt_norms),
+    ]
+}
+
+/// Runs one §2 schedulability test. Returns `(accepted, wcrt/deadline)`
+/// where the normalised WCRT is the set's worst ratio (RTA-style tests
+/// only; feasibility tests return `None`).
+fn eval_cpu_policy(policy: &str, set: &profirt_base::TaskSet) -> (bool, Option<f64>) {
+    let fixed_rta = |pm: &PriorityMap, nonpreemptive: bool| -> (bool, Option<f64>) {
+        let an = if nonpreemptive {
+            np_response_times(set, pm, &NpFixedConfig::george())
+        } else {
+            response_times(set, pm, &RtaConfig::default())
+        };
+        match an {
+            Ok(an) => {
+                let norm = set
+                    .iter()
+                    .filter_map(|(i, task)| {
+                        an.verdicts[i]
+                            .wcrt()
+                            .map(|w| w.ticks() as f64 / task.d.ticks().max(1) as f64)
+                    })
+                    .fold(None, |acc: Option<f64>, r| {
+                        Some(acc.map_or(r, |a| a.max(r)))
+                    });
+                (an.all_schedulable(), norm)
+            }
+            Err(_) => (false, None),
+        }
+    };
+    let edf_rta = |nonpreemptive: bool| -> (bool, Option<f64>) {
+        let details = if nonpreemptive {
+            np_edf_response_times(set, &NpEdfRtaConfig::default()).map(|(_, d)| d)
+        } else {
+            edf_response_times(set, &EdfRtaConfig::default()).map(|(_, d)| d)
+        };
+        match details {
+            Ok(details) => {
+                let mut ok = true;
+                let mut norm = 0.0f64;
+                for (i, task) in set.iter() {
+                    ok &= details[i].wcrt <= task.d;
+                    norm = norm.max(details[i].wcrt.ticks() as f64 / task.d.ticks().max(1) as f64);
+                }
+                (ok, Some(norm))
+            }
+            Err(_) => (false, None),
+        }
+    };
+    let demand = |formula: DemandFormula| -> bool {
+        edf_feasible_preemptive(
+            set,
+            &DemandConfig {
+                formula,
+                ..Default::default()
+            },
+        )
+        .map(|f| f.feasible)
+        .unwrap_or(false)
+    };
+    let np_demand = |blocking: NpBlockingModel| -> bool {
+        edf_feasible_nonpreemptive(
+            set,
+            &NpFeasibilityConfig {
+                blocking,
+                formula: DemandFormula::Standard,
+                ..Default::default()
+            },
+        )
+        .map(|f| f.feasible)
+        .unwrap_or(false)
+    };
+
+    match policy {
+        "rm-ll" => (rm_utilization_schedulable(set).is_schedulable(), None),
+        "rm-hb" => (hyperbolic_schedulable(set).is_schedulable(), None),
+        "rm-rta" => fixed_rta(&PriorityMap::rate_monotonic(set), false),
+        "dm-rta" => fixed_rta(&PriorityMap::deadline_monotonic(set), false),
+        "np-dm" => fixed_rta(&PriorityMap::deadline_monotonic(set), true),
+        "edf-util" => (
+            edf_utilization_test(set).at_most_one && set.all_implicit_deadlines(),
+            None,
+        ),
+        "edf-demand" => (demand(DemandFormula::Standard), None),
+        "edf-demand-paper" => (demand(DemandFormula::PaperCeiling), None),
+        "np-edf-zs" => (np_demand(NpBlockingModel::ZhengShin), None),
+        "np-edf-george" => (np_demand(NpBlockingModel::George), None),
+        "edf-rta" => edf_rta(false),
+        "np-edf-rta" => edf_rta(true),
+        other => panic!("unknown cpu policy {other:?} (spec validation missed it)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::plan::plan;
+
+    fn net_spec() -> CampaignSpec {
+        CampaignSpec::new("eval-net", "", ScenarioKind::Network)
+            .replications(3)
+            .axis_i64("masters", &[2])
+            .axis_str("policy", &["fcfs", "dm"])
+    }
+
+    #[test]
+    fn network_rows_match_metric_schema_and_are_deterministic() {
+        let spec = net_spec();
+        let p = plan(&spec).unwrap();
+        let a: Vec<Vec<f64>> = p.units.iter().map(|u| eval_unit(&spec, u)).collect();
+        let b: Vec<Vec<f64>> = p.units.iter().map(|u| eval_unit(&spec, u)).collect();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.len(), metric_names(ScenarioKind::Network).len());
+            for (x, y) in ra.iter().zip(rb) {
+                assert!((x.is_nan() && y.is_nan()) || x == y, "{ra:?} vs {rb:?}");
+            }
+        }
+        // Analysis-only: all sim columns are NaN.
+        assert!(a[0][7].is_nan() && a[0][8].is_nan() && a[0][9].is_nan());
+        // Ratios live in [0, 1].
+        assert!((0.0..=1.0).contains(&a[0][0]));
+    }
+
+    #[test]
+    fn cpu_policies_all_evaluate() {
+        let spec = CampaignSpec::new("eval-cpu", "", ScenarioKind::Cpu)
+            .replications(2)
+            .axis_i64("tasks", &[3])
+            .axis_f64("utilization", &[0.5])
+            .axis_str("policy", &super::super::spec::CPU_POLICIES);
+        let p = plan(&spec).unwrap();
+        assert_eq!(p.units.len(), super::super::spec::CPU_POLICIES.len());
+        for u in &p.units {
+            let row = eval_unit(&spec, u);
+            assert_eq!(row.len(), metric_names(ScenarioKind::Cpu).len());
+            assert!((0.0..=1.0).contains(&row[0]), "{}: {row:?}", u.id);
+        }
+    }
+
+    #[test]
+    fn low_utilization_rta_accepts_nearly_everything() {
+        let spec = CampaignSpec::new("eval-easy", "", ScenarioKind::Cpu)
+            .replications(8)
+            .axis_f64("utilization", &[0.3])
+            .axis_str("policy", &["rm-rta"]);
+        let p = plan(&spec).unwrap();
+        let row = eval_unit(&spec, &p.units[0]);
+        assert!(row[0] > 0.9, "accept ratio {row:?}");
+        assert!(row[1] > 0.0, "wcrt norm should be recorded");
+    }
+}

@@ -1,0 +1,275 @@
+//! The campaign executor: shards work units over the seed-parallel worker
+//! pool and writes the artifact set.
+//!
+//! Units — not replication seeds — are the sharding grain: each unit's
+//! replications run serially inside one worker, so per-unit aggregation
+//! needs no cross-thread state and the row order is plan order regardless
+//! of scheduling. A unit that panics (degenerate generation parameters,
+//! analysis invariant violation) is caught by the panic-safe runner and
+//! surfaced as a [`CampaignError::UnitPanics`] naming the failing unit IDs
+//! instead of aborting the whole campaign process.
+
+use std::path::{Path, PathBuf};
+
+use profirt_base::json::{self, Value};
+
+use super::eval::{eval_unit, metric_names};
+use super::plan::{plan, CampaignPlan};
+use super::report;
+use super::spec::CampaignSpec;
+use super::CampaignError;
+use crate::csvout;
+use crate::runner::try_par_map_seeds;
+use crate::table::Table;
+
+/// A completed campaign: the expanded plan, all metric rows (plan order),
+/// and where the artifacts were written.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// The executed spec (post any scaling).
+    pub spec: CampaignSpec,
+    /// The expanded matrix.
+    pub plan: CampaignPlan,
+    /// Metric column names (kind-dependent).
+    pub metrics: Vec<&'static str>,
+    /// Per-unit metric rows, aligned with `plan.units` and `metrics`.
+    pub rows: Vec<Vec<f64>>,
+    /// `out_root/<campaign name>`.
+    pub out_dir: PathBuf,
+    /// Every artifact written, in creation order.
+    pub artifacts: Vec<PathBuf>,
+}
+
+/// Formats one metric cell (`-` for NaN, integers without decimals).
+pub fn fmt_metric(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+impl CampaignOutcome {
+    /// The per-unit results as an aligned text table (also the CSV shape).
+    pub fn units_table(&self) -> Table {
+        let mut headers: Vec<&str> = vec!["unit"];
+        for axis in &self.spec.axes {
+            headers.push(&axis.name);
+        }
+        headers.extend(self.metrics.iter().copied());
+        let mut t = Table::new("campaign units", &headers);
+        for (unit, row) in self.plan.units.iter().zip(&self.rows) {
+            let mut cells = vec![unit.id.clone()];
+            cells.extend(unit.point.iter().map(|(_, v)| v.to_string()));
+            cells.extend(row.iter().map(|&x| fmt_metric(x)));
+            t.row(cells);
+        }
+        t
+    }
+
+    /// The `summary.json` document.
+    pub fn summary_json(&self) -> Value {
+        report::summary_json(self)
+    }
+
+    /// Units that broke the `observed ≤ analytical` validation contract:
+    /// simulated campaigns only, sound analyses only (the paper-literal
+    /// `dm-paper` variant is *expected* to be optimistic and is exempt —
+    /// its violations are a recorded finding, not a failure).
+    pub fn contract_failures(&self) -> Vec<String> {
+        let Some(vcol) = self.metrics.iter().position(|m| *m == "sim_violations") else {
+            return Vec::new();
+        };
+        self.plan
+            .units
+            .iter()
+            .zip(&self.rows)
+            .filter(|(unit, row)| {
+                let v = row[vcol];
+                !v.is_nan() && v > 0.0 && unit.get_str("policy", "fcfs") != "dm-paper"
+            })
+            .map(|(unit, row)| format!("{}: {} bound violation(s)", unit.id, row[vcol]))
+            .collect()
+    }
+}
+
+/// Expands, validates and executes a campaign, writing the artifact set
+/// under `out_root/<campaign name>/`:
+///
+/// * `campaign.json` — the executed spec, echoed back.
+/// * `units.csv` — one row per work unit: ID, axis coordinates, metrics.
+/// * `summary.json` — machine-readable outcome (spec + per-unit rows).
+/// * `EXPERIMENTS.md` — the generated human-readable report.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    out_root: &Path,
+) -> Result<CampaignOutcome, CampaignError> {
+    let plan = plan(spec)?;
+    let workers = if spec.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        spec.workers
+    };
+
+    let units = &plan.units;
+    let rows = try_par_map_seeds(units.len() as u64, workers, |i| {
+        eval_unit(spec, &units[i as usize])
+    })
+    .map_err(|panics| CampaignError::UnitPanics {
+        units: panics
+            .failures
+            .iter()
+            .map(|(i, msg)| (units[*i as usize].id.clone(), msg.clone()))
+            .collect(),
+    })?;
+
+    let mut outcome = CampaignOutcome {
+        spec: spec.clone(),
+        plan,
+        metrics: metric_names(spec.kind).to_vec(),
+        rows,
+        out_dir: out_root.join(&spec.name),
+        artifacts: Vec::new(),
+    };
+    write_artifacts(&mut outcome)?;
+    Ok(outcome)
+}
+
+fn write_artifacts(outcome: &mut CampaignOutcome) -> Result<(), CampaignError> {
+    let dir = outcome.out_dir.clone();
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CampaignError::Io(format!("cannot create {}: {e}", dir.display())))?;
+    let io = |path: &Path, e: std::io::Error| {
+        CampaignError::Io(format!("cannot write {}: {e}", path.display()))
+    };
+
+    let spec_path = dir.join("campaign.json");
+    std::fs::write(&spec_path, outcome.spec.to_json().pretty() + "\n")
+        .map_err(|e| io(&spec_path, e))?;
+    outcome.artifacts.push(spec_path);
+
+    let csv_path = csvout::write_table(&dir, "units", &outcome.units_table())
+        .map_err(|e| io(&dir.join("units.csv"), e))?;
+    outcome.artifacts.push(csv_path);
+
+    let summary_path = dir.join("summary.json");
+    std::fs::write(&summary_path, outcome.summary_json().pretty() + "\n")
+        .map_err(|e| io(&summary_path, e))?;
+    outcome.artifacts.push(summary_path);
+
+    let md_path = dir.join("EXPERIMENTS.md");
+    std::fs::write(&md_path, report::experiments_md(outcome)).map_err(|e| io(&md_path, e))?;
+    outcome.artifacts.push(md_path);
+    Ok(())
+}
+
+/// Prints a finished campaign to stdout: the unit table, the validation
+/// verdict, and the artifact locations. Returns a process exit code —
+/// nonzero when a sound analysis broke the `observed ≤ analytical`
+/// contract, so scripts gating on the experiment binaries keep their
+/// failure semantics.
+pub fn print_outcome(outcome: &CampaignOutcome) -> i32 {
+    println!(
+        "campaign {} ({}): {} unit(s) x {} replication(s), kind {}",
+        outcome.spec.name,
+        outcome.spec.description,
+        outcome.plan.units.len(),
+        outcome.spec.replications,
+        outcome.spec.kind.name()
+    );
+    println!();
+    println!("{}", outcome.units_table());
+    let failures = outcome.contract_failures();
+    if outcome.spec.sim_horizon > 0 {
+        if failures.is_empty() {
+            println!("CONTRACT [PASS] observed <= analytical for every sound-policy unit");
+        } else {
+            for f in &failures {
+                println!("CONTRACT [FAIL] {f}");
+            }
+        }
+    }
+    for artifact in &outcome.artifacts {
+        println!("[artifact] {}", artifact.display());
+    }
+    i32::from(!failures.is_empty())
+}
+
+/// Parses `V` from `json::Value` paths — helper for tests and consumers
+/// reading `summary.json` back.
+pub fn load_summary(path: &Path) -> Result<Value, CampaignError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CampaignError::Io(format!("cannot read {}: {e}", path.display())))?;
+    json::parse(&text).map_err(CampaignError::BadSpec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::spec::ScenarioKind;
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(f64::NAN), "-");
+        assert_eq!(fmt_metric(3.0), "3");
+        assert_eq!(fmt_metric(0.5), "0.5000");
+    }
+
+    #[test]
+    fn contract_failures_flag_sound_policies_only() {
+        // Build a synthetic simulated outcome: fcfs with violations fails,
+        // dm-paper with violations is exempt, analysis-only reports none.
+        let spec = CampaignSpec::new("contract", "", ScenarioKind::Network)
+            .replications(1)
+            .sim_horizon(1_000)
+            .axis_str("policy", &["fcfs", "dm-paper"]);
+        let plan = crate::campaign::plan(&spec).unwrap();
+        let metrics = crate::campaign::eval::metric_names(ScenarioKind::Network).to_vec();
+        let vcol = metrics.iter().position(|m| *m == "sim_violations").unwrap();
+        let mut row = vec![0.0; metrics.len()];
+        row[vcol] = 3.0;
+        let outcome = CampaignOutcome {
+            spec,
+            plan,
+            metrics,
+            rows: vec![row.clone(), row],
+            out_dir: std::path::PathBuf::from("unused"),
+            artifacts: Vec::new(),
+        };
+        let failures = outcome.contract_failures();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("policy_fcfs"), "{failures:?}");
+        assert_eq!(print_outcome(&outcome), 1);
+
+        let mut clean = outcome.clone();
+        clean.rows = vec![vec![0.0; clean.metrics.len()]; 2];
+        assert!(clean.contract_failures().is_empty());
+        assert_eq!(print_outcome(&clean), 0);
+    }
+
+    #[test]
+    fn campaign_runs_and_writes_artifacts() {
+        let spec = CampaignSpec::new("exec-smoke", "executor smoke", ScenarioKind::Cpu)
+            .replications(2)
+            .axis_f64("utilization", &[0.4, 0.8])
+            .axis_str("policy", &["rm-ll"]);
+        let root = std::env::temp_dir().join("profirt-exec-smoke");
+        let _ = std::fs::remove_dir_all(&root);
+        let outcome = run_campaign(&spec, &root).unwrap();
+        assert_eq!(outcome.rows.len(), 2);
+        assert_eq!(outcome.artifacts.len(), 4);
+        for artifact in &outcome.artifacts {
+            assert!(artifact.exists(), "{}", artifact.display());
+        }
+        let summary = load_summary(&outcome.out_dir.join("summary.json")).unwrap();
+        assert_eq!(
+            summary.get("name").and_then(Value::as_str),
+            Some("exec-smoke")
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,126 @@
+//! # The campaign engine — one declarative runner for every experiment
+//!
+//! The paper's evaluation is a grid of figures and tables; this module
+//! replaces per-experiment sweep plumbing with a single pipeline:
+//!
+//! 1. **Spec** ([`CampaignSpec`]) — a declarative scenario matrix: axes
+//!    over network size, stream-set shape, deadline tightness, `TTR`,
+//!    queue policy, plus replications/seed/horizon/workers. Parses from
+//!    JSON via [`profirt_base::json`].
+//! 2. **Plan** ([`plan()`]) — expands the axis cross-product into
+//!    [`WorkUnit`]s with stable, coordinate-bearing IDs.
+//! 3. **Execute** ([`run_campaign`]) — shards units over the panic-safe
+//!    seed-parallel worker pool and aggregates each unit's metric row.
+//! 4. **Report** — writes `out/<campaign>/{campaign.json, units.csv,
+//!    summary.json, EXPERIMENTS.md}`.
+//!
+//! The historical T1–T8/F1–F6 experiment binaries are thin shims over
+//! [`presets`]: each legacy sweep is now a ~20-line [`CampaignSpec`]
+//! constructor, and a new scenario study is a preset or a JSON file — not
+//! a new binary.
+//!
+//! ```
+//! use profirt_experiments::campaign::{self, CampaignSpec, ScenarioKind};
+//!
+//! let spec = CampaignSpec::new("doc-demo", "doctest", ScenarioKind::Cpu)
+//!     .replications(2)
+//!     .axis_f64("utilization", &[0.4, 0.9])
+//!     .axis_str("policy", &["rm-ll", "rm-rta"]);
+//! let plan = campaign::plan(&spec).unwrap();
+//! assert_eq!(plan.units.len(), 4); // 2 utilizations x 2 policies
+//! assert!(plan.units[0].id.starts_with("u0000__utilization_0p4"));
+//! ```
+
+pub mod eval;
+pub mod exec;
+pub mod plan;
+pub mod presets;
+pub mod report;
+pub mod spec;
+
+pub use exec::{print_outcome, run_campaign, CampaignOutcome};
+pub use plan::{plan, CampaignPlan, WorkUnit};
+pub use spec::{Axis, AxisValue, CampaignSpec, ScenarioKind};
+
+use crate::runner::SeedPanics;
+use crate::ExpConfig;
+
+/// Everything that can go wrong planning or executing a campaign.
+#[derive(Clone, Debug)]
+pub enum CampaignError {
+    /// The spec is malformed (missing fields, bad types, bad values).
+    BadSpec(String),
+    /// Two axes share a name.
+    DuplicateAxis(String),
+    /// An axis name the scenario kind's evaluator does not understand.
+    UnknownAxis {
+        /// The offending axis name.
+        axis: String,
+        /// The scenario kind it was rejected for.
+        kind: &'static str,
+    },
+    /// One or more work units panicked during evaluation.
+    UnitPanics {
+        /// `(unit id, panic message)` per failing unit.
+        units: Vec<(String, String)>,
+    },
+    /// Artifact I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::BadSpec(msg) => write!(f, "invalid campaign spec: {msg}"),
+            CampaignError::DuplicateAxis(name) => write!(f, "duplicate axis {name:?}"),
+            CampaignError::UnknownAxis { axis, kind } => {
+                write!(f, "axis {axis:?} is not supported by {kind} scenarios")
+            }
+            CampaignError::UnitPanics { units } => {
+                write!(f, "{} work unit(s) failed:", units.len())?;
+                for (id, msg) in units {
+                    write!(f, " [{id}: {msg}]")?;
+                }
+                Ok(())
+            }
+            CampaignError::Io(msg) => write!(f, "artifact I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SeedPanics> for CampaignError {
+    fn from(p: SeedPanics) -> CampaignError {
+        CampaignError::UnitPanics {
+            units: p
+                .failures
+                .into_iter()
+                .map(|(seed, msg)| (format!("seed {seed}"), msg))
+                .collect(),
+        }
+    }
+}
+
+/// Runs a named preset scaled to an [`ExpConfig`], writing artifacts under
+/// `out/<preset>/`. The entry point of the legacy experiment binaries;
+/// returns a process exit code.
+///
+/// Exit semantics: nonzero on planning/execution/artifact failure and on
+/// a broken `observed ≤ analytical` contract in simulated presets (`t5`,
+/// `t6`, `t8`, `f6`). Analysis-only presets have no pass/fail criterion —
+/// the qualitative shape checks that used to gate the old binaries live
+/// in `exps::*::run` and still gate the `all_experiments` binary.
+pub fn run_preset_main(id: &str, cfg: &ExpConfig) -> i32 {
+    let Some(spec) = presets::preset(id) else {
+        eprintln!("unknown campaign preset {id:?}");
+        return 2;
+    };
+    match run_campaign(&spec.scaled(cfg), std::path::Path::new("out")) {
+        Ok(outcome) => print_outcome(&outcome),
+        Err(e) => {
+            eprintln!("campaign {id} failed: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The campaign planner: matrix expansion into work units.
+//!
+//! Expansion is a plain odometer over the axes (last axis fastest), so the
+//! unit order — and therefore every unit's index and ID — is a pure
+//! function of the spec. IDs embed the axis coordinates
+//! (`u0003__masters2__policy_edf`), which keeps artifact rows greppable
+//! and stable across runs, machines and worker counts.
+
+use super::spec::{AxisValue, CampaignSpec};
+use super::CampaignError;
+
+/// One point of the scenario matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WorkUnit {
+    /// Position in plan order (odometer order over the axes).
+    pub index: usize,
+    /// Stable identifier derived from the index and the coordinates.
+    pub id: String,
+    /// `(axis name, coordinate)` pairs, in axis order.
+    pub point: Vec<(String, AxisValue)>,
+}
+
+impl WorkUnit {
+    /// Looks up a coordinate by axis name.
+    pub fn get(&self, axis: &str) -> Option<&AxisValue> {
+        self.point
+            .iter()
+            .find(|(name, _)| name == axis)
+            .map(|(_, v)| v)
+    }
+
+    /// Integer coordinate with a default when the axis is absent.
+    pub fn get_i64(&self, axis: &str, default: i64) -> i64 {
+        self.get(axis)
+            .and_then(AxisValue::as_i64)
+            .unwrap_or(default)
+    }
+
+    /// Float coordinate with a default when the axis is absent.
+    pub fn get_f64(&self, axis: &str, default: f64) -> f64 {
+        self.get(axis)
+            .and_then(AxisValue::as_f64)
+            .unwrap_or(default)
+    }
+
+    /// String coordinate with a default when the axis is absent.
+    pub fn get_str<'a>(&'a self, axis: &str, default: &'a str) -> &'a str {
+        self.get(axis)
+            .and_then(AxisValue::as_str)
+            .unwrap_or(default)
+    }
+}
+
+/// The expanded matrix.
+#[derive(Clone, Debug)]
+pub struct CampaignPlan {
+    /// All work units, in plan order.
+    pub units: Vec<WorkUnit>,
+}
+
+/// Validates the spec and expands its axis cross-product into work units.
+pub fn plan(spec: &CampaignSpec) -> Result<CampaignPlan, CampaignError> {
+    spec.validate()?;
+    let total = spec.unit_count();
+    let mut units = Vec::with_capacity(total);
+    let mut odometer = vec![0usize; spec.axes.len()];
+    for index in 0..total {
+        let point: Vec<(String, AxisValue)> = spec
+            .axes
+            .iter()
+            .zip(&odometer)
+            .map(|(axis, &i)| (axis.name.clone(), axis.values[i].clone()))
+            .collect();
+        let mut id = format!("u{index:04}");
+        for (name, value) in &point {
+            id.push_str("__");
+            id.push_str(name);
+            id.push('_');
+            id.push_str(&value.slug());
+        }
+        units.push(WorkUnit { index, id, point });
+        // Tick the odometer, last axis fastest.
+        for pos in (0..spec.axes.len()).rev() {
+            odometer[pos] += 1;
+            if odometer[pos] < spec.axes[pos].values.len() {
+                break;
+            }
+            odometer[pos] = 0;
+        }
+    }
+    Ok(CampaignPlan { units })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::spec::ScenarioKind;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new("plan-test", "", ScenarioKind::Network)
+            .axis_i64("masters", &[2, 4, 8])
+            .axis_f64("tightness", &[0.8, 0.4])
+            .axis_str("policy", &["fcfs", "dm", "edf"])
+    }
+
+    #[test]
+    fn expansion_count_is_axis_product() {
+        let p = plan(&spec()).unwrap();
+        assert_eq!(p.units.len(), 3 * 2 * 3);
+        assert_eq!(p.units.len(), spec().unit_count());
+    }
+
+    #[test]
+    fn ids_are_stable_unique_and_coordinate_bearing() {
+        let a = plan(&spec()).unwrap();
+        let b = plan(&spec()).unwrap();
+        let ids_a: Vec<&str> = a.units.iter().map(|u| u.id.as_str()).collect();
+        let ids_b: Vec<&str> = b.units.iter().map(|u| u.id.as_str()).collect();
+        assert_eq!(ids_a, ids_b, "same spec must give identical unit IDs");
+        let mut dedup = ids_a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids_a.len(), "IDs must be unique");
+        assert_eq!(
+            a.units[0].id,
+            "u0000__masters_2__tightness_0p8__policy_fcfs"
+        );
+        // Last axis ticks fastest.
+        assert_eq!(a.units[1].id, "u0001__masters_2__tightness_0p8__policy_dm");
+    }
+
+    #[test]
+    fn duplicate_axis_is_rejected() {
+        let dup = spec().axis_i64("masters", &[16]);
+        assert!(matches!(
+            plan(&dup),
+            Err(CampaignError::DuplicateAxis(name)) if name == "masters"
+        ));
+    }
+
+    #[test]
+    fn point_lookup_with_defaults() {
+        let p = plan(&spec()).unwrap();
+        let u = &p.units[0];
+        assert_eq!(u.get_i64("masters", 3), 2);
+        assert_eq!(u.get_f64("tightness", 1.0), 0.8);
+        assert_eq!(u.get_str("policy", "fcfs"), "fcfs");
+        assert_eq!(u.get_i64("streams", 4), 4); // absent axis -> default
+        assert!(u.get("streams").is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! The T1–T8 / F1–F6 experiments as campaign presets.
+//!
+//! Each legacy experiment's sweep is restated as a declarative
+//! [`CampaignSpec`]: the same axes, the same workload envelope (through
+//! [`profirt_workload::NetGenParams::standard`] /
+//! [`profirt_workload::TaskGenParams::standard`]), run by the one campaign
+//! executor. The `src/bin` experiment binaries are shims over
+//! [`crate::campaign::run_preset_main`]; the bespoke shape-check narratives
+//! remain available through `exps::*::run` and the `all_experiments`
+//! binary.
+
+use super::spec::{CampaignSpec, ScenarioKind};
+
+/// The deadline-tightness sweep shared by F1 and the legacy module.
+const TIGHTNESS: [f64; 8] = [1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15];
+
+/// F1 — schedulability-ratio curves vs deadline tightness per policy.
+pub fn f1() -> CampaignSpec {
+    CampaignSpec::new(
+        "f1",
+        "acceptance ratio vs deadline tightness (FCFS/DM/EDF)",
+        ScenarioKind::Network,
+    )
+    .replications(200)
+    .axis_f64("tightness", &TIGHTNESS)
+    .axis_str("policy", &["fcfs", "dm", "edf"])
+    .axis_i64("streams", &[4])
+    .axis_i64("masters", &[3])
+}
+
+/// F2 — WCRT profile across stream-set size per policy (the graded-vs-flat
+/// picture, as mean max response).
+pub fn f2() -> CampaignSpec {
+    CampaignSpec::new(
+        "f2",
+        "WCRT profile on an 8-stream master (FCFS flat, DM/EDF graded)",
+        ScenarioKind::Network,
+    )
+    .replications(100)
+    .axis_i64("streams", &[8])
+    .axis_f64("tightness", &[0.4])
+    .axis_i64("masters", &[2])
+    .axis_str("policy", &["fcfs", "dm", "edf"])
+}
+
+/// F3 — token-lateness (`Tdel`) growth with the master count.
+pub fn f3() -> CampaignSpec {
+    CampaignSpec::new(
+        "f3",
+        "Tdel/Tcycle growth vs number of masters (eq. 13/14)",
+        ScenarioKind::Network,
+    )
+    .replications(100)
+    .axis_i64("masters", &[2, 4, 6, 8, 12, 16])
+    .axis_i64("streams", &[2])
+    .axis_f64("tightness", &[1.0])
+    .axis_str("policy", &["fcfs"])
+}
+
+/// F4 — the eq. (15) feasibility region: `TTR` headroom vs tightness.
+pub fn f4() -> CampaignSpec {
+    CampaignSpec::new(
+        "f4",
+        "max feasible TTR vs deadline tightness (eq. 15 region)",
+        ScenarioKind::Network,
+    )
+    .replications(200)
+    .axis_f64("tightness", &[1.0, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1])
+    .axis_i64("streams", &[4])
+    .axis_i64("masters", &[3])
+    .axis_str("policy", &["fcfs"])
+}
+
+/// F5 — jitter-sensitive priority policies across the tightness sweep
+/// (the §4.1 analyses carry the jitter terms).
+pub fn f5() -> CampaignSpec {
+    CampaignSpec::new(
+        "f5",
+        "DM/EDF response bounds across tightness (§4.1 jitter-aware analyses)",
+        ScenarioKind::Network,
+    )
+    .replications(100)
+    .axis_f64("tightness", &[0.8, 0.6, 0.4])
+    .axis_str("policy", &["dm", "edf"])
+    .axis_i64("streams", &[3])
+    .axis_i64("masters", &[1])
+}
+
+/// F6 — bound tightness under simulation (pessimism distributions).
+pub fn f6() -> CampaignSpec {
+    CampaignSpec::new(
+        "f6",
+        "bound pessimism vs simulation per policy",
+        ScenarioKind::Network,
+    )
+    .replications(60)
+    .sim_horizon(6_000_000)
+    .axis_str("policy", &["fcfs", "dm", "edf"])
+    .axis_f64("tightness", &[0.8])
+    .axis_i64("streams", &[3])
+    .axis_i64("masters", &[3])
+}
+
+/// T1 — fixed-priority acceptance: utilisation tests vs RTA over
+/// (task count × utilisation).
+pub fn t1() -> CampaignSpec {
+    CampaignSpec::new(
+        "t1",
+        "preemptive RM acceptance: LL vs hyperbolic vs RTA (§2.1)",
+        ScenarioKind::Cpu,
+    )
+    .replications(200)
+    .axis_i64("tasks", &[4, 8, 16])
+    .axis_f64("utilization", &[0.5, 0.7, 0.8, 0.9])
+    .axis_str("policy", &["rm-ll", "rm-hb", "rm-rta"])
+}
+
+/// T2 — preemptive EDF feasibility: utilisation vs demand tests, plus the
+/// Standard-vs-PaperCeiling formula ablation (fidelity note B-A3).
+pub fn t2() -> CampaignSpec {
+    CampaignSpec::new(
+        "t2",
+        "EDF demand-test acceptance and the paper-ceiling ablation (§2.2 eq. 3)",
+        ScenarioKind::Cpu,
+    )
+    .replications(200)
+    .axis_i64("tasks", &[6])
+    .axis_f64("utilization", &[0.6, 0.75, 0.9])
+    .axis_f64("deadline_frac", &[1.0, 0.6, 0.3])
+    .axis_str("policy", &["edf-util", "edf-demand", "edf-demand-paper"])
+}
+
+/// T3 — non-preemptive EDF feasibility: eq. (4) pessimism vs eq. (5).
+pub fn t3() -> CampaignSpec {
+    CampaignSpec::new(
+        "t3",
+        "np-EDF feasibility: Zheng-Shin eq. 4 vs George eq. 5",
+        ScenarioKind::Cpu,
+    )
+    .replications(200)
+    .axis_i64("tasks", &[4, 8])
+    .axis_f64("utilization", &[0.4, 0.6, 0.8])
+    .axis_f64("deadline_frac", &[0.5])
+    .axis_str("period_spread", &["wide"])
+    .axis_str("policy", &["np-edf-zs", "np-edf-george"])
+}
+
+/// T4 — EDF worst-case response times, preemptive vs non-preemptive.
+pub fn t4() -> CampaignSpec {
+    CampaignSpec::new(
+        "t4",
+        "EDF WCRT bounds (Spuri / George, eqs. 6-10)",
+        ScenarioKind::Cpu,
+    )
+    .replications(64)
+    .axis_i64("tasks", &[4])
+    .axis_f64("utilization", &[0.55, 0.7, 0.85])
+    .axis_str("policy", &["edf-rta", "np-edf-rta"])
+}
+
+/// T5 — the §3.3 token-cycle bound vs observed `TRR` over network size.
+pub fn t5() -> CampaignSpec {
+    CampaignSpec::new(
+        "t5",
+        "Tcycle bound vs observed TRR over network size (eq. 13/14)",
+        ScenarioKind::Network,
+    )
+    .replications(40)
+    .sim_horizon(6_000_000)
+    .axis_i64("masters", &[2, 4, 8])
+    .axis_i64("streams", &[3])
+    .axis_f64("tightness", &[0.9])
+    .axis_str("policy", &["fcfs"])
+}
+
+/// T6 — FCFS schedulability and the eq. (15) `TTR` derivation over
+/// stream-set size.
+pub fn t6() -> CampaignSpec {
+    CampaignSpec::new(
+        "t6",
+        "FCFS TTR setting (eq. 15) over stream-set size, with simulation",
+        ScenarioKind::Network,
+    )
+    .replications(60)
+    .sim_horizon(6_000_000)
+    .axis_i64("streams", &[2, 4, 8])
+    .axis_f64("tightness", &[0.9])
+    .axis_i64("masters", &[3])
+    .axis_str("policy", &["fcfs"])
+}
+
+/// T7 — the headline per-policy comparison on one network class.
+pub fn t7() -> CampaignSpec {
+    CampaignSpec::new(
+        "t7",
+        "headline FCFS vs DM vs EDF comparison (§4.3)",
+        ScenarioKind::Network,
+    )
+    .replications(200)
+    .axis_str("policy", &["fcfs", "dm", "dm-paper", "edf"])
+    .axis_f64("tightness", &[0.45])
+    .axis_i64("streams", &[4])
+    .axis_i64("masters", &[2])
+}
+
+/// T8 — analysis-vs-simulation validation of every policy (the
+/// `observed ≤ analytical` contract, including the paper-literal DM
+/// variant whose occasional violations are the finding).
+pub fn t8() -> CampaignSpec {
+    CampaignSpec::new(
+        "t8",
+        "observed/bound validation per policy (§4 architecture)",
+        ScenarioKind::Network,
+    )
+    .replications(80)
+    .sim_horizon(6_000_000)
+    .axis_str("policy", &["fcfs", "dm", "dm-paper", "edf"])
+    .axis_f64("tightness", &[0.8])
+    .axis_i64("streams", &[3])
+    .axis_i64("masters", &[3])
+}
+
+/// Every preset, in the paper's presentation order.
+pub fn all() -> Vec<CampaignSpec> {
+    vec![
+        t1(),
+        t2(),
+        t3(),
+        t4(),
+        t5(),
+        t6(),
+        t7(),
+        t8(),
+        f1(),
+        f2(),
+        f3(),
+        f4(),
+        f5(),
+        f6(),
+    ]
+}
+
+/// Looks up a preset by name (`"f1"` … `"t8"`, case-insensitive).
+pub fn preset(id: &str) -> Option<CampaignSpec> {
+    let id = id.to_ascii_lowercase();
+    all().into_iter().find(|spec| spec.name == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::plan::plan;
+    use crate::ExpConfig;
+
+    #[test]
+    fn all_fourteen_presets_validate_and_plan() {
+        let specs = all();
+        assert_eq!(specs.len(), 14);
+        for spec in &specs {
+            let p = plan(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(p.units.len(), spec.unit_count(), "{}", spec.name);
+            assert!(!spec.description.is_empty(), "{}", spec.name);
+        }
+        // Names are unique and resolvable.
+        for spec in &specs {
+            assert_eq!(preset(&spec.name).unwrap(), *spec);
+        }
+        assert!(preset("nope").is_none());
+    }
+
+    #[test]
+    fn presets_scale_down_for_quick_runs() {
+        let quick = t8().scaled(&ExpConfig::quick());
+        assert!(quick.replications <= ExpConfig::quick().replications);
+        assert!(quick.sim_horizon <= ExpConfig::quick().sim_horizon);
+        // Analysis-only presets stay analysis-only.
+        assert_eq!(f1().scaled(&ExpConfig::quick()).sim_horizon, 0);
+    }
+
+    #[test]
+    fn one_preset_runs_end_to_end_quickly() {
+        let mut spec = f3().scaled(&ExpConfig::quick());
+        spec.replications = 2;
+        spec.name = "f3-preset-smoke".into();
+        let root = std::env::temp_dir().join("profirt-preset-smoke");
+        let _ = std::fs::remove_dir_all(&root);
+        let outcome = crate::campaign::run_campaign(&spec, &root).unwrap();
+        assert_eq!(outcome.rows.len(), 6); // 6 master counts
+                                           // Tdel grows with the master count (the F3 shape, via the matrix).
+        let tdel_col = outcome
+            .metrics
+            .iter()
+            .position(|m| *m == "mean_tdel")
+            .unwrap();
+        let first = outcome.rows.first().unwrap()[tdel_col];
+        let last = outcome.rows.last().unwrap()[tdel_col];
+        assert!(
+            last > first,
+            "Tdel should grow with masters: {first} -> {last}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -6,9 +6,7 @@ use profirt_profibus::{BusParams, QueuePolicy};
 use profirt_sim::{
     simulate_network, JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork,
 };
-use profirt_workload::{
-    generate_network, GeneratedNetwork, NetGenParams, PeriodRange, StreamGenParams, TaskGenParams,
-};
+use profirt_workload::{generate_network, GeneratedNetwork, NetGenParams, TaskGenParams};
 
 /// The default bus profile used across experiments (500 kbit/s).
 pub fn bus() -> BusParams {
@@ -18,32 +16,17 @@ pub fn bus() -> BusParams {
 /// Standard network-generation parameters.
 ///
 /// `tightness` is the deadline/period fraction (both bounds), `nh` streams
-/// per master, `n_masters` masters.
+/// per master, `n_masters` masters. Delegates to the canonical
+/// [`NetGenParams::standard`] matrix point so experiments and campaign
+/// scenarios agree on what a scenario means.
 pub fn netgen(tightness: f64, nh: usize, n_masters: usize) -> NetGenParams {
-    NetGenParams {
-        n_masters,
-        streams: StreamGenParams {
-            nh,
-            req_payload: (2, 16),
-            resp_payload: (2, 32),
-            periods: PeriodRange::new(Time::new(80_000), Time::new(800_000), Time::new(100)),
-            deadline_frac: (tightness, tightness),
-        },
-        low_priority_prob: 0.4,
-        low_payload: (8, 32),
-        low_period: Time::new(500_000),
-        ttr: Time::new(4_000),
-    }
+    NetGenParams::standard(tightness, nh, n_masters)
 }
 
-/// Standard task-generation parameters for the §2 experiments.
+/// Standard task-generation parameters for the §2 experiments (the
+/// canonical [`TaskGenParams::standard`] matrix point).
 pub fn taskgen(n: usize, u: f64) -> TaskGenParams {
-    TaskGenParams {
-        n,
-        total_utilization: u,
-        periods: PeriodRange::new(Time::new(100), Time::new(5_000), Time::new(10)),
-        deadline: profirt_workload::DeadlinePolicy::Implicit,
-    }
+    TaskGenParams::standard(n, u)
 }
 
 /// The token-pass duration used by the simulator and the overhead-aware
@@ -111,19 +94,32 @@ pub fn sim_max_responses(
     )
 }
 
-/// Largest observed/bound ratio over the schedulable streams of an
-/// analysis (`None` when nothing was comparable).
-pub fn worst_ratio(an: &NetworkAnalysis, observed: &[Vec<Time>]) -> Option<f64> {
+/// The observed-vs-bound comparison over the schedulable streams of an
+/// analysis: the largest observed/bound ratio (`None` when nothing was
+/// comparable) and the number of streams whose observation exceeded the
+/// bound. The single implementation of the `observed ≤ analytical`
+/// contract check — experiments and campaigns must not drift apart.
+pub fn obs_over_bound(an: &NetworkAnalysis, observed: &[Vec<Time>]) -> (Option<f64>, usize) {
     let mut worst: Option<f64> = None;
+    let mut violations = 0;
     for (k, rows) in an.masters.iter().enumerate() {
         for (i, row) in rows.iter().enumerate() {
             if row.schedulable && row.response_time.is_positive() {
+                if observed[k][i] > row.response_time {
+                    violations += 1;
+                }
                 let r = observed[k][i].ticks() as f64 / row.response_time.ticks() as f64;
                 worst = Some(worst.map_or(r, |w: f64| w.max(r)));
             }
         }
     }
-    worst
+    (worst, violations)
+}
+
+/// Largest observed/bound ratio over the schedulable streams of an
+/// analysis (`None` when nothing was comparable).
+pub fn worst_ratio(an: &NetworkAnalysis, observed: &[Vec<Time>]) -> Option<f64> {
+    obs_over_bound(an, observed).0
 }
 
 /// Mean of a non-empty f64 slice.

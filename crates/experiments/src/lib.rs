@@ -1,22 +1,65 @@
 //! # profirt-experiments — the reproduction harness
 //!
 //! One module per table/figure of DESIGN.md §4 (`T1`–`T8`, `F1`–`F6`), each
-//! with a `run(&ExpConfig) -> ExpReport` entry point; the `src/bin/*`
-//! binaries are thin wrappers that print the report and write CSV files
-//! under `results/`.
+//! with a `run(&ExpConfig) -> ExpReport` entry point, plus the
+//! [`campaign`] engine that runs any declarative scenario matrix — the 14
+//! experiments are also available as campaign presets, and the
+//! `src/bin/*` experiment binaries are thin shims over those presets.
 //!
 //! Infrastructure:
+//! * [`campaign`] — declarative scenario-matrix campaigns: spec → plan →
+//!   parallel execution → CSV/JSON/Markdown artifacts under `out/`.
 //! * [`table`] — aligned text tables for terminal output.
 //! * [`csvout`] — minimal CSV writing (no external dependency).
-//! * [`runner`] — seed-parallel experiment execution (std scoped threads +
-//!   a crossbeam work channel).
+//! * [`runner`] — panic-safe seed-parallel experiment execution (std
+//!   scoped threads + a crossbeam work channel).
 //! * [`shape`] — recorded shape checks: every report carries explicit
 //!   PASS/FAIL verdicts for the qualitative predictions EXPERIMENTS.md
 //!   documents.
+//!
+//! ## Seed-parallel sweeps
+//!
+//! [`runner::par_map_seeds`] fans a closure over seeds and returns results
+//! in seed order no matter how the worker threads interleave:
+//!
+//! ```
+//! use profirt_experiments::runner::par_map_seeds;
+//!
+//! // 8 workers race over 16 seeds; the output is still seed-ordered.
+//! let out = par_map_seeds(16, 8, |seed| seed * seed);
+//! assert_eq!(out, (0..16).map(|s| s * s).collect::<Vec<_>>());
+//! ```
+//!
+//! A panicking seed no longer aborts the sweep — it is caught, attributed,
+//! and reported ([`runner::try_par_map_seeds`]):
+//!
+//! ```
+//! use profirt_experiments::runner::try_par_map_seeds;
+//!
+//! let err = try_par_map_seeds(8, 4, |seed| {
+//!     assert!(seed != 3, "seed 3 is cursed");
+//!     seed
+//! })
+//! .unwrap_err();
+//! assert_eq!(err.failures.len(), 1);
+//! assert_eq!(err.failures[0].0, 3);
+//! ```
+//!
+//! ## Campaigns
+//!
+//! ```
+//! use profirt_experiments::campaign::{self, presets};
+//!
+//! // Every legacy experiment is a preset spec; plan one without running it.
+//! let spec = presets::f1();
+//! let plan = campaign::plan(&spec).unwrap();
+//! assert_eq!(plan.units.len(), spec.unit_count());
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod campaign;
 pub mod csvout;
 pub mod exps;
 pub mod runner;

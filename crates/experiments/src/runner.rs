@@ -5,17 +5,70 @@
 //! and returns results in seed order (deterministic output regardless of
 //! scheduling). Slots are guarded by one `std::sync::Mutex` each so the
 //! scoped workers can write disjoint entries without unsafe code.
+//!
+//! Workers are panic-safe: a panicking closure used to poison its slot
+//! mutex and abort the whole scope, so one bad seed took down the entire
+//! sweep with no indication of which seed failed. Each invocation is now
+//! wrapped in [`std::panic::catch_unwind`]; the failing seeds are recorded
+//! and surfaced through [`try_par_map_seeds`]'s error (or a descriptive
+//! panic from the infallible [`par_map_seeds`] wrapper), while the
+//! remaining seeds still run to completion.
+//!
+//! Caught panics still pass through the process panic hook, so each
+//! failing seed prints the standard `thread panicked` line to stderr
+//! before the aggregated report. That is deliberate: the hook output
+//! carries the panic location, and swapping the global hook from a
+//! library would race with other threads and tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use crossbeam::channel;
 
+/// The failure report of a sweep in which one or more seeds panicked.
+#[derive(Clone, Debug)]
+pub struct SeedPanics {
+    /// `(seed, panic message)` for every failing seed, in seed order.
+    pub failures: Vec<(u64, String)>,
+}
+
+impl std::fmt::Display for SeedPanics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} seed(s) panicked:", self.failures.len())?;
+        for (seed, msg) in &self.failures {
+            write!(f, " [seed {seed}: {msg}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SeedPanics {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Applies `f` to every seed in `0..n`, in parallel over `workers` threads,
-/// returning results ordered by seed.
-pub fn par_map_seeds<R, F>(n: u64, workers: usize, f: F) -> Vec<R>
+/// returning results ordered by seed — or the list of panicking seeds.
+///
+/// A panic in `f` is caught on the worker thread: the seed and its panic
+/// message are recorded, every other seed still runs, and the whole sweep
+/// returns `Err` with all failures collected (instead of aborting the
+/// thread scope mid-flight).
+pub fn try_par_map_seeds<R, F>(n: u64, workers: usize, f: F) -> Result<Vec<R>, SeedPanics>
 where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
-    let workers = workers.max(1);
+    // At least one worker, never more workers than items: a huge requested
+    // count must not translate into a huge (or OS-refused) thread spawn.
+    let workers = workers.clamp(1, (n.max(1)) as usize);
     let (tx, rx) = channel::unbounded::<u64>();
     for seed in 0..n {
         tx.send(seed).expect("channel open");
@@ -23,26 +76,59 @@ where
     drop(tx);
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
+    let slots: Vec<_> = results.iter_mut().map(Mutex::new).collect();
+    let failures: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let rx = rx.clone();
             let f = &f;
             let slots = &slots;
+            let failures = &failures;
             scope.spawn(move || {
                 while let Ok(seed) = rx.recv() {
-                    let r = f(seed);
-                    **slots[seed as usize].lock().expect("slot lock poisoned") = Some(r);
+                    // The closure is invoked *outside* any lock, so a panic
+                    // here can neither poison a slot nor kill the scope.
+                    match catch_unwind(AssertUnwindSafe(|| f(seed))) {
+                        Ok(r) => {
+                            **slots[seed as usize].lock().expect("slot lock") = Some(r);
+                        }
+                        Err(payload) => failures
+                            .lock()
+                            .expect("failure lock")
+                            .push((seed, panic_message(payload))),
+                    }
                 }
             });
         }
     });
 
-    results
+    let mut failures = failures.into_inner().expect("failure lock");
+    if !failures.is_empty() {
+        failures.sort_by_key(|&(seed, _)| seed);
+        return Err(SeedPanics { failures });
+    }
+    Ok(results
         .into_iter()
         .map(|r| r.expect("worker filled every slot"))
-        .collect()
+        .collect())
+}
+
+/// Applies `f` to every seed in `0..n`, in parallel over `workers` threads,
+/// returning results ordered by seed.
+///
+/// # Panics
+/// Panics with a report naming every failing seed if `f` panicked for any
+/// seed (see [`try_par_map_seeds`] for the non-panicking form).
+pub fn par_map_seeds<R, F>(n: u64, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    match try_par_map_seeds(n, workers, f) {
+        Ok(results) => results,
+        Err(panics) => panic!("par_map_seeds: {panics}"),
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +157,55 @@ mod tests {
     fn single_worker_and_zero_items() {
         assert_eq!(par_map_seeds(0, 1, |s| s), Vec::<u64>::new());
         assert_eq!(par_map_seeds(3, 0, |s| s), vec![0, 1, 2]); // workers clamped to 1
+    }
+
+    #[test]
+    fn absurd_worker_counts_are_clamped_to_item_count() {
+        // Must not try to spawn a million threads for four items.
+        assert_eq!(par_map_seeds(4, 1_000_000, |s| s), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_seed_is_reported_not_aborted() {
+        let err = try_par_map_seeds(16, 4, |s| {
+            if s == 7 {
+                panic!("boom at {s}");
+            }
+            s
+        })
+        .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].0, 7);
+        assert!(err.failures[0].1.contains("boom at 7"), "{err}");
+    }
+
+    #[test]
+    fn all_other_seeds_complete_despite_panics() {
+        let counter = AtomicU64::new(0);
+        let err = try_par_map_seeds(32, 4, |s| {
+            if s % 8 == 3 {
+                panic!("bad seed");
+            }
+            counter.fetch_add(1, Ordering::Relaxed);
+            s
+        })
+        .unwrap_err();
+        // Failing seeds 3, 11, 19, 27 reported in order; the rest all ran.
+        assert_eq!(
+            err.failures.iter().map(|f| f.0).collect::<Vec<_>>(),
+            vec![3, 11, 19, 27]
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed 5")]
+    fn infallible_wrapper_panics_with_seed_report() {
+        let _ = par_map_seeds(8, 2, |s| {
+            if s == 5 {
+                panic!("only this one");
+            }
+            s
+        });
     }
 }

@@ -1,0 +1,114 @@
+//! End-to-end campaign test: a 2×2×2 scenario matrix runs to a temp
+//! directory and produces the full, parseable artifact set.
+
+use profirt_base::json::{self, Value};
+use profirt_experiments::campaign::{plan, run_campaign, CampaignSpec, ScenarioKind};
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new(
+        "e2e-2x2x2",
+        "campaign end-to-end test matrix",
+        ScenarioKind::Network,
+    )
+    .replications(2)
+    .sim_horizon(300_000)
+    .axis_i64("masters", &[2, 3])
+    .axis_f64("tightness", &[0.9, 0.5])
+    .axis_str("policy", &["fcfs", "dm"])
+    .axis_i64("streams", &[2])
+}
+
+#[test]
+fn two_by_two_by_two_campaign_produces_parseable_artifacts() {
+    let root = std::env::temp_dir().join("profirt-campaign-e2e");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let spec = spec();
+    assert_eq!(spec.unit_count(), 8);
+    let outcome = run_campaign(&spec, &root).unwrap();
+    let dir = root.join("e2e-2x2x2");
+    assert_eq!(outcome.out_dir, dir);
+
+    // Every artifact exists.
+    for name in [
+        "campaign.json",
+        "units.csv",
+        "summary.json",
+        "EXPERIMENTS.md",
+    ] {
+        assert!(dir.join(name).exists(), "missing artifact {name}");
+    }
+
+    // units.csv: header + one row per unit, stable IDs in plan order.
+    let csv = std::fs::read_to_string(dir.join("units.csv")).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 8);
+    assert!(lines[0].starts_with("unit,masters,tightness,policy,streams,sched_ratio"));
+    assert!(lines[1].starts_with("u0000__masters_2__tightness_0p9__policy_fcfs__streams_2,"));
+    assert!(lines[8].starts_with("u0007__masters_3__tightness_0p5__policy_dm__streams_2,"));
+
+    // summary.json parses back through the same JSON layer and matches.
+    let summary = json::parse(&std::fs::read_to_string(dir.join("summary.json")).unwrap()).unwrap();
+    assert_eq!(
+        summary.get("name").and_then(Value::as_str),
+        Some("e2e-2x2x2")
+    );
+    assert_eq!(summary.get("unit_count").and_then(Value::as_i64), Some(8));
+    let units = summary.get("units").and_then(Value::as_array).unwrap();
+    assert_eq!(units.len(), 8);
+    for unit in units {
+        let metrics = unit.get("metrics").and_then(Value::as_object).unwrap();
+        // Simulation ran: the validation columns are populated numbers.
+        let worst = metrics.get("sim_worst_ratio").unwrap();
+        assert!(
+            worst.as_f64().is_some(),
+            "sim_worst_ratio missing: {worst:?}"
+        );
+        // The analysis-vs-simulation contract: observed <= analytical.
+        assert!(worst.as_f64().unwrap() <= 1.0, "bound violated: {worst:?}");
+        assert_eq!(metrics.get("sim_violations").unwrap().as_f64(), Some(0.0));
+    }
+
+    // campaign.json round-trips to the executed spec.
+    let echoed =
+        CampaignSpec::from_json_str(&std::fs::read_to_string(dir.join("campaign.json")).unwrap())
+            .unwrap();
+    assert_eq!(echoed, spec);
+
+    // EXPERIMENTS.md carries the matrix and the results table.
+    let md = std::fs::read_to_string(dir.join("EXPERIMENTS.md")).unwrap();
+    assert!(md.contains("# Campaign `e2e-2x2x2`"));
+    assert!(md.contains("| `policy` | `fcfs`, `dm` |"));
+    assert!(md.contains("u0000__masters_2__tightness_0p9__policy_fcfs__streams_2"));
+    assert!(md.contains("## Validation contract"));
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn rerunning_the_same_spec_is_deterministic() {
+    let root_a = std::env::temp_dir().join("profirt-campaign-e2e-a");
+    let root_b = std::env::temp_dir().join("profirt-campaign-e2e-b");
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+    let mut spec = spec();
+    spec.sim_horizon = 0; // analysis-only keeps this fast
+    spec.workers = 3;
+    let a = run_campaign(&spec, &root_a).unwrap();
+    spec.workers = 1; // worker count must not affect results
+    let b = run_campaign(&spec, &root_b).unwrap();
+    let csv_a = std::fs::read_to_string(a.out_dir.join("units.csv")).unwrap();
+    let csv_b = std::fs::read_to_string(b.out_dir.join("units.csv")).unwrap();
+    assert_eq!(csv_a, csv_b);
+    std::fs::remove_dir_all(&root_a).ok();
+    std::fs::remove_dir_all(&root_b).ok();
+}
+
+#[test]
+fn planner_surface_from_integration_level() {
+    // The documented planner contract, exercised through the public API.
+    let p = plan(&spec()).unwrap();
+    assert_eq!(p.units.len(), 8);
+    let dup = spec().axis_i64("masters", &[9]);
+    assert!(plan(&dup).is_err());
+}

@@ -19,7 +19,7 @@
 //!   and the matching simulation view in one shot.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod netgen;
 pub mod periods;

@@ -11,6 +11,7 @@ use profirt_core::{MasterConfig, NetworkConfig};
 use profirt_profibus::{BusParams, LowPriorityTraffic, MessageCycleSpec};
 use serde::{Deserialize, Serialize};
 
+use crate::periods::PeriodRange;
 use crate::streamgen::{generate_stream_set, StreamGenParams};
 
 /// Network generation parameters.
@@ -28,6 +29,43 @@ pub struct NetGenParams {
     pub low_period: Time,
     /// Target token rotation time `TTR` (ticks).
     pub ttr: Time,
+}
+
+impl NetGenParams {
+    /// The canonical scenario-matrix point used by the experiments and the
+    /// campaign engine: `n_masters` masters with `nh` high-priority streams
+    /// each, deadlines at `tightness · period` (both bounds), the standard
+    /// payload/period envelope at 500 kbit/s, and `TTR = 4000` ticks.
+    ///
+    /// Matrix axes (network size, stream-set shape, deadline tightness,
+    /// `TTR`) all route through here so that "the same scenario" means the
+    /// same thing to every caller; refine a point with [`with_ttr`]
+    /// (campaign `ttr` axis) or by overriding fields directly.
+    ///
+    /// [`with_ttr`]: NetGenParams::with_ttr
+    pub fn standard(tightness: f64, nh: usize, n_masters: usize) -> NetGenParams {
+        NetGenParams {
+            n_masters,
+            streams: StreamGenParams {
+                nh,
+                req_payload: (2, 16),
+                resp_payload: (2, 32),
+                periods: PeriodRange::new(Time::new(80_000), Time::new(800_000), Time::new(100)),
+                deadline_frac: (tightness, tightness),
+            },
+            low_priority_prob: 0.4,
+            low_payload: (8, 32),
+            low_period: Time::new(500_000),
+            ttr: Time::new(4_000),
+        }
+    }
+
+    /// Returns the parameters with the target token rotation time replaced
+    /// (the campaign engine's `ttr` axis hook).
+    pub fn with_ttr(mut self, ttr: Time) -> NetGenParams {
+        self.ttr = ttr;
+        self
+    }
 }
 
 /// A generated network: the analysis view plus the raw per-master pieces

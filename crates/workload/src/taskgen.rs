@@ -34,6 +34,42 @@ pub struct TaskGenParams {
     pub deadline: DeadlinePolicy,
 }
 
+impl TaskGenParams {
+    /// The canonical scenario-matrix point for the §2 experiments and the
+    /// campaign engine's `cpu` scenarios: `n` tasks at total utilisation
+    /// `u`, implicit deadlines, periods log-uniform on the standard
+    /// `[100, 5000]` grid (step 10).
+    ///
+    /// Matrix axes (task count, utilisation) route through here; refine a
+    /// point with [`with_deadline_frac`] / [`with_periods`].
+    ///
+    /// [`with_deadline_frac`]: TaskGenParams::with_deadline_frac
+    /// [`with_periods`]: TaskGenParams::with_periods
+    pub fn standard(n: usize, u: f64) -> TaskGenParams {
+        TaskGenParams {
+            n,
+            total_utilization: u,
+            periods: PeriodRange::new(Time::new(100), Time::new(5_000), Time::new(10)),
+            deadline: DeadlinePolicy::Implicit,
+        }
+    }
+
+    /// Switches to constrained deadlines `Di = Ci + f·(Ti − Ci)` with `f`
+    /// uniform in `[min_frac, max_frac]` (the campaign `deadline_frac`
+    /// axis hook).
+    pub fn with_deadline_frac(mut self, min_frac: f64, max_frac: f64) -> TaskGenParams {
+        self.deadline = DeadlinePolicy::ConstrainedFraction { min_frac, max_frac };
+        self
+    }
+
+    /// Replaces the period sampling range (wide ranges amplify blocking in
+    /// the non-preemptive experiments).
+    pub fn with_periods(mut self, periods: PeriodRange) -> TaskGenParams {
+        self.periods = periods;
+        self
+    }
+}
+
 /// Generates one validated task set.
 ///
 /// Costs are `Ci = max(1, round(ui · Ti))`, so very small utilisation

@@ -1,0 +1,80 @@
+//! The `profirt campaign` subcommand: declarative scenario-matrix runs.
+//!
+//! ```text
+//! profirt campaign run <spec.json|preset> [--quick] [--out DIR]
+//! profirt campaign list
+//! profirt campaign describe <spec.json|preset>
+//! ```
+//!
+//! A spec argument is resolved as a file path first and as a preset name
+//! (`f1`…`f6`, `t1`…`t8`) second, so `profirt campaign run t8 --quick`
+//! re-runs the paper's validation experiment and
+//! `profirt campaign run configs/campaign_smoke.json` runs a custom
+//! matrix. Artifacts land under `<out>/<campaign name>/`.
+
+use std::path::Path;
+
+use profirt::experiments::campaign::{plan, presets, print_outcome, run_campaign, CampaignSpec};
+use profirt::experiments::ExpConfig;
+
+/// Resolves a spec argument: existing file path, then preset name.
+fn resolve(arg: &str) -> Result<CampaignSpec, String> {
+    let path = Path::new(arg);
+    if path.exists() {
+        return CampaignSpec::load(path).map_err(|e| e.to_string());
+    }
+    presets::preset(arg).ok_or_else(|| {
+        format!("{arg:?} is neither a spec file nor a preset (try `profirt campaign list`)")
+    })
+}
+
+/// `profirt campaign run`.
+pub fn run(arg: &str, quick: bool, out_root: &str) -> Result<(), String> {
+    let mut spec = resolve(arg)?;
+    if quick {
+        spec = spec.scaled(&ExpConfig::quick());
+    }
+    let outcome = run_campaign(&spec, Path::new(out_root)).map_err(|e| e.to_string())?;
+    if print_outcome(&outcome) != 0 {
+        return Err(
+            "a sound analysis broke the observed <= analytical contract (see CONTRACT lines)"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
+/// `profirt campaign list`.
+pub fn list() -> Result<(), String> {
+    println!("campaign presets (run with `profirt campaign run <name>`):\n");
+    for spec in presets::all() {
+        println!(
+            "  {:<4} {:>4} units x {:>3} reps  {:<8} {}",
+            spec.name,
+            spec.unit_count(),
+            spec.replications,
+            spec.kind.name(),
+            spec.description
+        );
+    }
+    println!(
+        "\ncustom matrices: `profirt campaign run <spec.json>` (see configs/campaign_smoke.json)"
+    );
+    Ok(())
+}
+
+/// `profirt campaign describe`.
+pub fn describe(arg: &str) -> Result<(), String> {
+    let spec = resolve(arg)?;
+    let plan = plan(&spec).map_err(|e| e.to_string())?;
+    println!("{}", spec.to_json().pretty());
+    println!(
+        "\nexpands to {} work unit(s) x {} replication(s):",
+        plan.units.len(),
+        spec.replications
+    );
+    for unit in &plan.units {
+        println!("  {}", unit.id);
+    }
+    Ok(())
+}

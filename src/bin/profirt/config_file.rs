@@ -23,7 +23,7 @@ use profirt::core::{MasterConfig, NetworkConfig};
 use profirt::profibus::QueuePolicy;
 use profirt::sim::{SimMaster, SimNetwork};
 
-use crate::json::{self, Value};
+use profirt::base::json::{self, Value};
 
 /// One stream entry.
 #[derive(Clone, Copy, Debug)]

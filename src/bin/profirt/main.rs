@@ -5,14 +5,17 @@
 //! profirt analyze  <config.json> [--policy fcfs|dm|dm-paper|edf|all]
 //! profirt ttr      <config.json> [--model paper|refined]
 //! profirt simulate <config.json> [--horizon TICKS] [--seed N]
+//! profirt campaign run <spec.json|preset> [--quick] [--out DIR]
+//! profirt campaign list
+//! profirt campaign describe <spec.json|preset>
 //! profirt example-config
 //! ```
 //!
 //! Config files are JSON (see `configs/sample_network.json` or
 //! `profirt example-config`); all times are in ticks (bit times).
 
+mod campaign_cmd;
 mod config_file;
-mod json;
 mod output;
 
 use std::process::ExitCode;
@@ -67,6 +70,26 @@ fn run(args: &[String]) -> Result<(), String> {
             let net = CliNetwork::load(path)?;
             output::simulate(&net, horizon, seed)
         }
+        "campaign" => match args.get(1).map(String::as_str) {
+            Some("run") => {
+                let target = positional(args, 2, "campaign spec or preset name")?;
+                let quick = args.iter().any(|a| a == "--quick");
+                let out_root = flag_value(args, "--out").unwrap_or("out");
+                campaign_cmd::run(target, quick, out_root)
+            }
+            Some("list") => campaign_cmd::list(),
+            Some("describe") => {
+                let target = positional(args, 2, "campaign spec or preset name")?;
+                campaign_cmd::describe(target)
+            }
+            other => {
+                print_usage();
+                Err(match other {
+                    Some(o) => format!("unknown campaign action {o:?}"),
+                    None => "missing campaign action (run|list|describe)".into(),
+                })
+            }
+        },
         "example-config" => {
             println!("{}", config_file::example_json());
             Ok(())
@@ -104,6 +127,9 @@ fn print_usage() {
            profirt analyze  <config.json> [--policy fcfs|dm|dm-paper|edf|all]\n\
            profirt ttr      <config.json> [--model paper|refined]\n\
            profirt simulate <config.json> [--horizon TICKS] [--seed N]\n\
+           profirt campaign run <spec.json|preset> [--quick] [--out DIR]\n\
+           profirt campaign list\n\
+           profirt campaign describe <spec.json|preset>\n\
            profirt example-config\n"
     );
 }

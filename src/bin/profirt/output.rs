@@ -1,9 +1,7 @@
 //! CLI output rendering for the three subcommands.
 
 use profirt::base::Time;
-use profirt::core::{
-    max_feasible_ttr, DmAnalysis, EdfAnalysis, FcfsAnalysis, NetworkAnalysis, TcycleModel,
-};
+use profirt::core::{max_feasible_ttr, FcfsAnalysis, NetworkAnalysis, PolicyKind, TcycleModel};
 use profirt::sim::{simulate_network, NetworkSimConfig};
 
 use crate::config_file::CliNetwork;
@@ -37,43 +35,23 @@ fn print_analysis(label: &str, an: &NetworkAnalysis) {
 /// `profirt analyze`.
 pub fn analyze(net: &CliNetwork, policy: &str) -> Result<(), String> {
     let config = net.to_analysis()?;
-    let mut matched = false;
-    if matches!(policy, "fcfs" | "all") {
-        matched = true;
-        let an = FcfsAnalysis::paper()
-            .run(&config)
-            .map_err(|e| e.to_string())?;
-        print_analysis("FCFS (eq. 11)", &an);
-    }
-    if matches!(policy, "dm" | "all") {
-        matched = true;
-        let an = DmAnalysis::conservative()
-            .analyze(&config)
-            .map_err(|e| e.to_string())?;
-        print_analysis("DM conservative (eq. 16 fixed)", &an);
-    }
-    if matches!(policy, "dm-paper" | "all") {
-        matched = true;
-        let an = DmAnalysis::paper()
-            .analyze(&config)
-            .map_err(|e| e.to_string())?;
-        print_analysis("DM paper-literal (eq. 16)", &an);
-    }
-    if matches!(policy, "edf" | "all") {
-        matched = true;
-        match EdfAnalysis::paper().analyze(&config) {
-            Ok(an) => print_analysis("EDF (eqs. 17-18)", &an),
-            Err(profirt::base::AnalysisError::UtilizationAtLeastOne) => {
+    let kinds: Vec<PolicyKind> = if policy == "all" {
+        PolicyKind::ALL.to_vec()
+    } else {
+        vec![PolicyKind::parse(policy).ok_or_else(|| format!("unknown policy {policy:?}"))?]
+    };
+    for kind in kinds {
+        match kind.analyze(&config) {
+            Ok(an) => print_analysis(kind.label(), &an),
+            Err(profirt::base::AnalysisError::UtilizationAtLeastOne) if kind == PolicyKind::Edf => {
                 println!(
-                    "EDF (eqs. 17-18): not analysable — some master's streams \
-                     saturate the token service (Σ Tcycle/T >= 1)\n"
+                    "{}: not analysable — some master's streams \
+                     saturate the token service (Σ Tcycle/T >= 1)\n",
+                    kind.label()
                 );
             }
             Err(e) => return Err(e.to_string()),
         }
-    }
-    if !matched {
-        return Err(format!("unknown policy {policy:?}"));
     }
     Ok(())
 }
@@ -129,9 +107,9 @@ pub fn simulate(net: &CliNetwork, horizon: i64, seed: u64) -> Result<(), String>
     );
 
     // Reference bounds per master policy.
-    let fcfs = FcfsAnalysis::paper().run(&config).ok();
-    let dm = DmAnalysis::conservative().analyze(&config).ok();
-    let edf = EdfAnalysis::paper().analyze(&config).ok();
+    let fcfs = PolicyKind::Fcfs.analyze(&config).ok();
+    let dm = PolicyKind::Dm.analyze(&config).ok();
+    let edf = PolicyKind::Edf.analyze(&config).ok();
     println!(
         "  {:<10} {:>10} {:>10} {:>8} {:>8} {:>12} {:>6}",
         "stream", "completed", "max resp", "misses", "policy", "bound", "ok"

@@ -20,6 +20,9 @@
 //! * [`sim`] — discrete-event simulators (network + single CPU) used to
 //!   validate every analytical bound.
 //! * [`workload`] — seeded synthetic workload generators.
+//! * [`experiments`] — the T1–T8/F1–F6 reproduction harness and the
+//!   campaign engine (declarative scenario-matrix runs; see
+//!   `ARCHITECTURE.md` and `profirt campaign --help`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 
 pub use profirt_base as base;
 pub use profirt_core as core;
+pub use profirt_experiments as experiments;
 pub use profirt_profibus as profibus;
 pub use profirt_sched as sched;
 pub use profirt_sim as sim;
