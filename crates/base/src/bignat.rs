@@ -112,7 +112,7 @@ impl BigNat {
 
 impl PartialOrd for BigNat {
     fn partial_cmp(&self, other: &BigNat) -> Option<Ordering> {
-        Some(self.cmp_nat(other))
+        Some(self.cmp(other))
     }
 }
 

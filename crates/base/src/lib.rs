@@ -32,6 +32,7 @@ pub mod ids;
 pub mod json;
 pub mod num;
 pub mod priority;
+pub mod release;
 pub mod rng;
 pub mod stream;
 pub mod task;
@@ -42,6 +43,7 @@ pub use error::{AnalysisError, AnalysisResult, ModelError};
 pub use ids::{MasterAddr, StreamId, TaskId};
 pub use num::{ceil_div, floor_div, gcd, lcm, Frac};
 pub use priority::Priority;
+pub use release::{JitterMode, MergedReleases, OffsetMode, PeriodicReleases, ReleaseGen};
 pub use rng::Prng;
 pub use stream::{MessageStream, StreamSet};
 pub use task::{Task, TaskSet};

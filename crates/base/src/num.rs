@@ -178,7 +178,7 @@ impl Sum for Frac {
 
 impl PartialOrd for Frac {
     fn partial_cmp(&self, other: &Frac) -> Option<Ordering> {
-        Some(self.cmp_frac(*other))
+        Some(self.cmp(other))
     }
 }
 

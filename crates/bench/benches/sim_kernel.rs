@@ -1,0 +1,150 @@
+//! `sim_kernel` bench: the streaming simulation kernel against the
+//! pre-materialized baseline, over pinned fixtures.
+//!
+//! Two fixtures bracket the design space:
+//!
+//! * `dense_long_horizon` — 3 masters × 6 short-period streams over a
+//!   20M-tick horizon (~100k releases): the baseline materializes, sorts
+//!   and walks a multi-megabyte release vector that the streaming kernel
+//!   never allocates.
+//! * `lp_backlog` — a single master whose low-priority arrival rate
+//!   outruns its service rate: the pending backlog grows with the
+//!   horizon, so the baseline's linear-scan + `Vec::remove` low-priority
+//!   selection goes quadratic while the kernel's heap stays logarithmic.
+//!
+//! Besides the criterion groups, the bench writes `BENCH_sim.json`
+//! (workspace `target/` by default, `BENCH_SIM_JSON` overrides) — the
+//! perf baseline artifact CI uploads, recording per-fixture mean ns for
+//! both engines and the streaming/materialized speedup.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use profirt_base::json::{self, Value};
+use profirt_base::{StreamSet, Time};
+use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
+use profirt_sim::{
+    simulate_network, simulate_network_materialized, NetworkSimConfig, SimMaster, SimNetwork,
+};
+
+/// Pinned release-dense, schedulable fixture: ~100k releases over the
+/// horizon, jitter on some streams to exercise the look-ahead path.
+fn dense_long_horizon() -> (SimNetwork, NetworkSimConfig) {
+    let mk_master = |shift: i64| {
+        let streams = StreamSet::from_cdtj(&[
+            (80, 2_000 + shift, 2_000 + shift, 0),
+            (60, 2_500, 2_500 + shift, 300),
+            (90, 3_000 + shift, 3_000, 0),
+            (70, 4_000, 4_000 + shift, 500),
+            (50, 5_000 + shift, 5_000, 0),
+            (60, 9_000, 9_000 + shift, 0),
+        ])
+        .unwrap();
+        SimMaster::priority_queued(streams, QueuePolicy::DeadlineMonotonic)
+    };
+    let net = SimNetwork {
+        masters: vec![mk_master(0), mk_master(100), mk_master(250)],
+        ttr: Time::new(4_000),
+        token_pass: Time::new(166),
+    };
+    let cfg = NetworkSimConfig {
+        horizon: Time::new(20_000_000),
+        ..Default::default()
+    };
+    (net, cfg)
+}
+
+/// Pinned fixture whose low-priority backlog grows with the horizon:
+/// arrivals every 50 ticks, service bounded by the rotation budget.
+fn lp_backlog() -> (SimNetwork, NetworkSimConfig) {
+    let streams = profirt_base::StreamSet::from_cdt(&[(300, 40_000, 30_000)]).unwrap();
+    let master = SimMaster::stock(streams)
+        .with_low_priority(LowPriorityTraffic::new(Time::new(300), Time::new(50)));
+    let net = SimNetwork {
+        masters: vec![master],
+        ttr: Time::new(10_000),
+        token_pass: Time::new(166),
+    };
+    let cfg = NetworkSimConfig {
+        horizon: Time::new(1_000_000),
+        ..Default::default()
+    };
+    (net, cfg)
+}
+
+fn fixtures() -> Vec<(&'static str, SimNetwork, NetworkSimConfig)> {
+    let (d_net, d_cfg) = dense_long_horizon();
+    let (l_net, l_cfg) = lp_backlog();
+    vec![
+        ("dense_long_horizon", d_net, d_cfg),
+        ("lp_backlog", l_net, l_cfg),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    group.sample_size(10);
+    for (label, net, cfg) in fixtures() {
+        group.bench_with_input(BenchmarkId::new("streaming", label), &(), |b, ()| {
+            b.iter(|| simulate_network(black_box(&net), &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", label), &(), |b, ()| {
+            b.iter(|| simulate_network_materialized(black_box(&net), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+/// Mean per-iteration nanoseconds of `f` over `iters` runs.
+fn mean_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Writes the `BENCH_sim.json` perf baseline (the artifact CI uploads).
+fn write_baseline(full: bool) {
+    let iters = if full { 5 } else { 1 };
+    let mut rows = Vec::new();
+    for (label, net, cfg) in fixtures() {
+        let streaming = mean_ns(iters, || {
+            black_box(simulate_network(black_box(&net), &cfg));
+        });
+        let materialized = mean_ns(iters, || {
+            black_box(simulate_network_materialized(black_box(&net), &cfg));
+        });
+        rows.push(json::object([
+            ("fixture", Value::Str(label.to_string())),
+            ("horizon_ticks", Value::Int(cfg.horizon.ticks())),
+            ("streaming_ns", Value::Float(streaming)),
+            ("materialized_ns", Value::Float(materialized)),
+            ("speedup", Value::Float(materialized / streaming)),
+        ]));
+    }
+    let doc = json::object([
+        ("bench", Value::Str("sim_kernel".to_string())),
+        ("samples_per_engine", Value::Int(iters as i64)),
+        ("smoke_run", Value::Bool(!full)),
+        ("fixtures", Value::Array(rows)),
+    ]);
+    let path = std::env::var("BENCH_SIM_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_sim.json").to_string()
+    });
+    match std::fs::write(&path, doc.pretty() + "\n") {
+        Ok(()) => println!("[baseline] wrote {path}"),
+        Err(e) => eprintln!("[baseline] cannot write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    // Full measurement only under `cargo bench` (the harness passes
+    // `--bench`); test/smoke invocations still emit a valid artifact.
+    let full = std::env::args().any(|a| a == "--bench");
+    write_baseline(full);
+}

@@ -71,7 +71,7 @@ pub fn low_priority_outlook(net: &NetworkConfig) -> LowPriorityOutlook {
     let ttr = net.ttr.ticks() as i128;
     let used = Frac::new(ttr, 1) * high_utilization;
     let residual_num =
-        ttr * used.den() - used.num() * 1 - (net.ring_overhead().ticks() as i128) * used.den();
+        ttr * used.den() - used.num() - (net.ring_overhead().ticks() as i128) * used.den();
     let residual = if residual_num <= 0 {
         Time::ZERO
     } else {

@@ -3,9 +3,15 @@
 
 use profirt_experiments::{exps, ExpConfig};
 
+/// One experiment entry: label plus its runner.
+type ExpRun = (
+    &'static str,
+    fn(&ExpConfig) -> profirt_experiments::ExpReport,
+);
+
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runs: Vec<(&str, fn(&ExpConfig) -> profirt_experiments::ExpReport)> = vec![
+    let runs: Vec<ExpRun> = vec![
         ("T1", exps::t1::run),
         ("T2", exps::t2::run),
         ("T3", exps::t3::run),

@@ -20,7 +20,7 @@ use profirt_workload::{generate_task_set, NetGenParams, PeriodRange, TaskGenPara
 
 use super::plan::WorkUnit;
 use super::spec::{CampaignSpec, ScenarioKind};
-use crate::exps::common::{gen_network, obs_over_bound, sim_max_responses};
+use crate::exps::common::{gen_network, obs_over_bound, sim_observed};
 
 /// The metric columns a campaign of the given kind produces, in CSV order.
 pub fn metric_names(kind: ScenarioKind) -> &'static [&'static str] {
@@ -36,6 +36,9 @@ pub fn metric_names(kind: ScenarioKind) -> &'static [&'static str] {
             "sim_max_trr",
             "sim_worst_ratio",
             "sim_violations",
+            "sim_p95_response",
+            "sim_p99_response",
+            "sim_p99_trr",
         ],
         ScenarioKind::Cpu => &["accept_ratio", "mean_wcrt_norm"],
     }
@@ -90,6 +93,9 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
     let mut trrs = Vec::new();
     let mut worst_ratios = Vec::new();
     let mut violations = 0u64;
+    let mut resp_p95s = Vec::new();
+    let mut resp_p99s = Vec::new();
+    let mut trr_p99s = Vec::new();
 
     for rep in 0..spec.replications {
         let seed = unit_seed(spec, unit.index, rep);
@@ -117,13 +123,16 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
         }
 
         if spec.sim_horizon > 0 {
-            let (obs, trr) = sim_max_responses(&g, policy.queue_policy(), spec.sim_horizon, seed);
-            trrs.push(trr.ticks() as f64);
-            let (worst, viols) = obs_over_bound(&an, &obs);
+            let s = sim_observed(&g, policy.queue_policy(), spec.sim_horizon, seed);
+            trrs.push(s.max_trr.ticks() as f64);
+            let (worst, viols) = obs_over_bound(&an, &s.max_responses);
             violations += viols as u64;
             if let Some(w) = worst {
                 worst_ratios.push(w);
             }
+            resp_p95s.push(s.response_p95);
+            resp_p99s.push(s.response_p99);
+            trr_p99s.push(s.trr_p99);
         }
     }
 
@@ -144,6 +153,21 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
             f64::NAN
         },
         if sim { violations as f64 } else { f64::NAN },
+        if sim {
+            mean_or_nan(&resp_p95s)
+        } else {
+            f64::NAN
+        },
+        if sim {
+            mean_or_nan(&resp_p99s)
+        } else {
+            f64::NAN
+        },
+        if sim {
+            mean_or_nan(&trr_p99s)
+        } else {
+            f64::NAN
+        },
     ]
 }
 
@@ -301,9 +325,31 @@ mod tests {
             }
         }
         // Analysis-only: all sim columns are NaN.
-        assert!(a[0][7].is_nan() && a[0][8].is_nan() && a[0][9].is_nan());
+        for col in 7..=12 {
+            assert!(a[0][col].is_nan(), "sim column {col} not NaN: {:?}", a[0]);
+        }
         // Ratios live in [0, 1].
         assert!((0.0..=1.0).contains(&a[0][0]));
+    }
+
+    #[test]
+    fn simulated_units_populate_percentile_columns() {
+        let spec = CampaignSpec::new("eval-net-sim", "", ScenarioKind::Network)
+            .replications(2)
+            .sim_horizon(400_000)
+            .axis_i64("masters", &[2])
+            .axis_str("policy", &["dm"]);
+        let p = plan(&spec).unwrap();
+        let names = metric_names(ScenarioKind::Network);
+        let row = eval_unit(&spec, &p.units[0]);
+        let col = |name: &str| row[names.iter().position(|m| *m == name).unwrap()];
+        let p95 = col("sim_p95_response");
+        let p99 = col("sim_p99_response");
+        let trr_p99 = col("sim_p99_trr");
+        assert!(p95.is_finite() && p99.is_finite() && trr_p99.is_finite());
+        assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        // Percentiles sit below the recorded maxima.
+        assert!(trr_p99 <= col("sim_max_trr"));
     }
 
     #[test]

@@ -345,21 +345,20 @@ impl CampaignSpec {
         };
         for v in &axis.values {
             match axis.name.as_str() {
-                "masters" | "streams" | "tasks" | "ttr" => {
-                    if !v.as_i64().is_some_and(|n| n >= 1) {
-                        return bad(v, "an integer >= 1");
-                    }
+                "masters" | "streams" | "tasks" | "ttr" if v.as_i64().is_none_or(|n| n < 1) => {
+                    return bad(v, "an integer >= 1");
                 }
-                "tightness" | "utilization" | "deadline_frac" => {
-                    if !v.as_f64().is_some_and(|x| x > 0.0 && x <= 1.0) {
-                        return bad(v, "a number in (0, 1]");
-                    }
+                "masters" | "streams" | "tasks" | "ttr" => {}
+                "tightness" | "utilization" | "deadline_frac"
+                    if !v.as_f64().is_some_and(|x| x > 0.0 && x <= 1.0) =>
+                {
+                    return bad(v, "a number in (0, 1]");
                 }
-                "period_spread" => {
-                    if !matches!(v.as_str(), Some("standard") | Some("wide")) {
-                        return bad(v, "\"standard\" or \"wide\"");
-                    }
+                "tightness" | "utilization" | "deadline_frac" => {}
+                "period_spread" if !matches!(v.as_str(), Some("standard") | Some("wide")) => {
+                    return bad(v, "\"standard\" or \"wide\"");
                 }
+                "period_spread" => {}
                 "policy" => {
                     let name = v.as_str().unwrap_or("");
                     let known = match self.kind {

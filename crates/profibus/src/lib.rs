@@ -45,7 +45,7 @@ pub use cycle::{MessageCycleSpec, TokenPassTime};
 pub use fdl::{token_recovery_timeout, FdlEvent, FdlState, FdlStation};
 pub use frame::{Frame, FrameError, FunctionCode};
 pub use params::BusParams;
-pub use queue::{ApQueue, QueuePolicy, Request, StackQueue};
+pub use queue::{ApQueue, QueuePolicy, Request, StackCapacity, StackQueue};
 pub use ring::LogicalRing;
 pub use station::{LowPriorityTraffic, MasterStation, SlaveStation};
 pub use token::{TokenHold, TokenTimer};

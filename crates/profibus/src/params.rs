@@ -91,6 +91,14 @@ impl BusParams {
         self
     }
 
+    /// Returns a copy with a different slot time `TSL` (the simulators
+    /// carry `TSL` in their run config and route it through here for the
+    /// token-recovery timeout).
+    pub fn with_slot_time(mut self, slot_time: Time) -> BusParams {
+        self.slot_time = slot_time;
+        self
+    }
+
     /// Returns a copy with a different retry limit.
     pub fn with_max_retry(mut self, max_retry: u8) -> BusParams {
         self.max_retry = max_retry;

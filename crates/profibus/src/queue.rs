@@ -139,29 +139,67 @@ impl ApQueue {
     }
 }
 
+/// Capacity of a [`StackQueue`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StackCapacity {
+    /// At most this many pending requests (`>= 1`).
+    Slots(usize),
+    /// No limit — the stock PROFIBUS stack, which accepts every request
+    /// the AP layer hands down (so FCFS reordering happens wholesale).
+    Unbounded,
+}
+
+impl StackCapacity {
+    /// Maps the simulator-config convention (`usize::MAX` = stock /
+    /// unbounded, anything else a hard slot count) onto the explicit
+    /// variant.
+    pub fn from_config(capacity: usize) -> StackCapacity {
+        if capacity == usize::MAX {
+            StackCapacity::Unbounded
+        } else {
+            StackCapacity::Slots(capacity)
+        }
+    }
+}
+
 /// The communication-stack FCFS queue with a hard capacity.
 ///
-/// Stock PROFIBUS: effectively unbounded (use `usize::MAX`). The paper's §4
+/// Stock PROFIBUS: [`StackCapacity::Unbounded`]. The paper's §4
 /// architecture: capacity **1**, enforced through the local management
 /// service, so at most one request sits below the AP queue at any time.
 #[derive(Clone, Debug)]
 pub struct StackQueue {
-    capacity: usize,
+    capacity: StackCapacity,
     items: VecDeque<Request>,
 }
 
 impl StackQueue {
-    /// Creates a stack queue with the given capacity (`>= 1`).
+    /// Creates a stack queue with the given slot count (`>= 1`).
     ///
     /// # Panics
     /// Panics if `capacity == 0` (the stack must hold the in-flight
     /// request).
     pub fn new(capacity: usize) -> StackQueue {
-        assert!(capacity >= 1, "stack queue capacity must be at least 1");
+        StackQueue::with_capacity(StackCapacity::Slots(capacity))
+    }
+
+    /// Creates a stack queue with an explicit capacity variant.
+    ///
+    /// # Panics
+    /// Panics on `StackCapacity::Slots(0)`.
+    pub fn with_capacity(capacity: StackCapacity) -> StackQueue {
+        if let StackCapacity::Slots(n) = capacity {
+            assert!(n >= 1, "stack queue capacity must be at least 1");
+        }
         StackQueue {
             capacity,
             items: VecDeque::new(),
         }
+    }
+
+    /// The stock unbounded configuration.
+    pub fn unbounded() -> StackQueue {
+        StackQueue::with_capacity(StackCapacity::Unbounded)
     }
 
     /// The paper's single-slot configuration.
@@ -172,7 +210,7 @@ impl StackQueue {
     /// Attempts to enqueue; returns `false` (rejecting the request) when
     /// full — the AP layer then retains the request in its own queue.
     pub fn try_push(&mut self, r: Request) -> bool {
-        if self.items.len() >= self.capacity {
+        if self.is_full() {
             return false;
         }
         self.items.push_back(r);
@@ -199,13 +237,16 @@ impl StackQueue {
         self.items.is_empty()
     }
 
-    /// `true` when at capacity.
+    /// `true` when at capacity (never for an unbounded queue).
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.capacity
+        match self.capacity {
+            StackCapacity::Slots(n) => self.items.len() >= n,
+            StackCapacity::Unbounded => false,
+        }
     }
 
     /// The configured capacity.
-    pub fn capacity(&self) -> usize {
+    pub fn capacity(&self) -> StackCapacity {
         self.capacity
     }
 }
@@ -295,7 +336,7 @@ mod tests {
     #[test]
     fn stack_queue_capacity_enforced() {
         let mut s = StackQueue::single_slot();
-        assert_eq!(s.capacity(), 1);
+        assert_eq!(s.capacity(), StackCapacity::Slots(1));
         assert!(s.try_push(req(0, 0, 10, 0)));
         assert!(s.is_full());
         assert!(
@@ -324,5 +365,29 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_stack_panics() {
         let _ = StackQueue::new(0);
+    }
+
+    #[test]
+    fn unbounded_stack_never_fills() {
+        let mut s = StackQueue::unbounded();
+        assert_eq!(s.capacity(), StackCapacity::Unbounded);
+        for i in 0..10_000 {
+            assert!(!s.is_full());
+            assert!(s.try_push(req(i, i as i64, 100, 0)));
+        }
+        assert_eq!(s.len(), 10_000);
+        assert!(!s.is_full());
+        // Still strictly FCFS.
+        assert_eq!(s.pop().unwrap().stream.0, 0);
+        assert_eq!(s.pop().unwrap().stream.0, 1);
+    }
+
+    #[test]
+    fn capacity_from_config_maps_sentinel() {
+        assert_eq!(
+            StackCapacity::from_config(usize::MAX),
+            StackCapacity::Unbounded
+        );
+        assert_eq!(StackCapacity::from_config(3), StackCapacity::Slots(3));
     }
 }

@@ -7,9 +7,20 @@
 //! cases need offset sweeps, cf. Spuri's asap patterns, which the callers
 //! drive via [`CpuSimConfig::offsets`]).
 //!
+//! Like the network simulator, the CPU simulator is a streaming kernel:
+//! lazy per-task job-release generators feed a heap-backed ready set, and
+//! completions flow through the observer pipeline ([`CpuEvent`]). The
+//! pre-materialized baseline is retained in [`mod@reference`] for
+//! differential tests and benchmarks.
+//!
 //! Observed maxima are **lower bounds** on analytical worst cases; the
 //! validation contract everywhere is `observed ≤ bound`.
 
+pub mod reference;
 mod sim;
 
-pub use sim::{simulate_cpu, CpuPolicy, CpuSimConfig, CpuSimResult};
+pub use reference::simulate_cpu_materialized;
+pub use sim::{
+    run_cpu, simulate_cpu, simulate_cpu_stats, CpuEvent, CpuPolicy, CpuResponseStats,
+    CpuResultObserver, CpuSimConfig, CpuSimResult,
+};

@@ -1,0 +1,131 @@
+//! The pre-materialized reference CPU simulator.
+//!
+//! Drains the same lazy job-release generators into one sorted `Vec` up
+//! front (O(horizon × tasks) memory) and dispatches with a linear-scan
+//! ready list — the pre-streaming implementation, kept as the executable
+//! specification the differential property tests pin
+//! [`crate::cpu::simulate_cpu`] against, and the baseline the
+//! `sim_kernel` benchmark measures.
+//!
+//! Dispatch order is defined identically to the kernel: most urgent
+//! first by the policy's `(key, task)` urgency, FIFO among equal keys via
+//! a release-order sequence number assigned once per job and preserved
+//! across preemptions (order-preserving removal, so the scan's tie-break
+//! is deterministic).
+
+use profirt_base::release::MergedReleases;
+use profirt_base::{TaskSet, Time};
+use profirt_sched::fixed::PriorityMap;
+use profirt_workload::task_release_gens;
+
+use crate::cpu::sim::{urgency_key, validate_inputs, CpuSimConfig, CpuSimResult};
+
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    task: usize,
+    release: Time,
+    abs_deadline: Time,
+    remaining: Time,
+    /// Release-order sequence, kept across preemptions (the kernel's
+    /// FIFO tie-break, mirrored here).
+    seq: u64,
+}
+
+/// Simulates the task set with the pre-materialized baseline.
+///
+/// # Panics
+/// Same contract as [`crate::cpu::simulate_cpu`].
+pub fn simulate_cpu_materialized(
+    set: &TaskSet,
+    prio: Option<&PriorityMap>,
+    config: &CpuSimConfig,
+) -> CpuSimResult {
+    validate_inputs(set, prio, config);
+    let n = set.len();
+    let mut result = CpuSimResult {
+        max_response: vec![Time::ZERO; n],
+        misses: vec![0; n],
+        completed: vec![0; n],
+    };
+
+    // Materialize every release of the run up front (the memory profile
+    // the streaming kernel avoids).
+    let releases =
+        MergedReleases::new(task_release_gens(set, &config.offsets, config.horizon)).drain_to_vec();
+    let mut next_index = 0usize;
+
+    let key = |job: &Job| urgency_key(config.policy, prio, job.task, job.abs_deadline);
+    let mut ready: Vec<((i64, usize), u64, Job)> = Vec::new();
+    let mut next_seq = 0u64;
+    let mut running: Option<Job> = None;
+    let mut now = Time::ZERO;
+
+    loop {
+        while next_index < releases.len() && releases[next_index].0 <= now {
+            let r = releases[next_index].1;
+            next_index += 1;
+            let job = Job {
+                task: r.task,
+                release: r.release,
+                abs_deadline: r.abs_deadline,
+                remaining: r.cost,
+                seq: next_seq,
+            };
+            next_seq += 1;
+            ready.push((key(&job), job.seq, job));
+        }
+        let next_rel = releases.get(next_index).map(|&(ready_at, _)| ready_at);
+
+        // Pick/maintain the running job by linear scan over the ready
+        // list, most urgent `(key, seq)` first; a preempted job re-enters
+        // under its original release-order sequence.
+        if config.policy.is_preemptive() {
+            if let Some(run) = running.take() {
+                ready.push((key(&run), run.seq, run));
+            }
+            if !ready.is_empty() {
+                let best = ready
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(k, s, _))| (k, s))
+                    .map(|(idx, _)| idx)
+                    .unwrap();
+                running = Some(ready.remove(best).2);
+            }
+        } else if running.is_none() && !ready.is_empty() {
+            let best = ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(k, s, _))| (k, s))
+                .map(|(idx, _)| idx)
+                .unwrap();
+            running = Some(ready.remove(best).2);
+        }
+
+        match (&mut running, next_rel) {
+            (None, None) => break,
+            (None, Some(r)) => {
+                now = r;
+            }
+            (Some(job), next) => {
+                let completion = now + job.remaining;
+                let run_until = match (config.policy.is_preemptive(), next) {
+                    (true, Some(r)) if r < completion => r,
+                    _ => completion,
+                };
+                job.remaining -= run_until - now;
+                now = run_until;
+                if job.remaining.is_zero() {
+                    let i = job.task;
+                    result.max_response[i] = result.max_response[i].max(now - job.release);
+                    result.completed[i] += 1;
+                    if now > job.abs_deadline {
+                        result.misses[i] += 1;
+                    }
+                    running = None;
+                }
+            }
+        }
+    }
+    result
+}

@@ -1,8 +1,21 @@
-//! The CPU simulation core.
+//! The CPU simulation core: a streaming kernel over lazy job-release
+//! generators.
+//!
+//! Job releases come from per-task [`TaskReleases`] generators merged on
+//! demand (O(tasks) release state at any horizon); the ready set is a
+//! heap ordered by the policy's urgency key with FIFO tie-break, and
+//! every job completion is emitted as a [`CpuEvent`] into the observer
+//! pipeline — results and response statistics are observers, exactly
+//! like the network kernel.
 
+use profirt_base::release::MergedReleases;
 use profirt_base::{TaskSet, Time};
 use profirt_sched::fixed::PriorityMap;
+use profirt_workload::{task_release_gens, TaskRelease};
 use serde::{Deserialize, Serialize};
+
+use crate::engine::event::KeyedHeap;
+use crate::engine::observer::{HistSummary, Observer, TickHistogram};
 
 /// Dispatching discipline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -54,33 +67,91 @@ impl CpuSimResult {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Job {
-    task: usize,
-    release: Time,
-    abs_deadline: Time,
-    remaining: Time,
+/// One event of the CPU kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpuEvent {
+    /// A job ran to completion.
+    Completed {
+        /// The releasing task's index.
+        task: usize,
+        /// The job's release instant.
+        release: Time,
+        /// The job's absolute deadline.
+        abs_deadline: Time,
+        /// The completion instant.
+        finish: Time,
+    },
 }
 
-/// Simulates the task set under `config`.
-///
-/// `prio` is required for the fixed-priority policies and ignored for EDF.
+/// Assembles the [`CpuSimResult`] from the event stream.
+#[derive(Clone, Debug)]
+pub struct CpuResultObserver {
+    result: CpuSimResult,
+}
+
+impl CpuResultObserver {
+    /// An observer shaped for `n` tasks.
+    pub fn new(n: usize) -> CpuResultObserver {
+        CpuResultObserver {
+            result: CpuSimResult {
+                max_response: vec![Time::ZERO; n],
+                misses: vec![0; n],
+                completed: vec![0; n],
+            },
+        }
+    }
+
+    /// Finalises into the run result.
+    pub fn into_result(self) -> CpuSimResult {
+        self.result
+    }
+}
+
+impl Observer<CpuEvent> for CpuResultObserver {
+    fn observe(&mut self, _at: Time, event: &CpuEvent) {
+        let CpuEvent::Completed {
+            task,
+            release,
+            abs_deadline,
+            finish,
+        } = *event;
+        let r = &mut self.result;
+        r.max_response[task] = r.max_response[task].max(finish - release);
+        r.completed[task] += 1;
+        if finish > abs_deadline {
+            r.misses[task] += 1;
+        }
+    }
+}
+
+/// Histogram of job response times, pooled over all tasks.
+#[derive(Clone, Debug, Default)]
+pub struct CpuResponseStats {
+    /// The underlying histogram.
+    pub hist: TickHistogram,
+}
+
+impl Observer<CpuEvent> for CpuResponseStats {
+    fn observe(&mut self, _at: Time, event: &CpuEvent) {
+        let CpuEvent::Completed {
+            release, finish, ..
+        } = *event;
+        self.hist.record(finish - release);
+    }
+}
+
+/// Validates policy/priority-map/offset invariants shared by the kernel
+/// and the materialized reference.
 ///
 /// # Panics
-/// Panics if a fixed-priority policy is requested without a priority map,
-/// or if `offsets` is non-empty but of the wrong length.
-pub fn simulate_cpu(
-    set: &TaskSet,
-    prio: Option<&PriorityMap>,
-    config: &CpuSimConfig,
-) -> CpuSimResult {
+/// Panics if a fixed-priority policy is requested without a covering
+/// priority map, or if `offsets` is non-empty but of the wrong length.
+pub(crate) fn validate_inputs(set: &TaskSet, prio: Option<&PriorityMap>, config: &CpuSimConfig) {
     let n = set.len();
-    let offsets: Vec<Time> = if config.offsets.is_empty() {
-        vec![Time::ZERO; n]
-    } else {
-        assert_eq!(config.offsets.len(), n, "one offset per task required");
-        config.offsets.clone()
-    };
+    assert!(
+        config.offsets.is_empty() || config.offsets.len() == n,
+        "one offset per task required"
+    );
     let fixed = matches!(
         config.policy,
         CpuPolicy::FixedPreemptive | CpuPolicy::FixedNonPreemptive
@@ -91,88 +162,101 @@ pub fn simulate_cpu(
             "fixed-priority simulation requires a covering priority map"
         );
     }
-    let urgency_key = |job: &Job| -> (i64, usize) {
-        match config.policy {
-            CpuPolicy::FixedPreemptive | CpuPolicy::FixedNonPreemptive => {
-                (prio.unwrap().priority(job.task).0 as i64, job.task)
-            }
-            CpuPolicy::EdfPreemptive | CpuPolicy::EdfNonPreemptive => {
-                (job.abs_deadline.ticks(), job.task)
-            }
+}
+
+/// The policy's urgency key of a job: lower pops first. The task index
+/// makes keys of different tasks distinct; same-task jobs tie and fall
+/// back to release (FIFO) order via the job's release-order sequence
+/// number, which is preserved across preemptions.
+pub(crate) fn urgency_key(
+    policy: CpuPolicy,
+    prio: Option<&PriorityMap>,
+    task: usize,
+    abs_deadline: Time,
+) -> (i64, usize) {
+    match policy {
+        CpuPolicy::FixedPreemptive | CpuPolicy::FixedNonPreemptive => {
+            (prio.unwrap().priority(task).0 as i64, task)
+        }
+        CpuPolicy::EdfPreemptive | CpuPolicy::EdfNonPreemptive => (abs_deadline.ticks(), task),
+    }
+}
+
+/// An in-flight job.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    task: usize,
+    release: Time,
+    abs_deadline: Time,
+    remaining: Time,
+    /// Release-order sequence number, assigned once at release and kept
+    /// across preemptions — the FIFO tie-break among equal urgency keys
+    /// (same-task jobs under fixed priorities) stays release-ordered even
+    /// when the running job returns to the ready set.
+    seq: u64,
+}
+
+impl Job {
+    fn from_release(r: TaskRelease, seq: u64) -> Job {
+        Job {
+            task: r.task,
+            release: r.release,
+            abs_deadline: r.abs_deadline,
+            remaining: r.cost,
+            seq,
+        }
+    }
+}
+
+/// Runs the streaming CPU kernel, emitting every completion into
+/// `observers`.
+///
+/// `prio` is required for the fixed-priority policies and ignored for
+/// EDF.
+///
+/// # Panics
+/// See [`simulate_cpu`].
+pub fn run_cpu(
+    set: &TaskSet,
+    prio: Option<&PriorityMap>,
+    config: &CpuSimConfig,
+    observers: &mut [&mut dyn Observer<CpuEvent>],
+) {
+    validate_inputs(set, prio, config);
+    let emit = |observers: &mut [&mut dyn Observer<CpuEvent>], at: Time, ev: CpuEvent| {
+        for obs in observers.iter_mut() {
+            obs.observe(at, &ev);
         }
     };
 
-    let mut result = CpuSimResult {
-        max_response: vec![Time::ZERO; n],
-        misses: vec![0; n],
-        completed: vec![0; n],
-    };
-    if n == 0 {
-        return result;
-    }
-
-    let mut next_release = offsets.clone();
-    let mut ready: Vec<Job> = Vec::new();
+    let mut releases = MergedReleases::new(task_release_gens(set, &config.offsets, config.horizon));
+    let mut ready: KeyedHeap<(i64, usize), Job> = KeyedHeap::new();
+    let mut next_seq = 0u64;
     let mut running: Option<Job> = None;
     let mut now = Time::ZERO;
-
-    // Advances all releases due at or before `t` into the ready set.
-    // Returns the earliest future release after `t` (or None when all
-    // tasks have passed the horizon).
-    fn sync_releases(
-        set: &TaskSet,
-        horizon: Time,
-        next_release: &mut [Time],
-        ready: &mut Vec<Job>,
-        t: Time,
-    ) -> Option<Time> {
-        let mut earliest: Option<Time> = None;
-        for (i, task) in set.iter() {
-            while next_release[i] <= t && next_release[i] < horizon {
-                ready.push(Job {
-                    task: i,
-                    release: next_release[i],
-                    abs_deadline: next_release[i] + task.d,
-                    remaining: task.c,
-                });
-                next_release[i] += task.t;
-            }
-            if next_release[i] < horizon {
-                earliest = Some(match earliest {
-                    Some(e) => e.min(next_release[i]),
-                    None => next_release[i],
-                });
-            }
-        }
-        earliest
-    }
+    let key = |job: &Job| urgency_key(config.policy, prio, job.task, job.abs_deadline);
 
     loop {
-        let next_rel = sync_releases(set, config.horizon, &mut next_release, &mut ready, now);
+        // Advance all releases due at or before `now` into the ready set.
+        while releases.peek_ready().is_some_and(|r| r <= now) {
+            let (_, r) = releases.next_release().expect("peeked");
+            let job = Job::from_release(r, next_seq);
+            next_seq += 1;
+            ready.push(key(&job), job.seq, job);
+        }
+        let next_rel = releases.peek_ready();
 
         // Pick/maintain the running job.
         if config.policy.is_preemptive() {
-            // Preempt if a ready job is more urgent than the running one.
+            // Preempt if a ready job is more urgent than the running one
+            // (the running job re-enters under its original sequence, so
+            // it resumes ahead of later-released equal-key jobs).
             if let Some(run) = running.take() {
-                ready.push(run);
+                ready.push(key(&run), run.seq, run);
             }
-            if !ready.is_empty() {
-                let best = ready
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, j)| urgency_key(j))
-                    .map(|(idx, _)| idx)
-                    .unwrap();
-                running = Some(ready.swap_remove(best));
-            }
-        } else if running.is_none() && !ready.is_empty() {
-            let best = ready
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, j)| urgency_key(j))
-                .map(|(idx, _)| idx)
-                .unwrap();
-            running = Some(ready.swap_remove(best));
+            running = ready.pop().map(|(_, _, job)| job);
+        } else if running.is_none() {
+            running = ready.pop().map(|(_, _, job)| job);
         }
 
         match (&mut running, next_rel) {
@@ -189,19 +273,51 @@ pub fn simulate_cpu(
                 job.remaining -= run_until - now;
                 now = run_until;
                 if job.remaining.is_zero() {
-                    let resp = now - job.release;
-                    let i = job.task;
-                    result.max_response[i] = result.max_response[i].max(resp);
-                    result.completed[i] += 1;
-                    if now > job.abs_deadline {
-                        result.misses[i] += 1;
-                    }
+                    emit(
+                        observers,
+                        now,
+                        CpuEvent::Completed {
+                            task: job.task,
+                            release: job.release,
+                            abs_deadline: job.abs_deadline,
+                            finish: now,
+                        },
+                    );
                     running = None;
                 }
             }
         }
     }
-    result
+}
+
+/// Simulates the task set under `config`.
+///
+/// `prio` is required for the fixed-priority policies and ignored for EDF.
+///
+/// # Panics
+/// Panics if a fixed-priority policy is requested without a priority map,
+/// or if `offsets` is non-empty but of the wrong length.
+pub fn simulate_cpu(
+    set: &TaskSet,
+    prio: Option<&PriorityMap>,
+    config: &CpuSimConfig,
+) -> CpuSimResult {
+    let mut result = CpuResultObserver::new(set.len());
+    run_cpu(set, prio, config, &mut [&mut result]);
+    result.into_result()
+}
+
+/// Simulates the task set while collecting the pooled response-time
+/// distribution (constant memory at any horizon).
+pub fn simulate_cpu_stats(
+    set: &TaskSet,
+    prio: Option<&PriorityMap>,
+    config: &CpuSimConfig,
+) -> (CpuSimResult, HistSummary) {
+    let mut result = CpuResultObserver::new(set.len());
+    let mut stats = CpuResponseStats::default();
+    run_cpu(set, prio, config, &mut [&mut result, &mut stats]);
+    (result.into_result(), stats.hist.summary())
 }
 
 #[cfg(test)]
@@ -341,6 +457,61 @@ mod tests {
         let set = TaskSet::new(vec![]).unwrap();
         let r = simulate_cpu(&set, None, &cfg(CpuPolicy::EdfPreemptive, 100));
         assert!(r.max_response.is_empty());
+    }
+
+    #[test]
+    fn fifo_preserved_across_preemptions_under_overload() {
+        // One overloaded FP task (C=3, T=2): every job shares the urgency
+        // key, and the running job is re-pushed on every release. Jobs
+        // must still complete strictly in release order — the preempted
+        // job's original sequence number may not be lost.
+        struct OrderProbe {
+            completions: Vec<(Time, Time)>, // (release, finish)
+        }
+        impl Observer<CpuEvent> for OrderProbe {
+            fn observe(&mut self, _at: Time, event: &CpuEvent) {
+                let CpuEvent::Completed {
+                    release, finish, ..
+                } = *event;
+                self.completions.push((release, finish));
+            }
+        }
+        let set = TaskSet::from_cdt(&[(3, 6, 2)]).unwrap();
+        let pm = PriorityMap::rate_monotonic(&set);
+        let mut probe = OrderProbe {
+            completions: Vec::new(),
+        };
+        run_cpu(
+            &set,
+            Some(&pm),
+            &cfg(CpuPolicy::FixedPreemptive, 40),
+            &mut [&mut probe],
+        );
+        assert!(probe.completions.len() >= 10);
+        for (i, w) in probe.completions.windows(2).enumerate() {
+            assert!(
+                w[0].0 < w[1].0,
+                "completion {i} out of release order: {:?}",
+                probe.completions
+            );
+        }
+        // Back-to-back service: job k (released at 2k) finishes at 3(k+1).
+        for (k, &(release, finish)) in probe.completions.iter().enumerate() {
+            assert_eq!(release, t(2 * k as i64));
+            assert_eq!(finish, t(3 * (k as i64 + 1)));
+        }
+    }
+
+    #[test]
+    fn stats_are_passive_and_consistent() {
+        let set = TaskSet::from_ct(&[(1, 4), (2, 9), (3, 17)]).unwrap();
+        let c = cfg(CpuPolicy::EdfPreemptive, 10_000);
+        let plain = simulate_cpu(&set, None, &c);
+        let (result, stats) = simulate_cpu_stats(&set, None, &c);
+        assert_eq!(plain, result);
+        assert_eq!(stats.count, result.completed.iter().sum::<u64>());
+        assert_eq!(stats.max, *result.max_response.iter().max().unwrap());
+        assert!(stats.p50 <= stats.p99);
     }
 
     #[test]

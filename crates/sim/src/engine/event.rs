@@ -1,7 +1,8 @@
-//! A deterministic time-ordered event queue.
+//! Deterministic priority queues: the generic `(key, sequence)` heap and
+//! the time-ordered event queue built on it.
 //!
-//! Events with equal timestamps pop in insertion order (a monotonically
-//! increasing sequence number breaks ties), which keeps simulations
+//! Events with equal keys pop in sequence order (for [`EventQueue`], a
+//! monotonically increasing insertion counter), which keeps simulations
 //! reproducible across runs and platforms.
 
 use std::cmp::Reverse;
@@ -9,57 +10,110 @@ use std::collections::BinaryHeap;
 
 use profirt_base::Time;
 
-/// A time-ordered queue of events of type `E`.
-#[derive(Debug, Clone)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Time, u64, Keyed<E>)>>,
-    seq: u64,
-}
-
-/// Wrapper that opts `E` out of the ordering (only `(Time, seq)` order).
+/// Wrapper that opts the payload out of the ordering (only `(key, seq)`
+/// order).
 #[derive(Debug, Clone, Copy)]
-struct Keyed<E>(E);
+struct Keyed<T>(T);
 
-impl<E> PartialEq for Keyed<E> {
+impl<T> PartialEq for Keyed<T> {
     fn eq(&self, _: &Self) -> bool {
         true
     }
 }
-impl<E> Eq for Keyed<E> {}
-impl<E> PartialOrd for Keyed<E> {
+impl<T> Eq for Keyed<T> {}
+impl<T> PartialOrd for Keyed<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Keyed<E> {
+impl<T> Ord for Keyed<T> {
     fn cmp(&self, _: &Self) -> std::cmp::Ordering {
         std::cmp::Ordering::Equal
     }
+}
+
+/// A min-heap ordered by `(key, sequence number)` with the payload opted
+/// out of the ordering: smallest key first, caller-supplied sequence
+/// breaking ties deterministically. The shared machinery behind
+/// [`EventQueue`] and the CPU kernel's ready set (which carries each
+/// job's original sequence across preemptions to keep FIFO-among-equals
+/// exact).
+#[derive(Debug, Clone)]
+pub struct KeyedHeap<K: Ord + Copy, T> {
+    heap: BinaryHeap<Reverse<(K, u64, Keyed<T>)>>,
+}
+
+impl<K: Ord + Copy, T> KeyedHeap<K, T> {
+    /// Creates an empty heap.
+    pub fn new() -> KeyedHeap<K, T> {
+        KeyedHeap {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Inserts `item` under `(key, seq)`.
+    pub fn push(&mut self, key: K, seq: u64, item: T) {
+        self.heap.push(Reverse((key, seq, Keyed(item))));
+    }
+
+    /// Pops the smallest `(key, seq)` entry.
+    pub fn pop(&mut self) -> Option<(K, u64, T)> {
+        self.heap.pop().map(|Reverse((k, s, Keyed(t)))| (k, s, t))
+    }
+
+    /// The smallest key without removing it.
+    pub fn peek_key(&self) -> Option<K> {
+        self.heap.peek().map(|Reverse((k, _, _))| *k)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<K: Ord + Copy, T> Default for KeyedHeap<K, T> {
+    fn default() -> Self {
+        KeyedHeap::new()
+    }
+}
+
+/// A time-ordered queue of events of type `E` (FIFO among equal
+/// timestamps).
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: KeyedHeap<Time, E>,
+    seq: u64,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: KeyedHeap::new(),
             seq: 0,
         }
     }
 
     /// Schedules `event` at time `at`.
     pub fn schedule(&mut self, at: Time, event: E) {
-        self.heap.push(Reverse((at, self.seq, Keyed(event))));
+        self.heap.push(at, self.seq, event);
         self.seq += 1;
     }
 
     /// Pops the earliest event as `(time, event)`.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|Reverse((t, _, Keyed(e)))| (t, e))
+        self.heap.pop().map(|(t, _, e)| (t, e))
     }
 
     /// The timestamp of the earliest event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        self.heap.peek_key()
     }
 
     /// Number of pending events.
@@ -104,6 +158,20 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_heap_orders_by_key_then_caller_sequence() {
+        let mut h: KeyedHeap<(i64, usize), &str> = KeyedHeap::new();
+        h.push((5, 0), 2, "later");
+        h.push((5, 0), 1, "earlier"); // same key, smaller seq: pops first
+        h.push((3, 9), 7, "urgent");
+        assert_eq!(h.peek_key(), Some((3, 9)));
+        assert_eq!(h.pop(), Some(((3, 9), 7, "urgent")));
+        assert_eq!(h.pop(), Some(((5, 0), 1, "earlier")));
+        assert_eq!(h.pop(), Some(((5, 0), 2, "later")));
+        assert_eq!(h.pop(), None);
+        assert!(h.is_empty());
     }
 
     #[test]

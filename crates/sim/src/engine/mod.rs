@@ -1,7 +1,11 @@
-//! Shared discrete-event-simulation toolkit.
+//! Shared discrete-event-simulation toolkit: the deterministic event
+//! queue, the seeded RNG, and the observer pipeline the streaming kernels
+//! emit into.
 
 pub mod event;
+pub mod observer;
 pub mod rng;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, KeyedHeap};
+pub use observer::{HistSummary, Observer, TickHistogram};
 pub use rng::SimRng;

@@ -1,0 +1,307 @@
+//! The observer pipeline: pluggable sinks for simulation events.
+//!
+//! The simulation kernels do not aggregate anything themselves — they
+//! emit a typed event stream, and every consumer (result assembly, event
+//! tracing, response-time statistics, TRR statistics) is an [`Observer`]
+//! attached to the run. Observers are passive: they may not perturb the
+//! simulation, so a run with any observer set produces the same event
+//! stream as a run with none.
+//!
+//! [`TickHistogram`] is the O(1)-memory aggregation primitive behind the
+//! percentile observers: a log-bucketed histogram of tick values
+//! (64 sub-buckets per octave, ≤ 1.6 % relative quantile error) whose
+//! footprint is a fixed ~30 KB regardless of how many samples a
+//! long-horizon run records.
+
+use profirt_base::Time;
+
+/// A passive sink for simulation events of type `E`.
+///
+/// `at` is the simulation instant the event was emitted at (for cycle
+/// events this is the transmission start, matching the trace convention).
+pub trait Observer<E> {
+    /// Consumes one event.
+    fn observe(&mut self, at: Time, event: &E);
+}
+
+/// Linear buckets below `2^LINEAR_BITS`.
+const LINEAR_BITS: u32 = 7;
+/// Sub-bucket resolution: `2^SUB_BITS` buckets per octave.
+const SUB_BITS: u32 = 6;
+const LINEAR_BUCKETS: usize = 1 << LINEAR_BITS; // 128
+const SUB_BUCKETS: usize = 1 << SUB_BITS; // 64
+/// Octaves LINEAR_BITS..=62 (i64 non-negative range).
+const OCTAVES: usize = 63 - LINEAR_BITS as usize;
+const BUCKETS: usize = LINEAR_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// A log-bucketed histogram of non-negative tick values with constant
+/// memory and bounded relative quantile error.
+///
+/// Values below 128 are recorded exactly; larger values land in one of 64
+/// sub-buckets per power-of-two octave, so any reported quantile is an
+/// upper bound at most `1/64` above the true value. The exact minimum,
+/// maximum, count, and sum are tracked separately (`p0`/`p100` are
+/// therefore exact). Negative samples are clamped to zero.
+#[derive(Clone)]
+pub struct TickHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: i128,
+    min: i64,
+    max: i64,
+}
+
+impl std::fmt::Debug for TickHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Default for TickHistogram {
+    fn default() -> Self {
+        TickHistogram::new()
+    }
+}
+
+/// Bucket index of a non-negative value.
+fn bucket_of(v: i64) -> usize {
+    let v = v as u64;
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= LINEAR_BITS
+    let sub = ((v >> (octave - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+    LINEAR_BUCKETS + (octave - LINEAR_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// Largest value mapping into bucket `index` (the reported quantile
+/// representative, making every quantile an upper bound).
+fn bucket_upper(index: usize) -> i64 {
+    if index < LINEAR_BUCKETS {
+        return index as i64;
+    }
+    let rel = index - LINEAR_BUCKETS;
+    let octave = LINEAR_BITS + (rel / SUB_BUCKETS) as u32;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    let base = (SUB_BUCKETS as u64 + sub) * width;
+    (base + width - 1) as i64
+}
+
+impl TickHistogram {
+    /// An empty histogram.
+    pub fn new() -> TickHistogram {
+        TickHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample (negative values clamp to zero).
+    pub fn record(&mut self, value: Time) {
+        let v = value.ticks().max(0);
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as i128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact largest recorded sample (zero when empty).
+    pub fn max(&self) -> Time {
+        Time::new(if self.count == 0 { 0 } else { self.max })
+    }
+
+    /// Exact smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Time {
+        Time::new(if self.count == 0 { 0 } else { self.min })
+    }
+
+    /// Mean of the recorded samples (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`, nearest-rank) as a value upper
+    /// bound, clamped to the exact recorded extremes. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Time {
+        if self.count == 0 {
+            return Time::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Time::new(bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Time::new(self.max)
+    }
+
+    /// The standard summary of this histogram.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Fixed summary statistics extracted from a [`TickHistogram`].
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact minimum (zero when empty).
+    pub min: Time,
+    /// Exact maximum (zero when empty).
+    pub max: Time,
+    /// Mean (zero when empty).
+    pub mean: f64,
+    /// Median upper bound.
+    pub p50: Time,
+    /// 90th-percentile upper bound.
+    pub p90: Time,
+    /// 95th-percentile upper bound.
+    pub p95: Time,
+    /// 99th-percentile upper bound.
+    pub p99: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = TickHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), t(0));
+        assert_eq!(h.min(), t(0));
+        assert_eq!(h.quantile(0.99), t(0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = TickHistogram::new();
+        for v in 0..100 {
+            h.record(t(v));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), t(0));
+        assert_eq!(h.max(), t(99));
+        assert_eq!(h.quantile(0.5), t(49));
+        assert_eq!(h.quantile(1.0), t(99));
+        assert_eq!(h.quantile(0.0), t(0));
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_tight_upper_bounds() {
+        let mut h = TickHistogram::new();
+        let values: Vec<i64> = (0..10_000).map(|i| 37 + i * 313).collect();
+        for &v in &values {
+            h.record(t(v));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = sorted[rank] as f64;
+            let approx = h.quantile(q).ticks() as f64;
+            assert!(approx >= exact, "q{q}: {approx} < exact {exact}");
+            assert!(
+                approx <= exact * (1.0 + 1.0 / 64.0) + 1.0,
+                "q{q}: {approx} too far above exact {exact}"
+            );
+        }
+        // Extremes stay exact.
+        assert_eq!(h.max().ticks(), *sorted.last().unwrap());
+        assert_eq!(h.min().ticks(), sorted[0]);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_buckets() {
+        let mut h = TickHistogram::new();
+        h.record(t(i64::MAX));
+        h.record(t(i64::MAX - 1));
+        h.record(t(1));
+        assert_eq!(h.max(), t(i64::MAX));
+        assert_eq!(h.quantile(1.0), t(i64::MAX));
+        assert_eq!(h.quantile(0.01), t(1));
+    }
+
+    #[test]
+    fn negative_samples_clamp_to_zero() {
+        let mut h = TickHistogram::new();
+        h.record(t(-5));
+        assert_eq!(h.min(), t(0));
+        assert_eq!(h.max(), t(0));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn bucket_roundtrip_upper_bound_property() {
+        // Every value must land in a bucket whose upper bound is >= the
+        // value and within 1/64 relative error.
+        for v in [
+            0i64,
+            1,
+            127,
+            128,
+            129,
+            1_000,
+            65_535,
+            1 << 20,
+            (1 << 40) + 12345,
+            i64::MAX / 2,
+            i64::MAX,
+        ] {
+            let ub = bucket_upper(bucket_of(v));
+            assert!(ub >= v, "upper {ub} < value {v}");
+            assert!(
+                (ub as u128) <= (v as u128) + (v as u128) / 64 + 1,
+                "upper {ub} too loose for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mut h = TickHistogram::new();
+        for v in 1..=1000 {
+            h.record(t(v));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+        assert!(s.min <= s.p50);
+    }
+}

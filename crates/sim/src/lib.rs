@@ -1,4 +1,4 @@
-//! # profirt-sim — discrete-event simulators
+//! # profirt-sim — streaming discrete-event simulators
 //!
 //! Empirical counterparts of every analytical bound in the workspace:
 //!
@@ -15,7 +15,19 @@
 //!   ring order. Masters can run stock FCFS queues or the §4 architecture
 //!   (priority AP queue + single-slot stack queue), so the FCFS/DM/EDF
 //!   bounds of `profirt-core` can all be checked against observation.
-//! * [`engine`] — the small shared DES toolkit (event queue, seeded RNG).
+//! * [`engine`] — the shared DES toolkit: deterministic event queue,
+//!   seeded RNG, and the observer pipeline ([`Observer`],
+//!   [`TickHistogram`]).
+//!
+//! Both simulators are **streaming kernels**: releases come from lazy
+//! per-source generators (`profirt_base::release` /
+//! `profirt_workload::releases`) merged on demand, so memory is
+//! O(sources) at any horizon, and every run emits a typed event stream
+//! into pluggable observers — result assembly, bounded tracing, and
+//! constant-memory response/TRR percentile statistics are all observers.
+//! The pre-materialized implementations are retained under
+//! `network::reference` / `cpu::reference` as differential-test and
+//! benchmark baselines.
 //!
 //! Simulation produces **lower bounds** on true worst cases: the validation
 //! contract is `observed ≤ analytical` everywhere, plus tightness ratios
@@ -28,8 +40,14 @@ pub mod cpu;
 pub mod engine;
 pub mod network;
 
-pub use cpu::{simulate_cpu, CpuPolicy, CpuSimConfig, CpuSimResult};
+pub use cpu::{
+    simulate_cpu, simulate_cpu_materialized, simulate_cpu_stats, CpuEvent, CpuPolicy, CpuSimConfig,
+    CpuSimResult,
+};
+pub use engine::{EventQueue, HistSummary, Observer, SimRng, TickHistogram};
 pub use network::{
-    simulate_network, simulate_network_traced, JitterInjection, NetworkSimConfig, NetworkSimResult,
-    OffsetMode, SimMaster, SimNetwork, Trace, TraceEvent,
+    simulate_network, simulate_network_materialized, simulate_network_observed,
+    simulate_network_stats, simulate_network_traced, JitterInjection, KernelMemStats, NetEvent,
+    NetworkSimConfig, NetworkSimResult, NetworkSimStats, OffsetMode, SimMaster, SimNetwork, Trace,
+    TraceEvent,
 };

@@ -1,8 +1,14 @@
 //! Simulation inputs.
 
-use profirt_base::{StreamSet, Time};
+use profirt_base::{MasterAddr, StreamSet, Time};
 use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
 use serde::{Deserialize, Serialize};
+
+// The placement/jitter modes are defined next to the lazy release
+// generators in `profirt_base::release` (the workload-level generator
+// constructors need them without depending on this crate); re-exported
+// here under their historical simulator names.
+pub use profirt_base::release::{JitterMode as JitterInjection, OffsetMode};
 
 /// One simulated master.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -16,6 +22,11 @@ pub struct SimMaster {
     pub stack_capacity: usize,
     /// Low-priority background traffic sources.
     pub low_priority: Vec<LowPriorityTraffic>,
+    /// FDL station address, used for the address-staggered token-recovery
+    /// timeout. `None` (the default) means "ring index", which preserves
+    /// the convention that the first master in the ring claims lost
+    /// tokens.
+    pub addr: Option<MasterAddr>,
 }
 
 impl SimMaster {
@@ -26,6 +37,7 @@ impl SimMaster {
             policy: QueuePolicy::Fcfs,
             stack_capacity: usize::MAX,
             low_priority: Vec::new(),
+            addr: None,
         }
     }
 
@@ -36,6 +48,7 @@ impl SimMaster {
             policy,
             stack_capacity: 1,
             low_priority: Vec::new(),
+            addr: None,
         }
     }
 
@@ -43,6 +56,19 @@ impl SimMaster {
     pub fn with_low_priority(mut self, lp: LowPriorityTraffic) -> SimMaster {
         self.low_priority.push(lp);
         self
+    }
+
+    /// Sets an explicit FDL station address (builder style).
+    pub fn with_addr(mut self, addr: MasterAddr) -> SimMaster {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// The effective FDL address: the explicit one, or the ring index.
+    pub fn addr_or_ring(&self, ring_index: usize) -> MasterAddr {
+        self.addr.unwrap_or(MasterAddr(
+            ring_index.min(MasterAddr::MAX_ADDRESS as usize) as u8
+        ))
     }
 }
 
@@ -56,31 +82,6 @@ pub struct SimNetwork {
     /// Token pass duration (SD4 frame + idle time); must be positive so
     /// simulated time always advances.
     pub token_pass: Time,
-}
-
-/// How first releases are placed.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
-pub enum OffsetMode {
-    /// All streams release synchronously at time zero.
-    #[default]
-    Synchronous,
-    /// Uniformly random first offsets in `[0, T)` per stream (seeded).
-    Random,
-}
-
-/// How per-request release jitter is injected (requests become *ready* at
-/// `arrival + jitter`, with `jitter ∈ [0, J]`).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
-pub enum JitterInjection {
-    /// No jitter (all requests ready at arrival).
-    #[default]
-    None,
-    /// Adversarial: the first request of each stream is maximally late
-    /// (`+J`), subsequent ones on time — the pattern that realises the
-    /// back-to-back interference the analyses charge for.
-    FirstLate,
-    /// Uniformly random in `[0, J]` per request (seeded).
-    Random,
 }
 
 /// Simulation run parameters.
@@ -140,6 +141,17 @@ mod tests {
             .with_low_priority(LowPriorityTraffic::new(t(200), t(50_000)));
         assert_eq!(pq.stack_capacity, 1);
         assert_eq!(pq.low_priority.len(), 1);
+    }
+
+    #[test]
+    fn addresses_default_to_ring_index() {
+        use profirt_base::MasterAddr;
+        let streams = StreamSet::new(vec![]).unwrap();
+        let m = SimMaster::stock(streams.clone());
+        assert_eq!(m.addr_or_ring(0), MasterAddr(0));
+        assert_eq!(m.addr_or_ring(3), MasterAddr(3));
+        let m = SimMaster::stock(streams).with_addr(MasterAddr(42));
+        assert_eq!(m.addr_or_ring(3), MasterAddr(42));
     }
 
     #[test]

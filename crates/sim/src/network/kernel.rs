@@ -1,0 +1,303 @@
+//! The streaming network-simulation kernel.
+//!
+//! The kernel executes the paper-literal §3.1 token algorithm (see
+//! [`simulate_network`](crate::network::simulate_network) for the rule list) against **lazy** release
+//! generators: per-stream [`StreamReleases`] and per-source
+//! [`LowPriorityReleases`] are merged through deterministic k-way merges,
+//! so the kernel holds O(streams) release state at any horizon — no
+//! release vector is ever materialized. Pending low-priority work sits in
+//! a heap-backed [`EventQueue`] (ready-ordered, FIFO among equals),
+//! replacing the former linear-scan `Vec`.
+//!
+//! The kernel aggregates nothing: it emits a [`NetEvent`] stream into the
+//! observer pipeline. Results, traces, and percentile statistics are all
+//! observers (see [`crate::network::observe`]).
+//!
+//! Determinism contract: for identical inputs the kernel produces the
+//! exact event stream of the materialized reference simulator
+//! ([`crate::network::reference`]); the differential property tests pin
+//! this byte-for-byte.
+
+use profirt_base::release::MergedReleases;
+use profirt_base::Time;
+use profirt_profibus::fdl::token_recovery_timeout;
+use profirt_profibus::{ApQueue, BusParams, StackCapacity, StackQueue, TokenTimer};
+use profirt_workload::{
+    low_priority_release_gens, stream_release_gens, LowPriorityReleases, StreamReleases,
+};
+
+use crate::engine::{EventQueue, Observer, SimRng};
+use crate::network::config::{NetworkSimConfig, SimMaster, SimNetwork};
+use crate::network::observe::NetEvent;
+
+/// Peak memory indicators of one kernel run, used to pin the O(streams)
+/// memory contract in tests (counts, not bytes — both scale together).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KernelMemStats {
+    /// Largest number of releases buffered inside any master's merged
+    /// generators at a token arrival (heads + jitter look-ahead). Bounded
+    /// by `streams + Σ ⌈J/T⌉` independent of the horizon.
+    pub peak_release_buffer: usize,
+    /// Largest number of requests pending in any master's AP + stack +
+    /// low-priority queues at a token arrival (the actual backlog, which
+    /// is workload-dependent).
+    pub peak_pending: usize,
+}
+
+/// The token-loss recovery rule: the lowest-address master claims the
+/// token after the FDL claim timeout `TTO = (6 + 2·addr)·TSL` (DIN 19245,
+/// see [`profirt_profibus::fdl::token_recovery_timeout`]). Returns the
+/// claimant's ring index and the bus-silence span before its claim.
+pub(crate) fn recovery_rule(net: &SimNetwork, config: &NetworkSimConfig) -> (usize, Time) {
+    let claimant = (0..net.masters.len())
+        .min_by_key(|&k| net.masters[k].addr_or_ring(k))
+        .expect("network needs at least one master");
+    let bus = BusParams::profile_500k().with_slot_time(config.slot_time);
+    let timeout = token_recovery_timeout(&bus, net.masters[claimant].addr_or_ring(claimant));
+    (claimant, timeout)
+}
+
+/// Per-master streaming state.
+struct MasterKernel {
+    timer: TokenTimer,
+    ap: ApQueue,
+    stack: StackQueue,
+    /// Lazy high-priority releases, merged over the master's streams.
+    high: MergedReleases<StreamReleases>,
+    /// Lazy low-priority generations, merged over the master's sources.
+    low: MergedReleases<LowPriorityReleases>,
+    /// Cached `high.peek_ready()` — the idle-visit fast path is a plain
+    /// compare instead of a heap peek.
+    next_high: Option<Time>,
+    /// Cached `low.peek_ready()`.
+    next_low: Option<Time>,
+    /// Ready low-priority work: heap-backed, ordered by `(ready, FIFO)`.
+    /// Payload is the cycle time.
+    lp_pending: EventQueue<Time>,
+    first_arrival_seen: bool,
+}
+
+impl MasterKernel {
+    fn build(cfg: &SimMaster, ttr: Time, run: &NetworkSimConfig, rng: &mut SimRng) -> MasterKernel {
+        let high = MergedReleases::new(stream_release_gens(
+            &cfg.streams,
+            run.horizon,
+            run.offsets,
+            run.jitter,
+            rng,
+        ));
+        let low = MergedReleases::new(low_priority_release_gens(&cfg.low_priority, run.horizon));
+        MasterKernel {
+            timer: TokenTimer::new(ttr),
+            ap: ApQueue::new(cfg.policy),
+            stack: StackQueue::with_capacity(StackCapacity::from_config(cfg.stack_capacity)),
+            next_high: high.peek_ready(),
+            next_low: low.peek_ready(),
+            high,
+            low,
+            lp_pending: EventQueue::new(),
+            first_arrival_seen: false,
+        }
+    }
+
+    /// Pulls releases that became ready by `now` out of the lazy
+    /// generators: high-priority requests drop through the AP queue into
+    /// the stack (the real-time AP→stack transfer at each release
+    /// instant), low-priority generations into the pending heap. Returns
+    /// `true` when anything was pulled (queue state changed).
+    fn sync(&mut self, now: Time) -> bool {
+        let mut pulled = false;
+        while self.next_high.is_some_and(|r| r <= now) {
+            let (_, request) = self.high.next_release().expect("due");
+            self.next_high = self.high.peek_ready();
+            self.ap.push(request);
+            self.transfer();
+            pulled = true;
+        }
+        while self.next_low.is_some_and(|r| r <= now) {
+            let (ready, cycle) = self.low.next_release().expect("due");
+            self.next_low = self.low.peek_ready();
+            self.lp_pending.schedule(ready, cycle);
+            pulled = true;
+        }
+        pulled
+    }
+
+    /// AP → stack transfer: fill free stack slots with the most urgent AP
+    /// requests.
+    fn transfer(&mut self) {
+        while !self.stack.is_full() {
+            match self.ap.pop() {
+                Some(r) => {
+                    let ok = self.stack.try_push(r);
+                    debug_assert!(ok);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Runs the streaming kernel, emitting every bus event into `observers`.
+///
+/// Observers are passive; the event stream (and thus any result derived
+/// from it) is identical for every observer set, including the empty one.
+/// Returns the run's peak-memory indicators.
+///
+/// # Panics
+/// Panics if the network has no masters or a non-positive token-pass time
+/// (time could stall).
+pub fn run_network(
+    net: &SimNetwork,
+    config: &NetworkSimConfig,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+) -> KernelMemStats {
+    assert!(!net.masters.is_empty(), "network needs at least one master");
+    assert!(
+        net.token_pass.is_positive(),
+        "token pass time must be positive"
+    );
+    let emit = |observers: &mut [&mut dyn Observer<NetEvent>], at: Time, ev: NetEvent| {
+        for obs in observers.iter_mut() {
+            obs.observe(at, &ev);
+        }
+    };
+
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut masters: Vec<MasterKernel> = net
+        .masters
+        .iter()
+        .map(|m| MasterKernel::build(m, net.ttr, config, &mut rng))
+        .collect();
+    let mut fault_rng = rng.fork();
+    // Uniform duration in [⌈(1-v)·Ch⌉, Ch] under cycle-undershoot
+    // injection; always Ch otherwise.
+    let mut sample_duration = move |ch: Time| -> Time {
+        if config.cycle_undershoot <= 0.0 {
+            return ch;
+        }
+        let v = config.cycle_undershoot.min(1.0);
+        let lo = Time::new(((ch.ticks() as f64) * (1.0 - v)).ceil().max(1.0) as i64);
+        lo + fault_rng.time_in(ch - lo)
+    };
+    let mut loss_rng = SimRng::seed_from_u64(config.seed ^ 0x70CE_55E5);
+    let (claimant, recovery_timeout) = recovery_rule(net, config);
+    let mut mem = KernelMemStats::default();
+
+    let mut now = Time::ZERO;
+    let mut holder = 0usize;
+    while now < config.horizon {
+        let n_masters = masters.len();
+        let m = &mut masters[holder];
+        // TRR measurement: the timer records arrival-to-arrival spans
+        // (reported from the second arrival on).
+        let prev_start = m.timer.trr_started_at();
+        let hold = m.timer.on_token_arrival(now);
+        let trr = m.first_arrival_seen.then(|| now - prev_start);
+        m.first_arrival_seen = true;
+        emit(
+            observers,
+            now,
+            NetEvent::TokenArrival {
+                master: holder,
+                tth: hold.tth_at_arrival,
+                trr,
+            },
+        );
+
+        // Peak tracking only when releases were pulled: backlog and
+        // look-ahead sizes only change then, so idle visits skip the
+        // bookkeeping entirely.
+        if m.sync(now) {
+            mem.peak_release_buffer = mem
+                .peak_release_buffer
+                .max(m.high.buffered() + m.low.buffered());
+            mem.peak_pending = mem
+                .peak_pending
+                .max(m.ap.len() + m.stack.len() + m.lp_pending.len());
+        }
+
+        // Step 2: one guaranteed high-priority cycle.
+        if let Some(request) = m.stack.pop() {
+            m.sync(now); // releases strictly before start already synced
+            m.transfer(); // slot freed at transmission start
+            let start = now;
+            now += sample_duration(request.cycle_time);
+            m.sync(now);
+            emit(
+                observers,
+                start,
+                NetEvent::HighCycle {
+                    master: holder,
+                    request,
+                    start,
+                    end: now,
+                },
+            );
+
+            // Step 3: more high-priority cycles while TTH > 0 at start.
+            while hold.may_start_additional_high(now) && !m.stack.is_empty() {
+                let request = m.stack.pop().expect("non-empty");
+                m.transfer();
+                let start = now;
+                now += sample_duration(request.cycle_time);
+                m.sync(now);
+                emit(
+                    observers,
+                    start,
+                    NetEvent::HighCycle {
+                        master: holder,
+                        request,
+                        start,
+                        end: now,
+                    },
+                );
+            }
+        }
+
+        // Step 4: low-priority cycles while TTH > 0 at cycle start and no
+        // high-priority request pends (checked at each cycle start).
+        while hold.may_start_low(now) && m.stack.is_empty() {
+            // Oldest ready low-priority request (heap pop: min ready,
+            // FIFO among equals — the former linear scan's order).
+            let Some((_, cycle)) = m.lp_pending.pop() else {
+                break;
+            };
+            let start = now;
+            now += sample_duration(cycle);
+            m.sync(now);
+            emit(
+                observers,
+                start,
+                NetEvent::LowCycle {
+                    master: holder,
+                    start,
+                    end: now,
+                },
+            );
+        }
+
+        // Step 5: pass the token (possibly losing it).
+        now += net.token_pass;
+        if config.token_loss_prob > 0.0 && loss_rng.unit() < config.token_loss_prob {
+            // Lost token: the bus goes silent until the lowest-address
+            // master's claim timeout fires; it then re-originates the
+            // token.
+            now += recovery_timeout;
+            emit(observers, now, NetEvent::Recovery { claimant });
+            holder = claimant;
+        } else {
+            let next = (holder + 1) % n_masters;
+            emit(
+                observers,
+                now,
+                NetEvent::TokenPass {
+                    from: holder,
+                    to: next,
+                },
+            );
+            holder = next;
+        }
+    }
+    mem
+}

@@ -5,11 +5,26 @@
 //! times, token rotation times and deadline misses. See [`simulate_network`] for the
 //! execution rules and the AP-queue/stack-queue transfer semantics that
 //! realise the §4 architecture.
+//!
+//! Structure: [`kernel`] is the streaming execution engine (lazy release
+//! generators → deterministic merge → token loop → event stream);
+//! [`observe`] holds the event type and the built-in observers (results,
+//! traces, percentile statistics); [`mod@reference`] retains the
+//! pre-materialized baseline for differential tests and benchmarks.
 
 mod config;
+pub mod kernel;
+pub mod observe;
+pub mod reference;
 mod sim;
 pub mod trace;
 
 pub use config::{JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork};
-pub use sim::{simulate_network, simulate_network_traced, NetworkSimResult, StreamObservation};
+pub use kernel::{run_network, KernelMemStats};
+pub use observe::{NetEvent, ResponseStats, ResultObserver, TraceObserver, TrrStats};
+pub use reference::simulate_network_materialized;
+pub use sim::{
+    simulate_network, simulate_network_observed, simulate_network_stats, simulate_network_traced,
+    NetworkSimResult, NetworkSimStats, StreamObservation,
+};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,220 @@
+//! Network-simulation events and the built-in observers.
+//!
+//! The streaming kernel ([`crate::network::kernel`]) emits a [`NetEvent`]
+//! stream; everything that used to be hand-threaded through the
+//! simulation loop — result assembly, bounded event tracing, response
+//! statistics — is an [`Observer`] over that stream. Custom observers
+//! compose freely with the built-ins via
+//! [`crate::network::simulate_network_observed`].
+
+use profirt_base::Time;
+use profirt_profibus::Request;
+
+use crate::engine::observer::{Observer, TickHistogram};
+use crate::network::config::SimNetwork;
+use crate::network::sim::{NetworkSimResult, StreamObservation};
+use crate::network::trace::{Trace, TraceEvent};
+
+/// One bus-level event of the network kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetEvent {
+    /// Token arrived at a master (`tth` as loaded at arrival; negative =
+    /// late token).
+    TokenArrival {
+        /// Ring index of the master.
+        master: usize,
+        /// `TTH = TTR − TRR` at arrival.
+        tth: Time,
+        /// The real rotation just completed (arrival-to-arrival span);
+        /// `None` on the master's first arrival.
+        trr: Option<Time>,
+    },
+    /// A high-priority message cycle executed to completion.
+    HighCycle {
+        /// Ring index of the executing master.
+        master: usize,
+        /// The served request (release, deadline, cycle time attached).
+        request: Request,
+        /// Transmission start.
+        start: Time,
+        /// Transmission end (completion instant).
+        end: Time,
+    },
+    /// A low-priority message cycle executed to completion.
+    LowCycle {
+        /// Ring index of the executing master.
+        master: usize,
+        /// Transmission start.
+        start: Time,
+        /// Transmission end.
+        end: Time,
+    },
+    /// The token was passed to the successor.
+    TokenPass {
+        /// Sender ring index.
+        from: usize,
+        /// Receiver ring index.
+        to: usize,
+    },
+    /// A lost token was recovered by the claim timeout.
+    Recovery {
+        /// Ring index of the claiming (lowest-address) master.
+        claimant: usize,
+    },
+}
+
+/// Assembles the [`NetworkSimResult`] from the event stream — result
+/// computation is itself just an observer, so the kernel has a single
+/// output path.
+#[derive(Clone, Debug)]
+pub struct ResultObserver {
+    streams: Vec<Vec<StreamObservation>>,
+    max_trr: Vec<Time>,
+    visits: Vec<u64>,
+    low_completed: Vec<u64>,
+    recoveries: u64,
+}
+
+impl ResultObserver {
+    /// An observer shaped for `net`.
+    pub fn new(net: &SimNetwork) -> ResultObserver {
+        ResultObserver {
+            streams: net
+                .masters
+                .iter()
+                .map(|m| vec![StreamObservation::default(); m.streams.len()])
+                .collect(),
+            max_trr: vec![Time::ZERO; net.masters.len()],
+            visits: vec![0; net.masters.len()],
+            low_completed: vec![0; net.masters.len()],
+            recoveries: 0,
+        }
+    }
+
+    /// Finalises into the run result.
+    pub fn into_result(self) -> NetworkSimResult {
+        NetworkSimResult {
+            streams: self.streams,
+            max_trr: self.max_trr,
+            token_visits: self.visits,
+            low_completed: self.low_completed,
+            token_recoveries: self.recoveries,
+        }
+    }
+}
+
+impl Observer<NetEvent> for ResultObserver {
+    fn observe(&mut self, _at: Time, event: &NetEvent) {
+        match *event {
+            NetEvent::TokenArrival { master, trr, .. } => {
+                self.visits[master] += 1;
+                if let Some(trr) = trr {
+                    self.max_trr[master] = self.max_trr[master].max(trr);
+                }
+            }
+            NetEvent::HighCycle {
+                master,
+                ref request,
+                end,
+                ..
+            } => {
+                let obs = &mut self.streams[master][request.stream.0];
+                obs.max_response = obs.max_response.max(end - request.release);
+                obs.completed += 1;
+                if end > request.abs_deadline {
+                    obs.misses += 1;
+                }
+            }
+            NetEvent::LowCycle { master, .. } => self.low_completed[master] += 1,
+            NetEvent::Recovery { .. } => self.recoveries += 1,
+            NetEvent::TokenPass { .. } => {}
+        }
+    }
+}
+
+/// Histogram of high-priority response times, pooled over all masters and
+/// streams (constant memory at any horizon).
+#[derive(Clone, Debug, Default)]
+pub struct ResponseStats {
+    /// The underlying histogram.
+    pub hist: TickHistogram,
+}
+
+impl ResponseStats {
+    /// An empty observer.
+    pub fn new() -> ResponseStats {
+        ResponseStats::default()
+    }
+}
+
+impl Observer<NetEvent> for ResponseStats {
+    fn observe(&mut self, _at: Time, event: &NetEvent) {
+        if let NetEvent::HighCycle { request, end, .. } = event {
+            self.hist.record(*end - request.release);
+        }
+    }
+}
+
+/// Histogram of measured token rotation times, pooled over all masters.
+#[derive(Clone, Debug, Default)]
+pub struct TrrStats {
+    /// The underlying histogram.
+    pub hist: TickHistogram,
+}
+
+impl TrrStats {
+    /// An empty observer.
+    pub fn new() -> TrrStats {
+        TrrStats::default()
+    }
+}
+
+impl Observer<NetEvent> for TrrStats {
+    fn observe(&mut self, _at: Time, event: &NetEvent) {
+        if let NetEvent::TokenArrival { trr: Some(trr), .. } = event {
+            self.hist.record(*trr);
+        }
+    }
+}
+
+/// Bounded event tracing as an observer: the former hand-threaded
+/// `Option<&mut Trace>` plumbing, now just another pipeline stage.
+#[derive(Clone, Debug)]
+pub struct TraceObserver {
+    /// The recorded trace.
+    pub trace: Trace,
+}
+
+impl TraceObserver {
+    /// Records up to `capacity` events.
+    pub fn new(capacity: usize) -> TraceObserver {
+        TraceObserver {
+            trace: Trace::new(capacity),
+        }
+    }
+}
+
+impl Observer<NetEvent> for TraceObserver {
+    fn observe(&mut self, at: Time, event: &NetEvent) {
+        let mapped = match *event {
+            NetEvent::TokenArrival { master, tth, .. } => TraceEvent::TokenArrival { master, tth },
+            NetEvent::HighCycle {
+                master,
+                ref request,
+                start,
+                end,
+            } => TraceEvent::HighCycle {
+                master,
+                stream: request.stream,
+                start,
+                end,
+            },
+            NetEvent::LowCycle { master, start, end } => {
+                TraceEvent::LowCycle { master, start, end }
+            }
+            NetEvent::TokenPass { from, to } => TraceEvent::TokenPass { from, to },
+            NetEvent::Recovery { claimant } => TraceEvent::Recovery { claimant },
+        };
+        self.trace.record(at, mapped);
+    }
+}

@@ -1,4 +1,4 @@
-//! The network simulation core.
+//! The network simulation API.
 //!
 //! ## Execution rules (paper §3.1, implemented literally)
 //!
@@ -25,13 +25,25 @@
 //! a moment after a lax one finds the stack slot already taken. With
 //! `stack_capacity = usize::MAX` and an FCFS AP queue this degrades to the
 //! stock single-FCFS-queue behaviour of §3.
+//!
+//! ## Architecture
+//!
+//! The execution itself lives in the streaming
+//! [`kernel`](crate::network::kernel): lazy per-stream release generators
+//! merged on demand (O(streams) memory at any horizon) feeding the token
+//! loop, which emits a [`NetEvent`] stream. The functions here are thin
+//! observer assemblies over that kernel — results, traces, and percentile
+//! statistics are all [`Observer`]s. The pre-streaming implementation is
+//! retained as [`crate::network::reference`] for differential testing and
+//! benchmarking.
 
-use profirt_base::{StreamId, Time};
-use profirt_profibus::{ApQueue, Request, StackQueue, TokenTimer};
+use profirt_base::Time;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::SimRng;
-use crate::network::config::{JitterInjection, NetworkSimConfig, OffsetMode, SimNetwork};
+use crate::engine::observer::{HistSummary, Observer};
+use crate::network::config::{NetworkSimConfig, SimNetwork};
+use crate::network::kernel::{run_network, KernelMemStats};
+use crate::network::observe::{NetEvent, ResponseStats, ResultObserver, TraceObserver, TrrStats};
 
 /// Observations for one stream.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -72,76 +84,17 @@ impl NetworkSimResult {
     }
 }
 
-/// Pending release of a high-priority request.
-#[derive(Clone, Copy, Debug)]
-struct PendingRelease {
-    ready_at: Time,
-    request: Request,
-}
-
-struct MasterState {
-    timer: TokenTimer,
-    ap: ApQueue,
-    stack: StackQueue,
-    /// Future high-priority releases, kept sorted ascending by ready time
-    /// (consumed from the front).
-    releases: Vec<PendingRelease>,
-    next_release_index: usize,
-    /// Low-priority pending queue: ready instants of generated requests.
-    lp_pending: Vec<(Time, Time)>, // (ready, cycle_time)
-    lp_next_index: usize,
-    lp_releases: Vec<(Time, Time)>,
-    observations: Vec<StreamObservation>,
-    deadlines: Vec<Time>,
-    max_trr: Time,
-    visits: u64,
-    lp_completed: u64,
-    first_arrival_seen: bool,
-}
-
-impl MasterState {
-    /// Moves releases that became ready by `now` into the AP queue, doing
-    /// the real-time AP→stack transfer at each release instant.
-    fn sync(&mut self, now: Time) {
-        while self.next_release_index < self.releases.len()
-            && self.releases[self.next_release_index].ready_at <= now
-        {
-            let r = self.releases[self.next_release_index];
-            self.next_release_index += 1;
-            self.ap.push(r.request);
-            self.transfer();
-        }
-        while self.lp_next_index < self.lp_releases.len()
-            && self.lp_releases[self.lp_next_index].0 <= now
-        {
-            self.lp_pending.push(self.lp_releases[self.lp_next_index]);
-            self.lp_next_index += 1;
-        }
-    }
-
-    /// AP → stack transfer: fill free stack slots with the most urgent AP
-    /// requests.
-    fn transfer(&mut self) {
-        while !self.stack.is_full() {
-            match self.ap.pop() {
-                Some(r) => {
-                    let ok = self.stack.try_push(r);
-                    debug_assert!(ok);
-                }
-                None => break,
-            }
-        }
-    }
-
-    fn record(&mut self, req: &Request, completion: Time) {
-        let obs = &mut self.observations[req.stream.0];
-        let resp = completion - req.release;
-        obs.max_response = obs.max_response.max(resp);
-        obs.completed += 1;
-        if resp > self.deadlines[req.stream.0] {
-            obs.misses += 1;
-        }
-    }
+/// Constant-memory distribution statistics of one simulation run.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct NetworkSimStats {
+    /// Response-time distribution of every completed high-priority cycle,
+    /// pooled over all masters and streams.
+    pub response: HistSummary,
+    /// Distribution of measured token rotation times, pooled over all
+    /// masters.
+    pub trr: HistSummary,
+    /// Peak memory indicators of the kernel run.
+    pub mem: KernelMemStats,
 }
 
 /// Runs the simulation.
@@ -150,7 +103,28 @@ impl MasterState {
 /// Panics if the network has no masters or a non-positive token-pass time
 /// (time could stall).
 pub fn simulate_network(net: &SimNetwork, config: &NetworkSimConfig) -> NetworkSimResult {
-    simulate_inner(net, config, None)
+    simulate_network_observed(net, config, &mut [])
+}
+
+/// Runs the simulation with additional custom observers attached.
+///
+/// Observers are passive: the result equals [`simulate_network`]'s for
+/// the same inputs, whatever the observer set.
+pub fn simulate_network_observed(
+    net: &SimNetwork,
+    config: &NetworkSimConfig,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+) -> NetworkSimResult {
+    let mut result = ResultObserver::new(net);
+    {
+        let mut all: Vec<&mut dyn Observer<NetEvent>> = Vec::with_capacity(observers.len() + 1);
+        all.push(&mut result);
+        for obs in observers.iter_mut() {
+            all.push(&mut **obs);
+        }
+        run_network(net, config, &mut all);
+    }
+    result.into_result()
 }
 
 /// Runs the simulation while recording up to `trace_capacity` bus events.
@@ -162,261 +136,39 @@ pub fn simulate_network_traced(
     config: &NetworkSimConfig,
     trace_capacity: usize,
 ) -> (NetworkSimResult, crate::network::trace::Trace) {
-    let mut trace = crate::network::trace::Trace::new(trace_capacity);
-    let result = simulate_inner(net, config, Some(&mut trace));
-    (result, trace)
+    let mut tracer = TraceObserver::new(trace_capacity);
+    let result = simulate_network_observed(net, config, &mut [&mut tracer]);
+    (result, tracer.trace)
 }
 
-fn simulate_inner(
+/// Runs the simulation with the statistics observers attached, returning
+/// the run result plus response/TRR distribution summaries and the
+/// kernel's peak-memory indicators.
+pub fn simulate_network_stats(
     net: &SimNetwork,
     config: &NetworkSimConfig,
-    mut trace: Option<&mut crate::network::trace::Trace>,
-) -> NetworkSimResult {
-    use crate::network::trace::TraceEvent;
-    assert!(!net.masters.is_empty(), "network needs at least one master");
-    assert!(
-        net.token_pass.is_positive(),
-        "token pass time must be positive"
-    );
-    let mut rng = SimRng::seed_from_u64(config.seed);
-    let mut masters: Vec<MasterState> = net
-        .masters
-        .iter()
-        .map(|m| build_master(m, net.ttr, config, &mut rng))
-        .collect();
-    let mut fault_rng = rng.fork();
-    // Uniform duration in [⌈(1-v)·Ch⌉, Ch] under cycle-undershoot
-    // injection; always Ch otherwise.
-    let mut sample_duration = move |ch: Time| -> Time {
-        if config.cycle_undershoot <= 0.0 {
-            return ch;
-        }
-        let v = config.cycle_undershoot.min(1.0);
-        let lo = Time::new(((ch.ticks() as f64) * (1.0 - v)).ceil().max(1.0) as i64);
-        lo + fault_rng.time_in(ch - lo)
-    };
-    let mut loss_rng = SimRng::seed_from_u64(config.seed ^ 0x70CE_55E5);
-    let mut recoveries: u64 = 0;
-
-    let mut now = Time::ZERO;
-    let mut holder = 0usize;
-    while now < config.horizon {
-        let m = &mut masters[holder];
-        m.visits += 1;
-        // TRR measurement: the timer records arrival-to-arrival spans.
-        let prev_start = m.timer.trr_started_at();
-        let hold = m.timer.on_token_arrival(now);
-        if m.first_arrival_seen {
-            m.max_trr = m.max_trr.max(now - prev_start);
-        }
-        m.first_arrival_seen = true;
-        if let Some(tr) = trace.as_deref_mut() {
-            tr.record(
-                now,
-                TraceEvent::TokenArrival {
-                    master: holder,
-                    tth: hold.tth_at_arrival,
-                },
-            );
-        }
-
-        m.sync(now);
-
-        // Step 2: one guaranteed high-priority cycle.
-        if let Some(req) = m.stack.pop() {
-            m.sync(now); // releases strictly before start already synced
-            m.transfer(); // slot freed at transmission start
-            let start = now;
-            now += sample_duration(req.cycle_time);
-            m.sync(now);
-            m.record(&req, now);
-            if let Some(tr) = trace.as_deref_mut() {
-                tr.record(
-                    start,
-                    TraceEvent::HighCycle {
-                        master: holder,
-                        stream: req.stream,
-                        start,
-                        end: now,
-                    },
-                );
-            }
-
-            // Step 3: more high-priority cycles while TTH > 0 at start.
-            while hold.may_start_additional_high(now) && !m.stack.is_empty() {
-                let req = m.stack.pop().expect("non-empty");
-                m.transfer();
-                let start = now;
-                now += sample_duration(req.cycle_time);
-                m.sync(now);
-                m.record(&req, now);
-                if let Some(tr) = trace.as_deref_mut() {
-                    tr.record(
-                        start,
-                        TraceEvent::HighCycle {
-                            master: holder,
-                            stream: req.stream,
-                            start,
-                            end: now,
-                        },
-                    );
-                }
-            }
-        }
-
-        // Step 4: low-priority cycles while TTH > 0 at start and no
-        // high-priority request pends (checked at each cycle start).
-        while hold.may_start_low(now) && m.stack.is_empty() {
-            // Oldest ready low-priority request.
-            let pos = m
-                .lp_pending
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &(ready, _))| ready)
-                .map(|(i, _)| i);
-            let Some(pos) = pos else { break };
-            let (_, cycle) = m.lp_pending.remove(pos);
-            let start = now;
-            now += sample_duration(cycle);
-            m.lp_completed += 1;
-            m.sync(now);
-            if let Some(tr) = trace.as_deref_mut() {
-                tr.record(
-                    start,
-                    TraceEvent::LowCycle {
-                        master: holder,
-                        start,
-                        end: now,
-                    },
-                );
-            }
-        }
-
-        // Step 5: pass the token (possibly losing it).
-        now += net.token_pass;
-        if config.token_loss_prob > 0.0 && loss_rng.unit() < config.token_loss_prob {
-            // Lost token: the bus goes silent until the lowest-address
-            // master's claim timeout fires; it then re-originates the
-            // token (see profirt_profibus::fdl::token_recovery_timeout).
-            now += config.slot_time * 6;
-            recoveries += 1;
-            holder = 0;
-            if let Some(tr) = trace.as_deref_mut() {
-                tr.record(now, TraceEvent::Recovery { claimant: 0 });
-            }
-        } else {
-            let next = (holder + 1) % masters.len();
-            if let Some(tr) = trace.as_deref_mut() {
-                tr.record(
-                    now,
-                    TraceEvent::TokenPass {
-                        from: holder,
-                        to: next,
-                    },
-                );
-            }
-            holder = next;
-        }
-    }
-
-    NetworkSimResult {
-        streams: masters.iter().map(|m| m.observations.clone()).collect(),
-        max_trr: masters.iter().map(|m| m.max_trr).collect(),
-        token_visits: masters.iter().map(|m| m.visits).collect(),
-        low_completed: masters.iter().map(|m| m.lp_completed).collect(),
-        token_recoveries: recoveries,
-    }
-}
-
-fn build_master(
-    cfg: &crate::network::config::SimMaster,
-    ttr: Time,
-    run: &NetworkSimConfig,
-    rng: &mut SimRng,
-) -> MasterState {
-    // Deadline-monotonic static priorities for the DM policy (§4
-    // inheritance), assigned by deadline order with index tiebreak.
-    let dm_order = cfg.streams.indices_by_deadline();
-    let mut priority_of = vec![0u32; cfg.streams.len()];
-    for (rank, &idx) in dm_order.iter().enumerate() {
-        priority_of[idx] = rank as u32;
-    }
-
-    let mut releases: Vec<PendingRelease> = Vec::new();
-    for (i, s) in cfg.streams.iter() {
-        let offset = match run.offsets {
-            OffsetMode::Synchronous => Time::ZERO,
-            OffsetMode::Random => rng.time_in(s.t - Time::ONE),
-        };
-        let mut arrival = offset;
-        let mut first = true;
-        while arrival < run.horizon {
-            let jitter = match run.jitter {
-                JitterInjection::None => Time::ZERO,
-                JitterInjection::FirstLate => {
-                    if first {
-                        s.j
-                    } else {
-                        Time::ZERO
-                    }
-                }
-                JitterInjection::Random => rng.time_in(s.j),
-            };
-            let ready = arrival + jitter;
-            releases.push(PendingRelease {
-                ready_at: ready,
-                request: Request {
-                    stream: StreamId(i),
-                    release: ready,
-                    abs_deadline: ready + s.d,
-                    priority: profirt_base::Priority(priority_of[i]),
-                    cycle_time: s.ch,
-                },
-            });
-            arrival += s.t;
-            first = false;
-        }
-    }
-    releases.sort_by_key(|r| r.ready_at);
-
-    let mut lp_releases: Vec<(Time, Time)> = Vec::new();
-    for lp in &cfg.low_priority {
-        let mut t0 = Time::ZERO;
-        while t0 < run.horizon {
-            lp_releases.push((t0, lp.cycle_time));
-            t0 += lp.period;
-        }
-    }
-    lp_releases.sort_by_key(|&(r, _)| r);
-
-    MasterState {
-        timer: TokenTimer::new(ttr),
-        ap: ApQueue::new(cfg.policy),
-        stack: if cfg.stack_capacity == usize::MAX {
-            StackQueue::new(usize::MAX - 1)
-        } else {
-            StackQueue::new(cfg.stack_capacity)
+) -> (NetworkSimResult, NetworkSimStats) {
+    let mut result = ResultObserver::new(net);
+    let mut response = ResponseStats::new();
+    let mut trr = TrrStats::new();
+    let mem = run_network(net, config, &mut [&mut result, &mut response, &mut trr]);
+    (
+        result.into_result(),
+        NetworkSimStats {
+            response: response.hist.summary(),
+            trr: trr.hist.summary(),
+            mem,
         },
-        releases,
-        next_release_index: 0,
-        lp_pending: Vec::new(),
-        lp_next_index: 0,
-        lp_releases,
-        deadlines: cfg.streams.streams().iter().map(|s| s.d).collect(),
-        observations: vec![StreamObservation::default(); cfg.streams.len()],
-        max_trr: Time::ZERO,
-        visits: 0,
-        lp_completed: 0,
-        first_arrival_seen: false,
-    }
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::config::SimMaster;
+    use crate::network::config::{JitterInjection, OffsetMode, SimMaster};
+    use crate::network::reference::simulate_network_materialized;
     use profirt_base::time::t;
-    use profirt_base::StreamSet;
+    use profirt_base::{MasterAddr, StreamSet};
     use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
 
     fn one_master_net(streams: &[(i64, i64, i64)], policy: QueuePolicy) -> SimNetwork {
@@ -726,6 +478,72 @@ mod tests {
     }
 
     #[test]
+    fn recovery_delay_routes_through_fdl_timeout() {
+        // The claim timeout is TTO = (6 + 2·addr)·TSL for the claimant's
+        // FDL address. Default addressing (ring index) pins the historical
+        // 6·TSL delay; explicit addresses stagger it. With loss
+        // probability 1 every single pass is lost, so each rotation is
+        // exactly serve + pass + TTO and the TTO difference shows up
+        // tick-for-tick in the measured max TRR.
+        let slot = t(200);
+        let mk = |addr: Option<MasterAddr>| {
+            let mut m = SimMaster::stock(StreamSet::from_cdt(&[(200, 50_000, 10_000)]).unwrap());
+            m.addr = addr;
+            SimNetwork {
+                masters: vec![m],
+                ttr: t(2_000),
+                token_pass: t(100),
+            }
+        };
+        let cfg = NetworkSimConfig {
+            horizon: t(500_000),
+            token_loss_prob: 1.0,
+            slot_time: slot,
+            ..Default::default()
+        };
+        let base = simulate_network(&mk(None), &cfg);
+        assert!(base.token_recoveries > 0);
+        // Address 5 claims (6 + 10)·TSL after the silence begins: every
+        // rotation is exactly 10·TSL longer than under address 0.
+        let staggered = simulate_network(&mk(Some(MasterAddr(5))), &cfg);
+        assert_eq!(
+            staggered.max_trr_overall() - base.max_trr_overall(),
+            slot * 10,
+            "recovery delay must follow token_recovery_timeout(params, addr)"
+        );
+    }
+
+    #[test]
+    fn lowest_address_master_claims_lost_tokens() {
+        // Master 1 has the lower FDL address: it, not ring index 0, must
+        // re-originate every lost token.
+        let mk = |addr: u8| {
+            SimMaster::stock(StreamSet::from_cdt(&[(200, 50_000, 10_000)]).unwrap())
+                .with_addr(MasterAddr(addr))
+        };
+        let net = SimNetwork {
+            masters: vec![mk(7), mk(2)],
+            ttr: t(2_000),
+            token_pass: t(100),
+        };
+        let (result, trace) = simulate_network_traced(
+            &net,
+            &NetworkSimConfig {
+                horizon: t(500_000),
+                token_loss_prob: 0.2,
+                ..Default::default()
+            },
+            100_000,
+        );
+        assert!(result.token_recoveries > 0);
+        for (_, e) in trace.events() {
+            if let crate::network::trace::TraceEvent::Recovery { claimant } = e {
+                assert_eq!(*claimant, 1, "claimant must be the lowest-address master");
+            }
+        }
+    }
+
+    #[test]
     fn cycle_undershoot_stays_within_worst_case_bound() {
         // Shorter actual cycles do NOT imply shorter observed responses
         // (a request can *just miss* a token visit it would have caught
@@ -753,6 +571,73 @@ mod tests {
             );
             assert_eq!(obs.token_recoveries, 0);
             assert!(obs.streams[0][0].completed > 50);
+        }
+    }
+
+    #[test]
+    fn stats_observers_summarize_the_run() {
+        let net = one_master_net(
+            &[(200, 8_000, 10_000), (300, 9_000, 15_000)],
+            QueuePolicy::Fcfs,
+        );
+        let cfg = NetworkSimConfig {
+            horizon: t(500_000),
+            ..Default::default()
+        };
+        let plain = simulate_network(&net, &cfg);
+        let (result, stats) = simulate_network_stats(&net, &cfg);
+        // Stats collection is passive.
+        assert_eq!(plain, result);
+        // Every completed cycle was sampled.
+        let completed: u64 = result.streams.iter().flatten().map(|o| o.completed).sum();
+        assert_eq!(stats.response.count, completed);
+        // The exact max matches the result's max response.
+        let max_resp = result
+            .streams
+            .iter()
+            .flatten()
+            .map(|o| o.max_response)
+            .max()
+            .unwrap();
+        assert_eq!(stats.response.max, max_resp);
+        assert!(stats.response.p95 <= stats.response.p99);
+        assert!(stats.response.p99 <= stats.response.max);
+        // TRR: max matches, one sample per measured rotation.
+        assert_eq!(stats.trr.max, result.max_trr_overall());
+        assert_eq!(stats.trr.count, result.token_visits[0] - 1);
+        // O(streams) release state: 2 stream heads, no jitter look-ahead.
+        assert!(stats.mem.peak_release_buffer <= 2);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_reference() {
+        // Smoke-level differential (the property tests sweep this space):
+        // the streaming kernel and the pre-materialized baseline must
+        // agree exactly, including under fault injection.
+        let streams = [(400, 9_000, 10_000), (250, 4_000, 7_000)];
+        for policy in [
+            QueuePolicy::Fcfs,
+            QueuePolicy::DeadlineMonotonic,
+            QueuePolicy::Edf,
+        ] {
+            let mut net = one_master_net(&streams, policy);
+            net.masters[0]
+                .low_priority
+                .push(LowPriorityTraffic::new(t(300), t(5_000)));
+            let cfg = NetworkSimConfig {
+                horizon: t(400_000),
+                offsets: OffsetMode::Random,
+                jitter: JitterInjection::FirstLate,
+                token_loss_prob: 0.05,
+                cycle_undershoot: 0.2,
+                seed: 7,
+                ..Default::default()
+            };
+            assert_eq!(
+                simulate_network(&net, &cfg),
+                simulate_network_materialized(&net, &cfg),
+                "policy {policy:?}"
+            );
         }
     }
 

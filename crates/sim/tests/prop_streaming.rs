@@ -1,0 +1,249 @@
+//! Differential property tests: the streaming kernels must reproduce the
+//! pre-materialized reference simulators **exactly** — same
+//! `NetworkSimResult` / `CpuSimResult`, field for field — across random
+//! networks, seeds, offset/jitter modes, queue policies, and fault
+//! injection. Plus the long-horizon memory contract: the kernel's release
+//! state stays O(streams) no matter the horizon.
+
+use proptest::prelude::*;
+
+use profirt_base::{MessageStream, StreamSet, Task, TaskSet, Time};
+use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
+use profirt_sched::fixed::PriorityMap;
+use profirt_sim::{
+    simulate_cpu, simulate_cpu_materialized, simulate_network, simulate_network_materialized,
+    simulate_network_stats, CpuPolicy, CpuSimConfig, JitterInjection, NetworkSimConfig, OffsetMode,
+    SimMaster, SimNetwork,
+};
+
+fn t(v: i64) -> Time {
+    Time::new(v)
+}
+
+/// Streams with deliberately wild jitter (J can exceed T, so the lazy
+/// generators' reorder buffering is exercised) and deadlines both tight
+/// and lax.
+fn arb_streams() -> impl Strategy<Value = StreamSet> {
+    proptest::collection::vec((50i64..400, 1i64..12, 1i64..8, 0i64..4), 0..=4).prop_map(|raw| {
+        let streams: Vec<MessageStream> = raw
+            .into_iter()
+            .map(|(ch, df, tf, jf)| {
+                MessageStream::with_jitter(
+                    Time::new(ch),
+                    Time::new(1_000 * df),
+                    Time::new(2_500 * tf),
+                    Time::new(1_700 * jf),
+                )
+                .unwrap()
+            })
+            .collect();
+        StreamSet::new(streams).unwrap()
+    })
+}
+
+fn arb_master() -> impl Strategy<Value = SimMaster> {
+    (
+        arb_streams(),
+        0u8..3,
+        proptest::collection::vec((100i64..400, 1i64..6), 0..=2),
+    )
+        .prop_map(|(streams, policy, lp)| {
+            let mut m = match policy {
+                0 => SimMaster::stock(streams),
+                1 => SimMaster::priority_queued(streams, QueuePolicy::DeadlineMonotonic),
+                _ => SimMaster::priority_queued(streams, QueuePolicy::Edf),
+            };
+            for (cycle, pf) in lp {
+                m.low_priority
+                    .push(LowPriorityTraffic::new(t(cycle), t(1_500 * pf)));
+            }
+            m
+        })
+}
+
+fn arb_net_config() -> impl Strategy<Value = NetworkSimConfig> {
+    (
+        any::<u64>(),
+        0u8..2, // offset mode
+        0u8..3, // jitter mode
+        0u8..3, // loss level
+        0u8..2, // undershoot level
+    )
+        .prop_map(|(seed, off, jit, loss, under)| NetworkSimConfig {
+            horizon: t(250_000),
+            seed,
+            offsets: if off == 0 {
+                OffsetMode::Synchronous
+            } else {
+                OffsetMode::Random
+            },
+            jitter: match jit {
+                0 => JitterInjection::None,
+                1 => JitterInjection::FirstLate,
+                _ => JitterInjection::Random,
+            },
+            token_loss_prob: [0.0, 0.05, 0.4][loss as usize],
+            cycle_undershoot: [0.0, 0.3][under as usize],
+            ..Default::default()
+        })
+}
+
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec((1i64..10, 1i64..60, 1u8..4), 0..=5).prop_map(|raw| {
+        let tasks: Vec<Task> = raw
+            .into_iter()
+            .map(|(c, extra, df)| {
+                let period = 4 * c + extra;
+                // Deadlines from tight-constrained to implicit; some sets
+                // overload, exercising same-task job backlogs.
+                let d = ((period * df as i64) / 3).max(1);
+                Task::new(c, d, period).unwrap()
+            })
+            .collect();
+        TaskSet::new(tasks).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn network_streaming_equals_materialized(
+        masters in proptest::collection::vec(arb_master(), 1..=3),
+        ttr in 500i64..6_000,
+        cfg in arb_net_config(),
+    ) {
+        let net = SimNetwork {
+            masters,
+            ttr: t(ttr),
+            token_pass: t(166),
+        };
+        let streaming = simulate_network(&net, &cfg);
+        let materialized = simulate_network_materialized(&net, &cfg);
+        prop_assert_eq!(streaming, materialized);
+    }
+
+    #[test]
+    fn cpu_streaming_equals_materialized(
+        set in arb_task_set(),
+        policy in 0u8..4,
+        offset_step in 0i64..5,
+        seed_horizon in 5_000i64..40_000,
+    ) {
+        let policy = [
+            CpuPolicy::FixedPreemptive,
+            CpuPolicy::FixedNonPreemptive,
+            CpuPolicy::EdfPreemptive,
+            CpuPolicy::EdfNonPreemptive,
+        ][policy as usize];
+        let pm = PriorityMap::deadline_monotonic(&set);
+        let prio = match policy {
+            CpuPolicy::FixedPreemptive | CpuPolicy::FixedNonPreemptive => Some(&pm),
+            _ => None,
+        };
+        let offsets: Vec<Time> = if offset_step == 0 {
+            vec![]
+        } else {
+            (0..set.len()).map(|i| t(offset_step * i as i64)).collect()
+        };
+        let cfg = CpuSimConfig {
+            policy,
+            horizon: t(seed_horizon),
+            offsets,
+        };
+        let streaming = simulate_cpu(&set, prio, &cfg);
+        let materialized = simulate_cpu_materialized(&set, prio, &cfg);
+        prop_assert_eq!(streaming, materialized);
+    }
+}
+
+/// The memory contract the streaming kernel exists for: the number of
+/// releases buffered inside the generators is bounded by
+/// `streams + Σ ⌈J/T⌉`-ish look-ahead and — crucially — does **not** grow
+/// with the horizon. A 100×-longer run holds exactly as much release
+/// state as the short one.
+#[test]
+fn long_horizon_release_state_is_o_streams() {
+    let streams = StreamSet::from_cdtj(&[
+        (200, 9_000, 10_000, 2_000),
+        (150, 8_000, 9_000, 0),
+        (100, 30_000, 12_000, 15_000), // J > T: forces look-ahead buffering
+        (250, 20_000, 20_000, 1_000),
+    ])
+    .unwrap();
+    let net = SimNetwork {
+        masters: vec![SimMaster::priority_queued(streams, QueuePolicy::Edf)
+            .with_low_priority(LowPriorityTraffic::new(t(300), t(25_000)))],
+        ttr: t(3_000),
+        token_pass: t(166),
+    };
+    let cfg = |horizon: i64| NetworkSimConfig {
+        horizon: t(horizon),
+        jitter: JitterInjection::Random,
+        seed: 11,
+        ..Default::default()
+    };
+
+    let (_, short) = simulate_network_stats(&net, &cfg(500_000));
+    let (result, long) = simulate_network_stats(&net, &cfg(50_000_000)); // 100×
+
+    // The long run really simulated 100× the traffic…
+    let completed: u64 = result.streams.iter().flatten().map(|o| o.completed).sum();
+    assert!(completed > 10_000, "completed {completed}");
+
+    // …while release state stayed flat: 4 stream heads + 1 low-priority
+    // head + the J/T look-ahead of the jittered streams (≤ 2 entries
+    // here), nowhere near the ~20k releases a materialized run holds.
+    let sources = 5;
+    assert!(
+        long.mem.peak_release_buffer <= 2 * sources,
+        "peak release buffer {} not O(streams)",
+        long.mem.peak_release_buffer
+    );
+    assert_eq!(
+        long.mem.peak_release_buffer, short.mem.peak_release_buffer,
+        "release state must be independent of the horizon"
+    );
+
+    // The pending backlog is workload-bound, not horizon-bound, on this
+    // schedulable network.
+    assert!(
+        long.mem.peak_pending <= 4 * sources,
+        "peak pending {} grew beyond the schedulable backlog",
+        long.mem.peak_pending
+    );
+}
+
+/// Percentile observers on a long run: sanity of the constant-memory
+/// summaries against the exact extremes.
+#[test]
+fn long_horizon_percentiles_are_consistent() {
+    let streams = StreamSet::from_cdt(&[(300, 15_000, 4_000), (200, 9_000, 3_000)]).unwrap();
+    let net = SimNetwork {
+        masters: vec![SimMaster::stock(streams)],
+        ttr: t(2_000),
+        token_pass: t(166),
+    };
+    let (result, stats) = simulate_network_stats(
+        &net,
+        &NetworkSimConfig {
+            horizon: t(20_000_000),
+            ..Default::default()
+        },
+    );
+    let completed: u64 = result.streams.iter().flatten().map(|o| o.completed).sum();
+    assert_eq!(stats.response.count, completed);
+    let exact_max = result
+        .streams
+        .iter()
+        .flatten()
+        .map(|o| o.max_response)
+        .max()
+        .unwrap();
+    assert_eq!(stats.response.max, exact_max);
+    assert!(stats.response.p50 <= stats.response.p95);
+    assert!(stats.response.p95 <= stats.response.p99);
+    assert!(stats.response.p99 <= stats.response.max);
+    assert!(stats.trr.p99 <= stats.trr.max);
+    assert_eq!(stats.trr.max, result.max_trr_overall());
+}

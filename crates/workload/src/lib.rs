@@ -23,12 +23,17 @@
 
 pub mod netgen;
 pub mod periods;
+pub mod releases;
 pub mod streamgen;
 pub mod taskgen;
 pub mod uunifast;
 
 pub use netgen::{generate_network, GeneratedNetwork, NetGenParams};
 pub use periods::{log_uniform_period, PeriodRange};
+pub use releases::{
+    low_priority_release_gens, stream_release_gens, task_release_gens, LowPriorityReleases,
+    StreamReleases, TaskRelease, TaskReleases,
+};
 pub use streamgen::{generate_stream_set, StreamGenParams};
 pub use taskgen::{generate_task_set, DeadlinePolicy, TaskGenParams};
 pub use uunifast::uunifast;

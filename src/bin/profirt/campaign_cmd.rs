@@ -1,7 +1,7 @@
 //! The `profirt campaign` subcommand: declarative scenario-matrix runs.
 //!
 //! ```text
-//! profirt campaign run <spec.json|preset> [--quick] [--out DIR]
+//! profirt campaign run <spec.json|preset> [--quick] [--horizon TICKS] [--out DIR]
 //! profirt campaign list
 //! profirt campaign describe <spec.json|preset>
 //! ```
@@ -29,10 +29,24 @@ fn resolve(arg: &str) -> Result<CampaignSpec, String> {
 }
 
 /// `profirt campaign run`.
-pub fn run(arg: &str, quick: bool, out_root: &str) -> Result<(), String> {
+///
+/// `horizon` overrides the spec's `sim_horizon` (applied after any
+/// `--quick` scaling) — the streaming simulation kernel makes horizons
+/// orders of magnitude beyond the preset defaults affordable, so long
+/// validation sweeps are one flag, not a spec edit.
+pub fn run(arg: &str, quick: bool, horizon: Option<i64>, out_root: &str) -> Result<(), String> {
     let mut spec = resolve(arg)?;
     if quick {
         spec = spec.scaled(&ExpConfig::quick());
+    }
+    if let Some(h) = horizon {
+        if spec.sim_horizon == 0 {
+            return Err(format!(
+                "--horizon is meaningless for analysis-only campaign {:?} (sim_horizon = 0)",
+                spec.name
+            ));
+        }
+        spec = spec.sim_horizon(h);
     }
     let outcome = run_campaign(&spec, Path::new(out_root)).map_err(|e| e.to_string())?;
     if print_outcome(&outcome) != 0 {

@@ -75,7 +75,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 let target = positional(args, 2, "campaign spec or preset name")?;
                 let quick = args.iter().any(|a| a == "--quick");
                 let out_root = flag_value(args, "--out").unwrap_or("out");
-                campaign_cmd::run(target, quick, out_root)
+                let horizon = flag_value(args, "--horizon")
+                    .map(|v| {
+                        v.parse::<i64>().ok().filter(|&h| h > 0).ok_or_else(|| {
+                            format!("bad --horizon {v:?}: want a positive tick count")
+                        })
+                    })
+                    .transpose()?;
+                campaign_cmd::run(target, quick, horizon, out_root)
             }
             Some("list") => campaign_cmd::list(),
             Some("describe") => {
@@ -127,7 +134,7 @@ fn print_usage() {
            profirt analyze  <config.json> [--policy fcfs|dm|dm-paper|edf|all]\n\
            profirt ttr      <config.json> [--model paper|refined]\n\
            profirt simulate <config.json> [--horizon TICKS] [--seed N]\n\
-           profirt campaign run <spec.json|preset> [--quick] [--out DIR]\n\
+           profirt campaign run <spec.json|preset> [--quick] [--horizon TICKS] [--out DIR]\n\
            profirt campaign list\n\
            profirt campaign describe <spec.json|preset>\n\
            profirt example-config\n"

@@ -93,6 +93,39 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn campaign_horizon_override() {
+    let out = std::env::temp_dir().join("profirt-cli-horizon");
+    let _ = std::fs::remove_dir_all(&out);
+    // A simulated preset accepts the override: the campaign.json artifact
+    // echoes the overridden horizon.
+    let (ok, stdout, stderr) = profirt(&[
+        "campaign",
+        "run",
+        "t5",
+        "--quick",
+        "--horizon",
+        "150000",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    let echoed = std::fs::read_to_string(out.join("t5").join("campaign.json")).unwrap();
+    assert!(echoed.contains("150000"), "{echoed}");
+    std::fs::remove_dir_all(&out).ok();
+
+    // Analysis-only specs reject it.
+    let smoke = concat!(env!("CARGO_MANIFEST_DIR"), "/configs/campaign_smoke.json");
+    let (ok, _, stderr) = profirt(&["campaign", "run", smoke, "--horizon", "1000"]);
+    assert!(!ok);
+    assert!(stderr.contains("analysis-only"), "stderr: {stderr}");
+
+    // Garbage values fail cleanly.
+    let (ok, _, stderr) = profirt(&["campaign", "run", "t5", "--horizon", "zero"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --horizon"), "stderr: {stderr}");
+}
+
+#[test]
 fn sample_config_in_repo_is_valid() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/configs/sample_network.json");
     let (ok, stdout, stderr) = profirt(&["analyze", path, "--policy", "dm"]);
