@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use profirt_bench::constrained_task_set;
-use profirt_sched::edf::{edf_feasible_preemptive, DemandConfig, DemandFormula};
+use profirt_sched::edf::{edf_feasible_preemptive_exhaustive, DemandConfig, DemandFormula};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_demand_formula");
@@ -17,7 +17,11 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new("formula", label), &formula, |b, &f| {
             b.iter(|| {
-                edf_feasible_preemptive(
+                // The exhaustive reference: both formulas walk the same
+                // checkpoints, so the comparison isolates the formula cost
+                // (the fast front would pick different scan modes per
+                // formula).
+                edf_feasible_preemptive_exhaustive(
                     black_box(&set),
                     &DemandConfig {
                         formula: f,

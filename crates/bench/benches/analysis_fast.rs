@@ -1,0 +1,243 @@
+//! `analysis_fast` bench: the analysis fast paths against their retained
+//! exhaustive/plain references, over the shared large-n fixtures of
+//! [`profirt_bench::large`].
+//!
+//! Four comparisons:
+//!
+//! * `demand` — QPA backward scan vs the exhaustive checkpoint walk for
+//!   the preemptive demand test (eq. (3)) on the ~75k-checkpoint fixture.
+//! * `np_demand` — the non-preemptive test (eq. (5), George blocking) on
+//!   the feasible many-deadline fixture; here the selection rule selects
+//!   the exhaustive walk (checkpoints do not dominate segments), so this
+//!   comparison guards against regression rather than proving a speedup.
+//! * `edf_rta` / `fp_rta` — one shared [`profirt_sched::AnalysisScratch`]
+//!   across a campaign-shaped sweep of small task sets vs the
+//!   fresh-allocation entry points (identical algorithm; measures the
+//!   allocation/hoisting discipline in the pattern campaigns actually
+//!   execute).
+//!
+//! Besides the criterion groups, the bench writes `BENCH_analysis.json`
+//! (workspace `target/` by default, `BENCH_ANALYSIS_JSON` overrides) — the
+//! analysis-side perf baseline artifact CI uploads alongside `BENCH_sim`,
+//! recording per-comparison mean ns for both paths and the fast/reference
+//! speedup. Before timing, every pair is checked for verdict equality, so
+//! a speedup in the artifact is always a speedup at equal answers.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use profirt_base::json::{self, Value};
+use profirt_base::TaskSet;
+use profirt_bench::large;
+use profirt_sched::edf::{
+    edf_feasible_nonpreemptive, edf_feasible_nonpreemptive_exhaustive, edf_feasible_preemptive,
+    edf_feasible_preemptive_exhaustive, edf_response_times, edf_response_times_with, DemandConfig,
+    EdfRtaConfig, NpFeasibilityConfig,
+};
+use profirt_sched::fixed::{response_times, response_times_with, PriorityMap, RtaConfig};
+use profirt_sched::AnalysisScratch;
+
+fn edf_sweep_fresh(sets: &[TaskSet]) {
+    for set in sets {
+        black_box(edf_response_times(black_box(set), &EdfRtaConfig::default()).unwrap());
+    }
+}
+
+fn edf_sweep_scratch(sets: &[TaskSet], scratch: &mut AnalysisScratch) {
+    for set in sets {
+        black_box(
+            edf_response_times_with(black_box(set), &EdfRtaConfig::default(), scratch).unwrap(),
+        );
+    }
+}
+
+fn fp_sweep_fresh(sets: &[(TaskSet, PriorityMap)]) {
+    for (set, pm) in sets {
+        black_box(response_times(black_box(set), pm, &RtaConfig::default()).unwrap());
+    }
+}
+
+fn fp_sweep_scratch(sets: &[(TaskSet, PriorityMap)], scratch: &mut AnalysisScratch) {
+    for (set, pm) in sets {
+        black_box(response_times_with(black_box(set), pm, &RtaConfig::default(), scratch).unwrap());
+    }
+}
+
+fn fp_sweep() -> Vec<(TaskSet, PriorityMap)> {
+    large::rta_sweep(256, 8, 0.85)
+        .into_iter()
+        .map(|set| {
+            let pm = PriorityMap::rate_monotonic(&set);
+            (set, pm)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let demand_set = large::demand_set();
+    let np_set = large::np_demand_set();
+    let edf_sweep = large::rta_sweep(64, 6, 0.85);
+    let fp_sets = fp_sweep();
+    let mut scratch = AnalysisScratch::new();
+
+    let mut group = c.benchmark_group("analysis_fast");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("demand", "fast"), &(), |b, ()| {
+        b.iter(|| edf_feasible_preemptive(black_box(&demand_set), &DemandConfig::default()))
+    });
+    group.bench_with_input(BenchmarkId::new("demand", "exhaustive"), &(), |b, ()| {
+        b.iter(|| {
+            edf_feasible_preemptive_exhaustive(black_box(&demand_set), &DemandConfig::default())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("np_demand", "fast"), &(), |b, ()| {
+        b.iter(|| edf_feasible_nonpreemptive(black_box(&np_set), &NpFeasibilityConfig::default()))
+    });
+    group.bench_with_input(BenchmarkId::new("np_demand", "exhaustive"), &(), |b, ()| {
+        b.iter(|| {
+            edf_feasible_nonpreemptive_exhaustive(
+                black_box(&np_set),
+                &NpFeasibilityConfig::default(),
+            )
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("edf_rta_sweep", "scratch"),
+        &(),
+        |b, ()| b.iter(|| edf_sweep_scratch(&edf_sweep, &mut scratch)),
+    );
+    group.bench_with_input(BenchmarkId::new("edf_rta_sweep", "fresh"), &(), |b, ()| {
+        b.iter(|| edf_sweep_fresh(&edf_sweep))
+    });
+    group.bench_with_input(BenchmarkId::new("fp_rta_sweep", "scratch"), &(), |b, ()| {
+        b.iter(|| fp_sweep_scratch(&fp_sets, &mut scratch))
+    });
+    group.bench_with_input(BenchmarkId::new("fp_rta_sweep", "fresh"), &(), |b, ()| {
+        b.iter(|| fp_sweep_fresh(&fp_sets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+/// Mean per-iteration nanoseconds of `f` over `iters` runs.
+fn mean_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Checks every fast path against its reference once, then times both and
+/// writes the `BENCH_analysis.json` perf baseline (the artifact CI
+/// uploads).
+fn write_baseline(full: bool) {
+    let iters = if full { 20 } else { 2 };
+    let demand_set = large::demand_set();
+    let np_set = large::np_demand_set();
+    let edf_sweep = large::rta_sweep(64, 6, 0.85);
+    let fp_sets = fp_sweep();
+    let mut scratch = AnalysisScratch::new();
+
+    // Equality gates: a speedup is only meaningful at equal answers.
+    let d_fast = edf_feasible_preemptive(&demand_set, &DemandConfig::default()).unwrap();
+    let d_ref = edf_feasible_preemptive_exhaustive(&demand_set, &DemandConfig::default()).unwrap();
+    assert_eq!(d_fast.feasible, d_ref.feasible, "demand verdict mismatch");
+    assert_eq!(
+        d_fast.violation, d_ref.violation,
+        "demand violation mismatch"
+    );
+    assert!(
+        d_fast.feasible,
+        "demand fixture must exercise the full scan"
+    );
+    let n_fast = edf_feasible_nonpreemptive(&np_set, &NpFeasibilityConfig::default()).unwrap();
+    let n_ref =
+        edf_feasible_nonpreemptive_exhaustive(&np_set, &NpFeasibilityConfig::default()).unwrap();
+    assert_eq!(n_fast.feasible, n_ref.feasible, "np verdict mismatch");
+    assert_eq!(n_fast.violation, n_ref.violation, "np violation mismatch");
+    assert!(n_fast.feasible, "np fixture must exercise the full scan");
+    for set in &edf_sweep {
+        let fresh = edf_response_times(set, &EdfRtaConfig::default()).unwrap();
+        let reused = edf_response_times_with(set, &EdfRtaConfig::default(), &mut scratch).unwrap();
+        assert_eq!(fresh, reused, "edf rta scratch mismatch");
+    }
+    for (set, pm) in &fp_sets {
+        let fresh = response_times(set, pm, &RtaConfig::default()).unwrap();
+        let reused = response_times_with(set, pm, &RtaConfig::default(), &mut scratch).unwrap();
+        assert_eq!(fresh, reused, "fp rta scratch mismatch");
+    }
+
+    let mut rows = Vec::new();
+    let mut record = |label: &str, fast_ns: f64, reference_ns: f64| {
+        rows.push(json::object([
+            ("comparison", Value::Str(label.to_string())),
+            ("fast_ns", Value::Float(fast_ns)),
+            ("reference_ns", Value::Float(reference_ns)),
+            ("speedup", Value::Float(reference_ns / fast_ns)),
+        ]));
+    };
+
+    let fast = mean_ns(iters, || {
+        black_box(edf_feasible_preemptive(black_box(&demand_set), &DemandConfig::default()).ok());
+    });
+    let refr = mean_ns(iters, || {
+        black_box(
+            edf_feasible_preemptive_exhaustive(black_box(&demand_set), &DemandConfig::default())
+                .ok(),
+        );
+    });
+    record("demand_qpa_vs_exhaustive", fast, refr);
+
+    let fast = mean_ns(iters, || {
+        black_box(
+            edf_feasible_nonpreemptive(black_box(&np_set), &NpFeasibilityConfig::default()).ok(),
+        );
+    });
+    let refr = mean_ns(iters, || {
+        black_box(
+            edf_feasible_nonpreemptive_exhaustive(
+                black_box(&np_set),
+                &NpFeasibilityConfig::default(),
+            )
+            .ok(),
+        );
+    });
+    record("np_demand_fast_vs_exhaustive", fast, refr);
+
+    let fast = mean_ns(iters, || edf_sweep_scratch(&edf_sweep, &mut scratch));
+    let refr = mean_ns(iters, || edf_sweep_fresh(&edf_sweep));
+    record("edf_rta_sweep_scratch_vs_fresh", fast, refr);
+
+    let fast = mean_ns(iters, || fp_sweep_scratch(&fp_sets, &mut scratch));
+    let refr = mean_ns(iters, || fp_sweep_fresh(&fp_sets));
+    record("fp_rta_sweep_scratch_vs_fresh", fast, refr);
+
+    let doc = json::object([
+        ("bench", Value::Str("analysis_fast".to_string())),
+        ("samples_per_path", Value::Int(iters as i64)),
+        ("smoke_run", Value::Bool(!full)),
+        ("comparisons", Value::Array(rows)),
+    ]);
+    let path = std::env::var("BENCH_ANALYSIS_JSON").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_analysis.json"
+        )
+        .to_string()
+    });
+    match std::fs::write(&path, doc.pretty() + "\n") {
+        Ok(()) => println!("[baseline] wrote {path}"),
+        Err(e) => eprintln!("[baseline] cannot write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    // Full measurement only under `cargo bench` (the harness passes
+    // `--bench`); test/smoke invocations still emit a valid artifact.
+    let full = std::env::args().any(|a| a == "--bench");
+    write_baseline(full);
+}

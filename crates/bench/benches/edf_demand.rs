@@ -5,8 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use profirt_bench::constrained_task_set;
-use profirt_sched::edf::{edf_feasible_preemptive, DemandConfig};
+use profirt_bench::{constrained_task_set, large};
+use profirt_sched::edf::{
+    edf_feasible_preemptive, edf_feasible_preemptive_exhaustive, DemandConfig,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t2_edf_demand");
@@ -23,6 +25,18 @@ fn bench(c: &mut Criterion) {
             b.iter(|| edf_feasible_preemptive(black_box(&set), &DemandConfig::default()).unwrap())
         });
     }
+    // The shared large-n worst case (same workload `analysis_fast`
+    // compares fast vs exhaustive on).
+    let set = large::demand_set();
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("large_448", "fast"), &(), |b, ()| {
+        b.iter(|| edf_feasible_preemptive(black_box(&set), &DemandConfig::default()).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("large_448", "exhaustive"), &(), |b, ()| {
+        b.iter(|| {
+            edf_feasible_preemptive_exhaustive(black_box(&set), &DemandConfig::default()).unwrap()
+        })
+    });
     group.finish();
 }
 

@@ -4,8 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use profirt_bench::constrained_task_set;
-use profirt_sched::edf::{edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig};
+use profirt_bench::{constrained_task_set, large};
+use profirt_sched::edf::{
+    edf_feasible_nonpreemptive, edf_feasible_nonpreemptive_exhaustive, NpBlockingModel,
+    NpFeasibilityConfig,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t3_np_edf_feasibility");
@@ -29,6 +32,25 @@ fn bench(c: &mut Criterion) {
                 })
             });
         }
+    }
+    // The shared large-n worst case (same workload `analysis_fast` uses):
+    // feasible under both blocking models, so the full horizon is walked.
+    let set = large::np_demand_set();
+    group.sample_size(10);
+    for (label, blocking) in [
+        ("large_448_zs", NpBlockingModel::ZhengShin),
+        ("large_448_george", NpBlockingModel::George),
+    ] {
+        let cfg = NpFeasibilityConfig {
+            blocking,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new(label, "fast"), &(), |b, ()| {
+            b.iter(|| edf_feasible_nonpreemptive(black_box(&set), &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new(label, "exhaustive"), &(), |b, ()| {
+            b.iter(|| edf_feasible_nonpreemptive_exhaustive(black_box(&set), &cfg).unwrap())
+        });
     }
     group.finish();
 }

@@ -5,8 +5,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use profirt_bench::task_set;
-use profirt_sched::edf::{edf_response_times, np_edf_response_times, EdfRtaConfig, NpEdfRtaConfig};
+use profirt_bench::{large, task_set};
+use profirt_sched::edf::{
+    edf_response_times, edf_response_times_with, np_edf_response_times, EdfRtaConfig,
+    NpEdfRtaConfig,
+};
+use profirt_sched::AnalysisScratch;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t4_edf_rta");
@@ -26,6 +30,20 @@ fn bench(c: &mut Criterion) {
             b.iter(|| edf_response_times(black_box(&set), &EdfRtaConfig::default()).unwrap())
         });
     }
+    // Shared large-n worst case, with and without scratch reuse (same
+    // workload `analysis_fast` sweeps over).
+    let set = large::edf_rta_set();
+    let mut scratch = AnalysisScratch::new();
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("large_32_u90", "scratch"), &(), |b, ()| {
+        b.iter(|| {
+            edf_response_times_with(black_box(&set), &EdfRtaConfig::default(), &mut scratch)
+                .unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("large_32_u90", "fresh"), &(), |b, ()| {
+        b.iter(|| edf_response_times(black_box(&set), &EdfRtaConfig::default()).unwrap())
+    });
     group.finish();
 }
 

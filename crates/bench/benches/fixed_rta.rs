@@ -5,10 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use profirt_bench::task_set;
+use profirt_bench::{large, task_set};
 use profirt_sched::fixed::{
-    np_response_times, response_times, NpFixedConfig, PriorityMap, RtaConfig,
+    np_response_times, response_times, response_times_with, NpFixedConfig, PriorityMap, RtaConfig,
 };
+use profirt_sched::AnalysisScratch;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t1_fixed_rta");
@@ -26,6 +27,19 @@ fn bench(c: &mut Criterion) {
             b.iter(|| np_response_times(black_box(&set), &pm, &NpFixedConfig::paper()).unwrap())
         });
     }
+    // Shared large-n fixture, with and without scratch reuse (same
+    // workload `analysis_fast` sweeps over).
+    let set = large::fp_rta_set();
+    let pm = PriorityMap::rate_monotonic(&set);
+    let mut scratch = AnalysisScratch::new();
+    group.bench_with_input(BenchmarkId::new("large_48_u90", "scratch"), &(), |b, ()| {
+        b.iter(|| {
+            response_times_with(black_box(&set), &pm, &RtaConfig::default(), &mut scratch).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("large_48_u90", "fresh"), &(), |b, ()| {
+        b.iter(|| response_times(black_box(&set), &pm, &RtaConfig::default()).unwrap())
+    });
     group.finish();
 }
 

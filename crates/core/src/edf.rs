@@ -22,7 +22,7 @@
 //! reported as [`profirt_base::AnalysisError::UtilizationAtLeastOne`].
 
 use profirt_base::{AnalysisError, AnalysisResult, Frac, Time};
-use profirt_sched::{fixpoint, CheckpointIter, FixOutcome, FixpointConfig};
+use profirt_sched::{fixpoint, CheckpointScratch, FixOutcome, FixpointConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{MasterConfig, NetworkConfig};
@@ -79,8 +79,11 @@ impl EdfAnalysis {
         let tc = bound.tcycle;
         let mut masters = Vec::with_capacity(net.n_masters());
         let mut details = Vec::with_capacity(net.n_masters());
+        // One set of working buffers per analysis run, reused across every
+        // master, stream and arrival candidate.
+        let mut scratch = MessageScratch::default();
         for (k, master) in net.masters.iter().enumerate() {
-            let (rows, det) = self.analyze_master(k, master, tc)?;
+            let (rows, det) = self.analyze_master(k, master, tc, &mut scratch)?;
             masters.push(rows);
             details.push(det);
         }
@@ -99,6 +102,7 @@ impl EdfAnalysis {
         k: usize,
         master: &MasterConfig,
         tc: Time,
+        scratch: &mut MessageScratch,
     ) -> AnalysisResult<(Vec<StreamResponse>, Vec<EdfStreamDetail>)> {
         let streams = master.streams.streams();
         if streams.is_empty() {
@@ -142,7 +146,8 @@ impl EdfAnalysis {
         let mut details = Vec::with_capacity(streams.len());
         for (i, s) in master.streams.iter() {
             // Candidate arrivals: plain and jitter-shifted progressions.
-            let mut progs: Vec<(Time, Time)> = Vec::with_capacity(2 * streams.len());
+            let progs = &mut scratch.progs;
+            progs.clear();
             for sj in streams {
                 progs.push((sj.d - s.d, sj.t));
                 if sj.j.is_positive() {
@@ -152,7 +157,8 @@ impl EdfAnalysis {
             let mut best_r = tc;
             let mut best_a = Time::ZERO;
             let mut examined: u64 = 0;
-            for a in CheckpointIter::new(&progs, l) {
+            let mut cursor = scratch.checkpoints.start(progs, l);
+            while let Some(a) = cursor.next_point() {
                 examined += 1;
                 if examined > self.max_candidates {
                     return Err(AnalysisError::IterationLimit {
@@ -160,7 +166,7 @@ impl EdfAnalysis {
                         limit: self.max_candidates,
                     });
                 }
-                let li = self.start_busy_period(master, i, a, tc, l)?;
+                let li = self.start_busy_period(master, i, a, tc, l, &mut scratch.terms)?;
                 let r = tc.max(li + tc - a);
                 if r > best_r {
                     best_r = r;
@@ -183,7 +189,10 @@ impl EdfAnalysis {
         Ok((rows, details))
     }
 
-    /// Solves eq. (18) for one arrival offset.
+    /// Solves eq. (18) for one arrival offset. The deadline-qualified
+    /// interference rows — period, jitter, and the arrival-independent job
+    /// cap — are hoisted into `terms` so the fixpoint closure walks one
+    /// flat array.
     fn start_busy_period(
         &self,
         master: &MasterConfig,
@@ -191,18 +200,29 @@ impl EdfAnalysis {
         a: Time,
         tc: Time,
         bound: Time,
+        terms: &mut Vec<(Time, Time, i64)>,
     ) -> AnalysisResult<Time> {
         let streams = master.streams.streams();
         let s_i = streams[i];
         let deadline_i = a + s_i.d;
         // Blocking: one token cycle if any stream's relative deadline
         // exceeds a + Di (a later-deadline request may hold the stack slot).
-        let blocked = streams
-            .iter()
-            .enumerate()
-            .any(|(j, sj)| j != i && sj.d > deadline_i);
+        let mut blocked = false;
+        terms.clear();
+        for (j, sj) in streams.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            if sj.d > deadline_i {
+                blocked = true;
+            } else {
+                let by_deadline = 1 + (deadline_i - sj.d + sj.j).floor_div(sj.t);
+                terms.push((sj.t, sj.j, by_deadline));
+            }
+        }
         let blocking = if blocked { tc } else { Time::ZERO };
         let own_prior = tc.try_mul(a.floor_div(s_i.t))?;
+        let base = blocking.try_add(own_prior)?;
 
         let outcome = fixpoint(
             "edf-message start busy period",
@@ -210,13 +230,9 @@ impl EdfAnalysis {
             bound,
             self.fixpoint,
             |t| {
-                let mut next = blocking.try_add(own_prior)?;
-                for (j, sj) in streams.iter().enumerate() {
-                    if j == i || sj.d > deadline_i {
-                        continue;
-                    }
-                    let by_time = 1 + (t + sj.j).floor_div(sj.t);
-                    let by_deadline = 1 + (deadline_i - sj.d + sj.j).floor_div(sj.t);
+                let mut next = base;
+                for &(t_j, j_j, by_deadline) in terms.iter() {
+                    let by_time = 1 + (t + j_j).floor_div(t_j);
                     next = next.try_add(tc.try_mul(by_time.min(by_deadline).max(0))?)?;
                 }
                 Ok(next)
@@ -230,6 +246,15 @@ impl EdfAnalysis {
             }),
         }
     }
+}
+
+/// Reusable buffers for one [`EdfAnalysis`] run: candidate progressions,
+/// the checkpoint merge heap, and the hoisted interference rows.
+#[derive(Debug, Default)]
+struct MessageScratch {
+    progs: Vec<(Time, Time)>,
+    checkpoints: CheckpointScratch,
+    terms: Vec<(Time, Time, i64)>,
 }
 
 #[cfg(test)]

@@ -9,12 +9,38 @@
 
 use profirt_base::AnalysisResult;
 use profirt_profibus::QueuePolicy;
+use profirt_sched::FixpointConfig;
 
 use crate::config::NetworkConfig;
 use crate::dm::DmAnalysis;
 use crate::edf::EdfAnalysis;
 use crate::fcfs::FcfsAnalysis;
 use crate::NetworkAnalysis;
+
+/// Analysis tuning shared by every policy's analysis and passed through the
+/// uniform dispatch: fixpoint iteration caps and the arrival-candidate cap
+/// of the EDF message analysis. One tuning value configures a whole sweep
+/// (the campaign engine builds it once per work unit).
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyTuning {
+    /// Fixpoint iteration limits for every recurrence.
+    pub fixpoint: FixpointConfig,
+    /// Hard cap on arrival candidates per stream (EDF analysis only).
+    pub max_candidates: u64,
+}
+
+impl Default for PolicyTuning {
+    fn default() -> Self {
+        // Derived from the EDF analysis defaults (the only analysis with a
+        // candidate cap), so retuning EdfAnalysis::default() cannot drift
+        // apart from the dispatch path.
+        let edf = EdfAnalysis::default();
+        PolicyTuning {
+            fixpoint: edf.fixpoint,
+            max_candidates: edf.max_candidates,
+        }
+    }
+}
 
 /// One analysable queue policy, with its fidelity variant where relevant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -72,13 +98,39 @@ impl PolicyKind {
         }
     }
 
-    /// Runs the policy's worst-case response-time analysis.
+    /// Runs the policy's worst-case response-time analysis with default
+    /// tuning.
     pub fn analyze(self, net: &NetworkConfig) -> AnalysisResult<NetworkAnalysis> {
+        self.analyze_with(net, &PolicyTuning::default())
+    }
+
+    /// Runs the policy's worst-case response-time analysis, passing the
+    /// caller's tuning (fixpoint / candidate caps) through to the concrete
+    /// analysis. With `PolicyTuning::default()` this is exactly
+    /// [`PolicyKind::analyze`].
+    pub fn analyze_with(
+        self,
+        net: &NetworkConfig,
+        tuning: &PolicyTuning,
+    ) -> AnalysisResult<NetworkAnalysis> {
         match self {
             PolicyKind::Fcfs => FcfsAnalysis::paper().run(net),
-            PolicyKind::Dm => DmAnalysis::conservative().analyze(net),
-            PolicyKind::DmPaper => DmAnalysis::paper().analyze(net),
-            PolicyKind::Edf => EdfAnalysis::paper().analyze(net),
+            PolicyKind::Dm => DmAnalysis {
+                fixpoint: tuning.fixpoint,
+                ..DmAnalysis::conservative()
+            }
+            .analyze(net),
+            PolicyKind::DmPaper => DmAnalysis {
+                fixpoint: tuning.fixpoint,
+                ..DmAnalysis::paper()
+            }
+            .analyze(net),
+            PolicyKind::Edf => EdfAnalysis {
+                fixpoint: tuning.fixpoint,
+                max_candidates: tuning.max_candidates,
+                ..EdfAnalysis::paper()
+            }
+            .analyze(net),
         }
     }
 
@@ -138,6 +190,17 @@ mod tests {
         let via = PolicyKind::Fcfs.analyze(&n).unwrap();
         let direct = FcfsAnalysis::paper().run(&n).unwrap();
         assert_eq!(via, direct);
+    }
+
+    #[test]
+    fn default_tuning_matches_plain_analyze() {
+        let n = net();
+        let tuning = PolicyTuning::default();
+        for p in PolicyKind::ALL {
+            let plain = p.analyze(&n).unwrap();
+            let tuned = p.analyze_with(&n, &tuning).unwrap();
+            assert_eq!(plain, tuned, "{p}: tuning pass-through changed results");
+        }
     }
 
     #[test]

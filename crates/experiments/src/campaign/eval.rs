@@ -6,16 +6,17 @@
 //! pure feasibility test) is `NaN` and rendered as `-`.
 
 use profirt_base::{Prng, Time};
-use profirt_core::{max_feasible_ttr, PolicyKind, TcycleModel};
+use profirt_core::{max_feasible_ttr, PolicyKind, PolicyTuning, TcycleModel};
 use profirt_sched::edf::{
-    edf_feasible_nonpreemptive, edf_feasible_preemptive, edf_response_times, edf_utilization_test,
-    np_edf_response_times, DemandConfig, DemandFormula, EdfRtaConfig, NpBlockingModel,
-    NpEdfRtaConfig, NpFeasibilityConfig,
+    edf_feasible_nonpreemptive_with, edf_feasible_preemptive_with, edf_response_times_with,
+    edf_utilization_test, np_edf_response_times_with, DemandConfig, DemandFormula, EdfRtaConfig,
+    NpBlockingModel, NpEdfRtaConfig, NpFeasibilityConfig,
 };
 use profirt_sched::fixed::{
-    hyperbolic_schedulable, np_response_times, response_times, rm_utilization_schedulable,
-    NpFixedConfig, PriorityMap, RtaConfig,
+    hyperbolic_schedulable, np_response_times_with, response_times_with,
+    rm_utilization_schedulable, NpFixedConfig, PriorityMap, RtaConfig,
 };
+use profirt_sched::AnalysisScratch;
 use profirt_workload::{generate_task_set, NetGenParams, PeriodRange, TaskGenParams};
 
 use super::plan::WorkUnit;
@@ -97,6 +98,9 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
     let mut resp_p99s = Vec::new();
     let mut trr_p99s = Vec::new();
 
+    // One tuning value per unit, passed through the policy dispatch to
+    // every replication's analysis.
+    let tuning = PolicyTuning::default();
     for rep in 0..spec.replications {
         let seed = unit_seed(spec, unit.index, rep);
         let g = gen_network(seed, &params);
@@ -107,7 +111,7 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
             max_ttrs.push(ttr.ticks() as f64);
         }
 
-        let Ok(an) = policy.analyze(&g.config) else {
+        let Ok(an) = policy.analyze_with(&g.config, &tuning) else {
             // EDF service saturation etc.: counts as not schedulable.
             sched_fracs.push(0.0);
             continue;
@@ -192,11 +196,15 @@ fn eval_cpu_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
 
     let mut accepted = 0u64;
     let mut wcrt_norms = Vec::new();
+    // The analysis scratch is allocated once per unit and reused across
+    // every replication seed — the campaign hot loop never re-allocates
+    // candidate/progression buffers.
+    let mut scratch = AnalysisScratch::new();
     for rep in 0..spec.replications {
         let seed = unit_seed(spec, unit.index, rep);
         let mut rng = Prng::seed_from_u64(seed);
         let set = generate_task_set(&mut rng, &params).expect("task generation");
-        let (ok, norm) = eval_cpu_policy(&policy, &set);
+        let (ok, norm) = eval_cpu_policy(&policy, &set, &mut scratch);
         if ok {
             accepted += 1;
         }
@@ -210,92 +218,118 @@ fn eval_cpu_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
     ]
 }
 
+fn fixed_rta(
+    set: &profirt_base::TaskSet,
+    pm: &PriorityMap,
+    nonpreemptive: bool,
+    scratch: &mut AnalysisScratch,
+) -> (bool, Option<f64>) {
+    let an = if nonpreemptive {
+        np_response_times_with(set, pm, &NpFixedConfig::george(), scratch)
+    } else {
+        response_times_with(set, pm, &RtaConfig::default(), scratch)
+    };
+    match an {
+        Ok(an) => {
+            let norm = set
+                .iter()
+                .filter_map(|(i, task)| {
+                    an.verdicts[i]
+                        .wcrt()
+                        .map(|w| w.ticks() as f64 / task.d.ticks().max(1) as f64)
+                })
+                .fold(None, |acc: Option<f64>, r| {
+                    Some(acc.map_or(r, |a| a.max(r)))
+                });
+            (an.all_schedulable(), norm)
+        }
+        Err(_) => (false, None),
+    }
+}
+
+fn edf_rta(
+    set: &profirt_base::TaskSet,
+    nonpreemptive: bool,
+    scratch: &mut AnalysisScratch,
+) -> (bool, Option<f64>) {
+    let details = if nonpreemptive {
+        np_edf_response_times_with(set, &NpEdfRtaConfig::default(), scratch).map(|(_, d)| d)
+    } else {
+        edf_response_times_with(set, &EdfRtaConfig::default(), scratch).map(|(_, d)| d)
+    };
+    match details {
+        Ok(details) => {
+            let mut ok = true;
+            let mut norm = 0.0f64;
+            for (i, task) in set.iter() {
+                ok &= details[i].wcrt <= task.d;
+                norm = norm.max(details[i].wcrt.ticks() as f64 / task.d.ticks().max(1) as f64);
+            }
+            (ok, Some(norm))
+        }
+        Err(_) => (false, None),
+    }
+}
+
+fn demand(
+    set: &profirt_base::TaskSet,
+    formula: DemandFormula,
+    scratch: &mut AnalysisScratch,
+) -> bool {
+    edf_feasible_preemptive_with(
+        set,
+        &DemandConfig {
+            formula,
+            ..Default::default()
+        },
+        scratch,
+    )
+    .map(|f| f.feasible)
+    .unwrap_or(false)
+}
+
+fn np_demand(
+    set: &profirt_base::TaskSet,
+    blocking: NpBlockingModel,
+    scratch: &mut AnalysisScratch,
+) -> bool {
+    edf_feasible_nonpreemptive_with(
+        set,
+        &NpFeasibilityConfig {
+            blocking,
+            formula: DemandFormula::Standard,
+            ..Default::default()
+        },
+        scratch,
+    )
+    .map(|f| f.feasible)
+    .unwrap_or(false)
+}
+
 /// Runs one §2 schedulability test. Returns `(accepted, wcrt/deadline)`
 /// where the normalised WCRT is the set's worst ratio (RTA-style tests
 /// only; feasibility tests return `None`).
-fn eval_cpu_policy(policy: &str, set: &profirt_base::TaskSet) -> (bool, Option<f64>) {
-    let fixed_rta = |pm: &PriorityMap, nonpreemptive: bool| -> (bool, Option<f64>) {
-        let an = if nonpreemptive {
-            np_response_times(set, pm, &NpFixedConfig::george())
-        } else {
-            response_times(set, pm, &RtaConfig::default())
-        };
-        match an {
-            Ok(an) => {
-                let norm = set
-                    .iter()
-                    .filter_map(|(i, task)| {
-                        an.verdicts[i]
-                            .wcrt()
-                            .map(|w| w.ticks() as f64 / task.d.ticks().max(1) as f64)
-                    })
-                    .fold(None, |acc: Option<f64>, r| {
-                        Some(acc.map_or(r, |a| a.max(r)))
-                    });
-                (an.all_schedulable(), norm)
-            }
-            Err(_) => (false, None),
-        }
-    };
-    let edf_rta = |nonpreemptive: bool| -> (bool, Option<f64>) {
-        let details = if nonpreemptive {
-            np_edf_response_times(set, &NpEdfRtaConfig::default()).map(|(_, d)| d)
-        } else {
-            edf_response_times(set, &EdfRtaConfig::default()).map(|(_, d)| d)
-        };
-        match details {
-            Ok(details) => {
-                let mut ok = true;
-                let mut norm = 0.0f64;
-                for (i, task) in set.iter() {
-                    ok &= details[i].wcrt <= task.d;
-                    norm = norm.max(details[i].wcrt.ticks() as f64 / task.d.ticks().max(1) as f64);
-                }
-                (ok, Some(norm))
-            }
-            Err(_) => (false, None),
-        }
-    };
-    let demand = |formula: DemandFormula| -> bool {
-        edf_feasible_preemptive(
-            set,
-            &DemandConfig {
-                formula,
-                ..Default::default()
-            },
-        )
-        .map(|f| f.feasible)
-        .unwrap_or(false)
-    };
-    let np_demand = |blocking: NpBlockingModel| -> bool {
-        edf_feasible_nonpreemptive(
-            set,
-            &NpFeasibilityConfig {
-                blocking,
-                formula: DemandFormula::Standard,
-                ..Default::default()
-            },
-        )
-        .map(|f| f.feasible)
-        .unwrap_or(false)
-    };
-
+fn eval_cpu_policy(
+    policy: &str,
+    set: &profirt_base::TaskSet,
+    scratch: &mut AnalysisScratch,
+) -> (bool, Option<f64>) {
     match policy {
         "rm-ll" => (rm_utilization_schedulable(set).is_schedulable(), None),
         "rm-hb" => (hyperbolic_schedulable(set).is_schedulable(), None),
-        "rm-rta" => fixed_rta(&PriorityMap::rate_monotonic(set), false),
-        "dm-rta" => fixed_rta(&PriorityMap::deadline_monotonic(set), false),
-        "np-dm" => fixed_rta(&PriorityMap::deadline_monotonic(set), true),
+        "rm-rta" => fixed_rta(set, &PriorityMap::rate_monotonic(set), false, scratch),
+        "dm-rta" => fixed_rta(set, &PriorityMap::deadline_monotonic(set), false, scratch),
+        "np-dm" => fixed_rta(set, &PriorityMap::deadline_monotonic(set), true, scratch),
         "edf-util" => (
             edf_utilization_test(set).at_most_one && set.all_implicit_deadlines(),
             None,
         ),
-        "edf-demand" => (demand(DemandFormula::Standard), None),
-        "edf-demand-paper" => (demand(DemandFormula::PaperCeiling), None),
-        "np-edf-zs" => (np_demand(NpBlockingModel::ZhengShin), None),
-        "np-edf-george" => (np_demand(NpBlockingModel::George), None),
-        "edf-rta" => edf_rta(false),
-        "np-edf-rta" => edf_rta(true),
+        "edf-demand" => (demand(set, DemandFormula::Standard, scratch), None),
+        "edf-demand-paper" => (demand(set, DemandFormula::PaperCeiling, scratch), None),
+        "np-edf-zs" => (np_demand(set, NpBlockingModel::ZhengShin, scratch), None),
+        "np-edf-george" => (np_demand(set, NpBlockingModel::George, scratch), None),
+        "edf-rta" => edf_rta(set, false, scratch),
+        "np-edf-rta" => edf_rta(set, true, scratch),
         other => panic!("unknown cpu policy {other:?} (spec validation missed it)"),
     }
 }

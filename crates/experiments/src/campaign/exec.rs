@@ -10,6 +10,7 @@
 //! instead of aborting the whole campaign process.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use profirt_base::json::{self, Value};
 
@@ -34,6 +35,12 @@ pub struct CampaignOutcome {
     pub metrics: Vec<&'static str>,
     /// Per-unit metric rows, aligned with `plan.units` and `metrics`.
     pub rows: Vec<Vec<f64>>,
+    /// Per-unit evaluation wall time in microseconds, aligned with
+    /// `plan.units` (the `unit_micros` column of `units.csv`).
+    pub unit_micros: Vec<f64>,
+    /// Total campaign wall time in seconds (planning + evaluation across
+    /// all workers, as observed by the caller).
+    pub total_wall_secs: f64,
     /// `out_root/<campaign name>`.
     pub out_dir: PathBuf,
     /// Every artifact written, in creation order.
@@ -53,20 +60,40 @@ pub fn fmt_metric(x: f64) -> String {
 
 impl CampaignOutcome {
     /// The per-unit results as an aligned text table (also the CSV shape).
+    /// The trailing `unit_micros` column is instrumentation, not a metric:
+    /// it varies run to run even when every metric is deterministic.
     pub fn units_table(&self) -> Table {
         let mut headers: Vec<&str> = vec!["unit"];
         for axis in &self.spec.axes {
             headers.push(&axis.name);
         }
         headers.extend(self.metrics.iter().copied());
+        headers.push("unit_micros");
         let mut t = Table::new("campaign units", &headers);
-        for (unit, row) in self.plan.units.iter().zip(&self.rows) {
+        for ((unit, row), micros) in self
+            .plan
+            .units
+            .iter()
+            .zip(&self.rows)
+            .zip(&self.unit_micros)
+        {
             let mut cells = vec![unit.id.clone()];
             cells.extend(unit.point.iter().map(|(_, v)| v.to_string()));
             cells.extend(row.iter().map(|&x| fmt_metric(x)));
+            cells.push(fmt_metric(micros.round()));
             t.row(cells);
         }
         t
+    }
+
+    /// Aggregate evaluation throughput in units per second, derived from
+    /// the total wall time (0 when no time was observed).
+    pub fn units_per_sec(&self) -> f64 {
+        if self.total_wall_secs > 0.0 {
+            self.plan.units.len() as f64 / self.total_wall_secs
+        } else {
+            0.0
+        }
     }
 
     /// The `summary.json` document.
@@ -106,6 +133,7 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     out_root: &Path,
 ) -> Result<CampaignOutcome, CampaignError> {
+    let started = Instant::now();
     let plan = plan(spec)?;
     let workers = if spec.workers == 0 {
         std::thread::available_parallelism()
@@ -116,8 +144,10 @@ pub fn run_campaign(
     };
 
     let units = &plan.units;
-    let rows = try_par_map_seeds(units.len() as u64, workers, |i| {
-        eval_unit(spec, &units[i as usize])
+    let timed_rows = try_par_map_seeds(units.len() as u64, workers, |i| {
+        let unit_start = Instant::now();
+        let row = eval_unit(spec, &units[i as usize]);
+        (row, unit_start.elapsed().as_secs_f64() * 1e6)
     })
     .map_err(|panics| CampaignError::UnitPanics {
         units: panics
@@ -126,12 +156,16 @@ pub fn run_campaign(
             .map(|(i, msg)| (units[*i as usize].id.clone(), msg.clone()))
             .collect(),
     })?;
+    let total_wall_secs = started.elapsed().as_secs_f64();
+    let (rows, unit_micros): (Vec<Vec<f64>>, Vec<f64>) = timed_rows.into_iter().unzip();
 
     let mut outcome = CampaignOutcome {
         spec: spec.clone(),
         plan,
         metrics: metric_names(spec.kind).to_vec(),
         rows,
+        unit_micros,
+        total_wall_secs,
         out_dir: out_root.join(&spec.name),
         artifacts: Vec::new(),
     };
@@ -183,6 +217,12 @@ pub fn print_outcome(outcome: &CampaignOutcome) -> i32 {
     );
     println!();
     println!("{}", outcome.units_table());
+    println!(
+        "timing: {} unit(s) in {:.3}s ({:.1} units/s)",
+        outcome.plan.units.len(),
+        outcome.total_wall_secs,
+        outcome.units_per_sec()
+    );
     let failures = outcome.contract_failures();
     if outcome.spec.sim_horizon > 0 {
         if failures.is_empty() {
@@ -237,6 +277,8 @@ mod tests {
             plan,
             metrics,
             rows: vec![row.clone(), row],
+            unit_micros: vec![1.0, 1.0],
+            total_wall_secs: 0.001,
             out_dir: std::path::PathBuf::from("unused"),
             artifacts: Vec::new(),
         };

@@ -11,8 +11,8 @@ pub fn summary_json(outcome: &CampaignOutcome) -> Value {
         .plan
         .units
         .iter()
-        .zip(&outcome.rows)
-        .map(|(unit, row)| {
+        .zip(outcome.rows.iter().zip(&outcome.unit_micros))
+        .map(|(unit, (row, &micros))| {
             let axes = Value::Object(
                 unit.point
                     .iter()
@@ -47,6 +47,7 @@ pub fn summary_json(outcome: &CampaignOutcome) -> Value {
                 ("id", Value::Str(unit.id.clone())),
                 ("axes", axes),
                 ("metrics", metrics),
+                ("unit_micros", Value::Float(micros)),
             ])
         })
         .collect();
@@ -67,6 +68,13 @@ pub fn summary_json(outcome: &CampaignOutcome) -> Value {
                     .map(|m| Value::Str(m.to_string()))
                     .collect(),
             ),
+        ),
+        (
+            "timing",
+            json::object([
+                ("total_wall_secs", Value::Float(outcome.total_wall_secs)),
+                ("units_per_sec", Value::Float(outcome.units_per_sec())),
+            ]),
         ),
         ("units", Value::Array(units)),
     ])

@@ -4,7 +4,7 @@
 
 use profirt_base::{Prng, Time};
 use profirt_sched::edf::{
-    edf_feasible_preemptive, edf_utilization_test, DemandConfig, DemandFormula,
+    edf_feasible_preemptive_exhaustive, edf_utilization_test, DemandConfig, DemandFormula,
 };
 use profirt_sim::{simulate_cpu, CpuPolicy, CpuSimConfig};
 use profirt_workload::{generate_task_set, DeadlinePolicy, PeriodRange, TaskGenParams};
@@ -49,7 +49,9 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                 let set = generate_task_set(&mut rng, &constrained(6, u, frac)).unwrap();
                 let util_ok =
                     edf_utilization_test(&set).at_most_one && set.all_implicit_deadlines();
-                let std = edf_feasible_preemptive(
+                // The exhaustive reference: its checked_points column is a
+                // checkpoint count, independent of the QPA selection rule.
+                let std = edf_feasible_preemptive_exhaustive(
                     &set,
                     &DemandConfig {
                         formula: DemandFormula::Standard,
@@ -57,7 +59,7 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                     },
                 )
                 .unwrap();
-                let paper = edf_feasible_preemptive(
+                let paper = edf_feasible_preemptive_exhaustive(
                     &set,
                     &DemandConfig {
                         formula: DemandFormula::PaperCeiling,

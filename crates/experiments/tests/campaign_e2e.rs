@@ -39,11 +39,13 @@ fn two_by_two_by_two_campaign_produces_parseable_artifacts() {
         assert!(dir.join(name).exists(), "missing artifact {name}");
     }
 
-    // units.csv: header + one row per unit, stable IDs in plan order.
+    // units.csv: header + one row per unit, stable IDs in plan order, with
+    // the timing instrumentation column trailing.
     let csv = std::fs::read_to_string(dir.join("units.csv")).unwrap();
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + 8);
     assert!(lines[0].starts_with("unit,masters,tightness,policy,streams,sched_ratio"));
+    assert!(lines[0].ends_with(",unit_micros"));
     assert!(lines[1].starts_with("u0000__masters_2__tightness_0p9__policy_fcfs__streams_2,"));
     assert!(lines[8].starts_with("u0007__masters_3__tightness_0p5__policy_dm__streams_2,"));
 
@@ -56,7 +58,15 @@ fn two_by_two_by_two_campaign_produces_parseable_artifacts() {
     assert_eq!(summary.get("unit_count").and_then(Value::as_i64), Some(8));
     let units = summary.get("units").and_then(Value::as_array).unwrap();
     assert_eq!(units.len(), 8);
+    // Aggregate throughput numbers are recorded and positive.
+    let timing = summary.get("timing").unwrap();
+    assert!(timing.get("total_wall_secs").unwrap().as_f64().unwrap() > 0.0);
+    assert!(timing.get("units_per_sec").unwrap().as_f64().unwrap() > 0.0);
     for unit in units {
+        assert!(
+            unit.get("unit_micros").unwrap().as_f64().unwrap() >= 0.0,
+            "per-unit timing missing"
+        );
         let metrics = unit.get("metrics").and_then(Value::as_object).unwrap();
         // Simulation ran: the validation columns are populated numbers.
         let worst = metrics.get("sim_worst_ratio").unwrap();
@@ -99,7 +109,14 @@ fn rerunning_the_same_spec_is_deterministic() {
     let b = run_campaign(&spec, &root_b).unwrap();
     let csv_a = std::fs::read_to_string(a.out_dir.join("units.csv")).unwrap();
     let csv_b = std::fs::read_to_string(b.out_dir.join("units.csv")).unwrap();
-    assert_eq!(csv_a, csv_b);
+    // Every column except the trailing wall-clock instrumentation
+    // (`unit_micros`) must be byte-identical across worker counts.
+    let strip_timing = |csv: &str| -> Vec<String> {
+        csv.lines()
+            .map(|line| line.rsplit_once(',').expect("timing column").0.to_string())
+            .collect()
+    };
+    assert_eq!(strip_timing(&csv_a), strip_timing(&csv_b));
     std::fs::remove_dir_all(&root_a).ok();
     std::fs::remove_dir_all(&root_b).ok();
 }

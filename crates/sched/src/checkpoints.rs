@@ -7,11 +7,158 @@
 //! `⋃_j {k·Tj + Dj − Di ≥ 0} ∩ [0, bound]`. Both are merges of `n` arithmetic
 //! progressions; [`CheckpointIter`] performs the merge lazily with a binary
 //! heap, deduplicating equal values.
+//!
+//! Two hot-path refinements live here as well:
+//!
+//! * [`CheckpointScratch`] owns the heap and side tables so a caller that
+//!   enumerates checkpoints for many tasks (or many task sets) re-seeds the
+//!   same allocation instead of building a fresh heap per merge — the
+//!   allocation-free discipline of [`crate::scratch::AnalysisScratch`].
+//! * [`Checkpoints::next_with_steppers`] reports *which* progressions have an
+//!   element at each yielded point, which lets the exhaustive demand tests
+//!   maintain `h(t)` incrementally in O(steps) per point instead of
+//!   recomputing the full O(n) sum (see [`crate::edf::demand`](mod@crate::edf::demand)).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use profirt_base::Time;
+
+/// Reusable state for merging arithmetic progressions: the min-heap of
+/// `(next value, progression index)` pairs, the per-progression steps, and
+/// the stepper buffer handed out by
+/// [`Checkpoints::next_with_steppers`].
+///
+/// A default-constructed scratch is empty; [`CheckpointScratch::start`]
+/// re-seeds it (reusing the allocations) and returns a borrowing cursor.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointScratch {
+    heap: BinaryHeap<Reverse<(Time, usize)>>,
+    steps: Vec<Time>,
+    steppers: Vec<usize>,
+}
+
+impl CheckpointScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> CheckpointScratch {
+        CheckpointScratch::default()
+    }
+
+    /// Seeds the merge over `(offset, step)` progressions within
+    /// `[0, bound]` (inclusive) and returns the cursor. Steps must be
+    /// strictly positive; progressions with a negative offset are advanced
+    /// to their first non-negative element.
+    ///
+    /// # Panics
+    /// Panics if any step is not strictly positive.
+    pub fn start(&mut self, progressions: &[(Time, Time)], bound: Time) -> Checkpoints<'_> {
+        self.heap.clear();
+        self.steps.clear();
+        self.steppers.clear();
+        self.steps.reserve(progressions.len());
+        for (idx, &(offset, step)) in progressions.iter().enumerate() {
+            assert!(
+                step.is_positive(),
+                "checkpoint progression step must be positive"
+            );
+            self.steps.push(step);
+            // Advance negative offsets to the first k with offset + k*step >= 0.
+            let first = if offset.is_negative() {
+                let k = (-offset).ceil_div(step);
+                offset + step * k
+            } else {
+                offset
+            };
+            if first <= bound {
+                self.heap.push(Reverse((first, idx)));
+            }
+        }
+        Checkpoints {
+            scratch: self,
+            bound,
+            last: None,
+        }
+    }
+
+    /// Pops the next distinct merged value `<= bound`, advancing *every*
+    /// progression that had an element there — in both modes, so plain and
+    /// stepper calls interleave without losing a step. When
+    /// `collect_steppers` is set the indices of those progressions are left
+    /// in `self.steppers`.
+    fn pop_next(
+        &mut self,
+        bound: Time,
+        last: &mut Option<Time>,
+        collect_steppers: bool,
+    ) -> Option<Time> {
+        if collect_steppers {
+            self.steppers.clear();
+        }
+        let Reverse((v, idx)) = self.heap.pop()?;
+        debug_assert!(*last != Some(v), "peers are drained on every pop");
+        if let Some(s) = v.checked_add(self.steps[idx]) {
+            if s <= bound {
+                self.heap.push(Reverse((s, idx)));
+            }
+        }
+        if collect_steppers {
+            self.steppers.push(idx);
+        }
+        // Drain every progression sharing this value, so the stepper list
+        // is complete for the yielded point and no duplicate value is left
+        // behind for a later (possibly plain) call to mis-handle.
+        while let Some(&Reverse((peek, pidx))) = self.heap.peek() {
+            if peek != v {
+                break;
+            }
+            self.heap.pop();
+            if let Some(s) = peek.checked_add(self.steps[pidx]) {
+                if s <= bound {
+                    self.heap.push(Reverse((s, pidx)));
+                }
+            }
+            if collect_steppers {
+                self.steppers.push(pidx);
+            }
+        }
+        *last = Some(v);
+        Some(v)
+    }
+}
+
+/// A borrowing cursor over the merged, deduplicated checkpoint sequence —
+/// the allocation-free counterpart of [`CheckpointIter`].
+#[derive(Debug)]
+pub struct Checkpoints<'a> {
+    scratch: &'a mut CheckpointScratch,
+    bound: Time,
+    last: Option<Time>,
+}
+
+impl Checkpoints<'_> {
+    /// The next checkpoint in strictly ascending order, or `None` when the
+    /// bound is exhausted.
+    pub fn next_point(&mut self) -> Option<Time> {
+        self.scratch.pop_next(self.bound, &mut self.last, false)
+    }
+
+    /// The next checkpoint together with the indices of the progressions
+    /// that step there (each index appears exactly once; order is
+    /// unspecified). The slice borrows the scratch and is valid until the
+    /// next call.
+    pub fn next_with_steppers(&mut self) -> Option<(Time, &[usize])> {
+        let v = self.scratch.pop_next(self.bound, &mut self.last, true)?;
+        Some((v, self.scratch.steppers.as_slice()))
+    }
+}
+
+impl Iterator for Checkpoints<'_> {
+    type Item = Time;
+
+    fn next(&mut self) -> Option<Time> {
+        self.next_point()
+    }
+}
 
 /// Lazily merged, deduplicated union of arithmetic progressions
 /// `{offset_i + k·step_i : k ∈ ℕ}` restricted to `[0, bound]`.
@@ -21,8 +168,7 @@ use profirt_base::Time;
 /// order.
 #[derive(Debug, Clone)]
 pub struct CheckpointIter {
-    heap: BinaryHeap<Reverse<(Time, usize)>>,
-    steps: Vec<Time>,
+    scratch: CheckpointScratch,
     bound: Time,
     last: Option<Time>,
 }
@@ -34,28 +180,12 @@ impl CheckpointIter {
     /// # Panics
     /// Panics if any step is not strictly positive.
     pub fn new(progressions: &[(Time, Time)], bound: Time) -> CheckpointIter {
-        let mut heap = BinaryHeap::with_capacity(progressions.len());
-        let mut steps = Vec::with_capacity(progressions.len());
-        for (idx, &(offset, step)) in progressions.iter().enumerate() {
-            assert!(
-                step.is_positive(),
-                "checkpoint progression step must be positive"
-            );
-            steps.push(step);
-            // Advance negative offsets to the first k with offset + k*step >= 0.
-            let first = if offset.is_negative() {
-                let k = (-offset).ceil_div(step);
-                offset + step * k
-            } else {
-                offset
-            };
-            if first <= bound {
-                heap.push(Reverse((first, idx)));
-            }
-        }
+        let mut scratch = CheckpointScratch::new();
+        // `start` seeds the heap; the cursor itself is dropped and the
+        // iterator re-reads the bound from its own field.
+        let _ = scratch.start(progressions, bound);
         CheckpointIter {
-            heap,
-            steps,
+            scratch,
             bound,
             last: None,
         }
@@ -64,8 +194,7 @@ impl CheckpointIter {
     /// Convenience constructor for the absolute-deadline checkpoints
     /// `{k·Ti + Di}` of a `(D, T)` list.
     pub fn deadlines(dt: &[(Time, Time)], bound: Time) -> CheckpointIter {
-        let progs: Vec<(Time, Time)> = dt.iter().map(|&(d, t)| (d, t)).collect();
-        CheckpointIter::new(&progs, bound)
+        CheckpointIter::new(dt, bound)
     }
 }
 
@@ -73,20 +202,7 @@ impl Iterator for CheckpointIter {
     type Item = Time;
 
     fn next(&mut self) -> Option<Time> {
-        while let Some(Reverse((v, idx))) = self.heap.pop() {
-            let step = self.steps[idx];
-            let succ = v.checked_add(step);
-            if let Some(s) = succ {
-                if s <= self.bound {
-                    self.heap.push(Reverse((s, idx)));
-                }
-            }
-            if self.last != Some(v) {
-                self.last = Some(v);
-                return Some(v);
-            }
-        }
-        None
+        self.scratch.pop_next(self.bound, &mut self.last, false)
     }
 }
 
@@ -150,5 +266,69 @@ mod tests {
     #[should_panic(expected = "step must be positive")]
     fn zero_step_panics() {
         let _ = CheckpointIter::new(&[(t(0), t(0))], t(10));
+    }
+
+    #[test]
+    fn scratch_cursor_matches_owned_iterator() {
+        let progs = [(t(1), t(3)), (t(2), t(5)), (t(0), t(7)), (t(1), t(3))];
+        let owned: Vec<Time> = CheckpointIter::new(&progs, t(60)).collect();
+        let mut scratch = CheckpointScratch::new();
+        let borrowed: Vec<Time> = scratch.start(&progs, t(60)).collect();
+        assert_eq!(owned, borrowed);
+        // Re-seeding the same scratch works and is independent of history.
+        let again: Vec<Time> = scratch.start(&progs, t(60)).collect();
+        assert_eq!(owned, again);
+    }
+
+    #[test]
+    fn steppers_cover_every_progression_element() {
+        // {2,6,10} ∪ {3,6,9,12} ∪ {6,16}: 6 steps all three at once.
+        let progs = [(t(2), t(4)), (t(3), t(3)), (t(6), t(10))];
+        let mut scratch = CheckpointScratch::new();
+        let mut cur = scratch.start(&progs, t(12));
+        let mut seen = Vec::new();
+        while let Some((v, idx)) = cur.next_with_steppers() {
+            let mut idx = idx.to_vec();
+            idx.sort_unstable();
+            seen.push((v.ticks(), idx));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (2, vec![0]),
+                (3, vec![1]),
+                (6, vec![0, 1, 2]),
+                (9, vec![1]),
+                (10, vec![0]),
+                (12, vec![1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn steppers_list_duplicated_progressions_individually() {
+        // Two identical progressions: both indices step at every point.
+        let progs = [(t(5), t(5)), (t(5), t(5))];
+        let mut scratch = CheckpointScratch::new();
+        let mut cur = scratch.start(&progs, t(15));
+        while let Some((_, idx)) = cur.next_with_steppers() {
+            let mut idx = idx.to_vec();
+            idx.sort_unstable();
+            assert_eq!(idx, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn mixed_plain_and_stepper_calls_stay_consistent() {
+        let progs = [(t(2), t(4)), (t(3), t(3))];
+        let mut scratch = CheckpointScratch::new();
+        let mut cur = scratch.start(&progs, t(12));
+        assert_eq!(cur.next_point(), Some(t(2)));
+        let (v, idx) = cur.next_with_steppers().unwrap();
+        assert_eq!(v, t(3));
+        assert_eq!(idx, &[1]);
+        assert_eq!(cur.next_point(), Some(t(6)));
+        let (v, _) = cur.next_with_steppers().unwrap();
+        assert_eq!(v, t(9));
     }
 }

@@ -11,9 +11,40 @@
 //! EDF demand-test checkpoints (eq. (3)) and the arrival candidates of the
 //! EDF response-time analyses (eqs. (8), (10)).
 
-use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
+use profirt_base::{AnalysisError, AnalysisResult, Task, TaskSet, Time};
 
 use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+
+/// Shared fixpoint core: least solution of `l = B + Σ ⌈l/Ti⌉·Ci` over the
+/// flat task slice (no per-iteration indirection), seeded at
+/// `B + Σ Ci`.
+fn busy_period_core(
+    what: &'static str,
+    tasks: &[Task],
+    blocking: Time,
+    config: FixpointConfig,
+) -> AnalysisResult<Time> {
+    let mut seed = blocking;
+    for task in tasks {
+        seed = seed.try_add(task.c)?;
+    }
+    let outcome = fixpoint(what, seed, Time::MAX, config, |l| {
+        let mut next = blocking;
+        for task in tasks {
+            let n_jobs = l.ceil_div(task.t).max(1);
+            next = next.try_add(task.c.try_mul(n_jobs)?)?;
+        }
+        Ok(next)
+    })?;
+    match outcome {
+        // Unreachable with bound = Time::MAX short of overflow, which the
+        // closure reports itself.
+        FixOutcome::Converged(l) => Ok(l),
+        FixOutcome::ExceededBound(_) => Err(AnalysisError::Overflow {
+            context: "busy period bound",
+        }),
+    }
+}
 
 /// Computes the synchronous busy period `L`.
 ///
@@ -29,23 +60,7 @@ pub fn synchronous_busy_period(set: &TaskSet, config: FixpointConfig) -> Analysi
     if !set.total_utilization().lt_one() {
         return Err(AnalysisError::UtilizationAtLeastOne);
     }
-    let seed: Time = set.total_cost();
-    let outcome = fixpoint("busy-period", seed, Time::MAX, config, |l| {
-        let mut next = Time::ZERO;
-        for (_, task) in set.iter() {
-            let n_jobs = l.ceil_div(task.t).max(1);
-            next = next.try_add(task.c.try_mul(n_jobs)?)?;
-        }
-        Ok(next)
-    })?;
-    match outcome {
-        FixOutcome::Converged(l) => Ok(l),
-        // Unreachable with bound = Time::MAX short of overflow, which the
-        // closure reports itself.
-        FixOutcome::ExceededBound(_) => Err(AnalysisError::Overflow {
-            context: "busy period bound",
-        }),
-    }
+    busy_period_core("busy-period", set.tasks(), Time::ZERO, config)
 }
 
 /// Computes the blocking-extended busy period: the least fixpoint of
@@ -67,21 +82,7 @@ pub fn nonpreemptive_busy_period(
     if !set.total_utilization().lt_one() {
         return Err(AnalysisError::UtilizationAtLeastOne);
     }
-    let seed: Time = set.total_cost().try_add(blocking)?;
-    let outcome = fixpoint("np-busy-period", seed, Time::MAX, config, |l| {
-        let mut next = blocking;
-        for (_, task) in set.iter() {
-            let n_jobs = l.ceil_div(task.t).max(1);
-            next = next.try_add(task.c.try_mul(n_jobs)?)?;
-        }
-        Ok(next)
-    })?;
-    match outcome {
-        FixOutcome::Converged(l) => Ok(l),
-        FixOutcome::ExceededBound(_) => Err(AnalysisError::Overflow {
-            context: "np busy period bound",
-        }),
-    }
+    busy_period_core("np-busy-period", set.tasks(), blocking, config)
 }
 
 #[cfg(test)]

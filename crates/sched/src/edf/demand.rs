@@ -19,13 +19,30 @@
 //! `h` only steps at absolute deadlines `t ∈ S = ⋃{k·Ti + Di}`, and under
 //! `U < 1` it suffices to check `t` up to the synchronous busy period `L`
 //! (`tmax` in the paper's notation), so the test is finite.
+//!
+//! ### Fast path
+//!
+//! [`edf_feasible_preemptive`] no longer walks every checkpoint: above a
+//! small instance size it runs the QPA-style backward scan of
+//! the internal `qpa` module, which typically needs orders of magnitude fewer
+//! demand evaluations, and falls back to the forward scan only to pinpoint
+//! the *first* violation of an infeasible set. The forward scan itself is
+//! retained — verbatim in semantics — as
+//! [`edf_feasible_preemptive_exhaustive`], and now maintains `h(t)`
+//! incrementally in O(steps) per checkpoint via
+//! [`crate::checkpoints::Checkpoints::next_with_steppers`]. Both paths
+//! return bit-identical verdicts and violation points (pinned by the
+//! differential property tests); only `checked_points` — the number of
+//! demand evaluations actually performed — reflects the chosen path.
 
 use profirt_base::{AnalysisResult, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::checkpoints::CheckpointIter;
+use crate::checkpoints::CheckpointScratch;
 use crate::edf::busy_period::synchronous_busy_period;
+use crate::edf::qpa::{self, QpaOutcome};
 use crate::fixpoint::FixpointConfig;
+use crate::scratch::AnalysisScratch;
 
 /// Which demand-bound job-count formula to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -55,7 +72,9 @@ pub struct Feasibility {
     pub feasible: bool,
     /// The first violating checkpoint and the demand measured there.
     pub violation: Option<(Time, Time)>,
-    /// Number of checkpoints examined.
+    /// Number of demand evaluations performed. Path-dependent: the
+    /// exhaustive scan counts checkpoints visited, the QPA fast path counts
+    /// its (far fewer) backward iterations.
     pub checked_points: usize,
     /// The bound up to which checkpoints were enumerated (`tmax`).
     pub horizon: Time,
@@ -75,73 +94,226 @@ pub fn demand(set: &TaskSet, at: Time, formula: DemandFormula) -> Time {
     total
 }
 
-/// The preemptive-EDF feasibility test of eq. (3).
+/// Shared guard prologue: the trivial verdicts and the scan horizon.
+pub(crate) enum ScanPlan {
+    /// Decided without enumerating any checkpoint.
+    Done(Feasibility),
+    /// Enumerate checkpoints up to the payload horizon (inclusive).
+    UpTo(Time),
+}
+
+pub(crate) fn preemptive_plan(set: &TaskSet, config: &DemandConfig) -> AnalysisResult<ScanPlan> {
+    if set.is_empty() {
+        return Ok(ScanPlan::Done(Feasibility {
+            feasible: true,
+            violation: None,
+            checked_points: 0,
+            horizon: Time::ZERO,
+        }));
+    }
+    let u = set.total_utilization();
+    if !u.le_one() {
+        return Ok(ScanPlan::Done(Feasibility {
+            feasible: false,
+            violation: None,
+            checked_points: 0,
+            horizon: Time::ZERO,
+        }));
+    }
+    if u.lt_one() {
+        // The busy period bounds every first deadline miss.
+        return Ok(ScanPlan::UpTo(synchronous_busy_period(
+            set,
+            config.fixpoint,
+        )?));
+    }
+    if set.all_implicit_deadlines() {
+        // U == 1 with implicit deadlines: schedulable by the exact
+        // utilisation test; no demand check needed.
+        return Ok(ScanPlan::Done(Feasibility {
+            feasible: true,
+            violation: None,
+            checked_points: 0,
+            horizon: Time::ZERO,
+        }));
+    }
+    // U == 1 with constrained deadlines: check one hyperperiod plus the
+    // largest deadline (a valid bound for the first miss at full load).
+    Ok(ScanPlan::UpTo(
+        set.hyperperiod()?
+            .try_add(set.max_deadline().unwrap_or(Time::ZERO))?,
+    ))
+}
+
+/// Loads the hoisted `(deadline, period, cost)` rows for `set`.
+pub(crate) fn load_dpc(set: &TaskSet, dpc: &mut Vec<(Time, Time, Time)>) {
+    dpc.clear();
+    dpc.extend(set.iter().map(|(_, task)| (task.d, task.t, task.c)));
+}
+
+/// The exhaustive forward scan over every checkpoint, shared by the
+/// preemptive and non-preemptive tests.
+///
+/// `h(t)` is maintained incrementally: each yielded checkpoint reports the
+/// progressions that step there, and each step adds exactly one job of its
+/// task, so the running standard demand advances in O(steps). The paper's
+/// ceiling form equals the standard form one tick earlier
+/// (`h_paper(t) = h_std(t − 1)`), i.e. the running sum *minus* the steps at
+/// `t` — no second accumulator needed.
+///
+/// Blocking is `constant + suffix(t)`, where `suffix` is an optional
+/// ascending `(deadline, max blocking among later deadlines)` table walked
+/// by a monotone pointer (George's `max_{Di > t}(Ci − 1)` in O(1) amortised).
+pub(crate) fn exhaustive_scan(
+    checkpoints: &mut CheckpointScratch,
+    progressions: &mut Vec<(Time, Time)>,
+    dpc: &[(Time, Time, Time)],
+    constant_blocking: Time,
+    suffix_blocking: &[(Time, Time)],
+    formula: DemandFormula,
+    horizon: Time,
+) -> Feasibility {
+    progressions.clear();
+    progressions.extend(dpc.iter().map(|&(d, p, _)| (d, p)));
+    let mut cursor = checkpoints.start(progressions, horizon);
+    let mut h_std = Time::ZERO;
+    let mut checked = 0usize;
+    let mut suffix_at = 0usize;
+    while let Some((point, steppers)) = cursor.next_with_steppers() {
+        checked += 1;
+        let mut step_cost = Time::ZERO;
+        for &i in steppers {
+            step_cost += dpc[i].2;
+        }
+        h_std += step_cost;
+        let h = match formula {
+            DemandFormula::Standard => h_std,
+            DemandFormula::PaperCeiling => h_std - step_cost,
+        };
+        let mut b = constant_blocking;
+        if !suffix_blocking.is_empty() {
+            while suffix_at < suffix_blocking.len() && suffix_blocking[suffix_at].0 <= point {
+                suffix_at += 1;
+            }
+            if suffix_at < suffix_blocking.len() {
+                b += suffix_blocking[suffix_at].1;
+            }
+        }
+        if h + b > point {
+            return Feasibility {
+                feasible: false,
+                violation: Some((point, h + b)),
+                checked_points: checked,
+                horizon,
+            };
+        }
+    }
+    Feasibility {
+        feasible: true,
+        violation: None,
+        checked_points: checked,
+        horizon,
+    }
+}
+
+/// The preemptive-EDF feasibility test of eq. (3) — fast path.
 ///
 /// Requires `Σ Ci/Ti < 1` for a finite horizon; `Σ Ci/Ti > 1` is reported
 /// infeasible immediately (with no violating point recorded); `= 1` is
 /// accepted only for implicit-deadline sets (where the utilisation test is
 /// exact) and otherwise falls back to a hyperperiod-bounded check.
+///
+/// Selection rule: small instances (≤ a few hundred estimated checkpoints)
+/// run the exhaustive scan directly; larger ones run the QPA backward scan
+/// and only revisit the forward scan to locate the first violation of an
+/// infeasible set. Verdict and violation point are identical to
+/// [`edf_feasible_preemptive_exhaustive`] either way.
 pub fn edf_feasible_preemptive(
     set: &TaskSet,
     config: &DemandConfig,
 ) -> AnalysisResult<Feasibility> {
-    if set.is_empty() {
-        return Ok(Feasibility {
-            feasible: true,
-            violation: None,
-            checked_points: 0,
-            horizon: Time::ZERO,
-        });
-    }
-    let u = set.total_utilization();
-    if !u.le_one() {
-        return Ok(Feasibility {
-            feasible: false,
-            violation: None,
-            checked_points: 0,
-            horizon: Time::ZERO,
-        });
-    }
-    let horizon = if u.lt_one() {
-        // The busy period bounds every first deadline miss.
-        synchronous_busy_period(set, config.fixpoint)?
-    } else {
-        if set.all_implicit_deadlines() {
-            // U == 1 with implicit deadlines: schedulable by the exact
-            // utilisation test; no demand check needed.
+    edf_feasible_preemptive_with(set, config, &mut AnalysisScratch::new())
+}
+
+/// [`edf_feasible_preemptive`] with caller-owned scratch buffers.
+pub fn edf_feasible_preemptive_with(
+    set: &TaskSet,
+    config: &DemandConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<Feasibility> {
+    let horizon = match preemptive_plan(set, config)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
+    let AnalysisScratch {
+        checkpoints,
+        progressions,
+        dpc,
+        ..
+    } = scratch;
+    load_dpc(set, dpc);
+    if qpa::estimated_points(dpc, horizon) > qpa::QPA_MIN_POINTS {
+        if let QpaOutcome::Feasible(evals) =
+            qpa::qpa_scan(dpc, config.formula, &[(Time::ZERO, Time::ZERO)], horizon)
+        {
             return Ok(Feasibility {
                 feasible: true,
                 violation: None,
-                checked_points: 0,
-                horizon: Time::ZERO,
-            });
-        }
-        // U == 1 with constrained deadlines: check one hyperperiod plus the
-        // largest deadline (a valid bound for the first miss at full load).
-        set.hyperperiod()?
-            .try_add(set.max_deadline().unwrap_or(Time::ZERO))?
-    };
-
-    let dt: Vec<(Time, Time)> = set.iter().map(|(_, task)| (task.d, task.t)).collect();
-    let mut checked = 0usize;
-    for point in CheckpointIter::deadlines(&dt, horizon) {
-        checked += 1;
-        let h = demand(set, point, config.formula);
-        if h > point {
-            return Ok(Feasibility {
-                feasible: false,
-                violation: Some((point, h)),
-                checked_points: checked,
+                checked_points: evals,
                 horizon,
             });
         }
+        // Violation or cap: the forward scan pinpoints the first violating
+        // checkpoint (early exit) or settles the capped case exactly.
     }
-    Ok(Feasibility {
-        feasible: true,
-        violation: None,
-        checked_points: checked,
+    Ok(exhaustive_scan(
+        checkpoints,
+        progressions,
+        dpc,
+        Time::ZERO,
+        &[],
+        config.formula,
         horizon,
-    })
+    ))
+}
+
+/// The exhaustive checkpoint-by-checkpoint reference for eq. (3).
+///
+/// Retained for the ablation studies and as the differential oracle the
+/// fast path is tested against.
+pub fn edf_feasible_preemptive_exhaustive(
+    set: &TaskSet,
+    config: &DemandConfig,
+) -> AnalysisResult<Feasibility> {
+    edf_feasible_preemptive_exhaustive_with(set, config, &mut AnalysisScratch::new())
+}
+
+/// [`edf_feasible_preemptive_exhaustive`] with caller-owned scratch.
+pub fn edf_feasible_preemptive_exhaustive_with(
+    set: &TaskSet,
+    config: &DemandConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<Feasibility> {
+    let horizon = match preemptive_plan(set, config)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
+    let AnalysisScratch {
+        checkpoints,
+        progressions,
+        dpc,
+        ..
+    } = scratch;
+    load_dpc(set, dpc);
+    Ok(exhaustive_scan(
+        checkpoints,
+        progressions,
+        dpc,
+        Time::ZERO,
+        &[],
+        config.formula,
+        horizon,
+    ))
 }
 
 #[cfg(test)]
@@ -265,5 +437,60 @@ mod tests {
         let r = feasible(&bad, DemandFormula::Standard);
         assert!(!r.feasible);
         assert!(r.violation.is_some());
+    }
+
+    #[test]
+    fn fast_and_exhaustive_agree_on_small_batch() {
+        let sets = [
+            TaskSet::from_cdt(&[(1, 4, 5), (2, 6, 10), (3, 15, 20)]).unwrap(),
+            TaskSet::from_cdt(&[(3, 3, 10), (3, 4, 10)]).unwrap(),
+            TaskSet::from_cdt(&[(1, 1, 2), (2, 2, 4)]).unwrap(),
+            TaskSet::from_cdt(&[(26, 70, 70), (62, 180, 200)]).unwrap(),
+        ];
+        let mut scratch = AnalysisScratch::new();
+        for set in &sets {
+            for formula in [DemandFormula::Standard, DemandFormula::PaperCeiling] {
+                let cfg = DemandConfig {
+                    formula,
+                    ..Default::default()
+                };
+                let fast = edf_feasible_preemptive_with(set, &cfg, &mut scratch).unwrap();
+                let refr = edf_feasible_preemptive_exhaustive(set, &cfg).unwrap();
+                assert_eq!(fast.feasible, refr.feasible, "{set:?} {formula:?}");
+                assert_eq!(fast.violation, refr.violation, "{set:?} {formula:?}");
+                assert_eq!(fast.horizon, refr.horizon, "{set:?} {formula:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn qpa_path_engages_on_large_horizons() {
+        // 31 staggered-deadline light tasks plus one heavy long-period task
+        // at U ≈ 0.96: the heavy cost stretches the busy period across ~14
+        // light periods, so the checkpoint set runs to hundreds of distinct
+        // points and the fast front must take the QPA branch, examining far
+        // fewer points than the exhaustive scan.
+        let mut tasks: Vec<profirt_base::Task> = (0..31i64)
+            .map(|i| profirt_base::Task::new(28, 970 + i, 1_000).unwrap())
+            .collect();
+        tasks.push(profirt_base::Task::implicit(1_800, 20_000).unwrap());
+        let set = TaskSet::new(tasks).unwrap();
+        assert!(set.total_utilization().lt_one());
+        let fast = feasible(&set, DemandFormula::Standard);
+        let refr = edf_feasible_preemptive_exhaustive(&set, &DemandConfig::default()).unwrap();
+        assert_eq!(fast.feasible, refr.feasible);
+        assert_eq!(fast.violation, refr.violation);
+        assert!(fast.feasible, "implicit deadlines under U < 1 are feasible");
+        assert!(
+            refr.checked_points > 256,
+            "fixture too small: {} points",
+            refr.checked_points
+        );
+        assert!(
+            fast.checked_points * 4 < refr.checked_points,
+            "QPA examined {} of {} points",
+            fast.checked_points,
+            refr.checked_points
+        );
     }
 }

@@ -20,14 +20,24 @@
 //! Both are implemented over either demand formula of
 //! [`crate::edf::demand::DemandFormula`]; the literal paper forms use
 //! [`DemandFormula::PaperCeiling`], the sound default is `Standard`.
+//!
+//! ### Fast path
+//!
+//! [`edf_feasible_nonpreemptive`] runs the QPA-style backward scan of
+//! the internal `qpa` module — with George's deadline-dependent blocking handled
+//! segment by segment — and falls back to the forward scan only to locate
+//! the first violation. The forward scan is retained verbatim-in-semantics
+//! as [`edf_feasible_nonpreemptive_exhaustive`], now with incremental
+//! demand updates and an amortised-O(1) blocking lookup.
 
 use profirt_base::{AnalysisResult, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::checkpoints::CheckpointIter;
 use crate::edf::busy_period::nonpreemptive_busy_period;
-use crate::edf::demand::{demand, DemandFormula, Feasibility};
+use crate::edf::demand::{exhaustive_scan, load_dpc, DemandFormula, Feasibility, ScanPlan};
+use crate::edf::qpa::{self, QpaOutcome};
 use crate::fixpoint::FixpointConfig;
+use crate::scratch::AnalysisScratch;
 
 /// Which blocking model to apply on top of the processor demand.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -71,44 +81,24 @@ impl NpFeasibilityConfig {
     }
 }
 
-fn blocking_at(set: &TaskSet, t: Time, model: NpBlockingModel) -> Time {
-    match model {
-        NpBlockingModel::ZhengShin => set.max_cost().unwrap_or(Time::ZERO),
-        NpBlockingModel::George => set
-            .iter()
-            .filter(|(_, task)| task.d > t)
-            .map(|(_, task)| (task.c - Time::ONE).max_zero())
-            .max()
-            .unwrap_or(Time::ZERO),
-    }
-}
-
-/// Non-preemptive EDF feasibility test (eqs. (4)/(5)).
-///
-/// Checkpoints are the absolute deadlines `{k·Ti + Di}` up to the
-/// blocking-augmented busy period (the synchronous busy period computed with
-/// an extra `max Ci` of initial blocking — a safe horizon for the first
-/// miss under non-preemptive dispatching).
-pub fn edf_feasible_nonpreemptive(
-    set: &TaskSet,
-    config: &NpFeasibilityConfig,
-) -> AnalysisResult<Feasibility> {
+/// Shared guard prologue and horizon for the non-preemptive test.
+fn np_plan(set: &TaskSet, config: &NpFeasibilityConfig) -> AnalysisResult<ScanPlan> {
     if set.is_empty() {
-        return Ok(Feasibility {
+        return Ok(ScanPlan::Done(Feasibility {
             feasible: true,
             violation: None,
             checked_points: 0,
             horizon: Time::ZERO,
-        });
+        }));
     }
     let u = set.total_utilization();
     if !u.le_one() {
-        return Ok(Feasibility {
+        return Ok(ScanPlan::Done(Feasibility {
             feasible: false,
             violation: None,
             checked_points: 0,
             horizon: Time::ZERO,
-        });
+        }));
     }
     let horizon = if u.lt_one() {
         // Safe horizon: the blocking-extended busy period (a non-preemptive
@@ -119,33 +109,200 @@ pub fn edf_feasible_nonpreemptive(
             .try_add(set.max_deadline().unwrap_or(Time::ZERO))?
             .try_add(set.max_cost().unwrap_or(Time::ZERO))?
     };
+    Ok(ScanPlan::UpTo(horizon))
+}
 
-    let dt: Vec<(Time, Time)> = set.iter().map(|(_, task)| (task.d, task.t)).collect();
-    let mut checked = 0usize;
-    for point in CheckpointIter::deadlines(&dt, horizon) {
-        checked += 1;
-        let h = demand(set, point, config.formula);
-        let b = blocking_at(set, point, config.blocking);
-        if h + b > point {
+/// Builds the ascending `(deadline, suffix-max (Ci−1)⁺)` table used by the
+/// exhaustive scan's amortised blocking lookup: for a point `t`, the first
+/// row with `deadline > t` holds `max_{Di > t}(Ci − 1)⁺`.
+fn build_suffix(dpc: &[(Time, Time, Time)], suffix: &mut Vec<(Time, Time)>) {
+    suffix.clear();
+    suffix.extend(dpc.iter().map(|&(d, _, c)| (d, (c - Time::ONE).max_zero())));
+    suffix.sort_unstable();
+    let mut running = Time::ZERO;
+    for row in suffix.iter_mut().rev() {
+        running = running.max(row.1);
+        row.1 = running;
+    }
+}
+
+/// Builds the descending `(segment start, blocking)` rows for the QPA scan
+/// from the ascending suffix table: each distinct deadline opens a segment
+/// whose blocking is the suffix maximum over strictly larger deadlines.
+fn build_segments(suffix: &[(Time, Time)], segments: &mut Vec<(Time, Time)>) {
+    segments.clear();
+    let mut hi = suffix.len();
+    while hi > 0 {
+        let d = suffix[hi - 1].0;
+        let mut lo = hi - 1;
+        while lo > 0 && suffix[lo - 1].0 == d {
+            lo -= 1;
+        }
+        let b = if hi < suffix.len() {
+            suffix[hi].1
+        } else {
+            Time::ZERO
+        };
+        segments.push((d, b));
+        hi = lo;
+    }
+    if segments.last().is_none_or(|&(start, _)| start > Time::ZERO) {
+        // Below the smallest deadline every task can block. No checkpoints
+        // live there, but the row keeps the segment list total.
+        segments.push((Time::ZERO, suffix.first().map_or(Time::ZERO, |r| r.1)));
+    }
+}
+
+/// Non-preemptive EDF feasibility test (eqs. (4)/(5)) — fast path.
+///
+/// Checkpoints are the absolute deadlines `{k·Ti + Di}` up to the
+/// blocking-augmented busy period (the synchronous busy period computed with
+/// an extra `max Ci` of initial blocking — a safe horizon for the first
+/// miss under non-preemptive dispatching). Verdict and violation point are
+/// identical to [`edf_feasible_nonpreemptive_exhaustive`].
+pub fn edf_feasible_nonpreemptive(
+    set: &TaskSet,
+    config: &NpFeasibilityConfig,
+) -> AnalysisResult<Feasibility> {
+    edf_feasible_nonpreemptive_with(set, config, &mut AnalysisScratch::new())
+}
+
+/// [`edf_feasible_nonpreemptive`] with caller-owned scratch buffers.
+pub fn edf_feasible_nonpreemptive_with(
+    set: &TaskSet,
+    config: &NpFeasibilityConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<Feasibility> {
+    let horizon = match np_plan(set, config)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
+    let AnalysisScratch {
+        checkpoints,
+        progressions,
+        dpc,
+        segments,
+        suffix,
+        ..
+    } = scratch;
+    load_dpc(set, dpc);
+    let est = qpa::estimated_points(dpc, horizon);
+    // George's deadline-dependent blocking forces the scan through one QPA
+    // descent per segment (distinct deadline), each paying O(n) demand
+    // evaluations — with many distinct deadlines and few checkpoints per
+    // segment the exhaustive walk is cheaper. Only run QPA when the
+    // checkpoint count clearly dominates the (cheaply overestimated)
+    // segment count; Zheng–Shin's constant blocking has one segment and
+    // needs only the base threshold.
+    let run_qpa = match config.blocking {
+        NpBlockingModel::ZhengShin => est > qpa::QPA_MIN_POINTS,
+        NpBlockingModel::George => est > qpa::QPA_MIN_POINTS && est > 32 * (set.len() as u64 + 1),
+    };
+    if run_qpa {
+        match config.blocking {
+            NpBlockingModel::ZhengShin => {
+                segments.clear();
+                segments.push((Time::ZERO, set.max_cost().unwrap_or(Time::ZERO)));
+            }
+            NpBlockingModel::George => {
+                build_suffix(dpc, suffix);
+                build_segments(suffix, segments);
+            }
+        }
+        let outcome = qpa::qpa_scan(dpc, config.formula, segments, horizon);
+        if let QpaOutcome::Feasible(evals) = outcome {
             return Ok(Feasibility {
-                feasible: false,
-                violation: Some((point, h + b)),
-                checked_points: checked,
+                feasible: true,
+                violation: None,
+                checked_points: evals,
                 horizon,
             });
         }
+        // Violation or cap: the forward scan pinpoints the first violating
+        // checkpoint (early exit) or settles the capped case exactly.
     }
-    Ok(Feasibility {
-        feasible: true,
-        violation: None,
-        checked_points: checked,
+    let (constant, sfx): (Time, &[(Time, Time)]) = match config.blocking {
+        NpBlockingModel::ZhengShin => (set.max_cost().unwrap_or(Time::ZERO), &[]),
+        NpBlockingModel::George => {
+            build_suffix(dpc, suffix);
+            (Time::ZERO, suffix.as_slice())
+        }
+    };
+    Ok(exhaustive_scan(
+        checkpoints,
+        progressions,
+        dpc,
+        constant,
+        sfx,
+        config.formula,
         horizon,
-    })
+    ))
+}
+
+/// The exhaustive checkpoint-by-checkpoint reference for eqs. (4)/(5).
+///
+/// Retained for the ablation studies and as the differential oracle the
+/// fast path is tested against.
+pub fn edf_feasible_nonpreemptive_exhaustive(
+    set: &TaskSet,
+    config: &NpFeasibilityConfig,
+) -> AnalysisResult<Feasibility> {
+    edf_feasible_nonpreemptive_exhaustive_with(set, config, &mut AnalysisScratch::new())
+}
+
+/// [`edf_feasible_nonpreemptive_exhaustive`] with caller-owned scratch.
+pub fn edf_feasible_nonpreemptive_exhaustive_with(
+    set: &TaskSet,
+    config: &NpFeasibilityConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<Feasibility> {
+    let horizon = match np_plan(set, config)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
+    let AnalysisScratch {
+        checkpoints,
+        progressions,
+        dpc,
+        suffix,
+        ..
+    } = scratch;
+    load_dpc(set, dpc);
+    let (constant, sfx): (Time, &[(Time, Time)]) = match config.blocking {
+        NpBlockingModel::ZhengShin => (set.max_cost().unwrap_or(Time::ZERO), &[]),
+        NpBlockingModel::George => {
+            build_suffix(dpc, suffix);
+            (Time::ZERO, suffix.as_slice())
+        }
+    };
+    Ok(exhaustive_scan(
+        checkpoints,
+        progressions,
+        dpc,
+        constant,
+        sfx,
+        config.formula,
+        horizon,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The literal per-point blocking definition — the oracle the suffix
+    /// table and segment construction are checked against.
+    fn blocking_at(set: &TaskSet, t: Time, model: NpBlockingModel) -> Time {
+        match model {
+            NpBlockingModel::ZhengShin => set.max_cost().unwrap_or(Time::ZERO),
+            NpBlockingModel::George => set
+                .iter()
+                .filter(|(_, task)| task.d > t)
+                .map(|(_, task)| (task.c - Time::ONE).max_zero())
+                .max()
+                .unwrap_or(Time::ZERO),
+        }
+    }
 
     fn run(set: &TaskSet, blocking: NpBlockingModel) -> Feasibility {
         edf_feasible_nonpreemptive(
@@ -245,6 +402,75 @@ mod tests {
             let zs = run(set, NpBlockingModel::ZhengShin).feasible;
             let g = run(set, NpBlockingModel::George).feasible;
             assert!(!zs || g, "George rejected a set Zheng-Shin accepted");
+        }
+    }
+
+    #[test]
+    fn suffix_table_matches_direct_blocking() {
+        let set = TaskSet::from_cdt(&[(3, 6, 12), (9, 100, 100), (5, 40, 40)]).unwrap();
+        let mut dpc = Vec::new();
+        load_dpc(&set, &mut dpc);
+        let mut suffix = Vec::new();
+        build_suffix(&dpc, &mut suffix);
+        for x in 0..120 {
+            let t = Time::new(x);
+            let direct = blocking_at(&set, t, NpBlockingModel::George);
+            let via = suffix
+                .iter()
+                .find(|&&(d, _)| d > t)
+                .map_or(Time::ZERO, |&(_, b)| b);
+            assert_eq!(via, direct, "at t={x}");
+        }
+    }
+
+    #[test]
+    fn segments_descend_and_cover_zero() {
+        let set = TaskSet::from_cdt(&[(3, 6, 12), (9, 100, 100), (5, 40, 40), (2, 6, 9)]).unwrap();
+        let mut dpc = Vec::new();
+        load_dpc(&set, &mut dpc);
+        let mut suffix = Vec::new();
+        build_suffix(&dpc, &mut suffix);
+        let mut segments = Vec::new();
+        build_segments(&suffix, &mut segments);
+        assert!(segments.windows(2).all(|w| w[0].0 > w[1].0));
+        assert_eq!(segments.last().unwrap().0, Time::ZERO);
+        // Top segment (above the largest deadline) has zero blocking.
+        assert_eq!(segments[0], (Time::new(100), Time::ZERO));
+        // Each segment's blocking matches the direct definition at its start.
+        for &(start, b) in &segments {
+            assert_eq!(b, blocking_at(&set, start, NpBlockingModel::George));
+        }
+    }
+
+    #[test]
+    fn fast_and_exhaustive_agree_on_small_batch() {
+        let sets = [
+            TaskSet::from_cdt(&[(1, 4, 10), (5, 50, 50)]).unwrap(),
+            TaskSet::from_cdt(&[(2, 12, 20), (9, 100, 100)]).unwrap(),
+            TaskSet::from_cdt(&[(5, 10, 10), (4, 9, 10)]).unwrap(),
+            TaskSet::from_cdt(&[(3, 5, 10)]).unwrap(),
+        ];
+        let mut scratch = AnalysisScratch::new();
+        for set in &sets {
+            for blocking in [NpBlockingModel::ZhengShin, NpBlockingModel::George] {
+                for formula in [DemandFormula::Standard, DemandFormula::PaperCeiling] {
+                    let cfg = NpFeasibilityConfig {
+                        blocking,
+                        formula,
+                        ..Default::default()
+                    };
+                    let fast = edf_feasible_nonpreemptive_with(set, &cfg, &mut scratch).unwrap();
+                    let refr = edf_feasible_nonpreemptive_exhaustive(set, &cfg).unwrap();
+                    assert_eq!(
+                        fast.feasible, refr.feasible,
+                        "{set:?} {blocking:?} {formula:?}"
+                    );
+                    assert_eq!(
+                        fast.violation, refr.violation,
+                        "{set:?} {blocking:?} {formula:?}"
+                    );
+                }
+            }
         }
     }
 }

@@ -3,13 +3,22 @@
 pub mod busy_period;
 pub mod demand;
 pub mod feasibility_np;
+pub(crate) mod qpa;
 pub mod rta;
 pub mod rta_np;
 pub mod utilization;
 
 pub use busy_period::{nonpreemptive_busy_period, synchronous_busy_period};
-pub use demand::{demand, edf_feasible_preemptive, DemandConfig, DemandFormula, Feasibility};
-pub use feasibility_np::{edf_feasible_nonpreemptive, NpBlockingModel, NpFeasibilityConfig};
-pub use rta::{edf_response_times, EdfRtaConfig};
-pub use rta_np::{np_edf_response_times, NpEdfRtaConfig};
+pub use demand::{
+    demand, edf_feasible_preemptive, edf_feasible_preemptive_exhaustive,
+    edf_feasible_preemptive_exhaustive_with, edf_feasible_preemptive_with, DemandConfig,
+    DemandFormula, Feasibility,
+};
+pub use feasibility_np::{
+    edf_feasible_nonpreemptive, edf_feasible_nonpreemptive_exhaustive,
+    edf_feasible_nonpreemptive_exhaustive_with, edf_feasible_nonpreemptive_with, NpBlockingModel,
+    NpFeasibilityConfig,
+};
+pub use rta::{edf_response_times, edf_response_times_with, EdfRtaConfig};
+pub use rta_np::{np_edf_response_times, np_edf_response_times_with, NpEdfRtaConfig};
 pub use utilization::edf_utilization_test;

@@ -24,12 +24,23 @@
 //! and `a` needs checking only where `Wi` steps (eq. (8)):
 //! `a ∈ ⋃_j {k·Tj + Dj − Di ≥ 0} ∩ [0, L)` with `L` the synchronous busy
 //! period.
+//!
+//! ### Allocation discipline
+//!
+//! The per-task candidate progressions, the merge heap, and the
+//! interference terms of the fixpoint closure all live in
+//! [`AnalysisScratch`]; [`edf_response_times_with`] reuses a caller-owned
+//! scratch across calls (campaign sweeps run one scratch per worker), and
+//! the deadline-qualified interference caps are hoisted out of the fixpoint
+//! closure — each iteration only computes the `⌈t/Tj⌉` side of the `min`.
 
 use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
 
-use crate::checkpoints::CheckpointIter;
+use crate::checkpoints::CheckpointScratch;
 use crate::edf::busy_period::synchronous_busy_period;
+use crate::edf::demand::load_dpc;
 use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::scratch::AnalysisScratch;
 use crate::{SetAnalysis, TaskVerdict};
 
 /// Configuration for the preemptive EDF response-time analysis.
@@ -74,14 +85,32 @@ pub fn edf_response_times(
     set: &TaskSet,
     config: &EdfRtaConfig,
 ) -> AnalysisResult<(SetAnalysis, Vec<EdfWcrt>)> {
+    edf_response_times_with(set, config, &mut AnalysisScratch::new())
+}
+
+/// [`edf_response_times`] with caller-owned scratch buffers — identical
+/// results, no per-call allocations beyond the returned vectors.
+pub fn edf_response_times_with(
+    set: &TaskSet,
+    config: &EdfRtaConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<(SetAnalysis, Vec<EdfWcrt>)> {
     if set.is_empty() {
         return Err(AnalysisError::EmptySet);
     }
     let l = synchronous_busy_period(set, config.fixpoint)?;
+    let AnalysisScratch {
+        checkpoints,
+        progressions,
+        dpc,
+        caps,
+        ..
+    } = scratch;
+    load_dpc(set, dpc);
     let mut verdicts = Vec::with_capacity(set.len());
     let mut details = Vec::with_capacity(set.len());
     for (i, task) in set.iter() {
-        let detail = wcrt_for_task(set, i, l, config)?;
+        let detail = wcrt_for_task(dpc, i, l, config, checkpoints, progressions, caps)?;
         let schedulable = detail.wcrt <= task.d;
         verdicts.push(if schedulable {
             TaskVerdict::Schedulable { wcrt: detail.wcrt }
@@ -96,26 +125,30 @@ pub fn edf_response_times(
 }
 
 fn wcrt_for_task(
-    set: &TaskSet,
+    dpc: &[(Time, Time, Time)],
     i: usize,
     l: Time,
     config: &EdfRtaConfig,
+    checkpoints: &mut CheckpointScratch,
+    progressions: &mut Vec<(Time, Time)>,
+    caps: &mut Vec<(Time, Time, i64)>,
 ) -> AnalysisResult<EdfWcrt> {
-    let task_i = set.tasks()[i];
+    let (d_i, _, c_i) = dpc[i];
     // Arrival candidates: a = k*Tj + Dj - Di >= 0, a < L (eq. (8)); the
-    // merge iterator advances negative offsets automatically. L itself is
-    // excluded: a busy period starting the instance at a >= L cannot extend
-    // it (the synchronous period has ended).
-    let progressions: Vec<(Time, Time)> =
-        set.iter().map(|(_, tj)| (tj.d - task_i.d, tj.t)).collect();
+    // merge advances negative offsets automatically. L itself is excluded:
+    // a busy period starting the instance at a >= L cannot extend it (the
+    // synchronous period has ended).
+    progressions.clear();
+    progressions.extend(dpc.iter().map(|&(d_j, t_j, _)| (d_j - d_i, t_j)));
     let bound = (l - Time::ONE).max_zero();
     let mut best = EdfWcrt {
-        wcrt: task_i.c,
+        wcrt: c_i,
         critical_a: Time::ZERO,
         candidates: 0,
     };
     let mut examined: u64 = 0;
-    for a in CheckpointIter::new(&progressions, bound) {
+    let mut cursor = checkpoints.start(progressions, bound);
+    while let Some(a) = cursor.next_point() {
         examined += 1;
         if examined > config.max_candidates {
             return Err(AnalysisError::IterationLimit {
@@ -123,8 +156,8 @@ fn wcrt_for_task(
                 limit: config.max_candidates,
             });
         }
-        let li = busy_period_for_arrival(set, i, a, l, config)?;
-        let r = task_i.c.max(li - a);
+        let li = busy_period_for_arrival(dpc, i, a, l, config, caps)?;
+        let r = c_i.max(li - a);
         if r > best.wcrt {
             best.wcrt = r;
             best.critical_a = a;
@@ -134,26 +167,33 @@ fn wcrt_for_task(
     Ok(best)
 }
 
-/// Solves `Li(a)` for one arrival offset.
+/// Solves `Li(a)` for one arrival offset. The deadline-qualified
+/// interference terms (and their job caps, which do not depend on the
+/// iterate) are hoisted into `caps` before the fixpoint runs.
 fn busy_period_for_arrival(
-    set: &TaskSet,
+    dpc: &[(Time, Time, Time)],
     i: usize,
     a: Time,
     l: Time,
     config: &EdfRtaConfig,
+    caps: &mut Vec<(Time, Time, i64)>,
 ) -> AnalysisResult<Time> {
-    let task_i = set.tasks()[i];
-    let own = task_i.c.try_mul(1 + a.floor_div(task_i.t))?;
-    let deadline_i = a + task_i.d;
+    let (d_i, t_i, c_i) = dpc[i];
+    let own = c_i.try_mul(1 + a.floor_div(t_i))?;
+    let deadline_i = a + d_i;
+    caps.clear();
+    for (j, &(d_j, t_j, c_j)) in dpc.iter().enumerate() {
+        if j == i || d_j > deadline_i {
+            continue;
+        }
+        let by_deadline = 1 + (deadline_i - d_j).floor_div(t_j);
+        caps.push((t_j, c_j, by_deadline));
+    }
     let outcome = fixpoint("edf-rta busy period", Time::ZERO, l, config.fixpoint, |t| {
         let mut next = own;
-        for (j, tj) in set.iter() {
-            if j == i || tj.d > deadline_i {
-                continue;
-            }
-            let by_time = t.ceil_div(tj.t);
-            let by_deadline = 1 + (deadline_i - tj.d).floor_div(tj.t);
-            next = next.try_add(tj.c.try_mul(by_time.min(by_deadline).max(0))?)?;
+        for &(t_j, c_j, by_deadline) in caps.iter() {
+            let by_time = t.ceil_div(t_j);
+            next = next.try_add(c_j.try_mul(by_time.min(by_deadline).max(0))?)?;
         }
         Ok(next)
     })?;
@@ -296,5 +336,22 @@ mod tests {
         };
         let err = edf_response_times(&set, &cfg).unwrap_err();
         assert!(matches!(err, AnalysisError::IterationLimit { .. }));
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible_in_results() {
+        let sets = [
+            TaskSet::from_ct(&[(2, 5), (4, 7)]).unwrap(),
+            TaskSet::from_cdt(&[(1, 4, 5), (2, 6, 10), (3, 15, 20)]).unwrap(),
+            TaskSet::from_cdt(&[(3, 3, 10), (3, 4, 10)]).unwrap(),
+        ];
+        let mut scratch = AnalysisScratch::new();
+        for set in &sets {
+            let fresh = edf_response_times(set, &EdfRtaConfig::default()).unwrap();
+            let reused =
+                edf_response_times_with(set, &EdfRtaConfig::default(), &mut scratch).unwrap();
+            assert_eq!(fresh.0, reused.0);
+            assert_eq!(fresh.1, reused.1);
+        }
     }
 }

@@ -24,13 +24,19 @@
 //! candidate range, see [`NpEdfRtaConfig::extend_candidates_with_blocking`])
 //! by the *blocking-extended* busy period, which dominates the paper's `L` —
 //! strictly more candidates, never fewer (sound; see DESIGN.md §3).
+//!
+//! Buffers (candidate progressions, merge heap, hoisted interference terms)
+//! come from [`AnalysisScratch`]; see [`crate::edf::rta`] for the
+//! allocation discipline.
 
 use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
 
-use crate::checkpoints::CheckpointIter;
+use crate::checkpoints::CheckpointScratch;
 use crate::edf::busy_period::{nonpreemptive_busy_period, synchronous_busy_period};
+use crate::edf::demand::load_dpc;
 use crate::edf::rta::EdfWcrt;
 use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::scratch::AnalysisScratch;
 use crate::{SetAnalysis, TaskVerdict};
 
 /// Configuration for the non-preemptive EDF response-time analysis.
@@ -74,6 +80,16 @@ pub fn np_edf_response_times(
     set: &TaskSet,
     config: &NpEdfRtaConfig,
 ) -> AnalysisResult<(SetAnalysis, Vec<EdfWcrt>)> {
+    np_edf_response_times_with(set, config, &mut AnalysisScratch::new())
+}
+
+/// [`np_edf_response_times`] with caller-owned scratch buffers — identical
+/// results, no per-call allocations beyond the returned vectors.
+pub fn np_edf_response_times_with(
+    set: &TaskSet,
+    config: &NpEdfRtaConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<(SetAnalysis, Vec<EdfWcrt>)> {
     if set.is_empty() {
         return Err(AnalysisError::EmptySet);
     }
@@ -90,10 +106,27 @@ pub fn np_edf_response_times(
         l_sync
     };
 
+    let AnalysisScratch {
+        checkpoints,
+        progressions,
+        dpc,
+        caps,
+        ..
+    } = scratch;
+    load_dpc(set, dpc);
     let mut verdicts = Vec::with_capacity(set.len());
     let mut details = Vec::with_capacity(set.len());
     for (i, task) in set.iter() {
-        let detail = wcrt_for_task(set, i, candidate_bound, l_blocked, config)?;
+        let detail = wcrt_for_task(
+            dpc,
+            i,
+            candidate_bound,
+            l_blocked,
+            config,
+            checkpoints,
+            progressions,
+            caps,
+        )?;
         let schedulable = detail.wcrt <= task.d;
         verdicts.push(if schedulable {
             TaskVerdict::Schedulable { wcrt: detail.wcrt }
@@ -107,24 +140,29 @@ pub fn np_edf_response_times(
     Ok((SetAnalysis { verdicts }, details))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn wcrt_for_task(
-    set: &TaskSet,
+    dpc: &[(Time, Time, Time)],
     i: usize,
     candidate_bound: Time,
     fix_bound: Time,
     config: &NpEdfRtaConfig,
+    checkpoints: &mut CheckpointScratch,
+    progressions: &mut Vec<(Time, Time)>,
+    caps: &mut Vec<(Time, Time, i64)>,
 ) -> AnalysisResult<EdfWcrt> {
-    let task_i = set.tasks()[i];
-    let progressions: Vec<(Time, Time)> =
-        set.iter().map(|(_, tj)| (tj.d - task_i.d, tj.t)).collect();
+    let (d_i, _, c_i) = dpc[i];
+    progressions.clear();
+    progressions.extend(dpc.iter().map(|&(d_j, t_j, _)| (d_j - d_i, t_j)));
     let mut best = EdfWcrt {
-        wcrt: task_i.c,
+        wcrt: c_i,
         critical_a: Time::ZERO,
         candidates: 0,
     };
     let mut examined: u64 = 0;
     // Eq. (10) is inclusive of the bound.
-    for a in CheckpointIter::new(&progressions, candidate_bound) {
+    let mut cursor = checkpoints.start(progressions, candidate_bound);
+    while let Some(a) = cursor.next_point() {
         examined += 1;
         if examined > config.max_candidates {
             return Err(AnalysisError::IterationLimit {
@@ -132,8 +170,8 @@ fn wcrt_for_task(
                 limit: config.max_candidates,
             });
         }
-        let li = start_busy_period(set, i, a, fix_bound, config)?;
-        let r = task_i.c.max(li + task_i.c - a);
+        let li = start_busy_period(dpc, i, a, fix_bound, config, caps)?;
+        let r = c_i.max(li + c_i - a);
         if r > best.wcrt {
             best.wcrt = r;
             best.critical_a = a;
@@ -144,25 +182,35 @@ fn wcrt_for_task(
 }
 
 /// Solves the start-preceding busy period `Li(a)` of eq. (9)'s companion
-/// recurrence.
+/// recurrence, with the deadline-qualified terms hoisted into `caps`.
 fn start_busy_period(
-    set: &TaskSet,
+    dpc: &[(Time, Time, Time)],
     i: usize,
     a: Time,
     bound: Time,
     config: &NpEdfRtaConfig,
+    caps: &mut Vec<(Time, Time, i64)>,
 ) -> AnalysisResult<Time> {
-    let task_i = set.tasks()[i];
-    let deadline_i = a + task_i.d;
-    // Blocking by a later-deadline job, started one tick earlier (Cj - 1).
-    let blocking = set
-        .iter()
-        .filter(|&(j, tj)| j != i && tj.d > deadline_i)
-        .map(|(_, tj)| (tj.c - Time::ONE).max_zero())
-        .max()
-        .unwrap_or(Time::ZERO);
+    let (d_i, t_i, c_i) = dpc[i];
+    let deadline_i = a + d_i;
+    // Blocking by a later-deadline job, started one tick earlier (Cj - 1),
+    // and the interference terms with their arrival-independent job caps.
+    let mut blocking = Time::ZERO;
+    caps.clear();
+    for (j, &(d_j, t_j, c_j)) in dpc.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        if d_j > deadline_i {
+            blocking = blocking.max((c_j - Time::ONE).max_zero());
+        } else {
+            let by_deadline = 1 + (deadline_i - d_j).floor_div(t_j);
+            caps.push((t_j, c_j, by_deadline));
+        }
+    }
     // Earlier instances of τi itself (asap pattern): ⌊a/Ti⌋ of them.
-    let own_prior = task_i.c.try_mul(a.floor_div(task_i.t))?;
+    let own_prior = c_i.try_mul(a.floor_div(t_i))?;
+    let base = blocking.try_add(own_prior)?;
 
     let outcome = fixpoint(
         "np-edf-rta busy period",
@@ -170,14 +218,10 @@ fn start_busy_period(
         bound,
         config.fixpoint,
         |t| {
-            let mut next = blocking.try_add(own_prior)?;
-            for (j, tj) in set.iter() {
-                if j == i || tj.d > deadline_i {
-                    continue;
-                }
-                let by_time = 1 + t.floor_div(tj.t);
-                let by_deadline = 1 + (deadline_i - tj.d).floor_div(tj.t);
-                next = next.try_add(tj.c.try_mul(by_time.min(by_deadline).max(0))?)?;
+            let mut next = base;
+            for &(t_j, c_j, by_deadline) in caps.iter() {
+                let by_time = 1 + t.floor_div(t_j);
+                next = next.try_add(c_j.try_mul(by_time.min(by_deadline).max(0))?)?;
             }
             Ok(next)
         },
@@ -302,6 +346,22 @@ mod tests {
         let (_, d) = analyze(&set);
         for (i, w) in d.iter().enumerate() {
             assert!(w.wcrt >= set.tasks()[i].c);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible_in_results() {
+        let sets = [
+            TaskSet::from_cdt(&[(1, 4, 10), (5, 50, 50)]).unwrap(),
+            TaskSet::from_cdt(&[(2, 9, 15), (3, 20, 25), (4, 50, 60)]).unwrap(),
+        ];
+        let mut scratch = AnalysisScratch::new();
+        for set in &sets {
+            let fresh = np_edf_response_times(set, &NpEdfRtaConfig::default()).unwrap();
+            let reused =
+                np_edf_response_times_with(set, &NpEdfRtaConfig::default(), &mut scratch).unwrap();
+            assert_eq!(fresh.0, reused.0);
+            assert_eq!(fresh.1, reused.1);
         }
     }
 }

@@ -7,9 +7,14 @@ pub mod rta;
 pub mod utilization;
 
 pub use assignment::PriorityMap;
-pub use nonpreemptive::{np_response_times, BlockingRule, NpFixedConfig, NpFixedVariant};
+pub use nonpreemptive::{
+    np_response_times, np_response_times_with, BlockingRule, NpFixedConfig, NpFixedVariant,
+};
 pub use opa::{audsley_opa, OpaResult};
-pub use rta::{response_times, response_times_with_jitter, RtaConfig};
+pub use rta::{
+    response_times, response_times_with, response_times_with_jitter,
+    response_times_with_jitter_with, RtaConfig,
+};
 pub use utilization::{
     hyperbolic_schedulable, liu_layland_bound, rm_utilization_schedulable, UtilizationVerdict,
 };

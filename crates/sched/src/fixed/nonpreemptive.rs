@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::fixed::assignment::PriorityMap;
 use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::scratch::AnalysisScratch;
 use crate::{SetAnalysis, TaskVerdict};
 
 /// Which interference formula to use for the start-delay recurrence.
@@ -116,14 +117,32 @@ pub fn np_response_times(
     prio: &PriorityMap,
     config: &NpFixedConfig,
 ) -> AnalysisResult<SetAnalysis> {
+    np_response_times_with(set, prio, config, &mut AnalysisScratch::new())
+}
+
+/// [`np_response_times`] with caller-owned scratch buffers — identical
+/// results, no per-call allocations beyond the returned verdicts.
+pub fn np_response_times_with(
+    set: &TaskSet,
+    prio: &PriorityMap,
+    config: &NpFixedConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<SetAnalysis> {
     assert_eq!(
         prio.len(),
         set.len(),
         "priority map must cover the task set"
     );
+    let terms = &mut scratch.terms;
     let mut verdicts = Vec::with_capacity(set.len());
     for (i, task) in set.iter() {
-        let hp: Vec<usize> = prio.hp(i).collect();
+        // Hoisted higher-priority (period, cost) rows; the jitter slot of
+        // the shared buffer is unused here.
+        terms.clear();
+        for j in prio.hp(i) {
+            let tj = set.tasks()[j];
+            terms.push((tj.t, tj.c, Time::ZERO));
+        }
         let b_i = config.blocking.blocking(set, prio, i);
         // Schedulable iff w + Ci <= Di, i.e. w <= Di - Ci.
         let bound = task.d - task.c;
@@ -133,8 +152,8 @@ pub fn np_response_times(
                 // Bi + Σ_{hp} Cj: the critical-instant workload, avoiding
                 // the spurious w = 0 fixpoint of the ceiling form.
                 let mut s = b_i;
-                for &j in &hp {
-                    s = s.try_add(set.tasks()[j].c)?;
+                for &(_, c_j, _) in terms.iter() {
+                    s = s.try_add(c_j)?;
                 }
                 s
             }
@@ -143,13 +162,12 @@ pub fn np_response_times(
 
         let outcome = fixpoint("np-fp-rta", seed, bound, config.fixpoint, |w| {
             let mut next = b_i;
-            for &j in &hp {
-                let tj = set.tasks()[j];
+            for &(t_j, c_j, _) in terms.iter() {
                 let n_jobs = match config.variant {
-                    NpFixedVariant::Audsley => w.ceil_div(tj.t),
-                    NpFixedVariant::George => w.floor_div(tj.t) + 1,
+                    NpFixedVariant::Audsley => w.ceil_div(t_j),
+                    NpFixedVariant::George => w.floor_div(t_j) + 1,
                 };
-                next = next.try_add(tj.c.try_mul(n_jobs)?)?;
+                next = next.try_add(c_j.try_mul(n_jobs)?)?;
             }
             Ok(next)
         })?;
@@ -289,6 +307,23 @@ mod tests {
         let set = TaskSet::from_cdt(&[(1, 5, 10), (8, 100, 100)]).unwrap();
         let v = analyze(&set, NpFixedConfig::paper());
         assert!(matches!(v[0], TaskVerdict::Unschedulable { .. }));
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible_in_results() {
+        let sets = [
+            TaskSet::from_cdt(&[(2, 10, 20), (7, 50, 50)]).unwrap(),
+            TaskSet::from_cdt(&[(2, 5, 5), (3, 40, 40), (3, 100, 100)]).unwrap(),
+        ];
+        let mut scratch = AnalysisScratch::new();
+        for set in &sets {
+            let pm = PriorityMap::deadline_monotonic(set);
+            for cfg in [NpFixedConfig::paper(), NpFixedConfig::george()] {
+                let fresh = np_response_times(set, &pm, &cfg).unwrap();
+                let reused = np_response_times_with(set, &pm, &cfg, &mut scratch).unwrap();
+                assert_eq!(fresh, reused);
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
 
 use crate::fixed::assignment::PriorityMap;
 use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::scratch::AnalysisScratch;
 use crate::{SetAnalysis, TaskVerdict};
 
 /// Configuration for fixed-priority RTA.
@@ -44,7 +45,7 @@ pub fn response_times(
     prio: &PriorityMap,
     config: &RtaConfig,
 ) -> AnalysisResult<SetAnalysis> {
-    response_times_impl(set, prio, config, false)
+    response_times_impl(set, prio, config, false, &mut AnalysisScratch::new())
 }
 
 /// Jitter-aware response-time analysis: `ri = Ji + wi` with the jittered
@@ -56,7 +57,28 @@ pub fn response_times_with_jitter(
     prio: &PriorityMap,
     config: &RtaConfig,
 ) -> AnalysisResult<SetAnalysis> {
-    response_times_impl(set, prio, config, true)
+    response_times_impl(set, prio, config, true, &mut AnalysisScratch::new())
+}
+
+/// [`response_times`] with caller-owned scratch buffers — identical
+/// results, no per-call allocations beyond the returned verdicts.
+pub fn response_times_with(
+    set: &TaskSet,
+    prio: &PriorityMap,
+    config: &RtaConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<SetAnalysis> {
+    response_times_impl(set, prio, config, false, scratch)
+}
+
+/// [`response_times_with_jitter`] with caller-owned scratch buffers.
+pub fn response_times_with_jitter_with(
+    set: &TaskSet,
+    prio: &PriorityMap,
+    config: &RtaConfig,
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<SetAnalysis> {
+    response_times_impl(set, prio, config, true, scratch)
 }
 
 fn response_times_impl(
@@ -64,15 +86,26 @@ fn response_times_impl(
     prio: &PriorityMap,
     config: &RtaConfig,
     with_jitter: bool,
+    scratch: &mut AnalysisScratch,
 ) -> AnalysisResult<SetAnalysis> {
     assert_eq!(
         prio.len(),
         set.len(),
         "priority map must cover the task set"
     );
+    let terms = &mut scratch.terms;
     let mut verdicts = Vec::with_capacity(set.len());
     for (i, task) in set.iter() {
-        let hp: Vec<usize> = prio.hp(i).collect();
+        // Hoist the higher-priority interference rows (period, cost,
+        // effective jitter) out of the fixpoint closure: the closure then
+        // touches one flat array instead of chasing the priority map and
+        // task table every iteration.
+        terms.clear();
+        for j in prio.hp(i) {
+            let tj = set.tasks()[j];
+            let jit = if with_jitter { tj.j } else { Time::ZERO };
+            terms.push((tj.t, tj.c, jit));
+        }
         // Deadline bound on the *busy window* w: for the jitter formulation
         // the task is schedulable iff Ji + wi <= Di, i.e. wi <= Di - Ji.
         let j_i = if with_jitter { task.j } else { Time::ZERO };
@@ -85,11 +118,9 @@ fn response_times_impl(
         }
         let outcome = fixpoint("fp-rta", task.c, bound, config.fixpoint, |w| {
             let mut next = task.c;
-            for &j in &hp {
-                let tj = set.tasks()[j];
-                let jit = if with_jitter { tj.j } else { Time::ZERO };
-                let n_jobs = (w + jit).ceil_div(tj.t);
-                next = next.try_add(tj.c.try_mul(n_jobs)?)?;
+            for &(t_j, c_j, jit) in terms.iter() {
+                let n_jobs = (w + jit).ceil_div(t_j);
+                next = next.try_add(c_j.try_mul(n_jobs)?)?;
             }
             Ok(next)
         })?;
@@ -247,5 +278,21 @@ mod tests {
         let set = TaskSet::from_ct(&[(1, 5), (1, 9)]).unwrap();
         let pm = PriorityMap::identity(1);
         let _ = response_times(&set, &pm, &RtaConfig::default());
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible_in_results() {
+        let sets = [
+            TaskSet::from_ct(&[(3, 7), (3, 12), (5, 20)]).unwrap(),
+            TaskSet::from_ct(&[(2, 4), (2, 4), (1, 8)]).unwrap(),
+        ];
+        let mut scratch = AnalysisScratch::new();
+        for set in &sets {
+            let pm = PriorityMap::rate_monotonic(set);
+            let fresh = response_times(set, &pm, &RtaConfig::default()).unwrap();
+            let reused =
+                response_times_with(set, &pm, &RtaConfig::default(), &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 }

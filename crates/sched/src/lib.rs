@@ -29,6 +29,14 @@
 //!
 //! All analyses return [`profirt_base::AnalysisResult`]; divergent fixpoints
 //! and overflow surface as typed errors, never panics.
+//!
+//! **Fast paths.** The demand tests select a QPA-style backward scan on
+//! large instances (the exhaustive checkpoint walks stay available as
+//! `*_exhaustive` references), and every response-time analysis has a
+//! `*_with` variant that reuses caller-owned [`AnalysisScratch`] buffers
+//! across calls. Fast and reference paths return identical results —
+//! see ARCHITECTURE.md ("The analysis fast path") and the differential
+//! property tests in `tests/prop_analysis_fast.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,9 +45,11 @@ pub mod checkpoints;
 pub mod edf;
 pub mod fixed;
 pub mod fixpoint;
+pub mod scratch;
 
-pub use checkpoints::CheckpointIter;
+pub use checkpoints::{CheckpointIter, CheckpointScratch, Checkpoints};
 pub use fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+pub use scratch::AnalysisScratch;
 
 /// Per-task verdict of a response-time analysis.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -1,0 +1,71 @@
+//! Reusable buffers for the analysis hot loops.
+//!
+//! Every response-time and feasibility routine in this crate needs a handful
+//! of short-lived vectors per call: arrival-candidate progressions, the
+//! checkpoint merge heap, hoisted per-task `(deadline, period, cost)` tables,
+//! and interference-term arrays for the fixpoint closures. Campaign sweeps
+//! call these analyses millions of times on small task sets, where the
+//! allocator — not the arithmetic — dominates. [`AnalysisScratch`] owns all
+//! of those buffers so one instance can be threaded through an arbitrary
+//! number of calls (`*_with` variants of the analyses) and every buffer is
+//! allocated once and then only ever cleared.
+//!
+//! The plain entry points (e.g. [`crate::edf::rta::edf_response_times`])
+//! construct a fresh scratch internally, so results are *identical* whether
+//! or not a scratch is reused — the differential property tests pin this.
+
+use profirt_base::Time;
+
+use crate::checkpoints::CheckpointScratch;
+
+/// Reusable working memory for the schedulability analyses.
+///
+/// Create one with [`AnalysisScratch::new`] (or `Default`) and pass it to
+/// the `*_with` analysis variants. The scratch carries no results — only
+/// capacity — so reusing it across unrelated task sets is safe.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisScratch {
+    /// Checkpoint / arrival-candidate merge state.
+    pub(crate) checkpoints: CheckpointScratch,
+    /// `(offset, step)` progressions for candidate enumeration.
+    pub(crate) progressions: Vec<(Time, Time)>,
+    /// Hoisted per-task `(deadline, period, cost)` rows.
+    pub(crate) dpc: Vec<(Time, Time, Time)>,
+    /// `(period, cost, job cap)` interference terms for the EDF busy-period
+    /// fixpoints (the deadline-qualified `min{·, cap}` sums).
+    pub(crate) caps: Vec<(Time, Time, i64)>,
+    /// `(period, cost, jitter)` interference terms for the fixed-priority
+    /// fixpoints.
+    pub(crate) terms: Vec<(Time, Time, Time)>,
+    /// `(segment start, blocking)` rows for piecewise-constant blocking
+    /// (non-preemptive EDF), descending by start.
+    pub(crate) segments: Vec<(Time, Time)>,
+    /// Ascending `(deadline, suffix-max blocking)` rows for the incremental
+    /// George blocking lookup of the exhaustive non-preemptive scan.
+    pub(crate) suffix: Vec<(Time, Time)>,
+}
+
+impl AnalysisScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> AnalysisScratch {
+        AnalysisScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty_and_cloneable() {
+        let s = AnalysisScratch::new();
+        let c = s.clone();
+        assert!(c.progressions.is_empty());
+        assert!(c.dpc.is_empty());
+        assert!(c.caps.is_empty());
+        assert!(c.terms.is_empty());
+        assert!(c.segments.is_empty());
+        assert!(c.suffix.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Differential property tests for the analysis fast paths: the QPA-style
+//! demand tests and the scratch-reusing RTA variants must reproduce their
+//! retained exhaustive / fresh-allocation references **exactly** — same
+//! feasibility verdicts, same first-violation points, same WCRTs — across
+//! random task sets (feasible, infeasible, and overloaded), both demand
+//! formulas, and both non-preemptive blocking models. Same discipline as
+//! `sim/tests/prop_streaming.rs`: run under any `PROPTEST_SEED`.
+
+use proptest::prelude::*;
+
+use profirt_base::{Task, TaskSet, Time};
+use profirt_sched::edf::{
+    edf_feasible_nonpreemptive, edf_feasible_nonpreemptive_exhaustive,
+    edf_feasible_nonpreemptive_with, edf_feasible_preemptive, edf_feasible_preemptive_exhaustive,
+    edf_feasible_preemptive_with, edf_response_times, edf_response_times_with,
+    np_edf_response_times, np_edf_response_times_with, DemandConfig, DemandFormula, EdfRtaConfig,
+    NpBlockingModel, NpEdfRtaConfig, NpFeasibilityConfig,
+};
+use profirt_sched::fixed::{
+    np_response_times, np_response_times_with, response_times, response_times_with,
+    response_times_with_jitter, response_times_with_jitter_with, NpFixedConfig, PriorityMap,
+    RtaConfig,
+};
+use profirt_sched::{AnalysisScratch, CheckpointIter, CheckpointScratch};
+
+/// Random constrained-deadline task sets. Per-task utilisation is bounded
+/// (`T = 5C + extra`), and an optional "heavy" long-period task stretches
+/// the busy period so a fraction of cases crosses the QPA selection
+/// threshold; some combinations exceed `U = 1` or violate deadlines, so
+/// feasible, infeasible and overloaded sets all occur.
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    (
+        proptest::collection::vec((1i64..20, 1i64..100, 0i64..50), 1..=5),
+        0i64..200,
+    )
+        .prop_map(|(raw, heavy)| {
+            let mut tasks: Vec<Task> = raw
+                .into_iter()
+                .map(|(c, t_extra, d_slack)| {
+                    let t = 5 * c + t_extra;
+                    let d = (c + d_slack).min(t);
+                    Task::new(c, d, t).unwrap()
+                })
+                .collect();
+            if heavy > 0 {
+                // Heavy low-rate task: large cost, period 1000.
+                tasks.push(Task::implicit(heavy.min(900), 1_000).unwrap());
+            }
+            TaskSet::new(tasks).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn preemptive_fast_equals_exhaustive(set in arb_task_set()) {
+        let mut scratch = AnalysisScratch::new();
+        for formula in [DemandFormula::Standard, DemandFormula::PaperCeiling] {
+            let cfg = DemandConfig { formula, ..Default::default() };
+            let fast = edf_feasible_preemptive(&set, &cfg).unwrap();
+            let fast_scratch = edf_feasible_preemptive_with(&set, &cfg, &mut scratch).unwrap();
+            let refr = edf_feasible_preemptive_exhaustive(&set, &cfg).unwrap();
+            prop_assert_eq!(fast.feasible, refr.feasible,
+                "verdict mismatch on {:?} ({:?})", set, formula);
+            prop_assert_eq!(fast.violation, refr.violation,
+                "violation mismatch on {:?} ({:?})", set, formula);
+            prop_assert_eq!(fast.horizon, refr.horizon);
+            prop_assert_eq!(fast_scratch.feasible, refr.feasible);
+            prop_assert_eq!(fast_scratch.violation, refr.violation);
+        }
+    }
+
+    #[test]
+    fn nonpreemptive_fast_equals_exhaustive(set in arb_task_set()) {
+        let mut scratch = AnalysisScratch::new();
+        for blocking in [NpBlockingModel::ZhengShin, NpBlockingModel::George] {
+            for formula in [DemandFormula::Standard, DemandFormula::PaperCeiling] {
+                let cfg = NpFeasibilityConfig { blocking, formula, ..Default::default() };
+                let fast = edf_feasible_nonpreemptive(&set, &cfg).unwrap();
+                let fast_scratch =
+                    edf_feasible_nonpreemptive_with(&set, &cfg, &mut scratch).unwrap();
+                let refr = edf_feasible_nonpreemptive_exhaustive(&set, &cfg).unwrap();
+                prop_assert_eq!(fast.feasible, refr.feasible,
+                    "verdict mismatch on {:?} ({:?}/{:?})", set, blocking, formula);
+                prop_assert_eq!(fast.violation, refr.violation,
+                    "violation mismatch on {:?} ({:?}/{:?})", set, blocking, formula);
+                prop_assert_eq!(fast.horizon, refr.horizon);
+                prop_assert_eq!(fast_scratch.feasible, refr.feasible);
+                prop_assert_eq!(fast_scratch.violation, refr.violation);
+            }
+        }
+    }
+
+    #[test]
+    fn edf_rta_scratch_equals_fresh(set in arb_task_set()) {
+        let mut scratch = AnalysisScratch::new();
+        let fresh = edf_response_times(&set, &EdfRtaConfig::default());
+        let reused = edf_response_times_with(&set, &EdfRtaConfig::default(), &mut scratch);
+        match (fresh, reused) {
+            (Ok((an_a, d_a)), Ok((an_b, d_b))) => {
+                prop_assert_eq!(an_a, an_b, "verdicts diverge on {:?}", set);
+                prop_assert_eq!(d_a, d_b, "WCRT details diverge on {:?}", set);
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "ok/err divergence: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    #[test]
+    fn np_edf_rta_scratch_equals_fresh(set in arb_task_set()) {
+        let mut scratch = AnalysisScratch::new();
+        let fresh = np_edf_response_times(&set, &NpEdfRtaConfig::default());
+        let reused = np_edf_response_times_with(&set, &NpEdfRtaConfig::default(), &mut scratch);
+        match (fresh, reused) {
+            (Ok((an_a, d_a)), Ok((an_b, d_b))) => {
+                prop_assert_eq!(an_a, an_b, "verdicts diverge on {:?}", set);
+                prop_assert_eq!(d_a, d_b, "WCRT details diverge on {:?}", set);
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "ok/err divergence: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    #[test]
+    fn fixed_rta_scratch_equals_fresh(set in arb_task_set()) {
+        let mut scratch = AnalysisScratch::new();
+        for pm in [PriorityMap::rate_monotonic(&set), PriorityMap::deadline_monotonic(&set)] {
+            let cfg = RtaConfig::default();
+            let fresh = response_times(&set, &pm, &cfg).unwrap();
+            let reused = response_times_with(&set, &pm, &cfg, &mut scratch).unwrap();
+            prop_assert_eq!(fresh, reused, "preemptive FP diverges on {:?}", set);
+            let fresh = response_times_with_jitter(&set, &pm, &cfg).unwrap();
+            let reused = response_times_with_jitter_with(&set, &pm, &cfg, &mut scratch).unwrap();
+            prop_assert_eq!(fresh, reused, "jittered FP diverges on {:?}", set);
+            for np_cfg in [NpFixedConfig::paper(), NpFixedConfig::george()] {
+                let fresh = np_response_times(&set, &pm, &np_cfg).unwrap();
+                let reused = np_response_times_with(&set, &pm, &np_cfg, &mut scratch).unwrap();
+                prop_assert_eq!(fresh, reused, "NP FP diverges on {:?}", set);
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_cursor_matches_iterator_and_demand(set in arb_task_set(), bound in 1i64..5_000) {
+        // The stepper-reporting cursor yields exactly the CheckpointIter
+        // sequence, and accumulating stepper costs reconstructs the
+        // standard demand function at every checkpoint.
+        let bound = Time::new(bound);
+        let dt: Vec<(Time, Time)> = set.iter().map(|(_, t)| (t.d, t.t)).collect();
+        let costs: Vec<Time> = set.iter().map(|(_, t)| t.c).collect();
+        let plain: Vec<Time> = CheckpointIter::deadlines(&dt, bound).collect();
+        let mut scratch = CheckpointScratch::new();
+        let mut cursor = scratch.start(&dt, bound);
+        let mut via_steppers = Vec::new();
+        let mut h = Time::ZERO;
+        while let Some((point, steppers)) = cursor.next_with_steppers() {
+            let step: Time = steppers.iter().map(|&i| costs[i]).sum();
+            h += step;
+            via_steppers.push(point);
+            prop_assert_eq!(
+                h,
+                profirt_sched::edf::demand(&set, point, DemandFormula::Standard),
+                "incremental demand diverges at {:?} on {:?}", point, set
+            );
+            prop_assert_eq!(
+                h - step,
+                profirt_sched::edf::demand(&set, point, DemandFormula::PaperCeiling),
+                "ceiling-form identity diverges at {:?} on {:?}", point, set
+            );
+        }
+        prop_assert_eq!(plain, via_steppers);
+    }
+}
