@@ -1,7 +1,7 @@
 //! `sim_kernel` bench: the streaming simulation kernel against the
 //! pre-materialized baseline, over pinned fixtures.
 //!
-//! Two fixtures bracket the design space:
+//! Three fixtures bracket the design space:
 //!
 //! * `dense_long_horizon` — 3 masters × 6 short-period streams over a
 //!   20M-tick horizon (~100k releases): the baseline materializes, sorts
@@ -11,11 +11,20 @@
 //!   outruns its service rate: the pending backlog grows with the
 //!   horizon, so the baseline's linear-scan + `Vec::remove` low-priority
 //!   selection goes quadratic while the kernel's heap stays logarithmic.
+//! * `churn_ring` — the dense fixture under membership churn + GAP
+//!   polling (kernel-only: the reference models static rings). Static
+//!   fixtures keep running through the static fast path, whose per-visit
+//!   cost is unchanged by the churn machinery — the baseline JSON records
+//!   both so CI can watch the fast path staying within noise of the
+//!   pre-churn numbers.
 //!
 //! Besides the criterion groups, the bench writes `BENCH_sim.json`
 //! (workspace `target/` by default, `BENCH_SIM_JSON` overrides) — the
 //! perf baseline artifact CI uploads, recording per-fixture mean ns for
-//! both engines and the streaming/materialized speedup.
+//! both engines and the streaming/materialized speedup. Before timing,
+//! the bench asserts static-fixture result equality between the kernel
+//! and the reference, and churn-fixture determinism — a perf artifact
+//! from disagreeing engines would be meaningless.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -25,7 +34,8 @@ use profirt_base::json::{self, Value};
 use profirt_base::{StreamSet, Time};
 use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
 use profirt_sim::{
-    simulate_network, simulate_network_materialized, NetworkSimConfig, SimMaster, SimNetwork,
+    simulate_network, simulate_network_materialized, MembershipPlan, NetworkSimConfig, SimMaster,
+    SimNetwork,
 };
 
 /// Pinned release-dense, schedulable fixture: ~100k releases over the
@@ -73,6 +83,30 @@ fn lp_backlog() -> (SimNetwork, NetworkSimConfig) {
     (net, cfg)
 }
 
+/// The dense fixture under mid-run joins/leaves plus GAP maintenance:
+/// the dynamic-membership loop's overhead fixture. Kernel-only — the
+/// materialized reference is gated to static rings.
+fn churn_ring() -> (SimNetwork, NetworkSimConfig) {
+    let (net, cfg) = dense_long_horizon();
+    let horizon = cfg.horizon;
+    let cfg = NetworkSimConfig {
+        gap_factor: 5,
+        membership: MembershipPlan::new()
+            .power_cycle(
+                1,
+                Time::new(horizon.ticks() / 5),
+                Time::new(horizon.ticks() / 3),
+            )
+            .power_cycle(
+                2,
+                Time::new(horizon.ticks() / 2),
+                Time::new(horizon.ticks() * 7 / 10),
+            ),
+        ..cfg
+    };
+    (net, cfg)
+}
+
 fn fixtures() -> Vec<(&'static str, SimNetwork, NetworkSimConfig)> {
     let (d_net, d_cfg) = dense_long_horizon();
     let (l_net, l_cfg) = lp_backlog();
@@ -93,6 +127,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| simulate_network_materialized(black_box(&net), &cfg))
         });
     }
+    let (churn_net, churn_cfg) = churn_ring();
+    group.bench_with_input(BenchmarkId::new("streaming", "churn_ring"), &(), |b, ()| {
+        b.iter(|| simulate_network(black_box(&churn_net), &churn_cfg))
+    });
     group.finish();
 }
 
@@ -112,6 +150,13 @@ fn write_baseline(full: bool) {
     let iters = if full { 5 } else { 1 };
     let mut rows = Vec::new();
     for (label, net, cfg) in fixtures() {
+        // Verdict check before timing: the engines must agree on every
+        // static fixture or the speedup numbers are meaningless.
+        assert_eq!(
+            simulate_network(&net, &cfg),
+            simulate_network_materialized(&net, &cfg),
+            "engine disagreement on {label}"
+        );
         let streaming = mean_ns(iters, || {
             black_box(simulate_network(black_box(&net), &cfg));
         });
@@ -126,6 +171,29 @@ fn write_baseline(full: bool) {
             ("speedup", Value::Float(materialized / streaming)),
         ]));
     }
+    // Churn fixture: kernel-only (the reference is static-ring-gated);
+    // the record pairs the dynamic loop against the static fast path on
+    // the identical traffic so fast-path regressions stand out.
+    let (churn_net, churn_cfg) = churn_ring();
+    assert_eq!(
+        simulate_network(&churn_net, &churn_cfg),
+        simulate_network(&churn_net, &churn_cfg),
+        "churn fixture must be deterministic"
+    );
+    let (static_net, static_cfg) = dense_long_horizon();
+    let static_ns = mean_ns(iters, || {
+        black_box(simulate_network(black_box(&static_net), &static_cfg));
+    });
+    let churn_ns = mean_ns(iters, || {
+        black_box(simulate_network(black_box(&churn_net), &churn_cfg));
+    });
+    rows.push(json::object([
+        ("fixture", Value::Str("churn_ring".to_string())),
+        ("horizon_ticks", Value::Int(churn_cfg.horizon.ticks())),
+        ("streaming_ns", Value::Float(churn_ns)),
+        ("static_fast_path_ns", Value::Float(static_ns)),
+        ("churn_overhead", Value::Float(churn_ns / static_ns)),
+    ]));
     let doc = json::object([
         ("bench", Value::Str("sim_kernel".to_string())),
         ("samples_per_engine", Value::Int(iters as i64)),

@@ -21,7 +21,9 @@ use profirt_workload::{generate_task_set, NetGenParams, PeriodRange, TaskGenPara
 
 use super::plan::WorkUnit;
 use super::spec::{CampaignSpec, ScenarioKind};
-use crate::exps::common::{gen_network, obs_over_bound, sim_observed};
+use crate::exps::common::{
+    churn_plan, gen_network, obs_over_bound, sim_observed_with, RingScenario,
+};
 
 /// The metric columns a campaign of the given kind produces, in CSV order.
 pub fn metric_names(kind: ScenarioKind) -> &'static [&'static str] {
@@ -40,6 +42,9 @@ pub fn metric_names(kind: ScenarioKind) -> &'static [&'static str] {
             "sim_p95_response",
             "sim_p99_response",
             "sim_p99_trr",
+            "ring_events",
+            "min_ring_size",
+            "max_ring_size",
         ],
         ScenarioKind::Cpu => &["accept_ratio", "mean_wcrt_norm"],
     }
@@ -79,6 +84,8 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
     let streams = unit.get_i64("streams", 3).max(1) as usize;
     let tightness = unit.get_f64("tightness", 0.8);
     let policy = PolicyKind::parse(unit.get_str("policy", "fcfs")).expect("validated policy");
+    let gap_factor = unit.get_i64("gap_factor", 0).max(0) as u32;
+    let churn = unit.get_str("churn", "none").to_string();
     let mut params = NetGenParams::standard(tightness, streams, masters);
     if let Some(ttr) = unit.get("ttr").and_then(super::spec::AxisValue::as_i64) {
         params = params.with_ttr(Time::new(ttr));
@@ -97,6 +104,9 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
     let mut resp_p95s = Vec::new();
     let mut resp_p99s = Vec::new();
     let mut trr_p99s = Vec::new();
+    let mut ring_events = 0u64;
+    let mut min_ring = usize::MAX;
+    let mut max_ring = 0usize;
 
     // One tuning value per unit, passed through the policy dispatch to
     // every replication's analysis.
@@ -127,9 +137,26 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
         }
 
         if spec.sim_horizon > 0 {
-            let s = sim_observed(&g, policy.queue_policy(), spec.sim_horizon, seed);
+            let scenario = RingScenario {
+                gap_factor,
+                plan: churn_plan(&churn, masters, spec.sim_horizon, seed),
+            };
+            let dynamic_ring = !scenario.is_static();
+            let s = sim_observed_with(&g, policy.queue_policy(), spec.sim_horizon, seed, &scenario);
             trrs.push(s.max_trr.ticks() as f64);
-            let (worst, viols) = obs_over_bound(&an, &s.max_responses);
+            // The observed ≤ analytical contract assumes the §3.1 static
+            // ring: any dynamic-ring unit (churn, or GAP polling alone) is
+            // checked on the stable-phase maxima only — full ring, no
+            // membership disturbance within two rotations of the release.
+            // Transition windows are measured by the ring columns instead
+            // of gating the contract; persistent GAP overhead inside
+            // stable phases still counts, as it should.
+            let contract_obs = if dynamic_ring {
+                &s.stable_max_responses
+            } else {
+                &s.max_responses
+            };
+            let (worst, viols) = obs_over_bound(&an, contract_obs);
             violations += viols as u64;
             if let Some(w) = worst {
                 worst_ratios.push(w);
@@ -137,6 +164,9 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
             resp_p95s.push(s.response_p95);
             resp_p99s.push(s.response_p99);
             trr_p99s.push(s.trr_p99);
+            ring_events += s.ring.events;
+            min_ring = min_ring.min(s.ring.min_size);
+            max_ring = max_ring.max(s.ring.max_size);
         }
     }
 
@@ -172,6 +202,9 @@ fn eval_network_unit(spec: &CampaignSpec, unit: &WorkUnit) -> Vec<f64> {
         } else {
             f64::NAN
         },
+        if sim { ring_events as f64 } else { f64::NAN },
+        if sim { min_ring as f64 } else { f64::NAN },
+        if sim { max_ring as f64 } else { f64::NAN },
     ]
 }
 
@@ -358,8 +391,8 @@ mod tests {
                 assert!((x.is_nan() && y.is_nan()) || x == y, "{ra:?} vs {rb:?}");
             }
         }
-        // Analysis-only: all sim columns are NaN.
-        for col in 7..=12 {
+        // Analysis-only: all sim columns (incl. the ring columns) are NaN.
+        for col in 7..=15 {
             assert!(a[0][col].is_nan(), "sim column {col} not NaN: {:?}", a[0]);
         }
         // Ratios live in [0, 1].
@@ -384,6 +417,46 @@ mod tests {
         assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
         // Percentiles sit below the recorded maxima.
         assert!(trr_p99 <= col("sim_max_trr"));
+        // A static-ring unit reports a flat membership timeline.
+        assert_eq!(col("ring_events"), 0.0);
+        assert_eq!(col("min_ring_size"), 2.0);
+        assert_eq!(col("max_ring_size"), 2.0);
+    }
+
+    #[test]
+    fn churn_units_report_membership_and_stable_contract() {
+        let spec = CampaignSpec::new("eval-net-churn", "", ScenarioKind::Network)
+            .replications(2)
+            .sim_horizon(600_000)
+            .axis_i64("masters", &[3])
+            .axis_f64("tightness", &[0.6])
+            .axis_i64("gap_factor", &[3])
+            .axis_str("churn", &["none", "light", "heavy"])
+            .axis_str("policy", &["dm"]);
+        let p = plan(&spec).unwrap();
+        let names = metric_names(ScenarioKind::Network);
+        let col = |row: &[f64], name: &str| row[names.iter().position(|m| *m == name).unwrap()];
+        let rows: Vec<Vec<f64>> = p.units.iter().map(|u| eval_unit(&spec, u)).collect();
+        // churn=none keeps the ring full (GAP polls hit only empty
+        // addresses); churn scenarios shrink it and come back.
+        let (none, light, heavy) = (&rows[0], &rows[1], &rows[2]);
+        assert_eq!(col(none, "ring_events"), 0.0);
+        assert_eq!(col(none, "min_ring_size"), 3.0);
+        assert!(col(light, "ring_events") > 0.0);
+        assert!(col(light, "min_ring_size") < 3.0);
+        assert_eq!(col(light, "max_ring_size"), 3.0, "churned masters rejoin");
+        assert!(col(heavy, "ring_events") >= col(light, "ring_events"));
+        // The stable-phase contract holds for the sound DM analysis even
+        // under churn; determinism across re-evaluation holds too.
+        for row in &rows {
+            assert_eq!(col(row, "sim_violations"), 0.0, "{row:?}");
+        }
+        let again: Vec<Vec<f64>> = p.units.iter().map(|u| eval_unit(&spec, u)).collect();
+        for (ra, rb) in rows.iter().zip(&again) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert!((x.is_nan() && y.is_nan()) || x == y, "{ra:?} vs {rb:?}");
+            }
+        }
     }
 
     #[test]

@@ -220,7 +220,29 @@ pub fn t8() -> CampaignSpec {
     .axis_i64("masters", &[3])
 }
 
-/// Every preset, in the paper's presentation order.
+/// CH — live-ring dynamics: membership churn and GAP polling stress the
+/// token service beyond the paper's static-ring assumption. The
+/// `observed ≤ analytical` contract is checked on stable phases only
+/// (full ring, two calm rotations before a release); the `ring_events` /
+/// `min_ring_size` / `max_ring_size` columns quantify the disturbance.
+pub fn churn() -> CampaignSpec {
+    CampaignSpec::new(
+        "churn",
+        "ring membership churn and GAP polling vs the stable-phase contract",
+        ScenarioKind::Network,
+    )
+    .replications(24)
+    .sim_horizon(3_000_000)
+    .axis_str("churn", &["none", "light", "heavy"])
+    .axis_i64("gap_factor", &[3, 10])
+    .axis_str("policy", &["fcfs", "dm"])
+    .axis_f64("tightness", &[0.6])
+    .axis_i64("streams", &[3])
+    .axis_i64("masters", &[3])
+}
+
+/// Every preset, in the paper's presentation order (the churn study, not
+/// part of the paper, comes last).
 pub fn all() -> Vec<CampaignSpec> {
     vec![
         t1(),
@@ -237,6 +259,7 @@ pub fn all() -> Vec<CampaignSpec> {
         f4(),
         f5(),
         f6(),
+        churn(),
     ]
 }
 
@@ -253,9 +276,9 @@ mod tests {
     use crate::ExpConfig;
 
     #[test]
-    fn all_fourteen_presets_validate_and_plan() {
+    fn all_fifteen_presets_validate_and_plan() {
         let specs = all();
-        assert_eq!(specs.len(), 14);
+        assert_eq!(specs.len(), 15);
         for spec in &specs {
             let p = plan(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(p.units.len(), spec.unit_count(), "{}", spec.name);
@@ -275,6 +298,48 @@ mod tests {
         assert!(quick.sim_horizon <= ExpConfig::quick().sim_horizon);
         // Analysis-only presets stay analysis-only.
         assert_eq!(f1().scaled(&ExpConfig::quick()).sim_horizon, 0);
+    }
+
+    #[test]
+    fn churn_preset_contract_holds_and_is_worker_independent() {
+        let mut spec = churn().scaled(&ExpConfig::quick());
+        spec.replications = 2;
+        spec.sim_horizon = 500_000;
+        spec.name = "churn-preset-smoke".into();
+        spec.workers = 1;
+        let root = std::env::temp_dir().join("profirt-churn-smoke");
+        let _ = std::fs::remove_dir_all(&root);
+        let one = run_preset_like(&spec, &root.join("w1"));
+        // The stable-phase contract holds for the sound policies.
+        assert!(
+            one.contract_failures().is_empty(),
+            "{:?}",
+            one.contract_failures()
+        );
+        // Churn really happened and was surfaced in the ring columns.
+        let names = crate::campaign::eval::metric_names(spec.kind);
+        let events_col = names.iter().position(|m| *m == "ring_events").unwrap();
+        let min_col = names.iter().position(|m| *m == "min_ring_size").unwrap();
+        assert!(one.rows.iter().any(|r| r[events_col] > 0.0));
+        assert!(one.rows.iter().any(|r| r[min_col] < 3.0));
+        // Same spec, different worker count: identical rows (the unit,
+        // not the thread, owns the RNG stream).
+        let mut wide = spec.clone();
+        wide.workers = 3;
+        let three = run_preset_like(&wide, &root.join("w3"));
+        for (a, b) in one.rows.iter().zip(&three.rows) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x.is_nan() && y.is_nan()) || x == y, "{a:?} vs {b:?}");
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    fn run_preset_like(
+        spec: &CampaignSpec,
+        root: &std::path::Path,
+    ) -> crate::campaign::CampaignOutcome {
+        crate::campaign::run_campaign(spec, root).unwrap()
     }
 
     #[test]

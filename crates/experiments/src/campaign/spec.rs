@@ -46,7 +46,15 @@ impl ScenarioKind {
     /// The axis names this kind's evaluator understands.
     pub fn supported_axes(self) -> &'static [&'static str] {
         match self {
-            ScenarioKind::Network => &["masters", "streams", "tightness", "ttr", "policy"],
+            ScenarioKind::Network => &[
+                "masters",
+                "streams",
+                "tightness",
+                "ttr",
+                "policy",
+                "gap_factor",
+                "churn",
+            ],
             ScenarioKind::Cpu => &[
                 "tasks",
                 "utilization",
@@ -359,6 +367,14 @@ impl CampaignSpec {
                     return bad(v, "\"standard\" or \"wide\"");
                 }
                 "period_spread" => {}
+                "gap_factor" if v.as_i64().is_none_or(|n| !(0..=1_000).contains(&n)) => {
+                    return bad(v, "an integer in 0..=1000 (0 disables GAP polling)");
+                }
+                "gap_factor" => {}
+                "churn" if !matches!(v.as_str(), Some("none") | Some("light") | Some("heavy")) => {
+                    return bad(v, "\"none\", \"light\" or \"heavy\"");
+                }
+                "churn" => {}
                 "policy" => {
                     let name = v.as_str().unwrap_or("");
                     let known = match self.kind {

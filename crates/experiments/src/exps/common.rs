@@ -4,7 +4,9 @@ use profirt_base::{Prng, Time};
 use profirt_core::NetworkAnalysis;
 use profirt_profibus::{BusParams, QueuePolicy};
 use profirt_sim::{
-    simulate_network_stats, JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork,
+    network::run_network, JitterInjection, MembershipPlan, NetworkSimConfig, OffsetMode,
+    ResponseStats, ResultObserver, RingStats, RingSummary, SimMaster, SimNetwork,
+    StableResponseObserver, TrrStats,
 };
 use profirt_workload::{generate_network, GeneratedNetwork, NetGenParams, TaskGenParams};
 
@@ -94,12 +96,45 @@ pub fn sim_max_responses(
     (s.max_responses, s.max_trr)
 }
 
+/// Ring-dynamics scenario of a simulated unit: the GAP update factor plus
+/// the scripted membership plan. The default (`gap_factor = 0`, empty
+/// plan) is the static §3.1 ring every pre-churn experiment uses.
+#[derive(Clone, Debug, Default)]
+pub struct RingScenario {
+    /// GAP update factor `G` (`0` disables GAP polling).
+    pub gap_factor: u32,
+    /// Scripted membership churn.
+    pub plan: MembershipPlan,
+}
+
+impl RingScenario {
+    /// `true` when this scenario is the static ring.
+    pub fn is_static(&self) -> bool {
+        self.gap_factor == 0 && self.plan.is_empty()
+    }
+}
+
+/// The deterministic membership plan of a named churn level: `"none"`
+/// (static), `"light"` (one power cycle per non-anchor master) or
+/// `"heavy"` (three). Plans derive from the unit seed, so replications
+/// churn differently but reproducibly.
+pub fn churn_plan(level: &str, n_masters: usize, horizon: i64, seed: u64) -> MembershipPlan {
+    match level {
+        "none" => MembershipPlan::new(),
+        "light" => MembershipPlan::random_churn(seed, n_masters, Time::new(horizon), 1),
+        "heavy" => MembershipPlan::random_churn(seed, n_masters, Time::new(horizon), 3),
+        other => panic!("unknown churn level {other:?} (spec validation missed it)"),
+    }
+}
+
 /// Observer-derived summary of one simulation run: the per-stream maxima
-/// the `observed ≤ analytical` contract needs, plus the constant-memory
-/// distribution statistics the campaign percentile columns consume.
+/// the `observed ≤ analytical` contract needs, the constant-memory
+/// distribution statistics the campaign percentile columns consume, and —
+/// under ring dynamics — the membership timeline plus the stable-phase
+/// response maxima the churn-aware contract check is restricted to.
 #[derive(Clone, Debug)]
 pub struct SimObservation {
-    /// Per-master, per-stream maximum observed responses.
+    /// Per-master, per-stream maximum observed responses (whole run).
     pub max_responses: Vec<Vec<Time>>,
     /// Largest observed TRR across all masters.
     pub max_trr: Time,
@@ -109,6 +144,16 @@ pub struct SimObservation {
     pub response_p99: f64,
     /// 99th-percentile token rotation time (ticks) over all masters.
     pub trr_p99: f64,
+    /// Ring-membership timeline summary (configured size and zero events
+    /// on a static run).
+    pub ring: RingSummary,
+    /// Per-master, per-stream maximum responses over stable phases only:
+    /// full ring, no membership disturbance within two rotations before
+    /// the release. The `observed ≤ analytical` contract under churn is
+    /// checked against these.
+    pub stable_max_responses: Vec<Vec<Time>>,
+    /// High-priority cycles counted as stable samples.
+    pub stable_samples: u64,
 }
 
 /// Simulates with the statistics observers attached and summarises the
@@ -120,7 +165,35 @@ pub fn sim_observed(
     horizon: i64,
     seed: u64,
 ) -> SimObservation {
-    let (obs, stats) = simulate_network_stats(&to_sim(g, policy), &exp_sim_config(horizon, seed));
+    sim_observed_with(g, policy, horizon, seed, &RingScenario::default())
+}
+
+/// [`sim_observed`] under an explicit ring-dynamics scenario.
+pub fn sim_observed_with(
+    g: &GeneratedNetwork,
+    policy: QueuePolicy,
+    horizon: i64,
+    seed: u64,
+    scenario: &RingScenario,
+) -> SimObservation {
+    let net = to_sim(g, policy);
+    let mut cfg = exp_sim_config(horizon, seed);
+    cfg.gap_factor = scenario.gap_factor;
+    cfg.membership = scenario.plan.clone();
+    let initial = net.masters.len() - cfg.membership.initially_off().len();
+    // Two target rotations of calm before a release counts as stable.
+    let mut stable = StableResponseObserver::new(&net, initial, net.ttr * 2);
+    let mut result = ResultObserver::new(&net);
+    let mut response = ResponseStats::new();
+    let mut trr = TrrStats::with_ring_size(initial);
+    let mut ring = RingStats::new(initial);
+    run_network(
+        &net,
+        &cfg,
+        &mut [&mut result, &mut response, &mut trr, &mut ring, &mut stable],
+    );
+    let obs = result.into_result();
+    let (response, trr, ring) = (response.hist.summary(), trr.hist.summary(), ring.summary());
     SimObservation {
         max_responses: obs
             .streams
@@ -128,9 +201,12 @@ pub fn sim_observed(
             .map(|m| m.iter().map(|o| o.max_response).collect())
             .collect(),
         max_trr: obs.max_trr_overall(),
-        response_p95: stats.response.p95.ticks() as f64,
-        response_p99: stats.response.p99.ticks() as f64,
-        trr_p99: stats.trr.p99.ticks() as f64,
+        response_p95: response.p95.ticks() as f64,
+        response_p99: response.p99.ticks() as f64,
+        trr_p99: trr.p99.ticks() as f64,
+        ring,
+        stable_max_responses: stable.max_responses,
+        stable_samples: stable.samples,
     }
 }
 

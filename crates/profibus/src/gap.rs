@@ -10,10 +10,28 @@
 //! counter, yields the next address to poll when due, and folds poll
 //! results back into ring membership knowledge.
 
-use profirt_base::MasterAddr;
+use profirt_base::{MasterAddr, Time};
 use serde::{Deserialize, Serialize};
 
+use crate::chartime::{char_time, frame_chars};
+use crate::params::BusParams;
 use crate::ring::LogicalRing;
+
+/// Bus time consumed by one `Request FDL Status` GAP poll.
+///
+/// The poll is an SD1 request (6 characters, preceded by the `TSYN`
+/// synchronisation gap). An addressed station answers with an SD1 status
+/// frame after its station delay (worst case `max TSDR`), followed by the
+/// initiator idle time `TID1`; an empty address stays silent for the full
+/// slot time `TSL` before the initiator gives up.
+pub fn poll_time(params: &BusParams, answered: bool) -> Time {
+    let request = params.tsyn + char_time(frame_chars::SD1);
+    if answered {
+        request + params.max_tsdr + char_time(frame_chars::SD1) + params.tid1
+    } else {
+        request + params.slot_time
+    }
+}
 
 /// Result of polling one GAP address.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -152,5 +170,19 @@ mod tests {
         let r = ring(&[1, 2]);
         let mut gap = GapState::new(MasterAddr(1), 1);
         assert_eq!(gap.on_token_visit(&r), None);
+    }
+
+    #[test]
+    fn poll_time_is_chartime_derived() {
+        use profirt_base::time::t;
+        let p = BusParams::profile_500k();
+        // Silent address: TSYN + SD1 request + slot time = 33 + 66 + 200.
+        assert_eq!(poll_time(&p, false), t(299));
+        // Answered: TSYN + SD1 + max TSDR + SD1 reply + TID1
+        //         = 33 + 66 + 100 + 66 + 37.
+        assert_eq!(poll_time(&p, true), t(302));
+        // An answered poll costs slightly more than a silent slot-time
+        // wait at this profile (302 vs 299 bit times).
+        assert!(poll_time(&p, true) > poll_time(&p, false));
     }
 }

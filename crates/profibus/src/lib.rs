@@ -24,12 +24,17 @@
 //!   depth-limited communication-stack queue.
 //! * [`station`] / [`ring`] / [`gap`] — master/slave station models, the
 //!   logical token ring (LAS, next-station), and the GAP update mechanism.
+//! * [`controller`] — the ring-membership controller tying [`fdl`],
+//!   [`ring`] and [`gap`] together: per-station state machines, live LAS,
+//!   GAP-driven admission and failed-pass departure detection, as driven
+//!   by the dynamic-membership simulation kernel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chartime;
 pub mod codec;
+pub mod controller;
 pub mod cycle;
 pub mod fcs;
 pub mod fdl;
@@ -41,9 +46,11 @@ pub mod ring;
 pub mod station;
 pub mod token;
 
+pub use controller::{RingConfigError, RingController};
 pub use cycle::{MessageCycleSpec, TokenPassTime};
 pub use fdl::{token_recovery_timeout, FdlEvent, FdlState, FdlStation};
 pub use frame::{Frame, FrameError, FunctionCode};
+pub use gap::{GapPollResult, GapState};
 pub use params::BusParams;
 pub use queue::{ApQueue, QueuePolicy, Request, StackCapacity, StackQueue};
 pub use ring::LogicalRing;

@@ -1,0 +1,122 @@
+//! Property tests for the FDL master state machine as the simulation
+//! kernel drives it: arbitrary event sequences never reach an invalid
+//! state, rejected events never mutate state, and the token-holding
+//! predicate stays consistent with the state set.
+
+use proptest::prelude::*;
+
+use profirt_base::MasterAddr;
+use profirt_profibus::fdl::{step, Transition};
+use profirt_profibus::{FdlEvent, FdlState, FdlStation};
+
+const ALL_STATES: [FdlState; 7] = [
+    FdlState::Offline,
+    FdlState::ListenToken,
+    FdlState::ActiveIdle,
+    FdlState::ClaimToken,
+    FdlState::UseToken,
+    FdlState::AwaitResponse,
+    FdlState::PassToken,
+];
+
+const ALL_EVENTS: [FdlEvent; 12] = [
+    FdlEvent::PowerOn,
+    FdlEvent::PowerOff,
+    FdlEvent::RingEntryComplete,
+    FdlEvent::TokenReceived,
+    FdlEvent::TimeoutTto,
+    FdlEvent::ClaimSucceeded,
+    FdlEvent::RequestSent,
+    FdlEvent::ResponseReceived,
+    FdlEvent::ResponseTimeout,
+    FdlEvent::HoldingDone,
+    FdlEvent::PassConfirmed,
+    FdlEvent::PassFailed,
+];
+
+fn arb_events() -> impl Strategy<Value = Vec<FdlEvent>> {
+    proptest::collection::vec(0usize..ALL_EVENTS.len(), 0..=64)
+        .prop_map(|idx| idx.into_iter().map(|i| ALL_EVENTS[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the event sequence, the station is always in one of the
+    /// seven defined states, a rejected event leaves the state untouched,
+    /// and `holds_token` is exactly the Use/Await/Pass subset.
+    #[test]
+    fn arbitrary_event_sequences_never_corrupt_state(events in arb_events()) {
+        let mut st = FdlStation::new(MasterAddr(7));
+        prop_assert_eq!(st.state(), FdlState::Offline);
+        for ev in events {
+            let before = st.state();
+            match st.apply(ev) {
+                Ok(next) => {
+                    prop_assert!(ALL_STATES.contains(&next));
+                    prop_assert_eq!(st.state(), next);
+                    // The wrapper agrees with the pure transition function.
+                    prop_assert_eq!(step(before, ev), Transition::To(next));
+                }
+                Err(unchanged) => {
+                    prop_assert_eq!(unchanged, before);
+                    prop_assert_eq!(st.state(), before);
+                    prop_assert_eq!(step(before, ev), Transition::Invalid);
+                }
+            }
+            prop_assert_eq!(
+                st.holds_token(),
+                matches!(
+                    st.state(),
+                    FdlState::UseToken | FdlState::AwaitResponse | FdlState::PassToken
+                )
+            );
+        }
+    }
+
+    /// `PowerOff` is accepted from every reachable state and always lands
+    /// in `Offline`; a powered-off station only ever reacts to `PowerOn`.
+    #[test]
+    fn power_off_is_total_and_offline_is_inert(events in arb_events()) {
+        let mut st = FdlStation::new(MasterAddr(1));
+        for ev in events {
+            let _ = st.apply(ev);
+        }
+        st.apply(FdlEvent::PowerOff).unwrap();
+        prop_assert_eq!(st.state(), FdlState::Offline);
+        for &ev in &ALL_EVENTS {
+            if ev == FdlEvent::PowerOn || ev == FdlEvent::PowerOff {
+                continue;
+            }
+            prop_assert_eq!(st.apply(ev), Err(FdlState::Offline));
+        }
+    }
+}
+
+/// Exhaustive cross-product: `step` never panics, and every transition
+/// target is a defined state (the property the proptest samples, proved
+/// over the whole 7×12 table).
+#[test]
+fn full_transition_table_is_closed() {
+    let mut valid = 0;
+    for &state in &ALL_STATES {
+        for &event in &ALL_EVENTS {
+            match step(state, event) {
+                Transition::To(next) => {
+                    assert!(
+                        ALL_STATES.contains(&next),
+                        "{state:?} --{event:?}--> {next:?}"
+                    );
+                    valid += 1;
+                }
+                Transition::Invalid => {}
+            }
+        }
+    }
+    // 7 PowerOff transitions plus the 13 defined edges of the machine.
+    assert_eq!(
+        valid,
+        7 + 13,
+        "transition count drifted — update the diagram"
+    );
+}

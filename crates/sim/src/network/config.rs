@@ -10,6 +10,8 @@ use serde::{Deserialize, Serialize};
 // here under their historical simulator names.
 pub use profirt_base::release::{JitterMode as JitterInjection, OffsetMode};
 
+pub use crate::network::membership::{MembershipAction, MembershipPlan};
+
 /// One simulated master.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimMaster {
@@ -23,9 +25,9 @@ pub struct SimMaster {
     /// Low-priority background traffic sources.
     pub low_priority: Vec<LowPriorityTraffic>,
     /// FDL station address, used for the address-staggered token-recovery
-    /// timeout. `None` (the default) means "ring index", which preserves
-    /// the convention that the first master in the ring claims lost
-    /// tokens.
+    /// timeout and the logical-ring order under dynamic membership.
+    /// `None` (the default) means "ring index", which preserves the
+    /// convention that the first master in the ring claims lost tokens.
     pub addr: Option<MasterAddr>,
 }
 
@@ -65,12 +67,72 @@ impl SimMaster {
     }
 
     /// The effective FDL address: the explicit one, or the ring index.
+    ///
+    /// # Panics
+    /// Panics when the default addressing runs out of address space
+    /// (ring index above [`MasterAddr::MAX_ADDRESS`]); silently clamping
+    /// used to alias two masters onto one FDL address. Networks are
+    /// checked up front by [`SimNetwork::validate`], so simulations report
+    /// the structured [`SimNetworkError`] first.
     pub fn addr_or_ring(&self, ring_index: usize) -> MasterAddr {
-        self.addr.unwrap_or(MasterAddr(
-            ring_index.min(MasterAddr::MAX_ADDRESS as usize) as u8
-        ))
+        self.addr.unwrap_or_else(|| {
+            assert!(
+                ring_index <= MasterAddr::MAX_ADDRESS as usize,
+                "ring index {ring_index} exceeds the FDL address space \
+                 (0..={}); assign explicit addresses",
+                MasterAddr::MAX_ADDRESS
+            );
+            MasterAddr(ring_index as u8)
+        })
     }
 }
+
+/// What is wrong with a [`SimNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimNetworkError {
+    /// The master list is empty.
+    NoMasters,
+    /// The token pass time is zero or negative (time could stall).
+    NonPositiveTokenPass,
+    /// A master's FDL address is outside `0..=126` (or its ring index is,
+    /// under default addressing).
+    InvalidAddress {
+        /// Ring index of the offending master.
+        master: usize,
+    },
+    /// Two masters resolve to the same FDL address.
+    DuplicateAddress {
+        /// The shared address.
+        addr: MasterAddr,
+        /// Ring index of the first holder.
+        first: usize,
+        /// Ring index of the second holder.
+        second: usize,
+    },
+}
+
+impl std::fmt::Display for SimNetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimNetworkError::NoMasters => write!(f, "network needs at least one master"),
+            SimNetworkError::NonPositiveTokenPass => {
+                write!(f, "token pass time must be positive")
+            }
+            SimNetworkError::InvalidAddress { master } => write!(
+                f,
+                "master {master} has no valid FDL address (stations are 0..={})",
+                MasterAddr::MAX_ADDRESS
+            ),
+            SimNetworkError::DuplicateAddress {
+                addr,
+                first,
+                second,
+            } => write!(f, "masters {first} and {second} alias FDL address {addr}"),
+        }
+    }
+}
+
+impl std::error::Error for SimNetworkError {}
 
 /// The simulated network.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -84,8 +146,68 @@ pub struct SimNetwork {
     pub token_pass: Time,
 }
 
+impl SimNetwork {
+    /// Builds a validated network: at least one master, a positive token
+    /// pass time, and per-master FDL addresses that are unique and in
+    /// range (explicit or ring-index defaulted).
+    pub fn new(
+        masters: Vec<SimMaster>,
+        ttr: Time,
+        token_pass: Time,
+    ) -> Result<SimNetwork, SimNetworkError> {
+        let net = SimNetwork {
+            masters,
+            ttr,
+            token_pass,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Validates the network (see [`SimNetwork::new`]); the simulators run
+    /// this before touching any state, so address aliasing is an error up
+    /// front instead of a silently-merged claim timeout.
+    pub fn validate(&self) -> Result<(), SimNetworkError> {
+        if self.masters.is_empty() {
+            return Err(SimNetworkError::NoMasters);
+        }
+        if !self.token_pass.is_positive() {
+            return Err(SimNetworkError::NonPositiveTokenPass);
+        }
+        let mut addrs: Vec<MasterAddr> = Vec::with_capacity(self.masters.len());
+        for (k, m) in self.masters.iter().enumerate() {
+            let explicit_ok = m.addr.is_none_or(|a| a.is_valid_station());
+            let default_ok = m.addr.is_some() || k <= MasterAddr::MAX_ADDRESS as usize;
+            if !explicit_ok || !default_ok {
+                return Err(SimNetworkError::InvalidAddress { master: k });
+            }
+            let addr = m.addr_or_ring(k);
+            if let Some(first) = addrs.iter().position(|&a| a == addr) {
+                return Err(SimNetworkError::DuplicateAddress {
+                    addr,
+                    first,
+                    second: k,
+                });
+            }
+            addrs.push(addr);
+        }
+        Ok(())
+    }
+
+    /// The effective per-master FDL addresses, in ring order. Call
+    /// [`SimNetwork::validate`] first — this panics where validation
+    /// returns an error.
+    pub fn addresses(&self) -> Vec<MasterAddr> {
+        self.masters
+            .iter()
+            .enumerate()
+            .map(|(k, m)| m.addr_or_ring(k))
+            .collect()
+    }
+}
+
 /// Simulation run parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NetworkSimConfig {
     /// Simulated horizon (ticks of bus time).
     pub horizon: Time,
@@ -98,8 +220,8 @@ pub struct NetworkSimConfig {
     /// Fault injection: probability that any given token pass is lost
     /// (the frame corrupted / not accepted). A lost token is recovered via
     /// the address-staggered claim timeout (`TTO = (6 + 2·addr)·TSL`, see
-    /// [`profirt_profibus::fdl`]); the lowest-address master (ring index 0)
-    /// wins the claim and re-originates the token. `0.0` disables losses.
+    /// [`profirt_profibus::fdl`]); the lowest-address powered master wins
+    /// the claim and re-originates the token. `0.0` disables losses.
     pub token_loss_prob: f64,
     /// Fault injection: per-execution undershoot of message-cycle
     /// durations. Each executed cycle takes a uniform duration in
@@ -107,8 +229,27 @@ pub struct NetworkSimConfig {
     /// reality (fewer retries, faster turnaround). `0.0` = always worst
     /// case.
     pub cycle_undershoot: f64,
-    /// Slot time `TSL` used for the token-recovery timeout.
+    /// Slot time `TSL` used for the token-recovery timeout, GAP-poll
+    /// silence windows, and failed-pass detection.
     pub slot_time: Time,
+    /// GAP update factor `G`: the token holder transmits one `Request FDL
+    /// Status` poll every `G` token visits, consuming real token-holding
+    /// time ([`profirt_profibus::gap::poll_time`]). `0` (the default)
+    /// disables GAP polling.
+    pub gap_factor: u32,
+    /// Scripted ring-membership churn. Empty (the default) keeps the ring
+    /// static.
+    pub membership: MembershipPlan,
+}
+
+impl NetworkSimConfig {
+    /// `true` when this run uses the static logical ring of the paper's
+    /// §3.1 — no scripted churn and no GAP polling. Static runs take the
+    /// fast path whose event stream is byte-identical to the materialized
+    /// reference simulator.
+    pub fn is_static_ring(&self) -> bool {
+        self.gap_factor == 0 && self.membership.is_empty()
+    }
 }
 
 impl Default for NetworkSimConfig {
@@ -121,6 +262,8 @@ impl Default for NetworkSimConfig {
             token_loss_prob: 0.0,
             cycle_undershoot: 0.0,
             slot_time: Time::new(200),
+            gap_factor: 0,
+            membership: MembershipPlan::new(),
         }
     }
 }
@@ -155,10 +298,81 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds the FDL address space")]
+    fn ring_index_overflow_no_longer_clamps() {
+        let streams = StreamSet::new(vec![]).unwrap();
+        let _ = SimMaster::stock(streams).addr_or_ring(127);
+    }
+
+    #[test]
+    fn network_validation_catches_address_problems() {
+        let streams = StreamSet::new(vec![]).unwrap();
+        let mk = |addr: Option<u8>| {
+            let mut m = SimMaster::stock(streams.clone());
+            m.addr = addr.map(MasterAddr);
+            m
+        };
+        // Two masters aliasing address 5: an error, not a silent merge.
+        let aliased = SimNetwork {
+            masters: vec![mk(Some(5)), mk(None), mk(Some(5))],
+            ttr: t(1_000),
+            token_pass: t(100),
+        };
+        assert_eq!(
+            aliased.validate(),
+            Err(SimNetworkError::DuplicateAddress {
+                addr: MasterAddr(5),
+                first: 0,
+                second: 2
+            })
+        );
+        // An explicit address colliding with another master's ring-index
+        // default is caught too.
+        let mixed = SimNetwork {
+            masters: vec![mk(None), mk(Some(0))],
+            ttr: t(1_000),
+            token_pass: t(100),
+        };
+        assert!(matches!(
+            mixed.validate(),
+            Err(SimNetworkError::DuplicateAddress { .. })
+        ));
+        // Out-of-range explicit address.
+        let broadcast = SimNetwork {
+            masters: vec![mk(Some(127))],
+            ttr: t(1_000),
+            token_pass: t(100),
+        };
+        assert_eq!(
+            broadcast.validate(),
+            Err(SimNetworkError::InvalidAddress { master: 0 })
+        );
+        // The checked constructor surfaces the same errors.
+        assert!(SimNetwork::new(vec![], t(1_000), t(100)).is_err());
+        assert!(SimNetwork::new(vec![mk(None)], t(1_000), t(0)).is_err());
+        let ok = SimNetwork::new(vec![mk(None), mk(Some(9))], t(1_000), t(100)).unwrap();
+        assert_eq!(ok.addresses(), vec![MasterAddr(0), MasterAddr(9)]);
+    }
+
+    #[test]
     fn default_config() {
         let c = NetworkSimConfig::default();
         assert_eq!(c.offsets, OffsetMode::Synchronous);
         assert_eq!(c.jitter, JitterInjection::None);
         assert!(c.horizon.is_positive());
+        // The defaults select the static-ring fast path.
+        assert_eq!(c.gap_factor, 0);
+        assert!(c.membership.is_empty());
+        assert!(c.is_static_ring());
+        let churned = NetworkSimConfig {
+            membership: MembershipPlan::new().power_cycle(1, t(10), t(20)),
+            ..Default::default()
+        };
+        assert!(!churned.is_static_ring());
+        let polling = NetworkSimConfig {
+            gap_factor: 4,
+            ..Default::default()
+        };
+        assert!(!polling.is_static_ring());
     }
 }

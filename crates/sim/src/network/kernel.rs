@@ -13,21 +13,45 @@
 //! observer pipeline. Results, traces, and percentile statistics are all
 //! observers (see [`crate::network::observe`]).
 //!
-//! Determinism contract: for identical inputs the kernel produces the
-//! exact event stream of the materialized reference simulator
-//! ([`crate::network::reference`]); the differential property tests pin
-//! this byte-for-byte.
+//! ## Static and dynamic rings
+//!
+//! With an empty [`MembershipPlan`](crate::network::MembershipPlan) and
+//! GAP polling disabled (`gap_factor == 0`, the config defaults) the run
+//! takes the **static-ring fast path**: the fixed master vector *is* the
+//! ring, token order is ring-index order, and the event stream is
+//! byte-identical to the materialized reference simulator
+//! ([`crate::network::reference`]) — the differential property tests pin
+//! this exactly.
+//!
+//! Otherwise membership is simulated state (`run_dynamic` below): every
+//! master runs the DIN 19245 FDL state machine, the token travels over a
+//! live [`profirt_profibus::LogicalRing`] keyed by FDL address, the
+//! holder's GAP polls (one `Request FDL Status` every `G` visits,
+//! consuming real token-holding time) admit listening masters after two
+//! observed rotations, departures are detected through failed token
+//! passes (each costing `(1 + max_retry) · (token_pass + TSL)` before the
+//! successor is skipped), and a vanished token is re-originated by the
+//! lowest-address powered station after its staggered claim timeout. All
+//! of that protocol state lives in [`profirt_profibus::RingController`];
+//! the kernel owns time and traffic. Scripted membership events apply at
+//! token-visit boundaries.
+//!
+//! Determinism contract (both paths): for identical inputs — seed, plan,
+//! and config — the kernel produces the exact same event stream, whatever
+//! the observer set.
 
 use profirt_base::release::MergedReleases;
 use profirt_base::Time;
 use profirt_profibus::fdl::token_recovery_timeout;
-use profirt_profibus::{ApQueue, BusParams, StackCapacity, StackQueue, TokenTimer};
+use profirt_profibus::{
+    gap, ApQueue, BusParams, RingController, StackCapacity, StackQueue, TokenTimer,
+};
 use profirt_workload::{
     low_priority_release_gens, stream_release_gens, LowPriorityReleases, StreamReleases,
 };
 
 use crate::engine::{EventQueue, Observer, SimRng};
-use crate::network::config::{NetworkSimConfig, SimMaster, SimNetwork};
+use crate::network::config::{MembershipAction, NetworkSimConfig, SimMaster, SimNetwork};
 use crate::network::observe::NetEvent;
 
 /// Peak memory indicators of one kernel run, used to pin the O(streams)
@@ -44,9 +68,10 @@ pub struct KernelMemStats {
     pub peak_pending: usize,
 }
 
-/// The token-loss recovery rule: the lowest-address master claims the
-/// token after the FDL claim timeout `TTO = (6 + 2·addr)·TSL` (DIN 19245,
-/// see [`profirt_profibus::fdl::token_recovery_timeout`]). Returns the
+/// The token-loss recovery rule of the static ring: the lowest-address
+/// master claims the token after the FDL claim timeout
+/// `TTO = (6 + 2·addr)·TSL` (DIN 19245, see
+/// [`profirt_profibus::fdl::token_recovery_timeout`]). Returns the
 /// claimant's ring index and the bus-silence span before its claim.
 pub(crate) fn recovery_rule(net: &SimNetwork, config: &NetworkSimConfig) -> (usize, Time) {
     let claimant = (0..net.masters.len())
@@ -136,93 +161,112 @@ impl MasterKernel {
             }
         }
     }
+
+    /// Re-initialises queue state after a power cycle: every request
+    /// released while the station was off is discarded (the AP process
+    /// was down), and the TRR measurement restarts on the next arrival.
+    fn reboot(&mut self, now: Time) {
+        self.sync(now);
+        while self.ap.pop().is_some() {}
+        while self.stack.pop().is_some() {}
+        while self.lp_pending.pop().is_some() {}
+        self.first_arrival_seen = false;
+    }
 }
 
-/// Runs the streaming kernel, emitting every bus event into `observers`.
-///
-/// Observers are passive; the event stream (and thus any result derived
-/// from it) is identical for every observer set, including the empty one.
-/// Returns the run's peak-memory indicators.
-///
-/// # Panics
-/// Panics if the network has no masters or a non-positive token-pass time
-/// (time could stall).
-pub fn run_network(
-    net: &SimNetwork,
-    config: &NetworkSimConfig,
-    observers: &mut [&mut dyn Observer<NetEvent>],
-) -> KernelMemStats {
-    assert!(!net.masters.is_empty(), "network needs at least one master");
-    assert!(
-        net.token_pass.is_positive(),
-        "token pass time must be positive"
-    );
-    let emit = |observers: &mut [&mut dyn Observer<NetEvent>], at: Time, ev: NetEvent| {
-        for obs in observers.iter_mut() {
-            obs.observe(at, &ev);
-        }
-    };
+/// Message-cycle duration sampling under the `cycle_undershoot` fault
+/// model: uniform in `[⌈(1-v)·Ch⌉, Ch]` when enabled, always `Ch`
+/// otherwise. One instance per run so both loop flavours consume the
+/// fault RNG identically.
+struct DurationSampler {
+    undershoot: f64,
+    rng: SimRng,
+}
 
-    let mut rng = SimRng::seed_from_u64(config.seed);
-    let mut masters: Vec<MasterKernel> = net
-        .masters
-        .iter()
-        .map(|m| MasterKernel::build(m, net.ttr, config, &mut rng))
-        .collect();
-    let mut fault_rng = rng.fork();
-    // Uniform duration in [⌈(1-v)·Ch⌉, Ch] under cycle-undershoot
-    // injection; always Ch otherwise.
-    let mut sample_duration = move |ch: Time| -> Time {
-        if config.cycle_undershoot <= 0.0 {
+impl DurationSampler {
+    fn sample(&mut self, ch: Time) -> Time {
+        if self.undershoot <= 0.0 {
             return ch;
         }
-        let v = config.cycle_undershoot.min(1.0);
+        let v = self.undershoot.min(1.0);
         let lo = Time::new(((ch.ticks() as f64) * (1.0 - v)).ceil().max(1.0) as i64);
-        lo + fault_rng.time_in(ch - lo)
-    };
-    let mut loss_rng = SimRng::seed_from_u64(config.seed ^ 0x70CE_55E5);
-    let (claimant, recovery_timeout) = recovery_rule(net, config);
-    let mut mem = KernelMemStats::default();
+        lo + self.rng.time_in(ch - lo)
+    }
+}
 
-    let mut now = Time::ZERO;
-    let mut holder = 0usize;
-    while now < config.horizon {
-        let n_masters = masters.len();
-        let m = &mut masters[holder];
-        // TRR measurement: the timer records arrival-to-arrival spans
-        // (reported from the second arrival on).
-        let prev_start = m.timer.trr_started_at();
-        let hold = m.timer.on_token_arrival(now);
-        let trr = m.first_arrival_seen.then(|| now - prev_start);
-        m.first_arrival_seen = true;
+fn emit(observers: &mut [&mut dyn Observer<NetEvent>], at: Time, ev: NetEvent) {
+    for obs in observers.iter_mut() {
+        obs.observe(at, &ev);
+    }
+}
+
+/// One token visit at `holder`: TRR bookkeeping and arrival emission,
+/// release sync + peak tracking, then the §3.1 serve steps 2–4. Returns
+/// the instant serving finished. Shared verbatim by the static and
+/// dynamic loops, so the serve semantics (and RNG consumption order)
+/// cannot drift apart.
+fn visit(
+    m: &mut MasterKernel,
+    holder: usize,
+    now: Time,
+    durations: &mut DurationSampler,
+    mem: &mut KernelMemStats,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+) -> Time {
+    // TRR measurement: the timer records arrival-to-arrival spans
+    // (reported from the second arrival on).
+    let prev_start = m.timer.trr_started_at();
+    let hold = m.timer.on_token_arrival(now);
+    let trr = m.first_arrival_seen.then(|| now - prev_start);
+    m.first_arrival_seen = true;
+    emit(
+        observers,
+        now,
+        NetEvent::TokenArrival {
+            master: holder,
+            tth: hold.tth_at_arrival,
+            trr,
+        },
+    );
+
+    // Peak tracking only when releases were pulled: backlog and
+    // look-ahead sizes only change then, so idle visits skip the
+    // bookkeeping entirely.
+    if m.sync(now) {
+        mem.peak_release_buffer = mem
+            .peak_release_buffer
+            .max(m.high.buffered() + m.low.buffered());
+        mem.peak_pending = mem
+            .peak_pending
+            .max(m.ap.len() + m.stack.len() + m.lp_pending.len());
+    }
+
+    let mut now = now;
+
+    // Step 2: one guaranteed high-priority cycle.
+    if let Some(request) = m.stack.pop() {
+        m.sync(now); // releases strictly before start already synced
+        m.transfer(); // slot freed at transmission start
+        let start = now;
+        now += durations.sample(request.cycle_time);
+        m.sync(now);
         emit(
             observers,
-            now,
-            NetEvent::TokenArrival {
+            start,
+            NetEvent::HighCycle {
                 master: holder,
-                tth: hold.tth_at_arrival,
-                trr,
+                request,
+                start,
+                end: now,
             },
         );
 
-        // Peak tracking only when releases were pulled: backlog and
-        // look-ahead sizes only change then, so idle visits skip the
-        // bookkeeping entirely.
-        if m.sync(now) {
-            mem.peak_release_buffer = mem
-                .peak_release_buffer
-                .max(m.high.buffered() + m.low.buffered());
-            mem.peak_pending = mem
-                .peak_pending
-                .max(m.ap.len() + m.stack.len() + m.lp_pending.len());
-        }
-
-        // Step 2: one guaranteed high-priority cycle.
-        if let Some(request) = m.stack.pop() {
-            m.sync(now); // releases strictly before start already synced
-            m.transfer(); // slot freed at transmission start
+        // Step 3: more high-priority cycles while TTH > 0 at start.
+        while hold.may_start_additional_high(now) && !m.stack.is_empty() {
+            let request = m.stack.pop().expect("non-empty");
+            m.transfer();
             let start = now;
-            now += sample_duration(request.cycle_time);
+            now += durations.sample(request.cycle_time);
             m.sync(now);
             emit(
                 observers,
@@ -234,48 +278,113 @@ pub fn run_network(
                     end: now,
                 },
             );
-
-            // Step 3: more high-priority cycles while TTH > 0 at start.
-            while hold.may_start_additional_high(now) && !m.stack.is_empty() {
-                let request = m.stack.pop().expect("non-empty");
-                m.transfer();
-                let start = now;
-                now += sample_duration(request.cycle_time);
-                m.sync(now);
-                emit(
-                    observers,
-                    start,
-                    NetEvent::HighCycle {
-                        master: holder,
-                        request,
-                        start,
-                        end: now,
-                    },
-                );
-            }
         }
+    }
 
-        // Step 4: low-priority cycles while TTH > 0 at cycle start and no
-        // high-priority request pends (checked at each cycle start).
-        while hold.may_start_low(now) && m.stack.is_empty() {
-            // Oldest ready low-priority request (heap pop: min ready,
-            // FIFO among equals — the former linear scan's order).
-            let Some((_, cycle)) = m.lp_pending.pop() else {
-                break;
-            };
-            let start = now;
-            now += sample_duration(cycle);
-            m.sync(now);
-            emit(
-                observers,
+    // Step 4: low-priority cycles while TTH > 0 at cycle start and no
+    // high-priority request pends (checked at each cycle start).
+    while hold.may_start_low(now) && m.stack.is_empty() {
+        // Oldest ready low-priority request (heap pop: min ready,
+        // FIFO among equals — the former linear scan's order).
+        let Some((_, cycle)) = m.lp_pending.pop() else {
+            break;
+        };
+        let start = now;
+        now += durations.sample(cycle);
+        m.sync(now);
+        emit(
+            observers,
+            start,
+            NetEvent::LowCycle {
+                master: holder,
                 start,
-                NetEvent::LowCycle {
-                    master: holder,
-                    start,
-                    end: now,
-                },
-            );
-        }
+                end: now,
+            },
+        );
+    }
+
+    now
+}
+
+/// Runs the streaming kernel, emitting every bus event into `observers`.
+///
+/// Observers are passive; the event stream (and thus any result derived
+/// from it) is identical for every observer set, including the empty one.
+/// Returns the run's peak-memory indicators.
+///
+/// # Panics
+/// Panics if the network fails [`SimNetwork::validate`] (no masters,
+/// non-positive token pass, invalid or aliased FDL addresses) or the
+/// membership plan references masters the network does not have.
+pub fn run_network(
+    net: &SimNetwork,
+    config: &NetworkSimConfig,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+) -> KernelMemStats {
+    if let Err(e) = net.validate() {
+        panic!("{e}");
+    }
+    if let Err(e) = config.membership.validate(net.masters.len()) {
+        panic!("{e}");
+    }
+
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut masters: Vec<MasterKernel> = net
+        .masters
+        .iter()
+        .map(|m| MasterKernel::build(m, net.ttr, config, &mut rng))
+        .collect();
+    // Uniform duration in [⌈(1-v)·Ch⌉, Ch] under cycle-undershoot
+    // injection; always Ch otherwise.
+    let mut durations = DurationSampler {
+        undershoot: config.cycle_undershoot,
+        rng: rng.fork(),
+    };
+    let mut loss_rng = SimRng::seed_from_u64(config.seed ^ 0x70CE_55E5);
+    let mut mem = KernelMemStats::default();
+
+    if config.is_static_ring() {
+        run_static(
+            net,
+            config,
+            observers,
+            &mut masters,
+            &mut durations,
+            &mut loss_rng,
+            &mut mem,
+        );
+    } else {
+        run_dynamic(
+            net,
+            config,
+            observers,
+            &mut masters,
+            &mut durations,
+            &mut loss_rng,
+            &mut mem,
+        );
+    }
+    mem
+}
+
+/// The static-ring fast path: the pre-churn token loop, event-stream
+/// byte-identical to the materialized reference.
+#[allow(clippy::too_many_arguments)]
+fn run_static(
+    net: &SimNetwork,
+    config: &NetworkSimConfig,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+    masters: &mut [MasterKernel],
+    durations: &mut DurationSampler,
+    loss_rng: &mut SimRng,
+    mem: &mut KernelMemStats,
+) {
+    let (claimant, recovery_timeout) = recovery_rule(net, config);
+    let n_masters = masters.len();
+    let mut now = Time::ZERO;
+    let mut holder = 0usize;
+    while now < config.horizon {
+        now = visit(&mut masters[holder], holder, now, durations, mem, observers);
 
         // Step 5: pass the token (possibly losing it).
         now += net.token_pass;
@@ -299,5 +408,154 @@ pub fn run_network(
             holder = next;
         }
     }
-    mem
+}
+
+/// The dynamic-membership loop: FDL state machines, live logical ring,
+/// GAP polling, scripted churn (see the module docs for the protocol
+/// summary).
+#[allow(clippy::too_many_arguments)]
+fn run_dynamic(
+    net: &SimNetwork,
+    config: &NetworkSimConfig,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+    masters: &mut [MasterKernel],
+    durations: &mut DurationSampler,
+    loss_rng: &mut SimRng,
+    mem: &mut KernelMemStats,
+) {
+    let bus = BusParams::profile_500k().with_slot_time(config.slot_time);
+    let mut ctrl = RingController::new(net.addresses(), config.gap_factor)
+        .expect("SimNetwork::validate checked the address plan");
+    let plan = &config.membership;
+    for k in 0..net.masters.len() {
+        if !plan.is_initially_off(k) {
+            ctrl.boot_in_ring(k);
+        }
+    }
+    let events = plan.events();
+    let mut next_event = 0usize;
+    // Failed-pass detection budget: the initial attempt plus the bus
+    // profile's retries, each waiting a full slot time for successor
+    // activity.
+    let attempts = 1 + bus.max_retry as i64;
+
+    let mut now = Time::ZERO;
+    // The first holder is the first initially-on master in ring-vector
+    // order (ring index 0 when it is powered — matching the static loop).
+    let mut holder: Option<usize> = (0..net.masters.len()).find(|&k| ctrl.in_ring(k));
+
+    while now < config.horizon {
+        // Scripted membership events apply at token-visit boundaries.
+        while events.get(next_event).is_some_and(|e| e.at <= now) {
+            let e = events[next_event];
+            next_event += 1;
+            match e.action {
+                MembershipAction::PowerOn => {
+                    if ctrl.power_on(e.master) {
+                        masters[e.master].reboot(now);
+                    }
+                }
+                MembershipAction::PowerOff | MembershipAction::Crash => {
+                    if ctrl.power_off(e.master) && holder == Some(e.master) {
+                        // The token died with its holder.
+                        holder = None;
+                    }
+                }
+            }
+        }
+
+        // No token on the bus: silence until a claim timeout fires.
+        let Some(h) = holder else {
+            match ctrl.claimant() {
+                Some(c) => {
+                    now += token_recovery_timeout(&bus, ctrl.addr_of(c));
+                    if now >= config.horizon {
+                        break;
+                    }
+                    let joined = ctrl.claim(c);
+                    emit(observers, now, NetEvent::Claim { master: c });
+                    if joined {
+                        emit(observers, now, NetEvent::MasterJoin { master: c });
+                    }
+                    holder = Some(c);
+                }
+                None => {
+                    // Every station is dead: jump to the next scripted
+                    // power-on, or end the run.
+                    match events.get(next_event) {
+                        Some(e) => now = now.max(e.at),
+                        None => break,
+                    }
+                }
+            }
+            continue;
+        };
+
+        // Token visit at `h`.
+        ctrl.deliver_token(h);
+        if ctrl.is_wrap_point(h) {
+            // The token reached the lowest LAS address: one full rotation
+            // for every listening station.
+            ctrl.observe_wrap();
+        }
+        now = visit(&mut masters[h], h, now, durations, mem, observers);
+
+        // GAP maintenance: one Request FDL Status every G visits,
+        // consuming real token-holding time.
+        if let Some(target) = ctrl.gap_poll_due(h) {
+            let target_slot = ctrl.slot_of(target).filter(|&s| !ctrl.is_offline(s));
+            let admitted = target_slot.filter(|&s| ctrl.ready_to_join(s));
+            let start = now;
+            now += gap::poll_time(&bus, target_slot.is_some());
+            emit(
+                observers,
+                start,
+                NetEvent::GapPoll {
+                    master: h,
+                    target,
+                    admitted,
+                },
+            );
+            if let Some(s) = admitted {
+                ctrl.admit(s);
+                emit(observers, now, NetEvent::MasterJoin { master: s });
+            }
+        }
+
+        // Pass the token over the live ring, detecting dead successors.
+        ctrl.holding_done(h);
+        loop {
+            let succ = ctrl.successor(h).expect("holder is a ring member");
+            now += net.token_pass;
+            if config.token_loss_prob > 0.0 && loss_rng.unit() < config.token_loss_prob {
+                // The pass frame was lost on the wire: bus silence until
+                // the recovery claimant's timeout fires.
+                ctrl.pass_failed(h);
+                let c = ctrl
+                    .claimant()
+                    .expect("the holder itself is powered and claim-eligible");
+                now += token_recovery_timeout(&bus, ctrl.addr_of(c));
+                ctrl.claim(c);
+                emit(observers, now, NetEvent::Recovery { claimant: c });
+                holder = Some(c);
+                break;
+            }
+            if succ == h || ctrl.accepts_token(succ) {
+                // A sole member passes to itself (`succ == h`); either
+                // way the next visit's `deliver_token` moves the receiver
+                // from ActiveIdle to UseToken.
+                ctrl.pass_confirmed(h);
+                emit(observers, now, NetEvent::TokenPass { from: h, to: succ });
+                holder = Some(succ);
+                break;
+            }
+            // Dead successor: retries exhaust, then it is dropped from
+            // the LAS and the next member is tried. Each attempt is one
+            // pass frame plus a slot time of silence; the first pass
+            // frame was already spent above.
+            now += bus.slot_time + (net.token_pass + bus.slot_time) * (attempts - 1);
+            ctrl.drop_member(succ);
+            emit(observers, now, NetEvent::MasterLeave { master: succ });
+        }
+    }
 }

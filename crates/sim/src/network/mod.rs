@@ -9,19 +9,30 @@
 //! Structure: [`kernel`] is the streaming execution engine (lazy release
 //! generators → deterministic merge → token loop → event stream);
 //! [`observe`] holds the event type and the built-in observers (results,
-//! traces, percentile statistics); [`mod@reference`] retains the
-//! pre-materialized baseline for differential tests and benchmarks.
+//! traces, percentile statistics, ring-membership timelines);
+//! [`membership`] scripts ring churn (a [`MembershipPlan`] of power-on /
+//! power-off / crash events driving the DIN 19245 FDL machinery through
+//! [`profirt_profibus::RingController`]); [`mod@reference`] retains the
+//! pre-materialized baseline for differential tests and benchmarks — it
+//! models the static §3.1 ring only.
 
 mod config;
 pub mod kernel;
+pub mod membership;
 pub mod observe;
 pub mod reference;
 mod sim;
 pub mod trace;
 
-pub use config::{JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork};
+pub use config::{
+    JitterInjection, NetworkSimConfig, OffsetMode, SimMaster, SimNetwork, SimNetworkError,
+};
 pub use kernel::{run_network, KernelMemStats};
-pub use observe::{NetEvent, ResponseStats, ResultObserver, TraceObserver, TrrStats};
+pub use membership::{MembershipAction, MembershipEvent, MembershipPlan};
+pub use observe::{
+    NetEvent, ResponseStats, ResultObserver, RingStats, RingSummary, StableResponseObserver,
+    TraceObserver, TrrStats,
+};
 pub use reference::simulate_network_materialized;
 pub use sim::{
     simulate_network, simulate_network_observed, simulate_network_stats, simulate_network_traced,

@@ -6,11 +6,18 @@
 //! statistics — is an [`Observer`] over that stream. Custom observers
 //! compose freely with the built-ins via
 //! [`crate::network::simulate_network_observed`].
+//!
+//! Under dynamic membership the kernel additionally emits ring-lifecycle
+//! events — [`NetEvent::GapPoll`], [`NetEvent::MasterJoin`],
+//! [`NetEvent::MasterLeave`], [`NetEvent::Claim`] — consumed by
+//! [`RingStats`] (ring-size timeline), the per-ring-size rotation
+//! histograms of [`TrrStats`], and [`StableResponseObserver`]
+//! (stable-phase `observed ≤ analytical` contract checking).
 
-use profirt_base::Time;
+use profirt_base::{MasterAddr, Time};
 use profirt_profibus::Request;
 
-use crate::engine::observer::{Observer, TickHistogram};
+use crate::engine::observer::{HistSummary, Observer, TickHistogram};
 use crate::network::config::SimNetwork;
 use crate::network::sim::{NetworkSimResult, StreamObservation};
 use crate::network::trace::{Trace, TraceEvent};
@@ -56,10 +63,41 @@ pub enum NetEvent {
         /// Receiver ring index.
         to: usize,
     },
-    /// A lost token was recovered by the claim timeout.
+    /// A lost token was recovered by the claim timeout (fault injection).
     Recovery {
         /// Ring index of the claiming (lowest-address) master.
         claimant: usize,
+    },
+    /// The token holder polled one GAP address with `Request FDL Status`
+    /// (dynamic membership only; consumes real token-holding time).
+    GapPoll {
+        /// Ring index of the polling token holder.
+        master: usize,
+        /// The polled FDL address (may be empty — no master there).
+        target: MasterAddr,
+        /// Ring index of the master this poll admits into the ring, if
+        /// the target answered `MasterReady` (the kernel emits the
+        /// matching [`NetEvent::MasterJoin`] right after).
+        admitted: Option<usize>,
+    },
+    /// A master entered the logical ring (GAP admission, or a listener's
+    /// claim on a dead bus).
+    MasterJoin {
+        /// Ring index of the joining master.
+        master: usize,
+    },
+    /// A master was dropped from the logical ring after the token holder
+    /// detected its departure through a failed pass.
+    MasterLeave {
+        /// Ring index of the departed master.
+        master: usize,
+    },
+    /// A powered station re-originated a vanished token after its
+    /// address-staggered claim timeout (dynamic membership: holder crash
+    /// or dead-bus cold start).
+    Claim {
+        /// Ring index of the claiming master.
+        master: usize,
     },
 }
 
@@ -127,7 +165,11 @@ impl Observer<NetEvent> for ResultObserver {
             }
             NetEvent::LowCycle { master, .. } => self.low_completed[master] += 1,
             NetEvent::Recovery { .. } => self.recoveries += 1,
-            NetEvent::TokenPass { .. } => {}
+            NetEvent::TokenPass { .. }
+            | NetEvent::GapPoll { .. }
+            | NetEvent::MasterJoin { .. }
+            | NetEvent::MasterLeave { .. }
+            | NetEvent::Claim { .. } => {}
         }
     }
 }
@@ -155,24 +197,220 @@ impl Observer<NetEvent> for ResponseStats {
     }
 }
 
-/// Histogram of measured token rotation times, pooled over all masters.
+/// Histogram of measured token rotation times, pooled over all masters —
+/// optionally segmented by the live ring size, so the rotation cost of
+/// GAP polls, claims and shrunken rings is measurable per phase.
 #[derive(Clone, Debug, Default)]
 pub struct TrrStats {
-    /// The underlying histogram.
+    /// The pooled histogram (all rotations, any ring size).
     pub hist: TickHistogram,
+    /// Current ring size (tracked from join/leave events); `None` when
+    /// size segmentation is disabled.
+    size: Option<usize>,
+    /// `(ring size, histogram)` per observed size, ascending.
+    by_size: Vec<(usize, TickHistogram)>,
 }
 
 impl TrrStats {
-    /// An empty observer.
+    /// A pooled-only observer (no per-ring-size segmentation).
     pub fn new() -> TrrStats {
         TrrStats::default()
+    }
+
+    /// An observer that additionally buckets rotations by the ring size
+    /// at the moment the rotation completed. `initial` is the ring size
+    /// at time zero (masters powered on and in the ring).
+    pub fn with_ring_size(initial: usize) -> TrrStats {
+        TrrStats {
+            size: Some(initial),
+            ..TrrStats::default()
+        }
+    }
+
+    /// Per-ring-size rotation summaries, ascending by size. Empty when
+    /// segmentation is disabled or no rotation completed.
+    pub fn per_size(&self) -> Vec<(usize, HistSummary)> {
+        self.by_size
+            .iter()
+            .map(|(size, hist)| (*size, hist.summary()))
+            .collect()
     }
 }
 
 impl Observer<NetEvent> for TrrStats {
     fn observe(&mut self, _at: Time, event: &NetEvent) {
-        if let NetEvent::TokenArrival { trr: Some(trr), .. } = event {
-            self.hist.record(*trr);
+        match *event {
+            NetEvent::TokenArrival { trr: Some(trr), .. } => {
+                self.hist.record(trr);
+                if let Some(size) = self.size {
+                    let hist = match self.by_size.binary_search_by_key(&size, |e| e.0) {
+                        Ok(i) => &mut self.by_size[i].1,
+                        Err(i) => {
+                            self.by_size.insert(i, (size, TickHistogram::default()));
+                            &mut self.by_size[i].1
+                        }
+                    };
+                    hist.record(trr);
+                }
+            }
+            NetEvent::MasterJoin { .. } => {
+                if let Some(size) = &mut self.size {
+                    *size += 1;
+                }
+            }
+            NetEvent::MasterLeave { .. } => {
+                if let Some(size) = &mut self.size {
+                    *size = size.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Summary of one run's ring-membership dynamics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RingSummary {
+    /// Smallest live ring size observed.
+    pub min_size: usize,
+    /// Largest live ring size observed.
+    pub max_size: usize,
+    /// Ring size at the end of the run.
+    pub final_size: usize,
+    /// Membership events observed (joins + leaves).
+    pub events: u64,
+    /// GAP polls transmitted.
+    pub gap_polls: u64,
+    /// Token claims (membership recovery; fault-injection recoveries are
+    /// counted separately in
+    /// [`NetworkSimResult::token_recoveries`](crate::network::NetworkSimResult::token_recoveries)).
+    pub claims: u64,
+}
+
+/// Tracks the ring-size timeline: min/max/final size plus membership
+/// event counts. On a static run it reports the configured size and zero
+/// events.
+#[derive(Clone, Debug)]
+pub struct RingStats {
+    size: usize,
+    summary: RingSummary,
+}
+
+impl RingStats {
+    /// An observer starting from `initial` ring members.
+    pub fn new(initial: usize) -> RingStats {
+        RingStats {
+            size: initial,
+            summary: RingSummary {
+                min_size: initial,
+                max_size: initial,
+                final_size: initial,
+                events: 0,
+                gap_polls: 0,
+                claims: 0,
+            },
+        }
+    }
+
+    /// The run summary.
+    pub fn summary(&self) -> RingSummary {
+        RingSummary {
+            final_size: self.size,
+            ..self.summary
+        }
+    }
+}
+
+impl Observer<NetEvent> for RingStats {
+    fn observe(&mut self, _at: Time, event: &NetEvent) {
+        match *event {
+            NetEvent::MasterJoin { .. } => {
+                self.size += 1;
+                self.summary.events += 1;
+                self.summary.max_size = self.summary.max_size.max(self.size);
+            }
+            NetEvent::MasterLeave { .. } => {
+                self.size = self.size.saturating_sub(1);
+                self.summary.events += 1;
+                self.summary.min_size = self.summary.min_size.min(self.size);
+            }
+            NetEvent::GapPoll { .. } => self.summary.gap_polls += 1,
+            NetEvent::Claim { .. } => self.summary.claims += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Per-master/per-stream maximum responses restricted to **stable
+/// phases**: the ring at full configured membership, with no membership
+/// disturbance (join, leave, claim, fault recovery) within `guard` ticks
+/// before the request's release. The `observed ≤ analytical` contract
+/// assumes the §3.1 static ring, so under churn it is enforced on these
+/// samples only; transition windows are excluded.
+#[derive(Clone, Debug)]
+pub struct StableResponseObserver {
+    full_size: usize,
+    size: usize,
+    guard: Time,
+    stable_since: Time,
+    /// Stable-phase maximum responses, `[master][stream]`.
+    pub max_responses: Vec<Vec<Time>>,
+    /// High-priority cycles that counted as stable samples.
+    pub samples: u64,
+}
+
+impl StableResponseObserver {
+    /// An observer for `net`, treating `initial` masters as in-ring at
+    /// time zero and requiring `guard` ticks of calm before a release
+    /// counts as stable.
+    pub fn new(net: &SimNetwork, initial: usize, guard: Time) -> StableResponseObserver {
+        StableResponseObserver {
+            full_size: net.masters.len(),
+            size: initial,
+            guard,
+            stable_since: Time::ZERO,
+            max_responses: net
+                .masters
+                .iter()
+                .map(|m| vec![Time::ZERO; m.streams.len()])
+                .collect(),
+            samples: 0,
+        }
+    }
+
+    fn disturb(&mut self, at: Time) {
+        self.stable_since = self.stable_since.max(at);
+    }
+}
+
+impl Observer<NetEvent> for StableResponseObserver {
+    fn observe(&mut self, at: Time, event: &NetEvent) {
+        match *event {
+            NetEvent::MasterJoin { .. } => {
+                self.size += 1;
+                self.disturb(at);
+            }
+            NetEvent::MasterLeave { .. } => {
+                self.size = self.size.saturating_sub(1);
+                self.disturb(at);
+            }
+            NetEvent::Claim { .. } | NetEvent::Recovery { .. } => self.disturb(at),
+            // Any disturbance between the release and this completion was
+            // already observed (events arrive in time order) and pushed
+            // `stable_since` past the release.
+            NetEvent::HighCycle {
+                master,
+                ref request,
+                end,
+                ..
+            } if self.size == self.full_size
+                && request.release >= self.stable_since + self.guard =>
+            {
+                let slot = &mut self.max_responses[master][request.stream.0];
+                *slot = (*slot).max(end - request.release);
+                self.samples += 1;
+            }
+            _ => {}
         }
     }
 }
@@ -214,6 +452,10 @@ impl Observer<NetEvent> for TraceObserver {
             }
             NetEvent::TokenPass { from, to } => TraceEvent::TokenPass { from, to },
             NetEvent::Recovery { claimant } => TraceEvent::Recovery { claimant },
+            NetEvent::GapPoll { master, target, .. } => TraceEvent::GapPoll { master, target },
+            NetEvent::MasterJoin { master } => TraceEvent::MasterJoin { master },
+            NetEvent::MasterLeave { master } => TraceEvent::MasterLeave { master },
+            NetEvent::Claim { master } => TraceEvent::Claim { master },
         };
         self.trace.record(at, mapped);
     }

@@ -132,10 +132,13 @@ pub fn simulate_network_materialized(
     net: &SimNetwork,
     config: &NetworkSimConfig,
 ) -> NetworkSimResult {
-    assert!(!net.masters.is_empty(), "network needs at least one master");
+    if let Err(e) = net.validate() {
+        panic!("{e}");
+    }
     assert!(
-        net.token_pass.is_positive(),
-        "token pass time must be positive"
+        config.is_static_ring(),
+        "the materialized reference models the static §3.1 ring only; \
+         membership churn and GAP polling are kernel-only features"
     );
     let mut rng = SimRng::seed_from_u64(config.seed);
     let mut masters: Vec<MasterState> = net

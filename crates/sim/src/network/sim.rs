@@ -43,7 +43,9 @@ use serde::{Deserialize, Serialize};
 use crate::engine::observer::{HistSummary, Observer};
 use crate::network::config::{NetworkSimConfig, SimNetwork};
 use crate::network::kernel::{run_network, KernelMemStats};
-use crate::network::observe::{NetEvent, ResponseStats, ResultObserver, TraceObserver, TrrStats};
+use crate::network::observe::{
+    NetEvent, ResponseStats, ResultObserver, RingStats, RingSummary, TraceObserver, TrrStats,
+};
 
 /// Observations for one stream.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -85,7 +87,7 @@ impl NetworkSimResult {
 }
 
 /// Constant-memory distribution statistics of one simulation run.
-#[derive(Clone, Copy, PartialEq, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct NetworkSimStats {
     /// Response-time distribution of every completed high-priority cycle,
     /// pooled over all masters and streams.
@@ -93,6 +95,13 @@ pub struct NetworkSimStats {
     /// Distribution of measured token rotation times, pooled over all
     /// masters.
     pub trr: HistSummary,
+    /// Rotation-time distributions segmented by live ring size (ascending
+    /// by size) — one entry per size the ring actually held while a
+    /// rotation completed. A static run has a single entry.
+    pub trr_by_ring_size: Vec<(usize, HistSummary)>,
+    /// Ring-membership timeline summary (min/max/final size, event
+    /// counts). Static runs report the configured size and zero events.
+    pub ring: RingSummary,
     /// Peak memory indicators of the kernel run.
     pub mem: KernelMemStats,
 }
@@ -148,15 +157,23 @@ pub fn simulate_network_stats(
     net: &SimNetwork,
     config: &NetworkSimConfig,
 ) -> (NetworkSimResult, NetworkSimStats) {
+    let initial_ring = net.masters.len() - config.membership.initially_off().len();
     let mut result = ResultObserver::new(net);
     let mut response = ResponseStats::new();
-    let mut trr = TrrStats::new();
-    let mem = run_network(net, config, &mut [&mut result, &mut response, &mut trr]);
+    let mut trr = TrrStats::with_ring_size(initial_ring);
+    let mut ring = RingStats::new(initial_ring);
+    let mem = run_network(
+        net,
+        config,
+        &mut [&mut result, &mut response, &mut trr, &mut ring],
+    );
     (
         result.into_result(),
         NetworkSimStats {
             response: response.hist.summary(),
             trr: trr.hist.summary(),
+            trr_by_ring_size: trr.per_size(),
+            ring: ring.summary(),
             mem,
         },
     )

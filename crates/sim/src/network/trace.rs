@@ -6,7 +6,7 @@
 //! token when a deadline slipped, where a TTH overrun stretched a rotation
 //! — and render as a compact text timeline for docs and debugging.
 
-use profirt_base::{StreamId, Time};
+use profirt_base::{MasterAddr, StreamId, Time};
 use serde::{Deserialize, Serialize};
 
 /// One traced bus event.
@@ -50,6 +50,28 @@ pub enum TraceEvent {
     Recovery {
         /// The master that re-originated the token (lowest address).
         claimant: usize,
+    },
+    /// The token holder polled one GAP address (`Request FDL Status`).
+    GapPoll {
+        /// Ring index of the polling master.
+        master: usize,
+        /// The polled FDL address.
+        target: MasterAddr,
+    },
+    /// A master entered the logical ring.
+    MasterJoin {
+        /// Ring index of the joining master.
+        master: usize,
+    },
+    /// A master was dropped from the logical ring (departure detected).
+    MasterLeave {
+        /// Ring index of the departed master.
+        master: usize,
+    },
+    /// A powered station claimed a vanished token (membership recovery).
+    Claim {
+        /// Ring index of the claiming master.
+        master: usize,
     },
 }
 
@@ -129,6 +151,18 @@ impl Trace {
                 }
                 TraceEvent::Recovery { claimant } => {
                     format!("{at:>10}  !! token lost, reclaimed by M{claimant}")
+                }
+                TraceEvent::GapPoll { master, target } => {
+                    format!("{at:>10}  M{master} ? gap poll {target}")
+                }
+                TraceEvent::MasterJoin { master } => {
+                    format!("{at:>10}  ++ M{master} joined the ring")
+                }
+                TraceEvent::MasterLeave { master } => {
+                    format!("{at:>10}  -- M{master} left the ring")
+                }
+                TraceEvent::Claim { master } => {
+                    format!("{at:>10}  !! token claimed by M{master}")
                 }
             };
             out.push_str(&line);
@@ -226,6 +260,26 @@ mod tests {
         assert!(s.contains("high S2"));
         assert!(s.contains("M0 → M1 token pass"));
         assert!(s.contains("reclaimed by M0"));
+    }
+
+    #[test]
+    fn membership_events_render() {
+        let mut tr = Trace::new(8);
+        tr.record(
+            t(10),
+            TraceEvent::GapPoll {
+                master: 0,
+                target: MasterAddr(3),
+            },
+        );
+        tr.record(t(10), TraceEvent::MasterJoin { master: 2 });
+        tr.record(t(40), TraceEvent::MasterLeave { master: 1 });
+        tr.record(t(90), TraceEvent::Claim { master: 0 });
+        let s = tr.render();
+        assert!(s.contains("M0 ? gap poll M3"));
+        assert!(s.contains("++ M2 joined the ring"));
+        assert!(s.contains("-- M1 left the ring"));
+        assert!(s.contains("token claimed by M0"));
     }
 
     #[test]

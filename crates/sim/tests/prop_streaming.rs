@@ -118,6 +118,10 @@ proptest! {
             ttr: t(ttr),
             token_pass: t(166),
         };
+        // The membership defaults (empty plan, GAP polling off) must
+        // select the static-ring fast path — that is the mode in which
+        // the byte-identical guarantee below is claimed.
+        prop_assert!(cfg.is_static_ring());
         let streaming = simulate_network(&net, &cfg);
         let materialized = simulate_network_materialized(&net, &cfg);
         prop_assert_eq!(streaming, materialized);

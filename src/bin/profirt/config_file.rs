@@ -12,11 +12,17 @@
 //!       "cl": 1000,
 //!       "policy": "dm",
 //!       "stack_capacity": 1,
+//!       "addr": 3,
 //!       "streams": [ { "ch": 700, "d": 12000, "t": 25000, "j": 0 } ]
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! `addr` is the optional FDL station address (0..=126, unique across
+//! masters); it defaults to the master's ring index and drives the
+//! address-staggered token-recovery timeout and the logical-ring order
+//! under `simulate --gap-factor/--power-cycle`.
 
 use profirt::base::{MessageStream, StreamSet, Time};
 use profirt::core::{MasterConfig, NetworkConfig};
@@ -47,6 +53,8 @@ pub struct CliMaster {
     pub policy: String,
     /// Stack-queue capacity (defaults to 1 for dm/edf, unbounded for fcfs).
     pub stack_capacity: Option<usize>,
+    /// FDL station address (defaults to the ring index).
+    pub addr: Option<u8>,
     /// High-priority streams.
     pub streams: Vec<CliStream>,
 }
@@ -119,6 +127,13 @@ impl CliMaster {
                 .map_err(|_| "field \"stack_capacity\" must be non-negative")?,
             ),
         };
+        let addr = match v.get("addr") {
+            Some(Value::Null) | None => None,
+            Some(a) => Some(
+                u8::try_from(a.as_i64().ok_or("field \"addr\" must be an integer")?)
+                    .map_err(|_| "field \"addr\" must be a station address (0..=126)")?,
+            ),
+        };
         let streams = v
             .get("streams")
             .ok_or("missing field \"streams\"")?
@@ -131,6 +146,7 @@ impl CliMaster {
             cl: field_i64(v, "cl", Some(0))?,
             policy,
             stack_capacity,
+            addr,
             streams,
         })
     }
@@ -143,6 +159,13 @@ impl CliMaster {
                 "stack_capacity",
                 match self.stack_capacity {
                     Some(c) => Value::Int(c as i64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "addr",
+                match self.addr {
+                    Some(a) => Value::Int(a as i64),
                     None => Value::Null,
                 },
             ),
@@ -206,7 +229,11 @@ impl CliNetwork {
             }
             let _ = m;
         }
-        self.to_analysis().map(|_| ())
+        self.to_analysis()?;
+        // The simulator view additionally checks the FDL address plan
+        // (unique, in range) — aliasing two masters onto one address is a
+        // config error, not a silently-merged claim timeout.
+        self.to_sim().map(|_| ())
     }
 
     /// The parsed policy of master `k`.
@@ -266,14 +293,18 @@ impl CliNetwork {
                             Time::new(self.ttr * 10),
                         ));
                 }
+                if let Some(a) = self.masters[k].addr {
+                    m.addr = Some(profirt::base::MasterAddr(a));
+                }
                 Ok(m)
             })
             .collect::<Result<Vec<_>, String>>()?;
-        Ok(SimNetwork {
+        SimNetwork::new(
             masters,
-            ttr: Time::new(self.ttr),
-            token_pass: Time::new(self.token_pass.max(1)),
-        })
+            Time::new(self.ttr),
+            Time::new(self.token_pass.max(1)),
+        )
+        .map_err(|e| e.to_string())
     }
 }
 
@@ -287,6 +318,7 @@ pub fn example_json() -> String {
                 cl: 1_000,
                 policy: "dm".into(),
                 stack_capacity: Some(1),
+                addr: Some(3),
                 streams: vec![
                     CliStream {
                         ch: 700,
@@ -306,6 +338,7 @@ pub fn example_json() -> String {
                 cl: 0,
                 policy: "fcfs".into(),
                 stack_capacity: None,
+                addr: Some(7),
                 streams: vec![CliStream {
                     ch: 800,
                     d: 30_000,

@@ -5,6 +5,7 @@
 //! profirt analyze  <config.json> [--policy fcfs|dm|dm-paper|edf|all]
 //! profirt ttr      <config.json> [--model paper|refined]
 //! profirt simulate <config.json> [--horizon TICKS] [--seed N]
+//!                  [--gap-factor G] [--power-cycle M:OFF:ON]...
 //! profirt campaign run <spec.json|preset> [--quick] [--out DIR]
 //! profirt campaign list
 //! profirt campaign describe <spec.json|preset>
@@ -67,8 +68,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 .unwrap_or("1")
                 .parse()
                 .map_err(|e| format!("bad --seed: {e}"))?;
+            let gap_factor: u32 = flag_value(args, "--gap-factor")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|e| format!("bad --gap-factor: {e}"))?;
+            let power_cycles = flag_values(args, "--power-cycle")
+                .map(parse_power_cycle)
+                .collect::<Result<Vec<_>, _>>()?;
             let net = CliNetwork::load(path)?;
-            output::simulate(&net, horizon, seed)
+            output::simulate(&net, horizon, seed, gap_factor, &power_cycles)
         }
         "campaign" => match args.get(1).map(String::as_str) {
             Some("run") => {
@@ -126,6 +134,35 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// All values of a repeatable flag (`--power-cycle a --power-cycle b`).
+fn flag_values<'a>(args: &'a [String], flag: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+    args.windows(2).filter_map(move |w| {
+        if w[0] == flag {
+            Some(w[1].as_str())
+        } else {
+            None
+        }
+    })
+}
+
+/// Parses `MASTER:OFF_TICK:ON_TICK` for `--power-cycle`.
+fn parse_power_cycle(raw: &str) -> Result<(usize, i64, i64), String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    let [master, off_at, on_at] = parts.as_slice() else {
+        return Err(format!(
+            "bad --power-cycle {raw:?}: want MASTER:OFF_TICK:ON_TICK"
+        ));
+    };
+    let bad = |what: &str| format!("bad --power-cycle {raw:?}: {what}");
+    let master: usize = master.parse().map_err(|_| bad("master index"))?;
+    let off_at: i64 = off_at.parse().map_err(|_| bad("off tick"))?;
+    let on_at: i64 = on_at.parse().map_err(|_| bad("on tick"))?;
+    if off_at < 0 || on_at <= off_at {
+        return Err(bad("need 0 <= OFF_TICK < ON_TICK"));
+    }
+    Ok((master, off_at, on_at))
+}
+
 fn print_usage() {
     eprintln!(
         "profirt — PROFIBUS real-time message schedulability (Tovar & Vasques 1999)\n\
@@ -134,6 +171,7 @@ fn print_usage() {
            profirt analyze  <config.json> [--policy fcfs|dm|dm-paper|edf|all]\n\
            profirt ttr      <config.json> [--model paper|refined]\n\
            profirt simulate <config.json> [--horizon TICKS] [--seed N]\n\
+                    [--gap-factor G] [--power-cycle M:OFF:ON]...\n\
            profirt campaign run <spec.json|preset> [--quick] [--horizon TICKS] [--out DIR]\n\
            profirt campaign list\n\
            profirt campaign describe <spec.json|preset>\n\

@@ -2,7 +2,7 @@
 
 use profirt::base::Time;
 use profirt::core::{max_feasible_ttr, FcfsAnalysis, NetworkAnalysis, PolicyKind, TcycleModel};
-use profirt::sim::{simulate_network, NetworkSimConfig};
+use profirt::sim::{simulate_network_stats, MembershipPlan, NetworkSimConfig};
 
 use crate::config_file::CliNetwork;
 
@@ -89,22 +89,57 @@ pub fn ttr(net: &CliNetwork, model: TcycleModel) -> Result<(), String> {
 }
 
 /// `profirt simulate`.
-pub fn simulate(net: &CliNetwork, horizon: i64, seed: u64) -> Result<(), String> {
+pub fn simulate(
+    net: &CliNetwork,
+    horizon: i64,
+    seed: u64,
+    gap_factor: u32,
+    power_cycles: &[(usize, i64, i64)],
+) -> Result<(), String> {
     let config = net.to_analysis()?;
     let sim_net = net.to_sim()?;
-    let obs = simulate_network(
-        &sim_net,
-        &NetworkSimConfig {
-            horizon: Time::new(horizon),
-            seed,
-            ..Default::default()
-        },
-    );
+    let mut membership = MembershipPlan::new();
+    for &(master, off_at, on_at) in power_cycles {
+        if master >= sim_net.masters.len() {
+            return Err(format!(
+                "--power-cycle names master {master}, but the config has {}",
+                sim_net.masters.len()
+            ));
+        }
+        membership = membership.power_cycle(master, Time::new(off_at), Time::new(on_at));
+    }
+    let sim_config = NetworkSimConfig {
+        horizon: Time::new(horizon),
+        seed,
+        gap_factor,
+        membership,
+        ..Default::default()
+    };
+    let dynamic_ring = !sim_config.is_static_ring();
+    let (obs, stats) = simulate_network_stats(&sim_net, &sim_config);
     println!(
         "simulated {horizon} ticks (seed {seed}): {} token visits, max TRR = {}",
         obs.token_visits.iter().sum::<u64>(),
         obs.max_trr_overall()
     );
+    if dynamic_ring {
+        println!(
+            "ring: size {}..{} (final {}), {} membership event(s), \
+             {} GAP poll(s), {} claim(s)",
+            stats.ring.min_size,
+            stats.ring.max_size,
+            stats.ring.final_size,
+            stats.ring.events,
+            stats.ring.gap_polls,
+            stats.ring.claims
+        );
+        for (size, trr) in &stats.trr_by_ring_size {
+            println!(
+                "  ring size {size}: {} rotation(s), p99 TRR = {}, max TRR = {}",
+                trr.count, trr.p99, trr.max
+            );
+        }
+    }
 
     // Reference bounds per master policy.
     let fcfs = PolicyKind::Fcfs.analyze(&config).ok();
@@ -146,6 +181,16 @@ pub fn simulate(net: &CliNetwork, horizon: i64, seed: u64) -> Result<(), String>
         }
     }
     if !sound {
+        if dynamic_ring {
+            // The bounds assume the §3.1 static ring: churn and GAP
+            // overhead legitimately stretch rotations, so exceedances are
+            // a reported finding here, not a failure.
+            println!(
+                "\nnote: observations exceeded static-ring bounds under a \
+                 dynamic ring (expected during membership transitions)"
+            );
+            return Ok(());
+        }
         return Err("an observation exceeded its analytical bound".into());
     }
     println!("\nall observations within analytical bounds");
