@@ -1,0 +1,314 @@
+//! A mini-[loom]: exhaustive-ish interleaving exploration for code
+//! written against the [`crate::sync`] facade.
+//!
+//! [`check`] reruns a closure under many thread schedules. Each run is
+//! cooperative: the shims in [`sync`] and [`thread`] yield to a central
+//! scheduler at every acquire / release / wait / notify / load / store,
+//! and the scheduler decides which thread performs the next operation.
+//! Schedules are enumerated by **iterative bounded-preemption DFS**:
+//!
+//! * At every point where more than one thread could run, the explorer
+//!   records the candidate set and, by default, keeps running the
+//!   current thread. After each complete run it backtracks to the
+//!   deepest decision with an untried alternative and replays that
+//!   prefix — classic lazy DFS with deterministic replay.
+//! * Switching away from a thread that could have continued counts as a
+//!   **preemption**; schedules are capped at
+//!   [`Options::preemption_bound`] preemptions. Most concurrency bugs
+//!   are reachable within 2 preemptions (Musuvathi & Qadeer, CHESS),
+//!   which keeps the space tractable.
+//! * The total number of DFS schedules is capped at
+//!   [`Options::max_schedules`]; if the space was not exhausted, a
+//!   **seedable random tail** ([`Options::random_schedules`] runs with
+//!   uniformly chosen bound-respecting decisions) probes beyond the
+//!   frontier, loom-style.
+//!
+//! Detected failures — panics/assertions in any model thread, double
+//! locks, deadlocks, **lost wakeups** (every blocked thread parked in
+//! `Condvar::wait` with no live notifier), and livelocks (operation
+//! budget exceeded) — abort the exploration and are reported with the
+//! full operation trace and the decision schedule for replay.
+//!
+//! ```text
+//! model check failed: lost wakeup: every blocked thread is in
+//! Condvar::wait with no live notifier [t1 in wait(c0) [would relock m0]]
+//! schedule: [1, 0]
+//! trace:
+//!   t0 spawns t1
+//!   t1 lock(m0)
+//!   ...
+//! ```
+//!
+//! **Scope.** This explores *interleavings* of sequentially consistent
+//! operations. It does not model weak memory orderings (loom's C11
+//! machinery) or spurious condvar wakeups; both omissions only shrink
+//! the schedule space, they cannot produce false alarms.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use crate::rng::SplitMix64;
+use sched::{Choice, RunOutcome, Scheduler};
+
+/// Exploration bounds and seeds.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Max context switches away from a runnable thread per schedule.
+    pub preemption_bound: usize,
+    /// Cap on DFS schedules before handing over to the random tail.
+    pub max_schedules: usize,
+    /// Extra random schedules when DFS did not exhaust the space.
+    pub random_schedules: usize,
+    /// Seed for the random tail (schedule `i` uses `seed + i`).
+    pub seed: u64,
+    /// Per-schedule operation budget (exceeding it = livelock report).
+    pub max_ops: usize,
+    /// Max live model threads per schedule.
+    pub max_threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_schedules: 4096,
+            random_schedules: 128,
+            seed: 0xC0FFEE,
+            max_ops: 20_000,
+            max_threads: 8,
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Total schedules executed (DFS + random tail).
+    pub schedules: usize,
+    /// Whether DFS exhausted every schedule within the preemption bound.
+    pub exhausted: bool,
+    /// Deepest decision count seen in any schedule.
+    pub max_depth: usize,
+    /// Most operations executed by any single schedule.
+    pub max_ops_seen: usize,
+}
+
+/// Failure classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable thread; at least one blocked on a mutex or join.
+    Deadlock,
+    /// No runnable thread and every blocked thread is in `Condvar::wait`.
+    LostWakeup,
+    /// A model thread panicked (assertion failure, explicit panic, or an
+    /// explorer-detected misuse such as waiting without the lock).
+    Panic,
+    /// A schedule exceeded the operation budget.
+    Livelock,
+}
+
+/// A failing schedule, with everything needed to understand and replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable description (panic message, blocked-thread list…).
+    pub message: String,
+    /// Full operation trace of the failing schedule, in order.
+    pub trace: Vec<String>,
+    /// The decision sequence (thread picked at each choice point) — the
+    /// replay prefix that deterministically reproduces this schedule.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.kind, self.message)?;
+        writeln!(f, "schedule (replay prefix): {:?}", self.schedule)?;
+        writeln!(f, "trace ({} ops):", self.trace.len())?;
+        const TAIL: usize = 120;
+        let skip = self.trace.len().saturating_sub(TAIL);
+        if skip > 0 {
+            writeln!(f, "  … {skip} earlier ops elided …")?;
+        }
+        for line in &self.trace[skip..] {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Failure {}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(sched: Arc<Scheduler>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, id)));
+}
+
+/// The current thread's scheduler, or a hard error for misuse outside a
+/// model run (e.g. running facade-consumer unit tests with `--features
+/// model` — gate those with `#[cfg(not(feature = "model"))]`).
+pub(crate) fn ctx() -> Arc<Scheduler> {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(s, _)| Arc::clone(s))
+            .expect("conc model primitive used outside a model::check run")
+    })
+}
+
+pub(crate) fn ctx_id() -> usize {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(_, id)| *id)
+            .expect("conc model primitive used outside a model::check run")
+    })
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one schedule: fresh scheduler, root model thread `t0`
+/// running `f`, wait for every model thread to finish.
+fn run_schedule<F>(
+    opts: &Options,
+    prefix: Vec<usize>,
+    random: Option<SplitMix64>,
+    f: Arc<F>,
+) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Scheduler::new(opts, prefix, random);
+    let root_sched = Arc::clone(&sched);
+    let root = std::thread::Builder::new()
+        .name("model-t0".to_string())
+        .spawn(move || {
+            set_ctx(Arc::clone(&root_sched), 0);
+            thread::run_thread_body(&root_sched, 0, move || f());
+        })
+        .expect("spawn model root thread");
+    let out = sched.wait_done();
+    let _ = root.join();
+    out
+}
+
+/// Computes the next DFS prefix: deepest decision with an untried,
+/// bound-respecting alternative. `None` = space exhausted.
+fn next_prefix(choices: &[Choice], bound: usize) -> Option<Vec<usize>> {
+    for i in (0..choices.len()).rev() {
+        let c = &choices[i];
+        for j in (c.chosen_idx + 1)..c.cands.len() {
+            let preempts =
+                c.preemptions_before + usize::from(c.prev_runnable && c.cands[j] != c.prev);
+            if preempts <= bound {
+                let mut p: Vec<usize> =
+                    choices[..i].iter().map(|c| c.cands[c.chosen_idx]).collect();
+                p.push(c.cands[j]);
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// Explores `f` under `opts`; returns coverage stats or the first
+/// failing schedule.
+pub fn try_check_with<F>(opts: Options, f: F) -> Result<Stats, Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut stats = Stats {
+        schedules: 0,
+        exhausted: false,
+        max_depth: 0,
+        max_ops_seen: 0,
+    };
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        let out = run_schedule(&opts, prefix.clone(), None, Arc::clone(&f));
+        stats.schedules += 1;
+        stats.max_depth = stats.max_depth.max(out.choices.len());
+        stats.max_ops_seen = stats.max_ops_seen.max(out.ops);
+        if let Some(failure) = out.failure {
+            return Err(Box::new(failure));
+        }
+        match next_prefix(&out.choices, opts.preemption_bound) {
+            Some(p) if stats.schedules < opts.max_schedules => prefix = p,
+            Some(_) => break,
+            None => {
+                stats.exhausted = true;
+                break;
+            }
+        }
+    }
+    if !stats.exhausted {
+        for i in 0..opts.random_schedules {
+            let rng = SplitMix64(opts.seed.wrapping_add(i as u64));
+            let out = run_schedule(&opts, Vec::new(), Some(rng), Arc::clone(&f));
+            stats.schedules += 1;
+            stats.max_depth = stats.max_depth.max(out.choices.len());
+            stats.max_ops_seen = stats.max_ops_seen.max(out.ops);
+            if let Some(failure) = out.failure {
+                return Err(Box::new(failure));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// [`try_check_with`] with default [`Options`].
+pub fn try_check<F>(f: F) -> Result<Stats, Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    try_check_with(Options::default(), f)
+}
+
+/// Explores `f` under `opts`; panics with the full report on failure.
+pub fn check_with<F>(opts: Options, f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match try_check_with(opts, f) {
+        Ok(stats) => stats,
+        Err(failure) => panic!("model check failed: {failure}"),
+    }
+}
+
+/// Explores `f` with default [`Options`]; panics with the report on
+/// failure. The loom-style entry point:
+///
+/// ```ignore
+/// conc::model::check(|| {
+///     let lock = conc::sync::Arc::new(conc::sync::Mutex::new(0));
+///     let l2 = lock.clone();
+///     let t = conc::model::thread::spawn(move || *l2.lock().expect("lock") += 1);
+///     *lock.lock().expect("lock") += 1;
+///     t.join();
+/// });
+/// ```
+pub fn check<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check_with(Options::default(), f)
+}

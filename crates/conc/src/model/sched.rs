@@ -1,0 +1,597 @@
+//! The explorer scheduler: one schedule = one cooperative execution.
+//!
+//! Model threads are real OS threads, but at most one is ever *active*:
+//! every shim operation ends in a call back into the scheduler, which
+//! picks the next thread to run (recording a [`Choice`] whenever more
+//! than one is runnable) and parks the rest on one condvar. Replaying a
+//! recorded choice prefix therefore reproduces a schedule exactly, which
+//! is what the DFS driver in [`super`] relies on.
+//!
+//! Blocking semantics:
+//!
+//! * `Mutex::lock` — attempt under the scheduler lock; on contention the
+//!   thread blocks, and every unlock wakes all mutex waiters (they
+//!   re-race on their next turn, like a real non-fair mutex).
+//! * `Condvar::wait` — atomically releases the mutex and enters a FIFO
+//!   wait queue; `notify_one` wakes the head, `notify_all` drains.
+//!   Spurious wakeups are not modelled: their absence only removes
+//!   schedules, it cannot manufacture a failure in a correct program.
+//! * `join` — blocks until the target thread has finished.
+//!
+//! If at any scheduling point no thread is runnable while some are still
+//! alive, the run is declared a deadlock — or a *lost wakeup* when every
+//! blocked thread is parked in `Condvar::wait` (somebody forgot to
+//! notify). The full operation trace is attached to the report.
+//!
+//! Teardown: on failure the scheduler sets an abort flag and wakes every
+//! parked thread; each unwinds with the private [`ModelAbort`] panic
+//! payload. Shim entry points called *while already unwinding* (guard
+//! drops, `Sender::drop`-style destructors) degrade to silent no-ops so
+//! a teardown can never double-panic.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::rng::SplitMix64;
+
+use super::{Failure, FailureKind, Options};
+
+/// Panic payload used to unwind model threads when a run is torn down
+/// (failure found, or scheduler shutdown). Never escapes the explorer.
+pub(crate) struct ModelAbort;
+
+/// What a thread is blocked on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    /// Waiting to acquire mutex `.0`.
+    Mutex(usize),
+    /// Parked in `Condvar::wait` on condvar `.0` (will reacquire `.1`).
+    Condvar(usize, usize),
+    /// Waiting for thread `.0` to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// One recorded scheduling decision (only recorded when >1 candidate).
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    /// Candidate thread ids, default-first then ascending.
+    pub(crate) cands: Vec<usize>,
+    /// Index into `cands` of the thread taken this run.
+    pub(crate) chosen_idx: usize,
+    /// The thread that was running when the decision was made.
+    pub(crate) prev: usize,
+    /// Whether `prev` was still runnable (switching away = preemption).
+    pub(crate) prev_runnable: bool,
+    /// Preemptions already spent before this decision.
+    pub(crate) preemptions_before: usize,
+}
+
+/// What one schedule run produced, extracted by the driver.
+pub(crate) struct RunOutcome {
+    pub(crate) choices: Vec<Choice>,
+    pub(crate) failure: Option<Failure>,
+    pub(crate) ops: usize,
+}
+
+struct Inner {
+    threads: Vec<TState>,
+    /// Currently active thread; `usize::MAX` once all threads finished.
+    cur: usize,
+    live: usize,
+    mutex_owner: Vec<Option<usize>>,
+    cv_queue: Vec<Vec<usize>>,
+    atomics: usize,
+    trace: Vec<String>,
+    choices: Vec<Choice>,
+    /// Replay prefix: thread to pick at each recorded decision.
+    prefix: Vec<usize>,
+    decision: usize,
+    preemptions: usize,
+    ops: usize,
+    rng: Option<SplitMix64>,
+    abort: bool,
+    failure: Option<Failure>,
+}
+
+/// Per-run scheduler shared by the driver and every model thread.
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    preemption_bound: usize,
+    max_ops: usize,
+    max_threads: usize,
+}
+
+fn is_runnable(t: &TState) -> bool {
+    matches!(t, TState::Runnable)
+}
+
+impl Scheduler {
+    pub(crate) fn new(opts: &Options, prefix: Vec<usize>, rng: Option<SplitMix64>) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(Inner {
+                threads: vec![TState::Runnable],
+                cur: 0,
+                live: 1,
+                mutex_owner: Vec::new(),
+                cv_queue: Vec::new(),
+                atomics: 0,
+                trace: Vec::new(),
+                choices: Vec::new(),
+                prefix,
+                decision: 0,
+                preemptions: 0,
+                ops: 0,
+                rng,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            preemption_bound: opts.preemption_bound,
+            max_ops: opts.max_ops,
+            max_threads: opts.max_threads,
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // The scheduler's own mutex is only poisoned if the explorer
+        // itself has a bug; model threads unwind via ModelAbort *outside*
+        // this lock by construction.
+        self.inner.lock().expect("explorer state poisoned")
+    }
+
+    /// Records a failure (first one wins) and tears the run down.
+    fn fail(&self, g: &mut Inner, kind: FailureKind, message: String) {
+        if g.failure.is_none() {
+            g.failure = Some(Failure {
+                kind,
+                message,
+                trace: g.trace.clone(),
+                schedule: g.choices.iter().map(|c| c.cands[c.chosen_idx]).collect(),
+            });
+        }
+        g.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Unwinds the calling model thread with [`ModelAbort`] — unless it
+    /// is already unwinding (a panic during a panic aborts the process),
+    /// in which case this is a silent no-op and the caller must bail.
+    fn abort_thread(g: MutexGuard<'_, Inner>) {
+        drop(g);
+        if !std::thread::panicking() {
+            // resume_unwind skips the panic hook: teardown unwinds are
+            // explorer plumbing, not reportable panics.
+            std::panic::resume_unwind(Box::new(ModelAbort));
+        }
+    }
+
+    /// Charges one operation against the run budget and appends `desc`
+    /// to the trace.
+    fn charge(&self, g: &mut Inner, me: usize, desc: &str) {
+        g.ops += 1;
+        g.trace.push(format!("t{me} {desc}"));
+        if g.ops > self.max_ops {
+            self.fail(
+                g,
+                FailureKind::Livelock,
+                format!("schedule exceeded {} operations (livelock?)", self.max_ops),
+            );
+        }
+    }
+
+    /// Picks the next thread to run. Records a [`Choice`] when more than
+    /// one thread is runnable; detects deadlock / lost wakeup when none
+    /// is. On return `g.cur` names the next active thread (or the run is
+    /// aborting / complete).
+    fn pick_next(&self, g: &mut Inner, prev: usize) {
+        if g.abort {
+            return;
+        }
+        let runnable: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| is_runnable(t))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if g.live == 0 {
+                g.cur = usize::MAX;
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<String> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    TState::Blocked(Block::Mutex(m)) => Some(format!("t{i} on mutex m{m}")),
+                    TState::Blocked(Block::Condvar(c, m)) => {
+                        Some(format!("t{i} in wait(c{c}) [would relock m{m}]"))
+                    }
+                    TState::Blocked(Block::Join(t)) => Some(format!("t{i} joining t{t}")),
+                    _ => None,
+                })
+                .collect();
+            // A join-blocked thread is waiting *for* a stuck thread, not
+            // part of the cycle: classify by what the rest are stuck on.
+            let cv_blocked = g
+                .threads
+                .iter()
+                .any(|t| matches!(t, TState::Blocked(Block::Condvar(..))));
+            let mutex_blocked = g
+                .threads
+                .iter()
+                .any(|t| matches!(t, TState::Blocked(Block::Mutex(_))));
+            let (kind, what) = if cv_blocked && !mutex_blocked {
+                (
+                    FailureKind::LostWakeup,
+                    "lost wakeup: every blocked thread is in Condvar::wait with no live notifier",
+                )
+            } else {
+                (FailureKind::Deadlock, "deadlock: no runnable thread")
+            };
+            self.fail(g, kind, format!("{what} [{}]", blocked.join(", ")));
+            return;
+        }
+
+        let prev_runnable = runnable.contains(&prev);
+        let default = if prev_runnable { prev } else { runnable[0] };
+        let mut cands = vec![default];
+        cands.extend(runnable.iter().copied().filter(|&t| t != default));
+
+        let pick = if cands.len() == 1 {
+            cands[0]
+        } else if g.decision < g.prefix.len() {
+            let want = g.prefix[g.decision];
+            if !cands.contains(&want) {
+                self.fail(
+                    g,
+                    FailureKind::Panic,
+                    format!(
+                        "replay divergence: schedule prefix wanted t{want} but candidates were \
+                         {cands:?} (is the model body nondeterministic? no RNG/time/IO allowed)"
+                    ),
+                );
+                return;
+            }
+            want
+        } else if let Some(rng) = g.rng.as_mut() {
+            // Random tail: uniform among bound-respecting candidates.
+            let budget_left = g.preemptions < self.preemption_bound;
+            let allowed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&t| budget_left || !prev_runnable || t == prev)
+                .collect();
+            allowed[rng.below(allowed.len())]
+        } else {
+            // DFS default policy: continue the current thread (zero new
+            // preemptions); alternatives are explored via the prefix.
+            default
+        };
+
+        if cands.len() > 1 {
+            let chosen_idx = cands.iter().position(|&t| t == pick).unwrap_or(0);
+            g.choices.push(Choice {
+                cands,
+                chosen_idx,
+                prev,
+                prev_runnable,
+                preemptions_before: g.preemptions,
+            });
+            g.decision += 1;
+        }
+        if prev_runnable && pick != prev {
+            g.preemptions += 1;
+        }
+        g.cur = pick;
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until it is scheduled again. Returns
+    /// `false` when the run is aborting (after unwinding via
+    /// [`ModelAbort`] unless already panicking).
+    fn wait_for_turn(&self, mut g: MutexGuard<'_, Inner>, me: usize) -> bool {
+        loop {
+            if g.abort {
+                Self::abort_thread(g);
+                return false;
+            }
+            if g.cur == me {
+                return true;
+            }
+            g = self.cv.wait(g).expect("explorer state poisoned");
+        }
+    }
+
+    /// Ends the current operation: picks the next thread and parks until
+    /// scheduled again. Consumes the state guard. Returns `false` when
+    /// the run is aborting.
+    fn yield_turn(&self, mut g: MutexGuard<'_, Inner>, me: usize) -> bool {
+        self.pick_next(&mut g, me);
+        if g.abort {
+            Self::abort_thread(g);
+            return false;
+        }
+        if g.cur == me {
+            // Cheap path: still scheduled; skip the condvar round-trip.
+            return true;
+        }
+        self.wait_for_turn(g, me)
+    }
+
+    // ----- object registration ------------------------------------------
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut g = self.lock();
+        g.mutex_owner.push(None);
+        g.mutex_owner.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut g = self.lock();
+        g.cv_queue.push(Vec::new());
+        g.cv_queue.len() - 1
+    }
+
+    pub(crate) fn register_atomic(&self) -> usize {
+        let mut g = self.lock();
+        g.atomics += 1;
+        g.atomics - 1
+    }
+
+    // ----- shim operations ----------------------------------------------
+
+    /// Model-acquires mutex `m`. Returns `false` if the run aborted while
+    /// the caller was unwinding (passthrough: caller may still touch the
+    /// backing std lock, which every unwinding holder releases promptly).
+    pub(crate) fn mutex_lock(&self, me: usize, m: usize) -> bool {
+        loop {
+            let mut g = self.lock();
+            if g.abort {
+                Self::abort_thread(g);
+                return false;
+            }
+            if g.mutex_owner[m].is_none() {
+                g.mutex_owner[m] = Some(me);
+                self.charge(&mut g, me, &format!("lock(m{m})"));
+                return self.yield_turn(g, me);
+            }
+            self.charge(&mut g, me, &format!("blocks on m{m}"));
+            g.threads[me] = TState::Blocked(Block::Mutex(m));
+            if !self.yield_turn(g, me) {
+                return false;
+            }
+            // Woken (owner released) and scheduled: retry the acquire.
+        }
+    }
+
+    /// Model-releases mutex `m`; wakes all waiters (they re-race).
+    /// No-op during teardown — this runs from guard destructors.
+    pub(crate) fn mutex_unlock(&self, me: usize, m: usize) {
+        let mut g = self.lock();
+        if g.abort {
+            return;
+        }
+        g.mutex_owner[m] = None;
+        for t in 0..g.threads.len() {
+            if g.threads[t] == TState::Blocked(Block::Mutex(m)) {
+                g.threads[t] = TState::Runnable;
+            }
+        }
+        self.charge(&mut g, me, &format!("unlock(m{m})"));
+        self.yield_turn(g, me);
+    }
+
+    /// `Condvar::wait`: atomically release `m`, park FIFO on `cv`, and on
+    /// wakeup re-acquire `m` before returning. Returns `false` on abort.
+    pub(crate) fn condvar_wait(&self, me: usize, cv: usize, m: usize) -> bool {
+        {
+            let mut g = self.lock();
+            if g.abort {
+                Self::abort_thread(g);
+                return false;
+            }
+            if g.mutex_owner[m] != Some(me) {
+                let msg = format!("t{me} called Condvar::wait(c{cv}) without holding m{m}");
+                self.fail(&mut g, FailureKind::Panic, msg);
+                Self::abort_thread(g);
+                return false;
+            }
+            g.mutex_owner[m] = None;
+            for t in 0..g.threads.len() {
+                if g.threads[t] == TState::Blocked(Block::Mutex(m)) {
+                    g.threads[t] = TState::Runnable;
+                }
+            }
+            g.cv_queue[cv].push(me);
+            g.threads[me] = TState::Blocked(Block::Condvar(cv, m));
+            self.charge(&mut g, me, &format!("wait(c{cv}) releasing m{m}"));
+            if !self.yield_turn(g, me) {
+                return false;
+            }
+        }
+        // Notified and scheduled: re-acquire the mutex (may block again).
+        self.mutex_lock(me, m)
+    }
+
+    /// `Condvar::notify_one`: wakes the FIFO head, if any.
+    pub(crate) fn notify_one(&self, me: usize, cv: usize) {
+        let mut g = self.lock();
+        if g.abort {
+            if !std::thread::panicking() {
+                Self::abort_thread(g);
+            }
+            return;
+        }
+        let desc = if g.cv_queue[cv].is_empty() {
+            format!("notify_one(c{cv}) [no waiters]")
+        } else {
+            let t = g.cv_queue[cv].remove(0);
+            g.threads[t] = TState::Runnable;
+            format!("notify_one(c{cv}) wakes t{t}")
+        };
+        self.charge(&mut g, me, &desc);
+        self.yield_turn(g, me);
+    }
+
+    /// `Condvar::notify_all`: drains the wait queue.
+    pub(crate) fn notify_all(&self, me: usize, cv: usize) {
+        let mut g = self.lock();
+        if g.abort {
+            if !std::thread::panicking() {
+                Self::abort_thread(g);
+            }
+            return;
+        }
+        let woken: Vec<usize> = g.cv_queue[cv].drain(..).collect();
+        for &t in &woken {
+            g.threads[t] = TState::Runnable;
+        }
+        self.charge(&mut g, me, &format!("notify_all(c{cv}) wakes {woken:?}"));
+        self.yield_turn(g, me);
+    }
+
+    /// A scheduling point around an atomic operation (the std effect is
+    /// performed by the caller while it holds the active turn).
+    pub(crate) fn atomic_point(&self, me: usize, id: usize, desc: &str) {
+        let mut g = self.lock();
+        if g.abort {
+            if !std::thread::panicking() {
+                Self::abort_thread(g);
+            }
+            return;
+        }
+        self.charge(&mut g, me, &format!("{desc}(a{id})"));
+        self.yield_turn(g, me);
+    }
+
+    /// Registers a new model thread; returns its id.
+    pub(crate) fn register_thread(&self, me: usize) -> Option<usize> {
+        let mut g = self.lock();
+        if g.abort {
+            Self::abort_thread(g);
+            return None;
+        }
+        if g.threads.len() >= self.max_threads {
+            let msg = format!("spawned more than {} model threads", self.max_threads);
+            self.fail(&mut g, FailureKind::Panic, msg);
+            Self::abort_thread(g);
+            return None;
+        }
+        g.threads.push(TState::Runnable);
+        g.live += 1;
+        let id = g.threads.len() - 1;
+        self.charge(&mut g, me, &format!("spawns t{id}"));
+        Some(id)
+    }
+
+    /// Stores a spawned OS handle for end-of-run joining, then yields
+    /// (the new thread is a scheduling candidate from here on).
+    pub(crate) fn thread_spawned(&self, me: usize, handle: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .expect("handle list poisoned")
+            .push(handle);
+        let g = self.lock();
+        if g.abort {
+            Self::abort_thread(g);
+            return;
+        }
+        self.yield_turn(g, me);
+    }
+
+    /// Blocks until thread `target` finishes. Returns `false` on abort.
+    pub(crate) fn join(&self, me: usize, target: usize) -> bool {
+        loop {
+            let mut g = self.lock();
+            if g.abort {
+                Self::abort_thread(g);
+                return false;
+            }
+            if g.threads[target] == TState::Finished {
+                self.charge(&mut g, me, &format!("join(t{target})"));
+                return self.yield_turn(g, me);
+            }
+            self.charge(&mut g, me, &format!("blocks joining t{target}"));
+            g.threads[me] = TState::Blocked(Block::Join(target));
+            if !self.yield_turn(g, me) {
+                return false;
+            }
+        }
+    }
+
+    /// Entry handshake for a freshly spawned model thread: parks until
+    /// first scheduled. Returns `false` on abort.
+    pub(crate) fn thread_start(&self, me: usize) -> bool {
+        let g = self.lock();
+        self.wait_for_turn(g, me)
+    }
+
+    /// Exit protocol: records a user panic (if any, and not ModelAbort)
+    /// as the run failure, marks the thread finished, wakes joiners.
+    pub(crate) fn thread_finish(&self, me: usize, user_panic: Option<String>) {
+        let mut g = self.lock();
+        if let Some(msg) = user_panic {
+            if g.failure.is_none() {
+                self.fail(&mut g, FailureKind::Panic, format!("t{me} panicked: {msg}"));
+            } else {
+                g.abort = true;
+            }
+        }
+        g.threads[me] = TState::Finished;
+        g.live -= 1;
+        for t in 0..g.threads.len() {
+            if g.threads[t] == TState::Blocked(Block::Join(me)) {
+                g.threads[t] = TState::Runnable;
+            }
+        }
+        g.trace.push(format!("t{me} exits"));
+        if g.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut g, me);
+    }
+
+    // ----- driver side --------------------------------------------------
+
+    /// Blocks the driver until every model thread has finished, then
+    /// joins the OS threads and extracts the run outcome.
+    pub(crate) fn wait_done(&self) -> RunOutcome {
+        {
+            let mut g = self.lock();
+            while g.live > 0 {
+                g = self.cv.wait(g).expect("explorer state poisoned");
+            }
+        }
+        // All model threads have run their exit protocol; their OS
+        // threads are exiting. Join so no stragglers leak across runs.
+        let handles: Vec<_> = {
+            let mut h = self.handles.lock().expect("handle list poisoned");
+            h.drain(..).collect()
+        };
+        for h in handles {
+            // A model thread only "fails" by design (ModelAbort) or via a
+            // user panic already recorded by thread_finish; either way
+            // the OS join result carries no extra information.
+            let _ = h.join();
+        }
+        let mut g = self.lock();
+        RunOutcome {
+            choices: std::mem::take(&mut g.choices),
+            failure: g.failure.take(),
+            ops: g.ops,
+        }
+    }
+}

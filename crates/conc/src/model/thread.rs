@@ -1,0 +1,88 @@
+//! Model threads: spawn/join shims driven by the explorer.
+//!
+//! A model thread is a real OS thread that parks itself between turns.
+//! [`spawn`] registers the thread with the current run's scheduler and
+//! is itself a scheduling point (the child is a candidate immediately);
+//! [`JoinHandle::join`] blocks the caller until the child finishes.
+//!
+//! Unlike `std::thread::JoinHandle`, `join` returns the value directly:
+//! a panicking model thread is a *model failure* (reported with its
+//! schedule trace), not a per-join `Err`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use super::sched::{ModelAbort, Scheduler};
+use super::{ctx, ctx_id, panic_message, set_ctx};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    target: usize,
+    slot: Arc<std::sync::Mutex<Option<T>>>,
+    sched: Arc<Scheduler>,
+}
+
+/// Spawns a model thread running `f` under the current explorer run.
+///
+/// # Panics
+/// Panics if called outside a model run, or (by aborting the schedule)
+/// if the run's thread cap is exceeded.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let sched = ctx();
+    let me = ctx_id();
+    let id = sched
+        .register_thread(me)
+        .expect("model thread registration during teardown");
+    let slot = Arc::new(std::sync::Mutex::new(None::<T>));
+    let body_sched = Arc::clone(&sched);
+    let body_slot = Arc::clone(&slot);
+    let handle = std::thread::Builder::new()
+        .name(format!("model-t{id}"))
+        .spawn(move || {
+            set_ctx(Arc::clone(&body_sched), id);
+            run_thread_body(&body_sched, id, move || {
+                let v = f();
+                *body_slot.lock().expect("model result slot") = Some(v);
+            });
+        })
+        .expect("spawn model OS thread");
+    sched.thread_spawned(me, handle);
+    JoinHandle {
+        target: id,
+        slot,
+        sched,
+    }
+}
+
+/// Shared thread body protocol: initial handshake, user closure under
+/// `catch_unwind`, then the finish protocol — which must run on *every*
+/// exit path or the driver would wait forever.
+pub(crate) fn run_thread_body(sched: &Arc<Scheduler>, id: usize, f: impl FnOnce()) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if sched.thread_start(id) {
+            f();
+        }
+    }));
+    let user_panic = match result {
+        Ok(()) => None,
+        Err(payload) if payload.is::<ModelAbort>() => None,
+        Err(payload) => Some(panic_message(&*payload)),
+    };
+    sched.thread_finish(id, user_panic);
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value.
+    pub fn join(self) -> T {
+        self.sched.join(ctx_id(), self.target);
+        self.slot
+            .lock()
+            .expect("model result slot")
+            .take()
+            .expect("joined model thread produced no value (panic already reported)")
+    }
+}

@@ -1,0 +1,23 @@
+//! Tiny deterministic RNG for the explorer's random-tail phase.
+//!
+//! SplitMix64 (Steele, Lea & Flood) — dependency-free, seedable, and
+//! good enough to diversify schedule choices. Not for cryptography.
+
+/// SplitMix64 generator state.
+pub(crate) struct SplitMix64(pub(crate) u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit output.
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish index below `n` (`n > 0`).
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}

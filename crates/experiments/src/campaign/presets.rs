@@ -332,6 +332,32 @@ mod tests {
                 assert!((x.is_nan() && y.is_nan()) || x == y, "{a:?} vs {b:?}");
             }
         }
+        // The written artifact must be byte-identical too, modulo the
+        // one wall-clock column (`unit_micros`): steal order and worker
+        // count may vary freely, but nothing else thread-dependent may
+        // leak into units.csv.
+        let strip_wall_clock = |path: std::path::PathBuf| {
+            let text = std::fs::read_to_string(path).unwrap();
+            let header = text.lines().next().unwrap();
+            let drop_col = header
+                .split(',')
+                .position(|c| c == "unit_micros")
+                .expect("units.csv has a unit_micros column");
+            text.lines()
+                .map(|line| {
+                    line.split(',')
+                        .enumerate()
+                        .filter(|&(i, _)| i != drop_col)
+                        .map(|(_, c)| c)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let csv_one = strip_wall_clock(root.join("w1").join(&spec.name).join("units.csv"));
+        let csv_three = strip_wall_clock(root.join("w3").join(&spec.name).join("units.csv"));
+        assert_eq!(csv_one, csv_three, "units.csv differs across worker counts");
         std::fs::remove_dir_all(&root).ok();
     }
 

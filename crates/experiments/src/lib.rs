@@ -12,7 +12,8 @@
 //! * [`table`] — aligned text tables for terminal output.
 //! * [`csvout`] — minimal CSV writing (no external dependency).
 //! * [`runner`] — panic-safe seed-parallel experiment execution (std
-//!   scoped threads + a crossbeam work channel).
+//!   scoped threads mounted on the model-checked work-stealing core
+//!   from `profirt_conc::exec`).
 //! * [`shape`] — recorded shape checks: every report carries explicit
 //!   PASS/FAIL verdicts for the qualitative predictions EXPERIMENTS.md
 //!   documents.

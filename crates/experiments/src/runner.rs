@@ -1,10 +1,17 @@
 //! Seed-parallel experiment execution.
 //!
 //! Sweeps run the same closure over many seeds; [`par_map_seeds`]
-//! distributes them over a scoped worker pool through a crossbeam channel
-//! and returns results in seed order (deterministic output regardless of
-//! scheduling). Slots are guarded by one `std::sync::Mutex` each so the
-//! scoped workers can write disjoint entries without unsafe code.
+//! distributes them over the work-stealing executor core from
+//! [`profirt_conc::exec`] and returns results in seed order
+//! (deterministic output regardless of scheduling). Seeds are
+//! pre-sharded round-robin across the workers, idle workers steal from
+//! loaded ones, and every synchronization primitive in the path — the
+//! core's deques and park protocol, the result slots, the failure list —
+//! goes through the [`profirt_conc::sync`] facade, so the exact
+//! protocol executing here is the one the model checker exhausts in
+//! `crates/conc/tests/exec_model.rs`. Slots are guarded by one mutex
+//! each so the scoped workers can write disjoint entries without unsafe
+//! code.
 //!
 //! Workers are panic-safe: a panicking closure used to poison its slot
 //! mutex and abort the whole scope, so one bad seed took down the entire
@@ -21,9 +28,9 @@
 //! library would race with other threads and tests.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
 
-use crossbeam::channel;
+use profirt_conc::exec::{Core, CoreConfig};
+use profirt_conc::sync::Mutex;
 
 /// The failure report of a sweep in which one or more seeds panicked.
 #[derive(Clone, Debug)]
@@ -69,24 +76,28 @@ where
     // At least one worker, never more workers than items: a huge requested
     // count must not translate into a huge (or OS-refused) thread spawn.
     let workers = workers.clamp(1, (n.max(1)) as usize);
-    let (tx, rx) = channel::unbounded::<u64>();
+    let core: Core<u64> = Core::new(CoreConfig {
+        workers,
+        ..CoreConfig::default()
+    });
     for seed in 0..n {
-        tx.send(seed).expect("channel open");
+        core.seed_shard(seed as usize % workers, seed);
     }
-    drop(tx);
+    // The batch is fully laid out: workers exit once they drain it.
+    core.close();
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let slots: Vec<_> = results.iter_mut().map(Mutex::new).collect();
     let failures: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let rx = rx.clone();
+        for w in 0..workers {
+            let core = &core;
             let f = &f;
             let slots = &slots;
             let failures = &failures;
             scope.spawn(move || {
-                while let Ok(seed) = rx.recv() {
+                core.run_worker(w, |seed| {
                     // The closure is invoked *outside* any lock, so a panic
                     // here can neither poison a slot nor kill the scope.
                     match catch_unwind(AssertUnwindSafe(|| f(seed))) {
@@ -98,7 +109,7 @@ where
                             .expect("failure lock")
                             .push((seed, panic_message(payload))),
                     }
-                }
+                });
             });
         }
     });
@@ -166,6 +177,17 @@ mod tests {
     }
 
     #[test]
+    fn results_identical_across_worker_counts() {
+        // Worker-count independence: the executor may interleave and
+        // steal however it likes, but the seed-ordered output is fixed.
+        let reference = par_map_seeds(50, 1, |s| s.wrapping_mul(0x9E37_79B9) ^ (s << 7));
+        for workers in [2, 3, 8, 50] {
+            let out = par_map_seeds(50, workers, |s| s.wrapping_mul(0x9E37_79B9) ^ (s << 7));
+            assert_eq!(out, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn panicking_seed_is_reported_not_aborted() {
         let err = try_par_map_seeds(16, 4, |s| {
             if s == 7 {
@@ -196,6 +218,23 @@ mod tests {
             vec![3, 11, 19, 27]
         );
         assert_eq!(counter.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn multiple_panicking_seeds_reported_in_seed_order() {
+        // Failure ordering must not depend on which worker hit its
+        // panic first: seeds land on different shards and finish in
+        // arbitrary order, but the report is sorted by seed.
+        let err = try_par_map_seeds(24, 6, |s| {
+            if s % 2 == 1 {
+                panic!("odd seed {s}");
+            }
+            s
+        })
+        .unwrap_err();
+        let seeds: Vec<u64> = err.failures.iter().map(|f| f.0).collect();
+        assert_eq!(seeds, (0..24).filter(|s| s % 2 == 1).collect::<Vec<_>>());
+        assert!(err.failures[0].1.contains("odd seed 1"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! `profirt-lint` — the workspace determinism gate (see the library
+//! docs in `profirt_lint` for the rule set).
+//!
+//! ```text
+//! profirt-lint [--root DIR] [--allowlist FILE] [--update-allowlist]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use profirt_lint::{allowlist_path, check, scan_workspace, Allowlist};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_file: Option<PathBuf> = None;
+    let mut update = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(file) => allow_file = Some(PathBuf::from(file)),
+                None => return usage("--allowlist needs a file"),
+            },
+            "--update-allowlist" => update = true,
+            "--help" | "-h" => {
+                eprintln!("profirt-lint [--root DIR] [--allowlist FILE] [--update-allowlist]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let allow_file = allow_file.unwrap_or_else(|| allowlist_path(&root));
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("profirt-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        let rendered = Allowlist::from_findings(&findings).render();
+        if let Err(e) = std::fs::write(&allow_file, rendered) {
+            eprintln!("profirt-lint: writing {}: {e}", allow_file.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "profirt-lint: pinned {} finding(s) in {}",
+            findings.len(),
+            allow_file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allow = match std::fs::read_to_string(&allow_file) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("profirt-lint: {}: {e}", allow_file.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => {
+            eprintln!("profirt-lint: reading {}: {e}", allow_file.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let violations = check(&findings, &allow);
+    if violations.is_empty() {
+        eprintln!(
+            "profirt-lint: OK ({} grandfathered finding(s) pinned)",
+            findings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("profirt-lint: {} violation(s):", violations.len());
+        for v in &violations {
+            eprint!("  {v}");
+        }
+        eprintln!(
+            "If a new finding is intentional, re-pin with: \
+             cargo run -p profirt_lint -- --update-allowlist"
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("profirt-lint: {msg} (see --help)");
+    ExitCode::from(2)
+}

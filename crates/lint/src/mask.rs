@@ -1,0 +1,278 @@
+//! Comment/literal masking and `#[cfg(test)]` item skipping.
+//!
+//! [`mask_source`] blanks the *contents* of comments (line, block —
+//! nested), string literals (plain, raw, byte), and char literals while
+//! preserving the line structure, so pattern rules never fire on prose
+//! or data. [`cfg_test_lines`] then brace-matches `#[cfg(test)]` /
+//! `#[cfg(all(test, ...))]` items on the masked text and reports the
+//! line numbers they span, so test modules inside library files are
+//! exempt from the rules just like `tests/` files are.
+
+/// Returns `source` with comment and literal contents replaced by
+/// spaces (newlines kept, delimiters kept). Lifetimes (`'a`) are
+/// distinguished from char literals by lookahead.
+pub fn mask_source(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let mut i = 0;
+
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = chars[i];
+        // Line comment (also covers `//!` and `///` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment; Rust block comments nest.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw byte) strings: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || c == 'b') && !prev_is_ident(&out) {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    // Emit the prefix + opening quote verbatim.
+                    for &p in &chars[i..=k] {
+                        out.push(p);
+                    }
+                    i = k + 1;
+                    // Consume until `"` followed by `hashes` hashes.
+                    while i < n {
+                        if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                            out.push('"');
+                            out.extend(std::iter::repeat_n('#', hashes));
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Plain (and byte) strings.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"' && !prev_is_ident(&out)) {
+            if c == 'b' {
+                out.push('b');
+                i += 1;
+            }
+            out.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(if chars[i + 1] == '\n' { '\n' } else { ' ' });
+                    i += 2;
+                } else if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'x'` / `'\n'` are literals,
+        // `'static` is a lifetime (no closing quote in range).
+        if c == '\'' {
+            let is_char_lit = if i + 1 < n && chars[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && chars[i + 2] == '\''
+            };
+            if is_char_lit {
+                out.push('\'');
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+fn prev_is_ident(out: &[char]) -> bool {
+    out.last().is_some_and(|&c| c.is_alphanumeric() || c == '_')
+}
+
+fn closes_raw(chars: &[char], at: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|h| chars.get(at + h) == Some(&'#'))
+}
+
+/// Line numbers (1-based) covered by `#[cfg(test)]`-gated items in
+/// already-masked source, including the attribute lines themselves.
+/// Recognizes any `#[cfg(...)]` whose predicate mentions `test` at a
+/// token boundary (`test`, `all(test, ...)`, `not(test)` included — a
+/// `not(test)` item is live in normal builds, but treating it as test
+/// scaffolding is the conservative direction for a style gate only
+/// when it HITS; so `not(test)` is explicitly exempted below).
+pub fn cfg_test_lines(masked: &str) -> std::collections::BTreeSet<usize> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut skipped = std::collections::BTreeSet::new();
+    let mut search_from = 0;
+    let text: String = masked.to_string();
+
+    while let Some(off) = text[search_from..].find("#[cfg(") {
+        let attr_start = search_from + off;
+        // Find the matching `]` of the attribute.
+        let Some(attr_end) = matching(&chars, byte_to_char(&text, attr_start) + 1, '[', ']') else {
+            break;
+        };
+        let attr: String = chars[byte_to_char(&text, attr_start)..=attr_end]
+            .iter()
+            .collect();
+        search_from = attr_start + "#[cfg(".len();
+        if !mentions_test(&attr) {
+            continue;
+        }
+        // Skip whitespace and any further attributes to the item start.
+        let mut i = attr_end + 1;
+        loop {
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '#' {
+                match matching(&chars, i + 1, '[', ']') {
+                    Some(end) => i = end + 1,
+                    None => return skipped,
+                }
+            } else {
+                break;
+            }
+        }
+        // The gated item ends at the matching `}` of its first block,
+        // or at `;` for block-less items (`use`, `type`, ...).
+        let mut j = i;
+        let item_end = loop {
+            if j >= chars.len() {
+                break chars.len().saturating_sub(1);
+            }
+            match chars[j] {
+                ';' => break j,
+                '{' => match matching(&chars, j, '{', '}') {
+                    Some(end) => break end,
+                    None => break chars.len() - 1,
+                },
+                _ => j += 1,
+            }
+        };
+        let first_line = line_of(&chars, byte_to_char(&text, attr_start));
+        let last_line = line_of(&chars, item_end);
+        for line in first_line..=last_line {
+            skipped.insert(line);
+        }
+    }
+    skipped
+}
+
+/// Does the attribute text gate on `test` (and not solely `not(test)`)?
+fn mentions_test(attr: &str) -> bool {
+    let mut found_plain_test = false;
+    let bytes = attr.as_bytes();
+    let mut i = 0;
+    while let Some(off) = attr[i..].find("test") {
+        let at = i + off;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let after = at + 4;
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            let negated = attr[..at].trim_end().ends_with("not(");
+            if !negated {
+                found_plain_test = true;
+            }
+        }
+        i = at + 4;
+    }
+    found_plain_test
+}
+
+/// Index of the `close` matching the `open` at/after `from` (depth 0
+/// entry must be at `from` or be the first `open` found).
+fn matching(chars: &[char], from: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = from;
+    let mut seen_open = false;
+    while i < chars.len() {
+        if chars[i] == open {
+            depth += 1;
+            seen_open = true;
+        } else if chars[i] == close {
+            if !seen_open {
+                return None;
+            }
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn byte_to_char(text: &str, byte_idx: usize) -> usize {
+    text[..byte_idx].chars().count()
+}
+
+fn line_of(chars: &[char], idx: usize) -> usize {
+    1 + chars[..idx.min(chars.len())]
+        .iter()
+        .filter(|&&c| c == '\n')
+        .count()
+}

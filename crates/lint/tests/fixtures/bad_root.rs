@@ -1,0 +1,3 @@
+//! Fixture: a crate root with neither hygiene attribute.
+
+pub fn fine() {}

@@ -1,0 +1,28 @@
+//! Fixture: code the scanner must pass untouched. Every banned pattern
+//! below is defused — in a doc comment, a string, a raw string, a char
+//! context, or a `#[cfg(test)]` module. Calling `.unwrap()` here in
+//! prose, or `panic!(...)`, or `println!`, must not fire.
+
+#![forbid(unsafe_code)]
+
+/// Mentions `Instant::now()` and `std::sync::Mutex` in documentation.
+pub fn documented<'a>(s: &'a str) -> &'a str {
+    // A line comment with panic!("nope") and .expect("nothing").
+    let _quoted = "calling .unwrap() or dbg!(x) in a string is data";
+    let _raw = r#"raw strings may say println!("hi") too"#;
+    let _escaped = "escaped quote \" then .unwrap() still masked";
+    let _ch = '"';
+    let _lifetime_not_char = s;
+    /* block comments nest /* std::thread::spawn */ and hide panic!() */
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        println!("test output is fine");
+    }
+}

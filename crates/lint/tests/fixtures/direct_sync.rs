@@ -1,0 +1,11 @@
+//! Fixture: facade-routed code importing std::sync directly.
+
+use std::sync::{Arc, Mutex};
+
+pub fn shared() -> Arc<Mutex<u32>> {
+    Arc::new(Mutex::new(0))
+}
+
+pub fn qualified() -> std::sync::Condvar {
+    std::sync::Condvar::new()
+}

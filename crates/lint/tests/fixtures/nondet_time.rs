@@ -1,0 +1,19 @@
+//! Fixture: kernel code reaching for wall-clock time and OS threads.
+
+pub fn bad_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn bad_epoch() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+pub fn bad_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn bad_env() -> Option<String> {
+    std::env::var("SEED").ok()
+}

@@ -1,0 +1,13 @@
+//! Fixture: library code with one of each banned panic construct.
+
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.expect("fixture expect")
+}
+
+pub fn third() {
+    panic!("fixture panic");
+}

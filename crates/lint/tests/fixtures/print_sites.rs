@@ -1,0 +1,10 @@
+//! Fixture: library code with stray debug output.
+
+pub fn noisy(x: u32) -> u32 {
+    println!("value is {x}");
+    dbg!(x)
+}
+
+pub fn also_noisy(x: u32) {
+    eprintln!("still here: {x}");
+}

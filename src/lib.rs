@@ -50,6 +50,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use profirt_base as base;
 pub use profirt_core as core;
 pub use profirt_experiments as experiments;

@@ -5,6 +5,8 @@
 //! Semantics match the real crate for this subset; an unbounded `Vec<u8>`
 //! backs the buffer, so `put_*` never panics on capacity.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// Growable byte buffer backed by `Vec<u8>`.

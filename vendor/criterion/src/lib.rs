@@ -13,6 +13,8 @@
 //! `cargo bench` / `cargo test --benches` invocations behave: in test mode
 //! every benchmark body runs exactly once (a smoke run).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

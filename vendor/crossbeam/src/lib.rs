@@ -4,11 +4,20 @@
 //! receivers (std's mpsc receiver is not `Clone`, which the experiment
 //! runner's work-stealing pool needs). Backed by a `Mutex<VecDeque>` +
 //! `Condvar`; unbounded, FIFO, disconnect-aware.
+//!
+//! All synchronization goes through the `profirt_conc::sync` facade: in
+//! normal builds those are zero-cost `std::sync` re-exports, and under
+//! the `model-check` feature they become explorer shims so
+//! `tests/model.rs` can exhaust the send/recv/disconnect interleavings
+//! of this very implementation.
+
+#![forbid(unsafe_code)]
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
+
+    use profirt_conc::sync::{Arc, Condvar, Mutex};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
@@ -160,11 +169,17 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared
-                .queue
-                .lock()
-                .expect("channel poisoned")
-                .receivers -= 1;
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            // Every disconnect edge wakes ALL waiters, mirroring
+            // Sender::drop: with several parked receivers a single
+            // notify can land on one that re-checks and strands the
+            // rest (lost wakeup — the model suite pins this down).
+            if disconnected {
+                self.shared.ready.notify_all();
+            }
         }
     }
 
@@ -181,7 +196,9 @@ pub mod channel {
         }
     }
 
-    #[cfg(test)]
+    // Real-thread tests: under model-check the facade primitives demand
+    // an explorer context, so these only compile on the std path.
+    #[cfg(all(test, not(feature = "model-check")))]
     mod tests {
         use super::*;
 
@@ -219,6 +236,40 @@ pub mod channel {
                 handles.into_iter().map(|h| h.join().unwrap()).sum()
             });
             assert_eq!(total, (0..100).sum::<u64>());
+        }
+
+        #[test]
+        fn sender_disconnect_wakes_both_parked_receivers() {
+            // Regression shape for the disconnect/notify_all satellite:
+            // TWO receivers parked in recv() on an empty channel, then
+            // the last sender drops. A notify_one on that edge would
+            // strand one receiver forever; both must observe RecvError.
+            let (tx, rx) = unbounded::<u8>();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || rx.recv())
+                    })
+                    .collect();
+                // Let both consumers reach the condvar wait before the
+                // disconnect edge (best effort; the model suite covers
+                // the racy orderings exhaustively).
+                std::thread::yield_now();
+                drop(tx);
+                for h in handles {
+                    assert_eq!(h.join().unwrap(), Err(RecvError));
+                }
+            });
+        }
+
+        #[test]
+        fn receiver_disconnect_fails_send() {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            drop(rx);
+            drop(rx2);
+            assert_eq!(tx.send(1), Err(SendError(1)));
         }
     }
 }

@@ -1,0 +1,105 @@
+//! Model checks for the channel stub (feature `model-check`).
+//!
+//! With `model-check` on, the channel's Mutex/Condvar resolve to the
+//! `profirt_conc` explorer shims, so these tests exhaust the
+//! send/recv/disconnect interleavings of the exact code that ships —
+//! including the two-parked-receivers disconnect edge that motivates
+//! notify_all on every drop path.
+//!
+//! Run with: `cargo test -p crossbeam --features model-check --tests`
+
+#![cfg(feature = "model-check")]
+
+use crossbeam::channel::{unbounded, RecvError, TryRecvError};
+use profirt_conc::model::{self, thread, Options};
+
+fn opts(max_schedules: usize) -> Options {
+    Options {
+        max_schedules,
+        random_schedules: 64,
+        ..Options::default()
+    }
+}
+
+#[test]
+fn send_recv_race_is_clean_at_two_threads() {
+    // Consumer may park before, between, or after the two sends; every
+    // ordering must deliver both items in FIFO order.
+    let stats = model::check_with(opts(4000), || {
+        let (tx, rx) = unbounded::<u32>();
+        let producer = thread::spawn(move || {
+            tx.send(1).expect("receiver alive");
+            tx.send(2).expect("receiver alive");
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        producer.join();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    });
+    assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
+}
+
+#[test]
+fn sender_drop_race_always_unblocks_the_consumer() {
+    // The producer's send and drop race against the consumer's park; a
+    // disconnect notify that can land before the consumer waits (or
+    // that wakes only one of several sleepers) shows up as LostWakeup.
+    let stats = model::check_with(opts(4000), || {
+        let (tx, rx) = unbounded::<u32>();
+        let producer = thread::spawn(move || {
+            tx.send(7).expect("receiver alive");
+            // tx drops here: the disconnect edge.
+        });
+        let mut got = Vec::new();
+        loop {
+            match rx.recv() {
+                Ok(v) => got.push(v),
+                Err(RecvError) => break,
+            }
+        }
+        producer.join();
+        assert_eq!(got, vec![7]);
+    });
+    assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
+}
+
+#[test]
+fn disconnect_with_two_parked_receivers_wakes_both() {
+    // The satellite scenario, exhaustively: two consumers can both be
+    // inside Condvar::wait when the last sender drops. Sender::drop's
+    // notify_all must reach both; a notify_one here would strand one
+    // consumer and the explorer would report the lost wakeup.
+    let stats = model::check_with(opts(6000), || {
+        let (tx, rx) = unbounded::<u32>();
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || rx.recv()));
+        }
+        drop(rx);
+        drop(tx);
+        let mut results = Vec::new();
+        for c in consumers {
+            results.push(c.join());
+        }
+        assert_eq!(results, vec![Err(RecvError), Err(RecvError)]);
+    });
+    assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
+}
+
+#[test]
+fn receiver_drop_race_never_loses_the_send_result() {
+    // A sender racing a receiver drop must either deliver (the item is
+    // then unreachable but the send reported Ok before disconnect) or
+    // get the item handed back as SendError — and must never block.
+    let stats = model::check_with(opts(4000), || {
+        let (tx, rx) = unbounded::<u32>();
+        let dropper = thread::spawn(move || drop(rx));
+        let outcome = tx.send(9);
+        dropper.join();
+        if let Err(e) = outcome {
+            assert_eq!(e.0, 9, "rejected item must be handed back intact");
+        }
+    });
+    assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
+}

@@ -16,6 +16,8 @@
 //! shrinking, and failures report the formatted assertion message plus the
 //! attempt number instead of a minimised counterexample.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Case-running machinery: config, PRNG, and error plumbing.
 

@@ -8,6 +8,8 @@
 //! Actual JSON (de)serialisation for the `profirt` CLI lives in
 //! `src/bin/profirt/json.rs`, which does not go through serde at all.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize`. The no-op derive does not

@@ -8,6 +8,8 @@
 //! syntax as the real macros — including `#[serde(...)]` helper attributes —
 //! and expand to nothing.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `#[derive(Serialize)]`.
