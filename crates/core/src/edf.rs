@@ -70,20 +70,40 @@ impl EdfAnalysis {
         Ok(self.analyze_detailed(net)?.0)
     }
 
+    /// Runs the analysis reusing a caller-owned scratch — the hot path for
+    /// long-running consumers (the `serve` shards) that answer many
+    /// analyses back to back and want the working buffers warm.
+    pub fn analyze_with_scratch(
+        &self,
+        net: &NetworkConfig,
+        scratch: &mut MessageScratch,
+    ) -> AnalysisResult<NetworkAnalysis> {
+        Ok(self.analyze_detailed_with(net, scratch)?.0)
+    }
+
     /// Runs the analysis, also returning per-stream critical offsets.
     pub fn analyze_detailed(
         &self,
         net: &NetworkConfig,
     ) -> AnalysisResult<(NetworkAnalysis, Vec<Vec<EdfStreamDetail>>)> {
+        // One set of working buffers per analysis run, reused across every
+        // master, stream and arrival candidate.
+        let mut scratch = MessageScratch::default();
+        self.analyze_detailed_with(net, &mut scratch)
+    }
+
+    /// [`EdfAnalysis::analyze_detailed`] with a caller-owned scratch.
+    pub fn analyze_detailed_with(
+        &self,
+        net: &NetworkConfig,
+        scratch: &mut MessageScratch,
+    ) -> AnalysisResult<(NetworkAnalysis, Vec<Vec<EdfStreamDetail>>)> {
         let bound = tcycle(net, self.model);
         let tc = bound.tcycle;
         let mut masters = Vec::with_capacity(net.n_masters());
         let mut details = Vec::with_capacity(net.n_masters());
-        // One set of working buffers per analysis run, reused across every
-        // master, stream and arrival candidate.
-        let mut scratch = MessageScratch::default();
         for (k, master) in net.masters.iter().enumerate() {
-            let (rows, det) = self.analyze_master(k, master, tc, &mut scratch)?;
+            let (rows, det) = self.analyze_master(k, master, tc, scratch)?;
             masters.push(rows);
             details.push(det);
         }
@@ -249,9 +269,12 @@ impl EdfAnalysis {
 }
 
 /// Reusable buffers for one [`EdfAnalysis`] run: candidate progressions,
-/// the checkpoint merge heap, and the hoisted interference rows.
+/// the checkpoint merge heap, and the hoisted interference rows. All fields
+/// are cleared before use, so a single instance can serve any sequence of
+/// analyses (see [`EdfAnalysis::analyze_with_scratch`]); results never
+/// depend on what a previous run left behind.
 #[derive(Debug, Default)]
-struct MessageScratch {
+pub struct MessageScratch {
     progs: Vec<(Time, Time)>,
     checkpoints: CheckpointScratch,
     terms: Vec<(Time, Time, i64)>,

@@ -56,7 +56,7 @@ pub use end_to_end::{EndToEndAnalysis, EndToEndBreakdown, TaskSegments};
 pub use fcfs::FcfsAnalysis;
 pub use jitter::{inherit_jitter, JitterModel};
 pub use low_priority::{low_priority_outlook, LowPriorityOutlook};
-pub use policy::{PolicyKind, PolicyTuning};
+pub use policy::{PolicyKind, PolicyScratch, PolicyTuning};
 pub use tcycle::{TcycleBound, TcycleModel};
 pub use ttr::{max_feasible_ttr, TtrSetting};
 

@@ -13,9 +13,20 @@ use profirt_sched::FixpointConfig;
 
 use crate::config::NetworkConfig;
 use crate::dm::DmAnalysis;
-use crate::edf::EdfAnalysis;
+use crate::edf::{EdfAnalysis, MessageScratch};
 use crate::fcfs::FcfsAnalysis;
 use crate::NetworkAnalysis;
+
+/// Reusable working buffers for [`PolicyKind::analyze_with_scratch`]. Today
+/// only the EDF message analysis allocates scratch worth keeping warm (the
+/// FCFS/DM recurrences are allocation-light), but routing every policy
+/// through one opaque scratch lets long-running consumers — the `serve`
+/// shards — hold a single value per worker regardless of which policies the
+/// request mix asks for.
+#[derive(Debug, Default)]
+pub struct PolicyScratch {
+    edf: MessageScratch,
+}
 
 /// Analysis tuning shared by every policy's analysis and passed through the
 /// uniform dispatch: fixpoint iteration caps and the arrival-candidate cap
@@ -113,6 +124,18 @@ impl PolicyKind {
         net: &NetworkConfig,
         tuning: &PolicyTuning,
     ) -> AnalysisResult<NetworkAnalysis> {
+        self.analyze_with_scratch(net, tuning, &mut PolicyScratch::default())
+    }
+
+    /// [`PolicyKind::analyze_with`] reusing caller-owned working buffers.
+    /// Scratch reuse never changes results (every buffer is cleared before
+    /// use); it only keeps allocations warm across a request stream.
+    pub fn analyze_with_scratch(
+        self,
+        net: &NetworkConfig,
+        tuning: &PolicyTuning,
+        scratch: &mut PolicyScratch,
+    ) -> AnalysisResult<NetworkAnalysis> {
         match self {
             PolicyKind::Fcfs => FcfsAnalysis::paper().run(net),
             PolicyKind::Dm => DmAnalysis {
@@ -130,7 +153,7 @@ impl PolicyKind {
                 max_candidates: tuning.max_candidates,
                 ..EdfAnalysis::paper()
             }
-            .analyze(net),
+            .analyze_with_scratch(net, &mut scratch.edf),
         }
     }
 
@@ -200,6 +223,20 @@ mod tests {
             let plain = p.analyze(&n).unwrap();
             let tuned = p.analyze_with(&n, &tuning).unwrap();
             assert_eq!(plain, tuned, "{p}: tuning pass-through changed results");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        let n = net();
+        let tuning = PolicyTuning::default();
+        let mut scratch = PolicyScratch::default();
+        for _ in 0..3 {
+            for p in PolicyKind::ALL {
+                let fresh = p.analyze_with(&n, &tuning).unwrap();
+                let warm = p.analyze_with_scratch(&n, &tuning, &mut scratch).unwrap();
+                assert_eq!(fresh, warm, "{p}: scratch reuse changed results");
+            }
         }
     }
 

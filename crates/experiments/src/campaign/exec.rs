@@ -244,7 +244,7 @@ pub fn print_outcome(outcome: &CampaignOutcome) -> i32 {
 pub fn load_summary(path: &Path) -> Result<Value, CampaignError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CampaignError::Io(format!("cannot read {}: {e}", path.display())))?;
-    json::parse(&text).map_err(CampaignError::BadSpec)
+    json::parse(&text).map_err(|e| CampaignError::BadSpec(e.to_string()))
 }
 
 #[cfg(test)]

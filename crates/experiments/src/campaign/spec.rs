@@ -397,7 +397,7 @@ impl CampaignSpec {
 
     /// Parses a spec from a JSON document string.
     pub fn from_json_str(text: &str) -> Result<CampaignSpec, CampaignError> {
-        let doc = json::parse(text).map_err(CampaignError::BadSpec)?;
+        let doc = json::parse(text).map_err(|e| CampaignError::BadSpec(e.to_string()))?;
         Self::from_json(&doc)
     }
 

@@ -100,17 +100,19 @@ const KERNEL_PREFIXES: [&str; 3] = [
 ];
 
 /// Files that must route every sync primitive through `profirt_conc`.
-const FACADE_PREFIXES: [&str; 3] = [
+const FACADE_PREFIXES: [&str; 4] = [
     "vendor/crossbeam/src/",
     "crates/conc/src/exec.rs",
     "crates/experiments/src/runner.rs",
+    "crates/serve/src/",
 ];
 
 /// Crate roots that have adopted `#![deny(missing_docs)]`.
-const MISSING_DOCS_ADOPTERS: [&str; 4] = [
+const MISSING_DOCS_ADOPTERS: [&str; 5] = [
     "crates/conc/src/lib.rs",
     "crates/experiments/src/lib.rs",
     "crates/lint/src/lib.rs",
+    "crates/serve/src/lib.rs",
     "crates/workload/src/lib.rs",
 ];
 

@@ -1,0 +1,128 @@
+//! A bounded LRU memo for analysis results.
+//!
+//! Each engine shard owns one: near-duplicate queries — the campaign
+//! matrix asking the same ring under four policies, an admission
+//! controller re-probing after every reject — hit cache instead of
+//! re-running the fixpoints. Keys are the canonicalized request shape
+//! ([`crate::proto::Request::key`]: the request object minus its `"id"`,
+//! compact-rendered), values are the cached `"result"` [`Value`]; the
+//! response envelope is rebuilt per request, so a cache hit is
+//! byte-identical to a fresh evaluation.
+//!
+//! Recency is stamp-based: a monotone tick per access, eviction removes
+//! the minimum stamp. Eviction is `O(n)` over the map — deliberate: caps
+//! are small (hundreds), and a scan beats the intrusive-list bookkeeping
+//! an exact LRU would need for shapes this size.
+
+use std::collections::HashMap;
+
+use profirt_base::json::Value;
+
+/// A bounded least-recently-used map from canonical request keys to
+/// cached result values. Capacity 0 disables caching entirely.
+#[derive(Debug, Default)]
+pub struct Memo {
+    cap: usize,
+    tick: u64,
+    map: HashMap<String, (Value, u64)>,
+}
+
+impl Memo {
+    /// Creates a memo holding at most `cap` entries (0 = disabled).
+    pub fn new(cap: usize) -> Memo {
+        Memo {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &str) -> Option<Value> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(value, stamp)| {
+            *stamp = tick;
+            value.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn put(&mut self, key: &str, value: Value) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(key) && self.map.len() >= self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key.to_string(), (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: i64) -> Value {
+        Value::Int(n)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut m = Memo::new(4);
+        assert_eq!(m.get("a"), None);
+        m.put("a", v(1));
+        assert_eq!(m.get("a"), Some(v(1)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut m = Memo::new(2);
+        m.put("a", v(1));
+        m.put("b", v(2));
+        // Touch "a" so "b" is the LRU entry.
+        assert_eq!(m.get("a"), Some(v(1)));
+        m.put("c", v(3));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("b"), None, "LRU entry must have been evicted");
+        assert_eq!(m.get("a"), Some(v(1)));
+        assert_eq!(m.get("c"), Some(v(3)));
+    }
+
+    #[test]
+    fn refresh_does_not_grow() {
+        let mut m = Memo::new(2);
+        m.put("a", v(1));
+        m.put("a", v(2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a"), Some(v(2)));
+    }
+
+    #[test]
+    fn cap_zero_disables() {
+        let mut m = Memo::new(0);
+        m.put("a", v(1));
+        assert!(m.is_empty());
+        assert_eq!(m.get("a"), None);
+    }
+}

@@ -1,0 +1,859 @@
+//! The wire protocol: request parsing, pure evaluation, and canonical
+//! response rendering.
+//!
+//! One request per line, one response per line, both JSON. A request is
+//! an object with an `"op"` field selecting the query and an optional
+//! `"id"` echoed verbatim in the response (any JSON value — correlate
+//! pipelined requests however you like). Responses are rendered with
+//! [`Value::compact`]: single line, no insignificant whitespace, object
+//! keys sorted — equal answers are equal bytes, which is what the memo
+//! cache and the differential tests rely on.
+//!
+//! Success: `{"id":…,"ok":true,"op":"…","result":{…}}`.
+//! Failure: `{"id":…,"ok":false,"error":{"kind":"…","detail":"…"}}`.
+//!
+//! The split between the two follows the campaign evaluator's precedent:
+//! an *analysis* outcome — including "this set is not schedulable" and
+//! "utilization ≥ 1, the analysis rejects the set" — is a successful
+//! answer (`ok:true` with `"feasible":false` and a `"reason"`), while
+//! wire-level problems (malformed JSON, unknown ops, invalid model
+//! parameters, queue overload) are errors with a typed `kind`.
+//!
+//! [`eval`] is deliberately free of any serving machinery: the engine is
+//! a scheduler around it, and [`answer_line`] — parse, evaluate, render
+//! with fresh scratch — is the reference implementation the differential
+//! tests compare the whole queue/shard/memo pipeline against.
+
+use profirt_base::json::{self, Value};
+use profirt_base::{MessageStream, StreamSet, Task, TaskSet, Time};
+use profirt_core::{MasterConfig, NetworkAnalysis, NetworkConfig, PolicyKind, PolicyTuning};
+use profirt_sched::edf::{
+    edf_feasible_nonpreemptive_with, edf_feasible_preemptive_with, edf_response_times_with,
+    edf_utilization_test, np_edf_response_times_with, DemandConfig, DemandFormula, EdfRtaConfig,
+    NpBlockingModel, NpEdfRtaConfig, NpFeasibilityConfig,
+};
+use profirt_sched::fixed::{
+    hyperbolic_schedulable, np_response_times_with, response_times_with,
+    rm_utilization_schedulable, NpFixedConfig, PriorityMap, RtaConfig,
+};
+use profirt_sched::AnalysisScratch;
+
+/// Default cap on one request line, in bytes. Generous for any realistic
+/// ring spec (a 32-master, 32-stream network renders well under 8 KiB)
+/// while bounding per-connection memory — the line-length analogue of the
+/// parser's nesting cap.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Default per-hop token pass time in ticks (SD4 + TSYN + TID2 at
+/// 500 kbit/s), matching the CLI config-file default.
+pub const DEFAULT_TOKEN_PASS: i64 = 166;
+
+/// The task-set schedulability tests servable through
+/// `{"op":"task_feasibility"}` — the same spellings the campaign engine's
+/// `cpu` scenarios accept.
+pub const TASK_TESTS: [&str; 12] = [
+    "rm-ll",
+    "rm-hb",
+    "rm-rta",
+    "dm-rta",
+    "np-dm",
+    "edf-util",
+    "edf-demand",
+    "edf-demand-paper",
+    "np-edf-zs",
+    "np-edf-george",
+    "edf-rta",
+    "np-edf-rta",
+];
+
+/// A wire-level failure: a stable machine-readable `kind` plus a
+/// human-readable detail. Rendered as the response's `"error"` object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable error class: `"oversized"`, `"parse"`, `"schema"`,
+    /// `"unknown_op"`, `"unknown_policy"`, `"unknown_test"`, `"model"`,
+    /// `"overloaded"`, `"closed"`, or `"internal"`.
+    pub kind: &'static str,
+    /// Free-form diagnostic text.
+    pub detail: String,
+}
+
+fn wire(kind: &'static str, detail: impl Into<String>) -> WireError {
+    WireError {
+        kind,
+        detail: detail.into(),
+    }
+}
+
+/// A request that failed before evaluation, with whatever `id` could be
+/// recovered from the line (so even malformed requests correlate).
+#[derive(Clone, Debug)]
+pub struct RequestError {
+    /// The request's `id` if the document parsed far enough to have one.
+    pub id: Value,
+    /// What went wrong.
+    pub err: WireError,
+}
+
+/// A parsed, validated request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Echo token (`Value::Null` when absent).
+    pub id: Value,
+    /// Canonical memo key: the request object minus `"id"`, compact-
+    /// rendered. Two requests asking the same question have equal keys
+    /// regardless of field order or correlation ids.
+    pub key: String,
+    /// The validated operation.
+    pub op: Op,
+}
+
+/// The operations the daemon answers.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Liveness probe.
+    Ping,
+    /// Engine counters (served by the engine, not by [`eval`]).
+    Stats,
+    /// Whole-ring schedulability: is every stream's bound within its
+    /// deadline under the given policy?
+    Feasibility {
+        /// Queue policy to analyze under.
+        policy: PolicyKind,
+        /// The ring specification.
+        net: NetworkConfig,
+    },
+    /// Per-stream worst-case response-time bounds.
+    ResponseTimes {
+        /// Queue policy to analyze under.
+        policy: PolicyKind,
+        /// The ring specification.
+        net: NetworkConfig,
+    },
+    /// Admission control: would the ring stay fully schedulable with one
+    /// more stream on the given master?
+    Admit {
+        /// Queue policy to analyze under.
+        policy: PolicyKind,
+        /// The ring as currently admitted.
+        net: NetworkConfig,
+        /// Index of the master the stream would join.
+        master: usize,
+        /// The candidate stream.
+        stream: MessageStream,
+    },
+    /// A §2-style processor task-set schedulability test (see
+    /// [`TASK_TESTS`] for the accepted names).
+    TaskFeasibility {
+        /// Test name.
+        test: String,
+        /// The task set under test.
+        tasks: TaskSet,
+    },
+}
+
+impl Op {
+    /// The canonical op name, echoed in responses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::Feasibility { .. } => "feasibility",
+            Op::ResponseTimes { .. } => "response_times",
+            Op::Admit { .. } => "admit",
+            Op::TaskFeasibility { .. } => "task_feasibility",
+        }
+    }
+}
+
+fn field_i64(obj: &Value, key: &str, default: Option<i64>) -> Result<i64, WireError> {
+    match obj.get(key) {
+        Some(v) => v
+            .as_i64()
+            .ok_or_else(|| wire("schema", format!("field {key:?} must be an integer"))),
+        None => default.ok_or_else(|| wire("schema", format!("missing field {key:?}"))),
+    }
+}
+
+fn parse_policy(obj: &Value) -> Result<PolicyKind, WireError> {
+    let name = obj
+        .get("policy")
+        .ok_or_else(|| wire("schema", "missing field \"policy\""))?
+        .as_str()
+        .ok_or_else(|| wire("schema", "field \"policy\" must be a string"))?;
+    PolicyKind::parse(name).ok_or_else(|| {
+        wire(
+            "unknown_policy",
+            format!("unknown policy {name:?} (want fcfs|dm|dm-paper|edf)"),
+        )
+    })
+}
+
+fn parse_stream(v: &Value) -> Result<MessageStream, WireError> {
+    let ch = field_i64(v, "ch", None)?;
+    let d = field_i64(v, "d", None)?;
+    let t = field_i64(v, "t", None)?;
+    let j = field_i64(v, "j", Some(0))?;
+    MessageStream::with_jitter(ch, d, t, j).map_err(|e| wire("model", e.to_string()))
+}
+
+fn parse_net(obj: &Value) -> Result<NetworkConfig, WireError> {
+    let net = obj
+        .get("net")
+        .ok_or_else(|| wire("schema", "missing field \"net\""))?;
+    let ttr = field_i64(net, "ttr", None)?;
+    let token_pass = field_i64(net, "token_pass", Some(DEFAULT_TOKEN_PASS))?;
+    let masters = net
+        .get("masters")
+        .ok_or_else(|| wire("schema", "missing field \"net.masters\""))?
+        .as_array()
+        .ok_or_else(|| wire("schema", "field \"net.masters\" must be an array"))?
+        .iter()
+        .map(|m| {
+            let cl = field_i64(m, "cl", Some(0))?;
+            let streams = m
+                .get("streams")
+                .ok_or_else(|| wire("schema", "missing field \"streams\" in master"))?
+                .as_array()
+                .ok_or_else(|| wire("schema", "field \"streams\" must be an array"))?
+                .iter()
+                .map(parse_stream)
+                .collect::<Result<Vec<_>, _>>()?;
+            let set = StreamSet::new(streams).map_err(|e| wire("model", e.to_string()))?;
+            Ok(MasterConfig::new(set, Time::new(cl)))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(NetworkConfig::new(masters, Time::new(ttr))
+        .map_err(|e| wire("model", e.to_string()))?
+        .with_token_pass(Time::new(token_pass)))
+}
+
+fn parse_tasks(obj: &Value) -> Result<TaskSet, WireError> {
+    let tasks = obj
+        .get("tasks")
+        .ok_or_else(|| wire("schema", "missing field \"tasks\""))?
+        .as_array()
+        .ok_or_else(|| wire("schema", "field \"tasks\" must be an array"))?
+        .iter()
+        .map(|t| {
+            let c = field_i64(t, "c", None)?;
+            let d = field_i64(t, "d", None)?;
+            let period = field_i64(t, "t", None)?;
+            let j = field_i64(t, "j", Some(0))?;
+            Task::with_jitter(c, d, period, j).map_err(|e| wire("model", e.to_string()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    TaskSet::new(tasks).map_err(|e| wire("model", e.to_string()))
+}
+
+/// Parses and validates one request line. On failure the recovered `id`
+/// (if any) rides along so the error response still correlates.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let fail = |id: Value, err: WireError| Err(RequestError { id, err });
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return fail(Value::Null, wire("parse", e.to_string())),
+    };
+    let Some(obj) = doc.as_object() else {
+        return fail(Value::Null, wire("schema", "request must be a JSON object"));
+    };
+    let id = obj.get("id").cloned().unwrap_or(Value::Null);
+    // Canonical memo key: the request minus its correlation id.
+    let key = {
+        let mut canonical = obj.clone();
+        canonical.remove("id");
+        Value::Object(canonical).compact()
+    };
+    let op_name = match obj.get("op").map(|v| v.as_str()) {
+        Some(Some(name)) => name,
+        Some(None) => return fail(id, wire("schema", "field \"op\" must be a string")),
+        None => return fail(id, wire("schema", "missing field \"op\"")),
+    };
+    let parsed = match op_name {
+        "ping" => Ok(Op::Ping),
+        "stats" => Ok(Op::Stats),
+        "feasibility" => parse_policy(&doc).and_then(|policy| {
+            Ok(Op::Feasibility {
+                policy,
+                net: parse_net(&doc)?,
+            })
+        }),
+        "response_times" => parse_policy(&doc).and_then(|policy| {
+            Ok(Op::ResponseTimes {
+                policy,
+                net: parse_net(&doc)?,
+            })
+        }),
+        "admit" => parse_policy(&doc).and_then(|policy| {
+            let net = parse_net(&doc)?;
+            let sv = doc
+                .get("stream")
+                .ok_or_else(|| wire("schema", "missing field \"stream\""))?;
+            let master = field_i64(sv, "master", None)?;
+            let master = usize::try_from(master)
+                .ok()
+                .filter(|&k| k < net.n_masters())
+                .ok_or_else(|| {
+                    wire(
+                        "schema",
+                        format!(
+                            "field \"stream.master\" must index a master (0..{})",
+                            net.n_masters()
+                        ),
+                    )
+                })?;
+            Ok(Op::Admit {
+                policy,
+                net,
+                master,
+                stream: parse_stream(sv)?,
+            })
+        }),
+        "task_feasibility" => {
+            let test = match doc.get("test").map(|v| v.as_str()) {
+                Some(Some(name)) => name.to_string(),
+                Some(None) => return fail(id, wire("schema", "field \"test\" must be a string")),
+                None => return fail(id, wire("schema", "missing field \"test\"")),
+            };
+            if !TASK_TESTS.contains(&test.as_str()) {
+                return fail(
+                    id,
+                    wire("unknown_test", format!("unknown task test {test:?}")),
+                );
+            }
+            parse_tasks(&doc).map(|tasks| Op::TaskFeasibility { test, tasks })
+        }
+        other => return fail(id, wire("unknown_op", format!("unknown op {other:?}"))),
+    };
+    match parsed {
+        Ok(op) => Ok(Request { id, key, op }),
+        Err(err) => fail(id, err),
+    }
+}
+
+/// Reusable per-shard working memory: the policy-dispatch scratch for
+/// network analyses plus the `profirt_sched` scratch for task-set tests.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    policy: profirt_core::PolicyScratch,
+    tasks: AnalysisScratch,
+}
+
+fn feasibility_result(an: &NetworkAnalysis) -> Value {
+    let streams = an.masters.iter().map(Vec::len).sum::<usize>();
+    let sched = an
+        .masters
+        .iter()
+        .flatten()
+        .filter(|r| r.schedulable)
+        .count();
+    json::object([
+        ("feasible", Value::Bool(an.all_schedulable())),
+        ("streams", Value::Int(streams as i64)),
+        ("schedulable_streams", Value::Int(sched as i64)),
+        ("tcycle", Value::Int(an.tcycle.ticks())),
+        ("tdel", Value::Int(an.tdel.ticks())),
+    ])
+}
+
+/// The `ok:true, feasible:false` shape for analysis-level rejections
+/// (utilization ≥ 1, divergent recurrences): the analysis *answered* —
+/// the set is not admissible — and says why.
+fn infeasible_result(reason: impl std::fmt::Display) -> Value {
+    json::object([
+        ("feasible", Value::Bool(false)),
+        ("reason", Value::Str(reason.to_string())),
+    ])
+}
+
+fn response_times_result(an: &NetworkAnalysis) -> Value {
+    let rows = an
+        .masters
+        .iter()
+        .flatten()
+        .map(|r| {
+            json::object([
+                ("master", Value::Int(r.master as i64)),
+                ("stream", Value::Int(r.stream as i64)),
+                ("r", Value::Int(r.response_time.ticks())),
+                ("d", Value::Int(r.deadline.ticks())),
+                ("schedulable", Value::Bool(r.schedulable)),
+            ])
+        })
+        .collect();
+    json::object([
+        ("feasible", Value::Bool(an.all_schedulable())),
+        ("tcycle", Value::Int(an.tcycle.ticks())),
+        ("tdel", Value::Int(an.tdel.ticks())),
+        ("rows", Value::Array(rows)),
+    ])
+}
+
+fn eval_admit(
+    policy: PolicyKind,
+    net: &NetworkConfig,
+    master: usize,
+    stream: MessageStream,
+    tuning: &PolicyTuning,
+    scratch: &mut EvalScratch,
+) -> Result<Value, WireError> {
+    // Candidate ring: the existing spec with the stream appended to the
+    // target master. Reconstruction can fail only on model-level limits
+    // (e.g. overflow) — that is a definitive "no".
+    let mut masters = net.masters.clone();
+    let mut streams = masters[master].streams.streams().to_vec();
+    streams.push(stream);
+    let candidate = StreamSet::new(streams)
+        .and_then(|set| {
+            masters[master] = MasterConfig::new(set, masters[master].cl);
+            NetworkConfig::new(masters, net.ttr)
+        })
+        .map(|c| c.with_token_pass(net.token_pass));
+    let candidate = match candidate {
+        Ok(c) => c,
+        Err(e) => {
+            return Ok(json::object([
+                ("admit", Value::Bool(false)),
+                ("reason", Value::Str(e.to_string())),
+            ]))
+        }
+    };
+    match policy.analyze_with_scratch(&candidate, tuning, &mut scratch.policy) {
+        Ok(an) => {
+            // The candidate is the last stream of `master`'s row set.
+            let r_new = an.masters[master]
+                .last()
+                .map(|r| r.response_time.ticks())
+                .unwrap_or(0);
+            let streams = an.masters.iter().map(Vec::len).sum::<usize>();
+            let sched = an
+                .masters
+                .iter()
+                .flatten()
+                .filter(|r| r.schedulable)
+                .count();
+            Ok(json::object([
+                ("admit", Value::Bool(an.all_schedulable())),
+                ("streams", Value::Int(streams as i64)),
+                ("schedulable_streams", Value::Int(sched as i64)),
+                ("tcycle", Value::Int(an.tcycle.ticks())),
+                ("r_new", Value::Int(r_new)),
+            ]))
+        }
+        Err(e) => Ok(json::object([
+            ("admit", Value::Bool(false)),
+            ("reason", Value::Str(e.to_string())),
+        ])),
+    }
+}
+
+fn wcrts_value(wcrts: Option<Vec<Time>>) -> Value {
+    match wcrts {
+        Some(ws) => Value::Array(ws.iter().map(|w| Value::Int(w.ticks())).collect()),
+        None => Value::Null,
+    }
+}
+
+fn task_result(accepted: bool, wcrts: Value) -> Value {
+    json::object([("accepted", Value::Bool(accepted)), ("wcrts", wcrts)])
+}
+
+fn eval_task_test(test: &str, set: &TaskSet, scratch: &mut AnalysisScratch) -> Value {
+    let fixed = |pm: &PriorityMap, np: bool, scratch: &mut AnalysisScratch| {
+        let an = if np {
+            np_response_times_with(set, pm, &NpFixedConfig::george(), scratch)
+        } else {
+            response_times_with(set, pm, &RtaConfig::default(), scratch)
+        };
+        match an {
+            Ok(an) => task_result(an.all_schedulable(), wcrts_value(an.wcrts())),
+            Err(e) => infeasible_task(e),
+        }
+    };
+    let edf = |np: bool, scratch: &mut AnalysisScratch| {
+        let details = if np {
+            np_edf_response_times_with(set, &NpEdfRtaConfig::default(), scratch).map(|(_, d)| d)
+        } else {
+            edf_response_times_with(set, &EdfRtaConfig::default(), scratch).map(|(_, d)| d)
+        };
+        match details {
+            Ok(details) => {
+                let ok = set.iter().all(|(i, task)| details[i].wcrt <= task.d);
+                let ws = details.iter().map(|d| d.wcrt).collect();
+                task_result(ok, wcrts_value(Some(ws)))
+            }
+            Err(e) => infeasible_task(e),
+        }
+    };
+    let demand = |formula: DemandFormula, scratch: &mut AnalysisScratch| {
+        let cfg = DemandConfig {
+            formula,
+            ..Default::default()
+        };
+        match edf_feasible_preemptive_with(set, &cfg, scratch) {
+            Ok(f) => task_result(f.feasible, Value::Null),
+            Err(e) => infeasible_task(e),
+        }
+    };
+    let np_demand = |blocking: NpBlockingModel, scratch: &mut AnalysisScratch| {
+        let cfg = NpFeasibilityConfig {
+            blocking,
+            formula: DemandFormula::Standard,
+            ..Default::default()
+        };
+        match edf_feasible_nonpreemptive_with(set, &cfg, scratch) {
+            Ok(f) => task_result(f.feasible, Value::Null),
+            Err(e) => infeasible_task(e),
+        }
+    };
+    match test {
+        "rm-ll" => task_result(
+            rm_utilization_schedulable(set).is_schedulable(),
+            Value::Null,
+        ),
+        "rm-hb" => task_result(hyperbolic_schedulable(set).is_schedulable(), Value::Null),
+        "rm-rta" => fixed(&PriorityMap::rate_monotonic(set), false, scratch),
+        "dm-rta" => fixed(&PriorityMap::deadline_monotonic(set), false, scratch),
+        "np-dm" => fixed(&PriorityMap::deadline_monotonic(set), true, scratch),
+        "edf-util" => task_result(
+            edf_utilization_test(set).at_most_one && set.all_implicit_deadlines(),
+            Value::Null,
+        ),
+        "edf-demand" => demand(DemandFormula::Standard, scratch),
+        "edf-demand-paper" => demand(DemandFormula::PaperCeiling, scratch),
+        "np-edf-zs" => np_demand(NpBlockingModel::ZhengShin, scratch),
+        "np-edf-george" => np_demand(NpBlockingModel::George, scratch),
+        "edf-rta" => edf(false, scratch),
+        // parse_request validated against TASK_TESTS, so this arm is the
+        // last member, not a catch-all that could mask typos.
+        _ => edf(true, scratch),
+    }
+}
+
+fn infeasible_task(reason: impl std::fmt::Display) -> Value {
+    json::object([
+        ("accepted", Value::Bool(false)),
+        ("wcrts", Value::Null),
+        ("reason", Value::Str(reason.to_string())),
+    ])
+}
+
+/// Evaluates one request to its `"result"` value. Pure: same request,
+/// same tuning → same value, independent of scratch history (every
+/// scratch buffer is cleared before use — pinned by the core tests).
+///
+/// `Op::Stats` is the one op this function cannot answer (counters live
+/// in the engine); it returns a `"schema"` error here so the pure path
+/// stays total.
+pub fn eval(
+    req: &Request,
+    tuning: &PolicyTuning,
+    scratch: &mut EvalScratch,
+) -> Result<Value, WireError> {
+    match &req.op {
+        Op::Ping => Ok(json::object([("pong", Value::Bool(true))])),
+        Op::Stats => Err(wire(
+            "schema",
+            "op \"stats\" is only answered by a running engine",
+        )),
+        Op::Feasibility { policy, net } => {
+            match policy.analyze_with_scratch(net, tuning, &mut scratch.policy) {
+                Ok(an) => Ok(feasibility_result(&an)),
+                Err(e) => Ok(infeasible_result(e)),
+            }
+        }
+        Op::ResponseTimes { policy, net } => {
+            match policy.analyze_with_scratch(net, tuning, &mut scratch.policy) {
+                Ok(an) => Ok(response_times_result(&an)),
+                Err(e) => Ok(infeasible_result(e)),
+            }
+        }
+        Op::Admit {
+            policy,
+            net,
+            master,
+            stream,
+        } => eval_admit(*policy, net, *master, *stream, tuning, scratch),
+        Op::TaskFeasibility { test, tasks } => Ok(eval_task_test(test, tasks, &mut scratch.tasks)),
+    }
+}
+
+/// Renders an analysis network back to the wire schema's `"net"` value —
+/// the inverse of the parser, used by the load harness and the test
+/// corpora to build request lines from generated networks.
+pub fn net_to_value(net: &NetworkConfig) -> Value {
+    let masters = net
+        .masters
+        .iter()
+        .map(|m| {
+            let streams = m
+                .streams
+                .streams()
+                .iter()
+                .map(|s| {
+                    json::object([
+                        ("ch", Value::Int(s.ch.ticks())),
+                        ("d", Value::Int(s.d.ticks())),
+                        ("t", Value::Int(s.t.ticks())),
+                        ("j", Value::Int(s.j.ticks())),
+                    ])
+                })
+                .collect();
+            json::object([
+                ("cl", Value::Int(m.cl.ticks())),
+                ("streams", Value::Array(streams)),
+            ])
+        })
+        .collect();
+    json::object([
+        ("ttr", Value::Int(net.ttr.ticks())),
+        ("token_pass", Value::Int(net.token_pass.ticks())),
+        ("masters", Value::Array(masters)),
+    ])
+}
+
+/// Builds the success envelope.
+pub fn ok_envelope(id: &Value, op: &str, result: Value) -> Value {
+    json::object([
+        ("id", id.clone()),
+        ("ok", Value::Bool(true)),
+        ("op", Value::Str(op.to_string())),
+        ("result", result),
+    ])
+}
+
+/// Builds the failure envelope.
+pub fn err_envelope(id: &Value, err: &WireError) -> Value {
+    json::object([
+        ("id", id.clone()),
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            json::object([
+                ("kind", Value::Str(err.kind.to_string())),
+                ("detail", Value::Str(err.detail.clone())),
+            ]),
+        ),
+    ])
+}
+
+/// The oversized-line response (the request was never parsed, so no `id`
+/// can be echoed).
+pub fn oversized_response(len: usize, cap: usize) -> String {
+    err_envelope(
+        &Value::Null,
+        &wire(
+            "oversized",
+            format!("request line is {len} bytes; the cap is {cap}"),
+        ),
+    )
+    .compact()
+}
+
+/// The invalid-UTF-8 response for raw byte streams.
+pub fn invalid_utf8_response() -> String {
+    err_envelope(
+        &Value::Null,
+        &wire("parse", "request line is not valid UTF-8"),
+    )
+    .compact()
+}
+
+/// A backpressure response (`kind` is `"overloaded"` or `"closed"`),
+/// best-effort recovering the request's `id` so shed load still
+/// correlates.
+pub fn reject_response(line: &str, kind: &'static str, detail: &str) -> String {
+    let id = json::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("id").cloned())
+        .unwrap_or(Value::Null);
+    err_envelope(&id, &wire(kind, detail)).compact()
+}
+
+/// The pure reference path: parse, evaluate with the given tuning and
+/// scratch, render. The engine must answer byte-identically to this for
+/// every request (`stats` aside) — the differential tests enforce it.
+pub fn answer_line_with(line: &str, tuning: &PolicyTuning, scratch: &mut EvalScratch) -> String {
+    match parse_request(line) {
+        Err(re) => err_envelope(&re.id, &re.err).compact(),
+        Ok(req) => match eval(&req, tuning, scratch) {
+            Ok(result) => ok_envelope(&req.id, req.op.name(), result).compact(),
+            Err(err) => err_envelope(&req.id, &err).compact(),
+        },
+    }
+}
+
+/// [`answer_line_with`] with default tuning and fresh scratch — one
+/// request, zero shared state.
+pub fn answer_line(line: &str) -> String {
+    answer_line_with(line, &PolicyTuning::default(), &mut EvalScratch::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: &str = r#""net":{"ttr":2000,"masters":[{"cl":0,"streams":[{"ch":300,"d":30000,"t":30000},{"ch":240,"d":60000,"t":60000}]}]}"#;
+
+    #[test]
+    fn ping_pongs() {
+        let resp = answer_line(r#"{"op":"ping","id":7}"#);
+        assert_eq!(
+            resp,
+            r#"{"id":7,"ok":true,"op":"ping","result":{"pong":true}}"#
+        );
+    }
+
+    #[test]
+    fn feasibility_answers_and_echoes_id() {
+        let line = format!(r#"{{"op":"feasibility","id":"q1","policy":"dm",{NET}}}"#);
+        let resp = answer_line(&line);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("q1"));
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("feasible").unwrap().as_bool(), Some(true));
+        assert_eq!(result.get("streams").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn response_times_match_direct_analysis() {
+        let line = format!(r#"{{"op":"response_times","policy":"fcfs",{NET}}}"#);
+        let doc = json::parse(&answer_line(&line)).unwrap();
+        let rows = doc
+            .get("result")
+            .unwrap()
+            .get("rows")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        // Direct library call on the same spec.
+        let req = parse_request(&line).unwrap();
+        let Op::ResponseTimes { net, .. } = &req.op else {
+            panic!("parsed op mismatch")
+        };
+        let an = PolicyKind::Fcfs.analyze(net).unwrap();
+        let direct: Vec<i64> = an
+            .masters
+            .iter()
+            .flatten()
+            .map(|r| r.response_time.ticks())
+            .collect();
+        let served: Vec<i64> = rows
+            .iter()
+            .map(|r| r.get("r").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(served, direct);
+    }
+
+    #[test]
+    fn admit_accepts_then_rejects() {
+        // A lax stream fits; a stream with a sub-Tcycle deadline never can.
+        let ok_line = format!(
+            r#"{{"op":"admit","policy":"dm",{NET},"stream":{{"master":0,"ch":100,"d":50000,"t":50000}}}}"#
+        );
+        let doc = json::parse(&answer_line(&ok_line)).unwrap();
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("admit").unwrap().as_bool(), Some(true));
+        assert!(result.get("r_new").unwrap().as_i64().unwrap() > 0);
+
+        let no_line = format!(
+            r#"{{"op":"admit","policy":"dm",{NET},"stream":{{"master":0,"ch":100,"d":10,"t":50000}}}}"#
+        );
+        let doc = json::parse(&answer_line(&no_line)).unwrap();
+        assert_eq!(
+            doc.get("result").unwrap().get("admit").unwrap().as_bool(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn utilization_overflow_is_an_answer_not_an_error() {
+        // Periods equal to Tcycle-scale: utilization >= 1 under EDF.
+        let line = r#"{"op":"feasibility","policy":"edf","net":{"ttr":900,"masters":[{"cl":100,"streams":[{"ch":100,"d":1500,"t":1500},{"ch":100,"d":1500,"t":1500}]}]}}"#;
+        let doc = json::parse(&answer_line(line)).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("feasible").unwrap().as_bool(), Some(false));
+        assert!(result.get("reason").unwrap().as_str().is_some());
+    }
+
+    #[test]
+    fn task_feasibility_runs_every_test() {
+        for test in TASK_TESTS {
+            let line = format!(
+                r#"{{"op":"task_feasibility","test":"{test}","tasks":[{{"c":1,"d":10,"t":10}},{{"c":2,"d":14,"t":14}}]}}"#
+            );
+            let doc = json::parse(&answer_line(&line)).unwrap();
+            assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true), "{test}");
+            let accepted = doc
+                .get("result")
+                .unwrap()
+                .get("accepted")
+                .unwrap()
+                .as_bool()
+                .unwrap();
+            assert!(accepted, "{test}: trivial set must be accepted");
+        }
+    }
+
+    #[test]
+    fn wire_errors_are_typed() {
+        let kind_of = |line: &str| {
+            let doc = json::parse(&answer_line(line)).unwrap();
+            assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+            doc.get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(kind_of("not json"), "parse");
+        assert_eq!(kind_of("[1,2]"), "schema");
+        assert_eq!(kind_of(r#"{"op":"frobnicate"}"#), "unknown_op");
+        assert_eq!(
+            kind_of(&format!(r#"{{"op":"feasibility","policy":"lifo",{NET}}}"#)),
+            "unknown_policy"
+        );
+        assert_eq!(
+            kind_of(r#"{"op":"task_feasibility","test":"nope","tasks":[]}"#),
+            "unknown_test"
+        );
+        // Model-level rejection: a zero period is not a valid stream.
+        assert_eq!(
+            kind_of(
+                r#"{"op":"feasibility","policy":"dm","net":{"ttr":2000,"masters":[{"streams":[{"ch":1,"d":5,"t":0}]}]}}"#
+            ),
+            "model"
+        );
+        assert_eq!(kind_of(r#"{"op":"stats"}"#), "schema");
+    }
+
+    #[test]
+    fn memo_key_ignores_id_but_not_payload() {
+        let a = parse_request(&format!(
+            r#"{{"op":"feasibility","id":1,"policy":"dm",{NET}}}"#
+        ))
+        .unwrap();
+        let b = parse_request(&format!(
+            r#"{{"op":"feasibility","id":"other","policy":"dm",{NET}}}"#
+        ))
+        .unwrap();
+        let c = parse_request(&format!(
+            r#"{{"op":"feasibility","id":1,"policy":"edf",{NET}}}"#
+        ))
+        .unwrap();
+        assert_eq!(a.key, b.key);
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn responses_are_single_line_compact() {
+        let line = format!(r#"{{"op":"response_times","policy":"edf",{NET}}}"#);
+        let resp = answer_line(&line);
+        assert!(!resp.contains('\n'));
+        assert_eq!(json::parse(&resp).unwrap().compact(), resp);
+    }
+}

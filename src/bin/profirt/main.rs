@@ -9,6 +9,8 @@
 //! profirt campaign run <spec.json|preset> [--quick] [--out DIR]
 //! profirt campaign list
 //! profirt campaign describe <spec.json|preset>
+//! profirt serve    [--listen ADDR | --stdin | --selftest [--quick]]
+//!                  [--workers N] [--queue-cap N] [--memo-cap N]
 //! profirt example-config
 //! ```
 //!
@@ -18,6 +20,7 @@
 mod campaign_cmd;
 mod config_file;
 mod output;
+mod serve_cmd;
 
 use std::process::ExitCode;
 
@@ -105,6 +108,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 })
             }
         },
+        "serve" => serve_cmd::run(args),
         "example-config" => {
             println!("{}", config_file::example_json());
             Ok(())
@@ -175,6 +179,8 @@ fn print_usage() {
            profirt campaign run <spec.json|preset> [--quick] [--horizon TICKS] [--out DIR]\n\
            profirt campaign list\n\
            profirt campaign describe <spec.json|preset>\n\
+           profirt serve    [--listen ADDR | --stdin | --selftest [--quick]]\n\
+                    [--workers N] [--queue-cap N] [--memo-cap N]\n\
            profirt example-config\n"
     );
 }

@@ -23,6 +23,9 @@
 //! * [`experiments`] — the T1–T8/F1–F6 reproduction harness and the
 //!   campaign engine (declarative scenario-matrix runs; see
 //!   `ARCHITECTURE.md` and `profirt campaign --help`).
+//! * [`serve`] — the admission-control daemon behind `profirt serve`:
+//!   line-delimited JSON feasibility/response-time/admit queries over TCP
+//!   or stdin, answered by sharded workers on the verified executor.
 //!
 //! ## Quickstart
 //!
@@ -57,5 +60,6 @@ pub use profirt_core as core;
 pub use profirt_experiments as experiments;
 pub use profirt_profibus as profibus;
 pub use profirt_sched as sched;
+pub use profirt_serve as serve;
 pub use profirt_sim as sim;
 pub use profirt_workload as workload;
