@@ -1,0 +1,103 @@
+//! Advisory perf floor over the `BENCH_analysis.json` baseline.
+//!
+//! Reads the artifact the `analysis_fast` bench writes (workspace
+//! `target/BENCH_analysis.json` by default, `BENCH_ANALYSIS_JSON`
+//! overrides) and warns — exit code 1 — when either batch-analysis
+//! headline slips:
+//!
+//! * the `warm_sweep_chain64_vs_cold` speedup drops below
+//!   [`WARM_SWEEP_FLOOR`] (the warm chain should stay at least 2x the
+//!   per-call cold walk), or
+//! * the campaign `warm_units_per_sec` regresses more than
+//!   [`REGRESSION_TOLERANCE`] below [`CAMPAIGN_UNITS_PER_SEC_REFERENCE`]
+//!   (a committed reference measurement; absolute throughput is
+//!   machine-relative, which is one reason the CI step is advisory).
+//!
+//! A missing or unparseable artifact, or one written by a smoke run
+//! (`smoke_run: true` — throughput of a smoke fixture is meaningless),
+//! exits 2 so CI logs distinguish "floor tripped" from "nothing to
+//! check". Success prints the checked numbers and exits 0.
+//!
+//! The CI step running this is `continue-on-error: true` by design: the
+//! floor flags a perf regression for a human to look at; it must not
+//! block an otherwise-green build on a noisy shared runner.
+
+use profirt_base::json::{self, Value};
+
+/// Minimum acceptable warm-sweep speedup (warm chain vs per-call cold).
+const WARM_SWEEP_FLOOR: f64 = 2.0;
+
+/// Committed reference for the warm campaign's evaluation throughput,
+/// measured on the fixture of `analysis_fast::campaign_spec` (256 units,
+/// one worker). Re-measure and update when the fixture changes.
+const CAMPAIGN_UNITS_PER_SEC_REFERENCE: f64 = 230_000.0;
+
+/// Fractional regression against the reference that trips the warning.
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
+fn fail_setup(msg: &str) -> ! {
+    eprintln!("perf_floor: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let path = std::env::var("BENCH_ANALYSIS_JSON")
+        .unwrap_or_else(|_| "target/BENCH_analysis.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail_setup(&format!(
+            "cannot read {path}: {e} (run `cargo bench -p profirt_bench --bench analysis_fast` first)"
+        )),
+    };
+    let doc = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => fail_setup(&format!("cannot parse {path}: {e}")),
+    };
+    if doc.get("smoke_run").and_then(Value::as_bool) != Some(false) {
+        fail_setup(&format!(
+            "{path} was written by a smoke run; throughput floors only apply to full runs"
+        ));
+    }
+
+    let warm_sweep = doc
+        .get("comparisons")
+        .and_then(Value::as_array)
+        .and_then(|rows| {
+            rows.iter().find(|r| {
+                r.get("comparison").and_then(Value::as_str) == Some("warm_sweep_chain64_vs_cold")
+            })
+        })
+        .and_then(|r| r.get("speedup"))
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| fail_setup(&format!("{path} has no warm_sweep_chain64_vs_cold row")));
+    let campaign_ups = doc
+        .get("campaign")
+        .and_then(|c| c.get("warm_units_per_sec"))
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| fail_setup(&format!("{path} has no campaign.warm_units_per_sec")));
+
+    let ups_floor = CAMPAIGN_UNITS_PER_SEC_REFERENCE * (1.0 - REGRESSION_TOLERANCE);
+    let mut tripped = false;
+    if warm_sweep < WARM_SWEEP_FLOOR {
+        eprintln!(
+            "perf_floor: WARN warm-sweep speedup {warm_sweep:.2}x is below the {WARM_SWEEP_FLOOR:.1}x floor"
+        );
+        tripped = true;
+    }
+    if campaign_ups < ups_floor {
+        eprintln!(
+            "perf_floor: WARN campaign warm throughput {campaign_ups:.0} units/s regressed \
+             more than {:.0}% below the committed reference {CAMPAIGN_UNITS_PER_SEC_REFERENCE:.0} \
+             units/s (floor {ups_floor:.0})",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        tripped = true;
+    }
+    if tripped {
+        std::process::exit(1);
+    }
+    println!(
+        "perf_floor: ok (warm-sweep {warm_sweep:.2}x >= {WARM_SWEEP_FLOOR:.1}x, campaign \
+         {campaign_ups:.0} units/s >= {ups_floor:.0} units/s)"
+    );
+}

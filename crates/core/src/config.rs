@@ -130,6 +130,21 @@ impl NetworkConfig {
         Ok(NetworkConfig::new(self.masters.clone(), ttr)?.with_token_pass(self.token_pass))
     }
 
+    /// Replaces `TTR` in place: exactly [`NetworkConfig::with_ttr`] minus
+    /// the master-set copy, with the same validation and `self` untouched
+    /// on error. The warm campaign chains re-parameterise one realized
+    /// network per `ttr` coordinate; cloning every stream set per
+    /// coordinate would dominate the chain walk.
+    pub fn set_ttr(&mut self, ttr: Time) -> AnalysisResult<()> {
+        if !ttr.is_positive() {
+            return Err(AnalysisError::Model(
+                profirt_base::ModelError::NonPositivePeriod { value: ttr.ticks() },
+            ));
+        }
+        self.ttr = ttr;
+        Ok(())
+    }
+
     /// Number of masters `n`.
     pub fn n_masters(&self) -> usize {
         self.masters.len()
@@ -193,5 +208,19 @@ mod tests {
         let net2 = net.with_ttr(t(999)).unwrap();
         assert_eq!(net2.ttr, t(999));
         assert_eq!(net2.masters, net.masters);
+    }
+
+    #[test]
+    fn set_ttr_matches_with_ttr() {
+        let net = NetworkConfig::new(vec![MasterConfig::new(streams(), t(5))], t(100))
+            .unwrap()
+            .with_token_pass(t(7));
+        let copied = net.with_ttr(t(999)).unwrap();
+        let mut patched = net.clone();
+        patched.set_ttr(t(999)).unwrap();
+        assert_eq!(patched, copied);
+        // Same validation, and `self` is untouched on error.
+        assert!(patched.set_ttr(t(0)).is_err());
+        assert_eq!(patched.ttr, t(999));
     }
 }

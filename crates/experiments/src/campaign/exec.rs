@@ -1,20 +1,25 @@
 //! The campaign executor: shards work units over the seed-parallel worker
 //! pool and writes the artifact set.
 //!
-//! Units — not replication seeds — are the sharding grain: each unit's
-//! replications run serially inside one worker, so per-unit aggregation
-//! needs no cross-thread state and the row order is plan order regardless
-//! of scheduling. A unit that panics (degenerate generation parameters,
-//! analysis invariant violation) is caught by the panic-safe runner and
-//! surfaced as a [`CampaignError::UnitPanics`] naming the failing unit IDs
-//! instead of aborting the whole campaign process.
+//! The sharding grain depends on the [`EvalMode`]: the default warm mode
+//! hands each worker a contiguous *warm chain* (units linked along the
+//! fastest-varying axis, see `plan::CampaignPlan::warm_chains`), so a
+//! worker generates each workload once and walks the chain with warm
+//! analysis state; cold mode shards independent units, one evaluation
+//! context each. Either way a unit's replications run serially inside one
+//! worker, per-unit aggregation needs no cross-thread state, and the row
+//! order is plan order regardless of scheduling. A unit that panics
+//! (degenerate generation parameters, analysis invariant violation) is
+//! caught by the panic-safe runner and surfaced as a
+//! [`CampaignError::UnitPanics`] naming the failing unit IDs instead of
+//! aborting the whole campaign process.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use profirt_base::json::{self, Value};
 
-use super::eval::{eval_unit, metric_names};
+use super::eval::{eval_chain, eval_unit, metric_names, UnitEval};
 use super::plan::{plan, CampaignPlan};
 use super::report;
 use super::spec::CampaignSpec;
@@ -36,8 +41,18 @@ pub struct CampaignOutcome {
     /// Per-unit metric rows, aligned with `plan.units` and `metrics`.
     pub rows: Vec<Vec<f64>>,
     /// Per-unit evaluation wall time in microseconds, aligned with
-    /// `plan.units` (the `unit_micros` column of `units.csv`).
+    /// `plan.units` (the `unit_micros` column of `units.csv`). Warm-chain
+    /// units report the chain's elapsed time divided by its length.
     pub unit_micros: Vec<f64>,
+    /// Per-unit fixpoint iteration counts (`NaN` for uninstrumented
+    /// evaluators, e.g. the network analyses), aligned with `plan.units`.
+    pub fixpoint_iters: Vec<f64>,
+    /// Per-unit warm-hit flags (`1.0` when the unit reused its warm
+    /// predecessor's generated workload), aligned with `plan.units`.
+    pub warm_hits: Vec<f64>,
+    /// Per-unit workload-generation failure notes (`None` for healthy
+    /// units), aligned with `plan.units`.
+    pub unit_errors: Vec<Option<String>>,
     /// Total campaign wall time in seconds (planning + evaluation across
     /// all workers, as observed by the caller).
     pub total_wall_secs: f64,
@@ -60,30 +75,46 @@ pub fn fmt_metric(x: f64) -> String {
 
 impl CampaignOutcome {
     /// The per-unit results as an aligned text table (also the CSV shape).
-    /// The trailing `unit_micros` column is instrumentation, not a metric:
-    /// it varies run to run even when every metric is deterministic.
+    /// The trailing `fixpoint_iters`, `warm_hit` and `unit_micros` columns
+    /// are instrumentation, not metrics: they vary with the evaluation
+    /// mode (and, for timing, run to run) even when every metric is
+    /// deterministic — comparisons strip all three.
     pub fn units_table(&self) -> Table {
         let mut headers: Vec<&str> = vec!["unit"];
         for axis in &self.spec.axes {
             headers.push(&axis.name);
         }
         headers.extend(self.metrics.iter().copied());
+        headers.push("fixpoint_iters");
+        headers.push("warm_hit");
         headers.push("unit_micros");
         let mut t = Table::new("campaign units", &headers);
-        for ((unit, row), micros) in self
-            .plan
-            .units
-            .iter()
-            .zip(&self.rows)
-            .zip(&self.unit_micros)
-        {
+        for (i, (unit, row)) in self.plan.units.iter().zip(&self.rows).enumerate() {
             let mut cells = vec![unit.id.clone()];
             cells.extend(unit.point.iter().map(|(_, v)| v.to_string()));
             cells.extend(row.iter().map(|&x| fmt_metric(x)));
-            cells.push(fmt_metric(micros.round()));
+            cells.push(fmt_metric(self.fixpoint_iters[i].round()));
+            cells.push(fmt_metric(self.warm_hits[i]));
+            cells.push(fmt_metric(self.unit_micros[i].round()));
             t.row(cells);
         }
         t
+    }
+
+    /// Fraction of units that reused a warm predecessor's workload
+    /// (0 in cold mode and for chain heads).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_hits.is_empty() {
+            0.0
+        } else {
+            self.warm_hits.iter().sum::<f64>() / self.warm_hits.len() as f64
+        }
+    }
+
+    /// Total fixpoint iterations over the instrumented units (`NaN`
+    /// entries from uninstrumented evaluators are skipped).
+    pub fn total_fixpoint_iters(&self) -> f64 {
+        self.fixpoint_iters.iter().filter(|x| !x.is_nan()).sum()
     }
 
     /// Aggregate evaluation throughput in units per second, derived from
@@ -122,8 +153,20 @@ impl CampaignOutcome {
     }
 }
 
-/// Expands, validates and executes a campaign, writing the artifact set
-/// under `out_root/<campaign name>/`:
+/// How [`run_campaign_with`] evaluates the matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvalMode {
+    /// Warm chains (the default production path): each worker walks a
+    /// contiguous last-axis chain, generating every workload once and
+    /// reusing warm analysis state across the chain's units.
+    Warm,
+    /// Independent units with fresh state each — the differential
+    /// reference path the warm mode is pinned against.
+    Cold,
+}
+
+/// Expands, validates and executes a campaign in warm-chain mode, writing
+/// the artifact set under `out_root/<campaign name>/`:
 ///
 /// * `campaign.json` — the executed spec, echoed back.
 /// * `units.csv` — one row per work unit: ID, axis coordinates, metrics.
@@ -132,6 +175,17 @@ impl CampaignOutcome {
 pub fn run_campaign(
     spec: &CampaignSpec,
     out_root: &Path,
+) -> Result<CampaignOutcome, CampaignError> {
+    run_campaign_with(spec, out_root, EvalMode::Warm)
+}
+
+/// [`run_campaign`] with an explicit [`EvalMode`]. Both modes produce
+/// identical metric rows (pinned by `tests/prop_batch_eval.rs`); only the
+/// instrumentation columns and the wall time differ.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    out_root: &Path,
+    mode: EvalMode,
 ) -> Result<CampaignOutcome, CampaignError> {
     let started = Instant::now();
     let plan = plan(spec)?;
@@ -144,20 +198,55 @@ pub fn run_campaign(
     };
 
     let units = &plan.units;
-    let timed_rows = try_par_map_seeds(units.len() as u64, workers, |i| {
-        let unit_start = Instant::now();
-        let row = eval_unit(spec, &units[i as usize]);
-        (row, unit_start.elapsed().as_secs_f64() * 1e6)
-    })
-    .map_err(|panics| CampaignError::UnitPanics {
-        units: panics
-            .failures
-            .iter()
-            .map(|(i, msg)| (units[*i as usize].id.clone(), msg.clone()))
-            .collect(),
-    })?;
+    let evals: Vec<(UnitEval, f64)> = match mode {
+        EvalMode::Cold => try_par_map_seeds(units.len() as u64, workers, |i| {
+            let unit_start = Instant::now();
+            let eval = eval_unit(spec, &units[i as usize]);
+            (eval, unit_start.elapsed().as_secs_f64() * 1e6)
+        })
+        .map_err(|panics| CampaignError::UnitPanics {
+            units: panics
+                .failures
+                .iter()
+                .map(|(i, msg)| (units[*i as usize].id.clone(), msg.clone()))
+                .collect(),
+        })?,
+        EvalMode::Warm => {
+            let chains = plan.warm_chains(spec);
+            let per_chain = try_par_map_seeds(chains.len() as u64, workers, |ci| {
+                let range = chains[ci as usize].clone();
+                let chain_start = Instant::now();
+                let evals = eval_chain(spec, &units[range.clone()]);
+                let micros = chain_start.elapsed().as_secs_f64() * 1e6 / range.len().max(1) as f64;
+                evals
+                    .into_iter()
+                    .map(|e| (e, micros))
+                    .collect::<Vec<(UnitEval, f64)>>()
+            })
+            .map_err(|panics| CampaignError::UnitPanics {
+                units: panics
+                    .failures
+                    .iter()
+                    .map(|(ci, msg)| (units[chains[*ci as usize].start].id.clone(), msg.clone()))
+                    .collect(),
+            })?;
+            per_chain.into_iter().flatten().collect()
+        }
+    };
     let total_wall_secs = started.elapsed().as_secs_f64();
-    let (rows, unit_micros): (Vec<Vec<f64>>, Vec<f64>) = timed_rows.into_iter().unzip();
+
+    let mut rows = Vec::with_capacity(evals.len());
+    let mut unit_micros = Vec::with_capacity(evals.len());
+    let mut fixpoint_iters = Vec::with_capacity(evals.len());
+    let mut warm_hits = Vec::with_capacity(evals.len());
+    let mut unit_errors = Vec::with_capacity(evals.len());
+    for (e, micros) in evals {
+        rows.push(e.row);
+        unit_micros.push(micros);
+        fixpoint_iters.push(e.fixpoint_iters);
+        warm_hits.push(e.warm_hit);
+        unit_errors.push(e.error);
+    }
 
     let mut outcome = CampaignOutcome {
         spec: spec.clone(),
@@ -165,6 +254,9 @@ pub fn run_campaign(
         metrics: metric_names(spec.kind).to_vec(),
         rows,
         unit_micros,
+        fixpoint_iters,
+        warm_hits,
+        unit_errors,
         total_wall_secs,
         out_dir: out_root.join(&spec.name),
         artifacts: Vec::new(),
@@ -218,10 +310,12 @@ pub fn print_outcome(outcome: &CampaignOutcome) -> i32 {
     println!();
     println!("{}", outcome.units_table());
     println!(
-        "timing: {} unit(s) in {:.3}s ({:.1} units/s)",
+        "timing: {} unit(s) in {:.3}s ({:.1} units/s, warm hit rate {:.2}, {} fixpoint iter(s))",
         outcome.plan.units.len(),
         outcome.total_wall_secs,
-        outcome.units_per_sec()
+        outcome.units_per_sec(),
+        outcome.warm_hit_rate(),
+        fmt_metric(outcome.total_fixpoint_iters().round())
     );
     let failures = outcome.contract_failures();
     if outcome.spec.sim_horizon > 0 {
@@ -278,10 +372,15 @@ mod tests {
             metrics,
             rows: vec![row.clone(), row],
             unit_micros: vec![1.0, 1.0],
+            fixpoint_iters: vec![f64::NAN, f64::NAN],
+            warm_hits: vec![0.0, 1.0],
+            unit_errors: vec![None, None],
             total_wall_secs: 0.001,
             out_dir: std::path::PathBuf::from("unused"),
             artifacts: Vec::new(),
         };
+        assert_eq!(outcome.warm_hit_rate(), 0.5);
+        assert_eq!(outcome.total_fixpoint_iters(), 0.0);
         let failures = outcome.contract_failures();
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("policy_fcfs"), "{failures:?}");
@@ -312,6 +411,27 @@ mod tests {
             summary.get("name").and_then(Value::as_str),
             Some("exec-smoke")
         );
+        let timing = summary.get("timing").unwrap();
+        assert!(timing
+            .get("warm_hit_rate")
+            .and_then(Value::as_f64)
+            .is_some());
+        // Two units, one axis value on the fastest axis -> every unit is a
+        // chain head: no warm hits, but the fields are present.
+        assert_eq!(outcome.warm_hits.len(), 2);
+        assert!(outcome.unit_errors.iter().all(Option::is_none));
+
+        // Cold mode produces identical metric rows.
+        let cold_root = std::env::temp_dir().join("profirt-exec-smoke-cold");
+        let _ = std::fs::remove_dir_all(&cold_root);
+        let spec_cold = outcome.spec.clone();
+        let cold = run_campaign_with(&spec_cold, &cold_root, EvalMode::Cold).unwrap();
+        for (a, b) in cold.rows.iter().zip(&outcome.rows) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x.is_nan() && y.is_nan()) || x == y, "{a:?} vs {b:?}");
+            }
+        }
+        std::fs::remove_dir_all(&cold_root).ok();
         std::fs::remove_dir_all(&root).ok();
     }
 }

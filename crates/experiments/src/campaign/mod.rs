@@ -38,8 +38,9 @@ pub mod presets;
 pub mod report;
 pub mod spec;
 
-pub use exec::{print_outcome, run_campaign, CampaignOutcome};
-pub use plan::{plan, CampaignPlan, WorkUnit};
+pub use eval::UnitEval;
+pub use exec::{print_outcome, run_campaign, run_campaign_with, CampaignOutcome, EvalMode};
+pub use plan::{generation_axes, plan, CampaignPlan, WorkUnit};
 pub use spec::{Axis, AxisValue, CampaignSpec, ScenarioKind};
 
 use crate::runner::SeedPanics;

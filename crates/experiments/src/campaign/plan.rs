@@ -6,8 +6,20 @@
 //! (`u0003__masters2__policy_edf`), which keeps artifact rows greppable
 //! and stable across runs, machines and worker counts.
 
-use super::spec::{AxisValue, CampaignSpec};
+use super::spec::{AxisValue, CampaignSpec, ScenarioKind};
 use super::CampaignError;
+
+/// Axes whose coordinates feed *workload generation* for the given kind.
+/// Units that agree on every generation axis draw identical workloads (the
+/// generation seed hashes exactly these coordinates), which is what lets a
+/// warm chain generate once and analyse many. All other axes — policy,
+/// `ttr`, simulation knobs — only change how a workload is analysed.
+pub fn generation_axes(kind: ScenarioKind) -> &'static [&'static str] {
+    match kind {
+        ScenarioKind::Cpu => &["tasks", "utilization", "deadline_frac", "period_spread"],
+        ScenarioKind::Network => &["masters", "streams", "tightness"],
+    }
+}
 
 /// One point of the scenario matrix.
 #[derive(Clone, PartialEq, Debug)]
@@ -56,6 +68,34 @@ impl WorkUnit {
 pub struct CampaignPlan {
     /// All work units, in plan order.
     pub units: Vec<WorkUnit>,
+}
+
+impl CampaignPlan {
+    /// The warm predecessor of unit `index`: its neighbor along the
+    /// fastest-varying (last) axis. A pure function of the odometer order —
+    /// unit `i` follows `i − 1` whenever `i` is not at the start of a
+    /// last-axis sweep — so sharding by chain needs no cross-worker state.
+    pub fn warm_prev(&self, spec: &CampaignSpec, index: usize) -> Option<usize> {
+        let stride = spec.axes.last().map_or(1, |a| a.values.len());
+        if stride > 1 && !index.is_multiple_of(stride) {
+            Some(index - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Partitions the plan into contiguous *warm chains*: maximal runs of
+    /// units linked by [`CampaignPlan::warm_prev`]. Each chain differs only
+    /// in the last-axis coordinate, so one worker can walk it front to back
+    /// reusing generated workloads and warm fixpoint state; distinct chains
+    /// share nothing and can go to distinct workers.
+    pub fn warm_chains(&self, spec: &CampaignSpec) -> Vec<std::ops::Range<usize>> {
+        let stride = spec.axes.last().map_or(1, |a| a.values.len()).max(1);
+        (0..self.units.len())
+            .step_by(stride)
+            .map(|start| start..(start + stride).min(self.units.len()))
+            .collect()
+    }
 }
 
 /// Validates the spec and expands its axis cross-product into work units.
@@ -136,6 +176,61 @@ mod tests {
             plan(&dup),
             Err(CampaignError::DuplicateAxis(name)) if name == "masters"
         ));
+    }
+
+    #[test]
+    fn warm_prev_links_last_axis_neighbors() {
+        let s = spec();
+        let p = plan(&s).unwrap();
+        // Last axis has 3 values -> chains of 3, heads at multiples of 3.
+        for i in 0..p.units.len() {
+            let prev = p.warm_prev(&s, i);
+            if i % 3 == 0 {
+                assert_eq!(prev, None, "unit {i} should start a chain");
+            } else {
+                assert_eq!(prev, Some(i - 1));
+                // Neighbors differ only in the last-axis coordinate.
+                let (a, b) = (&p.units[i - 1], &p.units[i]);
+                let diffs = a
+                    .point
+                    .iter()
+                    .zip(&b.point)
+                    .filter(|((_, va), (_, vb))| va != vb)
+                    .count();
+                assert_eq!(diffs, 1, "{} vs {}", a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_chains_partition_the_plan() {
+        let s = spec();
+        let p = plan(&s).unwrap();
+        let chains = p.warm_chains(&s);
+        assert_eq!(chains.len(), p.units.len() / 3);
+        let mut covered = Vec::new();
+        for c in &chains {
+            assert_eq!(c.len(), 3);
+            covered.extend(c.clone());
+        }
+        assert_eq!(covered, (0..p.units.len()).collect::<Vec<_>>());
+        // A single-valued last axis degenerates to singleton chains.
+        let flat = CampaignSpec::new("flat", "", ScenarioKind::Cpu)
+            .axis_i64("tasks", &[3, 4])
+            .axis_str("policy", &["rm-rta"]);
+        let fp = plan(&flat).unwrap();
+        assert_eq!(fp.warm_chains(&flat), vec![0..1, 1..2]);
+        assert_eq!(fp.warm_prev(&flat, 1), None);
+    }
+
+    #[test]
+    fn generation_axes_cover_workload_knobs_only() {
+        assert!(generation_axes(ScenarioKind::Cpu).contains(&"tasks"));
+        assert!(!generation_axes(ScenarioKind::Cpu).contains(&"policy"));
+        assert!(generation_axes(ScenarioKind::Network).contains(&"tightness"));
+        // `ttr` re-parameterises the analysis of an already-drawn network
+        // (stream draws never read it), so it is deliberately absent.
+        assert!(!generation_axes(ScenarioKind::Network).contains(&"ttr"));
     }
 
     #[test]

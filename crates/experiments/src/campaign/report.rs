@@ -11,8 +11,9 @@ pub fn summary_json(outcome: &CampaignOutcome) -> Value {
         .plan
         .units
         .iter()
+        .enumerate()
         .zip(outcome.rows.iter().zip(&outcome.unit_micros))
-        .map(|(unit, (row, &micros))| {
+        .map(|((i, unit), (row, &micros))| {
             let axes = Value::Object(
                 unit.point
                     .iter()
@@ -43,10 +44,27 @@ pub fn summary_json(outcome: &CampaignOutcome) -> Value {
                     })
                     .collect(),
             );
+            let iters = outcome.fixpoint_iters[i];
             json::object([
                 ("id", Value::Str(unit.id.clone())),
                 ("axes", axes),
                 ("metrics", metrics),
+                (
+                    "fixpoint_iters",
+                    if iters.is_nan() {
+                        Value::Null
+                    } else {
+                        Value::Float(iters)
+                    },
+                ),
+                ("warm_hit", Value::Float(outcome.warm_hits[i])),
+                (
+                    "error",
+                    match &outcome.unit_errors[i] {
+                        Some(e) => Value::Str(e.clone()),
+                        None => Value::Null,
+                    },
+                ),
                 ("unit_micros", Value::Float(micros)),
             ])
         })
@@ -74,6 +92,11 @@ pub fn summary_json(outcome: &CampaignOutcome) -> Value {
             json::object([
                 ("total_wall_secs", Value::Float(outcome.total_wall_secs)),
                 ("units_per_sec", Value::Float(outcome.units_per_sec())),
+                ("warm_hit_rate", Value::Float(outcome.warm_hit_rate())),
+                (
+                    "fixpoint_iters",
+                    Value::Float(outcome.total_fixpoint_iters()),
+                ),
             ]),
         ),
         ("units", Value::Array(units)),

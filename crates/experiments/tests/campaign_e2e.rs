@@ -40,12 +40,12 @@ fn two_by_two_by_two_campaign_produces_parseable_artifacts() {
     }
 
     // units.csv: header + one row per unit, stable IDs in plan order, with
-    // the timing instrumentation column trailing.
+    // the instrumentation columns trailing.
     let csv = std::fs::read_to_string(dir.join("units.csv")).unwrap();
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + 8);
     assert!(lines[0].starts_with("unit,masters,tightness,policy,streams,sched_ratio"));
-    assert!(lines[0].ends_with(",unit_micros"));
+    assert!(lines[0].ends_with(",fixpoint_iters,warm_hit,unit_micros"));
     assert!(lines[1].starts_with("u0000__masters_2__tightness_0p9__policy_fcfs__streams_2,"));
     assert!(lines[8].starts_with("u0007__masters_3__tightness_0p5__policy_dm__streams_2,"));
 
@@ -66,6 +66,14 @@ fn two_by_two_by_two_campaign_produces_parseable_artifacts() {
         assert!(
             unit.get("unit_micros").unwrap().as_f64().unwrap() >= 0.0,
             "per-unit timing missing"
+        );
+        assert!(
+            unit.get("warm_hit").unwrap().as_f64().is_some(),
+            "per-unit warm-hit flag missing"
+        );
+        assert!(
+            matches!(unit.get("error"), Some(Value::Null)),
+            "unexpected unit error"
         );
         let metrics = unit.get("metrics").and_then(Value::as_object).unwrap();
         // Simulation ran: the validation columns are populated numbers.
@@ -109,14 +117,21 @@ fn rerunning_the_same_spec_is_deterministic() {
     let b = run_campaign(&spec, &root_b).unwrap();
     let csv_a = std::fs::read_to_string(a.out_dir.join("units.csv")).unwrap();
     let csv_b = std::fs::read_to_string(b.out_dir.join("units.csv")).unwrap();
-    // Every column except the trailing wall-clock instrumentation
-    // (`unit_micros`) must be byte-identical across worker counts.
-    let strip_timing = |csv: &str| -> Vec<String> {
+    // Every column except the trailing instrumentation (`fixpoint_iters`,
+    // `warm_hit`, `unit_micros`) must be byte-identical across worker
+    // counts.
+    let strip_instrumentation = |csv: &str| -> Vec<String> {
         csv.lines()
-            .map(|line| line.rsplit_once(',').expect("timing column").0.to_string())
+            .map(|line| {
+                let mut rest = line;
+                for _ in 0..3 {
+                    rest = rest.rsplit_once(',').expect("instrumentation column").0;
+                }
+                rest.to_string()
+            })
             .collect()
     };
-    assert_eq!(strip_timing(&csv_a), strip_timing(&csv_b));
+    assert_eq!(strip_instrumentation(&csv_a), strip_instrumentation(&csv_b));
     std::fs::remove_dir_all(&root_a).ok();
     std::fs::remove_dir_all(&root_b).ok();
 }

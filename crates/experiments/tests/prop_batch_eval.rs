@@ -1,0 +1,94 @@
+//! Differential property tests for the batched, warm-started campaign
+//! path: [`EvalMode::Warm`] must produce a `units.csv` that is
+//! byte-identical to the cold per-unit reference — modulo the three
+//! trailing instrumentation columns (`fixpoint_iters`, `warm_hit`,
+//! `unit_micros`) — across random campaign seeds and worker counts
+//! {1, 2, 8}. Run under several `PROPTEST_SEED`s in CI.
+
+use proptest::prelude::*;
+
+use profirt_experiments::campaign::{run_campaign_with, CampaignSpec, EvalMode, ScenarioKind};
+
+/// Reads `units.csv` and strips the three trailing instrumentation
+/// columns from every line, leaving the deterministic payload.
+fn stripped_csv(dir: &std::path::Path) -> Vec<String> {
+    let csv = std::fs::read_to_string(dir.join("units.csv")).unwrap();
+    csv.lines()
+        .map(|line| {
+            let mut rest = line;
+            for _ in 0..3 {
+                rest = rest.rsplit_once(',').expect("instrumentation column").0;
+            }
+            rest.to_string()
+        })
+        .collect()
+}
+
+fn run_stripped(spec: &CampaignSpec, tag: &str, mode: EvalMode, workers: usize) -> Vec<String> {
+    let mut spec = spec.clone();
+    spec.workers = workers;
+    let root = std::env::temp_dir().join(format!(
+        "profirt-prop-batch-{tag}-{}-{}-{workers}",
+        spec.name, spec.seed
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let outcome = run_campaign_with(&spec, &root, mode).unwrap();
+    let rows = stripped_csv(&outcome.out_dir);
+    std::fs::remove_dir_all(&root).ok();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn warm_cpu_campaign_csv_identical_to_cold(
+        seed in 0u64..1_000_000,
+        n_uts in 1usize..=3,
+    ) {
+        // Policy is the fastest axis: every chain analyses one workload
+        // under all twelve §2 tests through the batched entry points.
+        let uts = &[0.5_f64, 0.8, 0.97][..n_uts];
+        let mut spec = CampaignSpec::new("prop-cpu", "", ScenarioKind::Cpu)
+            .replications(2)
+            .axis_i64("tasks", &[3, 6])
+            .axis_f64("utilization", uts)
+            .axis_str(
+                "policy",
+                &[
+                    "rm-ll", "rm-hb", "rm-rta", "dm-rta", "np-dm", "edf-util",
+                    "edf-demand", "edf-demand-paper", "np-edf-zs", "np-edf-george",
+                    "edf-rta", "np-edf-rta",
+                ],
+            );
+        spec.seed = seed;
+        let cold = run_stripped(&spec, "cold", EvalMode::Cold, 1);
+        for workers in [1usize, 2, 8] {
+            let warm = run_stripped(&spec, "warm", EvalMode::Warm, workers);
+            prop_assert_eq!(&cold, &warm, "workers {}", workers);
+        }
+    }
+
+    #[test]
+    fn warm_network_campaign_csv_identical_to_cold(
+        seed in 0u64..1_000_000,
+        tight_idx in 0usize..3,
+    ) {
+        // `ttr` is the fastest axis: the warm path generates each network
+        // once per replication and hoists the ttr-independent eq. (15)
+        // search across the whole chain.
+        let tightness = [0.9, 0.6, 0.4][tight_idx];
+        let mut spec = CampaignSpec::new("prop-net", "", ScenarioKind::Network)
+            .replications(2)
+            .axis_i64("masters", &[2, 3])
+            .axis_f64("tightness", &[tightness])
+            .axis_str("policy", &["fcfs", "dm", "edf"])
+            .axis_i64("ttr", &[1_500, 3_000, 6_000]);
+        spec.seed = seed;
+        let cold = run_stripped(&spec, "cold", EvalMode::Cold, 1);
+        for workers in [1usize, 2, 8] {
+            let warm = run_stripped(&spec, "warm", EvalMode::Warm, workers);
+            prop_assert_eq!(&cold, &warm, "workers {}", workers);
+        }
+    }
+}

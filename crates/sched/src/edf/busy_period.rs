@@ -13,33 +13,53 @@
 
 use profirt_base::{AnalysisError, AnalysisResult, Task, TaskSet, Time};
 
-use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::fixpoint::{fixpoint_counted, FixOutcome, FixpointConfig};
+use crate::scratch::WarmState;
+use crate::soa;
 
 /// Shared fixpoint core: least solution of `l = B + Σ ⌈l/Ti⌉·Ci` over the
-/// flat task slice (no per-iteration indirection), seeded at
-/// `B + Σ Ci`.
+/// flat task slice (no per-iteration indirection; the iteration body is the
+/// [`soa::busy_step`] kernel).
+///
+/// Cold start seeds at `B + Σ Ci`. When a [`WarmState`] is supplied and
+/// holds the least fixpoint of *exactly* this `(B, (Ci, Ti))` input, the
+/// iteration is seeded there instead and converges in one evaluation
+/// (`W(L) = L`); a converged cold run populates the memo. The busy period
+/// reads neither deadlines nor a policy, so one memo entry serves every
+/// analysis variant of the same workload.
 fn busy_period_core(
     what: &'static str,
     tasks: &[Task],
     blocking: Time,
     config: FixpointConfig,
+    warm: Option<&mut WarmState>,
+    iters: &mut u64,
 ) -> AnalysisResult<Time> {
-    let mut seed = blocking;
-    for task in tasks {
-        seed = seed.try_add(task.c)?;
-    }
-    let outcome = fixpoint(what, seed, Time::MAX, config, |l| {
-        let mut next = blocking;
-        for task in tasks {
-            let n_jobs = l.ceil_div(task.t).max(1);
-            next = next.try_add(task.c.try_mul(n_jobs)?)?;
+    let memo = warm.as_ref().and_then(|w| w.lookup_busy(blocking, tasks));
+    let seed = match memo {
+        Some(lfp) => lfp,
+        None => {
+            let mut seed = blocking;
+            for task in tasks {
+                seed = seed.try_add(task.c)?;
+            }
+            seed
         }
-        Ok(next)
+    };
+    let outcome = fixpoint_counted(what, seed, Time::MAX, config, iters, |l| {
+        soa::busy_step(tasks, blocking, l)
     })?;
     match outcome {
+        FixOutcome::Converged(l) => {
+            if memo.is_none() {
+                if let Some(w) = warm {
+                    w.store_busy(blocking, tasks, l);
+                }
+            }
+            Ok(l)
+        }
         // Unreachable with bound = Time::MAX short of overflow, which the
-        // closure reports itself.
-        FixOutcome::Converged(l) => Ok(l),
+        // kernel reports itself.
         FixOutcome::ExceededBound(_) => Err(AnalysisError::Overflow {
             context: "busy period bound",
         }),
@@ -54,13 +74,24 @@ fn busy_period_core(
 /// * [`AnalysisError::EmptySet`] for an empty set (no busy period).
 /// * Iteration-cap / overflow errors from pathological inputs.
 pub fn synchronous_busy_period(set: &TaskSet, config: FixpointConfig) -> AnalysisResult<Time> {
+    synchronous_busy_period_warm(set, config, None, &mut 0)
+}
+
+/// [`synchronous_busy_period`] with warm-start memoization and evaluation
+/// counting — the form the scratch-threaded analyses use internally.
+pub(crate) fn synchronous_busy_period_warm(
+    set: &TaskSet,
+    config: FixpointConfig,
+    warm: Option<&mut WarmState>,
+    iters: &mut u64,
+) -> AnalysisResult<Time> {
     if set.is_empty() {
         return Err(AnalysisError::EmptySet);
     }
     if !set.total_utilization().lt_one() {
         return Err(AnalysisError::UtilizationAtLeastOne);
     }
-    busy_period_core("busy-period", set.tasks(), Time::ZERO, config)
+    busy_period_core("busy-period", set.tasks(), Time::ZERO, config, warm, iters)
 }
 
 /// Computes the blocking-extended busy period: the least fixpoint of
@@ -76,13 +107,25 @@ pub fn nonpreemptive_busy_period(
     blocking: Time,
     config: FixpointConfig,
 ) -> AnalysisResult<Time> {
+    nonpreemptive_busy_period_warm(set, blocking, config, None, &mut 0)
+}
+
+/// [`nonpreemptive_busy_period`] with warm-start memoization and evaluation
+/// counting — the form the scratch-threaded analyses use internally.
+pub(crate) fn nonpreemptive_busy_period_warm(
+    set: &TaskSet,
+    blocking: Time,
+    config: FixpointConfig,
+    warm: Option<&mut WarmState>,
+    iters: &mut u64,
+) -> AnalysisResult<Time> {
     if set.is_empty() {
         return Err(AnalysisError::EmptySet);
     }
     if !set.total_utilization().lt_one() {
         return Err(AnalysisError::UtilizationAtLeastOne);
     }
-    busy_period_core("np-busy-period", set.tasks(), blocking, config)
+    busy_period_core("np-busy-period", set.tasks(), blocking, config, warm, iters)
 }
 
 #[cfg(test)]
@@ -157,6 +200,28 @@ mod tests {
         let val = nonpreemptive_busy_period(&set, b, FixpointConfig::default()).unwrap();
         let w = |x: Time| b + t(x.ceil_div(t(5)).max(1) * 2) + t(x.ceil_div(t(11)).max(1) * 3);
         assert_eq!(w(val), val);
+    }
+
+    #[test]
+    fn warm_memo_hits_are_result_identical_and_one_shot() {
+        let set = TaskSet::from_ct(&[(9, 10), (9, 100)]).unwrap();
+        let cfg = FixpointConfig::default();
+        let mut warm = WarmState::default();
+        let (mut cold_iters, mut warm_iters) = (0u64, 0u64);
+        let cold =
+            synchronous_busy_period_warm(&set, cfg, Some(&mut warm), &mut cold_iters).unwrap();
+        let hit =
+            synchronous_busy_period_warm(&set, cfg, Some(&mut warm), &mut warm_iters).unwrap();
+        assert_eq!(cold, hit);
+        assert!(cold_iters > 1, "cold run iterates: {cold_iters}");
+        assert_eq!(warm_iters, 1, "warm hit re-verifies in one evaluation");
+        // A different blocking term misses the memo and iterates cold.
+        let mut miss_iters = 0u64;
+        let blocked =
+            nonpreemptive_busy_period_warm(&set, t(8), cfg, Some(&mut warm), &mut miss_iters)
+                .unwrap();
+        assert_eq!(blocked, nonpreemptive_busy_period(&set, t(8), cfg).unwrap());
+        assert!(miss_iters > 1);
     }
 
     #[test]

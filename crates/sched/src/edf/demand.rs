@@ -39,10 +39,10 @@ use profirt_base::{AnalysisResult, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoints::CheckpointScratch;
-use crate::edf::busy_period::synchronous_busy_period;
+use crate::edf::busy_period::synchronous_busy_period_warm;
 use crate::edf::qpa::{self, QpaOutcome};
 use crate::fixpoint::FixpointConfig;
-use crate::scratch::AnalysisScratch;
+use crate::scratch::{AnalysisScratch, WarmState};
 
 /// Which demand-bound job-count formula to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -102,7 +102,12 @@ pub(crate) enum ScanPlan {
     UpTo(Time),
 }
 
-pub(crate) fn preemptive_plan(set: &TaskSet, config: &DemandConfig) -> AnalysisResult<ScanPlan> {
+pub(crate) fn preemptive_plan(
+    set: &TaskSet,
+    config: &DemandConfig,
+    warm: Option<&mut WarmState>,
+    iters: &mut u64,
+) -> AnalysisResult<ScanPlan> {
     if set.is_empty() {
         return Ok(ScanPlan::Done(Feasibility {
             feasible: true,
@@ -122,9 +127,11 @@ pub(crate) fn preemptive_plan(set: &TaskSet, config: &DemandConfig) -> AnalysisR
     }
     if u.lt_one() {
         // The busy period bounds every first deadline miss.
-        return Ok(ScanPlan::UpTo(synchronous_busy_period(
+        return Ok(ScanPlan::UpTo(synchronous_busy_period_warm(
             set,
             config.fixpoint,
+            warm,
+            iters,
         )?));
     }
     if set.all_implicit_deadlines() {
@@ -241,16 +248,18 @@ pub fn edf_feasible_preemptive_with(
     config: &DemandConfig,
     scratch: &mut AnalysisScratch,
 ) -> AnalysisResult<Feasibility> {
-    let horizon = match preemptive_plan(set, config)? {
-        ScanPlan::Done(f) => return Ok(f),
-        ScanPlan::UpTo(h) => h,
-    };
     let AnalysisScratch {
         checkpoints,
         progressions,
         dpc,
+        warm,
+        fixpoint_iters,
         ..
     } = scratch;
+    let horizon = match preemptive_plan(set, config, Some(warm), fixpoint_iters)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
     load_dpc(set, dpc);
     if qpa::estimated_points(dpc, horizon) > qpa::QPA_MIN_POINTS {
         if let QpaOutcome::Feasible(evals) =
@@ -294,16 +303,18 @@ pub fn edf_feasible_preemptive_exhaustive_with(
     config: &DemandConfig,
     scratch: &mut AnalysisScratch,
 ) -> AnalysisResult<Feasibility> {
-    let horizon = match preemptive_plan(set, config)? {
-        ScanPlan::Done(f) => return Ok(f),
-        ScanPlan::UpTo(h) => h,
-    };
     let AnalysisScratch {
         checkpoints,
         progressions,
         dpc,
+        warm,
+        fixpoint_iters,
         ..
     } = scratch;
+    let horizon = match preemptive_plan(set, config, Some(warm), fixpoint_iters)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
     load_dpc(set, dpc);
     Ok(exhaustive_scan(
         checkpoints,

@@ -33,11 +33,11 @@
 use profirt_base::{AnalysisResult, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::edf::busy_period::nonpreemptive_busy_period;
+use crate::edf::busy_period::nonpreemptive_busy_period_warm;
 use crate::edf::demand::{exhaustive_scan, load_dpc, DemandFormula, Feasibility, ScanPlan};
 use crate::edf::qpa::{self, QpaOutcome};
 use crate::fixpoint::FixpointConfig;
-use crate::scratch::AnalysisScratch;
+use crate::scratch::{AnalysisScratch, WarmState};
 
 /// Which blocking model to apply on top of the processor demand.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -82,7 +82,12 @@ impl NpFeasibilityConfig {
 }
 
 /// Shared guard prologue and horizon for the non-preemptive test.
-fn np_plan(set: &TaskSet, config: &NpFeasibilityConfig) -> AnalysisResult<ScanPlan> {
+pub(crate) fn np_plan(
+    set: &TaskSet,
+    config: &NpFeasibilityConfig,
+    warm: Option<&mut WarmState>,
+    iters: &mut u64,
+) -> AnalysisResult<ScanPlan> {
     if set.is_empty() {
         return Ok(ScanPlan::Done(Feasibility {
             feasible: true,
@@ -103,7 +108,13 @@ fn np_plan(set: &TaskSet, config: &NpFeasibilityConfig) -> AnalysisResult<ScanPl
     let horizon = if u.lt_one() {
         // Safe horizon: the blocking-extended busy period (a non-preemptive
         // busy interval can open with a blocker of up to max Ci).
-        nonpreemptive_busy_period(set, set.max_cost().unwrap_or(Time::ZERO), config.fixpoint)?
+        nonpreemptive_busy_period_warm(
+            set,
+            set.max_cost().unwrap_or(Time::ZERO),
+            config.fixpoint,
+            warm,
+            iters,
+        )?
     } else {
         set.hyperperiod()?
             .try_add(set.max_deadline().unwrap_or(Time::ZERO))?
@@ -115,7 +126,7 @@ fn np_plan(set: &TaskSet, config: &NpFeasibilityConfig) -> AnalysisResult<ScanPl
 /// Builds the ascending `(deadline, suffix-max (Ci−1)⁺)` table used by the
 /// exhaustive scan's amortised blocking lookup: for a point `t`, the first
 /// row with `deadline > t` holds `max_{Di > t}(Ci − 1)⁺`.
-fn build_suffix(dpc: &[(Time, Time, Time)], suffix: &mut Vec<(Time, Time)>) {
+pub(crate) fn build_suffix(dpc: &[(Time, Time, Time)], suffix: &mut Vec<(Time, Time)>) {
     suffix.clear();
     suffix.extend(dpc.iter().map(|&(d, _, c)| (d, (c - Time::ONE).max_zero())));
     suffix.sort_unstable();
@@ -129,7 +140,7 @@ fn build_suffix(dpc: &[(Time, Time, Time)], suffix: &mut Vec<(Time, Time)>) {
 /// Builds the descending `(segment start, blocking)` rows for the QPA scan
 /// from the ascending suffix table: each distinct deadline opens a segment
 /// whose blocking is the suffix maximum over strictly larger deadlines.
-fn build_segments(suffix: &[(Time, Time)], segments: &mut Vec<(Time, Time)>) {
+pub(crate) fn build_segments(suffix: &[(Time, Time)], segments: &mut Vec<(Time, Time)>) {
     segments.clear();
     let mut hi = suffix.len();
     while hi > 0 {
@@ -173,18 +184,20 @@ pub fn edf_feasible_nonpreemptive_with(
     config: &NpFeasibilityConfig,
     scratch: &mut AnalysisScratch,
 ) -> AnalysisResult<Feasibility> {
-    let horizon = match np_plan(set, config)? {
-        ScanPlan::Done(f) => return Ok(f),
-        ScanPlan::UpTo(h) => h,
-    };
     let AnalysisScratch {
         checkpoints,
         progressions,
         dpc,
         segments,
         suffix,
+        warm,
+        fixpoint_iters,
         ..
     } = scratch;
+    let horizon = match np_plan(set, config, Some(warm), fixpoint_iters)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
     load_dpc(set, dpc);
     let est = qpa::estimated_points(dpc, horizon);
     // George's deadline-dependent blocking forces the scan through one QPA
@@ -256,17 +269,19 @@ pub fn edf_feasible_nonpreemptive_exhaustive_with(
     config: &NpFeasibilityConfig,
     scratch: &mut AnalysisScratch,
 ) -> AnalysisResult<Feasibility> {
-    let horizon = match np_plan(set, config)? {
-        ScanPlan::Done(f) => return Ok(f),
-        ScanPlan::UpTo(h) => h,
-    };
     let AnalysisScratch {
         checkpoints,
         progressions,
         dpc,
         suffix,
+        warm,
+        fixpoint_iters,
         ..
     } = scratch;
+    let horizon = match np_plan(set, config, Some(warm), fixpoint_iters)? {
+        ScanPlan::Done(f) => return Ok(f),
+        ScanPlan::UpTo(h) => h,
+    };
     load_dpc(set, dpc);
     let (constant, sfx): (Time, &[(Time, Time)]) = match config.blocking {
         NpBlockingModel::ZhengShin => (set.max_cost().unwrap_or(Time::ZERO), &[]),

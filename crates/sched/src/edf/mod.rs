@@ -1,5 +1,6 @@
 //! Earliest-deadline-first schedulability analyses (paper §2.2).
 
+pub mod batch;
 pub mod busy_period;
 pub mod demand;
 pub mod feasibility_np;
@@ -8,6 +9,7 @@ pub mod rta;
 pub mod rta_np;
 pub mod utilization;
 
+pub use batch::{edf_feasibility_batch, DemandVariantSpec};
 pub use busy_period::{nonpreemptive_busy_period, synchronous_busy_period};
 pub use demand::{
     demand, edf_feasible_preemptive, edf_feasible_preemptive_exhaustive,

@@ -37,11 +37,11 @@
 use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
 
 use crate::checkpoints::CheckpointScratch;
-use crate::edf::busy_period::synchronous_busy_period;
+use crate::edf::busy_period::synchronous_busy_period_warm;
 use crate::edf::demand::load_dpc;
-use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::fixpoint::{fixpoint_counted, FixOutcome, FixpointConfig};
 use crate::scratch::AnalysisScratch;
-use crate::{SetAnalysis, TaskVerdict};
+use crate::{soa, SetAnalysis, TaskVerdict};
 
 /// Configuration for the preemptive EDF response-time analysis.
 #[derive(Clone, Copy, Debug)]
@@ -98,19 +98,30 @@ pub fn edf_response_times_with(
     if set.is_empty() {
         return Err(AnalysisError::EmptySet);
     }
-    let l = synchronous_busy_period(set, config.fixpoint)?;
     let AnalysisScratch {
         checkpoints,
         progressions,
         dpc,
         caps,
+        warm,
+        fixpoint_iters,
         ..
     } = scratch;
+    let l = synchronous_busy_period_warm(set, config.fixpoint, Some(warm), fixpoint_iters)?;
     load_dpc(set, dpc);
     let mut verdicts = Vec::with_capacity(set.len());
     let mut details = Vec::with_capacity(set.len());
     for (i, task) in set.iter() {
-        let detail = wcrt_for_task(dpc, i, l, config, checkpoints, progressions, caps)?;
+        let detail = wcrt_for_task(
+            dpc,
+            i,
+            l,
+            config,
+            checkpoints,
+            progressions,
+            caps,
+            fixpoint_iters,
+        )?;
         let schedulable = detail.wcrt <= task.d;
         verdicts.push(if schedulable {
             TaskVerdict::Schedulable { wcrt: detail.wcrt }
@@ -124,6 +135,7 @@ pub fn edf_response_times_with(
     Ok((SetAnalysis { verdicts }, details))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn wcrt_for_task(
     dpc: &[(Time, Time, Time)],
     i: usize,
@@ -132,6 +144,7 @@ fn wcrt_for_task(
     checkpoints: &mut CheckpointScratch,
     progressions: &mut Vec<(Time, Time)>,
     caps: &mut Vec<(Time, Time, i64)>,
+    iters: &mut u64,
 ) -> AnalysisResult<EdfWcrt> {
     let (d_i, _, c_i) = dpc[i];
     // Arrival candidates: a = k*Tj + Dj - Di >= 0, a < L (eq. (8)); the
@@ -156,7 +169,7 @@ fn wcrt_for_task(
                 limit: config.max_candidates,
             });
         }
-        let li = busy_period_for_arrival(dpc, i, a, l, config, caps)?;
+        let li = busy_period_for_arrival(dpc, i, a, l, config, caps, iters)?;
         let r = c_i.max(li - a);
         if r > best.wcrt {
             best.wcrt = r;
@@ -177,6 +190,7 @@ fn busy_period_for_arrival(
     l: Time,
     config: &EdfRtaConfig,
     caps: &mut Vec<(Time, Time, i64)>,
+    iters: &mut u64,
 ) -> AnalysisResult<Time> {
     let (d_i, t_i, c_i) = dpc[i];
     let own = c_i.try_mul(1 + a.floor_div(t_i))?;
@@ -189,14 +203,14 @@ fn busy_period_for_arrival(
         let by_deadline = 1 + (deadline_i - d_j).floor_div(t_j);
         caps.push((t_j, c_j, by_deadline));
     }
-    let outcome = fixpoint("edf-rta busy period", Time::ZERO, l, config.fixpoint, |t| {
-        let mut next = own;
-        for &(t_j, c_j, by_deadline) in caps.iter() {
-            let by_time = t.ceil_div(t_j);
-            next = next.try_add(c_j.try_mul(by_time.min(by_deadline).max(0))?)?;
-        }
-        Ok(next)
-    })?;
+    let outcome = fixpoint_counted(
+        "edf-rta busy period",
+        Time::ZERO,
+        l,
+        config.fixpoint,
+        iters,
+        |t| own.try_add(soa::capped_interference(caps, t, false)?),
+    )?;
     match outcome {
         FixOutcome::Converged(v) => Ok(v),
         // Cannot exceed L by the dominance argument (see busy_period docs);
@@ -319,7 +333,8 @@ mod tests {
     #[test]
     fn wcrt_at_least_cost_and_within_busy_period() {
         let set = TaskSet::from_ct(&[(1, 4), (2, 7), (3, 19)]).unwrap();
-        let l = synchronous_busy_period(&set, FixpointConfig::default()).unwrap();
+        let l = crate::edf::busy_period::synchronous_busy_period(&set, FixpointConfig::default())
+            .unwrap();
         let (_, details) = analyze(&set);
         for (i, d) in details.iter().enumerate() {
             assert!(d.wcrt >= set.tasks()[i].c);

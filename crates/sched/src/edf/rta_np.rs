@@ -32,12 +32,12 @@
 use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
 
 use crate::checkpoints::CheckpointScratch;
-use crate::edf::busy_period::{nonpreemptive_busy_period, synchronous_busy_period};
+use crate::edf::busy_period::{nonpreemptive_busy_period_warm, synchronous_busy_period_warm};
 use crate::edf::demand::load_dpc;
 use crate::edf::rta::EdfWcrt;
-use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::fixpoint::{fixpoint_counted, FixOutcome, FixpointConfig};
 use crate::scratch::AnalysisScratch;
-use crate::{SetAnalysis, TaskVerdict};
+use crate::{soa, SetAnalysis, TaskVerdict};
 
 /// Configuration for the non-preemptive EDF response-time analysis.
 #[derive(Clone, Copy, Debug)]
@@ -93,26 +93,34 @@ pub fn np_edf_response_times_with(
     if set.is_empty() {
         return Err(AnalysisError::EmptySet);
     }
-    let l_sync = synchronous_busy_period(set, config.fixpoint)?;
+    let AnalysisScratch {
+        checkpoints,
+        progressions,
+        dpc,
+        caps,
+        warm,
+        fixpoint_iters,
+        ..
+    } = scratch;
+    let l_sync = synchronous_busy_period_warm(set, config.fixpoint, Some(warm), fixpoint_iters)?;
     let max_block = set
         .iter()
         .map(|(_, task)| (task.c - Time::ONE).max_zero())
         .max()
         .unwrap_or(Time::ZERO);
-    let l_blocked = nonpreemptive_busy_period(set, max_block, config.fixpoint)?;
+    let l_blocked = nonpreemptive_busy_period_warm(
+        set,
+        max_block,
+        config.fixpoint,
+        Some(warm),
+        fixpoint_iters,
+    )?;
     let candidate_bound = if config.extend_candidates_with_blocking {
         l_blocked
     } else {
         l_sync
     };
 
-    let AnalysisScratch {
-        checkpoints,
-        progressions,
-        dpc,
-        caps,
-        ..
-    } = scratch;
     load_dpc(set, dpc);
     let mut verdicts = Vec::with_capacity(set.len());
     let mut details = Vec::with_capacity(set.len());
@@ -126,6 +134,7 @@ pub fn np_edf_response_times_with(
             checkpoints,
             progressions,
             caps,
+            fixpoint_iters,
         )?;
         let schedulable = detail.wcrt <= task.d;
         verdicts.push(if schedulable {
@@ -150,6 +159,7 @@ fn wcrt_for_task(
     checkpoints: &mut CheckpointScratch,
     progressions: &mut Vec<(Time, Time)>,
     caps: &mut Vec<(Time, Time, i64)>,
+    iters: &mut u64,
 ) -> AnalysisResult<EdfWcrt> {
     let (d_i, _, c_i) = dpc[i];
     progressions.clear();
@@ -170,7 +180,7 @@ fn wcrt_for_task(
                 limit: config.max_candidates,
             });
         }
-        let li = start_busy_period(dpc, i, a, fix_bound, config, caps)?;
+        let li = start_busy_period(dpc, i, a, fix_bound, config, caps, iters)?;
         let r = c_i.max(li + c_i - a);
         if r > best.wcrt {
             best.wcrt = r;
@@ -183,6 +193,7 @@ fn wcrt_for_task(
 
 /// Solves the start-preceding busy period `Li(a)` of eq. (9)'s companion
 /// recurrence, with the deadline-qualified terms hoisted into `caps`.
+#[allow(clippy::too_many_arguments)]
 fn start_busy_period(
     dpc: &[(Time, Time, Time)],
     i: usize,
@@ -190,6 +201,7 @@ fn start_busy_period(
     bound: Time,
     config: &NpEdfRtaConfig,
     caps: &mut Vec<(Time, Time, i64)>,
+    iters: &mut u64,
 ) -> AnalysisResult<Time> {
     let (d_i, t_i, c_i) = dpc[i];
     let deadline_i = a + d_i;
@@ -212,19 +224,13 @@ fn start_busy_period(
     let own_prior = c_i.try_mul(a.floor_div(t_i))?;
     let base = blocking.try_add(own_prior)?;
 
-    let outcome = fixpoint(
+    let outcome = fixpoint_counted(
         "np-edf-rta busy period",
         Time::ZERO,
         bound,
         config.fixpoint,
-        |t| {
-            let mut next = base;
-            for &(t_j, c_j, by_deadline) in caps.iter() {
-                let by_time = 1 + t.floor_div(t_j);
-                next = next.try_add(c_j.try_mul(by_time.min(by_deadline).max(0))?)?;
-            }
-            Ok(next)
-        },
+        iters,
+        |t| base.try_add(soa::capped_interference(caps, t, true)?),
     )?;
     match outcome {
         FixOutcome::Converged(v) => Ok(v),

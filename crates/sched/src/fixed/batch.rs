@@ -1,0 +1,199 @@
+//! Batched fixed-priority response-time analysis: one workload, many
+//! `(priority order, dispatching mode)` variants.
+//!
+//! The campaign engine analyses the same task set under several
+//! fixed-priority policies. Two amortizations apply:
+//!
+//! * **Order coincidence** — distinct policies frequently induce the same
+//!   urgency order (e.g. RM and DM on implicit-deadline sets); a variant
+//!   whose `(order, mode)` pair was already analysed clones the earlier
+//!   result instead of re-running the fixpoints.
+//! * **Warm memoization** — the scratch's RTA memo re-seeds each converged
+//!   per-task recurrence at its own least fixpoint when the exact analysis
+//!   input recurs (see [`crate::fixed::rta`]).
+//!
+//! Results are identical to the per-call entry points; the differential
+//! property tests in `tests/prop_batch.rs` pin this.
+
+use profirt_base::{AnalysisResult, TaskSet};
+
+use crate::fixed::assignment::PriorityMap;
+use crate::fixed::nonpreemptive::{np_response_times_with, NpFixedConfig};
+use crate::fixed::rta::{response_times_with, response_times_with_jitter_with, RtaConfig};
+use crate::scratch::AnalysisScratch;
+use crate::SetAnalysis;
+
+/// Dispatching mode (and its configuration) of one batch variant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FixedBatchMode {
+    /// Preemptive Joseph & Pandya RTA, optionally jitter-aware.
+    Preemptive {
+        /// Fixpoint configuration.
+        config: RtaConfig,
+        /// `true` runs the Tindell jitter-aware recurrence.
+        with_jitter: bool,
+    },
+    /// Non-preemptive RTA with blocking (eqs. (1)–(2) variants).
+    Nonpreemptive(NpFixedConfig),
+}
+
+/// One fixed-priority analysis variant: a priority order plus a mode.
+#[derive(Clone, Debug)]
+pub struct FixedBatchVariant {
+    /// Priority assignment to analyse under.
+    pub prio: PriorityMap,
+    /// Dispatching mode and configuration.
+    pub mode: FixedBatchMode,
+}
+
+/// Analyses `set` under every variant, returning one [`SetAnalysis`] per
+/// variant — each identical to the corresponding per-call entry point run
+/// with the same scratch.
+///
+/// # Errors
+/// The same conditions as the per-call analyses; the first failing variant
+/// aborts the batch.
+pub fn response_times_batch(
+    set: &TaskSet,
+    variants: &[FixedBatchVariant],
+    scratch: &mut AnalysisScratch,
+) -> AnalysisResult<Vec<SetAnalysis>> {
+    let mut out: Vec<SetAnalysis> = Vec::with_capacity(variants.len());
+    for (i, variant) in variants.iter().enumerate() {
+        let coincident = (0..i).find(|&j| {
+            variants[j].mode == variant.mode
+                && variants[j].prio.by_urgency() == variant.prio.by_urgency()
+        });
+        if let Some(j) = coincident {
+            let prev = out[j].clone();
+            out.push(prev);
+            continue;
+        }
+        let analysis = match &variant.mode {
+            FixedBatchMode::Preemptive {
+                config,
+                with_jitter,
+            } => {
+                if *with_jitter {
+                    response_times_with_jitter_with(set, &variant.prio, config, scratch)?
+                } else {
+                    response_times_with(set, &variant.prio, config, scratch)?
+                }
+            }
+            FixedBatchMode::Nonpreemptive(config) => {
+                np_response_times_with(set, &variant.prio, config, scratch)?
+            }
+        };
+        out.push(analysis);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::nonpreemptive::np_response_times;
+    use crate::fixed::rta::{response_times, response_times_with_jitter};
+
+    fn variants_for(set: &TaskSet) -> Vec<FixedBatchVariant> {
+        let rta = RtaConfig::default();
+        vec![
+            FixedBatchVariant {
+                prio: PriorityMap::rate_monotonic(set),
+                mode: FixedBatchMode::Preemptive {
+                    config: rta,
+                    with_jitter: false,
+                },
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(set),
+                mode: FixedBatchMode::Preemptive {
+                    config: rta,
+                    with_jitter: false,
+                },
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(set),
+                mode: FixedBatchMode::Preemptive {
+                    config: rta,
+                    with_jitter: true,
+                },
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(set),
+                mode: FixedBatchMode::Nonpreemptive(NpFixedConfig::paper()),
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(set),
+                mode: FixedBatchMode::Nonpreemptive(NpFixedConfig::george()),
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_equals_per_call() {
+        let sets = [
+            TaskSet::from_ct(&[(3, 7), (3, 12), (5, 20)]).unwrap(),
+            TaskSet::from_ct(&[(2, 4), (2, 4), (1, 8)]).unwrap(),
+            TaskSet::from_cdt(&[(2, 5, 5), (3, 40, 40), (3, 100, 100)]).unwrap(),
+        ];
+        for set in &sets {
+            let mut scratch = AnalysisScratch::new();
+            let batch = response_times_batch(set, &variants_for(set), &mut scratch).unwrap();
+            let vs = variants_for(set);
+            for (v, got) in vs.iter().zip(batch.iter()) {
+                let want = match &v.mode {
+                    FixedBatchMode::Preemptive {
+                        config,
+                        with_jitter: false,
+                    } => response_times(set, &v.prio, config).unwrap(),
+                    FixedBatchMode::Preemptive {
+                        config,
+                        with_jitter: true,
+                    } => response_times_with_jitter(set, &v.prio, config).unwrap(),
+                    FixedBatchMode::Nonpreemptive(config) => {
+                        np_response_times(set, &v.prio, config).unwrap()
+                    }
+                };
+                assert_eq!(*got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_orders_are_cloned_not_recomputed() {
+        // Implicit deadlines: RM and DM induce the same urgency order, so
+        // the second variant must not add fixpoint iterations.
+        let set = TaskSet::from_ct(&[(3, 7), (3, 12), (5, 20)]).unwrap();
+        let rta = RtaConfig::default();
+        let mk = |prio| FixedBatchVariant {
+            prio,
+            mode: FixedBatchMode::Preemptive {
+                config: rta,
+                with_jitter: false,
+            },
+        };
+        let mut scratch = AnalysisScratch::new();
+        let one =
+            response_times_batch(&set, &[mk(PriorityMap::rate_monotonic(&set))], &mut scratch)
+                .unwrap();
+        let single_iters = scratch.take_fixpoint_iters();
+        scratch.clear_warm();
+        let both = response_times_batch(
+            &set,
+            &[
+                mk(PriorityMap::rate_monotonic(&set)),
+                mk(PriorityMap::deadline_monotonic(&set)),
+            ],
+            &mut scratch,
+        )
+        .unwrap();
+        let pair_iters = scratch.take_fixpoint_iters();
+        assert_eq!(one[0], both[0]);
+        assert_eq!(both[0], both[1]);
+        assert_eq!(
+            single_iters, pair_iters,
+            "coincident variant re-ran fixpoints"
+        );
+    }
+}

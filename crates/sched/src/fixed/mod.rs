@@ -1,12 +1,14 @@
 //! Fixed-priority schedulability analyses (paper §2.1).
 
 pub mod assignment;
+pub mod batch;
 pub mod nonpreemptive;
 pub mod opa;
 pub mod rta;
 pub mod utilization;
 
 pub use assignment::PriorityMap;
+pub use batch::{response_times_batch, FixedBatchMode, FixedBatchVariant};
 pub use nonpreemptive::{
     np_response_times, np_response_times_with, BlockingRule, NpFixedConfig, NpFixedVariant,
 };

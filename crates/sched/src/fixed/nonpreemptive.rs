@@ -34,9 +34,9 @@ use profirt_base::{AnalysisResult, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::fixed::assignment::PriorityMap;
-use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::fixpoint::{fixpoint_counted, FixOutcome, FixpointConfig};
 use crate::scratch::AnalysisScratch;
-use crate::{SetAnalysis, TaskVerdict};
+use crate::{soa, SetAnalysis, TaskVerdict};
 
 /// Which interference formula to use for the start-delay recurrence.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -77,7 +77,7 @@ impl BlockingRule {
 }
 
 /// Configuration for the non-preemptive fixed-priority analysis.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NpFixedConfig {
     /// Interference formula.
     pub variant: NpFixedVariant,
@@ -133,7 +133,27 @@ pub fn np_response_times_with(
         set.len(),
         "priority map must cover the task set"
     );
-    let terms = &mut scratch.terms;
+    let AnalysisScratch {
+        terms,
+        warm,
+        fixpoint_iters,
+        ..
+    } = scratch;
+    // Exact-match warm memo (see [`crate::fixed::rta`]): the tag encodes
+    // the (variant, blocking-rule) pair so no two formulas share an entry.
+    let tag: u8 =
+        2 + match config.variant {
+            NpFixedVariant::Audsley => 0,
+            NpFixedVariant::George => 2,
+        } + match config.blocking {
+            BlockingRule::MaxLowerCost => 0,
+            BlockingRule::MaxLowerCostMinusOne => 1,
+        };
+    let order = prio.by_urgency();
+    let cols: Vec<(Time, Time, Time, Time)> =
+        set.tasks().iter().map(|t| (t.c, t.d, t.t, t.j)).collect();
+    let seeded: Option<Vec<Option<Time>>> = warm.lookup_rta(tag, order, &cols).map(<[_]>::to_vec);
+    let mut memo_w: Vec<Option<Time>> = Vec::with_capacity(set.len());
     let mut verdicts = Vec::with_capacity(set.len());
     for (i, task) in set.iter() {
         // Hoisted higher-priority (period, cost) rows; the jitter slot of
@@ -147,36 +167,52 @@ pub fn np_response_times_with(
         // Schedulable iff w + Ci <= Di, i.e. w <= Di - Ci.
         let bound = task.d - task.c;
 
-        let seed = match config.variant {
-            NpFixedVariant::Audsley => {
-                // Bi + Σ_{hp} Cj: the critical-instant workload, avoiding
-                // the spurious w = 0 fixpoint of the ceiling form.
-                let mut s = b_i;
-                for &(_, c_j, _) in terms.iter() {
-                    s = s.try_add(c_j)?;
+        let memo_seed = seeded.as_ref().and_then(|w| w[i]);
+        let seed = match memo_seed {
+            Some(w) => w,
+            None => match config.variant {
+                NpFixedVariant::Audsley => {
+                    // Bi + Σ_{hp} Cj: the critical-instant workload, avoiding
+                    // the spurious w = 0 fixpoint of the ceiling form.
+                    let mut s = b_i;
+                    for &(_, c_j, _) in terms.iter() {
+                        s = s.try_add(c_j)?;
+                    }
+                    s
                 }
-                s
-            }
-            NpFixedVariant::George => b_i,
+                NpFixedVariant::George => b_i,
+            },
         };
 
-        let outcome = fixpoint("np-fp-rta", seed, bound, config.fixpoint, |w| {
-            let mut next = b_i;
-            for &(t_j, c_j, _) in terms.iter() {
-                let n_jobs = match config.variant {
-                    NpFixedVariant::Audsley => w.ceil_div(t_j),
-                    NpFixedVariant::George => w.floor_div(t_j) + 1,
+        let outcome = fixpoint_counted(
+            "np-fp-rta",
+            seed,
+            bound,
+            config.fixpoint,
+            fixpoint_iters,
+            |w| {
+                let interf = match config.variant {
+                    NpFixedVariant::Audsley => soa::interference(terms, w)?,
+                    NpFixedVariant::George => soa::np_interference(terms, w)?,
                 };
-                next = next.try_add(c_j.try_mul(n_jobs)?)?;
-            }
-            Ok(next)
-        })?;
-        verdicts.push(match outcome {
-            FixOutcome::Converged(w) => TaskVerdict::Schedulable { wcrt: w + task.c },
-            FixOutcome::ExceededBound(w) => TaskVerdict::Unschedulable {
-                exceeded_at: w + task.c,
+                b_i.try_add(interf)
             },
+        )?;
+        verdicts.push(match outcome {
+            FixOutcome::Converged(w) => {
+                memo_w.push(Some(w));
+                TaskVerdict::Schedulable { wcrt: w + task.c }
+            }
+            FixOutcome::ExceededBound(w) => {
+                memo_w.push(None);
+                TaskVerdict::Unschedulable {
+                    exceeded_at: w + task.c,
+                }
+            }
         });
+    }
+    if seeded.is_none() {
+        warm.store_rta(tag, order, cols, memo_w);
     }
     Ok(SetAnalysis { verdicts })
 }
@@ -323,6 +359,26 @@ mod tests {
                 let reused = np_response_times_with(set, &pm, &cfg, &mut scratch).unwrap();
                 assert_eq!(fresh, reused);
             }
+        }
+    }
+
+    #[test]
+    fn warm_memo_hit_is_identical_per_variant() {
+        // Chosen so the lowest task's cold recurrence iterates under both
+        // variants (critical-instant seed 8 exceeds τ0's period 7).
+        let set = TaskSet::from_cdt(&[(3, 20, 7), (5, 30, 30), (2, 60, 60)]).unwrap();
+        let pm = PriorityMap::deadline_monotonic(&set);
+        for cfg in [NpFixedConfig::paper(), NpFixedConfig::george()] {
+            let mut scratch = AnalysisScratch::new();
+            let cold = np_response_times_with(&set, &pm, &cfg, &mut scratch).unwrap();
+            let cold_iters = scratch.take_fixpoint_iters();
+            let hit = np_response_times_with(&set, &pm, &cfg, &mut scratch).unwrap();
+            let hit_iters = scratch.take_fixpoint_iters();
+            assert_eq!(cold, hit);
+            assert!(
+                hit_iters < cold_iters,
+                "warm hit must iterate less: {hit_iters} vs {cold_iters}"
+            );
         }
     }
 

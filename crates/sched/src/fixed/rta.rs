@@ -19,12 +19,12 @@
 use profirt_base::{AnalysisError, AnalysisResult, TaskSet, Time};
 
 use crate::fixed::assignment::PriorityMap;
-use crate::fixpoint::{fixpoint, FixOutcome, FixpointConfig};
+use crate::fixpoint::{fixpoint_counted, FixOutcome, FixpointConfig};
 use crate::scratch::AnalysisScratch;
-use crate::{SetAnalysis, TaskVerdict};
+use crate::{soa, SetAnalysis, TaskVerdict};
 
 /// Configuration for fixed-priority RTA.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RtaConfig {
     /// Fixpoint iteration limits.
     pub fixpoint: FixpointConfig,
@@ -93,7 +93,23 @@ fn response_times_impl(
         set.len(),
         "priority map must cover the task set"
     );
-    let terms = &mut scratch.terms;
+    let AnalysisScratch {
+        terms,
+        warm,
+        fixpoint_iters,
+        ..
+    } = scratch;
+    // Exact-match warm memo: the key is the full analysis input (variant
+    // tag, urgency order, task columns), so a hit re-seeds each converged
+    // per-task recurrence at its own least fixpoint — `f(w) = w` verifies
+    // it in one evaluation. Non-converged tasks are stored as `None` and
+    // restart cold, reproducing the exceeded-at trajectory exactly.
+    let tag: u8 = if with_jitter { 1 } else { 0 };
+    let order = prio.by_urgency();
+    let cols: Vec<(Time, Time, Time, Time)> =
+        set.tasks().iter().map(|t| (t.c, t.d, t.t, t.j)).collect();
+    let seeded: Option<Vec<Option<Time>>> = warm.lookup_rta(tag, order, &cols).map(<[_]>::to_vec);
+    let mut memo_w: Vec<Option<Time>> = Vec::with_capacity(set.len());
     let mut verdicts = Vec::with_capacity(set.len());
     for (i, task) in set.iter() {
         // Hoist the higher-priority interference rows (period, cost,
@@ -114,22 +130,33 @@ fn response_times_impl(
             verdicts.push(TaskVerdict::Unschedulable {
                 exceeded_at: j_i + task.c,
             });
+            memo_w.push(None);
             continue;
         }
-        let outcome = fixpoint("fp-rta", task.c, bound, config.fixpoint, |w| {
-            let mut next = task.c;
-            for &(t_j, c_j, jit) in terms.iter() {
-                let n_jobs = (w + jit).ceil_div(t_j);
-                next = next.try_add(c_j.try_mul(n_jobs)?)?;
-            }
-            Ok(next)
-        })?;
+        let seed = seeded.as_ref().and_then(|w| w[i]).unwrap_or(task.c);
+        let outcome = fixpoint_counted(
+            "fp-rta",
+            seed,
+            bound,
+            config.fixpoint,
+            fixpoint_iters,
+            |w| task.c.try_add(soa::interference(terms, w)?),
+        )?;
         verdicts.push(match outcome {
-            FixOutcome::Converged(w) => TaskVerdict::Schedulable { wcrt: j_i + w },
-            FixOutcome::ExceededBound(w) => TaskVerdict::Unschedulable {
-                exceeded_at: j_i + w,
-            },
+            FixOutcome::Converged(w) => {
+                memo_w.push(Some(w));
+                TaskVerdict::Schedulable { wcrt: j_i + w }
+            }
+            FixOutcome::ExceededBound(w) => {
+                memo_w.push(None);
+                TaskVerdict::Unschedulable {
+                    exceeded_at: j_i + w,
+                }
+            }
         });
+    }
+    if seeded.is_none() {
+        warm.store_rta(tag, order, cols, memo_w);
     }
     Ok(SetAnalysis { verdicts })
 }
@@ -278,6 +305,27 @@ mod tests {
         let set = TaskSet::from_ct(&[(1, 5), (1, 9)]).unwrap();
         let pm = PriorityMap::identity(1);
         let _ = response_times(&set, &pm, &RtaConfig::default());
+    }
+
+    #[test]
+    fn warm_rta_memo_hit_is_identical_and_cheaper() {
+        // Mixed verdicts: the unschedulable task restarts cold on a hit.
+        let set = TaskSet::from_ct(&[(2, 4), (2, 4), (1, 8)]).unwrap();
+        let pm = PriorityMap::rate_monotonic(&set);
+        let cfg = RtaConfig::default();
+        let mut scratch = AnalysisScratch::new();
+        let cold = response_times_with(&set, &pm, &cfg, &mut scratch).unwrap();
+        let cold_iters = scratch.take_fixpoint_iters();
+        let hit = response_times_with(&set, &pm, &cfg, &mut scratch).unwrap();
+        let hit_iters = scratch.take_fixpoint_iters();
+        assert_eq!(cold, hit);
+        assert!(
+            hit_iters < cold_iters,
+            "warm hit must iterate less: {hit_iters} vs {cold_iters}"
+        );
+        // The jitter variant has a different tag: no false hit.
+        let jit = response_times_with_jitter_with(&set, &pm, &cfg, &mut scratch).unwrap();
+        assert_eq!(jit, response_times_with_jitter(&set, &pm, &cfg).unwrap());
     }
 
     #[test]

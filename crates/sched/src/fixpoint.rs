@@ -63,6 +63,31 @@ pub fn fixpoint<F>(
     seed: Time,
     bound: Time,
     config: FixpointConfig,
+    f: F,
+) -> AnalysisResult<FixOutcome>
+where
+    F: FnMut(Time) -> AnalysisResult<Time>,
+{
+    let mut iters = 0u64;
+    fixpoint_counted(what, seed, bound, config, &mut iters, f)
+}
+
+/// [`fixpoint`] with an external evaluation counter: `*iters` is incremented
+/// once per evaluation of `f`. The campaign engine sums these counters into
+/// its `fixpoint_iters` column, which is how warm-start effectiveness is
+/// observed (a warm seed that equals the least fixpoint converges in exactly
+/// one evaluation, since `f(L) == L`).
+///
+/// Warm starts enter here through `seed`: because the iterates of a monotone
+/// `f` reach the same least fixpoint from any seed at or below it, a caller
+/// may pass a memoized previous solution as `seed` without changing the
+/// converged value — the iteration itself re-verifies `f(seed) == seed`.
+pub fn fixpoint_counted<F>(
+    what: &'static str,
+    seed: Time,
+    bound: Time,
+    config: FixpointConfig,
+    iters: &mut u64,
     mut f: F,
 ) -> AnalysisResult<FixOutcome>
 where
@@ -73,6 +98,7 @@ where
         return Ok(FixOutcome::ExceededBound(x));
     }
     for _ in 0..config.max_iterations {
+        *iters += 1;
         let next = f(x)?;
         if next == x {
             return Ok(FixOutcome::Converged(x));
@@ -117,7 +143,7 @@ mod tests {
 
     #[test]
     fn seed_above_bound_is_immediate() {
-        let out = fixpoint("test", t(50), t(10), FixpointConfig::default(), |x| Ok(x)).unwrap();
+        let out = fixpoint("test", t(50), t(10), FixpointConfig::default(), Ok).unwrap();
         assert_eq!(out, FixOutcome::ExceededBound(t(50)));
     }
 
@@ -147,6 +173,26 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, AnalysisError::Overflow { context: "inner" });
+    }
+
+    #[test]
+    fn counter_counts_evaluations_and_warm_seed_converges_in_one() {
+        // Cold: x = 2 + floor(x/3) from 0 takes two evaluations (f(0)=2,
+        // f(2)=2); warm-seeded at the least fixpoint it takes exactly one.
+        let cfg = FixpointConfig::default();
+        let f = |x: Time| Ok(t(2) + t(x.floor_div(t(3))));
+        let mut cold = 0u64;
+        let out = fixpoint_counted("test", t(0), t(100), cfg, &mut cold, f).unwrap();
+        assert_eq!(out, FixOutcome::Converged(t(2)));
+        assert_eq!(cold, 2);
+        let mut warm = 0u64;
+        let out = fixpoint_counted("test", t(2), t(100), cfg, &mut warm, f).unwrap();
+        assert_eq!(out, FixOutcome::Converged(t(2)));
+        assert_eq!(warm, 1);
+        // The counter accumulates across calls rather than resetting.
+        let out = fixpoint_counted("test", t(0), t(100), cfg, &mut warm, f).unwrap();
+        assert_eq!(out, FixOutcome::Converged(t(2)));
+        assert_eq!(warm, 3);
     }
 
     #[test]

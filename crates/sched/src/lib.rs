@@ -46,10 +46,11 @@ pub mod edf;
 pub mod fixed;
 pub mod fixpoint;
 pub mod scratch;
+pub mod soa;
 
 pub use checkpoints::{CheckpointIter, CheckpointScratch, Checkpoints};
-pub use fixpoint::{fixpoint, FixOutcome, FixpointConfig};
-pub use scratch::AnalysisScratch;
+pub use fixpoint::{fixpoint, fixpoint_counted, FixOutcome, FixpointConfig};
+pub use scratch::{AnalysisScratch, WarmState};
 
 /// Per-task verdict of a response-time analysis.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -1,0 +1,189 @@
+//! Structure-of-arrays kernels for the batch analysis layer.
+//!
+//! The per-call analyses walk `&[Task]` rows and guard every addition and
+//! multiplication individually (`try_add`/`try_mul`). That is the right
+//! shape for one-off calls, but the batch entry points in
+//! [`crate::edf::batch`] and [`crate::fixed::batch`] evaluate the *same*
+//! workload under many parameter variants, so their inner loops run hot.
+//! This module hoists the task columns into flat vectors ([`SoaSet`]) and
+//! provides branch-light summation kernels that accumulate in `i128` and
+//! perform a single range check at the end — the sums that dominate the
+//! fixpoint closures (busy-period terms, RTA interference, capped
+//! interference) and the demand scan.
+//!
+//! Every kernel computes exactly the same value as its scalar counterpart
+//! whenever that counterpart succeeds: all inputs are validated `Time`
+//! values (costs and periods positive, iterates non-negative), so each term
+//! fits in `i128` with no intermediate overflow, and a final sum above
+//! `i64::MAX` reports the same [`AnalysisError::Overflow`] the guarded
+//! scalar arithmetic would have hit mid-loop.
+
+use profirt_base::{AnalysisError, AnalysisResult, Task, Time};
+
+/// Converts an `i128` accumulator back to `Time`, reporting overflow with
+/// the caller's context label.
+#[inline]
+fn to_time(sum: i128, context: &'static str) -> AnalysisResult<Time> {
+    if sum > i64::MAX as i128 || sum < i64::MIN as i128 {
+        Err(AnalysisError::Overflow { context })
+    } else {
+        Ok(Time::new(sum as i64))
+    }
+}
+
+/// `ceil(a / b)` for `a >= 0`, `b > 0`, in `i128`.
+#[inline]
+fn ceil_div(a: i128, b: i128) -> i128 {
+    (a + b - 1) / b
+}
+
+/// One busy-period iteration: `blocking + Σ_i max(⌈l / T_i⌉, 1) · C_i` over
+/// the `(cost, period)` view of `tasks`, for an iterate `l >= 0`.
+pub fn busy_step(tasks: &[Task], blocking: Time, l: Time) -> AnalysisResult<Time> {
+    let lv = l.ticks() as i128;
+    let mut sum = blocking.ticks() as i128;
+    for task in tasks {
+        let n_jobs = ceil_div(lv, task.t.ticks() as i128).max(1);
+        sum += n_jobs * task.c.ticks() as i128;
+    }
+    to_time(sum, "busy period bound")
+}
+
+/// One fixed-priority RTA interference sum over `(period, cost, jitter)`
+/// terms: `Σ_j ⌈(w + J_j) / T_j⌉ · C_j` for an iterate `w >= 0`.
+pub fn interference(terms: &[(Time, Time, Time)], w: Time) -> AnalysisResult<Time> {
+    let wv = w.ticks() as i128;
+    let mut sum = 0i128;
+    for &(t, c, j) in terms {
+        sum += ceil_div(wv + j.ticks() as i128, t.ticks() as i128) * c.ticks() as i128;
+    }
+    to_time(sum, "rta interference")
+}
+
+/// One non-preemptive fixed-priority interference sum over
+/// `(period, cost, _)` terms: `Σ_j (⌊w / T_j⌋ + 1) · C_j` for `w >= 0`
+/// (the George start-delay form; the Audsley form is [`interference`] with
+/// zero jitter).
+pub fn np_interference(terms: &[(Time, Time, Time)], w: Time) -> AnalysisResult<Time> {
+    let wv = w.ticks() as i128;
+    let mut sum = 0i128;
+    for &(t, c, _) in terms {
+        sum += (wv / t.ticks() as i128 + 1) * c.ticks() as i128;
+    }
+    to_time(sum, "rta interference")
+}
+
+/// One deadline-capped interference sum over `(period, cost, cap)` terms:
+/// `Σ_j C_j · max(min(n_time(w, T_j), cap_j), 0)` where `n_time` is
+/// `⌈w / T⌉` for the preemptive EDF busy window and `⌊w / T⌋ + 1` for the
+/// non-preemptive one (`floor_plus_one`).
+pub fn capped_interference(
+    caps: &[(Time, Time, i64)],
+    w: Time,
+    floor_plus_one: bool,
+) -> AnalysisResult<Time> {
+    let wv = w.ticks() as i128;
+    let mut sum = 0i128;
+    for &(t, c, cap) in caps {
+        let tv = t.ticks() as i128;
+        let by_time = if floor_plus_one {
+            wv / tv + 1
+        } else {
+            ceil_div(wv, tv)
+        };
+        sum += c.ticks() as i128 * by_time.min(cap as i128).max(0);
+    }
+    to_time(sum, "edf-rta interference")
+}
+
+/// Hoisted task columns: the structure-of-arrays view the batch evaluators
+/// iterate. Loaded once per workload via [`SoaSet::load`]; the columns are
+/// parallel, indexed by task-set position.
+#[derive(Debug, Clone, Default)]
+pub struct SoaSet {
+    /// Worst-case execution times `C_i` (ticks).
+    pub cost: Vec<i64>,
+    /// Relative deadlines `D_i` (ticks).
+    pub deadline: Vec<i64>,
+    /// Periods `T_i` (ticks).
+    pub period: Vec<i64>,
+}
+
+impl SoaSet {
+    /// Clears and refills the columns from `tasks`.
+    pub fn load(&mut self, tasks: &[Task]) {
+        self.cost.clear();
+        self.deadline.clear();
+        self.period.clear();
+        self.cost.extend(tasks.iter().map(|t| t.c.ticks()));
+        self.deadline.extend(tasks.iter().map(|t| t.d.ticks()));
+        self.period.extend(tasks.iter().map(|t| t.t.ticks()));
+    }
+
+    /// Number of tasks loaded.
+    pub fn len(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// `true` when no tasks are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.cost.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profirt_base::time::t;
+
+    fn tasks() -> Vec<Task> {
+        vec![
+            Task::new(t(2), t(7), t(10)).unwrap(),
+            Task::new(t(3), t(15), t(15)).unwrap(),
+            Task::new(t(5), t(40), t(50)).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn busy_step_matches_scalar_form() {
+        let ts = tasks();
+        // l = 0: every task contributes max(0, 1) = 1 job.
+        assert_eq!(busy_step(&ts, t(4), t(0)).unwrap(), t(4 + 2 + 3 + 5));
+        // l = 30: ceil(30/10)=3, ceil(30/15)=2, ceil(30/50)=1.
+        assert_eq!(busy_step(&ts, t(0), t(30)).unwrap(), t(3 * 2 + 2 * 3 + 5));
+    }
+
+    #[test]
+    fn interference_kernels_match_scalar_forms() {
+        let terms = vec![(t(10), t(2), t(0)), (t(15), t(3), t(5))];
+        // w = 20: ceil(20/10)*2 + ceil(25/15)*3 = 4 + 6.
+        assert_eq!(interference(&terms, t(20)).unwrap(), t(10));
+        // George: (floor(20/10)+1)*2 + (floor(20/15)+1)*3 = 6 + 6.
+        assert_eq!(np_interference(&terms, t(20)).unwrap(), t(12));
+        let caps = vec![(t(10), t(2), 2i64), (t(15), t(3), -1i64)];
+        // ceil(20/10)=2 capped at 2 → 4; negative cap clamps to zero.
+        assert_eq!(capped_interference(&caps, t(20), false).unwrap(), t(4));
+        // floor(20/10)+1=3 capped at 2 → 4.
+        assert_eq!(capped_interference(&caps, t(20), true).unwrap(), t(4));
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let ts = vec![Task::new(Time::new(i64::MAX / 2), Time::MAX, Time::ONE).unwrap()];
+        let err = busy_step(&ts, t(0), Time::new(10)).unwrap_err();
+        assert!(matches!(err, AnalysisError::Overflow { .. }));
+    }
+
+    #[test]
+    fn soa_set_loads_columns() {
+        let mut s = SoaSet::default();
+        assert!(s.is_empty());
+        s.load(&tasks());
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.cost, vec![2, 3, 5]);
+        assert_eq!(s.deadline, vec![7, 15, 40]);
+        assert_eq!(s.period, vec![10, 15, 50]);
+        s.load(&tasks()[..1]);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Differential property tests for the batch analysis layer: the `*_batch`
+//! entry points and the warm-started (memo-seeded) fixpoints must reproduce
+//! the per-call cold path **exactly** — full [`Feasibility`] records
+//! (verdict, first violation, checked points, horizon) and full per-task
+//! WCRT verdicts — across random task sets, both demand formulas, both
+//! blocking models, and chains of deadline-varied workloads sharing one
+//! scratch. Same discipline as `prop_analysis_fast.rs`: run under any
+//! `PROPTEST_SEED`.
+
+use proptest::prelude::*;
+
+use profirt_base::{Task, TaskSet, Time};
+use profirt_sched::edf::{
+    edf_feasibility_batch, edf_feasible_nonpreemptive, edf_feasible_preemptive, DemandConfig,
+    DemandFormula, DemandVariantSpec, Feasibility, NpBlockingModel, NpFeasibilityConfig,
+};
+use profirt_sched::fixed::{
+    np_response_times, response_times, response_times_batch, response_times_with,
+    response_times_with_jitter, FixedBatchMode, FixedBatchVariant, NpFixedConfig, PriorityMap,
+    RtaConfig,
+};
+use profirt_sched::{AnalysisScratch, FixpointConfig};
+
+/// Random constrained-deadline task sets (see `prop_analysis_fast.rs`):
+/// feasible, infeasible and overloaded sets all occur, and an optional
+/// heavy task pushes some cases over the QPA selection threshold.
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    (
+        proptest::collection::vec((1i64..20, 1i64..100, 0i64..50), 1..=5),
+        0i64..200,
+    )
+        .prop_map(|(raw, heavy)| {
+            let mut tasks: Vec<Task> = raw
+                .into_iter()
+                .map(|(c, t_extra, d_slack)| {
+                    let t = 5 * c + t_extra;
+                    let d = (c + d_slack).min(t);
+                    Task::new(c, d, t).unwrap()
+                })
+                .collect();
+            if heavy > 0 {
+                tasks.push(Task::implicit(heavy.min(900), 1_000).unwrap());
+            }
+            TaskSet::new(tasks).unwrap()
+        })
+}
+
+fn all_demand_variants() -> Vec<DemandVariantSpec> {
+    let mut v = Vec::new();
+    for formula in [DemandFormula::Standard, DemandFormula::PaperCeiling] {
+        for blocking in [
+            None,
+            Some(NpBlockingModel::ZhengShin),
+            Some(NpBlockingModel::George),
+        ] {
+            v.push(DemandVariantSpec { formula, blocking });
+        }
+    }
+    v
+}
+
+fn per_call_feasibility(set: &TaskSet, v: DemandVariantSpec) -> Feasibility {
+    match v.blocking {
+        None => edf_feasible_preemptive(
+            set,
+            &DemandConfig {
+                formula: v.formula,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+        Some(blocking) => edf_feasible_nonpreemptive(
+            set,
+            &NpFeasibilityConfig {
+                blocking,
+                formula: v.formula,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    }
+}
+
+/// Tightens one task's deadline without violating `C <= D`, producing the
+/// "one axis varied" chains the campaign's warm path walks.
+fn tighten(set: &TaskSet, step: usize) -> TaskSet {
+    let tasks: Vec<Task> = set
+        .iter()
+        .map(|(i, task)| {
+            if i == step % set.len() {
+                let d = (task.d - Time::ONE).max(task.c);
+                Task::new(task.c, d, task.t).unwrap()
+            } else {
+                *task
+            }
+        })
+        .collect();
+    TaskSet::new(tasks).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn demand_batch_equals_per_call(set in arb_task_set()) {
+        let variants = all_demand_variants();
+        let mut scratch = AnalysisScratch::new();
+        let batch = edf_feasibility_batch(
+            &set, &variants, FixpointConfig::default(), &mut scratch,
+        ).unwrap();
+        for (v, got) in variants.iter().zip(batch.iter()) {
+            let want = per_call_feasibility(&set, *v);
+            prop_assert_eq!(*got, want, "variant {:?} on {:?}", v, set);
+        }
+        // A second batch on the same scratch (warm memo hot) is identical.
+        let again = edf_feasibility_batch(
+            &set, &variants, FixpointConfig::default(), &mut scratch,
+        ).unwrap();
+        prop_assert_eq!(batch, again);
+    }
+
+    #[test]
+    fn fixed_batch_equals_per_call(set in arb_task_set()) {
+        let rta = RtaConfig::default();
+        let variants = vec![
+            FixedBatchVariant {
+                prio: PriorityMap::rate_monotonic(&set),
+                mode: FixedBatchMode::Preemptive { config: rta, with_jitter: false },
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(&set),
+                mode: FixedBatchMode::Preemptive { config: rta, with_jitter: false },
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(&set),
+                mode: FixedBatchMode::Preemptive { config: rta, with_jitter: true },
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(&set),
+                mode: FixedBatchMode::Nonpreemptive(NpFixedConfig::paper()),
+            },
+            FixedBatchVariant {
+                prio: PriorityMap::deadline_monotonic(&set),
+                mode: FixedBatchMode::Nonpreemptive(NpFixedConfig::george()),
+            },
+        ];
+        let mut scratch = AnalysisScratch::new();
+        let batch = response_times_batch(&set, &variants, &mut scratch).unwrap();
+        for (v, got) in variants.iter().zip(batch.iter()) {
+            let want = match &v.mode {
+                FixedBatchMode::Preemptive { config, with_jitter: false } =>
+                    response_times(&set, &v.prio, config).unwrap(),
+                FixedBatchMode::Preemptive { config, with_jitter: true } =>
+                    response_times_with_jitter(&set, &v.prio, config).unwrap(),
+                FixedBatchMode::Nonpreemptive(config) =>
+                    np_response_times(&set, &v.prio, config).unwrap(),
+            };
+            prop_assert_eq!(got.clone(), want, "mode {:?} on {:?}", &v.mode, &set);
+        }
+    }
+
+    #[test]
+    fn warm_chain_equals_cold_per_step(set in arb_task_set(), len in 2usize..8) {
+        // Walk a deadline-tightening chain with one shared warm scratch and
+        // compare every step against a cold fresh-scratch analysis — the
+        // campaign's warm-start soundness contract in miniature.
+        let mut warm_scratch = AnalysisScratch::new();
+        let mut current = set;
+        for step in 0..len {
+            let pm = PriorityMap::deadline_monotonic(&current);
+            let warm = response_times_with(
+                &current, &pm, &RtaConfig::default(), &mut warm_scratch,
+            ).unwrap();
+            let cold = response_times(&current, &pm, &RtaConfig::default()).unwrap();
+            prop_assert_eq!(warm, cold, "step {} on {:?}", step, &current);
+
+            let np_warm = profirt_sched::fixed::np_response_times_with(
+                &current, &pm, &NpFixedConfig::george(), &mut warm_scratch,
+            ).unwrap();
+            let np_cold = np_response_times(&current, &pm, &NpFixedConfig::george()).unwrap();
+            prop_assert_eq!(np_warm, np_cold, "np step {} on {:?}", step, &current);
+
+            let variants = all_demand_variants();
+            let batch = edf_feasibility_batch(
+                &current, &variants, FixpointConfig::default(), &mut warm_scratch,
+            ).unwrap();
+            for (v, got) in variants.iter().zip(batch.iter()) {
+                let want = per_call_feasibility(&current, *v);
+                prop_assert_eq!(*got, want, "demand step {} variant {:?}", step, v);
+            }
+            current = tighten(&current, step);
+        }
+    }
+}
