@@ -14,6 +14,8 @@
 //!   §2 (`Ci`, `Di`, `Ti`, plus release jitter `Ji` for the §4.1 extension).
 //! * [`MessageStream`] / [`StreamSet`] — the PROFIBUS message-stream model of
 //!   §3.2 (`Chi`, `Dhi`, `Thi`, `Ji`).
+//! * [`Criticality`] — LO/MID/HI levels for the mixed-criticality overload
+//!   modes (absent ⇒ HI, so plain workloads are unchanged).
 //! * Error types for every analysis (divergent fixpoints, invalid models,
 //!   arithmetic overflow) — analyses return `Result`, they never panic on
 //!   user input.
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bignat;
+pub mod criticality;
 pub mod error;
 pub mod ids;
 pub mod json;
@@ -39,6 +42,7 @@ pub mod task;
 pub mod time;
 
 pub use bignat::BigNat;
+pub use criticality::Criticality;
 pub use error::{AnalysisError, AnalysisResult, ModelError};
 pub use ids::{MasterAddr, StreamId, TaskId};
 pub use num::{ceil_div, floor_div, gcd, lcm, Frac};

@@ -17,6 +17,10 @@
 //!   cost is unchanged by the churn machinery — the baseline JSON records
 //!   both so CI can watch the fast path staying within noise of the
 //!   pre-churn numbers.
+//! * `mc_churn` — the churn fixture with mixed-criticality labels and
+//!   the mode controller armed: records the mode machinery's overhead
+//!   against the churn-only loop (and asserts the armed controller is a
+//!   result-no-op on all-HI traffic first).
 //!
 //! Besides the criterion groups, the bench writes `BENCH_sim.json`
 //! (workspace `target/` by default, `BENCH_SIM_JSON` overrides) — the
@@ -31,11 +35,11 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use profirt_base::json::{self, Value};
-use profirt_base::{StreamSet, Time};
+use profirt_base::{Criticality, StreamSet, Time};
 use profirt_profibus::{LowPriorityTraffic, QueuePolicy};
 use profirt_sim::{
-    simulate_network, simulate_network_materialized, MembershipPlan, NetworkSimConfig, SimMaster,
-    SimNetwork,
+    simulate_network, simulate_network_materialized, MembershipPlan, ModeSimConfig,
+    NetworkSimConfig, SimMaster, SimNetwork,
 };
 
 /// Pinned release-dense, schedulable fixture: ~100k releases over the
@@ -107,6 +111,34 @@ fn churn_ring() -> (SimNetwork, NetworkSimConfig) {
     (net, cfg)
 }
 
+/// The churn fixture with the mixed-criticality mode controller armed:
+/// every master's streams alternate HI/LO, so ring shrinkage degrades
+/// the mode and sheds half the traffic until match-up. The overhead
+/// record pairs this against the churn-only loop on identical traffic.
+fn mc_churn() -> (SimNetwork, NetworkSimConfig) {
+    let (mut net, cfg) = churn_ring();
+    for m in &mut net.masters {
+        net_labels(m);
+    }
+    let cfg = NetworkSimConfig {
+        mode: ModeSimConfig::enabled(),
+        ..cfg
+    };
+    (net, cfg)
+}
+
+fn net_labels(m: &mut SimMaster) {
+    m.criticality = (0..m.streams.len())
+        .map(|i| {
+            if i % 2 == 1 {
+                Criticality::Lo
+            } else {
+                Criticality::Hi
+            }
+        })
+        .collect();
+}
+
 fn fixtures() -> Vec<(&'static str, SimNetwork, NetworkSimConfig)> {
     let (d_net, d_cfg) = dense_long_horizon();
     let (l_net, l_cfg) = lp_backlog();
@@ -130,6 +162,10 @@ fn bench(c: &mut Criterion) {
     let (churn_net, churn_cfg) = churn_ring();
     group.bench_with_input(BenchmarkId::new("streaming", "churn_ring"), &(), |b, ()| {
         b.iter(|| simulate_network(black_box(&churn_net), &churn_cfg))
+    });
+    let (mc_net, mc_cfg) = mc_churn();
+    group.bench_with_input(BenchmarkId::new("streaming", "mc_churn"), &(), |b, ()| {
+        b.iter(|| simulate_network(black_box(&mc_net), &mc_cfg))
     });
     group.finish();
 }
@@ -193,6 +229,36 @@ fn write_baseline(full: bool) {
         ("streaming_ns", Value::Float(churn_ns)),
         ("static_fast_path_ns", Value::Float(static_ns)),
         ("churn_overhead", Value::Float(churn_ns / static_ns)),
+    ]));
+    // Mode-controller fixture: on all-HI traffic the armed controller
+    // must be a result-no-op (it may switch modes, but sheds nothing) —
+    // asserted before timing. The recorded overhead then pairs the
+    // mixed-criticality run against the churn-only loop on identical
+    // traffic, isolating the mode machinery's per-visit cost.
+    let (mc_net, mc_cfg) = mc_churn();
+    let all_hi_cfg = NetworkSimConfig {
+        mode: ModeSimConfig::enabled(),
+        ..churn_cfg.clone()
+    };
+    assert_eq!(
+        simulate_network(&churn_net, &churn_cfg),
+        simulate_network(&churn_net, &all_hi_cfg),
+        "armed controller must not change all-HI results"
+    );
+    assert_eq!(
+        simulate_network(&mc_net, &mc_cfg),
+        simulate_network(&mc_net, &mc_cfg),
+        "mc_churn fixture must be deterministic"
+    );
+    let mc_ns = mean_ns(iters, || {
+        black_box(simulate_network(black_box(&mc_net), &mc_cfg));
+    });
+    rows.push(json::object([
+        ("fixture", Value::Str("mc_churn".to_string())),
+        ("horizon_ticks", Value::Int(mc_cfg.horizon.ticks())),
+        ("streaming_ns", Value::Float(mc_ns)),
+        ("churn_only_ns", Value::Float(churn_ns)),
+        ("mode_overhead", Value::Float(mc_ns / churn_ns)),
     ]));
     let doc = json::object([
         ("bench", Value::Str("sim_kernel".to_string())),

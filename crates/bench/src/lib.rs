@@ -67,6 +67,7 @@ pub fn network(n_masters: usize, nh: usize, tightness: f64) -> NetworkConfig {
             low_payload: (8, 32),
             low_period: Time::new(500_000),
             ttr: Time::new(4_000),
+            criticality_mix: profirt_workload::CriticalityMix::AllHi,
         },
     )
     .expect("network generation")

@@ -6,7 +6,7 @@
 //! ring-wide target token rotation time `TTR`. All times in ticks (bit
 //! times when derived from [`profirt_profibus::BusParams`]).
 
-use profirt_base::{AnalysisError, AnalysisResult, StreamSet, Time};
+use profirt_base::{AnalysisError, AnalysisResult, Criticality, StreamSet, Time};
 use profirt_profibus::{BusParams, MasterStation};
 use serde::{Deserialize, Serialize};
 
@@ -18,20 +18,48 @@ pub struct MasterConfig {
     /// Longest low-priority message cycle `Cl^k` (zero if the master sends
     /// no low-priority traffic).
     pub cl: Time,
+    /// Per-stream criticality levels, parallel to `streams`. An empty
+    /// vector — the default of every constructor — means all-HI, the
+    /// backward-compatible reading under which pre-existing configs are
+    /// unchanged. When non-empty, the length must equal `streams.len()`.
+    #[serde(default)]
+    pub criticality: Vec<Criticality>,
 }
 
 impl MasterConfig {
-    /// Creates a master configuration.
+    /// Creates a master configuration (all streams HI).
     pub fn new(streams: StreamSet, cl: Time) -> MasterConfig {
-        MasterConfig { streams, cl }
+        MasterConfig {
+            streams,
+            cl,
+            criticality: Vec::new(),
+        }
     }
 
-    /// Derives the configuration from a full station model.
+    /// Derives the configuration from a full station model (all streams HI).
     pub fn from_station(station: &MasterStation) -> MasterConfig {
         MasterConfig {
             streams: station.streams.clone(),
             cl: station.max_low_cycle().unwrap_or(Time::ZERO),
+            criticality: Vec::new(),
         }
+    }
+
+    /// Returns a copy carrying per-stream criticality levels. Lengths must
+    /// match the stream set (or the vector may be empty for all-HI).
+    pub fn with_criticality(mut self, criticality: Vec<Criticality>) -> MasterConfig {
+        self.criticality = criticality;
+        self
+    }
+
+    /// The criticality of stream `i`; absent entries read as HI.
+    pub fn criticality_of(&self, i: usize) -> Criticality {
+        self.criticality.get(i).copied().unwrap_or(Criticality::Hi)
+    }
+
+    /// `true` if any stream of this master is below HI criticality.
+    pub fn has_sub_hi(&self) -> bool {
+        self.criticality.iter().any(|c| c.shed_in_hi_mode())
     }
 
     /// Number of high-priority streams, the paper's `nh^k`.
@@ -92,6 +120,12 @@ impl NetworkConfig {
                     },
                 ));
             }
+            if !m.criticality.is_empty() && m.criticality.len() != m.streams.len() {
+                return Err(AnalysisError::IndexOutOfRange {
+                    index: m.criticality.len(),
+                    len: m.streams.len(),
+                });
+            }
         }
         Ok(NetworkConfig {
             masters,
@@ -143,6 +177,40 @@ impl NetworkConfig {
         }
         self.ttr = ttr;
         Ok(())
+    }
+
+    /// `true` if any stream anywhere in the ring is below HI criticality —
+    /// the condition under which degraded-mode analysis differs from the
+    /// nominal one.
+    pub fn has_sub_hi(&self) -> bool {
+        self.masters.iter().any(MasterConfig::has_sub_hi)
+    }
+
+    /// The HI-only projection: every master keeps only its HI-criticality
+    /// streams (`cl`, `TTR` and the token-pass overhead are unchanged — the
+    /// ring still rotates, and low-priority traffic is not criticality
+    /// managed). Returns the projected configuration plus, per master, the
+    /// *original* stream index of each kept stream, so degraded-mode bounds
+    /// can be matched back to observations on the full workload.
+    pub fn hi_projection(&self) -> AnalysisResult<(NetworkConfig, Vec<Vec<usize>>)> {
+        let mut masters = Vec::with_capacity(self.masters.len());
+        let mut kept = Vec::with_capacity(self.masters.len());
+        for m in &self.masters {
+            let mut indices = Vec::new();
+            let mut streams = Vec::new();
+            for (i, s) in m.streams.iter() {
+                if m.criticality_of(i) == profirt_base::Criticality::Hi {
+                    indices.push(i);
+                    streams.push(*s);
+                }
+            }
+            masters.push(MasterConfig::new(StreamSet::new(streams)?, m.cl));
+            kept.push(indices);
+        }
+        Ok((
+            NetworkConfig::new(masters, self.ttr)?.with_token_pass(self.token_pass),
+            kept,
+        ))
     }
 
     /// Number of masters `n`.
@@ -208,6 +276,52 @@ mod tests {
         let net2 = net.with_ttr(t(999)).unwrap();
         assert_eq!(net2.ttr, t(999));
         assert_eq!(net2.masters, net.masters);
+    }
+
+    #[test]
+    fn criticality_defaults_to_hi_and_validates_length() {
+        use profirt_base::Criticality;
+        let m = MasterConfig::new(streams(), t(0));
+        assert_eq!(m.criticality_of(0), Criticality::Hi);
+        assert_eq!(m.criticality_of(99), Criticality::Hi);
+        assert!(!m.has_sub_hi());
+        let mixed = m
+            .clone()
+            .with_criticality(vec![Criticality::Lo, Criticality::Hi]);
+        assert!(mixed.has_sub_hi());
+        assert_eq!(mixed.criticality_of(0), Criticality::Lo);
+        // A non-empty vector of the wrong length is rejected at network
+        // construction.
+        let short = m.with_criticality(vec![Criticality::Lo]);
+        assert!(matches!(
+            NetworkConfig::new(vec![short], t(1000)),
+            Err(AnalysisError::IndexOutOfRange { index: 1, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn hi_projection_keeps_hi_streams_and_ring_shape() {
+        use profirt_base::Criticality;
+        let m0 = MasterConfig::new(streams(), t(360))
+            .with_criticality(vec![Criticality::Lo, Criticality::Hi]);
+        let m1 = MasterConfig::new(streams(), t(0)); // implicit all-HI
+        let net = NetworkConfig::new(vec![m0, m1], t(3000))
+            .unwrap()
+            .with_token_pass(t(166));
+        assert!(net.has_sub_hi());
+        let (hi, kept) = net.hi_projection().unwrap();
+        assert_eq!(hi.n_masters(), 2); // the ring shape is preserved
+        assert_eq!(hi.masters[0].nh(), 1);
+        assert_eq!(hi.masters[1].nh(), 2);
+        assert_eq!(kept, vec![vec![1], vec![0, 1]]);
+        assert_eq!(hi.masters[0].cl, t(360));
+        assert_eq!(hi.token_pass, t(166));
+        // All-HI networks project to themselves (modulo the criticality
+        // annotation, which the projection drops).
+        let plain = NetworkConfig::new(vec![MasterConfig::new(streams(), t(0))], t(3000)).unwrap();
+        let (p, k) = plain.hi_projection().unwrap();
+        assert_eq!(p, plain);
+        assert_eq!(k, vec![vec![0, 1]]);
     }
 
     #[test]

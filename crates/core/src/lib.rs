@@ -23,6 +23,8 @@
 //!   paper's headline comparison).
 //! * [`policy`] — [`PolicyKind`], the uniform name → (analysis, simulator
 //!   queue discipline) dispatch used by the CLI and the campaign engine.
+//! * [`mode`] — [`ModeAnalysis`], the mixed-criticality two-verdict pair
+//!   (LO-mode bounds for stable phases, HI-mode bounds through any churn).
 //!
 //! ## Fidelity switches
 //!
@@ -44,6 +46,7 @@ pub mod end_to_end;
 pub mod fcfs;
 pub mod jitter;
 pub mod low_priority;
+pub mod mode;
 pub mod policy;
 pub mod tcycle;
 pub mod ttr;
@@ -56,6 +59,7 @@ pub use end_to_end::{EndToEndAnalysis, EndToEndBreakdown, TaskSegments};
 pub use fcfs::FcfsAnalysis;
 pub use jitter::{inherit_jitter, JitterModel};
 pub use low_priority::{low_priority_outlook, LowPriorityOutlook};
+pub use mode::ModeAnalysis;
 pub use policy::{PolicyKind, PolicyScratch, PolicyTuning};
 pub use tcycle::{TcycleBound, TcycleModel};
 pub use ttr::{max_feasible_ttr, TtrSetting};

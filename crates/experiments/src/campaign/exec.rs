@@ -136,20 +136,42 @@ impl CampaignOutcome {
     /// simulated campaigns only, sound analyses only (the paper-literal
     /// `dm-paper` variant is *expected* to be optimistic and is exempt —
     /// its violations are a recorded finding, not a failure).
+    ///
+    /// The HI-mode contract (`hi_sim_violations`) is stricter: the
+    /// HI-projection bounds must hold through *any* churn plan, with **no**
+    /// policy exemption — a violated HI bound is always a failure.
     pub fn contract_failures(&self) -> Vec<String> {
-        let Some(vcol) = self.metrics.iter().position(|m| *m == "sim_violations") else {
-            return Vec::new();
-        };
-        self.plan
-            .units
-            .iter()
-            .zip(&self.rows)
-            .filter(|(unit, row)| {
-                let v = row[vcol];
-                !v.is_nan() && v > 0.0 && unit.get_str("policy", "fcfs") != "dm-paper"
-            })
-            .map(|(unit, row)| format!("{}: {} bound violation(s)", unit.id, row[vcol]))
-            .collect()
+        let col = |name: &str| self.metrics.iter().position(|m| *m == name);
+        let mut failures = Vec::new();
+        if let Some(vcol) = col("sim_violations") {
+            failures.extend(
+                self.plan
+                    .units
+                    .iter()
+                    .zip(&self.rows)
+                    .filter(|(unit, row)| {
+                        let v = row[vcol];
+                        !v.is_nan() && v > 0.0 && unit.get_str("policy", "fcfs") != "dm-paper"
+                    })
+                    .map(|(unit, row)| format!("{}: {} bound violation(s)", unit.id, row[vcol])),
+            );
+        }
+        if let Some(hcol) = col("hi_sim_violations") {
+            failures.extend(
+                self.plan
+                    .units
+                    .iter()
+                    .zip(&self.rows)
+                    .filter(|(_, row)| {
+                        let v = row[hcol];
+                        !v.is_nan() && v > 0.0
+                    })
+                    .map(|(unit, row)| {
+                        format!("{}: {} HI-mode bound violation(s)", unit.id, row[hcol])
+                    }),
+            );
+        }
+        failures
     }
 }
 

@@ -17,7 +17,7 @@ use super::CampaignError;
 pub fn generation_axes(kind: ScenarioKind) -> &'static [&'static str] {
     match kind {
         ScenarioKind::Cpu => &["tasks", "utilization", "deadline_frac", "period_spread"],
-        ScenarioKind::Network => &["masters", "streams", "tightness"],
+        ScenarioKind::Network => &["masters", "streams", "tightness", "criticality"],
     }
 }
 
@@ -228,6 +228,9 @@ mod tests {
         assert!(generation_axes(ScenarioKind::Cpu).contains(&"tasks"));
         assert!(!generation_axes(ScenarioKind::Cpu).contains(&"policy"));
         assert!(generation_axes(ScenarioKind::Network).contains(&"tightness"));
+        // The criticality mix draws per-stream labels, so it feeds
+        // generation (all-hi consumes no RNG and stays byte-identical).
+        assert!(generation_axes(ScenarioKind::Network).contains(&"criticality"));
         // `ttr` re-parameterises the analysis of an already-drawn network
         // (stream draws never read it), so it is deliberately absent.
         assert!(!generation_axes(ScenarioKind::Network).contains(&"ttr"));

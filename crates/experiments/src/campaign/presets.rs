@@ -241,8 +241,30 @@ pub fn churn() -> CampaignSpec {
     .axis_i64("masters", &[3])
 }
 
-/// Every preset, in the paper's presentation order (the churn study, not
-/// part of the paper, comes last).
+/// MC — mixed-criticality overload modes under ring churn: HI bounds must
+/// hold through *any* disturbance (`hi_sim_violations == 0`, no policy
+/// exemption) while the full-workload bounds are promised in stable LO
+/// phases only. The `mode_switches` / `time_to_matchup_p99` /
+/// `lo_shed_ratio` columns quantify the degradation-and-recovery cycle.
+pub fn mc_churn() -> CampaignSpec {
+    CampaignSpec::new(
+        "mc-churn",
+        "mixed-criticality overload modes with match-up recovery under ring churn",
+        ScenarioKind::Network,
+    )
+    .replications(24)
+    .sim_horizon(3_000_000)
+    .axis_str("criticality", &["all-hi", "mixed", "mixed3"])
+    .axis_str("churn", &["none", "light", "heavy"])
+    .axis_i64("gap_factor", &[3])
+    .axis_str("policy", &["fcfs", "dm"])
+    .axis_f64("tightness", &[0.6])
+    .axis_i64("streams", &[3])
+    .axis_i64("masters", &[3])
+}
+
+/// Every preset, in the paper's presentation order (the churn and
+/// mixed-criticality studies, not part of the paper, come last).
 pub fn all() -> Vec<CampaignSpec> {
     vec![
         t1(),
@@ -260,6 +282,7 @@ pub fn all() -> Vec<CampaignSpec> {
         f5(),
         f6(),
         churn(),
+        mc_churn(),
     ]
 }
 
@@ -276,9 +299,9 @@ mod tests {
     use crate::ExpConfig;
 
     #[test]
-    fn all_fifteen_presets_validate_and_plan() {
+    fn all_sixteen_presets_validate_and_plan() {
         let specs = all();
-        assert_eq!(specs.len(), 15);
+        assert_eq!(specs.len(), 16);
         for spec in &specs {
             let p = plan(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(p.units.len(), spec.unit_count(), "{}", spec.name);
@@ -366,6 +389,61 @@ mod tests {
         root: &std::path::Path,
     ) -> crate::campaign::CampaignOutcome {
         crate::campaign::run_campaign(spec, root).unwrap()
+    }
+
+    #[test]
+    fn mc_churn_preset_hi_contract_holds_and_is_worker_independent() {
+        let mut spec = mc_churn().scaled(&ExpConfig::quick());
+        spec.replications = 2;
+        spec.sim_horizon = 600_000;
+        spec.name = "mc-churn-preset-smoke".into();
+        spec.workers = 1;
+        let root = std::env::temp_dir().join("profirt-mc-churn-smoke");
+        let _ = std::fs::remove_dir_all(&root);
+        let one = run_preset_like(&spec, &root.join("w1"));
+        // Both contracts hold: LO bounds in stable phases, HI-projection
+        // bounds through every churn plan (no exemption).
+        assert!(
+            one.contract_failures().is_empty(),
+            "{:?}",
+            one.contract_failures()
+        );
+        let names = crate::campaign::eval::metric_names(spec.kind);
+        let col = |name: &str| names.iter().position(|m| *m == name).unwrap();
+        let unit_str = |i: usize, axis: &str| one.plan.units[i].get_str(axis, "");
+        // Mixed workloads under churn really degrade, shed and match up.
+        let mixed_heavy = (0..one.rows.len())
+            .filter(|&i| unit_str(i, "criticality") != "all-hi" && unit_str(i, "churn") == "heavy");
+        let mut saw_matchup = false;
+        for i in mixed_heavy {
+            let row = &one.rows[i];
+            assert!(
+                row[col("mode_switches")] > 0.0,
+                "{}: {row:?}",
+                one.plan.units[i].id
+            );
+            saw_matchup |= row[col("time_to_matchup_p99")] > 0.0;
+        }
+        assert!(saw_matchup, "no mixed/heavy unit completed a match-up");
+        // All-HI units are mode-blind regardless of churn.
+        for i in 0..one.rows.len() {
+            if unit_str(i, "criticality") == "all-hi" {
+                assert_eq!(one.rows[i][col("mode_switches")], 0.0);
+                assert_eq!(one.rows[i][col("lo_shed_ratio")], 0.0);
+            }
+        }
+        // Same spec, three workers: identical rows — the mc contract must
+        // not depend on the worker count.
+        let mut wide = spec.clone();
+        wide.workers = 3;
+        let three = run_preset_like(&wide, &root.join("w3"));
+        assert!(three.contract_failures().is_empty());
+        for (a, b) in one.rows.iter().zip(&three.rows) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x.is_nan() && y.is_nan()) || x == y, "{a:?} vs {b:?}");
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -50,6 +50,7 @@ impl ScenarioKind {
                 "masters",
                 "streams",
                 "tightness",
+                "criticality",
                 "ttr",
                 "policy",
                 "gap_factor",
@@ -375,6 +376,13 @@ impl CampaignSpec {
                     return bad(v, "\"none\", \"light\" or \"heavy\"");
                 }
                 "churn" => {}
+                "criticality"
+                    if v.as_str()
+                        .is_none_or(|s| profirt_workload::CriticalityMix::parse(s).is_none()) =>
+                {
+                    return bad(v, "\"all-hi\", \"mixed\" or \"mixed3\"");
+                }
+                "criticality" => {}
                 "policy" => {
                     let name = v.as_str().unwrap_or("");
                     let known = match self.kind {

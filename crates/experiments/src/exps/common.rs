@@ -1,12 +1,12 @@
 //! Shared scenario builders for the experiments.
 
 use profirt_base::{Prng, Time};
-use profirt_core::NetworkAnalysis;
+use profirt_core::{ModeAnalysis, NetworkAnalysis};
 use profirt_profibus::{BusParams, QueuePolicy};
 use profirt_sim::{
-    network::run_network, JitterInjection, MembershipPlan, NetworkSimConfig, OffsetMode,
-    ResponseStats, ResultObserver, RingStats, RingSummary, SimMaster, SimNetwork,
-    StableResponseObserver, TrrStats,
+    network::run_network, JitterInjection, MembershipPlan, ModeSimConfig, ModeStats, ModeSummary,
+    NetworkSimConfig, OffsetMode, ResponseStats, ResultObserver, RingStats, RingSummary, SimMaster,
+    SimNetwork, StableResponseObserver, TrrStats,
 };
 use profirt_workload::{generate_network, GeneratedNetwork, NetGenParams, TaskGenParams};
 
@@ -50,18 +50,23 @@ pub fn gen_network(seed: u64, params: &NetGenParams) -> GeneratedNetwork {
 }
 
 /// Assembles the simulator view of a generated network under one policy.
+/// Per-stream criticality labels carry over from the analysis config, so a
+/// mode-enabled simulation sheds exactly the streams the HI projection
+/// drops.
 pub fn to_sim(g: &GeneratedNetwork, policy: QueuePolicy) -> SimNetwork {
     SimNetwork {
         masters: g
             .streams
             .iter()
             .zip(&g.low_priority)
-            .map(|(s, lp)| {
+            .zip(&g.config.masters)
+            .map(|((s, lp), mc)| {
                 let mut m = match policy {
                     QueuePolicy::Fcfs => SimMaster::stock(s.clone()),
                     p => SimMaster::priority_queued(s.clone(), p),
                 };
                 m.low_priority = lp.clone();
+                m.criticality = mc.criticality.clone();
                 m
             })
             .collect(),
@@ -105,12 +110,15 @@ pub struct RingScenario {
     pub gap_factor: u32,
     /// Scripted membership churn.
     pub plan: MembershipPlan,
+    /// Mixed-criticality mode controller (disabled by default; enabling it
+    /// routes the run through the dynamic loop).
+    pub mode: ModeSimConfig,
 }
 
 impl RingScenario {
     /// `true` when this scenario is the static ring.
     pub fn is_static(&self) -> bool {
-        self.gap_factor == 0 && self.plan.is_empty()
+        self.gap_factor == 0 && self.plan.is_empty() && !self.mode.enabled
     }
 }
 
@@ -154,6 +162,20 @@ pub struct SimObservation {
     pub stable_max_responses: Vec<Vec<Time>>,
     /// High-priority cycles counted as stable samples.
     pub stable_samples: u64,
+    /// Mode-controller summary (all zeroes on a mode-disabled run).
+    pub mode: ModeSummary,
+    /// Every observed `time_to_matchup` span, in ticks (one entry per
+    /// completed match-up; pooled into the campaign's p99 column).
+    pub matchup_waits: Vec<f64>,
+    /// Fraction of sub-HI releases shed at admission (0 when no sub-HI
+    /// traffic was released).
+    pub lo_shed_ratio: f64,
+    /// Per-master, per-stream maximum responses over *degraded* calm
+    /// phases: HI mode, no disturbance within the guard window. The
+    /// HI-projection bounds are checked against these.
+    pub hi_stable_max_responses: Vec<Vec<Time>>,
+    /// High-priority cycles counted as degraded-calm samples.
+    pub hi_stable_samples: u64,
 }
 
 /// Simulates with the statistics observers attached and summarises the
@@ -180,6 +202,7 @@ pub fn sim_observed_with(
     let mut cfg = exp_sim_config(horizon, seed);
     cfg.gap_factor = scenario.gap_factor;
     cfg.membership = scenario.plan.clone();
+    cfg.mode = scenario.mode;
     let initial = net.masters.len() - cfg.membership.initially_off().len();
     // Two target rotations of calm before a release counts as stable.
     let mut stable = StableResponseObserver::new(&net, initial, net.ttr * 2);
@@ -187,10 +210,18 @@ pub fn sim_observed_with(
     let mut response = ResponseStats::new();
     let mut trr = TrrStats::with_ring_size(initial);
     let mut ring = RingStats::new(initial);
+    let mut mode = ModeStats::new(&net);
     run_network(
         &net,
         &cfg,
-        &mut [&mut result, &mut response, &mut trr, &mut ring, &mut stable],
+        &mut [
+            &mut result,
+            &mut response,
+            &mut trr,
+            &mut ring,
+            &mut stable,
+            &mut mode,
+        ],
     );
     let obs = result.into_result();
     let (response, trr, ring) = (response.hist.summary(), trr.hist.summary(), ring.summary());
@@ -207,6 +238,15 @@ pub fn sim_observed_with(
         ring,
         stable_max_responses: stable.max_responses,
         stable_samples: stable.samples,
+        mode: mode.summary(),
+        matchup_waits: mode
+            .matchup_waits()
+            .iter()
+            .map(|w| w.ticks() as f64)
+            .collect(),
+        lo_shed_ratio: mode.lo_shed_ratio(),
+        hi_stable_max_responses: stable.hi_max_responses,
+        hi_stable_samples: stable.hi_samples,
     }
 }
 
@@ -236,6 +276,29 @@ pub fn obs_over_bound(an: &NetworkAnalysis, observed: &[Vec<Time>]) -> (Option<f
 /// analysis (`None` when nothing was comparable).
 pub fn worst_ratio(an: &NetworkAnalysis, observed: &[Vec<Time>]) -> Option<f64> {
     obs_over_bound(an, observed).0
+}
+
+/// The HI-mode contract check: streams whose *degraded-calm* observation
+/// exceeded the HI-projection bound. Unlike [`obs_over_bound`], this
+/// contract has no stable-phase restriction beyond the calm guard — the
+/// full-ring HI bound dominates the bound on every degraded subring (see
+/// [`ModeAnalysis`]), so it must hold through any churn plan.
+pub fn hi_obs_over_bound(an: &ModeAnalysis, observed: &[Vec<Time>]) -> (Option<f64>, usize) {
+    let mut worst: Option<f64> = None;
+    let mut violations = 0;
+    for (k, kept) in an.hi_kept.iter().enumerate() {
+        for (j, &orig) in kept.iter().enumerate() {
+            let row = &an.hi.masters[k][j];
+            if row.schedulable && row.response_time.is_positive() {
+                if observed[k][orig] > row.response_time {
+                    violations += 1;
+                }
+                let r = observed[k][orig].ticks() as f64 / row.response_time.ticks() as f64;
+                worst = Some(worst.map_or(r, |w: f64| w.max(r)));
+            }
+        }
+    }
+    (worst, violations)
 }
 
 /// Mean of a non-empty f64 slice.

@@ -141,6 +141,8 @@ fn np_validation(cfg: &ExpConfig, report: &mut ExpReport) {
                     policy: CpuPolicy::FixedNonPreemptive,
                     horizon: Time::new(80_000),
                     offsets: vec![],
+                    criticality: vec![],
+                    shed_lo: false,
                 },
             );
             let mut worst = 0.0f64;

@@ -76,6 +76,8 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                             policy: CpuPolicy::EdfPreemptive,
                             horizon: Time::new(60_000),
                             offsets: vec![],
+                            criticality: vec![],
+                            shed_lo: false,
                         },
                     )
                     .no_misses()

@@ -71,6 +71,8 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                             policy: CpuPolicy::EdfNonPreemptive,
                             horizon: Time::new(200_000),
                             offsets: vec![],
+                            criticality: vec![],
+                            shed_lo: false,
                         },
                     )
                     .no_misses()

@@ -65,6 +65,8 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                         policy: CpuPolicy::EdfPreemptive,
                         horizon: Time::new(60_000),
                         offsets: offsets.clone(),
+                        criticality: vec![],
+                        shed_lo: false,
                     },
                 );
                 let snp = simulate_cpu(
@@ -74,6 +76,8 @@ pub fn run(cfg: &ExpConfig) -> ExpReport {
                         policy: CpuPolicy::EdfNonPreemptive,
                         horizon: Time::new(60_000),
                         offsets,
+                        criticality: vec![],
+                        shed_lo: false,
                     },
                 );
                 for i in 0..set.len() {

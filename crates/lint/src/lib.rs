@@ -17,6 +17,12 @@
 //!   code (the crossbeam stub, the executor core, the seed runner):
 //!   those files must synchronize through `profirt_conc::sync` so the
 //!   model checker sees every primitive.
+//! * **mode** — no direct mutation of mixed-criticality mode state
+//!   (`degraded`, `degraded_at`, `over_streak`, `clean_since`) in the
+//!   sim or experiments crates: the `ModeController` owns every
+//!   transition. The controller's own impl (and the event-driven
+//!   observer mirror) are pinned in the allowlist; any new assignment
+//!   site fails the gate.
 //! * **hygiene** — every crate root carries `#![forbid(unsafe_code)]`,
 //!   and crates that adopted `#![deny(missing_docs)]` keep it.
 //!
@@ -38,7 +44,8 @@ pub mod mask;
 /// One rule hit at a specific source line (pre-allowlist).
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
-    /// Rule identifier (`panic`, `print`, `nondet`, `sync`, `hygiene`).
+    /// Rule identifier (`panic`, `print`, `nondet`, `sync`, `mode`,
+    /// `hygiene`).
     pub rule: &'static str,
     /// Path relative to the workspace root, `/`-separated.
     pub path: String,
@@ -126,6 +133,19 @@ const NONDET_PATTERNS: [&str; 5] = [
     "std::env::",
 ];
 const SYNC_PATTERNS: [&str; 1] = ["std::sync::"];
+
+/// Crates where mode-state mutation is restricted to the controller.
+const MODE_PREFIXES: [&str; 2] = ["crates/sim/src/", "crates/experiments/src/"];
+
+/// Assignment forms of the controller's private state. Trailing spaces
+/// keep comparisons (`.degraded ==`) from matching.
+const MODE_PATTERNS: [&str; 5] = [
+    ".degraded = ",
+    ".degraded_at = ",
+    ".over_streak = ",
+    ".over_streak += ",
+    ".clean_since = ",
+];
 
 /// Matches `pat` in `line` at identifier boundaries: the character
 /// before the hit must not be part of an identifier (so `print!(` does
@@ -222,6 +242,11 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
             && SYNC_PATTERNS.iter().any(|p| hits(line, p))
         {
             push("sync");
+        }
+        if MODE_PREFIXES.iter().any(|p| path.starts_with(p))
+            && MODE_PATTERNS.iter().any(|p| hits(line, p))
+        {
+            push("mode");
         }
     }
     findings

@@ -1,0 +1,16 @@
+// Fixture: direct mode-state mutations that must be flagged inside the
+// mode-rule scope and ignored elsewhere. A comparison and a doc mention
+// must never fire.
+
+/// Talks about `self.degraded = true` in prose — masked, no finding.
+pub fn poke(ctrl: &mut Fake, now: i64) {
+    ctrl.degraded = true;
+    ctrl.degraded_at = now;
+    ctrl.over_streak = 0;
+    ctrl.over_streak += 1;
+    ctrl.clean_since = None;
+    if ctrl.degraded == false {
+        let s = "ctrl.degraded = true";
+        let _ = s;
+    }
+}

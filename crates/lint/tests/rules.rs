@@ -86,6 +86,29 @@ fn direct_sync_fixture_is_flagged_in_facade_scope_only() {
 }
 
 #[test]
+fn mode_mutation_fixture_is_flagged_in_mode_scope_only() {
+    let src = fixture("mode_mutation.rs");
+    for scoped in [
+        "crates/sim/src/network/fixture.rs",
+        "crates/experiments/src/campaign/fixture.rs",
+    ] {
+        let findings = scan_file(scoped, &src);
+        let mode = findings.iter().filter(|f| f.rule == "mode").count();
+        assert_eq!(mode, 5, "{scoped}: {findings:?}");
+    }
+    // The comparison and the string/doc mentions never fire (masking +
+    // the trailing-space anchor).
+    let scoped = scan_file("crates/sim/src/network/fixture.rs", &src);
+    assert!(
+        scoped.iter().all(|f| !f.excerpt.contains("==")),
+        "{scoped:?}"
+    );
+    // Outside the scope the same source is the other rules' business.
+    let elsewhere = scan_file("crates/core/src/fixture.rs", &src);
+    assert!(elsewhere.iter().all(|f| f.rule != "mode"), "{elsewhere:?}");
+}
+
+#[test]
 fn bare_crate_root_fails_hygiene() {
     let src = fixture("bad_root.rs");
     let findings = scan_file("crates/base/src/lib.rs", &src);

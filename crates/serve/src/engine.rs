@@ -71,6 +71,7 @@ struct Stats {
     memo_misses: AtomicU64,
     rejected_full: AtomicU64,
     rejected_closed: AtomicU64,
+    shed: AtomicU64,
     wire_errors: AtomicU64,
     oversized: AtomicU64,
 }
@@ -84,10 +85,15 @@ pub struct StatsSnapshot {
     pub memo_hits: u64,
     /// Memo cache misses (evaluations run).
     pub memo_misses: u64,
-    /// Requests shed because the injection queue was full.
+    /// HI (or unlabelled) requests refused because the injection queue
+    /// was full — answered `"overloaded"`.
     pub rejected_full: u64,
     /// Requests refused after shutdown.
     pub rejected_closed: u64,
+    /// Sub-HI requests dropped first at a full queue — answered
+    /// `"shed"`. Counted separately from `rejected_full` so overload
+    /// telemetry distinguishes graceful degradation from hard refusal.
+    pub shed: u64,
     /// Requests answered with a wire-level error envelope.
     pub wire_errors: u64,
     /// Lines refused for exceeding the byte cap.
@@ -188,15 +194,19 @@ impl Engine {
                 Err(_) => proto::reject_response(line, "internal", "worker lost"),
             },
             Err(Reject::Full(job)) => {
-                self.inner
-                    .stats
-                    .rejected_full
-                    .fetch_add(1, Ordering::SeqCst);
-                proto::reject_response(
-                    &job.line,
-                    "overloaded",
-                    "injection queue is full; retry or shed",
-                )
+                // Graceful degradation mirrors the sim's mode machine:
+                // at a full queue, requests declaring sub-HI criticality
+                // are shed first; everything else is told "overloaded"
+                // with a queue-depth-derived retry hint.
+                let sub_hi =
+                    proto::declared_criticality(&job.line).is_some_and(|c| c.shed_in_hi_mode());
+                let (kind, counter) = if sub_hi {
+                    ("shed", &self.inner.stats.shed)
+                } else {
+                    ("overloaded", &self.inner.stats.rejected_full)
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                proto::overload_response(&job.line, kind, self.queue_cap, self.workers)
             }
             Err(Reject::Closed(job)) => {
                 self.inner
@@ -217,6 +227,7 @@ impl Engine {
             memo_misses: s.memo_misses.load(Ordering::SeqCst),
             rejected_full: s.rejected_full.load(Ordering::SeqCst),
             rejected_closed: s.rejected_closed.load(Ordering::SeqCst),
+            shed: s.shed.load(Ordering::SeqCst),
             wire_errors: s.wire_errors.load(Ordering::SeqCst),
             oversized: s.oversized.load(Ordering::SeqCst),
         }
@@ -334,6 +345,7 @@ fn snapshot_value(inner: &Inner) -> Value {
             "rejected_closed",
             Value::Int(s.rejected_closed.load(Ordering::SeqCst) as i64),
         ),
+        ("shed", Value::Int(s.shed.load(Ordering::SeqCst) as i64)),
         (
             "wire_errors",
             Value::Int(s.wire_errors.load(Ordering::SeqCst) as i64),

@@ -25,8 +25,10 @@
 //! tests compare the whole queue/shard/memo pipeline against.
 
 use profirt_base::json::{self, Value};
-use profirt_base::{MessageStream, StreamSet, Task, TaskSet, Time};
-use profirt_core::{MasterConfig, NetworkAnalysis, NetworkConfig, PolicyKind, PolicyTuning};
+use profirt_base::{Criticality, MessageStream, StreamSet, Task, TaskSet, Time};
+use profirt_core::{
+    MasterConfig, ModeAnalysis, NetworkAnalysis, NetworkConfig, PolicyKind, PolicyTuning,
+};
 use profirt_sched::edf::{
     edf_feasible_nonpreemptive_with, edf_feasible_preemptive_with, edf_response_times_with,
     edf_utilization_test, np_edf_response_times_with, DemandConfig, DemandFormula, EdfRtaConfig,
@@ -72,7 +74,7 @@ pub const TASK_TESTS: [&str; 12] = [
 pub struct WireError {
     /// Stable error class: `"oversized"`, `"parse"`, `"schema"`,
     /// `"unknown_op"`, `"unknown_policy"`, `"unknown_test"`, `"model"`,
-    /// `"overloaded"`, `"closed"`, or `"internal"`.
+    /// `"overloaded"`, `"shed"`, `"closed"`, or `"internal"`.
     pub kind: &'static str,
     /// Free-form diagnostic text.
     pub detail: String,
@@ -141,6 +143,10 @@ pub enum Op {
         master: usize,
         /// The candidate stream.
         stream: MessageStream,
+        /// The candidate's declared criticality, when the request carries
+        /// one. `None` keeps the legacy all-HI semantics (and the legacy
+        /// result shape) byte-identical.
+        criticality: Option<Criticality>,
     },
     /// A §2-style processor task-set schedulability test (see
     /// [`TASK_TESTS`] for the accepted names).
@@ -302,11 +308,28 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                         ),
                     )
                 })?;
+            let criticality = match sv.get("criticality") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    let name = v.as_str().ok_or_else(|| {
+                        wire("schema", "field \"stream.criticality\" must be a string")
+                    })?;
+                    Some(Criticality::parse(name).ok_or_else(|| {
+                        wire(
+                            "schema",
+                            format!(
+                                "unknown criticality {name:?} (want \"lo\", \"mid\" or \"hi\")"
+                            ),
+                        )
+                    })?)
+                }
+            };
             Ok(Op::Admit {
                 policy,
                 net,
                 master,
                 stream: parse_stream(sv)?,
+                criticality,
             })
         }),
         "task_feasibility" => {
@@ -394,6 +417,7 @@ fn eval_admit(
     net: &NetworkConfig,
     master: usize,
     stream: MessageStream,
+    criticality: Option<Criticality>,
     tuning: &PolicyTuning,
     scratch: &mut EvalScratch,
 ) -> Result<Value, WireError> {
@@ -405,7 +429,16 @@ fn eval_admit(
     streams.push(stream);
     let candidate = StreamSet::new(streams)
         .and_then(|set| {
-            masters[master] = MasterConfig::new(set, masters[master].cl);
+            let n = set.len();
+            let mut mc = MasterConfig::new(set, masters[master].cl);
+            // The candidate is the last stream; all existing wire streams
+            // are HI. Only a sub-HI label changes the analysis shape.
+            if criticality.is_some_and(|c| c.shed_in_hi_mode()) {
+                let mut labels = vec![Criticality::Hi; n];
+                labels[n - 1] = criticality.unwrap_or_default();
+                mc = mc.with_criticality(labels);
+            }
+            masters[master] = mc;
             NetworkConfig::new(masters, net.ttr)
         })
         .map(|c| c.with_token_pass(net.token_pass));
@@ -418,32 +451,66 @@ fn eval_admit(
             ]))
         }
     };
-    match policy.analyze_with_scratch(&candidate, tuning, &mut scratch.policy) {
-        Ok(an) => {
-            // The candidate is the last stream of `master`'s row set.
-            let r_new = an.masters[master]
-                .last()
-                .map(|r| r.response_time.ticks())
-                .unwrap_or(0);
-            let streams = an.masters.iter().map(Vec::len).sum::<usize>();
-            let sched = an
-                .masters
-                .iter()
-                .flatten()
-                .filter(|r| r.schedulable)
-                .count();
-            Ok(json::object([
-                ("admit", Value::Bool(an.all_schedulable())),
-                ("streams", Value::Int(streams as i64)),
-                ("schedulable_streams", Value::Int(sched as i64)),
-                ("tcycle", Value::Int(an.tcycle.ticks())),
-                ("r_new", Value::Int(r_new)),
-            ]))
-        }
-        Err(e) => Ok(json::object([
+    // Fields shared by the legacy and the criticality-labelled shapes.
+    let base_fields = |an: &NetworkAnalysis| {
+        let r_new = an.masters[master]
+            .last()
+            .map(|r| r.response_time.ticks())
+            .unwrap_or(0);
+        let streams = an.masters.iter().map(Vec::len).sum::<usize>();
+        let sched = an
+            .masters
+            .iter()
+            .flatten()
+            .filter(|r| r.schedulable)
+            .count();
+        vec![
+            ("streams", Value::Int(streams as i64)),
+            ("schedulable_streams", Value::Int(sched as i64)),
+            ("tcycle", Value::Int(an.tcycle.ticks())),
+            ("r_new", Value::Int(r_new)),
+        ]
+    };
+    let reject = |e: &dyn std::fmt::Display| {
+        Ok(json::object([
             ("admit", Value::Bool(false)),
             ("reason", Value::Str(e.to_string())),
-        ])),
+        ]))
+    };
+    match criticality {
+        // Legacy shape: no criticality field in, none out.
+        None => match policy.analyze_with_scratch(&candidate, tuning, &mut scratch.policy) {
+            Ok(an) => {
+                let mut fields = vec![("admit", Value::Bool(an.all_schedulable()))];
+                fields.extend(base_fields(&an));
+                Ok(json::object(fields))
+            }
+            Err(e) => reject(&e),
+        },
+        // Labelled shape: a two-verdict answer. A HI candidate must keep
+        // both modes feasible; a sub-HI one is shed in HI mode, so only
+        // the stable-phase (LO) verdict gates it — but the HI baseline
+        // must stay feasible either way.
+        Some(c) => {
+            match ModeAnalysis::analyze_with_scratch(
+                policy,
+                &candidate,
+                tuning,
+                &mut scratch.policy,
+            ) {
+                Ok(man) => {
+                    let admit = man.lo_schedulable() && man.hi_schedulable();
+                    let mut fields = vec![
+                        ("admit", Value::Bool(admit)),
+                        ("criticality", Value::Str(c.name().to_string())),
+                        ("hi_feasible", Value::Bool(man.hi_schedulable())),
+                    ];
+                    fields.extend(base_fields(&man.lo));
+                    Ok(json::object(fields))
+                }
+                Err(e) => reject(&e),
+            }
+        }
     }
 }
 
@@ -573,7 +640,16 @@ pub fn eval(
             net,
             master,
             stream,
-        } => eval_admit(*policy, net, *master, *stream, tuning, scratch),
+            criticality,
+        } => eval_admit(
+            *policy,
+            net,
+            *master,
+            *stream,
+            *criticality,
+            tuning,
+            scratch,
+        ),
         Op::TaskFeasibility { test, tasks } => Ok(eval_task_test(test, tasks, &mut scratch.tasks)),
     }
 }
@@ -659,15 +735,63 @@ pub fn invalid_utf8_response() -> String {
     .compact()
 }
 
-/// A backpressure response (`kind` is `"overloaded"` or `"closed"`),
-/// best-effort recovering the request's `id` so shed load still
-/// correlates.
+/// A backpressure response (`kind` is `"overloaded"`, `"shed"` or
+/// `"closed"`), best-effort recovering the request's `id` so shed load
+/// still correlates.
 pub fn reject_response(line: &str, kind: &'static str, detail: &str) -> String {
     let id = json::parse(line)
         .ok()
         .and_then(|doc| doc.get("id").cloned())
         .unwrap_or(Value::Null);
     err_envelope(&id, &wire(kind, detail)).compact()
+}
+
+/// The criticality a request line declares on its candidate stream, if
+/// any. Used by the engine's reject path to shed sub-HI work first
+/// without evaluating the request.
+pub fn declared_criticality(line: &str) -> Option<Criticality> {
+    json::parse(line)
+        .ok()?
+        .get("stream")?
+        .get("criticality")?
+        .as_str()
+        .and_then(Criticality::parse)
+}
+
+/// A full-queue rejection carrying a queue-depth-derived
+/// `retry_after_hint_ms` inside the error object: the time to drain the
+/// (full) injection queue across the shard workers, floored at 1 ms.
+/// `kind` is `"shed"` when the request declared sub-HI criticality —
+/// graceful degradation drops LO work first — and `"overloaded"`
+/// otherwise.
+pub fn overload_response(
+    line: &str,
+    kind: &'static str,
+    queue_depth: usize,
+    workers: usize,
+) -> String {
+    let id = json::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("id").cloned())
+        .unwrap_or(Value::Null);
+    let hint = (queue_depth as i64 / workers.max(1) as i64).max(1);
+    let detail = match kind {
+        "shed" => "injection queue is full; sub-HI request shed first",
+        _ => "injection queue is full; retry or shed",
+    };
+    json::object([
+        ("id", id),
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            json::object([
+                ("kind", Value::Str(kind.to_string())),
+                ("detail", Value::Str(detail.to_string())),
+                ("retry_after_hint_ms", Value::Int(hint)),
+            ]),
+        ),
+    ])
+    .compact()
 }
 
 /// The pure reference path: parse, evaluate with the given tuning and
@@ -764,6 +888,76 @@ mod tests {
         assert_eq!(
             doc.get("result").unwrap().get("admit").unwrap().as_bool(),
             Some(false)
+        );
+    }
+
+    #[test]
+    fn admit_criticality_changes_shape_not_legacy_bytes() {
+        // A labelled HI candidate gets the two-verdict shape; the same
+        // request without the field keeps the legacy shape byte-for-byte.
+        let plain = format!(
+            r#"{{"op":"admit","policy":"dm",{NET},"stream":{{"master":0,"ch":100,"d":50000,"t":50000}}}}"#
+        );
+        let hi = format!(
+            r#"{{"op":"admit","policy":"dm",{NET},"stream":{{"master":0,"ch":100,"criticality":"hi","d":50000,"t":50000}}}}"#
+        );
+        let plain_doc = json::parse(&answer_line(&plain)).unwrap();
+        assert!(plain_doc
+            .get("result")
+            .unwrap()
+            .get("criticality")
+            .is_none());
+        let hi_doc = json::parse(&answer_line(&hi)).unwrap();
+        let result = hi_doc.get("result").unwrap();
+        assert_eq!(result.get("criticality").unwrap().as_str(), Some("hi"));
+        assert_eq!(result.get("hi_feasible").unwrap().as_bool(), Some(true));
+        assert_eq!(result.get("admit").unwrap().as_bool(), Some(true));
+
+        // A LO candidate is excluded from the HI projection: hi_feasible
+        // reflects the HI baseline, and the verdict gates on both modes.
+        let lo = format!(
+            r#"{{"op":"admit","policy":"dm",{NET},"stream":{{"master":0,"ch":100,"criticality":"lo","d":50000,"t":50000}}}}"#
+        );
+        let lo_doc = json::parse(&answer_line(&lo)).unwrap();
+        let result = lo_doc.get("result").unwrap();
+        assert_eq!(result.get("criticality").unwrap().as_str(), Some("lo"));
+        assert_eq!(result.get("hi_feasible").unwrap().as_bool(), Some(true));
+        assert_eq!(result.get("admit").unwrap().as_bool(), Some(true));
+
+        let bad = format!(
+            r#"{{"op":"admit","policy":"dm",{NET},"stream":{{"master":0,"ch":100,"criticality":"urgent","d":50000,"t":50000}}}}"#
+        );
+        let doc = json::parse(&answer_line(&bad)).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            doc.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("schema")
+        );
+    }
+
+    #[test]
+    fn overload_response_carries_retry_hint_and_sheds_sub_hi() {
+        let lo_line = r#"{"op":"admit","id":9,"stream":{"criticality":"lo"}}"#;
+        assert_eq!(declared_criticality(lo_line), Some(Criticality::Lo));
+        assert_eq!(declared_criticality(r#"{"op":"ping"}"#), None);
+
+        let resp = overload_response(lo_line, "shed", 256, 4);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_i64(), Some(9));
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("shed"));
+        assert_eq!(err.get("retry_after_hint_ms").unwrap().as_i64(), Some(64));
+
+        // The hint never rounds to zero.
+        let resp = overload_response(lo_line, "overloaded", 2, 8);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .unwrap()
+                .get("retry_after_hint_ms")
+                .unwrap()
+                .as_i64(),
+            Some(1)
         );
     }
 

@@ -28,6 +28,7 @@ const ERROR_KINDS: &[&str] = &[
     "unknown_test",
     "model",
     "overloaded",
+    "shed",
     "closed",
     "internal",
 ];
@@ -69,7 +70,7 @@ fn check_envelope(line: &str, response: &str) -> Value {
 fn build_request(op_policy: usize, id: i64, streams: &[(i64, i64)]) -> Value {
     let policies = ["fcfs", "dm", "dm-paper", "edf"];
     let policy = policies[op_policy % policies.len()];
-    let op = if op_policy % 2 == 0 {
+    let op = if op_policy.is_multiple_of(2) {
         "feasibility"
     } else {
         "response_times"

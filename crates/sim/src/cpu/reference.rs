@@ -18,7 +18,9 @@ use profirt_base::{TaskSet, Time};
 use profirt_sched::fixed::PriorityMap;
 use profirt_workload::task_release_gens;
 
-use crate::cpu::sim::{urgency_key, validate_inputs, CpuSimConfig, CpuSimResult};
+use crate::cpu::sim::{
+    shed_at_admission, urgency_key, validate_inputs, CpuSimConfig, CpuSimResult,
+};
 
 #[derive(Clone, Copy, Debug)]
 struct Job {
@@ -64,6 +66,9 @@ pub fn simulate_cpu_materialized(
         while next_index < releases.len() && releases[next_index].0 <= now {
             let r = releases[next_index].1;
             next_index += 1;
+            if shed_at_admission(config, r.task) {
+                continue;
+            }
             let job = Job {
                 task: r.task,
                 release: r.release,

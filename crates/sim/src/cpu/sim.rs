@@ -9,7 +9,7 @@
 //! like the network kernel.
 
 use profirt_base::release::MergedReleases;
-use profirt_base::{TaskSet, Time};
+use profirt_base::{Criticality, TaskSet, Time};
 use profirt_sched::fixed::PriorityMap;
 use profirt_workload::{task_release_gens, TaskRelease};
 use serde::{Deserialize, Serialize};
@@ -47,6 +47,14 @@ pub struct CpuSimConfig {
     pub horizon: Time,
     /// Per-task first-release offsets; empty = synchronous (all zero).
     pub offsets: Vec<Time>,
+    /// Per-task criticality (empty = all HI). Only consulted when
+    /// `shed_lo` is set.
+    pub criticality: Vec<Criticality>,
+    /// Shed sub-HI releases at admission — the CPU-side analogue of the
+    /// network kernel's HI (degraded) mode. The CPU simulator has no mode
+    /// controller, so the flag models a whole run spent degraded: sub-HI
+    /// jobs are never admitted to the ready set.
+    pub shed_lo: bool,
 }
 
 /// Per-task observations.
@@ -152,6 +160,10 @@ pub(crate) fn validate_inputs(set: &TaskSet, prio: Option<&PriorityMap>, config:
         config.offsets.is_empty() || config.offsets.len() == n,
         "one offset per task required"
     );
+    assert!(
+        config.criticality.is_empty() || config.criticality.len() == n,
+        "one criticality per task required"
+    );
     let fixed = matches!(
         config.policy,
         CpuPolicy::FixedPreemptive | CpuPolicy::FixedNonPreemptive
@@ -168,6 +180,19 @@ pub(crate) fn validate_inputs(set: &TaskSet, prio: Option<&PriorityMap>, config:
 /// makes keys of different tasks distinct; same-task jobs tie and fall
 /// back to release (FIFO) order via the job's release-order sequence
 /// number, which is preserved across preemptions.
+/// `true` when a release of `task` must be shed at admission under this
+/// config (shared by the kernel and the materialized reference so the
+/// differential tests cover the shed path too).
+pub(crate) fn shed_at_admission(config: &CpuSimConfig, task: usize) -> bool {
+    config.shed_lo
+        && config
+            .criticality
+            .get(task)
+            .copied()
+            .unwrap_or(Criticality::Hi)
+            .shed_in_hi_mode()
+}
+
 pub(crate) fn urgency_key(
     policy: CpuPolicy,
     prio: Option<&PriorityMap>,
@@ -237,9 +262,13 @@ pub fn run_cpu(
     let key = |job: &Job| urgency_key(config.policy, prio, job.task, job.abs_deadline);
 
     loop {
-        // Advance all releases due at or before `now` into the ready set.
+        // Advance all releases due at or before `now` into the ready set
+        // (sub-HI releases are shed here when the config says so).
         while releases.peek_ready().is_some_and(|r| r <= now) {
             let (_, r) = releases.next_release().expect("peeked");
+            if shed_at_admission(config, r.task) {
+                continue;
+            }
             let job = Job::from_release(r, next_seq);
             next_seq += 1;
             ready.push(key(&job), job.seq, job);
@@ -332,6 +361,8 @@ mod tests {
             policy,
             horizon: t(horizon),
             offsets: vec![],
+            criticality: vec![],
+            shed_lo: false,
         }
     }
 
@@ -512,6 +543,39 @@ mod tests {
         assert_eq!(stats.count, result.completed.iter().sum::<u64>());
         assert_eq!(stats.max, *result.max_response.iter().max().unwrap());
         assert!(stats.p50 <= stats.p99);
+    }
+
+    #[test]
+    fn shed_lo_skips_sub_hi_admissions() {
+        use crate::cpu::reference::simulate_cpu_materialized;
+        use profirt_base::Criticality;
+
+        let set = TaskSet::from_ct(&[(1, 4), (2, 9)]).unwrap();
+        let mut c = cfg(CpuPolicy::EdfPreemptive, 1_000);
+        c.criticality = vec![Criticality::Hi, Criticality::Lo];
+        c.shed_lo = true;
+        let r = simulate_cpu(&set, None, &c);
+        // The LO task never runs; the HI task is undisturbed.
+        assert_eq!(r.completed[1], 0);
+        assert_eq!(r.max_response[1], Time::ZERO);
+        assert_eq!(r.completed[0], 250);
+        assert_eq!(r.max_response[0], t(1));
+        // The materialized reference sheds identically.
+        assert_eq!(r, simulate_cpu_materialized(&set, None, &c));
+        // Labels alone (shed_lo off) change nothing.
+        c.shed_lo = false;
+        let labelled = simulate_cpu(&set, None, &c);
+        c.criticality = vec![];
+        assert_eq!(labelled, simulate_cpu(&set, None, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "one criticality per task")]
+    fn wrong_criticality_count_panics() {
+        let set = TaskSet::from_ct(&[(1, 10), (1, 20)]).unwrap();
+        let mut c = cfg(CpuPolicy::EdfPreemptive, 100);
+        c.criticality = vec![profirt_base::Criticality::Lo];
+        let _ = simulate_cpu(&set, None, &c);
     }
 
     #[test]

@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 pub use profirt_base::release::{JitterMode as JitterInjection, OffsetMode};
 
 pub use crate::network::membership::{MembershipAction, MembershipPlan};
+pub use crate::network::mode::ModeSimConfig;
+use profirt_base::Criticality;
 
 /// One simulated master.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -29,6 +31,11 @@ pub struct SimMaster {
     /// `None` (the default) means "ring index", which preserves the
     /// convention that the first master in the ring claims lost tokens.
     pub addr: Option<MasterAddr>,
+    /// Per-stream criticality, parallel to `streams`. Empty (the default)
+    /// means every stream is HI; the vector only matters when the run's
+    /// [`ModeSimConfig`] is enabled — sub-HI releases are shed at
+    /// admission while the mode controller is degraded.
+    pub criticality: Vec<Criticality>,
 }
 
 impl SimMaster {
@@ -40,6 +47,7 @@ impl SimMaster {
             stack_capacity: usize::MAX,
             low_priority: Vec::new(),
             addr: None,
+            criticality: Vec::new(),
         }
     }
 
@@ -51,6 +59,7 @@ impl SimMaster {
             stack_capacity: 1,
             low_priority: Vec::new(),
             addr: None,
+            criticality: Vec::new(),
         }
     }
 
@@ -64,6 +73,18 @@ impl SimMaster {
     pub fn with_addr(mut self, addr: MasterAddr) -> SimMaster {
         self.addr = Some(addr);
         self
+    }
+
+    /// Sets per-stream criticalities (builder style); the vector must be
+    /// parallel to `streams` (or empty for all-HI).
+    pub fn with_criticality(mut self, criticality: Vec<Criticality>) -> SimMaster {
+        self.criticality = criticality;
+        self
+    }
+
+    /// The criticality of stream `i` (HI when unspecified).
+    pub fn criticality_of(&self, i: usize) -> Criticality {
+        self.criticality.get(i).copied().unwrap_or(Criticality::Hi)
     }
 
     /// The effective FDL address: the explicit one, or the ring index.
@@ -240,15 +261,19 @@ pub struct NetworkSimConfig {
     /// Scripted ring-membership churn. Empty (the default) keeps the ring
     /// static.
     pub membership: MembershipPlan,
+    /// Mixed-criticality mode controller (see
+    /// [`crate::network::mode::ModeController`]). Disabled by default.
+    pub mode: ModeSimConfig,
 }
 
 impl NetworkSimConfig {
     /// `true` when this run uses the static logical ring of the paper's
-    /// §3.1 — no scripted churn and no GAP polling. Static runs take the
-    /// fast path whose event stream is byte-identical to the materialized
-    /// reference simulator.
+    /// §3.1 — no scripted churn, no GAP polling, and no mode controller
+    /// (overload detection needs the dynamic loop's live TRR feed). Static
+    /// runs take the fast path whose event stream is byte-identical to the
+    /// materialized reference simulator.
     pub fn is_static_ring(&self) -> bool {
-        self.gap_factor == 0 && self.membership.is_empty()
+        self.gap_factor == 0 && self.membership.is_empty() && !self.mode.enabled
     }
 }
 
@@ -264,6 +289,7 @@ impl Default for NetworkSimConfig {
             slot_time: Time::new(200),
             gap_factor: 0,
             membership: MembershipPlan::new(),
+            mode: ModeSimConfig::default(),
         }
     }
 }
@@ -374,5 +400,18 @@ mod tests {
             ..Default::default()
         };
         assert!(!polling.is_static_ring());
+        let moded = NetworkSimConfig {
+            mode: ModeSimConfig::enabled(),
+            ..Default::default()
+        };
+        assert!(!moded.is_static_ring());
+    }
+
+    #[test]
+    fn criticality_defaults_to_hi() {
+        let streams = StreamSet::from_cdt(&[(100, 5_000, 10_000), (100, 5_000, 10_000)]).unwrap();
+        let m = SimMaster::stock(streams).with_criticality(vec![profirt_base::Criticality::Lo]);
+        assert_eq!(m.criticality_of(0), profirt_base::Criticality::Lo);
+        assert_eq!(m.criticality_of(1), profirt_base::Criticality::Hi);
     }
 }

@@ -41,10 +41,10 @@
 //! the observer set.
 
 use profirt_base::release::MergedReleases;
-use profirt_base::Time;
+use profirt_base::{Criticality, Time};
 use profirt_profibus::fdl::token_recovery_timeout;
 use profirt_profibus::{
-    gap, ApQueue, BusParams, RingController, StackCapacity, StackQueue, TokenTimer,
+    gap, ApQueue, BusParams, Request, RingController, StackCapacity, StackQueue, TokenTimer,
 };
 use profirt_workload::{
     low_priority_release_gens, stream_release_gens, LowPriorityReleases, StreamReleases,
@@ -52,6 +52,7 @@ use profirt_workload::{
 
 use crate::engine::{EventQueue, Observer, SimRng};
 use crate::network::config::{MembershipAction, NetworkSimConfig, SimMaster, SimNetwork};
+use crate::network::mode::{ModeController, ModeTransition};
 use crate::network::observe::NetEvent;
 
 /// Peak memory indicators of one kernel run, used to pin the O(streams)
@@ -100,6 +101,12 @@ struct MasterKernel {
     /// Payload is the cycle time.
     lp_pending: EventQueue<Time>,
     first_arrival_seen: bool,
+    /// Per-stream criticality (empty = all HI); drives admission-time
+    /// shedding while the run's mode controller is degraded.
+    criticality: Vec<Criticality>,
+    /// Requests shed at admission during the current visit's syncs,
+    /// buffered here so the visit can emit them as [`NetEvent::Shed`].
+    shed: Vec<Request>,
 }
 
 impl MasterKernel {
@@ -122,6 +129,8 @@ impl MasterKernel {
             low,
             lp_pending: EventQueue::new(),
             first_arrival_seen: false,
+            criticality: cfg.criticality.clone(),
+            shed: Vec::new(),
         }
     }
 
@@ -130,13 +139,27 @@ impl MasterKernel {
     /// the stack (the real-time AP→stack transfer at each release
     /// instant), low-priority generations into the pending heap. Returns
     /// `true` when anything was pulled (queue state changed).
-    fn sync(&mut self, now: Time) -> bool {
+    ///
+    /// With `shed_lo` set (the run's mode controller is degraded), sub-HI
+    /// requests are shed at admission: they go to the `shed` buffer
+    /// instead of the AP queue. Requests admitted before the switch stay
+    /// queued — shedding is admission control, not recall.
+    fn sync(&mut self, now: Time, shed_lo: bool) -> bool {
         let mut pulled = false;
         while self.next_high.is_some_and(|r| r <= now) {
             let (_, request) = self.high.next_release().expect("due");
             self.next_high = self.high.peek_ready();
-            self.ap.push(request);
-            self.transfer();
+            let crit = self
+                .criticality
+                .get(request.stream.0)
+                .copied()
+                .unwrap_or(Criticality::Hi);
+            if shed_lo && crit.shed_in_hi_mode() {
+                self.shed.push(request);
+            } else {
+                self.ap.push(request);
+                self.transfer();
+            }
             pulled = true;
         }
         while self.next_low.is_some_and(|r| r <= now) {
@@ -166,10 +189,11 @@ impl MasterKernel {
     /// released while the station was off is discarded (the AP process
     /// was down), and the TRR measurement restarts on the next arrival.
     fn reboot(&mut self, now: Time) {
-        self.sync(now);
+        self.sync(now, false);
         while self.ap.pop().is_some() {}
         while self.stack.pop().is_some() {}
         while self.lp_pending.pop().is_some() {}
+        self.shed.clear();
         self.first_arrival_seen = false;
     }
 }
@@ -200,11 +224,54 @@ fn emit(observers: &mut [&mut dyn Observer<NetEvent>], at: Time, ev: NetEvent) {
     }
 }
 
+/// Emits the visit's admission-shed requests (buffered by
+/// [`MasterKernel::sync`]) as [`NetEvent::Shed`] at the sync instant.
+fn drain_shed(
+    shed: &mut Vec<Request>,
+    holder: usize,
+    at: Time,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+) {
+    for request in shed.drain(..) {
+        emit(
+            observers,
+            at,
+            NetEvent::Shed {
+                master: holder,
+                stream: request.stream,
+                release: request.release,
+            },
+        );
+    }
+}
+
+/// Turns a mode-controller transition into its event(s).
+fn emit_transition(
+    transition: Option<ModeTransition>,
+    at: Time,
+    observers: &mut [&mut dyn Observer<NetEvent>],
+) {
+    match transition {
+        Some(ModeTransition::Degrade) => {
+            emit(observers, at, NetEvent::ModeSwitch { degraded: true });
+        }
+        Some(ModeTransition::Matchup { waited }) => {
+            emit(observers, at, NetEvent::Matchup { waited });
+            emit(observers, at, NetEvent::ModeSwitch { degraded: false });
+        }
+        None => {}
+    }
+}
+
 /// One token visit at `holder`: TRR bookkeeping and arrival emission,
 /// release sync + peak tracking, then the §3.1 serve steps 2–4. Returns
 /// the instant serving finished. Shared verbatim by the static and
 /// dynamic loops, so the serve semantics (and RNG consumption order)
-/// cannot drift apart.
+/// cannot drift apart. `shed_lo` is the run's mode-controller state for
+/// this visit (always `false` on the static path): sub-HI releases synced
+/// during the visit are shed at admission and emitted as
+/// [`NetEvent::Shed`].
+#[allow(clippy::too_many_arguments)]
 fn visit(
     m: &mut MasterKernel,
     holder: usize,
@@ -212,6 +279,7 @@ fn visit(
     durations: &mut DurationSampler,
     mem: &mut KernelMemStats,
     observers: &mut [&mut dyn Observer<NetEvent>],
+    shed_lo: bool,
 ) -> Time {
     // TRR measurement: the timer records arrival-to-arrival spans
     // (reported from the second arrival on).
@@ -232,24 +300,26 @@ fn visit(
     // Peak tracking only when releases were pulled: backlog and
     // look-ahead sizes only change then, so idle visits skip the
     // bookkeeping entirely.
-    if m.sync(now) {
+    if m.sync(now, shed_lo) {
         mem.peak_release_buffer = mem
             .peak_release_buffer
             .max(m.high.buffered() + m.low.buffered());
         mem.peak_pending = mem
             .peak_pending
             .max(m.ap.len() + m.stack.len() + m.lp_pending.len());
+        drain_shed(&mut m.shed, holder, now, observers);
     }
 
     let mut now = now;
 
     // Step 2: one guaranteed high-priority cycle.
     if let Some(request) = m.stack.pop() {
-        m.sync(now); // releases strictly before start already synced
+        m.sync(now, shed_lo); // releases strictly before start already synced
         m.transfer(); // slot freed at transmission start
         let start = now;
         now += durations.sample(request.cycle_time);
-        m.sync(now);
+        m.sync(now, shed_lo);
+        drain_shed(&mut m.shed, holder, now, observers);
         emit(
             observers,
             start,
@@ -267,7 +337,8 @@ fn visit(
             m.transfer();
             let start = now;
             now += durations.sample(request.cycle_time);
-            m.sync(now);
+            m.sync(now, shed_lo);
+            drain_shed(&mut m.shed, holder, now, observers);
             emit(
                 observers,
                 start,
@@ -291,7 +362,8 @@ fn visit(
         };
         let start = now;
         now += durations.sample(cycle);
-        m.sync(now);
+        m.sync(now, shed_lo);
+        drain_shed(&mut m.shed, holder, now, observers);
         emit(
             observers,
             start,
@@ -384,7 +456,15 @@ fn run_static(
     let mut now = Time::ZERO;
     let mut holder = 0usize;
     while now < config.horizon {
-        now = visit(&mut masters[holder], holder, now, durations, mem, observers);
+        now = visit(
+            &mut masters[holder],
+            holder,
+            now,
+            durations,
+            mem,
+            observers,
+            false,
+        );
 
         // Step 5: pass the token (possibly losing it).
         now += net.token_pass;
@@ -438,6 +518,14 @@ fn run_dynamic(
     // profile's retries, each waiting a full slot time for successor
     // activity.
     let attempts = 1 + bus.max_retry as i64;
+    // The mixed-criticality mode controller (when enabled): fed from the
+    // same TRR measurements and join/leave events the observers see.
+    let mut mode_ctrl = config.mode.enabled.then(|| {
+        let initial = (0..net.masters.len())
+            .filter(|&k| !plan.is_initially_off(k))
+            .count();
+        ModeController::new(net.ttr, net.masters.len(), initial, config.mode)
+    });
 
     let mut now = Time::ZERO;
     // The first holder is the first initially-on master in ring-vector
@@ -476,6 +564,9 @@ fn run_dynamic(
                     emit(observers, now, NetEvent::Claim { master: c });
                     if joined {
                         emit(observers, now, NetEvent::MasterJoin { master: c });
+                        if let Some(mc) = &mut mode_ctrl {
+                            emit_transition(mc.on_membership(now, true), now, observers);
+                        }
                     }
                     holder = Some(c);
                 }
@@ -498,7 +589,19 @@ fn run_dynamic(
             // for every listening station.
             ctrl.observe_wrap();
         }
-        now = visit(&mut masters[h], h, now, durations, mem, observers);
+        // Feed the holder's TRR measurement (the same span `visit` will
+        // report on its TokenArrival) to the mode controller before the
+        // visit, so this visit already sheds/admits under the new mode.
+        let shed_lo = match &mut mode_ctrl {
+            Some(mc) => {
+                let m = &masters[h];
+                let trr = m.first_arrival_seen.then(|| now - m.timer.trr_started_at());
+                emit_transition(mc.on_token_arrival(now, trr), now, observers);
+                mc.degraded()
+            }
+            None => false,
+        };
+        now = visit(&mut masters[h], h, now, durations, mem, observers, shed_lo);
 
         // GAP maintenance: one Request FDL Status every G visits,
         // consuming real token-holding time.
@@ -519,6 +622,9 @@ fn run_dynamic(
             if let Some(s) = admitted {
                 ctrl.admit(s);
                 emit(observers, now, NetEvent::MasterJoin { master: s });
+                if let Some(mc) = &mut mode_ctrl {
+                    emit_transition(mc.on_membership(now, true), now, observers);
+                }
             }
         }
 
@@ -556,6 +662,9 @@ fn run_dynamic(
             now += bus.slot_time + (net.token_pass + bus.slot_time) * (attempts - 1);
             ctrl.drop_member(succ);
             emit(observers, now, NetEvent::MasterLeave { master: succ });
+            if let Some(mc) = &mut mode_ctrl {
+                emit_transition(mc.on_membership(now, false), now, observers);
+            }
         }
     }
 }

@@ -12,13 +12,16 @@
 //! traces, percentile statistics, ring-membership timelines);
 //! [`membership`] scripts ring churn (a [`MembershipPlan`] of power-on /
 //! power-off / crash events driving the DIN 19245 FDL machinery through
-//! [`profirt_profibus::RingController`]); [`mod@reference`] retains the
-//! pre-materialized baseline for differential tests and benchmarks — it
-//! models the static §3.1 ring only.
+//! [`profirt_profibus::RingController`]); [`mode`] runs the
+//! mixed-criticality overload/match-up state machine over the dynamic
+//! loop; [`mod@reference`] retains the pre-materialized baseline for
+//! differential tests and benchmarks — it models the static §3.1 ring
+//! only.
 
 mod config;
 pub mod kernel;
 pub mod membership;
+pub mod mode;
 pub mod observe;
 pub mod reference;
 mod sim;
@@ -29,9 +32,10 @@ pub use config::{
 };
 pub use kernel::{run_network, KernelMemStats};
 pub use membership::{MembershipAction, MembershipEvent, MembershipPlan};
+pub use mode::{ModeController, ModeSimConfig, ModeTransition};
 pub use observe::{
-    NetEvent, ResponseStats, ResultObserver, RingStats, RingSummary, StableResponseObserver,
-    TraceObserver, TrrStats,
+    ModeStats, ModeSummary, NetEvent, ResponseStats, ResultObserver, RingStats, RingSummary,
+    StableResponseObserver, TraceObserver, TrrStats,
 };
 pub use reference::simulate_network_materialized;
 pub use sim::{

@@ -13,8 +13,14 @@
 //! [`RingStats`] (ring-size timeline), the per-ring-size rotation
 //! histograms of [`TrrStats`], and [`StableResponseObserver`]
 //! (stable-phase `observed ≤ analytical` contract checking).
+//!
+//! With the mixed-criticality mode controller enabled the kernel also
+//! emits [`NetEvent::ModeSwitch`], [`NetEvent::Shed`] and
+//! [`NetEvent::Matchup`], consumed by [`ModeStats`] (switch/shed/match-up
+//! accounting) and by [`StableResponseObserver`] (which then checks HI
+//! responses in degraded phases against the HI-projection bound).
 
-use profirt_base::{MasterAddr, Time};
+use profirt_base::{Criticality, MasterAddr, StreamId, Time};
 use profirt_profibus::Request;
 
 use crate::engine::observer::{HistSummary, Observer, TickHistogram};
@@ -99,6 +105,31 @@ pub enum NetEvent {
         /// Ring index of the claiming master.
         master: usize,
     },
+    /// The mixed-criticality mode controller switched modes (see
+    /// [`crate::network::mode::ModeController`]).
+    ModeSwitch {
+        /// `true`: entering HI (degraded) mode — sub-HI admissions are
+        /// shed from here on. `false`: match-up complete, back to LO.
+        degraded: bool,
+    },
+    /// A sub-HI request was shed at admission while the controller was
+    /// degraded (it never reached the AP queue).
+    Shed {
+        /// Ring index of the shedding master.
+        master: usize,
+        /// The shed request's stream.
+        stream: StreamId,
+        /// The shed request's release instant.
+        release: Time,
+    },
+    /// The match-up phase completed (full ring plus a clean-rotation
+    /// span); the kernel emits the LO-ward [`NetEvent::ModeSwitch`]
+    /// right after.
+    Matchup {
+        /// Span from the degradation instant to the completed match-up —
+        /// the `time_to_matchup` statistic.
+        waited: Time,
+    },
 }
 
 /// Assembles the [`NetworkSimResult`] from the event stream — result
@@ -169,7 +200,10 @@ impl Observer<NetEvent> for ResultObserver {
             | NetEvent::GapPoll { .. }
             | NetEvent::MasterJoin { .. }
             | NetEvent::MasterLeave { .. }
-            | NetEvent::Claim { .. } => {}
+            | NetEvent::Claim { .. }
+            | NetEvent::ModeSwitch { .. }
+            | NetEvent::Shed { .. }
+            | NetEvent::Matchup { .. } => {}
         }
     }
 }
@@ -343,20 +377,38 @@ impl Observer<NetEvent> for RingStats {
 
 /// Per-master/per-stream maximum responses restricted to **stable
 /// phases**: the ring at full configured membership, with no membership
-/// disturbance (join, leave, claim, fault recovery) within `guard` ticks
-/// before the request's release. The `observed ≤ analytical` contract
-/// assumes the §3.1 static ring, so under churn it is enforced on these
-/// samples only; transition windows are excluded.
+/// disturbance (join, leave, claim, fault recovery) *and no mode switch*
+/// within `guard` ticks before the request's release. The `observed ≤
+/// analytical` contract assumes the §3.1 static ring, so under churn it
+/// is enforced on these samples only; transition windows are excluded.
+///
+/// With the mode controller enabled, responses split into two buckets by
+/// the mode at completion: `max_responses` holds LO-mode (nominal)
+/// samples, checked against the full-set bounds, and `hi_max_responses`
+/// holds HI-mode (degraded) samples — HI streams competing only against
+/// HI traffic — checked against the HI-projection bounds of
+/// [`profirt_core::ModeAnalysis`](../../../profirt_core/mode/struct.ModeAnalysis.html).
+/// The HI bucket does **not** require full ring membership (the HI bound
+/// is monotone in membership, so it holds on every subring), only the
+/// guard of calm since the last disturbance. A mode switch disturbs both
+/// buckets, so no sample straddles a shedding transition.
 #[derive(Clone, Debug)]
 pub struct StableResponseObserver {
     full_size: usize,
     size: usize,
     guard: Time,
     stable_since: Time,
-    /// Stable-phase maximum responses, `[master][stream]`.
+    degraded: bool,
+    /// Stable-phase (LO-mode) maximum responses, `[master][stream]`.
     pub max_responses: Vec<Vec<Time>>,
-    /// High-priority cycles that counted as stable samples.
+    /// High-priority cycles that counted as stable LO-mode samples.
     pub samples: u64,
+    /// Degraded-phase maximum responses, `[master][stream]`; only HI
+    /// streams complete in HI mode (plus a pre-switch sub-HI backlog,
+    /// excluded by the guard).
+    pub hi_max_responses: Vec<Vec<Time>>,
+    /// High-priority cycles that counted as degraded-phase samples.
+    pub hi_samples: u64,
 }
 
 impl StableResponseObserver {
@@ -364,17 +416,21 @@ impl StableResponseObserver {
     /// time zero and requiring `guard` ticks of calm before a release
     /// counts as stable.
     pub fn new(net: &SimNetwork, initial: usize, guard: Time) -> StableResponseObserver {
+        let zeros: Vec<Vec<Time>> = net
+            .masters
+            .iter()
+            .map(|m| vec![Time::ZERO; m.streams.len()])
+            .collect();
         StableResponseObserver {
             full_size: net.masters.len(),
             size: initial,
             guard,
             stable_since: Time::ZERO,
-            max_responses: net
-                .masters
-                .iter()
-                .map(|m| vec![Time::ZERO; m.streams.len()])
-                .collect(),
+            degraded: false,
+            max_responses: zeros.clone(),
             samples: 0,
+            hi_max_responses: zeros,
+            hi_samples: 0,
         }
     }
 
@@ -395,6 +451,13 @@ impl Observer<NetEvent> for StableResponseObserver {
                 self.disturb(at);
             }
             NetEvent::Claim { .. } | NetEvent::Recovery { .. } => self.disturb(at),
+            // A mode switch ends the current stable phase in *both*
+            // directions: samples released around the shedding transition
+            // belong to neither bound's regime.
+            NetEvent::ModeSwitch { degraded } => {
+                self.degraded = degraded;
+                self.disturb(at);
+            }
             // Any disturbance between the release and this completion was
             // already observed (events arrive in time order) and pushed
             // `stable_since` past the release.
@@ -403,12 +466,111 @@ impl Observer<NetEvent> for StableResponseObserver {
                 ref request,
                 end,
                 ..
-            } if self.size == self.full_size
-                && request.release >= self.stable_since + self.guard =>
-            {
-                let slot = &mut self.max_responses[master][request.stream.0];
-                *slot = (*slot).max(end - request.release);
-                self.samples += 1;
+            } if request.release >= self.stable_since + self.guard => {
+                if self.degraded {
+                    let slot = &mut self.hi_max_responses[master][request.stream.0];
+                    *slot = (*slot).max(end - request.release);
+                    self.hi_samples += 1;
+                } else if self.size == self.full_size {
+                    let slot = &mut self.max_responses[master][request.stream.0];
+                    *slot = (*slot).max(end - request.release);
+                    self.samples += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Summary of one run's mixed-criticality mode dynamics. All zeros when
+/// the mode controller is disabled (or never triggered).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ModeSummary {
+    /// Mode switches, both directions (degrades + match-up returns).
+    pub switches: u64,
+    /// Sub-HI requests shed at admission.
+    pub sheds: u64,
+    /// Completed match-up phases.
+    pub matchups: u64,
+    /// Largest degradation-to-match-up span (`Time::ZERO` when no
+    /// match-up completed).
+    pub max_time_to_matchup: Time,
+}
+
+/// Counts mode switches, sheds and match-ups, and tracks how much sub-HI
+/// traffic still completed — the denominators and numerators of the
+/// campaign's `lo_shed_ratio` and `time_to_matchup` columns.
+#[derive(Clone, Debug)]
+pub struct ModeStats {
+    /// Per-master criticality maps (empty inner vec = all HI).
+    criticality: Vec<Vec<Criticality>>,
+    summary: ModeSummary,
+    waits: Vec<Time>,
+    sub_hi_completed: u64,
+}
+
+impl ModeStats {
+    /// An observer shaped for `net` (copies its criticality maps).
+    pub fn new(net: &SimNetwork) -> ModeStats {
+        ModeStats {
+            criticality: net.masters.iter().map(|m| m.criticality.clone()).collect(),
+            summary: ModeSummary::default(),
+            waits: Vec::new(),
+            sub_hi_completed: 0,
+        }
+    }
+
+    /// The run summary.
+    pub fn summary(&self) -> ModeSummary {
+        self.summary
+    }
+
+    /// Every completed match-up's degradation-to-recovery span, in
+    /// completion order (for pooled percentiles across runs).
+    pub fn matchup_waits(&self) -> &[Time] {
+        &self.waits
+    }
+
+    /// Sub-HI high-priority cycles that executed to completion.
+    pub fn sub_hi_completed(&self) -> u64 {
+        self.sub_hi_completed
+    }
+
+    /// Fraction of sub-HI demand shed at admission:
+    /// `sheds / (sheds + completed sub-HI cycles)`, `0.0` when the run
+    /// carried no sub-HI traffic at all.
+    pub fn lo_shed_ratio(&self) -> f64 {
+        let total = self.summary.sheds + self.sub_hi_completed;
+        if total == 0 {
+            0.0
+        } else {
+            self.summary.sheds as f64 / total as f64
+        }
+    }
+}
+
+impl Observer<NetEvent> for ModeStats {
+    fn observe(&mut self, _at: Time, event: &NetEvent) {
+        match *event {
+            NetEvent::ModeSwitch { .. } => self.summary.switches += 1,
+            NetEvent::Shed { .. } => self.summary.sheds += 1,
+            NetEvent::Matchup { waited } => {
+                self.summary.matchups += 1;
+                self.summary.max_time_to_matchup = self.summary.max_time_to_matchup.max(waited);
+                self.waits.push(waited);
+            }
+            NetEvent::HighCycle {
+                master,
+                ref request,
+                ..
+            } => {
+                let crit = self.criticality[master]
+                    .get(request.stream.0)
+                    .copied()
+                    .unwrap_or(Criticality::Hi);
+                if crit != Criticality::Hi {
+                    self.sub_hi_completed += 1;
+                }
             }
             _ => {}
         }
@@ -456,6 +618,9 @@ impl Observer<NetEvent> for TraceObserver {
             NetEvent::MasterJoin { master } => TraceEvent::MasterJoin { master },
             NetEvent::MasterLeave { master } => TraceEvent::MasterLeave { master },
             NetEvent::Claim { master } => TraceEvent::Claim { master },
+            NetEvent::ModeSwitch { degraded } => TraceEvent::ModeSwitch { degraded },
+            NetEvent::Shed { master, stream, .. } => TraceEvent::Shed { master, stream },
+            NetEvent::Matchup { waited } => TraceEvent::Matchup { waited },
         };
         self.trace.record(at, mapped);
     }

@@ -44,7 +44,8 @@ use crate::engine::observer::{HistSummary, Observer};
 use crate::network::config::{NetworkSimConfig, SimNetwork};
 use crate::network::kernel::{run_network, KernelMemStats};
 use crate::network::observe::{
-    NetEvent, ResponseStats, ResultObserver, RingStats, RingSummary, TraceObserver, TrrStats,
+    ModeStats, ModeSummary, NetEvent, ResponseStats, ResultObserver, RingStats, RingSummary,
+    TraceObserver, TrrStats,
 };
 
 /// Observations for one stream.
@@ -102,6 +103,9 @@ pub struct NetworkSimStats {
     /// Ring-membership timeline summary (min/max/final size, event
     /// counts). Static runs report the configured size and zero events.
     pub ring: RingSummary,
+    /// Mixed-criticality mode summary (switches, sheds, match-ups). All
+    /// zeros when the mode controller is disabled.
+    pub mode: ModeSummary,
     /// Peak memory indicators of the kernel run.
     pub mem: KernelMemStats,
 }
@@ -162,10 +166,11 @@ pub fn simulate_network_stats(
     let mut response = ResponseStats::new();
     let mut trr = TrrStats::with_ring_size(initial_ring);
     let mut ring = RingStats::new(initial_ring);
+    let mut mode = ModeStats::new(net);
     let mem = run_network(
         net,
         config,
-        &mut [&mut result, &mut response, &mut trr, &mut ring],
+        &mut [&mut result, &mut response, &mut trr, &mut ring, &mut mode],
     );
     (
         result.into_result(),
@@ -174,6 +179,7 @@ pub fn simulate_network_stats(
             trr: trr.hist.summary(),
             trr_by_ring_size: trr.per_size(),
             ring: ring.summary(),
+            mode: mode.summary(),
             mem,
         },
     )
@@ -624,6 +630,78 @@ mod tests {
         assert_eq!(stats.trr.count, result.token_visits[0] - 1);
         // O(streams) release state: 2 stream heads, no jitter look-ahead.
         assert!(stats.mem.peak_release_buffer <= 2);
+    }
+
+    #[test]
+    fn mode_controller_sheds_and_matches_up_under_churn() {
+        use crate::network::config::{MembershipPlan, ModeSimConfig};
+        use profirt_base::Criticality;
+
+        // Two masters; master 0 carries one HI and one LO stream. Power-
+        // cycling master 1 degrades the mode (ring shrinks), sheds the LO
+        // stream, and matches back up after the rejoin.
+        let net = SimNetwork {
+            masters: vec![
+                SimMaster::stock(
+                    StreamSet::from_cdt(&[(100, 5_000, 10_000), (100, 5_000, 10_000)]).unwrap(),
+                )
+                .with_criticality(vec![Criticality::Hi, Criticality::Lo]),
+                SimMaster::stock(StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap()),
+            ],
+            ttr: t(2_000),
+            token_pass: t(100),
+        };
+        let cfg = NetworkSimConfig {
+            horizon: t(400_000),
+            gap_factor: 2,
+            membership: MembershipPlan::new().power_cycle(1, t(50_000), t(80_000)),
+            mode: ModeSimConfig::enabled(),
+            ..Default::default()
+        };
+        let (result, stats) = simulate_network_stats(&net, &cfg);
+        // Degrade on the leave, match-up after the rejoin.
+        assert!(
+            stats.mode.switches >= 2,
+            "switches: {}",
+            stats.mode.switches
+        );
+        assert!(stats.mode.sheds > 0, "no LO request was shed");
+        assert!(stats.mode.matchups >= 1);
+        assert!(stats.mode.max_time_to_matchup.is_positive());
+        // The LO stream still ran outside the degraded window.
+        assert!(result.streams[0][1].completed > 0);
+        // The same run without the controller sheds nothing.
+        let (_, blind) = simulate_network_stats(
+            &net,
+            &NetworkSimConfig {
+                mode: ModeSimConfig::default(),
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(blind.mode.switches, 0);
+        assert_eq!(blind.mode.sheds, 0);
+    }
+
+    #[test]
+    fn mode_disabled_run_is_untouched_by_criticality_labels() {
+        // Criticality labels are inert without the controller: results
+        // are identical to the unlabelled network, event for event.
+        let streams = [(400, 9_000, 10_000), (250, 4_000, 7_000)];
+        let labelled = {
+            let mut net = one_master_net(&streams, QueuePolicy::Fcfs);
+            net.masters[0].criticality =
+                vec![profirt_base::Criticality::Lo, profirt_base::Criticality::Hi];
+            net
+        };
+        let plain = one_master_net(&streams, QueuePolicy::Fcfs);
+        let cfg = NetworkSimConfig {
+            horizon: t(300_000),
+            ..Default::default()
+        };
+        assert_eq!(
+            simulate_network(&labelled, &cfg),
+            simulate_network(&plain, &cfg)
+        );
     }
 
     #[test]

@@ -73,6 +73,23 @@ pub enum TraceEvent {
         /// Ring index of the claiming master.
         master: usize,
     },
+    /// The mixed-criticality mode controller switched modes.
+    ModeSwitch {
+        /// `true`: entering HI (degraded) mode; `false`: back to LO.
+        degraded: bool,
+    },
+    /// A sub-HI request was shed at admission (HI mode).
+    Shed {
+        /// Ring index of the shedding master.
+        master: usize,
+        /// The shed request's stream.
+        stream: StreamId,
+    },
+    /// The match-up phase completed: LO traffic re-admitted.
+    Matchup {
+        /// Span from the degradation instant to the completed match-up.
+        waited: Time,
+    },
 }
 
 /// A bounded event trace.
@@ -163,6 +180,19 @@ impl Trace {
                 }
                 TraceEvent::Claim { master } => {
                     format!("{at:>10}  !! token claimed by M{master}")
+                }
+                TraceEvent::ModeSwitch { degraded } => {
+                    if degraded {
+                        format!("{at:>10}  !! mode switch: HI (shedding sub-HI traffic)")
+                    } else {
+                        format!("{at:>10}  !! mode switch: LO (all traffic admitted)")
+                    }
+                }
+                TraceEvent::Shed { master, stream } => {
+                    format!("{at:>10}  M{master} ×× shed {stream} (HI mode)")
+                }
+                TraceEvent::Matchup { waited } => {
+                    format!("{at:>10}  == match-up complete after {waited} ticks")
                 }
             };
             out.push_str(&line);
@@ -280,6 +310,26 @@ mod tests {
         assert!(s.contains("++ M2 joined the ring"));
         assert!(s.contains("-- M1 left the ring"));
         assert!(s.contains("token claimed by M0"));
+    }
+
+    #[test]
+    fn mode_events_render() {
+        let mut tr = Trace::new(8);
+        tr.record(t(10), TraceEvent::ModeSwitch { degraded: true });
+        tr.record(
+            t(20),
+            TraceEvent::Shed {
+                master: 1,
+                stream: StreamId(3),
+            },
+        );
+        tr.record(t(90), TraceEvent::Matchup { waited: t(80) });
+        tr.record(t(90), TraceEvent::ModeSwitch { degraded: false });
+        let s = tr.render();
+        assert!(s.contains("mode switch: HI"));
+        assert!(s.contains("M1 ×× shed S3"));
+        assert!(s.contains("match-up complete after 80 ticks"));
+        assert!(s.contains("mode switch: LO"));
     }
 
     #[test]

@@ -48,6 +48,8 @@ proptest! {
                 policy: CpuPolicy::FixedPreemptive,
                 horizon: Time::new(20_000),
                 offsets: vec![],
+                criticality: vec![],
+                shed_lo: false,
             },
         );
         let rta = response_times(&set, &pm, &RtaConfig::default()).unwrap();
@@ -68,6 +70,8 @@ proptest! {
             policy: CpuPolicy::EdfPreemptive,
             horizon: Time::new(10_000),
             offsets: vec![],
+            criticality: vec![],
+            shed_lo: false,
         };
         let a = simulate_cpu(&set, None, &cfg);
         let b = simulate_cpu(&set, None, &cfg);
@@ -85,6 +89,8 @@ proptest! {
                 policy: CpuPolicy::EdfPreemptive,
                 horizon: Time::new(30_000),
                 offsets: vec![],
+                criticality: vec![],
+                shed_lo: false,
             },
         );
         prop_assert!(sim.no_misses(), "EDF missed with U < 1: {:?}", sim.misses);

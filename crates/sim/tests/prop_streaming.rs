@@ -154,6 +154,8 @@ proptest! {
             policy,
             horizon: t(seed_horizon),
             offsets,
+            criticality: vec![],
+            shed_lo: false,
         };
         let streaming = simulate_cpu(&set, prio, &cfg);
         let materialized = simulate_cpu_materialized(&set, prio, &cfg);

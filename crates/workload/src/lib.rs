@@ -28,7 +28,7 @@ pub mod streamgen;
 pub mod taskgen;
 pub mod uunifast;
 
-pub use netgen::{generate_network, GeneratedNetwork, NetGenParams};
+pub use netgen::{generate_network, CriticalityMix, GeneratedNetwork, NetGenParams};
 pub use periods::{log_uniform_period, PeriodRange};
 pub use releases::{
     low_priority_release_gens, stream_release_gens, task_release_gens, LowPriorityReleases,

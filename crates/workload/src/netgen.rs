@@ -6,13 +6,80 @@
 //! consumed by `profirt-sim` (reconstructed there into a `SimNetwork` with
 //! the chosen queue policies).
 
-use profirt_base::{AnalysisResult, Prng, StreamSet, Time};
+use profirt_base::{AnalysisResult, Criticality, Prng, StreamSet, Time};
 use profirt_core::{MasterConfig, NetworkConfig};
 use profirt_profibus::{BusParams, LowPriorityTraffic, MessageCycleSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::periods::PeriodRange;
 use crate::streamgen::{generate_stream_set, StreamGenParams};
+
+/// How stream criticalities are drawn — the campaign `criticality` axis.
+///
+/// [`CriticalityMix::AllHi`] consumes **no** RNG draws, so every workload
+/// generated before the mix existed is byte-identical under it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum CriticalityMix {
+    /// Every stream is HI (the pre-mixed-criticality behaviour).
+    #[default]
+    AllHi,
+    /// Two levels: each stream is LO with probability 0.4, else HI.
+    Mixed,
+    /// Three levels: LO with probability 0.3, MID with 0.2, else HI.
+    Mixed3,
+}
+
+impl CriticalityMix {
+    /// The canonical axis/CLI spelling (`"all-hi"` / `"mixed"` / `"mixed3"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CriticalityMix::AllHi => "all-hi",
+            CriticalityMix::Mixed => "mixed",
+            CriticalityMix::Mixed3 => "mixed3",
+        }
+    }
+
+    /// Parses the spelling produced by [`CriticalityMix::name`].
+    pub fn parse(s: &str) -> Option<CriticalityMix> {
+        match s {
+            "all-hi" => Some(CriticalityMix::AllHi),
+            "mixed" => Some(CriticalityMix::Mixed),
+            "mixed3" => Some(CriticalityMix::Mixed3),
+            _ => None,
+        }
+    }
+
+    /// Draws one stream's criticality. `AllHi` returns without touching the
+    /// RNG; the other mixes consume exactly one draw per stream.
+    fn draw(self, rng: &mut Prng) -> Criticality {
+        match self {
+            CriticalityMix::AllHi => Criticality::Hi,
+            CriticalityMix::Mixed => {
+                if rng.unit() < 0.4 {
+                    Criticality::Lo
+                } else {
+                    Criticality::Hi
+                }
+            }
+            CriticalityMix::Mixed3 => {
+                let u = rng.unit();
+                if u < 0.3 {
+                    Criticality::Lo
+                } else if u < 0.5 {
+                    Criticality::Mid
+                } else {
+                    Criticality::Hi
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CriticalityMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Network generation parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -29,6 +96,8 @@ pub struct NetGenParams {
     pub low_period: Time,
     /// Target token rotation time `TTR` (ticks).
     pub ttr: Time,
+    /// How per-stream criticality levels are drawn.
+    pub criticality_mix: CriticalityMix,
 }
 
 impl NetGenParams {
@@ -57,6 +126,7 @@ impl NetGenParams {
             low_payload: (8, 32),
             low_period: Time::new(500_000),
             ttr: Time::new(4_000),
+            criticality_mix: CriticalityMix::AllHi,
         }
     }
 
@@ -64,6 +134,13 @@ impl NetGenParams {
     /// (the campaign engine's `ttr` axis hook).
     pub fn with_ttr(mut self, ttr: Time) -> NetGenParams {
         self.ttr = ttr;
+        self
+    }
+
+    /// Returns the parameters with the criticality mix replaced (the
+    /// campaign engine's `criticality` axis hook).
+    pub fn with_criticality_mix(mut self, mix: CriticalityMix) -> NetGenParams {
+        self.criticality_mix = mix;
         self
     }
 }
@@ -106,7 +183,17 @@ pub fn generate_network(
             Vec::new()
         };
         let cl_max = low.iter().map(|l| l.cycle_time).max().unwrap_or(Time::ZERO);
-        masters.push(MasterConfig::new(streams.clone(), cl_max));
+        // Criticality draws come last and only for non-trivial mixes, so
+        // the all-HI RNG stream — and with it every pre-existing workload —
+        // is untouched.
+        let criticality = if params.criticality_mix == CriticalityMix::AllHi {
+            Vec::new()
+        } else {
+            (0..streams.len())
+                .map(|_| params.criticality_mix.draw(rng))
+                .collect()
+        };
+        masters.push(MasterConfig::new(streams.clone(), cl_max).with_criticality(criticality));
         streams_out.push(streams);
         low_out.push(low);
     }
@@ -137,6 +224,7 @@ mod tests {
             low_payload: (8, 64),
             low_period: t(500_000),
             ttr: t(10_000),
+            criticality_mix: CriticalityMix::AllHi,
         }
     }
 
@@ -177,6 +265,76 @@ mod tests {
         let a = generate_network(&mut Prng::seed_from_u64(77), &bus, &params()).unwrap();
         let b = generate_network(&mut Prng::seed_from_u64(77), &bus, &params()).unwrap();
         assert_eq!(a.config, b.config);
+    }
+
+    #[test]
+    fn all_hi_mix_draws_nothing_and_matches_pre_mix_output() {
+        let bus = BusParams::profile_500k();
+        // The same seed with and without the (default) all-HI mix must give
+        // identical networks: the mix consumes zero draws.
+        let a = generate_network(&mut Prng::seed_from_u64(9), &bus, &params()).unwrap();
+        let b = generate_network(
+            &mut Prng::seed_from_u64(9),
+            &bus,
+            &params().with_criticality_mix(CriticalityMix::AllHi),
+        )
+        .unwrap();
+        assert_eq!(a.config, b.config);
+        assert!(a.config.masters.iter().all(|m| m.criticality.is_empty()));
+        assert!(!a.config.has_sub_hi());
+    }
+
+    #[test]
+    fn mixed_draws_annotate_every_stream_without_touching_structure() {
+        let bus = BusParams::profile_500k();
+        for mix in [CriticalityMix::Mixed, CriticalityMix::Mixed3] {
+            let g = generate_network(
+                &mut Prng::seed_from_u64(40),
+                &bus,
+                &params().with_criticality_mix(mix),
+            )
+            .unwrap();
+            // Criticality draws happen after each master's structural
+            // draws, so stream parameters are identical to the all-HI
+            // workload of the same seed... for the FIRST master. Later
+            // masters see a shifted RNG stream by design; what must hold
+            // everywhere is the annotation shape.
+            for m in &g.config.masters {
+                assert_eq!(m.criticality.len(), m.streams.len());
+            }
+            let a = generate_network(&mut Prng::seed_from_u64(40), &bus, &params()).unwrap();
+            assert_eq!(g.config.masters[0].streams, a.config.masters[0].streams);
+        }
+        // Mixed3 is the only mix that can produce MID.
+        let mut saw_mid = false;
+        for seed in 0..20 {
+            let g = generate_network(
+                &mut Prng::seed_from_u64(seed),
+                &bus,
+                &params().with_criticality_mix(CriticalityMix::Mixed3),
+            )
+            .unwrap();
+            saw_mid |= g
+                .config
+                .masters
+                .iter()
+                .flat_map(|m| &m.criticality)
+                .any(|&c| c == profirt_base::Criticality::Mid);
+        }
+        assert!(saw_mid, "mixed3 should draw MID somewhere in 20 seeds");
+    }
+
+    #[test]
+    fn mix_names_round_trip() {
+        for mix in [
+            CriticalityMix::AllHi,
+            CriticalityMix::Mixed,
+            CriticalityMix::Mixed3,
+        ] {
+            assert_eq!(CriticalityMix::parse(mix.name()), Some(mix));
+            assert_eq!(mix.to_string(), mix.name());
+        }
+        assert_eq!(CriticalityMix::parse("mixed2"), None);
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn main() {
                 low_payload: (8, 32),
                 low_period: Time::new(400_000),
                 ttr: Time::new(4_000),
+                criticality_mix: Default::default(),
             };
             let net = generate_network(&mut rng, &bus, &params)
                 .expect("generation")

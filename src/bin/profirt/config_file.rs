@@ -23,8 +23,15 @@
 //! masters); it defaults to the master's ring index and drives the
 //! address-staggered token-recovery timeout and the logical-ring order
 //! under `simulate --gap-factor/--power-cycle`.
+//!
+//! Each stream may carry an optional `"criticality"` field
+//! (`"lo"` / `"mid"` / `"hi"`). Absent means HI, and the field is only
+//! serialised when present, so every pre-existing config file parses and
+//! round-trips byte-identically. Sub-HI streams are shed in degraded mode
+//! by `simulate` when the mode controller is active and are dropped from
+//! the HI-mode verdict of `analyze`.
 
-use profirt::base::{MessageStream, StreamSet, Time};
+use profirt::base::{Criticality, MessageStream, StreamSet, Time};
 use profirt::core::{MasterConfig, NetworkConfig};
 use profirt::profibus::QueuePolicy;
 use profirt::sim::{SimMaster, SimNetwork};
@@ -42,6 +49,9 @@ pub struct CliStream {
     pub t: i64,
     /// Release jitter `J` (defaults to 0).
     pub j: i64,
+    /// Criticality level; `None` (the default) reads as HI and is not
+    /// serialised, keeping pre-existing files byte-identical.
+    pub criticality: Option<Criticality>,
 }
 
 /// One master entry.
@@ -90,21 +100,35 @@ fn field_i64(obj: &Value, key: &str, default: Option<i64>) -> Result<i64, String
 
 impl CliStream {
     fn from_json(v: &Value) -> Result<CliStream, String> {
+        let criticality = match v.get("criticality") {
+            Some(Value::Null) | None => None,
+            Some(c) => {
+                let raw = c.as_str().ok_or("field \"criticality\" must be a string")?;
+                Some(Criticality::parse(raw).ok_or(format!(
+                    "field \"criticality\" must be \"lo\", \"mid\" or \"hi\", got {raw:?}"
+                ))?)
+            }
+        };
         Ok(CliStream {
             ch: field_i64(v, "ch", None)?,
             d: field_i64(v, "d", None)?,
             t: field_i64(v, "t", None)?,
             j: field_i64(v, "j", Some(0))?,
+            criticality,
         })
     }
 
     fn to_json(self) -> Value {
-        json::object([
+        let mut fields = vec![
             ("ch", Value::Int(self.ch)),
             ("d", Value::Int(self.d)),
             ("t", Value::Int(self.t)),
             ("j", Value::Int(self.j)),
-        ])
+        ];
+        if let Some(c) = self.criticality {
+            fields.push(("criticality", Value::Str(c.name().to_string())));
+        }
+        json::object(fields)
     }
 }
 
@@ -256,14 +280,28 @@ impl CliNetwork {
         StreamSet::new(streams).map_err(|e| format!("master {k}: {e}"))
     }
 
+    /// The per-stream criticality labels of master `k` (empty when no
+    /// stream of the master declares one — the all-HI reading).
+    pub fn criticality_of(&self, k: usize) -> Vec<Criticality> {
+        let m = &self.masters[k];
+        if m.streams.iter().any(|s| s.criticality.is_some()) {
+            m.streams
+                .iter()
+                .map(|s| s.criticality.unwrap_or_default())
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
     /// Builds the analysis view.
     pub fn to_analysis(&self) -> Result<NetworkConfig, String> {
         let masters = (0..self.masters.len())
             .map(|k| {
-                Ok(MasterConfig::new(
-                    self.stream_set(k)?,
-                    Time::new(self.masters[k].cl),
-                ))
+                Ok(
+                    MasterConfig::new(self.stream_set(k)?, Time::new(self.masters[k].cl))
+                        .with_criticality(self.criticality_of(k)),
+                )
             })
             .collect::<Result<Vec<_>, String>>()?;
         Ok(NetworkConfig::new(masters, Time::new(self.ttr))
@@ -296,6 +334,7 @@ impl CliNetwork {
                 if let Some(a) = self.masters[k].addr {
                     m.addr = Some(profirt::base::MasterAddr(a));
                 }
+                m.criticality = self.criticality_of(k);
                 Ok(m)
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -325,12 +364,14 @@ pub fn example_json() -> String {
                         d: 12_000,
                         t: 25_000,
                         j: 0,
+                        criticality: None,
                     },
                     CliStream {
                         ch: 500,
                         d: 25_000,
                         t: 50_000,
                         j: 200,
+                        criticality: None,
                     },
                 ],
             },
@@ -344,6 +385,7 @@ pub fn example_json() -> String {
                     d: 30_000,
                     t: 40_000,
                     j: 0,
+                    criticality: None,
                 }],
             },
         ],

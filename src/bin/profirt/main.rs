@@ -6,6 +6,7 @@
 //! profirt ttr      <config.json> [--model paper|refined]
 //! profirt simulate <config.json> [--horizon TICKS] [--seed N]
 //!                  [--gap-factor G] [--power-cycle M:OFF:ON]...
+//!                  [--criticality-mix all-hi|mixed|mixed3]
 //! profirt campaign run <spec.json|preset> [--quick] [--out DIR]
 //! profirt campaign list
 //! profirt campaign describe <spec.json|preset>
@@ -78,8 +79,18 @@ fn run(args: &[String]) -> Result<(), String> {
             let power_cycles = flag_values(args, "--power-cycle")
                 .map(parse_power_cycle)
                 .collect::<Result<Vec<_>, _>>()?;
+            let mix = flag_value(args, "--criticality-mix")
+                .map(|v| {
+                    profirt::workload::CriticalityMix::parse(v).ok_or_else(|| {
+                        format!(
+                            "bad --criticality-mix {v:?}: want \"all-hi\", \
+                             \"mixed\" or \"mixed3\""
+                        )
+                    })
+                })
+                .transpose()?;
             let net = CliNetwork::load(path)?;
-            output::simulate(&net, horizon, seed, gap_factor, &power_cycles)
+            output::simulate(&net, horizon, seed, gap_factor, &power_cycles, mix)
         }
         "campaign" => match args.get(1).map(String::as_str) {
             Some("run") => {
@@ -176,6 +187,7 @@ fn print_usage() {
            profirt ttr      <config.json> [--model paper|refined]\n\
            profirt simulate <config.json> [--horizon TICKS] [--seed N]\n\
                     [--gap-factor G] [--power-cycle M:OFF:ON]...\n\
+                    [--criticality-mix all-hi|mixed|mixed3]\n\
            profirt campaign run <spec.json|preset> [--quick] [--horizon TICKS] [--out DIR]\n\
            profirt campaign list\n\
            profirt campaign describe <spec.json|preset>\n\

@@ -1,8 +1,11 @@
 //! CLI output rendering for the three subcommands.
 
-use profirt::base::Time;
-use profirt::core::{max_feasible_ttr, FcfsAnalysis, NetworkAnalysis, PolicyKind, TcycleModel};
-use profirt::sim::{simulate_network_stats, MembershipPlan, NetworkSimConfig};
+use profirt::base::{Criticality, Time};
+use profirt::core::{
+    max_feasible_ttr, FcfsAnalysis, ModeAnalysis, NetworkAnalysis, PolicyKind, TcycleModel,
+};
+use profirt::sim::{simulate_network_stats, MembershipPlan, ModeSimConfig, NetworkSimConfig};
+use profirt::workload::CriticalityMix;
 
 use crate::config_file::CliNetwork;
 
@@ -33,6 +36,11 @@ fn print_analysis(label: &str, an: &NetworkAnalysis) {
 }
 
 /// `profirt analyze`.
+///
+/// On a mixed-criticality config (any sub-HI stream) every policy prints
+/// two verdicts: the nominal (LO-mode) bounds of the full workload, valid
+/// in stable phases, and the HI-mode bounds of the HI-only projection,
+/// valid through any ring disturbance.
 pub fn analyze(net: &CliNetwork, policy: &str) -> Result<(), String> {
     let config = net.to_analysis()?;
     let kinds: Vec<PolicyKind> = if policy == "all" {
@@ -40,9 +48,25 @@ pub fn analyze(net: &CliNetwork, policy: &str) -> Result<(), String> {
     } else {
         vec![PolicyKind::parse(policy).ok_or_else(|| format!("unknown policy {policy:?}"))?]
     };
+    let mixed = config.has_sub_hi();
     for kind in kinds {
-        match kind.analyze(&config) {
-            Ok(an) => print_analysis(kind.label(), &an),
+        let result = if mixed {
+            ModeAnalysis::analyze(kind, &config, &Default::default()).map(|man| {
+                print_analysis(
+                    &format!("{} [LO mode, stable phases]", kind.label()),
+                    &man.lo,
+                );
+                print_analysis(
+                    &format!("{} [HI mode, any disturbance]", kind.label()),
+                    &man.hi,
+                );
+            })
+        } else {
+            kind.analyze(&config)
+                .map(|an| print_analysis(kind.label(), &an))
+        };
+        match result {
+            Ok(()) => {}
             Err(profirt::base::AnalysisError::UtilizationAtLeastOne) if kind == PolicyKind::Edf => {
                 println!(
                     "{}: not analysable — some master's streams \
@@ -88,6 +112,30 @@ pub fn ttr(net: &CliNetwork, model: TcycleModel) -> Result<(), String> {
     Ok(())
 }
 
+/// Deterministic per-stream criticality labels for `--criticality-mix`
+/// (no RNG: the CLI flag must label the same config the same way every
+/// run). `mixed` alternates HI/LO by stream index; `mixed3` cycles
+/// HI/LO/MID.
+fn mix_labels(mix: CriticalityMix, n_streams: usize) -> Vec<Criticality> {
+    (0..n_streams)
+        .map(|i| match mix {
+            CriticalityMix::AllHi => Criticality::Hi,
+            CriticalityMix::Mixed => {
+                if i % 2 == 1 {
+                    Criticality::Lo
+                } else {
+                    Criticality::Hi
+                }
+            }
+            CriticalityMix::Mixed3 => match i % 3 {
+                1 => Criticality::Lo,
+                2 => Criticality::Mid,
+                _ => Criticality::Hi,
+            },
+        })
+        .collect()
+}
+
 /// `profirt simulate`.
 pub fn simulate(
     net: &CliNetwork,
@@ -95,9 +143,23 @@ pub fn simulate(
     seed: u64,
     gap_factor: u32,
     power_cycles: &[(usize, i64, i64)],
+    mix: Option<CriticalityMix>,
 ) -> Result<(), String> {
-    let config = net.to_analysis()?;
-    let sim_net = net.to_sim()?;
+    let mut config = net.to_analysis()?;
+    let mut sim_net = net.to_sim()?;
+    // `--criticality-mix` overrides the file's per-stream labels with a
+    // deterministic index-based assignment in both views.
+    if let Some(mix) = mix {
+        for (k, m) in sim_net.masters.iter_mut().enumerate() {
+            let labels = mix_labels(mix, m.streams.len());
+            config.masters[k].criticality = if labels.iter().any(|c| c.shed_in_hi_mode()) {
+                labels.clone()
+            } else {
+                Vec::new()
+            };
+            m.criticality = labels;
+        }
+    }
     let mut membership = MembershipPlan::new();
     for &(master, off_at, on_at) in power_cycles {
         if master >= sim_net.masters.len() {
@@ -108,11 +170,19 @@ pub fn simulate(
         }
         membership = membership.power_cycle(master, Time::new(off_at), Time::new(on_at));
     }
+    // Any sub-HI stream (from the file or the flag) arms the mode
+    // controller; an all-HI run stays on the criticality-blind path.
+    let mode = if config.has_sub_hi() {
+        ModeSimConfig::enabled()
+    } else {
+        ModeSimConfig::default()
+    };
     let sim_config = NetworkSimConfig {
         horizon: Time::new(horizon),
         seed,
         gap_factor,
         membership,
+        mode,
         ..Default::default()
     };
     let dynamic_ring = !sim_config.is_static_ring();
@@ -139,6 +209,16 @@ pub fn simulate(
                 trr.count, trr.p99, trr.max
             );
         }
+    }
+    if sim_config.mode.enabled {
+        println!(
+            "mode: {} switch(es), {} shed(s), {} match-up(s), \
+             max time-to-matchup = {}",
+            stats.mode.switches,
+            stats.mode.sheds,
+            stats.mode.matchups,
+            stats.mode.max_time_to_matchup.ticks()
+        );
     }
 
     // Reference bounds per master policy.

@@ -27,6 +27,7 @@ fn gen(seed: u64) -> GeneratedNetwork {
         low_payload: (8, 32),
         low_period: Time::new(500_000),
         ttr: Time::new(4_000),
+        criticality_mix: Default::default(),
     };
     let mut rng = Prng::seed_from_u64(seed);
     let mut g = generate_network(&mut rng, &bus, &params).expect("generation");

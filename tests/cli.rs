@@ -63,6 +63,76 @@ fn simulate_subcommand_validates_bounds() {
 }
 
 #[test]
+fn criticality_mix_arms_the_mode_controller() {
+    let (_, example, _) = profirt(&["example-config"]);
+    let path = write_config("mc.json", &example);
+    // The flag labels streams and arms the controller: the mode summary
+    // line appears and bound exceedances (if any) become a note, since a
+    // mode-enabled run is no longer the static §3.1 ring.
+    let (ok, stdout, stderr) = profirt(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--horizon",
+        "1000000",
+        "--criticality-mix",
+        "mixed",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("mode:"), "stdout: {stdout}");
+    // all-hi is the identity: no mode line, byte-identical to the flagless run.
+    let (ok, allhi, _) = profirt(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--horizon",
+        "1000000",
+        "--criticality-mix",
+        "all-hi",
+    ]);
+    assert!(ok);
+    assert!(!allhi.contains("mode:"));
+    let (ok, flagless, _) = profirt(&["simulate", path.to_str().unwrap(), "--horizon", "1000000"]);
+    assert!(ok);
+    assert_eq!(allhi, flagless);
+
+    let (ok, _, stderr) = profirt(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--criticality-mix",
+        "sometimes",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --criticality-mix"), "stderr: {stderr}");
+}
+
+#[test]
+fn config_file_criticality_yields_two_verdicts() {
+    let cfg = write_config(
+        "mixed.json",
+        r#"{"ttr": 2000, "masters": [
+            {"streams": [
+                {"ch": 10, "d": 4000, "t": 4000},
+                {"ch": 10, "d": 4000, "t": 4000, "criticality": "lo"}
+            ]},
+            {"streams": [{"ch": 10, "d": 4000, "t": 4000}]}
+        ]}"#,
+    );
+    let (ok, stdout, stderr) = profirt(&["analyze", cfg.to_str().unwrap(), "--policy", "fcfs"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("[LO mode, stable phases]"), "{stdout}");
+    assert!(stdout.contains("[HI mode, any disturbance]"), "{stdout}");
+
+    let bad = write_config(
+        "badcrit.json",
+        r#"{"ttr": 2000, "masters": [{"streams": [
+            {"ch": 10, "d": 4000, "t": 4000, "criticality": "urgent"}
+        ]}]}"#,
+    );
+    let (ok, _, stderr) = profirt(&["analyze", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("criticality"), "stderr: {stderr}");
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let (ok, _, stderr) = profirt(&["analyze", "/nonexistent/x.json"]);
     assert!(!ok);

@@ -25,6 +25,7 @@ fn gen(seed: u64) -> (profirt::core::NetworkConfig, SimNetwork) {
         low_payload: (8, 32),
         low_period: Time::new(500_000),
         ttr: Time::new(4_000),
+        criticality_mix: Default::default(),
     };
     let mut rng = Prng::seed_from_u64(seed);
     let g = generate_network(&mut rng, &BusParams::profile_500k(), &params).unwrap();

@@ -36,6 +36,8 @@ fn rta_bounds_dominate_preemptive_fp_simulation() {
                 policy: CpuPolicy::FixedPreemptive,
                 horizon: Time::new(100_000),
                 offsets: vec![],
+                criticality: vec![],
+                shed_lo: false,
             },
         );
         for (i, v) in rta.verdicts.iter().enumerate() {
@@ -71,6 +73,8 @@ fn np_rta_bounds_dominate_nonpreemptive_simulation() {
                     policy: CpuPolicy::FixedNonPreemptive,
                     horizon: Time::new(100_000),
                     offsets,
+                    criticality: vec![],
+                    shed_lo: false,
                 },
             );
             for (i, v) in an.verdicts.iter().enumerate() {
@@ -106,6 +110,8 @@ fn edf_rta_bounds_dominate_edf_simulation_with_offset_sweep() {
                     policy: CpuPolicy::EdfPreemptive,
                     horizon: Time::new(150_000),
                     offsets,
+                    criticality: vec![],
+                    shed_lo: false,
                 },
             );
             for (i, v) in an.verdicts.iter().enumerate() {
@@ -143,6 +149,8 @@ fn utilization_test_agrees_with_rta_and_simulation() {
                     policy: CpuPolicy::FixedPreemptive,
                     horizon: Time::new(100_000),
                     offsets: vec![],
+                    criticality: vec![],
+                    shed_lo: false,
                 },
             );
             assert!(sim.no_misses());
@@ -168,6 +176,8 @@ fn edf_demand_feasible_sets_do_not_miss_in_simulation() {
                     policy: CpuPolicy::EdfPreemptive,
                     horizon: Time::new(200_000),
                     offsets: vec![],
+                    criticality: vec![],
+                    shed_lo: false,
                 },
             );
             assert!(sim.no_misses(), "seed {seed}: feasible set missed");
