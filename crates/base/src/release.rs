@@ -68,7 +68,15 @@ pub trait ReleaseGen {
     type Item;
 
     /// Ready time of the next release without consuming it.
-    fn peek_ready(&mut self) -> Option<Time>;
+    ///
+    /// Takes `&self` — the same shape as [`MergedReleases::peek_ready`] —
+    /// so callers can probe "when is the next release?" on any generator,
+    /// single source or merge, without mutable access (the idle fast-
+    /// forward computes skip bounds from exactly this probe). In exchange,
+    /// implementations must keep their look-ahead *primed*: generate
+    /// enough at construction and after each `next_release` that peeking
+    /// is a pure read.
+    fn peek_ready(&self) -> Option<Time>;
 
     /// Consumes and returns the next `(ready, item)` release.
     fn next_release(&mut self) -> Option<(Time, Self::Item)>;
@@ -130,7 +138,7 @@ impl PeriodicReleases {
             !(mode == JitterMode::Random && jitter.is_positive() && rng.is_none()),
             "random jitter requires a seeded RNG"
         );
-        PeriodicReleases {
+        let mut gen = PeriodicReleases {
             next_arrival: offset,
             period,
             horizon,
@@ -139,7 +147,13 @@ impl PeriodicReleases {
             rng,
             next_index: 0,
             buffer: BinaryHeap::new(),
-        }
+        };
+        // Prime the look-ahead so `peek_ready` is a pure read (the
+        // `ReleaseGen::peek_ready` contract). Jitter draws stay in
+        // arrival-index order, so the per-source RNG stream is unchanged —
+        // draws just happen at construction instead of first peek.
+        gen.fill();
+        gen
     }
 
     /// Draws the jitter for arrival `index` (consuming RNG state for
@@ -188,16 +202,19 @@ impl PeriodicReleases {
 impl ReleaseGen for PeriodicReleases {
     type Item = u64;
 
-    fn peek_ready(&mut self) -> Option<Time> {
-        self.fill();
+    fn peek_ready(&self) -> Option<Time> {
+        // The buffer is primed at construction and after every pop, so
+        // its minimum is always the true next ready time.
         self.buffer.peek().map(|&Reverse((ready, _))| ready)
     }
 
     fn next_release(&mut self) -> Option<(Time, u64)> {
-        self.fill();
-        self.buffer
+        let popped = self
+            .buffer
             .pop()
-            .map(|Reverse((ready, index))| (ready, index))
+            .map(|Reverse((ready, index))| (ready, index));
+        self.fill(); // re-prime the look-ahead for the next peek
+        popped
     }
 
     fn buffered(&self) -> usize {
@@ -380,8 +397,9 @@ mod tests {
         while g.next_release().is_some() {
             peak = peak.max(g.buffered());
         }
-        // ⌈J/T⌉ + 1 = 6 plus one in-flight slot of slack.
-        assert!(peak <= 7, "peak buffer {peak} not O(J/T)");
+        // ⌈J/T⌉ + 1 = 6 plus the re-primed slot the `peek_ready`
+        // invariant keeps filled after each pop, plus one of slack.
+        assert!(peak <= 8, "peak buffer {peak} not O(J/T)");
     }
 
     #[test]
@@ -416,7 +434,7 @@ mod tests {
     impl ReleaseGen for Tagged {
         type Item = (usize, u64);
 
-        fn peek_ready(&mut self) -> Option<Time> {
+        fn peek_ready(&self) -> Option<Time> {
             self.inner.peek_ready()
         }
 
@@ -490,7 +508,9 @@ mod tests {
         let a = PeriodicReleases::new(t(0), t(10), t(100));
         let b = PeriodicReleases::new(t(0), t(10), t(100));
         let m = MergedReleases::new(vec![a, b]);
-        assert_eq!(m.buffered(), 2); // one head each, no look-ahead
+        // One head each, plus the one-slot look-ahead each source keeps
+        // primed for `peek_ready`.
+        assert_eq!(m.buffered(), 4);
     }
 
     #[test]

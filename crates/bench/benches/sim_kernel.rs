@@ -1,7 +1,7 @@
 //! `sim_kernel` bench: the streaming simulation kernel against the
 //! pre-materialized baseline, over pinned fixtures.
 //!
-//! Three fixtures bracket the design space:
+//! The fixtures bracket the design space:
 //!
 //! * `dense_long_horizon` — 3 masters × 6 short-period streams over a
 //!   20M-tick horizon (~100k releases): the baseline materializes, sorts
@@ -21,14 +21,22 @@
 //!   the mode controller armed: records the mode machinery's overhead
 //!   against the churn-only loop (and asserts the armed controller is a
 //!   result-no-op on all-HI traffic first).
+//! * `sparse_long_horizon` — long-period traffic over a 100M-tick
+//!   horizon: almost every token rotation is idle, so the run is
+//!   dominated by rotation bookkeeping unless the kernel fast-forwards
+//!   idle spans in O(1). The fixture the `ffwd_speedup` floor watches.
 //!
 //! Besides the criterion groups, the bench writes `BENCH_sim.json`
 //! (workspace `target/` by default, `BENCH_SIM_JSON` overrides) — the
 //! perf baseline artifact CI uploads, recording per-fixture mean ns for
-//! both engines and the streaming/materialized speedup. Before timing,
-//! the bench asserts static-fixture result equality between the kernel
-//! and the reference, and churn-fixture determinism — a perf artifact
-//! from disagreeing engines would be meaningless.
+//! both engines, the streaming/materialized speedup, and — for every
+//! static fixture — `unskipped_ns`/`ffwd_speedup`: the same kernel with
+//! `fast_forward` disabled, so the idle-span skip's win (sparse) and
+//! non-regression (dense) are both on record. Before timing, the bench
+//! asserts static-fixture result equality between the kernel and the
+//! reference (with the fast-forward on — the skip is inside the equality
+//! pin), and churn-fixture determinism — a perf artifact from
+//! disagreeing engines would be meaningless.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -127,6 +135,29 @@ fn mc_churn() -> (SimNetwork, NetworkSimConfig) {
     (net, cfg)
 }
 
+/// Pinned sparse fixture: periods three to four orders of magnitude above
+/// the rotation time, over a 100M-tick horizon. Without the idle-span
+/// fast-forward the kernel walks ~300k idle rotations (~600k visits);
+/// with it the visit count tracks the ~500 releases instead.
+fn sparse_long_horizon() -> (SimNetwork, NetworkSimConfig) {
+    let mk_master = |shift: i64| {
+        let streams =
+            StreamSet::from_cdt(&[(120, 400_000, 1_000_000 + shift), (90, 800_000, 2_000_000)])
+                .unwrap();
+        SimMaster::stock(streams)
+    };
+    let net = SimNetwork {
+        masters: vec![mk_master(0), mk_master(7_000)],
+        ttr: Time::new(4_000),
+        token_pass: Time::new(166),
+    };
+    let cfg = NetworkSimConfig {
+        horizon: Time::new(100_000_000),
+        ..Default::default()
+    };
+    (net, cfg)
+}
+
 fn net_labels(m: &mut SimMaster) {
     m.criticality = (0..m.streams.len())
         .map(|i| {
@@ -142,10 +173,21 @@ fn net_labels(m: &mut SimMaster) {
 fn fixtures() -> Vec<(&'static str, SimNetwork, NetworkSimConfig)> {
     let (d_net, d_cfg) = dense_long_horizon();
     let (l_net, l_cfg) = lp_backlog();
+    let (s_net, s_cfg) = sparse_long_horizon();
     vec![
         ("dense_long_horizon", d_net, d_cfg),
         ("lp_backlog", l_net, l_cfg),
+        ("sparse_long_horizon", s_net, s_cfg),
     ]
+}
+
+/// The same config with the idle-span fast-forward disabled: the
+/// per-visit reference loop the `ffwd_speedup` records compare against.
+fn no_ffwd(cfg: &NetworkSimConfig) -> NetworkSimConfig {
+    NetworkSimConfig {
+        fast_forward: false,
+        ..cfg.clone()
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -159,6 +201,15 @@ fn bench(c: &mut Criterion) {
             b.iter(|| simulate_network_materialized(black_box(&net), &cfg))
         });
     }
+    // The sparse fixture without the idle-span skip: the gap between this
+    // and `streaming/sparse_long_horizon` is the fast-forward's win.
+    let (sparse_net, sparse_cfg) = sparse_long_horizon();
+    let sparse_off = no_ffwd(&sparse_cfg);
+    group.bench_with_input(
+        BenchmarkId::new("unskipped", "sparse_long_horizon"),
+        &(),
+        |b, ()| b.iter(|| simulate_network(black_box(&sparse_net), &sparse_off)),
+    );
     let (churn_net, churn_cfg) = churn_ring();
     group.bench_with_input(BenchmarkId::new("streaming", "churn_ring"), &(), |b, ()| {
         b.iter(|| simulate_network(black_box(&churn_net), &churn_cfg))
@@ -187,11 +238,19 @@ fn write_baseline(full: bool) {
     let mut rows = Vec::new();
     for (label, net, cfg) in fixtures() {
         // Verdict check before timing: the engines must agree on every
-        // static fixture or the speedup numbers are meaningless.
+        // static fixture or the speedup numbers are meaningless. The
+        // default config fast-forwards idle spans, so the idle-span skip
+        // sits inside this equality pin; the explicit unskipped run must
+        // land on the identical result too.
         assert_eq!(
             simulate_network(&net, &cfg),
             simulate_network_materialized(&net, &cfg),
             "engine disagreement on {label}"
+        );
+        assert_eq!(
+            simulate_network(&net, &cfg),
+            simulate_network(&net, &no_ffwd(&cfg)),
+            "fast-forward changed the result on {label}"
         );
         let streaming = mean_ns(iters, || {
             black_box(simulate_network(black_box(&net), &cfg));
@@ -199,12 +258,17 @@ fn write_baseline(full: bool) {
         let materialized = mean_ns(iters, || {
             black_box(simulate_network_materialized(black_box(&net), &cfg));
         });
+        let unskipped = mean_ns(iters, || {
+            black_box(simulate_network(black_box(&net), &no_ffwd(&cfg)));
+        });
         rows.push(json::object([
             ("fixture", Value::Str(label.to_string())),
             ("horizon_ticks", Value::Int(cfg.horizon.ticks())),
             ("streaming_ns", Value::Float(streaming)),
             ("materialized_ns", Value::Float(materialized)),
             ("speedup", Value::Float(materialized / streaming)),
+            ("unskipped_ns", Value::Float(unskipped)),
+            ("ffwd_speedup", Value::Float(unskipped / streaming)),
         ]));
     }
     // Churn fixture: kernel-only (the reference is static-ring-gated);

@@ -176,6 +176,11 @@ pub struct SimObservation {
     pub hi_stable_max_responses: Vec<Vec<Time>>,
     /// High-priority cycles counted as degraded-calm samples.
     pub hi_stable_samples: u64,
+    /// Token visits the kernel actually executed (`sim_visits` column).
+    pub visits_simulated: u64,
+    /// Idle rotations fast-forwarded arithmetically instead of being
+    /// walked visit by visit (`sim_ffwd` column).
+    pub rotations_fast_forwarded: u64,
 }
 
 /// Simulates with the statistics observers attached and summarises the
@@ -211,7 +216,7 @@ pub fn sim_observed_with(
     let mut trr = TrrStats::with_ring_size(initial);
     let mut ring = RingStats::new(initial);
     let mut mode = ModeStats::new(&net);
-    run_network(
+    let mem = run_network(
         &net,
         &cfg,
         &mut [
@@ -247,6 +252,8 @@ pub fn sim_observed_with(
         lo_shed_ratio: mode.lo_shed_ratio(),
         hi_stable_max_responses: stable.hi_max_responses,
         hi_stable_samples: stable.hi_samples,
+        visits_simulated: mem.visits_simulated,
+        rotations_fast_forwarded: mem.rotations_fast_forwarded,
     }
 }
 

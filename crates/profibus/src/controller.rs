@@ -298,6 +298,24 @@ impl RingController {
         self.gap[slot].as_mut()?.on_token_visit(ring)
     }
 
+    /// Token visits of `slot` until its next GAP poll becomes due, or
+    /// `None` when GAP maintenance is not armed for it (polling disabled,
+    /// or not an active member). Read-only companion of
+    /// [`RingController::gap_poll_due`] for the idle fast-forward's span
+    /// capping.
+    pub fn gap_visits_until_due(&self, slot: usize) -> Option<u32> {
+        self.gap[slot].as_ref().map(GapState::visits_until_due)
+    }
+
+    /// Bulk-advances `slot`'s GAP visit counter by `n` poll-free visits
+    /// (see [`GapState::advance_visits`]); a no-op when GAP maintenance is
+    /// not armed.
+    pub fn gap_advance_visits(&mut self, slot: usize, n: u32) {
+        if let Some(gap) = self.gap[slot].as_mut() {
+            gap.advance_visits(n);
+        }
+    }
+
     /// The station that re-originates a vanished token: the lowest-address
     /// powered LAS member, or — when the whole ring is dead — the
     /// lowest-address powered listener. `None` when no station is powered.
@@ -470,6 +488,27 @@ mod tests {
         assert!(!c.is_wrap_point(0));
         c.drop_member(1);
         assert!(c.is_wrap_point(0));
+    }
+
+    #[test]
+    fn gap_fast_forward_counters_match_per_visit() {
+        let mut per_visit = controller(&[0, 3], 4);
+        per_visit.boot_in_ring(0);
+        per_visit.boot_in_ring(1);
+        assert_eq!(per_visit.gap_visits_until_due(0), Some(4));
+        let mut bulk = per_visit.clone();
+        for _ in 0..3 {
+            assert_eq!(per_visit.gap_poll_due(0), None);
+        }
+        bulk.gap_advance_visits(0, 3);
+        assert_eq!(per_visit, bulk);
+        assert_eq!(bulk.gap_visits_until_due(0), Some(1));
+        assert_eq!(per_visit.gap_poll_due(0), bulk.gap_poll_due(0));
+        // Unarmed slots: no due counter, bulk advances are no-ops.
+        let mut off = controller(&[0, 3], 0);
+        off.boot_in_ring(0);
+        assert_eq!(off.gap_visits_until_due(0), None);
+        off.gap_advance_visits(0, 7);
     }
 
     #[test]

@@ -89,6 +89,31 @@ impl GapState {
         Some(target)
     }
 
+    /// Token visits by this master until its next poll becomes due
+    /// (always ≥ 1: a poll-due visit resets the counter first). The idle
+    /// fast-forward uses this to cap a skipped span strictly before any
+    /// holder's poll boundary.
+    pub fn visits_until_due(&self) -> u32 {
+        self.update_factor - self.visits_since_poll
+    }
+
+    /// Advances the visit counter by `n` poll-free visits in O(1) — the
+    /// bulk form of `n` calls to [`GapState::on_token_visit`] that all
+    /// return before the due check fires.
+    ///
+    /// # Panics
+    /// Panics (debug) when the span would cross the poll boundary
+    /// (`n >= visits_until_due()`); callers must cap spans first.
+    pub fn advance_visits(&mut self, n: u32) {
+        debug_assert!(
+            n < self.visits_until_due(),
+            "bulk GAP advance of {n} visits crosses the poll boundary \
+             ({} visits until due)",
+            self.visits_until_due()
+        );
+        self.visits_since_poll += n;
+    }
+
     /// Folds a poll result into the ring: a ready master joins.
     ///
     /// Returns `true` if the ring changed.
@@ -129,6 +154,25 @@ mod tests {
         assert_eq!(gap.on_token_visit(&r), Some(MasterAddr(2)));
         assert_eq!(gap.on_token_visit(&r), Some(MasterAddr(3)));
         assert_eq!(gap.on_token_visit(&r), Some(MasterAddr(2)));
+    }
+
+    #[test]
+    fn bulk_advance_matches_per_visit_counting() {
+        let r = ring(&[1, 5]);
+        let mut per_visit = GapState::new(MasterAddr(1), 5);
+        let mut bulk = GapState::new(MasterAddr(1), 5);
+        assert_eq!(per_visit.visits_until_due(), 5);
+        for _ in 0..3 {
+            assert_eq!(per_visit.on_token_visit(&r), None);
+        }
+        bulk.advance_visits(3);
+        assert_eq!(per_visit, bulk);
+        assert_eq!(per_visit.visits_until_due(), 2);
+        // Both reach the due poll on the same visit with the same target.
+        assert_eq!(per_visit.on_token_visit(&r), None);
+        assert_eq!(bulk.on_token_visit(&r), None);
+        assert_eq!(per_visit.on_token_visit(&r), Some(MasterAddr(2)));
+        assert_eq!(bulk.on_token_visit(&r), Some(MasterAddr(2)));
     }
 
     #[test]

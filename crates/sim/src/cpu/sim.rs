@@ -291,7 +291,12 @@ pub fn run_cpu(
         match (&mut running, next_rel) {
             (None, None) => break, // idle and nothing left to release
             (None, Some(r)) => {
-                now = r; // idle until the next release
+                // The CPU analogue of the network kernels' idle
+                // fast-forward: an idle processor has no token rotations
+                // or timers to maintain, so the clock jumps straight to
+                // the next release in O(1) — no events are elided because
+                // an idle CPU emits none.
+                now = r;
             }
             (Some(job), next) => {
                 let completion = now + job.remaining;

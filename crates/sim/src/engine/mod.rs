@@ -7,5 +7,5 @@ pub mod observer;
 pub mod rng;
 
 pub use event::{EventQueue, KeyedHeap};
-pub use observer::{HistSummary, Observer, TickHistogram};
+pub use observer::{replay_span, HistSummary, IdleSpan, Observer, TickHistogram};
 pub use rng::SimRng;

@@ -22,6 +22,52 @@ use profirt_base::Time;
 pub trait Observer<E> {
     /// Consumes one event.
     fn observe(&mut self, at: Time, event: &E);
+
+    /// Consumes a compressed idle span: `span.rotations` repetitions of
+    /// the one-rotation event pattern in `span.pattern`, the first
+    /// starting at `span.start` and each subsequent one `span.period`
+    /// later. The kernel only emits spans whose replay is event-for-event
+    /// identical to what the unskipped loop would have produced, so the
+    /// default implementation — literally replaying every rotation via
+    /// [`replay_span`] — keeps any observer byte-correct with zero
+    /// changes. Hot observers override this with O(1) batched ingestion;
+    /// an override must be *semantically equal to the replay* for every
+    /// possible span, not just the spans a particular kernel happens to
+    /// produce.
+    fn on_idle_span(&mut self, span: &IdleSpan<'_, E>) {
+        replay_span(self, span);
+    }
+}
+
+/// A run of identical idle token rotations, compressed by the kernel's
+/// idle fast-forward (see `sim::network::kernel`). The concatenation of
+/// `rotations` copies of `pattern` — copy `r` shifted by `start +
+/// r·period` — is exactly the event stream the unskipped loop would have
+/// emitted over the span.
+#[derive(Debug)]
+pub struct IdleSpan<'a, E> {
+    /// Start instant of the first rotation.
+    pub start: Time,
+    /// Duration of one rotation (the full ring cost).
+    pub period: Time,
+    /// Number of rotations compressed into this span (≥ 1).
+    pub rotations: u64,
+    /// Event pattern of one rotation as `(offset, event)` pairs, offsets
+    /// relative to the rotation's start and nondecreasing.
+    pub pattern: &'a [(Time, E)],
+}
+
+/// Replays `span` event by event into `obs` — the reference semantics of
+/// [`Observer::on_idle_span`], and its default implementation. O(1)
+/// overrides are tested against this replay for equivalence.
+pub fn replay_span<E, O: Observer<E> + ?Sized>(obs: &mut O, span: &IdleSpan<'_, E>) {
+    let mut base = span.start;
+    for _ in 0..span.rotations {
+        for (offset, event) in span.pattern {
+            obs.observe(base + *offset, event);
+        }
+        base += span.period;
+    }
 }
 
 /// Linear buckets below `2^LINEAR_BITS`.
@@ -106,10 +152,21 @@ impl TickHistogram {
 
     /// Records one sample (negative values clamp to zero).
     pub fn record(&mut self, value: Time) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples in O(1) — the run-length ingestion
+    /// path of the idle fast-forward (`n` equal TRR measurements cost one
+    /// bucket increment, not `n`). Exactly equivalent to calling
+    /// [`TickHistogram::record`] `n` times; a no-op when `n == 0`.
+    pub fn record_n(&mut self, value: Time, n: u64) {
+        if n == 0 {
+            return;
+        }
         let v = value.ticks().max(0);
-        self.counts[bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v as i128;
+        self.counts[bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v as i128 * n as i128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -290,6 +347,58 @@ mod tests {
                 "upper {ub} too loose for {v}"
             );
         }
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let mut one_by_one = TickHistogram::new();
+        let mut batched = TickHistogram::new();
+        for &(v, n) in &[(0i64, 3u64), (127, 5), (1_000, 64), (-4, 2), (1 << 40, 7)] {
+            for _ in 0..n {
+                one_by_one.record(t(v));
+            }
+            batched.record_n(t(v), n);
+        }
+        batched.record_n(t(99), 0); // no-op
+        assert_eq!(one_by_one.count(), batched.count());
+        assert_eq!(one_by_one.min(), batched.min());
+        assert_eq!(one_by_one.max(), batched.max());
+        assert_eq!(one_by_one.mean(), batched.mean());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one_by_one.quantile(q), batched.quantile(q));
+        }
+    }
+
+    #[test]
+    fn default_on_idle_span_replays_every_rotation() {
+        struct Collect(Vec<(Time, u32)>);
+        impl Observer<u32> for Collect {
+            fn observe(&mut self, at: Time, event: &u32) {
+                self.0.push((at, *event));
+            }
+        }
+        let pattern = [(t(0), 7u32), (t(5), 8), (t(5), 9)];
+        let mut c = Collect(Vec::new());
+        c.on_idle_span(&IdleSpan {
+            start: t(100),
+            period: t(10),
+            rotations: 3,
+            pattern: &pattern,
+        });
+        assert_eq!(
+            c.0,
+            vec![
+                (t(100), 7),
+                (t(105), 8),
+                (t(105), 9),
+                (t(110), 7),
+                (t(115), 8),
+                (t(115), 9),
+                (t(120), 7),
+                (t(125), 8),
+                (t(125), 9),
+            ]
+        );
     }
 
     #[test]

@@ -264,6 +264,14 @@ pub struct NetworkSimConfig {
     /// Mixed-criticality mode controller (see
     /// [`crate::network::mode::ModeController`]). Disabled by default.
     pub mode: ModeSimConfig,
+    /// Enables the idle-span fast-forward (see the module docs of
+    /// [`crate::network::kernel`]'s source): runs of idle token rotations
+    /// are skipped arithmetically and handed to observers as compressed
+    /// [`crate::engine::IdleSpan`]s, with an event stream byte-identical
+    /// to the unskipped loop. On by default; the differential tests and
+    /// the speedup benchmark disable it to run the per-visit loop as the
+    /// reference.
+    pub fast_forward: bool,
 }
 
 impl NetworkSimConfig {
@@ -290,6 +298,7 @@ impl Default for NetworkSimConfig {
             gap_factor: 0,
             membership: MembershipPlan::new(),
             mode: ModeSimConfig::default(),
+            fast_forward: true,
         }
     }
 }

@@ -50,23 +50,34 @@ use profirt_workload::{
     low_priority_release_gens, stream_release_gens, LowPriorityReleases, StreamReleases,
 };
 
-use crate::engine::{EventQueue, Observer, SimRng};
+use crate::engine::{EventQueue, IdleSpan, Observer, SimRng};
 use crate::network::config::{MembershipAction, NetworkSimConfig, SimMaster, SimNetwork};
 use crate::network::mode::{ModeController, ModeTransition};
 use crate::network::observe::NetEvent;
 
-/// Peak memory indicators of one kernel run, used to pin the O(streams)
-/// memory contract in tests (counts, not bytes — both scale together).
+/// Run statistics of one kernel execution: the peak memory indicators
+/// that pin the O(streams) memory contract in tests (counts, not bytes —
+/// both scale together), plus the executed-work counters of the idle
+/// fast-forward.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct KernelMemStats {
     /// Largest number of releases buffered inside any master's merged
-    /// generators at a token arrival (heads + jitter look-ahead). Bounded
-    /// by `streams + Σ ⌈J/T⌉` independent of the horizon.
+    /// generators at a token arrival (heads + primed look-ahead slots +
+    /// jitter look-ahead). Bounded by `2·streams + Σ ⌈J/T⌉` independent
+    /// of the horizon.
     pub peak_release_buffer: usize,
     /// Largest number of requests pending in any master's AP + stack +
     /// low-priority queues at a token arrival (the actual backlog, which
     /// is workload-dependent).
     pub peak_pending: usize,
+    /// Token visits actually executed by the per-visit loop. Visits
+    /// inside fast-forwarded idle spans are *not* counted — on sparse
+    /// workloads this stays sublinear in the horizon (pinned in tests).
+    pub visits_simulated: u64,
+    /// Whole idle token rotations skipped arithmetically by the idle
+    /// fast-forward (zero when `fast_forward` is off or the run never
+    /// went idle for a full rotation).
+    pub rotations_fast_forwarded: u64,
 }
 
 /// The token-loss recovery rule of the static ring: the lowest-address
@@ -281,6 +292,8 @@ fn visit(
     observers: &mut [&mut dyn Observer<NetEvent>],
     shed_lo: bool,
 ) -> Time {
+    mem.visits_simulated += 1;
+
     // TRR measurement: the timer records arrival-to-arrival spans
     // (reported from the second arrival on).
     let prev_start = m.timer.trr_started_at();
@@ -439,6 +452,73 @@ pub fn run_network(
     mem
 }
 
+/// Whole idle rotations skippable from `now`, from queue state alone:
+/// the horizon cap (every span visit must sit strictly before `horizon`,
+/// like the per-visit loop's `now < horizon` check would place it) taken
+/// to the earliest pending release across all masters (the span must pull
+/// nothing, so its last visit stays strictly before every
+/// `peek_ready`). Non-positive — no skip — when any master has backlog:
+/// a span is pure token circulation, nothing may be queued anywhere.
+///
+/// Callers layer their own caps (scripted membership events, GAP-poll
+/// boundaries, mode-controller arming) on top of this bound.
+fn idle_rotation_cap(
+    masters: &[MasterKernel],
+    now: Time,
+    rotation: Time,
+    horizon: Time,
+    token_pass: Time,
+) -> i64 {
+    let r = rotation.ticks();
+    // Last span visit at `now + k·R − tp < horizon`.
+    let mut k = ((horizon - now + token_pass).ticks() - 1) / r;
+    for m in masters {
+        if !(m.ap.is_empty() && m.stack.is_empty() && m.lp_pending.is_empty()) {
+            return 0;
+        }
+        for next in [m.next_high, m.next_low].into_iter().flatten() {
+            if next <= now {
+                return 0;
+            }
+            k = k.min((next - now).ticks() / r);
+        }
+    }
+    k
+}
+
+/// Commits one fast-forwarded span: hands the compressed rotations to
+/// every observer (the default implementation replays them; hot
+/// observers ingest in O(1)) and fast-forwards each visited master's
+/// token timer to its **last** span arrival, so the next executed visit
+/// measures the same TRR the unskipped loop would have. The visit order
+/// is read back off the pattern's `TokenArrival` entries.
+fn apply_idle_span(
+    masters: &mut [MasterKernel],
+    observers: &mut [&mut dyn Observer<NetEvent>],
+    pattern: &[(Time, NetEvent)],
+    start: Time,
+    rotation: Time,
+    k: i64,
+    mem: &mut KernelMemStats,
+) {
+    let span = IdleSpan {
+        start,
+        period: rotation,
+        rotations: k as u64,
+        pattern,
+    };
+    for obs in observers.iter_mut() {
+        obs.on_idle_span(&span);
+    }
+    let last_base = start + rotation * (k - 1);
+    for (offset, ev) in pattern {
+        if let NetEvent::TokenArrival { master, .. } = ev {
+            let _ = masters[*master].timer.on_token_arrival(last_base + *offset);
+        }
+    }
+    mem.rotations_fast_forwarded += k as u64;
+}
+
 /// The static-ring fast path: the pre-churn token loop, event-stream
 /// byte-identical to the materialized reference.
 #[allow(clippy::too_many_arguments)]
@@ -453,10 +533,56 @@ fn run_static(
 ) {
     let (claimant, recovery_timeout) = recovery_rule(net, config);
     let n_masters = masters.len();
+    let rotation = net.token_pass * n_masters as i64;
+    // The idle fast-forward needs determinism over the skipped span: with
+    // token loss armed every pass draws from the loss RNG, so skipping
+    // would desynchronise the fault stream. Loss-free runs (the default)
+    // draw nothing on idle visits and can skip freely.
+    let fast_forward = config.fast_forward && config.token_loss_prob <= 0.0;
+    // Consecutive executed visits that served nothing and advanced no
+    // simulation time over a clean token hop. Once every master went
+    // idle in turn (`idle_streak >= n_masters`), all token timers are
+    // rotation-aligned: each master's last arrival sits exactly one ring
+    // cost back, so the next rotations emit the constant pattern
+    // `TokenArrival { tth: TTR − R, trr: Some(R) }` / `TokenPass` until
+    // a release comes due.
+    let mut idle_streak = 0usize;
+    let mut pattern: Vec<(Time, NetEvent)> = Vec::new();
     let mut now = Time::ZERO;
     let mut holder = 0usize;
     while now < config.horizon {
-        now = visit(
+        if fast_forward && idle_streak >= n_masters {
+            let k = idle_rotation_cap(masters, now, rotation, config.horizon, net.token_pass);
+            if k >= 1 {
+                pattern.clear();
+                let tth = net.ttr - rotation;
+                for j in 0..n_masters {
+                    let m = (holder + j) % n_masters;
+                    pattern.push((
+                        net.token_pass * j as i64,
+                        NetEvent::TokenArrival {
+                            master: m,
+                            tth,
+                            trr: Some(rotation),
+                        },
+                    ));
+                    pattern.push((
+                        net.token_pass * (j + 1) as i64,
+                        NetEvent::TokenPass {
+                            from: m,
+                            to: (m + 1) % n_masters,
+                        },
+                    ));
+                }
+                apply_idle_span(masters, observers, &pattern, now, rotation, k, mem);
+                now += rotation * k;
+                // After k whole rotations the token is back at `holder`,
+                // and the streak (still idle) carries over.
+                continue;
+            }
+        }
+
+        let served_until = visit(
             &mut masters[holder],
             holder,
             now,
@@ -465,6 +591,12 @@ fn run_static(
             observers,
             false,
         );
+        idle_streak = if served_until == now {
+            idle_streak + 1
+        } else {
+            0
+        };
+        now = served_until;
 
         // Step 5: pass the token (possibly losing it).
         now += net.token_pass;
@@ -475,6 +607,7 @@ fn run_static(
             now += recovery_timeout;
             emit(observers, now, NetEvent::Recovery { claimant });
             holder = claimant;
+            idle_streak = 0;
         } else {
             let next = (holder + 1) % n_masters;
             emit(
@@ -527,6 +660,17 @@ fn run_dynamic(
         ModeController::new(net.ttr, net.masters.len(), initial, config.mode)
     });
 
+    let n_masters = masters.len();
+    let rotation = net.token_pass * n_masters as i64;
+    // See `run_static`: skipping is only sound when idle passes draw no
+    // loss RNG, i.e. in loss-free runs.
+    let fast_forward = config.fast_forward && config.token_loss_prob <= 0.0;
+    // Consecutive executed visits that were pure token hops: no serving,
+    // no GAP poll, no retries — each exactly one `token_pass` apart. Any
+    // membership disturbance resets it.
+    let mut idle_streak = 0usize;
+    let mut pattern: Vec<(Time, NetEvent)> = Vec::new();
+
     let mut now = Time::ZERO;
     // The first holder is the first initially-on master in ring-vector
     // order (ring index 0 when it is powered — matching the static loop).
@@ -537,6 +681,7 @@ fn run_dynamic(
         while events.get(next_event).is_some_and(|e| e.at <= now) {
             let e = events[next_event];
             next_event += 1;
+            idle_streak = 0;
             match e.action {
                 MembershipAction::PowerOn => {
                     if ctrl.power_on(e.master) {
@@ -554,6 +699,7 @@ fn run_dynamic(
 
         // No token on the bus: silence until a claim timeout fires.
         let Some(h) = holder else {
+            idle_streak = 0;
             match ctrl.claimant() {
                 Some(c) => {
                     now += token_recovery_timeout(&bus, ctrl.addr_of(c));
@@ -582,6 +728,79 @@ fn run_dynamic(
             continue;
         };
 
+        // Idle fast-forward: inside a clean full-ring phase — every
+        // station powered and a LAS member (so no listeners exist and
+        // `observe_wrap` is a no-op), the last `n` visits pure token
+        // hops — the next rotations are a fixed periodic pattern whose
+        // per-visit FDL transitions cycle every station back to
+        // `ActiveIdle`. Skip k of them in O(1), capped by the release
+        // backlog/horizon bound, strictly before the next scripted
+        // membership event (loop tops are one `token_pass` apart during
+        // idle spans, so requiring `now + k·R ≤ event.at` preserves the
+        // application instant), and strictly before every armed GAP
+        // poll boundary.
+        if fast_forward
+            && idle_streak >= n_masters
+            && ctrl.ring_size() == n_masters
+            && (0..n_masters).all(|s| !ctrl.is_offline(s))
+        {
+            let mut k = idle_rotation_cap(masters, now, rotation, config.horizon, net.token_pass);
+            if let Some(e) = events.get(next_event) {
+                k = k.min((e.at - now).ticks() / rotation.ticks());
+            }
+            for s in 0..n_masters {
+                if let Some(due) = ctrl.gap_visits_until_due(s) {
+                    k = k.min(due as i64 - 1);
+                }
+            }
+            if k >= 1 {
+                // Idle rotations measure TRR = R ≤ TTR exactly, so they
+                // can never trip the TRR-overload degrade trigger;
+                // `on_idle_span` batches the k·n arrivals and refuses
+                // the span only when a transition (a match-up deadline)
+                // would fire inside it — then we fall back to per-visit
+                // simulation, which fires it at the right arrival.
+                let mode_ok = match &mut mode_ctrl {
+                    Some(mc) => mc.on_idle_span(now, now + rotation * k - net.token_pass, rotation),
+                    None => true,
+                };
+                if mode_ok {
+                    pattern.clear();
+                    let tth = net.ttr - rotation;
+                    let mut cur = h;
+                    for j in 0..n_masters {
+                        let next = ctrl.successor(cur).expect("full ring");
+                        pattern.push((
+                            net.token_pass * j as i64,
+                            NetEvent::TokenArrival {
+                                master: cur,
+                                tth,
+                                trr: Some(rotation),
+                            },
+                        ));
+                        pattern.push((
+                            net.token_pass * (j + 1) as i64,
+                            NetEvent::TokenPass {
+                                from: cur,
+                                to: next,
+                            },
+                        ));
+                        cur = next;
+                    }
+                    debug_assert_eq!(cur, h, "whole rotations return the token to its holder");
+                    apply_idle_span(masters, observers, &pattern, now, rotation, k, mem);
+                    for s in 0..n_masters {
+                        // Capped above at `due − 1`, so this never
+                        // crosses a poll boundary; a no-op when GAP
+                        // polling is disabled.
+                        ctrl.gap_advance_visits(s, k as u32);
+                    }
+                    now += rotation * k;
+                    continue;
+                }
+            }
+        }
+
         // Token visit at `h`.
         ctrl.deliver_token(h);
         if ctrl.is_wrap_point(h) {
@@ -601,11 +820,14 @@ fn run_dynamic(
             }
             None => false,
         };
-        now = visit(&mut masters[h], h, now, durations, mem, observers, shed_lo);
+        let served_until = visit(&mut masters[h], h, now, durations, mem, observers, shed_lo);
+        let mut clean_hop = served_until == now;
+        now = served_until;
 
         // GAP maintenance: one Request FDL Status every G visits,
         // consuming real token-holding time.
         if let Some(target) = ctrl.gap_poll_due(h) {
+            clean_hop = false;
             let target_slot = ctrl.slot_of(target).filter(|&s| !ctrl.is_offline(s));
             let admitted = target_slot.filter(|&s| ctrl.ready_to_join(s));
             let start = now;
@@ -644,6 +866,7 @@ fn run_dynamic(
                 ctrl.claim(c);
                 emit(observers, now, NetEvent::Recovery { claimant: c });
                 holder = Some(c);
+                clean_hop = false;
                 break;
             }
             if succ == h || ctrl.accepts_token(succ) {
@@ -661,10 +884,12 @@ fn run_dynamic(
             // frame was already spent above.
             now += bus.slot_time + (net.token_pass + bus.slot_time) * (attempts - 1);
             ctrl.drop_member(succ);
+            clean_hop = false;
             emit(observers, now, NetEvent::MasterLeave { master: succ });
             if let Some(mc) = &mut mode_ctrl {
                 emit_transition(mc.on_membership(now, false), now, observers);
             }
         }
+        idle_streak = if clean_hop { idle_streak + 1 } else { 0 };
     }
 }

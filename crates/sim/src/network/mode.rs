@@ -195,6 +195,51 @@ impl ModeController {
         }
         None
     }
+
+    /// Batch-feeds an idle span of token arrivals — every arrival
+    /// measuring the same full-ring rotation `trr`, the first at `first`,
+    /// the last at `last` — in O(1). Returns `true` when the whole span
+    /// was absorbed with *no transition possible at any arrival in it*
+    /// (the state afterwards equals feeding each arrival through
+    /// [`ModeController::on_token_arrival`]). Returns `false`, mutating
+    /// nothing, when some arrival in the span could fire a transition:
+    /// the kernel must then fall back to per-visit simulation so the
+    /// transition is emitted at its exact instant. This is the assertion
+    /// the fast-forward relies on — a skipped idle span can never trip
+    /// the TRR-overload trigger or swallow a match-up.
+    ///
+    /// Callers must hold the span preconditions: full ring membership
+    /// throughout (no shrink trigger can arise) and a constant `trr`.
+    pub fn on_idle_span(&mut self, first: Time, last: Time, trr: Time) -> bool {
+        debug_assert!(
+            self.size == self.full_size,
+            "idle spans require a full ring"
+        );
+        debug_assert!(first <= last);
+        if !self.degraded {
+            // LO mode: a clean rotation resets the overload streak at
+            // every arrival. An overloaded idle rotation (TTR below the
+            // ring cost) could degrade mid-span — refuse the batch.
+            if trr > self.ttr * self.cfg.degrade_factor as i64 {
+                return false;
+            }
+            self.over_streak = 0;
+            return true;
+        }
+        // HI mode: dirty idle rotations only reset the clean streak;
+        // clean ones make match-up progress, and the span must stop
+        // strictly before the match-up would complete.
+        if trr > self.ttr {
+            self.clean_since = None;
+            return true;
+        }
+        let since = self.clean_since.unwrap_or(first);
+        if last - since >= self.ttr * self.cfg.matchup_factor as i64 {
+            return false;
+        }
+        self.clean_since = Some(since);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +302,46 @@ mod tests {
         let got = c.on_token_arrival(t(4_200), Some(t(500)));
         assert_eq!(got, Some(ModeTransition::Matchup { waited: t(4_100) }));
         assert!(!c.degraded());
+    }
+
+    #[test]
+    fn idle_span_batches_match_per_arrival_feeding() {
+        // LO, clean rotations: batch == feeding every arrival.
+        let mut batch = ctrl();
+        let mut per = ctrl();
+        let trr = t(600);
+        assert!(batch.on_idle_span(t(100), t(1_900), trr));
+        for at in (100..2_000).step_by(200) {
+            assert_eq!(per.on_token_arrival(t(at), Some(trr)), None);
+        }
+        assert_eq!(batch.degraded(), per.degraded());
+
+        // LO, overloaded idle rotations (TTR below the ring cost): the
+        // batch refuses rather than arming the overload trigger.
+        let mut c = ModeController::new(t(100), 3, 3, ModeSimConfig::enabled());
+        assert!(!c.on_idle_span(t(0), t(10_000), t(600)));
+        assert!(!c.degraded(), "a refused span mutates nothing");
+
+        // HI, clean rotations short of the match-up span: absorbed.
+        let mut c = ctrl();
+        c.on_membership(t(0), false);
+        c.on_membership(t(50), true);
+        assert!(c.on_idle_span(t(100), t(1_500), t(600)));
+        assert!(c.degraded());
+        // Extending past matchup_factor·TTR of clean streak: refused, so
+        // the per-visit path emits the Matchup at its exact arrival.
+        assert!(!c.on_idle_span(t(1_600), t(2_200), t(600)));
+        assert_eq!(
+            c.on_token_arrival(t(2_100), Some(t(600))),
+            Some(ModeTransition::Matchup { waited: t(2_100) })
+        );
+
+        // HI, dirty idle rotations (TTR below ring cost) reset the clean
+        // streak, exactly like per-arrival feeding.
+        let mut c = ModeController::new(t(100), 3, 2, ModeSimConfig::enabled());
+        c.on_membership(t(10), true);
+        assert!(c.on_idle_span(t(20), t(5_000), t(600)));
+        assert!(c.degraded(), "dirty rotations never match up");
     }
 
     #[test]

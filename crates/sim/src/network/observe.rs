@@ -23,7 +23,7 @@
 use profirt_base::{Criticality, MasterAddr, StreamId, Time};
 use profirt_profibus::Request;
 
-use crate::engine::observer::{HistSummary, Observer, TickHistogram};
+use crate::engine::observer::{replay_span, HistSummary, IdleSpan, Observer, TickHistogram};
 use crate::network::config::SimNetwork;
 use crate::network::sim::{NetworkSimResult, StreamObservation};
 use crate::network::trace::{Trace, TraceEvent};
@@ -206,6 +206,38 @@ impl Observer<NetEvent> for ResultObserver {
             | NetEvent::Matchup { .. } => {}
         }
     }
+
+    /// O(pattern) batched ingestion: every counter a rotation bumps is
+    /// bumped `rotations` times at once; maxima are idempotent under
+    /// repetition, so one pass over the pattern is exact.
+    fn on_idle_span(&mut self, span: &IdleSpan<'_, NetEvent>) {
+        for (_, ev) in span.pattern {
+            match *ev {
+                NetEvent::TokenArrival { master, trr, .. } => {
+                    self.visits[master] += span.rotations;
+                    if let Some(trr) = trr {
+                        self.max_trr[master] = self.max_trr[master].max(trr);
+                    }
+                }
+                NetEvent::HighCycle {
+                    master,
+                    ref request,
+                    end,
+                    ..
+                } => {
+                    let obs = &mut self.streams[master][request.stream.0];
+                    obs.max_response = obs.max_response.max(end - request.release);
+                    obs.completed += span.rotations;
+                    if end > request.abs_deadline {
+                        obs.misses += span.rotations;
+                    }
+                }
+                NetEvent::LowCycle { master, .. } => self.low_completed[master] += span.rotations,
+                NetEvent::Recovery { .. } => self.recoveries += span.rotations,
+                _ => {}
+            }
+        }
+    }
 }
 
 /// Histogram of high-priority response times, pooled over all masters and
@@ -227,6 +259,16 @@ impl Observer<NetEvent> for ResponseStats {
     fn observe(&mut self, _at: Time, event: &NetEvent) {
         if let NetEvent::HighCycle { request, end, .. } = event {
             self.hist.record(*end - request.release);
+        }
+    }
+
+    /// O(pattern): each rotation would record the identical response
+    /// value, so the histogram ingests it as one run-length increment.
+    fn on_idle_span(&mut self, span: &IdleSpan<'_, NetEvent>) {
+        for (_, ev) in span.pattern {
+            if let NetEvent::HighCycle { request, end, .. } = ev {
+                self.hist.record_n(*end - request.release, span.rotations);
+            }
         }
     }
 }
@@ -300,6 +342,37 @@ impl Observer<NetEvent> for TrrStats {
             _ => {}
         }
     }
+
+    /// O(pattern) run-length ingestion of the span's rotation samples.
+    /// A pattern carrying membership events would change the ring size
+    /// mid-span, so that (never kernel-emitted) case replays instead.
+    fn on_idle_span(&mut self, span: &IdleSpan<'_, NetEvent>) {
+        let churns = span.pattern.iter().any(|(_, ev)| {
+            matches!(
+                ev,
+                NetEvent::MasterJoin { .. } | NetEvent::MasterLeave { .. }
+            )
+        });
+        if churns {
+            replay_span(self, span);
+            return;
+        }
+        for (_, ev) in span.pattern {
+            if let NetEvent::TokenArrival { trr: Some(trr), .. } = *ev {
+                self.hist.record_n(trr, span.rotations);
+                if let Some(size) = self.size {
+                    let hist = match self.by_size.binary_search_by_key(&size, |e| e.0) {
+                        Ok(i) => &mut self.by_size[i].1,
+                        Err(i) => {
+                            self.by_size.insert(i, (size, TickHistogram::default()));
+                            &mut self.by_size[i].1
+                        }
+                    };
+                    hist.record_n(trr, span.rotations);
+                }
+            }
+        }
+    }
 }
 
 /// Summary of one run's ring-membership dynamics.
@@ -371,6 +444,29 @@ impl Observer<NetEvent> for RingStats {
             NetEvent::GapPoll { .. } => self.summary.gap_polls += 1,
             NetEvent::Claim { .. } => self.summary.claims += 1,
             _ => {}
+        }
+    }
+
+    /// O(pattern): pure counter bumps multiply by the rotation count.
+    /// Membership events would move the size timeline mid-span, so that
+    /// (never kernel-emitted) case replays instead.
+    fn on_idle_span(&mut self, span: &IdleSpan<'_, NetEvent>) {
+        let churns = span.pattern.iter().any(|(_, ev)| {
+            matches!(
+                ev,
+                NetEvent::MasterJoin { .. } | NetEvent::MasterLeave { .. }
+            )
+        });
+        if churns {
+            replay_span(self, span);
+            return;
+        }
+        for (_, ev) in span.pattern {
+            match ev {
+                NetEvent::GapPoll { .. } => self.summary.gap_polls += span.rotations,
+                NetEvent::Claim { .. } => self.summary.claims += span.rotations,
+                _ => {}
+            }
         }
     }
 }
@@ -480,6 +576,27 @@ impl Observer<NetEvent> for StableResponseObserver {
             _ => {}
         }
     }
+
+    /// O(1) for kernel-emitted idle spans: token arrivals and passes
+    /// neither disturb a stable phase nor produce samples, so the span is
+    /// a no-op. Any state-affecting event in the pattern (samples,
+    /// disturbances — never emitted by the kernel inside a span) replays.
+    fn on_idle_span(&mut self, span: &IdleSpan<'_, NetEvent>) {
+        let affecting = span.pattern.iter().any(|(_, ev)| {
+            matches!(
+                ev,
+                NetEvent::HighCycle { .. }
+                    | NetEvent::MasterJoin { .. }
+                    | NetEvent::MasterLeave { .. }
+                    | NetEvent::Claim { .. }
+                    | NetEvent::Recovery { .. }
+                    | NetEvent::ModeSwitch { .. }
+            )
+        });
+        if affecting {
+            replay_span(self, span);
+        }
+    }
 }
 
 /// Summary of one run's mixed-criticality mode dynamics. All zeros when
@@ -575,6 +692,39 @@ impl Observer<NetEvent> for ModeStats {
             _ => {}
         }
     }
+
+    /// O(pattern) counter multiplication. Match-ups append to the wait
+    /// list per occurrence, so that (never kernel-emitted) case replays.
+    fn on_idle_span(&mut self, span: &IdleSpan<'_, NetEvent>) {
+        if span
+            .pattern
+            .iter()
+            .any(|(_, ev)| matches!(ev, NetEvent::Matchup { .. }))
+        {
+            replay_span(self, span);
+            return;
+        }
+        for (_, ev) in span.pattern {
+            match *ev {
+                NetEvent::ModeSwitch { .. } => self.summary.switches += span.rotations,
+                NetEvent::Shed { .. } => self.summary.sheds += span.rotations,
+                NetEvent::HighCycle {
+                    master,
+                    ref request,
+                    ..
+                } => {
+                    let crit = self.criticality[master]
+                        .get(request.stream.0)
+                        .copied()
+                        .unwrap_or(Criticality::Hi);
+                    if crit != Criticality::Hi {
+                        self.sub_hi_completed += span.rotations;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 /// Bounded event tracing as an observer: the former hand-threaded
@@ -595,6 +745,9 @@ impl TraceObserver {
 }
 
 impl Observer<NetEvent> for TraceObserver {
+    // `on_idle_span` deliberately keeps the default replay: a trace
+    // materializes every event (and counts drops past its capacity), so
+    // a compressed span must be expanded rotation by rotation.
     fn observe(&mut self, at: Time, event: &NetEvent) {
         let mapped = match *event {
             NetEvent::TokenArrival { master, tth, .. } => TraceEvent::TokenArrival { master, tth },
@@ -623,5 +776,170 @@ impl Observer<NetEvent> for TraceObserver {
             NetEvent::Matchup { waited } => TraceEvent::Matchup { waited },
         };
         self.trace.record(at, mapped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::config::SimMaster;
+    use profirt_base::time::t;
+    use profirt_base::{Priority, StreamSet};
+
+    fn two_master_net() -> SimNetwork {
+        SimNetwork {
+            masters: vec![
+                SimMaster::stock(StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap())
+                    .with_criticality(vec![Criticality::Lo]),
+                SimMaster::stock(StreamSet::from_cdt(&[(100, 5_000, 10_000)]).unwrap()),
+            ],
+            ttr: t(2_000),
+            token_pass: t(100),
+        }
+    }
+
+    fn request() -> Request {
+        Request {
+            stream: StreamId(0),
+            release: t(10),
+            abs_deadline: t(5_000),
+            priority: Priority(1),
+            cycle_time: t(100),
+        }
+    }
+
+    /// A kitchen-sink pattern exercising every batched ingestion arm (no
+    /// membership events or match-ups — those take the replay fallback,
+    /// covered below).
+    fn batched_pattern() -> Vec<(Time, NetEvent)> {
+        vec![
+            (
+                t(0),
+                NetEvent::TokenArrival {
+                    master: 0,
+                    tth: t(1_800),
+                    trr: Some(t(200)),
+                },
+            ),
+            (
+                t(0),
+                NetEvent::HighCycle {
+                    master: 0,
+                    request: request(),
+                    start: t(0),
+                    end: t(100),
+                },
+            ),
+            (
+                t(100),
+                NetEvent::LowCycle {
+                    master: 0,
+                    start: t(100),
+                    end: t(130),
+                },
+            ),
+            (
+                t(130),
+                NetEvent::GapPoll {
+                    master: 0,
+                    target: MasterAddr(5),
+                    admitted: None,
+                },
+            ),
+            (
+                t(140),
+                NetEvent::Shed {
+                    master: 0,
+                    stream: StreamId(0),
+                    release: t(35),
+                },
+            ),
+            (t(150), NetEvent::ModeSwitch { degraded: true }),
+            (t(160), NetEvent::TokenPass { from: 0, to: 1 }),
+            (
+                t(160),
+                NetEvent::TokenArrival {
+                    master: 1,
+                    tth: t(1_800),
+                    trr: Some(t(200)),
+                },
+            ),
+            (t(170), NetEvent::Recovery { claimant: 0 }),
+            (t(180), NetEvent::Claim { master: 0 }),
+            (t(200), NetEvent::TokenPass { from: 1, to: 0 }),
+        ]
+    }
+
+    /// Spans whose replay crosses observer state (membership churn, a
+    /// match-up) — the overrides must detect them and fall back.
+    fn fallback_pattern() -> Vec<(Time, NetEvent)> {
+        vec![
+            (t(0), NetEvent::MasterLeave { master: 1 }),
+            (t(10), NetEvent::Matchup { waited: t(900) }),
+            (
+                t(20),
+                NetEvent::TokenArrival {
+                    master: 0,
+                    tth: t(1_700),
+                    trr: Some(t(300)),
+                },
+            ),
+            (t(30), NetEvent::MasterJoin { master: 1 }),
+        ]
+    }
+
+    #[test]
+    fn batched_idle_span_ingestion_equals_replay() {
+        let net = two_master_net();
+        for pattern in [batched_pattern(), fallback_pattern()] {
+            let span = IdleSpan {
+                start: t(1_000),
+                period: t(200),
+                rotations: 5,
+                pattern: &pattern,
+            };
+
+            let mut batched = ResultObserver::new(&net);
+            let mut replayed = batched.clone();
+            batched.on_idle_span(&span);
+            replay_span(&mut replayed, &span);
+            assert_eq!(batched.into_result(), replayed.into_result());
+
+            let mut batched = ResponseStats::new();
+            let mut replayed = batched.clone();
+            batched.on_idle_span(&span);
+            replay_span(&mut replayed, &span);
+            assert_eq!(batched.hist.summary(), replayed.hist.summary());
+
+            let mut batched = TrrStats::with_ring_size(2);
+            let mut replayed = batched.clone();
+            batched.on_idle_span(&span);
+            replay_span(&mut replayed, &span);
+            assert_eq!(batched.hist.summary(), replayed.hist.summary());
+            assert_eq!(batched.per_size(), replayed.per_size());
+
+            let mut batched = RingStats::new(2);
+            let mut replayed = batched.clone();
+            batched.on_idle_span(&span);
+            replay_span(&mut replayed, &span);
+            assert_eq!(batched.summary(), replayed.summary());
+
+            let mut batched = StableResponseObserver::new(&net, 2, t(0));
+            let mut replayed = batched.clone();
+            batched.on_idle_span(&span);
+            replay_span(&mut replayed, &span);
+            assert_eq!(batched.max_responses, replayed.max_responses);
+            assert_eq!(batched.samples, replayed.samples);
+            assert_eq!(batched.hi_max_responses, replayed.hi_max_responses);
+            assert_eq!(batched.hi_samples, replayed.hi_samples);
+
+            let mut batched = ModeStats::new(&net);
+            let mut replayed = batched.clone();
+            batched.on_idle_span(&span);
+            replay_span(&mut replayed, &span);
+            assert_eq!(batched.summary(), replayed.summary());
+            assert_eq!(batched.matchup_waits(), replayed.matchup_waits());
+            assert_eq!(batched.sub_hi_completed(), replayed.sub_hi_completed());
+        }
     }
 }

@@ -198,11 +198,13 @@ fn long_horizon_release_state_is_o_streams() {
     assert!(completed > 10_000, "completed {completed}");
 
     // …while release state stayed flat: 4 stream heads + 1 low-priority
-    // head + the J/T look-ahead of the jittered streams (≤ 2 entries
-    // here), nowhere near the ~20k releases a materialized run holds.
+    // head, one primed look-ahead slot each (generators keep `peek_ready`
+    // answerable from buffered state), plus the J/T look-ahead of the
+    // jittered streams (Σ ⌈J/T⌉ = 4 here) — nowhere near the ~20k
+    // releases a materialized run holds.
     let sources = 5;
     assert!(
-        long.mem.peak_release_buffer <= 2 * sources,
+        long.mem.peak_release_buffer <= 2 * sources + 4,
         "peak release buffer {} not O(streams)",
         long.mem.peak_release_buffer
     );
@@ -217,6 +219,51 @@ fn long_horizon_release_state_is_o_streams() {
         long.mem.peak_pending <= 4 * sources,
         "peak pending {} grew beyond the schedulable backlog",
         long.mem.peak_pending
+    );
+}
+
+/// The time-compression contract next to the memory contract above: on a
+/// sparse fixture the number of token visits the kernel actually
+/// *executes* must be sublinear in the horizon — a 100×-longer idle tail
+/// costs O(1) extra visits, because whole rotations are fast-forwarded
+/// arithmetically. If the skip silently stopped engaging, the long run
+/// would execute ~100× the visits and this pin would trip.
+#[test]
+fn long_horizon_executed_visits_are_sublinear() {
+    // One early burst, then silence: the period exceeds even the long
+    // horizon, so both runs see the same single release and everything
+    // after it is pure idle rotation.
+    let streams = StreamSet::from_cdt(&[(200, 50_000, 200_000_000)]).unwrap();
+    let net = SimNetwork {
+        masters: vec![SimMaster::stock(streams)],
+        ttr: t(2_000),
+        token_pass: t(166),
+    };
+    let cfg = |horizon: i64| NetworkSimConfig {
+        horizon: t(horizon),
+        ..Default::default()
+    };
+
+    let (short_result, short) = simulate_network_stats(&net, &cfg(1_000_000));
+    let (long_result, long) = simulate_network_stats(&net, &cfg(100_000_000)); // 100×
+
+    // Both runs served the burst…
+    assert_eq!(short_result.streams[0][0].completed, 1);
+    assert_eq!(long_result.streams[0][0].completed, 1);
+
+    // …and the long run compressed its idle tail instead of walking it.
+    assert!(long.mem.rotations_fast_forwarded > 0);
+    assert!(
+        long.mem.visits_simulated < 2 * short.mem.visits_simulated,
+        "100× horizon must cost <2× executed visits: {} vs {}",
+        long.mem.visits_simulated,
+        short.mem.visits_simulated
+    );
+    // The accounting still closes: every skipped rotation is one visit of
+    // the single master.
+    assert_eq!(
+        long.mem.visits_simulated + long.mem.rotations_fast_forwarded,
+        long_result.token_visits[0]
     );
 }
 

@@ -35,7 +35,7 @@ pub struct StreamReleases {
 impl ReleaseGen for StreamReleases {
     type Item = Request;
 
-    fn peek_ready(&mut self) -> Option<Time> {
+    fn peek_ready(&self) -> Option<Time> {
         self.periodic.peek_ready()
     }
 
@@ -116,7 +116,7 @@ pub struct LowPriorityReleases {
 impl ReleaseGen for LowPriorityReleases {
     type Item = Time;
 
-    fn peek_ready(&mut self) -> Option<Time> {
+    fn peek_ready(&self) -> Option<Time> {
         self.periodic.peek_ready()
     }
 
@@ -170,7 +170,7 @@ pub struct TaskReleases {
 impl ReleaseGen for TaskReleases {
     type Item = TaskRelease;
 
-    fn peek_ready(&mut self) -> Option<Time> {
+    fn peek_ready(&self) -> Option<Time> {
         self.periodic.peek_ready()
     }
 
@@ -282,10 +282,7 @@ mod tests {
         let mut b = Prng::seed_from_u64(9);
         let expect0 = b.time_in(t(10_000 - 1));
         let expect1 = b.time_in(t(8_000 - 1));
-        let firsts: Vec<Time> = gens
-            .into_iter()
-            .map(|mut g| g.peek_ready().unwrap())
-            .collect();
+        let firsts: Vec<Time> = gens.into_iter().map(|g| g.peek_ready().unwrap()).collect();
         assert_eq!(firsts, vec![expect0, expect1]);
         // The caller RNG advanced identically.
         assert_eq!(a.next_u64(), b.next_u64());
@@ -330,7 +327,7 @@ mod tests {
     #[test]
     fn task_offsets_shift_first_release() {
         let set = TaskSet::from_ct(&[(1, 10)]).unwrap();
-        let mut gens = task_release_gens(&set, &[t(4)], t(30));
+        let gens = task_release_gens(&set, &[t(4)], t(30));
         assert_eq!(gens[0].peek_ready(), Some(t(4)));
     }
 

@@ -186,11 +186,24 @@ pub fn simulate(
         ..Default::default()
     };
     let dynamic_ring = !sim_config.is_static_ring();
+    let started = std::time::Instant::now();
     let (obs, stats) = simulate_network_stats(&sim_net, &sim_config);
+    let wall = started.elapsed().as_secs_f64();
     println!(
         "simulated {horizon} ticks (seed {seed}): {} token visits, max TRR = {}",
         obs.token_visits.iter().sum::<u64>(),
         obs.max_trr_overall()
+    );
+    // The kernel counters behind the campaign's `sim_visits`/`sim_ffwd`
+    // columns. The wall-clock throughput goes to stderr: stdout stays
+    // seed-deterministic (pinned by the CLI tests), timing is diagnostic.
+    println!(
+        "kernel: sim_visits = {}, sim_ffwd = {} idle rotation(s) fast-forwarded",
+        stats.mem.visits_simulated, stats.mem.rotations_fast_forwarded
+    );
+    eprintln!(
+        "throughput: {:.2e} simulated ticks per wall second",
+        horizon as f64 / wall.max(1e-9)
     );
     if dynamic_ring {
         println!(
